@@ -1,0 +1,81 @@
+// E12 (ablation) — the design choices DESIGN.md calls out:
+//   * placer annealing on/off: wirelength and router effort;
+//   * scrub read-modify-write on/off over dynamic frames (also in E10);
+//   * injection observation-window length: sensitivity saturation.
+#include "bench_util.h"
+
+namespace vscrub::bench {
+namespace {
+
+void run_report() {
+  std::printf("\nE12 (ablation) — PnR and campaign design choices\n");
+  rule();
+
+  // Annealing ablation.
+  std::printf("placer annealing (mult_tree w=10 on the campaign device):\n");
+  std::printf("%12s %12s %14s %12s\n", "anneal", "wires", "router iters",
+              "wall (s)");
+  for (const u32 moves : {0u, 16u, 64u, 256u}) {
+    PnrOptions options;
+    options.anneal_moves_per_site = moves;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto design =
+        compile(std::make_shared<const Netlist>(designs::mult_tree(10)),
+                std::make_shared<const ConfigSpace>(campaign_device()), options);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("%12u %12zu %14d %12.2f\n", moves, design.stats.wires_used,
+                design.stats.router_iterations, secs);
+  }
+  std::printf("(annealing shortens routes; shorter routes -> smaller "
+              "sensitive routing cross-section)\n");
+  rule();
+
+  // Observation-window ablation: sensitivity saturates once the window
+  // exceeds the design latency.
+  std::printf("observation window vs measured sensitivity (counter_adder):\n");
+  const auto design = compile(designs::counter_adder(10), campaign_device());
+  std::printf("%14s %14s\n", "observe cycles", "sensitivity");
+  for (const u32 window : {8u, 16u, 32u, 64u, 128u}) {
+    CampaignOptions opts;
+    opts.sample_bits = 4000;
+    opts.record_sensitive_bits = false;
+    opts.injection.observe_cycles = window;
+    const auto r = run_campaign(design, opts);
+    std::printf("%14u %13.2f%%\n", window, r.sensitivity() * 100);
+  }
+  std::printf("\n");
+}
+
+void BM_CompileNoAnneal(benchmark::State& state) {
+  for (auto _ : state) {
+    PnrOptions options;
+    options.anneal_moves_per_site = 0;
+    const auto design =
+        compile(std::make_shared<const Netlist>(designs::mult_tree(8)),
+                std::make_shared<const ConfigSpace>(campaign_device()), options);
+    benchmark::DoNotOptimize(design.stats.wires_used);
+  }
+}
+BENCHMARK(BM_CompileNoAnneal)->Unit(benchmark::kMillisecond);
+
+void BM_CompileWithAnneal(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto design =
+        compile(std::make_shared<const Netlist>(designs::mult_tree(8)),
+                std::make_shared<const ConfigSpace>(campaign_device()), {});
+    benchmark::DoNotOptimize(design.stats.wires_used);
+  }
+}
+BENCHMARK(BM_CompileWithAnneal)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vscrub::bench
+
+int main(int argc, char** argv) {
+  vscrub::bench::run_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

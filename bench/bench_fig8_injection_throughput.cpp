@@ -1,0 +1,115 @@
+// E8 — §III-A / Fig. 8: fault-injection throughput.
+//
+// Paper numbers reproduced:
+//   * "a single bit can be modified and loaded in 100 us";
+//   * one corrupt/observe/repair loop iteration takes ~214 us;
+//   * "exhaustively test the entire bitstream of 5.8 million bits in 20
+//     minutes";
+//   * "many orders of magnitude speed-up over purely software techniques" —
+//     here inverted: we report how much slower our software fabric model is
+//     than the modeled SLAAC-1V hardware, which is exactly the speed-up a
+//     hardware testbed buys.
+#include "bench_util.h"
+
+namespace vscrub::bench {
+namespace {
+
+void run_report() {
+  std::printf("\nE8 — injection throughput (Fig. 8 loop)\n");
+  rule();
+
+  // Modeled SLAAC-1V timing on the real-geometry device.
+  const auto big = compile(designs::counter_adder(4), device_xcv1000ish());
+  SeuInjector big_injector(big, {});
+  const double iter_us = big_injector.modeled_iteration_time().us();
+  const double bits = static_cast<double>(big.space->total_bits());
+  std::printf("XCV1000-class device: %.2f M configuration bits "
+              "(paper: 5.8 M)\n", bits / 1e6);
+  std::printf("modeled loop iteration: %.0f us  (paper: ~214 us)\n", iter_us);
+  std::printf("modeled single-bit modify+load: %.0f us  (paper: ~100 us)\n",
+              SelectMapTiming::pci_profile()
+                  .frame_op(big.space->geometry().clb_frame_bytes())
+                  .us());
+  std::printf("exhaustive campaign, modeled: %.1f minutes  (paper: ~20 min)\n",
+              bits * iter_us / 60e6);
+
+  // Software wall-clock on the campaign device.
+  Workbench bench(campaign_device());
+  const PlacedDesign design = bench.compile(designs::mult_tree(8));
+  CampaignOptions copts;
+  copts.sample_bits = 3000;
+  copts.record_sensitive_bits = false;
+  const CampaignResult camp = run_campaign(design, copts);
+  const double sw_us_per_bit =
+      camp.wall_seconds * 1e6 / static_cast<double>(camp.injections);
+  rule();
+  std::printf("software fabric model: %.0f us per injected bit (measured)\n",
+              sw_us_per_bit);
+  std::printf("hardware-testbed speed-up implied: %.0fx per bit — and the\n"
+              "paper's comparison point, gate-level software simulation of\n"
+              "a V1000-scale design, is orders of magnitude slower still.\n",
+              sw_us_per_bit / iter_us);
+  std::printf("exhaustive XCV1000 campaign at software speed: %.1f hours vs "
+              "%.1f minutes in hardware\n\n",
+              bits * sw_us_per_bit / 3600e6, bits * iter_us / 60e6);
+}
+
+void BM_CorruptRepairOnly(benchmark::State& state) {
+  // The configuration-port half of the loop (no design execution).
+  static Workbench bench(campaign_device());
+  static const PlacedDesign design = bench.compile(designs::mult_tree(8));
+  static FabricSim fabric(design.space);
+  static bool init = [] {
+    fabric.full_configure(design.bitstream);
+    return true;
+  }();
+  (void)init;
+  u64 lin = 17;
+  for (auto _ : state) {
+    const BitAddress addr =
+        design.space->address_of_linear(lin % design.space->total_bits());
+    fabric.flip_config_bit(addr);
+    fabric.flip_config_bit(addr);
+    lin += 7919;
+  }
+}
+BENCHMARK(BM_CorruptRepairOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_DesignCycle(benchmark::State& state) {
+  // One design clock cycle on the fabric (the observation window's unit).
+  static Workbench bench(campaign_device());
+  static const PlacedDesign design = bench.compile(designs::mult_tree(8));
+  static FabricSim fabric(design.space);
+  static DesignHarness harness(design, fabric);
+  static bool init = [] {
+    harness.configure();
+    return true;
+  }();
+  (void)init;
+  for (auto _ : state) {
+    harness.step();
+    benchmark::DoNotOptimize(harness.last_outputs());
+  }
+}
+BENCHMARK(BM_DesignCycle)->Unit(benchmark::kMicrosecond);
+
+void BM_FullConfigure(benchmark::State& state) {
+  static Workbench bench(campaign_device());
+  static const PlacedDesign design = bench.compile(designs::mult_tree(8));
+  static FabricSim fabric(design.space);
+  for (auto _ : state) {
+    fabric.full_configure(design.bitstream);
+    benchmark::DoNotOptimize(fabric.active_tile_count());
+  }
+}
+BENCHMARK(BM_FullConfigure)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vscrub::bench
+
+int main(int argc, char** argv) {
+  vscrub::bench::run_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

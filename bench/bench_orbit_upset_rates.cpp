@@ -1,0 +1,86 @@
+// E9 — §I: expected on-orbit upset rates.
+//
+// Paper: heavy-ion testing put the Virtex threshold LET at 1.2 MeV·cm²/mg
+// with an average saturation cross-section of 8.0e-8 cm²; in LEO "the
+// nine-FPGA system ... can be expected to experience radiation-induced
+// upsets 1.2 times/hour in low radiation zones and 9.6 times/hour when
+// there are solar flares."
+#include "bench_util.h"
+
+namespace vscrub::bench {
+namespace {
+
+void run_report() {
+  std::printf("\nE9 — on-orbit upset-rate calibration (§I)\n");
+  rule();
+  const WeibullCrossSection xs;
+  std::printf("Weibull SEU response: threshold LET %.1f MeV·cm²/mg, "
+              "sigma_sat %.1e cm²\n",
+              xs.threshold_let, xs.sat_cross_section);
+  std::printf("  sigma(LET):");
+  for (double let : {1.0, 1.5, 2.0, 5.0, 10.0, 40.0, 125.0}) {
+    std::printf("  %g→%.2e", let, xs.at(let));
+  }
+  std::printf("\n");
+  rule();
+
+  const auto quiet = OrbitEnvironment::leo_quiet();
+  const auto flare = OrbitEnvironment::leo_solar_flare();
+  const auto geom = device_xcv1000ish();
+  const u64 bits = geom.total_config_bits();
+  std::printf("%-18s %16s %16s\n", "environment", "1 device (/h)",
+              "9-FPGA system (/h)");
+  for (const auto& env : {quiet, flare}) {
+    std::printf("%-18s %16.3f %16.2f\n", env.name.c_str(),
+                env.device_upsets_per_hour(bits),
+                env.system_upsets_per_hour(bits, 9));
+  }
+  std::printf("(paper: 1.2/h quiet, 9.6/h solar flare for the nine-FPGA "
+              "system)\n");
+  rule();
+
+  // Poisson expectations over mission horizons.
+  std::printf("expected upsets, 9-FPGA system:\n");
+  for (double hours : {1.0, 24.0, 24.0 * 7, 24.0 * 365}) {
+    std::printf("  %8.0f h:  quiet %8.1f   flare %8.1f\n", hours,
+                quiet.system_upsets_per_hour(bits, 9) * hours,
+                flare.system_upsets_per_hour(bits, 9) * hours);
+  }
+
+  // Empirical check: a scaled mission must observe its predicted rate.
+  Workbench bench(campaign_device());
+  const PlacedDesign design = bench.compile(designs::counter_adder(12));
+  PayloadOptions popts;
+  popts.environment.name = "scaled quiet";
+  popts.environment.upset_rate_per_bit_s = 3e-7;
+  Payload payload(design, popts, {});
+  const MissionReport mission = payload.run_mission(SimTime::hours(4));
+  std::printf("\nscaled mission check: observed %.2f/h vs predicted %.2f/h "
+              "(%llu upsets in 4 h)\n\n",
+              mission.observed_upsets_per_hour,
+              mission.predicted_upsets_per_hour,
+              static_cast<unsigned long long>(mission.upsets_total));
+}
+
+void BM_MissionHour(benchmark::State& state) {
+  static Workbench bench(campaign_device());
+  static const PlacedDesign design = bench.compile(designs::counter_adder(12));
+  for (auto _ : state) {
+    PayloadOptions popts;
+    popts.environment.upset_rate_per_bit_s = 3e-7;
+    Payload payload(design, popts, {});
+    const auto r = payload.run_mission(SimTime::hours(1));
+    benchmark::DoNotOptimize(r.upsets_total);
+  }
+}
+BENCHMARK(BM_MissionHour)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vscrub::bench
+
+int main(int argc, char** argv) {
+  vscrub::bench::run_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

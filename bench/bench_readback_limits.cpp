@@ -1,0 +1,186 @@
+// E10 — §II-C / §IV: the limitations of readback-based techniques.
+//
+// Reproduced behaviours:
+//   * a LUT used as SRL16/RAM16 must not be written during readback — doing
+//     so corrupts the readback data (§IV-A);
+//   * masking: using LUT memory in one slice makes 16 of the 48 frames of
+//     that CLB column unreadable, both slices 32 of 48 (§IV-A);
+//   * BRAM readback corrupts the block's output register (§IV-A);
+//   * plain frame repair clobbers live SRL contents; read-modify-write
+//     repair preserves them (§IV-B).
+#include "bench_util.h"
+
+namespace vscrub::bench {
+namespace {
+
+void run_report() {
+  std::printf("\nE10 — readback limitations (§II-C, §IV)\n");
+  rule();
+
+  Workbench bench(campaign_device());
+  const PlacedDesign fir = bench.compile(designs::fir_preproc(4));
+
+  // 1. Frame masking arithmetic.
+  {
+    FabricSim fabric(fir.space);
+    FlashStore flash(fir.bitstream);
+    Scrubber scrubber(fir, fabric, flash, {});
+    // Columns with dynamic slices and how many frames are masked in each.
+    std::unordered_map<u16, std::unordered_set<int>> slices_per_col;
+    for (const LutSiteRef& site : fir.dynamic_lut_sites) {
+      slices_per_col[site.tile.col].insert(site.lut / kLutsPerSlice);
+    }
+    std::printf("design %s uses %zu SRL16 sites across %zu columns\n",
+                fir.netlist->name().c_str(), fir.dynamic_lut_sites.size(),
+                slices_per_col.size());
+    std::size_t one_slice = 0, two_slice = 0;
+    for (const auto& [col, slices] : slices_per_col) {
+      (slices.size() == 1 ? one_slice : two_slice) += 1;
+    }
+    std::printf("masked frames per affected column: %zu columns at 16/48, "
+                "%zu columns at 32/48 (paper: \"16 out of the 48\" / \"32 "
+                "out of the 48\")\n",
+                one_slice, two_slice);
+    std::printf("codebook masks %zu of %u frames in total\n",
+                scrubber.codebook().masked_count(), fir.space->frame_count());
+  }
+
+  // 2. Write-during-readback hazard.
+  {
+    FabricSim fabric(fir.space);
+    DesignHarness harness(fir, fabric);
+    harness.configure();
+    harness.run(24);  // SRLs are now shifting with CE enabled
+    const LutSiteRef site = fir.dynamic_lut_sites.front();
+    const int slice = site.lut / kLutsPerSlice;
+    const FrameAddress fa{ColumnKind::kClb, site.tile.col,
+                          static_cast<u16>(slice * kLutTruthBits)};
+    const BitVector stopped = fabric.read_frame(fa, /*clock_running=*/false);
+    const BitVector running = fabric.read_frame(fa, /*clock_running=*/true);
+    std::printf("\nLUT-RAM readback hazard: frame read with clock stopped "
+                "vs running differs in %zu bit(s) (write-enabled SRL sites "
+                "corrupt on readback)\n",
+                stopped.hamming_distance(running));
+  }
+
+  // 3. BRAM output-register corruption on readback.
+  {
+    auto space = std::make_shared<const ConfigSpace>(device_tiny(8, 12, 2));
+    const auto checker = compile(
+        std::make_shared<const Netlist>(designs::bram_selftest(1)), space, {});
+    FabricSim fabric(space);
+    DesignHarness harness(checker, fabric);
+    harness.configure();
+    harness.run(10);
+    const u16 before =
+        fabric.bram_dout(checker.brams[0].bram_col, checker.brams[0].block);
+    fabric.read_frame(FrameAddress{ColumnKind::kBram,
+                                   checker.brams[0].bram_col, 0});
+    const u16 after =
+        fabric.bram_dout(checker.brams[0].bram_col, checker.brams[0].block);
+    std::printf("BRAM readback corrupts the output register: dout 0x%04x -> "
+                "0x%04x\n", before, after);
+  }
+
+  // 4. Plain repair vs read-modify-write over live SRL frames.
+  {
+    std::printf("\nrepair of a dynamic-state frame while the design runs:\n");
+    for (const bool rmw : {false, true}) {
+      FabricSim fabric(fir.space);
+      DesignHarness harness(fir, fabric);
+      harness.configure();
+      harness.run(40);
+      const LutSiteRef site = fir.dynamic_lut_sites.front();
+      const int slice = site.lut / kLutsPerSlice;
+      // Read live contents, then "repair" the 16 LUT frames of the column.
+      const u16 live_before = [&] {
+        u16 v = 0;
+        for (int j = 0; j < kLutTruthBits; ++j) {
+          const FrameAddress fa{ColumnKind::kClb, site.tile.col,
+                                static_cast<u16>(slice * kLutTruthBits + j)};
+          const u32 offset =
+              static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
+              static_cast<u32>(site.lut % kLutsPerSlice);
+          if (fabric.read_frame(fa).get(offset)) v |= static_cast<u16>(1 << j);
+        }
+        return v;
+      }();
+      for (int j = 0; j < kLutTruthBits; ++j) {
+        const FrameAddress fa{ColumnKind::kClb, site.tile.col,
+                              static_cast<u16>(slice * kLutTruthBits + j)};
+        BitVector golden = fir.bitstream.frame(fa);
+        if (rmw) {
+          const BitVector live = fabric.read_frame(fa);
+          const u32 offset =
+              static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
+              static_cast<u32>(site.lut % kLutsPerSlice);
+          golden.set(offset, live.get(offset));
+        }
+        fabric.write_frame(fa, golden);
+      }
+      const u16 live_after = [&] {
+        u16 v = 0;
+        for (int j = 0; j < kLutTruthBits; ++j) {
+          const FrameAddress fa{ColumnKind::kClb, site.tile.col,
+                                static_cast<u16>(slice * kLutTruthBits + j)};
+          const u32 offset =
+              static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
+              static_cast<u32>(site.lut % kLutsPerSlice);
+          if (fabric.read_frame(fa).get(offset)) v |= static_cast<u16>(1 << j);
+        }
+        return v;
+      }();
+      std::printf("  %s repair: SRL contents 0x%04x -> 0x%04x (%s)\n",
+                  rmw ? "read-modify-write" : "plain            ",
+                  live_before, live_after,
+                  live_before == live_after ? "preserved" : "CLOBBERED");
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_ReadFrame(benchmark::State& state) {
+  static Workbench bench(campaign_device());
+  static const PlacedDesign design = bench.compile(designs::fir_preproc(4));
+  static FabricSim fabric(design.space);
+  static bool init = [] {
+    fabric.full_configure(design.bitstream);
+    return true;
+  }();
+  (void)init;
+  u32 gf = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fabric.read_frame(design.space->frame_of_global(gf), true));
+    gf = (gf + 1) % design.space->frame_count();
+  }
+}
+BENCHMARK(BM_ReadFrame)->Unit(benchmark::kMicrosecond);
+
+void BM_WriteFrame(benchmark::State& state) {
+  static Workbench bench(campaign_device());
+  static const PlacedDesign design = bench.compile(designs::fir_preproc(4));
+  static FabricSim fabric(design.space);
+  static bool init = [] {
+    fabric.full_configure(design.bitstream);
+    return true;
+  }();
+  (void)init;
+  u32 gf = 0;
+  for (auto _ : state) {
+    fabric.write_frame(design.space->frame_of_global(gf),
+                       design.bitstream.frame(gf));
+    gf = (gf + 1) % design.space->frame_count();
+  }
+}
+BENCHMARK(BM_WriteFrame)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vscrub::bench
+
+int main(int argc, char** argv) {
+  vscrub::bench::run_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E2 — Table II: persistence of SEU-induced errors per design class.
+//
+// Paper rows (sensitivity, persistence ratio):
+//   54 Multiply-Add   8.87%   0%      (feed-forward: errors flush out)
+//   36 Counter/Adder  0.09%   9.88%   (small, state feedback in the counter)
+//   72 LFSR           4.2%    93.9%   (feedback everywhere: almost all
+//                                      errors latch into state)
+//   LFSR Multiplier   6.4%    15.0%
+//   Filter Preproc.   9.5%    1.2%
+// Shape check: multiply-add ~0 << filter preproc < counter/adder <
+// lfsr-multiplier << LFSR.
+#include "bench_util.h"
+
+namespace vscrub::bench {
+namespace {
+
+constexpr u64 kSample = 6000;
+
+void run_table() {
+  Workbench bench(campaign_device());
+  struct Spec {
+    const char* label;
+    const char* scaled;
+    Netlist nl;
+  };
+  std::vector<Spec> specs;
+  specs.push_back({"54 Mult-Add", "multiply_add w=8", designs::multiply_add(8)});
+  specs.push_back({"36 Ctr/Adder", "counter_adder w=12", designs::counter_adder(12)});
+  specs.push_back({"72 LFSR", "lfsr x3 clusters", designs::lfsr_cluster(3)});
+  specs.push_back({"LFSR Mult", "lfsr_multiplier w=10", designs::lfsr_multiplier(10)});
+  specs.push_back({"Filter Prep", "fir_preproc taps=4", designs::fir_preproc(4)});
+
+  std::vector<SensitivityRow> rows;
+  for (auto& spec : specs) {
+    const PlacedDesign design = bench.compile(std::move(spec.nl));
+    const CampaignResult result = table_campaign(design, kSample, true);
+    rows.push_back(make_row(spec.label, spec.scaled, design, result, true));
+  }
+  print_sensitivity_table(
+      "Table II — persistence of SEU-induced errors (persistent bits per "
+      "sensitive bit)",
+      rows);
+  std::printf("paper shape: Mult-Add 0%% << Filter 1.2%% < Ctr/Adder 9.9%% < "
+              "LFSR-Mult 15%% << LFSR 93.9%%.\n\n");
+}
+
+// Microbenchmark: persistence-classified injection (the expensive variant).
+void BM_PersistenceInjection(benchmark::State& state) {
+  static Workbench bench(campaign_device());
+  static const PlacedDesign design = bench.compile(designs::lfsr_cluster(1));
+  static SeuInjector injector(design, [] {
+    InjectionOptions o;
+    o.classify_persistence = true;
+    return o;
+  }());
+  u64 lin = 3;
+  for (auto _ : state) {
+    const auto r = injector.inject(
+        design.space->address_of_linear(lin % design.space->total_bits()));
+    benchmark::DoNotOptimize(r.persistent);
+    lin += 104729;
+  }
+}
+BENCHMARK(BM_PersistenceInjection)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vscrub::bench
+
+int main(int argc, char** argv) {
+  vscrub::bench::run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "bench_util.h"
+
+namespace vscrub::bench {
+
+void print_sensitivity_table(const char* title,
+                             const std::vector<SensitivityRow>& rows) {
+  std::printf("\n%s\n", title);
+  rule();
+  const bool with_persistence =
+      !rows.empty() && rows.front().persistence >= 0.0;
+  std::printf("%-12s %-22s %7s %7s %9s %8s %8s%s\n", "Design", "(scaled as)",
+              "Slices", "Util%", "Failures", "Sens%", "Norm%",
+              with_persistence ? "  Persist%" : "");
+  rule();
+  for (const SensitivityRow& r : rows) {
+    std::printf("%-12s %-22s %7zu %6.1f%% %9llu %7.2f%% %7.1f%%", r.label.c_str(),
+                r.scaled_as.c_str(), r.slices, r.utilization * 100,
+                static_cast<unsigned long long>(r.failures),
+                r.sensitivity * 100, r.normalized * 100);
+    if (with_persistence) std::printf("   %6.1f%%", r.persistence * 100);
+    std::printf("\n");
+  }
+  rule();
+}
+
+CampaignResult table_campaign(const PlacedDesign& design, u64 sample_bits,
+                              bool persistence) {
+  CampaignOptions options;
+  options.sample_bits = sample_bits;
+  options.record_sensitive_bits = false;
+  options.injection.classify_persistence = persistence;
+  return run_campaign(design, options);
+}
+
+}  // namespace vscrub::bench

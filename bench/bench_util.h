@@ -1,0 +1,71 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Every bench binary does two things:
+//  1. Reproduces its paper table/figure, printing the same rows/series the
+//     paper reports (shape comparison, not absolute numbers — see
+//     EXPERIMENTS.md).
+//  2. Registers google-benchmark microbenchmarks for the kernel it exercises.
+//
+// The campaign device is a scaled-down part ("campaign device"); design
+// sizes are chosen so the *device utilization* of each row matches the
+// paper's Table I/II utilization points, which is the quantity sensitivity
+// actually depends on (the paper itself normalizes by area).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/vscrub.h"
+
+namespace vscrub::bench {
+
+/// The standard campaign device: 192 CLBs / 384 slices.
+inline DeviceGeometry campaign_device() { return device_tiny(12, 16); }
+
+/// Row of a Table-I-style report.
+struct SensitivityRow {
+  std::string label;        ///< paper design name
+  std::string scaled_as;    ///< our scaled instantiation
+  std::size_t slices = 0;
+  double utilization = 0.0;
+  u64 injections = 0;
+  u64 failures = 0;
+  double sensitivity = 0.0;
+  double normalized = 0.0;
+  double persistence = -1.0;  ///< <0: not classified
+};
+
+void print_sensitivity_table(const char* title,
+                             const std::vector<SensitivityRow>& rows);
+
+/// Standard sampled campaign for the table benches.
+CampaignResult table_campaign(const PlacedDesign& design, u64 sample_bits,
+                              bool persistence);
+
+inline SensitivityRow make_row(const char* paper_label, const char* scaled_as,
+                               const PlacedDesign& design,
+                               const CampaignResult& result,
+                               bool with_persistence) {
+  SensitivityRow row;
+  row.label = paper_label;
+  row.scaled_as = scaled_as;
+  row.slices = design.stats.slices_used;
+  row.utilization = design.stats.utilization;
+  row.injections = result.injections;
+  row.failures = result.failures;
+  row.sensitivity = result.sensitivity();
+  row.normalized = result.normalized_sensitivity();
+  if (with_persistence) row.persistence = result.persistence_ratio();
+  return row;
+}
+
+/// Separator line for bench stdout reports.
+inline void rule() {
+  std::printf("────────────────────────────────────────────────────────────"
+              "────────────────────\n");
+}
+
+}  // namespace vscrub::bench

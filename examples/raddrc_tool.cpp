@@ -1,0 +1,64 @@
+// RadDRC: half-latch analysis and removal (paper §III-C). Compiles a design
+// twice — once letting the CAD flow lean on half-latches for constants (the
+// Xilinx default) and once with RadDRC's LUT-ROM constant substitution —
+// and compares their vulnerability to half-latch upsets.
+//
+//   ./raddrc_tool [trials]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/vscrub.h"
+
+using namespace vscrub;
+
+namespace {
+
+void report(const char* label, const PlacedDesign& design) {
+  const RadDrcReport r = raddrc_analyze(design);
+  std::printf("%-22s critical half-latch uses: %4zu   non-critical: %4zu\n",
+              label, r.critical_uses, r.noncritical_uses);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u64 trials = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1500;
+  Workbench bench(device_tiny(12, 16));
+
+  std::printf("vscrub RadDRC — half-latch audit and mitigation\n\n");
+
+  PnrOptions plain;  // Xilinx-CAD-like: constants from half-latches
+  const PlacedDesign unmitigated =
+      bench.compile(designs::lfsr_cluster(2), plain);
+  report("unmitigated", unmitigated);
+
+  PnrOptions raddrc;
+  raddrc.halflatch_policy = HalfLatchPolicy::kLutRomConstants;
+  const PlacedDesign mitigated =
+      bench.compile(designs::lfsr_cluster(2), raddrc);
+  report("RadDRC (LUT-ROM)", mitigated);
+
+  std::printf("\nupset trials (%llu random half-latch strikes each):\n",
+              static_cast<unsigned long long>(trials));
+  const auto base = halflatch_upset_trial(unmitigated, trials);
+  const auto fixed = halflatch_upset_trial(mitigated, trials);
+  std::printf("  unmitigated failures: %llu / %llu  (%.2f%%)\n",
+              static_cast<unsigned long long>(base.output_failures),
+              static_cast<unsigned long long>(base.trials),
+              base.failure_rate() * 100);
+  std::printf("  mitigated failures:   %llu / %llu  (%.2f%%)\n",
+              static_cast<unsigned long long>(fixed.output_failures),
+              static_cast<unsigned long long>(fixed.trials),
+              fixed.failure_rate() * 100);
+  if (fixed.output_failures == 0) {
+    std::printf("  resistance improvement: > %.0fx (no mitigated failures "
+                "observed)\n",
+                static_cast<double>(base.output_failures));
+  } else {
+    std::printf("  resistance improvement: %.0fx\n",
+                base.failure_rate() / fixed.failure_rate());
+  }
+  std::printf("\n(paper §III-C: \"Mitigated designs were found to be 100X "
+              "[more] resistant to failure than unmitigated designs\")\n");
+  return 0;
+}

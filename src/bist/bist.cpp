@@ -1,0 +1,203 @@
+#include "bist/bist.h"
+
+#include <memory>
+
+#include "bitstream/selectmap.h"
+#include "fabric/routing_model.h"
+#include "netlist/builder.h"
+#include "sim/harness.h"
+
+namespace vscrub {
+namespace {
+
+/// Builds the wire-walk configuration for wire index `w`. Each CLB hosts
+/// four chains at once -- LUT/FF site `l` drives the tile's direction-`l`
+/// wire `w` -- so one 20-step reconfiguration sequence exercises all
+/// 4*20 = 80 OMUX wires of every CLB (paper SII-B). Chain heads (tiles with
+/// no upstream neighbor in a direction) hold constant zero; every other
+/// tile is an inverter of its upstream FF, all FFs initialized to zero.
+Bitstream build_wire_test_config(std::shared_ptr<const ConfigSpace> space,
+                                 int w) {
+  const DeviceGeometry& geom = space->geometry();
+  Bitstream bs(space);
+  for (u16 row = 0; row < geom.rows; ++row) {
+    for (u16 col = 0; col < geom.cols; ++col) {
+      const TileCoord t{row, col};
+      for (int l = 0; l < kLutsPerClb; ++l) {
+        const Dir dir = static_cast<Dir>(l);
+        const Dir from = opposite(dir);
+        const bool head = !geom.neighbor(t, from).has_value();
+        if (head) {
+          bs.set_lut_truth(t, l, 0x0000);  // constant zero at the chain head
+        } else {
+          // Inverter on pin 0, fed by the upstream tile's dir-going wire.
+          bs.set_lut_truth(t, l, 0x5555);
+          bs.set_imux_code(t, lut_input_pin(l, 0),
+                           encode_imux(PinSource{PinSource::Kind::kIncoming,
+                                                 from, static_cast<u8>(w), 0}));
+        }
+        bs.set_ff_used(t, l, true);
+        bs.set_ff_init(t, l, false);
+        bs.set_ff_dsrc_bypass(t, l, false);
+        bs.set_slice_clk_en(t, l / kLutsPerSlice, true);
+        if (geom.neighbor(t, dir).has_value()) {
+          const auto code = encode_omux(
+              dir, w,
+              WireSource{WireSource::Kind::kClbOutput,
+                         static_cast<u8>(reg_output_index(l)), Dir::kNorth,
+                         0});
+          VSCRUB_CHECK(code.has_value(), "wire test: OMUX wire must accept FF");
+          bs.set_omux_code(t, dir, w, *code);
+        }
+      }
+    }
+  }
+  return bs;
+}
+
+/// Captured FF states of the whole device (the "readback with capture"):
+/// one nibble per tile, one bit per chained FF.
+std::vector<u8> capture_ffs(const DeviceGeometry& geom, FabricSim& fabric) {
+  std::vector<u8> state(geom.tile_count());
+  for (u32 t = 0; t < geom.tile_count(); ++t) {
+    u8 nibble = 0;
+    for (int l = 0; l < kLutsPerClb; ++l) {
+      if (fabric.output_value(geom.tile_coord(t),
+                              static_cast<u8>(reg_output_index(l)))) {
+        nibble |= static_cast<u8>(1u << l);
+      }
+    }
+    state[t] = nibble;
+  }
+  return state;
+}
+
+}  // namespace
+
+WireTestResult run_wire_test(std::shared_ptr<const ConfigSpace> space,
+                             FabricSim& fabric, const WireTestOptions& options) {
+  const DeviceGeometry& geom = space->geometry();
+  WireTestResult result;
+  const SelectMapPort port(space.get(), SelectMapTiming::actel_profile());
+  const SimTime readback_cost = port.full_readback_cost();
+
+  // Fault-free reference fabric run in lockstep.
+  FabricSim reference(space);
+
+  for (int w = 0; w < options.wires_to_test; ++w) {
+    const Bitstream config = build_wire_test_config(space, w);
+    if (w == 0) {
+      fabric.full_configure(config);
+      reference.full_configure(config);
+      // The initial load is the test configuration, not a partial reconfig.
+    } else {
+      // Partial reconfiguration: rewrite only the frames that changed
+      // (IMUX pin codes and OMUX codes for the new wire index).
+      ++result.partial_reconfigs;
+      // A partial reconfiguration cannot re-initialize FFs; issue a logic
+      // reset after rewriting (the test controller owns the device).
+      for (u32 gf = 0; gf < space->frame_count(); ++gf) {
+        const FrameAddress fa = space->frame_of_global(gf);
+        const BitVector& want = config.frame(gf);
+        if (!(fabric.read_frame(fa) == want)) {
+          fabric.write_frame(fa, want);
+          result.modeled_time += port.frame_cost(fa);
+        }
+        if (!(reference.read_frame(fa) == want)) {
+          reference.write_frame(fa, want);
+        }
+      }
+      fabric.reset();
+      reference.reset();
+    }
+
+    for (int step = 0; step < 2; ++step) {
+      fabric.clock();
+      reference.clock();
+      ++result.readbacks;
+      result.modeled_time += readback_cost;
+      const auto got = capture_ffs(geom, fabric);
+      const auto want = capture_ffs(geom, reference);
+      for (u32 t = 0; t < geom.tile_count(); ++t) {
+        if (got[t] == want[t]) continue;
+        const u8 diff = got[t] ^ want[t];
+        for (u8 l = 0; l < kLutsPerClb; ++l) {
+          if (diff & (1u << l)) {
+            result.findings.push_back(WireTestFinding{
+                geom.tile_coord(t), static_cast<u8>(w), l, step == 0});
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Netlist bist_clb_cascade(int cascades, int width) {
+  VSCRUB_CHECK(cascades >= 2, "need at least two cascades to compare");
+  Netlist nl("bist_clb_" + std::to_string(cascades));
+  Builder b(nl);
+  // 6-bit LFSR counter generates the shared stimulus bit (paper §II-B).
+  const Bus counter = b.lfsr(6, 0, 0x2B);
+  const NetId stim = counter[5];
+
+  // Identical shift-register cascades; adjacent outputs compared.
+  std::vector<NetId> outs;
+  for (int c = 0; c < cascades; ++c) {
+    NetId d = stim;
+    Bus regs;
+    for (int i = 0; i < width; ++i) {
+      d = b.add_reg(d);
+      regs.push_back(d);
+    }
+    // Fold the cascade state so a fault anywhere in it reaches the output.
+    outs.push_back(b.xor_reduce(regs));
+  }
+  for (int c = 0; c + 1 < cascades; ++c) {
+    const NetId mismatch =
+        b.xor_(outs[static_cast<std::size_t>(c)], outs[static_cast<std::size_t>(c + 1)]);
+    // Sticky error latch.
+    const NetId placeholder = nl.const_net(false);
+    const NetId q = nl.add_ff(placeholder, false);
+    nl.rewire_input(nl.net(q).driver, 0, b.or_(q, mismatch));
+    nl.add_output("err[" + std::to_string(c) + "]", q);
+  }
+  return nl;
+}
+
+ClbBistResult run_clb_bist(const PlacedDesign& pattern, FabricSim& fabric,
+                           u64 max_cycles) {
+  ClbBistResult result;
+  result.slice_coverage = pattern.stats.utilization;
+  DesignHarness harness(pattern, fabric);
+  // Do not reconfigure: the caller has loaded the pattern and injected
+  // faults underneath it.
+  harness.restart();
+  for (u64 t = 0; t < max_cycles; ++t) {
+    harness.step();
+    if (harness.last_outputs().lo != 0 || harness.last_outputs().hi != 0) {
+      result.error_detected = true;
+      result.cycles_to_detect = t + 1;
+      break;
+    }
+  }
+  return result;
+}
+
+BramBistResult run_bram_bist(const PlacedDesign& checker, FabricSim& fabric,
+                             u64 max_cycles) {
+  BramBistResult result;
+  DesignHarness harness(checker, fabric);
+  harness.restart();
+  for (u64 t = 0; t < max_cycles; ++t) {
+    harness.step();
+    if (harness.last_outputs().lo != 0) {
+      result.error_detected = true;
+      result.cycles_to_detect = t + 1;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,83 @@
+// Built-in self-test for permanent faults (paper §II-B, Fig. 5): on-orbit
+// detection and isolation of opens/shorts with a minimum number of
+// configurations.
+//
+//  * Wire test: one hand-crafted configuration — column 0 driving constant
+//    zero, all other columns inverters chained through the same output-mux
+//    wire, all FFs initialized to zero — repeatedly partially reconfigured
+//    to walk the 20 OMUX wires per direction. One clock step + readback
+//    checks stuck-at-1, a second checks stuck-at-0: 20 partial
+//    reconfigurations and 40 readbacks test the 80 OMUX wires of each CLB.
+//  * CLB test: a cascade of 34-bit LFSRs fed by a 6-bit LFSR counter;
+//    adjacent registers are compared and mismatches latch into an error
+//    accumulator. Two complementary placements cover all CLBs.
+//  * BRAM test: every location holds its own address in both bytes;
+//    comparison logic logs byte mismatches.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "pnr/placed_design.h"
+#include "sim/fabric_sim.h"
+
+namespace vscrub {
+
+// ---- Wire test ---------------------------------------------------------------
+
+struct WireTestOptions {
+  /// Wires walked per direction (paper: the 20 OMUX wires). Each CLB hosts
+  /// four chains at once (one per direction, using its four LUT/FF sites),
+  /// so the walk covers 4 * wires_to_test OMUX wires per CLB.
+  int wires_to_test = kOmuxWiresPerDir;
+};
+
+struct WireTestFinding {
+  TileCoord tile;  ///< CLB whose captured FF deviated
+  u8 windex = 0;   ///< wire index under test when the deviation appeared
+  u8 site = 0;     ///< chained FF site (== direction) that deviated
+  bool stuck_at_one = false;  ///< detected at step 1 (else stuck-at-0, step 2)
+};
+
+struct WireTestResult {
+  int partial_reconfigs = 0;
+  int readbacks = 0;
+  std::vector<WireTestFinding> findings;
+  bool pass() const { return findings.empty(); }
+  SimTime modeled_time;
+};
+
+/// Runs the wire-walk test on `fabric` (which may carry injected permanent
+/// faults). The fabric is reconfigured by the test; prior contents are lost.
+WireTestResult run_wire_test(std::shared_ptr<const ConfigSpace> space,
+                             FabricSim& fabric,
+                             const WireTestOptions& options = {});
+
+// ---- CLB test -----------------------------------------------------------------
+
+/// The CLB BIST netlist: `cascades` LFSRs of `width` bits fed by a shared
+/// 6-bit LFSR counter; adjacent outputs compared into sticky error latches.
+Netlist bist_clb_cascade(int cascades, int width = 34);
+
+struct ClbBistResult {
+  bool error_detected = false;
+  u64 cycles_to_detect = 0;
+  double slice_coverage = 0.0;  ///< slices exercised / device slices
+};
+
+/// Runs a compiled CLB BIST pattern on `fabric` for up to `max_cycles`.
+ClbBistResult run_clb_bist(const PlacedDesign& pattern, FabricSim& fabric,
+                           u64 max_cycles);
+
+// ---- BRAM test ------------------------------------------------------------------
+
+struct BramBistResult {
+  bool error_detected = false;
+  u64 cycles_to_detect = 0;
+};
+
+/// Runs the compiled address-in-data BRAM checker (designs::bram_selftest).
+BramBistResult run_bram_bist(const PlacedDesign& checker, FabricSim& fabric,
+                             u64 max_cycles);
+
+}  // namespace vscrub

@@ -1,0 +1,83 @@
+#include "bitstream/bitstream.h"
+
+namespace vscrub {
+
+Bitstream::Bitstream(std::shared_ptr<const ConfigSpace> space)
+    : space_(std::move(space)) {
+  VSCRUB_CHECK(space_ != nullptr, "Bitstream needs a ConfigSpace");
+  const u32 n = space_->frame_count();
+  frames_.reserve(n);
+  for (u32 gf = 0; gf < n; ++gf) {
+    const FrameAddress fa = space_->frame_of_global(gf);
+    frames_.emplace_back(space_->frame_bits(fa.kind));
+  }
+}
+
+u64 Bitstream::read_tile_field(TileCoord t, FieldKind kind, u8 unit,
+                               unsigned nbits) const {
+  u64 value = 0;
+  for (unsigned b = 0; b < nbits; ++b) {
+    const u16 tb = ConfigSpace::tile_bit_of_field(kind, unit, static_cast<u8>(b));
+    if (get_bit(space_->address_of(t, tb))) value |= u64{1} << b;
+  }
+  return value;
+}
+
+void Bitstream::write_tile_field(TileCoord t, FieldKind kind, u8 unit,
+                                 unsigned nbits, u64 value) {
+  for (unsigned b = 0; b < nbits; ++b) {
+    const u16 tb = ConfigSpace::tile_bit_of_field(kind, unit, static_cast<u8>(b));
+    set_bit(space_->address_of(t, tb), (value >> b) & 1);
+  }
+}
+
+BitAddress Bitstream::bram_content_address(u16 bram_col, u16 block, u16 bit) const {
+  VSCRUB_CHECK(bram_col < space_->geometry().bram_columns, "BRAM column out of range");
+  VSCRUB_CHECK(block < space_->geometry().bram_blocks_per_column(),
+               "BRAM block out of range");
+  VSCRUB_CHECK(bit < kBramBitsPerBlock, "BRAM content bit out of range");
+  // Frame f holds bits f*64 .. f*64+63 of every block, at offset block*64+k.
+  BitAddress addr;
+  addr.frame = FrameAddress{ColumnKind::kBram, bram_col,
+                            static_cast<u16>(bit / 64)};
+  addr.offset = static_cast<u32>(block) * 64 + (bit % 64);
+  return addr;
+}
+
+bool Bitstream::bram_content_bit(u16 bram_col, u16 block, u16 bit) const {
+  return get_bit(bram_content_address(bram_col, block, bit));
+}
+
+void Bitstream::set_bram_content_bit(u16 bram_col, u16 block, u16 bit, bool v) {
+  set_bit(bram_content_address(bram_col, block, bit), v);
+}
+
+u8 Bitstream::bram_config(u16 bram_col, u16 block) const {
+  const FrameAddress fa{ColumnKind::kBram, bram_col, kBramContentFrames};
+  u8 cfg = 0;
+  for (int b = 0; b < kBramConfigBitsPerBlock; ++b) {
+    if (frame(fa).get(static_cast<u32>(block) * 64 + static_cast<u32>(b))) {
+      cfg |= static_cast<u8>(1u << b);
+    }
+  }
+  return cfg;
+}
+
+void Bitstream::set_bram_config(u16 bram_col, u16 block, u8 cfg) {
+  const FrameAddress fa{ColumnKind::kBram, bram_col, kBramContentFrames};
+  for (int b = 0; b < kBramConfigBitsPerBlock; ++b) {
+    frame(fa).set(static_cast<u32>(block) * 64 + static_cast<u32>(b),
+                  (cfg >> b) & 1);
+  }
+}
+
+std::vector<u32> Bitstream::differing_frames(const Bitstream& other) const {
+  VSCRUB_CHECK(frames_.size() == other.frames_.size(), "bitstream size mismatch");
+  std::vector<u32> result;
+  for (u32 gf = 0; gf < frames_.size(); ++gf) {
+    if (!(frames_[gf] == other.frames_[gf])) result.push_back(gf);
+  }
+  return result;
+}
+
+}  // namespace vscrub

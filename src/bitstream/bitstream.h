@@ -1,0 +1,117 @@
+// Configuration bitstream container with frame-granular and field-granular
+// access. A Bitstream is pure data; behaviour comes from decoding it in
+// sim/FabricSim. The SEU injector flips bits here and pushes frames through
+// the device's configuration port, exactly as the paper's tool flow does.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "fabric/config_space.h"
+#include "fabric/routing_model.h"
+
+namespace vscrub {
+
+class Bitstream {
+ public:
+  explicit Bitstream(std::shared_ptr<const ConfigSpace> space);
+
+  const ConfigSpace& space() const { return *space_; }
+  std::shared_ptr<const ConfigSpace> space_ptr() const { return space_; }
+
+  u32 frame_count() const { return static_cast<u32>(frames_.size()); }
+  const BitVector& frame(u32 global_frame) const { return frames_[global_frame]; }
+  BitVector& frame(u32 global_frame) { return frames_[global_frame]; }
+  const BitVector& frame(const FrameAddress& fa) const {
+    return frames_[space_->global_frame_index(fa)];
+  }
+  BitVector& frame(const FrameAddress& fa) {
+    return frames_[space_->global_frame_index(fa)];
+  }
+
+  bool get_bit(const BitAddress& addr) const {
+    return frame(addr.frame).get(addr.offset);
+  }
+  void set_bit(const BitAddress& addr, bool v) { frame(addr.frame).set(addr.offset, v); }
+  void flip_bit(const BitAddress& addr) { frame(addr.frame).flip(addr.offset); }
+
+  // ---- Typed tile-field access (used by bitgen and tests) -------------------
+  u64 read_tile_field(TileCoord t, FieldKind kind, u8 unit, unsigned nbits) const;
+  void write_tile_field(TileCoord t, FieldKind kind, u8 unit, unsigned nbits, u64 value);
+
+  u16 lut_truth(TileCoord t, int lut) const {
+    return static_cast<u16>(read_tile_field(t, FieldKind::kLutTruth,
+                                            static_cast<u8>(lut), kLutTruthBits));
+  }
+  void set_lut_truth(TileCoord t, int lut, u16 truth) {
+    write_tile_field(t, FieldKind::kLutTruth, static_cast<u8>(lut),
+                     kLutTruthBits, truth);
+  }
+  LutMode lut_mode(TileCoord t, int lut) const {
+    const u64 code = read_tile_field(t, FieldKind::kLutMode, static_cast<u8>(lut), 2);
+    return code == 3 ? LutMode::kLut : static_cast<LutMode>(code);
+  }
+  void set_lut_mode(TileCoord t, int lut, LutMode mode) {
+    write_tile_field(t, FieldKind::kLutMode, static_cast<u8>(lut), 2,
+                     static_cast<u64>(mode));
+  }
+  bool ff_init(TileCoord t, int ff) const {
+    return read_tile_field(t, FieldKind::kFfInit, static_cast<u8>(ff), 1) != 0;
+  }
+  void set_ff_init(TileCoord t, int ff, bool v) {
+    write_tile_field(t, FieldKind::kFfInit, static_cast<u8>(ff), 1, v);
+  }
+  bool ff_used(TileCoord t, int ff) const {
+    return read_tile_field(t, FieldKind::kFfUsed, static_cast<u8>(ff), 1) != 0;
+  }
+  void set_ff_used(TileCoord t, int ff, bool v) {
+    write_tile_field(t, FieldKind::kFfUsed, static_cast<u8>(ff), 1, v);
+  }
+  bool ff_dsrc_bypass(TileCoord t, int ff) const {
+    return read_tile_field(t, FieldKind::kFfDSrc, static_cast<u8>(ff), 1) != 0;
+  }
+  void set_ff_dsrc_bypass(TileCoord t, int ff, bool v) {
+    write_tile_field(t, FieldKind::kFfDSrc, static_cast<u8>(ff), 1, v);
+  }
+  bool slice_clk_en(TileCoord t, int slice) const {
+    return read_tile_field(t, FieldKind::kSliceClkEn, static_cast<u8>(slice), 1) != 0;
+  }
+  void set_slice_clk_en(TileCoord t, int slice, bool v) {
+    write_tile_field(t, FieldKind::kSliceClkEn, static_cast<u8>(slice), 1, v);
+  }
+  u8 imux_code(TileCoord t, int pin) const {
+    return static_cast<u8>(read_tile_field(t, FieldKind::kImux,
+                                           static_cast<u8>(pin), kImuxBits));
+  }
+  void set_imux_code(TileCoord t, int pin, u8 code) {
+    write_tile_field(t, FieldKind::kImux, static_cast<u8>(pin), kImuxBits, code);
+  }
+  u8 omux_code(TileCoord t, Dir dir, int windex) const {
+    const u8 wire = static_cast<u8>(static_cast<int>(dir) * kWiresPerDir + windex);
+    return static_cast<u8>(read_tile_field(t, FieldKind::kOmux, wire, kOmuxBits));
+  }
+  void set_omux_code(TileCoord t, Dir dir, int windex, u8 code) {
+    const u8 wire = static_cast<u8>(static_cast<int>(dir) * kWiresPerDir + windex);
+    write_tile_field(t, FieldKind::kOmux, wire, kOmuxBits, code);
+  }
+
+  // ---- BRAM ------------------------------------------------------------------
+  bool bram_content_bit(u16 bram_col, u16 block, u16 bit) const;
+  void set_bram_content_bit(u16 bram_col, u16 block, u16 bit, bool v);
+  u8 bram_config(u16 bram_col, u16 block) const;
+  void set_bram_config(u16 bram_col, u16 block, u8 cfg);
+
+  /// Frames differing from `other` (global frame indices).
+  std::vector<u32> differing_frames(const Bitstream& other) const;
+
+  bool operator==(const Bitstream& other) const { return frames_ == other.frames_; }
+
+ private:
+  BitAddress bram_content_address(u16 bram_col, u16 block, u16 bit) const;
+
+  std::shared_ptr<const ConfigSpace> space_;
+  std::vector<BitVector> frames_;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,29 @@
+#include "bitstream/codebook.h"
+
+#include <algorithm>
+
+namespace vscrub {
+
+CrcCodebook::CrcCodebook(const Bitstream& golden)
+    : crcs_(golden.frame_count()), masked_(golden.frame_count(), false) {
+  for (u32 gf = 0; gf < golden.frame_count(); ++gf) {
+    crcs_[gf] = compute(golden.frame(gf));
+  }
+}
+
+u16 CrcCodebook::compute(const BitVector& frame_data) {
+  const std::vector<u8> bytes = frame_data.to_bytes();
+  return crc16_ccitt(bytes);
+}
+
+std::size_t CrcCodebook::masked_count() const {
+  return static_cast<std::size_t>(
+      std::count(masked_.begin(), masked_.end(), true));
+}
+
+bool CrcCodebook::check(u32 global_frame, const BitVector& readback_data) const {
+  if (masked_[global_frame]) return true;
+  return compute(readback_data) == crcs_[global_frame];
+}
+
+}  // namespace vscrub

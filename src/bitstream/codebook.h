@@ -1,0 +1,39 @@
+// CRC codebook: the table of per-frame CRCs the Actel fault manager keeps in
+// local SRAM (paper §II-A: "The calculated CRC is then compared with a
+// codebook of stored CRCs"). Frames holding dynamic LUT/BRAM state can be
+// masked out of checking (paper §IV-A).
+#pragma once
+
+#include <vector>
+
+#include "bitstream/bitstream.h"
+#include "common/crc.h"
+
+namespace vscrub {
+
+class CrcCodebook {
+ public:
+  CrcCodebook() = default;
+
+  /// Builds the codebook from a golden bitstream.
+  explicit CrcCodebook(const Bitstream& golden);
+
+  std::size_t frame_count() const { return crcs_.size(); }
+  u16 frame_crc(u32 global_frame) const { return crcs_[global_frame]; }
+
+  /// Marks a frame as excluded from checking (dynamic state lives there).
+  void mask_frame(u32 global_frame) { masked_[global_frame] = true; }
+  bool is_masked(u32 global_frame) const { return masked_[global_frame]; }
+  std::size_t masked_count() const;
+
+  /// Checks readback data for one frame; masked frames always pass.
+  bool check(u32 global_frame, const BitVector& readback_data) const;
+
+  static u16 compute(const BitVector& frame_data);
+
+ private:
+  std::vector<u16> crcs_;
+  std::vector<bool> masked_;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,31 @@
+// Configuration-image files: the on-disk form of what the payload's FLASH
+// module stores ("more than twenty configuration bit streams", §II). The
+// format embeds the device geometry and a CRC-32 trailer so a corrupted
+// image is rejected at load time.
+#pragma once
+
+#include <string>
+
+#include "bitstream/bitstream.h"
+
+namespace vscrub {
+
+/// Writes `image` to `path` (format: magic "VSCB1", geometry header,
+/// frame payload, CRC-32 trailer). Throws Error on I/O failure.
+void save_bitstream(const Bitstream& image, const std::string& path);
+
+struct LoadedImage {
+  DeviceGeometry geometry;
+  Bitstream bits;
+};
+
+/// Loads an image, reconstructing its ConfigSpace from the embedded
+/// geometry. Throws Error on I/O failure, bad magic, or CRC mismatch.
+LoadedImage load_bitstream(const std::string& path);
+
+/// Loads an image that must match an existing ConfigSpace (e.g. to
+/// partially reconfigure a live device). Throws on geometry mismatch.
+Bitstream load_bitstream(std::shared_ptr<const ConfigSpace> space,
+                         const std::string& path);
+
+}  // namespace vscrub

@@ -1,0 +1,13 @@
+#include "bitstream/selectmap.h"
+
+namespace vscrub {
+
+SimTime SelectMapPort::full_readback_cost() const {
+  SimTime total;
+  for (u32 gf = 0; gf < space_->frame_count(); ++gf) {
+    total += frame_cost(space_->frame_of_global(gf));
+  }
+  return total;
+}
+
+}  // namespace vscrub

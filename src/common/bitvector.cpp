@@ -1,0 +1,121 @@
+#include "common/bitvector.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace vscrub {
+
+BitVector::BitVector(std::size_t nbits, bool fill_value)
+    : nbits_(nbits), words_((nbits + 63) / 64, fill_value ? ~u64{0} : u64{0}) {
+  mask_tail();
+}
+
+void BitVector::mask_tail() {
+  const unsigned rem = nbits_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (u64{1} << rem) - 1;
+  }
+}
+
+u64 BitVector::word_at(std::size_t i, unsigned nbits) const {
+  VSCRUB_CHECK(nbits <= 64 && i + nbits <= nbits_, "word_at out of range");
+  if (nbits == 0) return 0;
+  const std::size_t w = i >> 6;
+  const unsigned off = static_cast<unsigned>(i & 63);
+  u64 value = words_[w] >> off;
+  if (off + nbits > 64) {
+    value |= words_[w + 1] << (64 - off);
+  }
+  if (nbits < 64) {
+    value &= (u64{1} << nbits) - 1;
+  }
+  return value;
+}
+
+void BitVector::set_word_at(std::size_t i, unsigned nbits, u64 value) {
+  VSCRUB_CHECK(nbits <= 64 && i + nbits <= nbits_, "set_word_at out of range");
+  if (nbits == 0) return;
+  if (nbits < 64) {
+    value &= (u64{1} << nbits) - 1;
+  }
+  const std::size_t w = i >> 6;
+  const unsigned off = static_cast<unsigned>(i & 63);
+  const u64 lo_mask = (nbits < 64 ? ((u64{1} << nbits) - 1) : ~u64{0}) << off;
+  words_[w] = (words_[w] & ~lo_mask) | (value << off);
+  if (off + nbits > 64) {
+    const unsigned hi_bits = static_cast<unsigned>(off + nbits - 64);
+    const u64 hi_mask = (u64{1} << hi_bits) - 1;
+    words_[w + 1] = (words_[w + 1] & ~hi_mask) | (value >> (64 - off));
+  }
+}
+
+void BitVector::fill(bool v) {
+  std::fill(words_.begin(), words_.end(), v ? ~u64{0} : u64{0});
+  mask_tail();
+}
+
+void BitVector::resize(std::size_t nbits, bool fill_value) {
+  const std::size_t old_bits = nbits_;
+  nbits_ = nbits;
+  words_.resize((nbits + 63) / 64, fill_value ? ~u64{0} : u64{0});
+  if (fill_value && nbits > old_bits) {
+    // Set any bits in the previously-partial tail word.
+    for (std::size_t i = old_bits; i < std::min(nbits, (old_bits + 63) & ~std::size_t{63}); ++i) {
+      set(i, true);
+    }
+  }
+  mask_tail();
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t n = 0;
+  for (u64 w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitVector::first_difference(const BitVector& other) const {
+  VSCRUB_CHECK(nbits_ == other.nbits_, "size mismatch in first_difference");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const u64 diff = words_[w] ^ other.words_[w];
+    if (diff != 0) {
+      return (w << 6) + static_cast<std::size_t>(std::countr_zero(diff));
+    }
+  }
+  return nbits_;
+}
+
+std::size_t BitVector::hamming_distance(const BitVector& other) const {
+  VSCRUB_CHECK(nbits_ == other.nbits_, "size mismatch in hamming_distance");
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    n += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
+  }
+  return n;
+}
+
+std::vector<u8> BitVector::to_bytes() const {
+  std::vector<u8> bytes((nbits_ + 7) / 8, 0);
+  for (std::size_t b = 0; b < bytes.size(); ++b) {
+    const std::size_t bit = b * 8;
+    const unsigned n = static_cast<unsigned>(std::min<std::size_t>(8, nbits_ - bit));
+    bytes[b] = static_cast<u8>(word_at(bit, n));
+  }
+  return bytes;
+}
+
+BitVector BitVector::from_bytes(const std::vector<u8>& bytes, std::size_t nbits) {
+  VSCRUB_CHECK(bytes.size() >= (nbits + 7) / 8, "byte buffer too small");
+  BitVector bv(nbits);
+  for (std::size_t b = 0; b * 8 < nbits; ++b) {
+    const std::size_t bit = b * 8;
+    const unsigned n = static_cast<unsigned>(std::min<std::size_t>(8, nbits - bit));
+    bv.set_word_at(bit, n, bytes[b]);
+  }
+  return bv;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return nbits_ == other.nbits_ && words_ == other.words_;
+}
+
+}  // namespace vscrub

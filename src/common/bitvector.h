@@ -1,0 +1,68 @@
+// Dense dynamic bit vector used for configuration frames and bitstreams.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+/// A packed vector of bits with word-level access, the backing store for
+/// configuration frames and whole-device bitstreams. Unlike
+/// std::vector<bool> it exposes its words (for CRC/ECC and fast diffing) and
+/// guarantees bit order: bit i lives in word i/64 at position i%64.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t nbits, bool fill = false);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i, bool v) {
+    const u64 mask = u64{1} << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+  void flip(std::size_t i) { words_[i >> 6] ^= u64{1} << (i & 63); }
+
+  /// Reads up to 64 bits starting at bit offset `i` (LSB-first).
+  u64 word_at(std::size_t i, unsigned nbits) const;
+  /// Writes the low `nbits` of `value` starting at bit offset `i`.
+  void set_word_at(std::size_t i, unsigned nbits, u64 value);
+
+  void fill(bool v);
+  void resize(std::size_t nbits, bool fill = false);
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+  /// Index of first difference with `other`, or size() if equal.
+  std::size_t first_difference(const BitVector& other) const;
+  /// Total differing bits vs `other` (sizes must match).
+  std::size_t hamming_distance(const BitVector& other) const;
+
+  const std::vector<u64>& words() const { return words_; }
+  std::vector<u64>& words() { return words_; }
+
+  /// Serializes to bytes, LSB-first within each byte; the trailing partial
+  /// byte (if any) is zero-padded. This is the wire format used by the
+  /// SelectMAP port model and the CRC codebook.
+  std::vector<u8> to_bytes() const;
+  static BitVector from_bytes(const std::vector<u8>& bytes, std::size_t nbits);
+
+  bool operator==(const BitVector& other) const;
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<u64> words_;
+  void mask_tail();
+};
+
+}  // namespace vscrub

@@ -1,0 +1,55 @@
+#include "common/crc.h"
+
+#include <array>
+
+namespace vscrub {
+namespace {
+
+std::array<u32, 256> make_crc32_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<u32, 256>& crc32_table() {
+  static const std::array<u32, 256> table = make_crc32_table();
+  return table;
+}
+
+}  // namespace
+
+u16 crc16_ccitt(std::span<const u8> data) {
+  u16 crc = 0xFFFF;
+  for (u8 byte : data) {
+    crc ^= static_cast<u16>(byte << 8);
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x8000) ? static_cast<u16>((crc << 1) ^ 0x1021)
+                           : static_cast<u16>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+u32 crc32_init() { return 0xFFFFFFFFu; }
+
+u32 crc32_update(u32 state, std::span<const u8> data) {
+  const auto& table = crc32_table();
+  for (u8 byte : data) {
+    state = table[(state ^ byte) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+u32 crc32_final(u32 state) { return state ^ 0xFFFFFFFFu; }
+
+u32 crc32(std::span<const u8> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace vscrub

@@ -1,0 +1,27 @@
+// CRC primitives for the frame codebook (paper: the Actel controller
+// calculates a CRC per configuration frame and compares with a codebook of
+// stored CRCs).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — compact enough for a
+/// per-frame codebook held in the controller's local SRAM.
+u16 crc16_ccitt(std::span<const u8> data);
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — used for whole-bitstream
+/// integrity of images stored in flash.
+u32 crc32(std::span<const u8> data);
+
+/// Incremental CRC-32 (pass the previous return value as `state`, start with
+/// crc32_init(), finish with crc32_final()).
+u32 crc32_init();
+u32 crc32_update(u32 state, std::span<const u8> data);
+u32 crc32_final(u32 state);
+
+}  // namespace vscrub

@@ -1,0 +1,124 @@
+#include "common/ecc.h"
+
+#include <array>
+
+namespace vscrub {
+namespace {
+
+// Extended Hamming code over 72 bit positions 1..72 (position 0 unused).
+// Positions that are powers of two hold parity bits p1..p64... we only need
+// 7 parity bits to cover 71 positions; position 72 holds the overall parity.
+// Layout: codeword[1..72]; data bits fill the non-power-of-two positions
+// 3,5,6,7,9,... in increasing order.
+
+constexpr int kCodeBits = 72;
+
+bool is_pow2(int x) { return (x & (x - 1)) == 0; }
+
+// Maps data bit index 0..63 -> codeword position.
+int data_position(int i) {
+  static const auto table = [] {
+    std::array<int, 64> t{};
+    int idx = 0;
+    for (int pos = 1; pos <= kCodeBits - 1 && idx < 64; ++pos) {
+      if (!is_pow2(pos)) t[static_cast<std::size_t>(idx++)] = pos;
+    }
+    return t;
+  }();
+  return table[static_cast<std::size_t>(i)];
+}
+
+}  // namespace
+
+EccWord ecc_encode(u64 data) {
+  bool code[kCodeBits + 1] = {};
+  for (int i = 0; i < 64; ++i) {
+    code[data_position(i)] = (data >> i) & 1;
+  }
+  // Hamming parity bits at power-of-two positions (1,2,4,...,64).
+  for (int p = 1; p <= 64; p <<= 1) {
+    bool parity = false;
+    for (int pos = 1; pos <= kCodeBits - 1; ++pos) {
+      if ((pos & p) != 0 && pos != p) parity ^= code[pos];
+    }
+    code[p] = parity;
+  }
+  // Overall parity covers positions 1..71 and lives at position 72.
+  bool overall = false;
+  for (int pos = 1; pos <= kCodeBits - 1; ++pos) overall ^= code[pos];
+  code[kCodeBits] = overall;
+
+  EccWord w;
+  w.data = data;
+  u8 check = 0;
+  int bit = 0;
+  for (int p = 1; p <= 64; p <<= 1) {
+    check |= static_cast<u8>(code[p] ? (1u << bit) : 0u);
+    ++bit;
+  }
+  check |= static_cast<u8>(code[kCodeBits] ? (1u << bit) : 0u);
+  w.check = check;
+  return w;
+}
+
+EccDecodeResult ecc_decode(const EccWord& word) {
+  bool code[kCodeBits + 1] = {};
+  for (int i = 0; i < 64; ++i) {
+    code[data_position(i)] = (word.data >> i) & 1;
+  }
+  int bit = 0;
+  for (int p = 1; p <= 64; p <<= 1) {
+    code[p] = (word.check >> bit) & 1;
+    ++bit;
+  }
+  code[kCodeBits] = (word.check >> bit) & 1;
+
+  // Syndrome: XOR of positions with wrong parity.
+  int syndrome = 0;
+  for (int p = 1; p <= 64; p <<= 1) {
+    bool parity = false;
+    for (int pos = 1; pos <= kCodeBits - 1; ++pos) {
+      if ((pos & p) != 0) parity ^= code[pos];
+    }
+    if (parity) syndrome |= p;
+  }
+  bool overall = false;
+  for (int pos = 1; pos <= kCodeBits; ++pos) overall ^= code[pos];
+
+  EccDecodeResult result;
+  result.data = word.data;
+  if (syndrome == 0 && !overall) {
+    result.status = EccStatus::kClean;
+    return result;
+  }
+  if (syndrome != 0 && overall) {
+    // Single-bit error at `syndrome` (or at the overall-parity bit itself if
+    // syndrome points past the data region).
+    if (syndrome <= kCodeBits - 1) {
+      code[syndrome] = !code[syndrome];
+      if (is_pow2(syndrome)) {
+        result.status = EccStatus::kCorrectedCheck;
+      } else {
+        result.status = EccStatus::kCorrectedData;
+        u64 data = 0;
+        for (int i = 0; i < 64; ++i) {
+          if (code[data_position(i)]) data |= u64{1} << i;
+        }
+        result.data = data;
+      }
+    } else {
+      result.status = EccStatus::kUncorrectable;
+    }
+    return result;
+  }
+  if (syndrome == 0 && overall) {
+    // Error in the overall parity bit only; data is intact.
+    result.status = EccStatus::kCorrectedCheck;
+    return result;
+  }
+  // syndrome != 0 && !overall: double error.
+  result.status = EccStatus::kUncorrectable;
+  return result;
+}
+
+}  // namespace vscrub

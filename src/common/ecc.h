@@ -1,0 +1,34 @@
+// Hamming(72,64) SECDED codec. The paper's flash memory module uses error
+// control coding "to mitigate SEUs that might occur while the memory is
+// being accessed"; we protect each 64-bit flash word with 8 check bits
+// (single-error correct, double-error detect).
+#pragma once
+
+#include "common/types.h"
+
+namespace vscrub {
+
+struct EccWord {
+  u64 data = 0;
+  u8 check = 0;  ///< 7 Hamming parity bits + 1 overall parity bit.
+};
+
+enum class EccStatus : u8 {
+  kClean,             ///< No error detected.
+  kCorrectedData,     ///< Single-bit error in the data, corrected.
+  kCorrectedCheck,    ///< Single-bit error in the check bits, corrected.
+  kUncorrectable,     ///< Double-bit (or worse) error detected.
+};
+
+struct EccDecodeResult {
+  u64 data = 0;
+  EccStatus status = EccStatus::kClean;
+};
+
+/// Encodes 64 data bits into an EccWord.
+EccWord ecc_encode(u64 data);
+
+/// Decodes (and corrects if possible) a possibly-corrupted word.
+EccDecodeResult ecc_decode(const EccWord& word);
+
+}  // namespace vscrub

@@ -1,0 +1,38 @@
+// Tiny leveled logger. Mission simulations emit a lot of events; tests keep
+// the level at kWarn to stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+enum class LogLevel : u8 { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string format_parts(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+#define VSCRUB_LOG(level, ...)                                              \
+  do {                                                                      \
+    if (static_cast<int>(level) >= static_cast<int>(::vscrub::log_level())) \
+      ::vscrub::log_message(level, ::vscrub::detail::format_parts(__VA_ARGS__)); \
+  } while (false)
+
+#define VSCRUB_DEBUG(...) VSCRUB_LOG(::vscrub::LogLevel::kDebug, __VA_ARGS__)
+#define VSCRUB_INFO(...) VSCRUB_LOG(::vscrub::LogLevel::kInfo, __VA_ARGS__)
+#define VSCRUB_WARN(...) VSCRUB_LOG(::vscrub::LogLevel::kWarn, __VA_ARGS__)
+#define VSCRUB_ERROR(...) VSCRUB_LOG(::vscrub::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace vscrub

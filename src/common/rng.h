@@ -1,0 +1,111 @@
+// Deterministic, splittable PRNG plus the sampling distributions used by the
+// radiation models and injection campaigns. Header-only for inlining in the
+// simulator's hot loops.
+#pragma once
+
+#include <cmath>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+/// xoshiro256** 1.0 — fast, high-quality, and (unlike std::mt19937) cheap to
+/// copy per worker thread. Deterministic across platforms, which the
+/// regression tests rely on.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    u64 x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  u64 uniform(u64 n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    u64 x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    u64 l = static_cast<u64>(m);
+    if (l < n) {
+      const u64 t = (0 - n) % n;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponential with given rate (events per unit); used for Poisson arrival
+  /// inter-event times in the orbit and beam models.
+  double exponential(double rate) {
+    double u;
+    do {
+      u = uniform01();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson sample; inversion for small mean, normal approximation with
+  /// rejection-free rounding for large mean (adequate for event counting).
+  u64 poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+      const double l = std::exp(-mean);
+      u64 k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform01();
+      } while (p > l);
+      return k - 1;
+    }
+    const double g = gaussian() * std::sqrt(mean) + mean;
+    return g < 0.0 ? 0 : static_cast<u64>(g + 0.5);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple and stateless).
+  double gaussian() {
+    double u1;
+    do {
+      u1 = uniform01();
+    } while (u1 <= 0.0);
+    const double u2 = uniform01();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Derives an independent stream, for per-thread campaign workers.
+  Rng split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4]{};
+};
+
+}  // namespace vscrub

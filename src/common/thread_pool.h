@@ -1,0 +1,50 @@
+// Minimal work-stealing-free thread pool for injection campaigns. Campaigns
+// shard the configuration-bit space statically; the pool just runs the
+// shards. Falls back to inline execution when hardware_concurrency() == 1.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware concurrency.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw; wrap your own error channel.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Each worker processes a contiguous shard for cache friendliness.
+  void parallel_for(u64 n, const std::function<void(u64 begin, u64 end)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  u64 in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,81 @@
+// Fundamental scalar types and the simulation time model shared by every
+// vscrub module.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace vscrub {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Error type thrown by all vscrub modules for contract violations and
+/// unrecoverable conditions. Recoverable conditions (e.g. router congestion)
+/// are reported through status returns instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+#define VSCRUB_CHECK(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      throw ::vscrub::Error(std::string("vscrub check failed: ") +   \
+                            (msg) + " [" #cond "]");                 \
+    }                                                                \
+  } while (false)
+
+/// Simulated wall-clock time, used by the SelectMAP port model, the scrub
+/// controller, and the mission simulator. Picosecond resolution lets us
+/// represent both a single configuration-clock byte (tens of ns) and a
+/// multi-day mission without loss.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime picoseconds(i64 ps) { return SimTime(ps); }
+  static constexpr SimTime nanoseconds(double ns) {
+    return SimTime(static_cast<i64>(ns * 1e3));
+  }
+  static constexpr SimTime microseconds(double us) {
+    return SimTime(static_cast<i64>(us * 1e6));
+  }
+  static constexpr SimTime milliseconds(double ms) {
+    return SimTime(static_cast<i64>(ms * 1e9));
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<i64>(s * 1e12));
+  }
+  static constexpr SimTime hours(double h) { return seconds(h * 3600.0); }
+
+  constexpr i64 ps() const { return ps_; }
+  constexpr double ns() const { return static_cast<double>(ps_) * 1e-3; }
+  constexpr double us() const { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double ms() const { return static_cast<double>(ps_) * 1e-9; }
+  constexpr double sec() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ps_ + o.ps_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ps_ - o.ps_); }
+  constexpr SimTime operator*(i64 n) const { return SimTime(ps_ * n); }
+  constexpr SimTime operator*(double f) const {
+    return SimTime(static_cast<i64>(static_cast<double>(ps_) * f));
+  }
+  SimTime& operator+=(SimTime o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  constexpr explicit SimTime(i64 ps) : ps_(ps) {}
+  i64 ps_ = 0;
+};
+
+}  // namespace vscrub

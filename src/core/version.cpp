@@ -1,0 +1,7 @@
+#include "core/vscrub.h"
+
+namespace vscrub {
+
+const char* version() { return "1.0.0"; }
+
+}  // namespace vscrub

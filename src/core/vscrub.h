@@ -1,0 +1,81 @@
+// Umbrella header and top-level convenience API.
+//
+// A downstream user's flow:
+//
+//   #include "core/vscrub.h"
+//   using namespace vscrub;
+//
+//   Workbench bench(device_xcv100ish());
+//   PlacedDesign design = bench.compile(designs::lfsr_cluster(4));
+//   CampaignResult camp = bench.campaign(design, {.sample_bits = 50'000});
+//   // camp.sensitivity(), camp.persistence_ratio(), ...
+//
+// The individual module headers remain the richer API; Workbench wires the
+// common paths together.
+#pragma once
+
+#include "bist/bist.h"
+#include "bitstream/codebook.h"
+#include "bitstream/image_io.h"
+#include "bitstream/selectmap.h"
+#include "designs/test_designs.h"
+#include "halflatch/raddrc.h"
+#include "netlist/builder.h"
+#include "netlist/drc.h"
+#include "netlist/legalize.h"
+#include "netlist/refsim.h"
+#include "netlist/tmr.h"
+#include "netlist/verilog.h"
+#include "pnr/pnr.h"
+#include "radiation/beam.h"
+#include "radiation/environment.h"
+#include "radiation/heavy_ion.h"
+#include "scrub/scrubber.h"
+#include "seu/campaign.h"
+#include "seu/report.h"
+#include "sim/harness.h"
+#include "system/ground_link.h"
+#include "system/payload.h"
+
+namespace vscrub {
+
+/// Library version.
+const char* version();
+
+class Workbench {
+ public:
+  explicit Workbench(DeviceGeometry geom)
+      : space_(std::make_shared<const ConfigSpace>(std::move(geom))) {}
+
+  const std::shared_ptr<const ConfigSpace>& space() const { return space_; }
+  const DeviceGeometry& geometry() const { return space_->geometry(); }
+
+  /// Compile a netlist onto this workbench's device.
+  PlacedDesign compile(Netlist netlist, const PnrOptions& options = {}) const {
+    return ::vscrub::compile(
+        std::make_shared<const Netlist>(std::move(netlist)), space_, options);
+  }
+
+  /// Run an SEU injection campaign.
+  CampaignResult campaign(const PlacedDesign& design,
+                          const CampaignOptions& options = {}) const {
+    return run_campaign(design, options);
+  }
+
+  /// The sensitivity map as a linear-bit-index set, the form the beam
+  /// validation and mission simulator consume.
+  static std::unordered_set<u64> sensitive_set(const PlacedDesign& design,
+                                               const CampaignResult& result) {
+    std::unordered_set<u64> set;
+    set.reserve(result.sensitive_bits.size());
+    for (const auto& sb : result.sensitive_bits) {
+      set.insert(design.space->linear_of(sb.addr));
+    }
+    return set;
+  }
+
+ private:
+  std::shared_ptr<const ConfigSpace> space_;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,74 @@
+// The paper's test-design library (§III-A, Figs. 9 & 10, Tables I & II).
+//
+// Design families:
+//  * lfsr_cluster  — "LFSR N": clusters of six 20-bit LFSRs whose outputs are
+//    XOR'ed into one output bit (Fig. 10); N clusters = N output bits.
+//    Local-feedback, register-dominated: low normalized sensitivity, very
+//    high persistence.
+//  * mult_tree     — "MULT k": pipelined multiply-add tree (Fig. 9): the two
+//    k-bit operands are split into half-width words, the four cross products
+//    are computed in pipelined array multipliers and summed in an adder
+//    tree. Feed-forward, routing-heavy: high normalized sensitivity, ~zero
+//    persistence.
+//  * vmult         — "VMULT N": vector (dot-product) multiplier: four lanes
+//    of (N/2)x(N/2) multipliers feeding an adder tree.
+//  * counter_adder — "Counter/Adder": free-running counter summed with an
+//    input operand; small, with state feedback (moderate persistence).
+//  * multiply_add  — "Multiply-Add": purely feed-forward multiplier + adder
+//    (the design the paper found to have 0% persistence).
+//  * lfsr_multiplier — LFSR-generated operands feeding a multiplier.
+//  * fir_preproc   — "Filter Preproc.": FIR filter front-end with SRL16
+//    delay lines (exercises the LUT-RAM readback hazards).
+//  * bram_selftest — BRAM address-in-data checker (§II-B BRAM BIST pattern).
+//
+// All builders produce pure netlists; sizes are parameters so campaigns can
+// match the paper's device-utilization points on any device preset.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace vscrub::designs {
+
+/// "LFSR N" (Fig. 10). One cluster = `lfsrs_per_cluster` LFSRs of
+/// `lfsr_width` bits, XOR-reduced to one output bit.
+Netlist lfsr_cluster(int clusters, int lfsr_width = 20, int lfsrs_per_cluster = 6);
+
+/// "MULT k" (Fig. 9). Operands of `operand_width` bits; pipeline register
+/// rank every `pipeline_rows` partial-product rows.
+Netlist mult_tree(int operand_width, int pipeline_rows = 4);
+
+/// "VMULT N": four-lane dot product of (N/2)-bit elements.
+Netlist vmult(int width, int pipeline_rows = 2);
+
+/// Counter/Adder: `width`-bit free-running counter added to a `width`-bit
+/// input; registered output.
+Netlist counter_adder(int width);
+
+/// Feed-forward multiply-add: out = a*b + c, fully pipelined, no feedback.
+Netlist multiply_add(int operand_width, int pipeline_rows = 2);
+
+/// LFSR-driven multiplier: two on-chip LFSRs generate operands for a
+/// pipelined multiplier.
+Netlist lfsr_multiplier(int operand_width, int pipeline_rows = 4);
+
+/// FIR preprocessor: `taps` coefficient taps over an `width`-bit input with
+/// SRL16 delay lines and a multiply-accumulate tree.
+Netlist fir_preproc(int taps, int width = 8);
+
+/// BRAM self-test pattern: each location holds its own address in both
+/// bytes; comparison logic reads locations sequentially and raises an error
+/// flag on mismatch (paper §II-B).
+Netlist bram_selftest(int blocks = 1);
+
+/// Self-checking DSP datapath — the paper's §IV-A alternative to readback,
+/// "taken by Ray Andraka when designing the 4096-point FFT used in our
+/// space application": the design carries its own concurrent built-in
+/// self-test. An LFSR generates stimulus for a butterfly-style datapath
+/// ((a+b)*(a-b)); outputs fold into a MISR signature register that is
+/// compared against the expected signature (a build-time constant obtained
+/// by reference simulation) every 2^period_log2 cycles. A configuration
+/// upset anywhere in the path raises the sticky `err` output — no readback
+/// needed; the system responds with a full reconfiguration.
+Netlist selfcheck_dsp(int width = 8, int period_log2 = 5);
+
+}  // namespace vscrub::designs

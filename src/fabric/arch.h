@@ -1,0 +1,109 @@
+// Architectural constants of the Virtex-class fabric model.
+//
+// The model follows the structure the paper depends on:
+//  * CLBs with 2 slices, each slice 2 LUT4 + 2 FFs (Virtex slice).
+//  * 96 single-length wires per CLB, 24 per direction, of which 20 per
+//    direction are driven through the CLB output multiplexer (paper §II-B:
+//    "Each CLB has 96 wires, with 24 in each of four directions. Twenty of
+//    the wires are part of an output multiplexer.").
+//  * Configuration organized in frames, 48 per CLB column, with the LUT
+//    truth bits of slice `s` confined to frames s*16 .. s*16+15 (paper §IV-A:
+//    using a LUT as RAM in one slice makes "16 out of the 48 configuration
+//    data frames for that CLB column" unreadable; both slices -> 32/48).
+//  * Unconnected resource inputs read a hidden per-site half-latch
+//    (paper §III-C, Fig. 13) that is initialized only by the full
+//    configuration startup sequence.
+#pragma once
+
+#include "common/types.h"
+
+namespace vscrub {
+
+// ---- CLB internals ---------------------------------------------------------
+inline constexpr int kSlicesPerClb = 2;
+inline constexpr int kLutsPerSlice = 2;
+inline constexpr int kLutsPerClb = kSlicesPerClb * kLutsPerSlice;  // 4
+inline constexpr int kLutInputs = 4;
+inline constexpr int kLutTruthBits = 16;
+inline constexpr int kFfsPerClb = 4;   // one FF paired with each LUT site
+inline constexpr int kClbOutputs = 8;  // per slice: X, Y (comb), XQ, YQ (reg)
+
+// ---- Routing ---------------------------------------------------------------
+enum class Dir : u8 { kNorth = 0, kEast = 1, kSouth = 2, kWest = 3 };
+inline constexpr int kDirs = 4;
+inline constexpr int kWiresPerDir = 24;
+inline constexpr int kWiresPerClb = kDirs * kWiresPerDir;  // 96
+inline constexpr int kOmuxWiresPerDir = 20;  // wires 0..19 accept CLB outputs
+
+constexpr Dir opposite(Dir d) {
+  return static_cast<Dir>((static_cast<int>(d) + 2) & 3);
+}
+
+// ---- Input multiplexers (IMUX pins) ----------------------------------------
+// Per-CLB input pins, each with a 7-bit source code:
+//   0..15  LUT input pins:      pin = lut*4 + input
+//   16..17 clock-enable (CE) per slice
+//   18..19 synchronous-reset (SR) per slice
+//   20..23 FF bypass-D (BX/BY) per FF
+//   24..27 IOPAD observation pins (meaningful on any tile; the test harness
+//          taps them as design outputs, standing in for IOB routing)
+inline constexpr int kImuxPins = 28;
+inline constexpr int kImuxBits = 7;
+
+inline constexpr int kPinLutBase = 0;
+inline constexpr int kPinCeBase = 16;
+inline constexpr int kPinSrBase = 18;
+inline constexpr int kPinBypBase = 20;
+inline constexpr int kPinIopadBase = 24;
+
+constexpr int lut_input_pin(int lut, int input) { return kPinLutBase + lut * kLutInputs + input; }
+constexpr int ce_pin(int slice) { return kPinCeBase + slice; }
+constexpr int sr_pin(int slice) { return kPinSrBase + slice; }
+constexpr int byp_pin(int ff) { return kPinBypBase + ff; }
+constexpr int iopad_pin(int i) { return kPinIopadBase + i; }
+
+/// The value a pin's half-latch holds after the full-configuration startup
+/// sequence (paper Fig. 14(c): "all half-latches in the device are
+/// initialized to the proper state"). CE and LUT inputs idle high (enabled /
+/// logic-1 constant), SR and bypass idle low (reset inactive).
+constexpr bool halflatch_startup_value(int pin) {
+  if (pin >= kPinSrBase && pin < kPinBypBase) return false;  // SR
+  if (pin >= kPinBypBase && pin < kPinIopadBase) return false;  // BYP
+  if (pin >= kPinIopadBase) return false;                       // IOPAD
+  return true;  // LUT inputs and CE
+}
+
+// ---- Output multiplexers (wire source codes) --------------------------------
+inline constexpr int kOmuxBits = 5;
+
+// ---- LUT site modes ---------------------------------------------------------
+enum class LutMode : u8 {
+  kLut = 0,    ///< combinational lookup table / ROM
+  kSrl16 = 1,  ///< 16-bit shift register (dynamic: truth bits shift at runtime)
+  kRam16 = 2,  ///< 16x1 distributed RAM (dynamic: truth bits written at runtime)
+  // code 3 decodes as kLut (alias); arbitrary corrupt bit patterns must
+  // always decode to *some* behaviour.
+};
+
+// ---- Per-tile configuration budget ------------------------------------------
+inline constexpr int kFramesPerClbColumn = 48;
+inline constexpr int kBitsPerTilePerFrame = 16;
+inline constexpr int kTileConfigBits = kFramesPerClbColumn * kBitsPerTilePerFrame;  // 768
+
+// Field widths making up the 762 meaningful tile bits (6 bits/tile padding):
+//   LUT truth   4*16 = 64
+//   LUT mode    4*2  = 8
+//   FF cfg      4*3  = 12  (init, used, d-source)
+//   slice ctrl  2*1  = 2   (clock enable of the slice's FFs)
+//   IMUX        28*7 = 196
+//   OMUX        96*5 = 480
+
+// ---- BRAM -------------------------------------------------------------------
+inline constexpr int kBramBitsPerBlock = 4096;  // 256 x 16
+inline constexpr int kBramWords = 256;
+inline constexpr int kBramWidth = 16;
+inline constexpr int kBramContentFrames = 64;  // 64 bits of each block per frame
+inline constexpr int kBramConfigBitsPerBlock = 8;
+inline constexpr int kBramFramesPerColumn = kBramContentFrames + 1;  // +1 config frame
+
+}  // namespace vscrub

@@ -1,0 +1,256 @@
+#include "fabric/config_space.h"
+
+#include <array>
+
+namespace vscrub {
+namespace {
+
+struct TileLayout {
+  std::array<BitMeaning, kTileConfigBits> meanings;          // by tile bit
+  std::array<ConfigSpace::TilePos, kTileConfigBits> pos;     // by tile bit
+  std::array<std::array<int, kBitsPerTilePerFrame>, kFramesPerClbColumn>
+      bit_at;  // (frame, slot) -> tile bit, or -1
+  // first tile bit of each field instance, for tile_bit_of_field
+  std::array<u16, kLutsPerClb> lut_truth_base;
+  std::array<u16, kLutsPerClb> lut_mode_base;
+  std::array<u16, kFfsPerClb> ff_init_base;
+  std::array<u16, kFfsPerClb> ff_used_base;
+  std::array<u16, kFfsPerClb> ff_dsrc_base;
+  std::array<u16, kSlicesPerClb> slice_clk_base;
+  std::array<u16, kImuxPins> imux_base;
+  std::array<u16, kWiresPerClb> omux_base;
+};
+
+TileLayout make_tile_layout() {
+  TileLayout layout;
+  for (auto& row : layout.bit_at) row.fill(-1);
+  // Every tile bit defaults to padding until assigned.
+  for (auto& m : layout.meanings) m = BitMeaning{FieldKind::kPad, 0, 0};
+
+  u16 next_tile_bit = 0;
+  std::array<std::array<bool, kBitsPerTilePerFrame>, kFramesPerClbColumn>
+      taken{};
+
+  auto place = [&](BitMeaning meaning, ConfigSpace::TilePos p) -> u16 {
+    const u16 tb = next_tile_bit++;
+    layout.meanings[tb] = meaning;
+    layout.pos[tb] = p;
+    layout.bit_at[p.frame][p.slot] = tb;
+    taken[p.frame][p.slot] = true;
+    return tb;
+  };
+
+  // 1. LUT truth bits at their architecturally-constrained positions: bit j
+  //    of the LUTs in slice s lives in frame s*16+j, slots 0 (lut s*2) and
+  //    1 (lut s*2+1).
+  for (int lut = 0; lut < kLutsPerClb; ++lut) {
+    const int slice = lut / kLutsPerSlice;
+    for (int j = 0; j < kLutTruthBits; ++j) {
+      const ConfigSpace::TilePos p{
+          static_cast<u16>(slice * kLutTruthBits + j),
+          static_cast<u16>(lut % kLutsPerSlice)};
+      const u16 tb = place(BitMeaning{FieldKind::kLutTruth,
+                                      static_cast<u8>(lut),
+                                      static_cast<u8>(j)},
+                           p);
+      if (j == 0) layout.lut_truth_base[static_cast<std::size_t>(lut)] = tb;
+    }
+  }
+
+  // 2. All remaining fields fill the free (frame, slot) positions in scan
+  //    order.
+  u16 scan_frame = 0;
+  u16 scan_slot = 0;
+  auto next_free = [&]() -> ConfigSpace::TilePos {
+    while (taken[scan_frame][scan_slot]) {
+      if (++scan_slot == kBitsPerTilePerFrame) {
+        scan_slot = 0;
+        ++scan_frame;
+      }
+    }
+    const ConfigSpace::TilePos p{scan_frame, scan_slot};
+    if (++scan_slot == kBitsPerTilePerFrame) {
+      scan_slot = 0;
+      ++scan_frame;
+    }
+    return p;
+  };
+
+  for (int lut = 0; lut < kLutsPerClb; ++lut) {
+    for (int b = 0; b < 2; ++b) {
+      const u16 tb = place(BitMeaning{FieldKind::kLutMode, static_cast<u8>(lut),
+                                      static_cast<u8>(b)},
+                           next_free());
+      if (b == 0) layout.lut_mode_base[static_cast<std::size_t>(lut)] = tb;
+    }
+  }
+  for (int ff = 0; ff < kFfsPerClb; ++ff) {
+    layout.ff_init_base[static_cast<std::size_t>(ff)] =
+        place(BitMeaning{FieldKind::kFfInit, static_cast<u8>(ff), 0}, next_free());
+    layout.ff_used_base[static_cast<std::size_t>(ff)] =
+        place(BitMeaning{FieldKind::kFfUsed, static_cast<u8>(ff), 0}, next_free());
+    layout.ff_dsrc_base[static_cast<std::size_t>(ff)] =
+        place(BitMeaning{FieldKind::kFfDSrc, static_cast<u8>(ff), 0}, next_free());
+  }
+  for (int s = 0; s < kSlicesPerClb; ++s) {
+    layout.slice_clk_base[static_cast<std::size_t>(s)] =
+        place(BitMeaning{FieldKind::kSliceClkEn, static_cast<u8>(s), 0},
+              next_free());
+  }
+  for (int pin = 0; pin < kImuxPins; ++pin) {
+    for (int b = 0; b < kImuxBits; ++b) {
+      const u16 tb = place(BitMeaning{FieldKind::kImux, static_cast<u8>(pin),
+                                      static_cast<u8>(b)},
+                           next_free());
+      if (b == 0) layout.imux_base[static_cast<std::size_t>(pin)] = tb;
+    }
+  }
+  for (int wire = 0; wire < kWiresPerClb; ++wire) {
+    for (int b = 0; b < kOmuxBits; ++b) {
+      const u16 tb = place(BitMeaning{FieldKind::kOmux, static_cast<u8>(wire),
+                                      static_cast<u8>(b)},
+                           next_free());
+      if (b == 0) layout.omux_base[static_cast<std::size_t>(wire)] = tb;
+    }
+  }
+
+  // 3. Remaining positions are explicit padding bits.
+  while (next_tile_bit < kTileConfigBits) {
+    place(BitMeaning{FieldKind::kPad, 0, 0}, next_free());
+  }
+  return layout;
+}
+
+const TileLayout& tile_layout() {
+  static const TileLayout layout = make_tile_layout();
+  return layout;
+}
+
+}  // namespace
+
+ConfigSpace::ConfigSpace(DeviceGeometry geom) : geom_(std::move(geom)) {
+  (void)tile_layout();  // force table construction up front
+}
+
+const BitMeaning& ConfigSpace::meaning_of_tile_bit(u16 tile_bit) {
+  VSCRUB_CHECK(tile_bit < kTileConfigBits, "tile bit out of range");
+  return tile_layout().meanings[tile_bit];
+}
+
+ConfigSpace::TilePos ConfigSpace::tile_bit_pos(u16 tile_bit) {
+  VSCRUB_CHECK(tile_bit < kTileConfigBits, "tile bit out of range");
+  return tile_layout().pos[tile_bit];
+}
+
+int ConfigSpace::tile_bit_at(u16 frame_in_col, u16 slot) {
+  VSCRUB_CHECK(frame_in_col < kFramesPerClbColumn && slot < kBitsPerTilePerFrame,
+               "tile position out of range");
+  return tile_layout().bit_at[frame_in_col][slot];
+}
+
+u16 ConfigSpace::tile_bit_of_field(FieldKind kind, u8 unit, u8 bit) {
+  const TileLayout& layout = tile_layout();
+  switch (kind) {
+    case FieldKind::kLutTruth: return static_cast<u16>(layout.lut_truth_base[unit] + bit);
+    case FieldKind::kLutMode: return static_cast<u16>(layout.lut_mode_base[unit] + bit);
+    case FieldKind::kFfInit: return layout.ff_init_base[unit];
+    case FieldKind::kFfUsed: return layout.ff_used_base[unit];
+    case FieldKind::kFfDSrc: return layout.ff_dsrc_base[unit];
+    case FieldKind::kSliceClkEn: return layout.slice_clk_base[unit];
+    case FieldKind::kImux: return static_cast<u16>(layout.imux_base[unit] + bit);
+    case FieldKind::kOmux: return static_cast<u16>(layout.omux_base[unit] + bit);
+    case FieldKind::kPad: break;
+  }
+  throw Error("tile_bit_of_field: no address for padding");
+}
+
+BitAddress ConfigSpace::address_of(TileCoord t, u16 tile_bit) const {
+  VSCRUB_CHECK(t.row < geom_.rows && t.col < geom_.cols, "tile out of range");
+  const TilePos p = tile_bit_pos(tile_bit);
+  BitAddress addr;
+  addr.frame = FrameAddress{ColumnKind::kClb, t.col, p.frame};
+  addr.offset = static_cast<u32>(t.row) * kBitsPerTilePerFrame + p.slot;
+  return addr;
+}
+
+ConfigSpace::TileRef ConfigSpace::tile_ref_of(const BitAddress& addr) const {
+  TileRef ref;
+  if (addr.frame.kind != ColumnKind::kClb) return ref;
+  const u32 row = addr.offset / kBitsPerTilePerFrame;
+  const u16 slot = static_cast<u16>(addr.offset % kBitsPerTilePerFrame);
+  if (row >= geom_.rows) return ref;  // frame padding region
+  const int tb = tile_bit_at(addr.frame.frame, slot);
+  if (tb < 0) return ref;
+  ref.valid = true;
+  ref.tile = TileCoord{static_cast<u16>(row), addr.frame.col};
+  ref.tile_bit = static_cast<u16>(tb);
+  return ref;
+}
+
+u32 ConfigSpace::frame_bits(ColumnKind kind) const {
+  return kind == ColumnKind::kClb ? geom_.clb_frame_bits()
+                                  : geom_.bram_frame_bits();
+}
+
+u32 ConfigSpace::global_frame_index(const FrameAddress& fa) const {
+  if (fa.kind == ColumnKind::kClb) {
+    VSCRUB_CHECK(fa.col < geom_.cols && fa.frame < kFramesPerClbColumn,
+                 "CLB frame address out of range");
+    return static_cast<u32>(fa.col) * kFramesPerClbColumn + fa.frame;
+  }
+  VSCRUB_CHECK(fa.col < geom_.bram_columns && fa.frame < kBramFramesPerColumn,
+               "BRAM frame address out of range");
+  return geom_.clb_frame_count() +
+         static_cast<u32>(fa.col) * kBramFramesPerColumn + fa.frame;
+}
+
+FrameAddress ConfigSpace::frame_of_global(u32 global_frame) const {
+  if (global_frame < geom_.clb_frame_count()) {
+    return FrameAddress{ColumnKind::kClb,
+                        static_cast<u16>(global_frame / kFramesPerClbColumn),
+                        static_cast<u16>(global_frame % kFramesPerClbColumn)};
+  }
+  const u32 b = global_frame - geom_.clb_frame_count();
+  VSCRUB_CHECK(b < geom_.bram_frame_count(), "global frame out of range");
+  return FrameAddress{ColumnKind::kBram,
+                      static_cast<u16>(b / kBramFramesPerColumn),
+                      static_cast<u16>(b % kBramFramesPerColumn)};
+}
+
+u64 ConfigSpace::linear_of(const BitAddress& addr) const {
+  VSCRUB_CHECK(addr.offset < frame_bits(addr.frame.kind),
+               "bit offset exceeds frame size");
+  if (addr.frame.kind == ColumnKind::kClb) {
+    return static_cast<u64>(global_frame_index(addr.frame)) *
+               geom_.clb_frame_bits() +
+           addr.offset;
+  }
+  const u64 clb_bits =
+      static_cast<u64>(geom_.clb_frame_count()) * geom_.clb_frame_bits();
+  const u32 bram_frame = global_frame_index(addr.frame) - geom_.clb_frame_count();
+  return clb_bits +
+         static_cast<u64>(bram_frame) * geom_.bram_frame_bits() + addr.offset;
+}
+
+BitAddress ConfigSpace::address_of_linear(u64 linear) const {
+  const u64 clb_bits =
+      static_cast<u64>(geom_.clb_frame_count()) * geom_.clb_frame_bits();
+  BitAddress addr;
+  if (linear < clb_bits) {
+    const u32 gf = static_cast<u32>(linear / geom_.clb_frame_bits());
+    addr.frame = frame_of_global(gf);
+    addr.offset = static_cast<u32>(linear % geom_.clb_frame_bits());
+    return addr;
+  }
+  const u64 rest = linear - clb_bits;
+  VSCRUB_CHECK(geom_.bram_frame_bits() > 0 &&
+                   rest < static_cast<u64>(geom_.bram_frame_count()) *
+                              geom_.bram_frame_bits(),
+               "linear bit index out of range");
+  const u32 bf = static_cast<u32>(rest / geom_.bram_frame_bits());
+  addr.frame = frame_of_global(geom_.clb_frame_count() + bf);
+  addr.offset = static_cast<u32>(rest % geom_.bram_frame_bits());
+  return addr;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,108 @@
+// ConfigSpace: the bidirectional map between configuration-bit *addresses*
+// (column, frame, offset — what the SelectMAP port manipulates) and
+// configuration-bit *meanings* (which LUT truth bit, which routing-mux code
+// bit — what determines fabric behaviour).
+//
+// Everything downstream hangs off this map: bitgen writes fields through it,
+// the simulator decodes frames through it, the SEU injector enumerates it,
+// and the scrubber's frame-masking logic queries which frames hold dynamic
+// LUT state.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+#include "fabric/arch.h"
+#include "fabric/geometry.h"
+
+namespace vscrub {
+
+enum class FieldKind : u8 {
+  kLutTruth,    ///< unit = lut 0..3, bit = truth-table bit 0..15
+  kLutMode,     ///< unit = lut 0..3, bit = 0..1
+  kFfInit,      ///< unit = ff 0..3
+  kFfUsed,      ///< unit = ff 0..3 (1: registered output, 0: site unused)
+  kFfDSrc,      ///< unit = ff 0..3 (0: D from paired LUT, 1: D from bypass pin)
+  kSliceClkEn,  ///< unit = slice 0..1 (gates the slice's FF clock)
+  kImux,        ///< unit = pin 0..27, bit = code bit 0..6
+  kOmux,        ///< unit = dir*24+windex 0..95, bit = code bit 0..4
+  kPad,         ///< unused filler (insensitive by construction)
+};
+
+struct BitMeaning {
+  FieldKind kind = FieldKind::kPad;
+  u8 unit = 0;
+  u8 bit = 0;
+};
+
+enum class ColumnKind : u8 { kClb = 0, kBram = 1 };
+
+/// Frame address, the granularity of readback and partial reconfiguration.
+struct FrameAddress {
+  ColumnKind kind = ColumnKind::kClb;
+  u16 col = 0;    ///< CLB column 0..cols-1, or BRAM column 0..bram_columns-1
+  u16 frame = 0;  ///< frame within the column
+  constexpr auto operator<=>(const FrameAddress&) const = default;
+};
+
+/// A single configuration bit.
+struct BitAddress {
+  FrameAddress frame;
+  u32 offset = 0;  ///< bit offset within the frame
+  constexpr auto operator<=>(const BitAddress&) const = default;
+};
+
+class ConfigSpace {
+ public:
+  explicit ConfigSpace(DeviceGeometry geom);
+
+  const DeviceGeometry& geometry() const { return geom_; }
+
+  // ---- Tile-local layout (geometry-independent) -----------------------------
+  struct TilePos {
+    u16 frame = 0;  ///< frame within the CLB column, 0..47
+    u16 slot = 0;   ///< bit slot within the tile's 16-bit row window, 0..15
+  };
+  /// Meaning of tile-local configuration bit `tile_bit` (0..767).
+  static const BitMeaning& meaning_of_tile_bit(u16 tile_bit);
+  /// Where tile bit `tile_bit` lives within the column's frames.
+  static TilePos tile_bit_pos(u16 tile_bit);
+  /// Inverse: tile bit at (frame-in-column, slot), or -1 for padding.
+  static int tile_bit_at(u16 frame_in_col, u16 slot);
+  /// Tile-local bit index of a field (first bit of multi-bit fields).
+  static u16 tile_bit_of_field(FieldKind kind, u8 unit, u8 bit = 0);
+
+  // ---- Device-level addressing ----------------------------------------------
+  BitAddress address_of(TileCoord t, u16 tile_bit) const;
+
+  struct TileRef {
+    bool valid = false;
+    TileCoord tile;
+    u16 tile_bit = 0;
+  };
+  /// Which tile/bit a CLB-column bit address refers to (invalid for padding
+  /// slots and BRAM columns).
+  TileRef tile_ref_of(const BitAddress& addr) const;
+
+  u32 frame_bits(ColumnKind kind) const;
+  u32 frame_count() const { return geom_.total_frames(); }
+  u32 global_frame_index(const FrameAddress& fa) const;
+  FrameAddress frame_of_global(u32 global_frame) const;
+
+  u64 total_bits() const { return geom_.total_config_bits(); }
+  u64 linear_of(const BitAddress& addr) const;
+  BitAddress address_of_linear(u64 linear) const;
+
+  /// True if the given CLB-column frame carries LUT truth bits of slice `s`
+  /// (frames s*16 .. s*16+15). The scrubber uses this to mask frames covering
+  /// LUT sites used as SRL16/RAM16 (paper §IV-A: 16/48 frames per slice).
+  static bool frame_holds_slice_lut_bits(u16 frame_in_col, int slice) {
+    return frame_in_col >= slice * kLutTruthBits &&
+           frame_in_col < (slice + 1) * kLutTruthBits;
+  }
+
+ private:
+  DeviceGeometry geom_;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,119 @@
+#include "fabric/routing_model.h"
+
+#include <array>
+
+#include "common/types.h"
+
+namespace vscrub {
+namespace {
+
+// Incoming-wire candidate for slot k on out-wire (dir, windex). The rotation
+// pattern mixes directions and indices so multi-hop routes can change lanes,
+// like a real switch matrix.
+WireSource incoming_candidate(Dir dir, int windex, int k) {
+  WireSource src;
+  src.kind = WireSource::Kind::kIncoming;
+  src.from_dir = static_cast<Dir>((static_cast<int>(dir) + 1 + (k & 3)) & 3);
+  src.windex = static_cast<u8>((windex + 1 + (k >> 2)) % kWiresPerDir);
+  return src;
+}
+
+}  // namespace
+
+WireSource decode_omux(Dir dir, int windex, u8 code) {
+  WireSource src;
+  if (code == 0) return src;  // kNone
+  if (windex < kOmuxWiresPerDir) {
+    if (code <= kClbOutputs) {
+      src.kind = WireSource::Kind::kClbOutput;
+      src.output = static_cast<u8>(code - 1);
+      return src;
+    }
+    return incoming_candidate(dir, windex, code - 1 - kClbOutputs);
+  }
+  return incoming_candidate(dir, windex, code - 1);
+}
+
+PinSource decode_imux(u8 code) {
+  PinSource src;
+  if (code == 0 || code >= 105) return src;  // kHalfLatch
+  if (code <= kWiresPerClb) {
+    src.kind = PinSource::Kind::kIncoming;
+    src.from_dir = static_cast<Dir>((code - 1) / kWiresPerDir);
+    src.windex = static_cast<u8>((code - 1) % kWiresPerDir);
+    return src;
+  }
+  src.kind = PinSource::Kind::kClbOutput;
+  src.output = static_cast<u8>(code - 1 - kWiresPerClb);
+  return src;
+}
+
+std::optional<u8> encode_omux(Dir dir, int windex, const WireSource& src) {
+  const int max_code = (1 << kOmuxBits) - 1;
+  for (int code = 0; code <= max_code; ++code) {
+    if (decode_omux(dir, windex, static_cast<u8>(code)) == src) {
+      return static_cast<u8>(code);
+    }
+  }
+  return std::nullopt;
+}
+
+u8 encode_imux(const PinSource& src) {
+  switch (src.kind) {
+    case PinSource::Kind::kHalfLatch:
+      return 0;
+    case PinSource::Kind::kIncoming:
+      return static_cast<u8>(1 + static_cast<int>(src.from_dir) * kWiresPerDir +
+                             src.windex);
+    case PinSource::Kind::kClbOutput:
+      return static_cast<u8>(1 + kWiresPerClb + src.output);
+  }
+  return 0;
+}
+
+namespace {
+
+struct ReverseTables {
+  // [from_dir][windex] -> consumers
+  std::array<std::array<std::vector<OmuxSlot>, kWiresPerDir>, kDirs> incoming;
+  std::array<std::vector<OmuxSlot>, kClbOutputs> outputs;
+
+  ReverseTables() {
+    for (int d = 0; d < kDirs; ++d) {
+      for (int w = 0; w < kWiresPerDir; ++w) {
+        const int max_code = (1 << kOmuxBits) - 1;
+        for (int code = 1; code <= max_code; ++code) {
+          const WireSource src =
+              decode_omux(static_cast<Dir>(d), w, static_cast<u8>(code));
+          const OmuxSlot slot{static_cast<Dir>(d), static_cast<u8>(w),
+                              static_cast<u8>(code)};
+          if (src.kind == WireSource::Kind::kIncoming) {
+            incoming[static_cast<std::size_t>(static_cast<int>(src.from_dir))]
+                    [src.windex].push_back(slot);
+          } else if (src.kind == WireSource::Kind::kClbOutput) {
+            outputs[src.output].push_back(slot);
+          }
+        }
+      }
+    }
+  }
+};
+
+const ReverseTables& reverse_tables() {
+  static const ReverseTables tables;
+  return tables;
+}
+
+}  // namespace
+
+const std::vector<OmuxSlot>& omux_consumers_of_incoming(Dir from_dir, int windex) {
+  return reverse_tables()
+      .incoming[static_cast<std::size_t>(static_cast<int>(from_dir))]
+               [static_cast<std::size_t>(windex)];
+}
+
+const std::vector<OmuxSlot>& omux_consumers_of_output(int output) {
+  return reverse_tables().outputs[static_cast<std::size_t>(output)];
+}
+
+}  // namespace vscrub

@@ -1,0 +1,68 @@
+// Pure semantics of the routing configuration codes: what each OMUX (wire
+// source) and IMUX (pin source) code means, and the reverse tables the
+// router uses to enumerate candidates. Position-independent: the same code
+// means the same relative connection at every tile.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fabric/arch.h"
+
+namespace vscrub {
+
+/// Source selected by an out-wire's 5-bit OMUX code.
+struct WireSource {
+  enum class Kind : u8 { kNone, kClbOutput, kIncoming };
+  Kind kind = Kind::kNone;
+  u8 output = 0;    ///< CLB output index 0..7 (kind == kClbOutput)
+  Dir from_dir = Dir::kNorth;  ///< incoming wire origin (kind == kIncoming)
+  u8 windex = 0;    ///< incoming wire index 0..23 (kind == kIncoming)
+
+  bool operator==(const WireSource&) const = default;
+};
+
+/// Source selected by a pin's 7-bit IMUX code.
+struct PinSource {
+  enum class Kind : u8 { kHalfLatch, kIncoming, kClbOutput };
+  Kind kind = Kind::kHalfLatch;
+  Dir from_dir = Dir::kNorth;
+  u8 windex = 0;
+  u8 output = 0;
+
+  bool operator==(const PinSource&) const = default;
+};
+
+/// Decodes the source of out-wire (dir, windex) under `code`.
+/// Wires 0..kOmuxWiresPerDir-1 accept CLB outputs (codes 1..8) plus 23
+/// incoming wires; wires 20..23 accept only incoming wires (31 candidates) —
+/// these are the paper's "remaining four wires in each direction that are
+/// not part of the output multiplexer".
+WireSource decode_omux(Dir dir, int windex, u8 code);
+
+/// Decodes a pin's source. Code 0 and codes >= 105 select no driver: the pin
+/// reads its half-latch (paper Fig. 13). Codes 1..96 select incoming wires,
+/// 97..104 the tile's own CLB outputs (local feedback).
+PinSource decode_imux(u8 code);
+
+/// Inverse of decode_omux: the code that selects `src` on (dir, windex), if
+/// that connection exists in the switch pattern.
+std::optional<u8> encode_omux(Dir dir, int windex, const WireSource& src);
+
+/// Inverse of decode_imux. kHalfLatch encodes as 0.
+u8 encode_imux(const PinSource& src);
+
+/// Router adjacency: all (dir, windex, code) out-wire slots that can consume
+/// incoming wire (from_dir, windex). Static, shared by all tiles.
+struct OmuxSlot {
+  Dir dir;
+  u8 windex;
+  u8 code;
+};
+const std::vector<OmuxSlot>& omux_consumers_of_incoming(Dir from_dir, int windex);
+
+/// All out-wire slots a CLB output can drive (the 20 OMUX wires per
+/// direction).
+const std::vector<OmuxSlot>& omux_consumers_of_output(int output);
+
+}  // namespace vscrub

@@ -1,0 +1,59 @@
+#include "halflatch/raddrc.h"
+
+#include "sim/harness.h"
+
+namespace vscrub {
+
+RadDrcReport raddrc_analyze(const PlacedDesign& design) {
+  RadDrcReport report;
+  report.total_halflatch_sites = design.space->geometry().halflatch_site_count();
+  for (const HalfLatchUse& use : design.halflatch_uses) {
+    if (use.critical) {
+      ++report.critical_uses;
+    } else {
+      ++report.noncritical_uses;
+    }
+  }
+  return report;
+}
+
+HalfLatchTrialResult halflatch_upset_trial(const PlacedDesign& design,
+                                           u64 trials, u64 seed,
+                                           u32 warmup_cycles,
+                                           u32 observe_cycles) {
+  HalfLatchTrialResult result;
+  const DeviceGeometry& geom = design.space->geometry();
+  FabricSim sim(design.space);
+  DesignHarness harness(design, sim);
+  const auto golden = DesignHarness::reference_trace(
+      *design.netlist, warmup_cycles + observe_cycles);
+  Rng rng(seed);
+  harness.configure();
+
+  for (u64 trial = 0; trial < trials; ++trial) {
+    ++result.trials;
+    // Strike a random half-latch anywhere on the device (the beam does not
+    // know which sites the design uses).
+    const u32 t = static_cast<u32>(rng.uniform(geom.tile_count()));
+    const u8 pin = static_cast<u8>(rng.uniform(kImuxPins));
+    const TileCoord tile = geom.tile_coord(t);
+    sim.flip_halflatch(tile, pin);
+
+    bool failed = false;
+    for (u32 c = 0; c < warmup_cycles + observe_cycles; ++c) {
+      harness.step();
+      if (c < warmup_cycles) continue;
+      if (!(harness.last_outputs() == golden[c])) {
+        failed = true;
+        break;
+      }
+    }
+    if (failed) ++result.output_failures;
+
+    // Full reconfiguration: the only reliable half-latch recovery (§III-C).
+    harness.configure();
+  }
+  return result;
+}
+
+}  // namespace vscrub

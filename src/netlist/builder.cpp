@@ -1,0 +1,365 @@
+#include "netlist/builder.h"
+
+#include <algorithm>
+
+namespace vscrub {
+namespace {
+
+// LUT truth tables, input 0 = LSB of the index.
+constexpr u16 kNot1 = 0x1;
+constexpr u16 kAnd2 = 0x8;
+constexpr u16 kOr2 = 0xE;
+constexpr u16 kXor2 = 0x6;
+constexpr u16 kXor3 = 0x96;
+constexpr u16 kXor4 = 0x6996;
+constexpr u16 kMaj3 = 0xE8;
+constexpr u16 kMux2 = 0xCA;  // inputs (a0, a1, sel): sel ? a1 : a0
+constexpr u16 kOr3 = 0xFE;
+constexpr u16 kOr4 = 0xFFFE;
+constexpr u16 kAnd3 = 0x80;
+constexpr u16 kAnd4 = 0x8000;
+
+}  // namespace
+
+u64 default_lfsr_taps(std::size_t width) {
+  // Maximal-length Fibonacci tap masks (polynomial exponent e -> bit e-1).
+  switch (width) {
+    case 2: return (1ull << 1) | 1;
+    case 3: return (1ull << 2) | (1ull << 1);
+    case 4: return (1ull << 3) | (1ull << 2);
+    case 6: return (1ull << 5) | (1ull << 4);
+    case 8: return (1ull << 7) | (1ull << 5) | (1ull << 4) | (1ull << 3);
+    case 16: return (1ull << 15) | (1ull << 14) | (1ull << 12) | (1ull << 3);
+    case 18: return (1ull << 17) | (1ull << 10);
+    case 20: return (1ull << 19) | (1ull << 16);
+    case 24: return (1ull << 23) | (1ull << 22) | (1ull << 21) | (1ull << 16);
+    case 32: return (1ull << 31) | (1ull << 21) | (1ull << 1) | 1;
+    case 34: return (1ull << 33) | (1ull << 26) | (1ull << 1) | 1;
+    case 36: return (1ull << 35) | (1ull << 24);
+    case 48: return (1ull << 47) | (1ull << 46) | (1ull << 20) | (1ull << 19);
+    case 54: return (1ull << 53) | (1ull << 52) | (1ull << 17) | (1ull << 16);
+    case 64: return (1ull << 63) | (1ull << 62) | (1ull << 60) | (1ull << 59);
+    case 72: break;  // handled by caller for width > 64 masks
+    default: break;
+  }
+  // Fallback (not necessarily maximal, but deterministic and well-mixed).
+  VSCRUB_CHECK(width >= 2 && width <= 64, "default taps defined for 2..64");
+  return (1ull << (width - 1)) | (1ull << (width - 3)) | 1;
+}
+
+Bus Builder::input_bus(const std::string& prefix, std::size_t width) {
+  Bus bus(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus[i] = nl_.add_input(prefix + "[" + std::to_string(i) + "]");
+  }
+  return bus;
+}
+
+void Builder::output_bus(const std::string& prefix, const Bus& bus) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    nl_.add_output(prefix + "[" + std::to_string(i) + "]", bus[i]);
+  }
+}
+
+namespace {
+bool net_const(const Netlist& nl, NetId n, bool& value) {
+  if (n == kNoNet) return false;
+  const Cell& driver = nl.cell(nl.net(n).driver);
+  if (driver.kind != CellKind::kConst) return false;
+  value = driver.const_value;
+  return true;
+}
+}  // namespace
+
+NetId Builder::not_(NetId a) {
+  bool v;
+  if (net_const(nl_, a, v)) return nl_.const_net(!v);
+  return nl_.add_lut(kNot1, {a});
+}
+
+NetId Builder::and_(NetId a, NetId b) {
+  bool v;
+  if (net_const(nl_, a, v)) return v ? b : nl_.const_net(false);
+  if (net_const(nl_, b, v)) return v ? a : nl_.const_net(false);
+  if (a == b) return a;
+  return nl_.add_lut(kAnd2, {a, b});
+}
+
+NetId Builder::or_(NetId a, NetId b) {
+  bool v;
+  if (net_const(nl_, a, v)) return v ? nl_.const_net(true) : b;
+  if (net_const(nl_, b, v)) return v ? nl_.const_net(true) : a;
+  if (a == b) return a;
+  return nl_.add_lut(kOr2, {a, b});
+}
+
+NetId Builder::xor_(NetId a, NetId b) {
+  bool v;
+  if (net_const(nl_, a, v)) return v ? not_(b) : b;
+  if (net_const(nl_, b, v)) return v ? not_(a) : a;
+  if (a == b) return nl_.const_net(false);
+  return nl_.add_lut(kXor2, {a, b});
+}
+
+NetId Builder::xor3(NetId a, NetId b, NetId c) {
+  bool v;
+  if (net_const(nl_, a, v)) return v ? not_(xor_(b, c)) : xor_(b, c);
+  if (net_const(nl_, b, v)) return v ? not_(xor_(a, c)) : xor_(a, c);
+  if (net_const(nl_, c, v)) return v ? not_(xor_(a, b)) : xor_(a, b);
+  return nl_.add_lut(kXor3, {a, b, c});
+}
+
+NetId Builder::maj3(NetId a, NetId b, NetId c) {
+  bool v;
+  if (net_const(nl_, a, v)) return v ? or_(b, c) : and_(b, c);
+  if (net_const(nl_, b, v)) return v ? or_(a, c) : and_(a, c);
+  if (net_const(nl_, c, v)) return v ? or_(a, b) : and_(a, b);
+  return nl_.add_lut(kMaj3, {a, b, c});
+}
+
+NetId Builder::mux2(NetId sel, NetId a0, NetId a1) {
+  bool v;
+  if (net_const(nl_, sel, v)) return v ? a1 : a0;
+  if (a0 == a1) return a0;
+  if (net_const(nl_, a1, v)) return v ? or_(sel, a0) : and_(not_(sel), a0);
+  if (net_const(nl_, a0, v)) return v ? or_(not_(sel), a1) : and_(sel, a1);
+  return nl_.add_lut(kMux2, {a0, a1, sel});
+}
+
+NetId Builder::xor_reduce(const Bus& bus) {
+  VSCRUB_CHECK(!bus.empty(), "xor_reduce of empty bus");
+  Bus level = bus;
+  while (level.size() > 1) {
+    Bus next;
+    std::size_t i = 0;
+    for (; i + 4 <= level.size(); i += 4) {
+      next.push_back(nl_.add_lut(
+          kXor4, {level[i], level[i + 1], level[i + 2], level[i + 3]}));
+    }
+    if (level.size() - i == 3) {
+      next.push_back(xor3(level[i], level[i + 1], level[i + 2]));
+      i += 3;
+    } else if (level.size() - i == 2) {
+      next.push_back(xor_(level[i], level[i + 1]));
+      i += 2;
+    } else if (level.size() - i == 1) {
+      next.push_back(level[i]);
+      ++i;
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetId Builder::or_reduce(const Bus& bus) {
+  VSCRUB_CHECK(!bus.empty(), "or_reduce of empty bus");
+  Bus level = bus;
+  while (level.size() > 1) {
+    Bus next;
+    std::size_t i = 0;
+    for (; i + 4 <= level.size(); i += 4) {
+      next.push_back(nl_.add_lut(
+          kOr4, {level[i], level[i + 1], level[i + 2], level[i + 3]}));
+    }
+    if (level.size() - i == 3) {
+      next.push_back(nl_.add_lut(kOr3, {level[i], level[i + 1], level[i + 2]}));
+      i += 3;
+    } else if (level.size() - i == 2) {
+      next.push_back(or_(level[i], level[i + 1]));
+      i += 2;
+    } else if (level.size() - i == 1) {
+      next.push_back(level[i]);
+      ++i;
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetId Builder::and_reduce(const Bus& bus) {
+  VSCRUB_CHECK(!bus.empty(), "and_reduce of empty bus");
+  Bus level = bus;
+  while (level.size() > 1) {
+    Bus next;
+    std::size_t i = 0;
+    for (; i + 4 <= level.size(); i += 4) {
+      next.push_back(nl_.add_lut(
+          kAnd4, {level[i], level[i + 1], level[i + 2], level[i + 3]}));
+    }
+    if (level.size() - i == 3) {
+      next.push_back(nl_.add_lut(kAnd3, {level[i], level[i + 1], level[i + 2]}));
+      i += 3;
+    } else if (level.size() - i == 2) {
+      next.push_back(and_(level[i], level[i + 1]));
+      i += 2;
+    } else if (level.size() - i == 1) {
+      next.push_back(level[i]);
+      ++i;
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+Bus Builder::add(const Bus& a, const Bus& b, bool keep_width) {
+  VSCRUB_CHECK(a.size() == b.size(), "add: width mismatch");
+  Bus sum;
+  sum.reserve(a.size() + 1);
+  NetId carry = nl_.const_net(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum.push_back(xor3(a[i], b[i], carry));
+    if (i + 1 < a.size() || !keep_width) {
+      carry = maj3(a[i], b[i], carry);
+    }
+  }
+  if (!keep_width) sum.push_back(carry);
+  return sum;
+}
+
+Bus Builder::sub(const Bus& a, const Bus& b) {
+  VSCRUB_CHECK(a.size() == b.size(), "sub: width mismatch");
+  // a + ~b + 1 via a full-adder chain with carry-in 1.
+  Bus out;
+  out.reserve(a.size());
+  NetId carry = nl_.const_net(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId nb = not_(b[i]);
+    out.push_back(xor3(a[i], nb, carry));
+    if (i + 1 < a.size()) carry = maj3(a[i], nb, carry);
+  }
+  return out;
+}
+
+Bus Builder::increment(const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  NetId carry = nl_.const_net(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(xor_(a[i], carry));
+    if (i + 1 < a.size()) carry = and_(a[i], carry);
+  }
+  return out;
+}
+
+Bus Builder::multiply(const Bus& a, const Bus& b, int pipeline_rows, NetId ce) {
+  VSCRUB_CHECK(!a.empty() && !b.empty(), "multiply: empty operand");
+  const std::size_t out_width = a.size() + b.size();
+  Bus acc = const_bus(0, out_width);
+  Bus aa = a;
+  Bus bb = b;
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    Bus addend = const_bus(0, out_width);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      addend[i + j] = and_(aa[i], bb[j]);
+    }
+    acc = add(acc, addend, /*keep_width=*/true);
+    if (pipeline_rows > 0 && (j + 1) % static_cast<std::size_t>(pipeline_rows) == 0 &&
+        j + 1 < b.size()) {
+      acc = register_bus(acc, ce);
+      aa = register_bus(aa, ce);
+      // Only the not-yet-consumed multiplier bits need delaying.
+      for (std::size_t k = j + 1; k < bb.size(); ++k) {
+        bb[k] = add_reg(bb[k], ce);
+      }
+    }
+  }
+  return acc;
+}
+
+NetId Builder::equals(const Bus& a, const Bus& b) {
+  VSCRUB_CHECK(a.size() == b.size(), "equals: width mismatch");
+  Bus eq_bits;
+  eq_bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    eq_bits.push_back(not_(xor_(a[i], b[i])));
+  }
+  return and_reduce(eq_bits);
+}
+
+Bus Builder::zext(const Bus& a, std::size_t width) {
+  Bus out = a;
+  if (out.size() > width) {
+    out.resize(width);
+  } else {
+    while (out.size() < width) out.push_back(nl_.const_net(false));
+  }
+  return out;
+}
+
+Bus Builder::register_bus(const Bus& d, NetId ce, NetId sr, u64 init) {
+  Bus q;
+  q.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    q.push_back(nl_.add_ff(d[i], (init >> i) & 1, ce, sr));
+  }
+  return q;
+}
+
+Bus Builder::counter(std::size_t width, u64 init, NetId ce, NetId sr) {
+  VSCRUB_CHECK(width >= 1 && width <= 64, "counter width 1..64");
+  // Feedback construction: create the state FFs with a placeholder D, build
+  // the increment logic on their outputs, then rewire each D input.
+  const NetId placeholder = nl_.const_net(false);
+  Bus q;
+  q.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    q.push_back(nl_.add_ff(placeholder, (init >> i) & 1, ce, sr));
+  }
+  const Bus next = increment(q);
+  for (std::size_t i = 0; i < width; ++i) {
+    nl_.rewire_input(nl_.net(q[i]).driver, 0, next[i]);
+  }
+  return q;
+}
+
+Bus Builder::lfsr(std::size_t width, u64 taps, u64 init, NetId ce) {
+  VSCRUB_CHECK(width >= 2 && width <= 64, "lfsr width 2..64");
+  if (taps == 0) taps = default_lfsr_taps(width);
+  VSCRUB_CHECK(init != 0, "lfsr must not start in the all-zero state");
+  const NetId placeholder = nl_.const_net(false);
+  Bus q;
+  q.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    q.push_back(nl_.add_ff(placeholder, (init >> i) & 1, ce));
+  }
+  // Fibonacci form: feedback = XOR of tapped state bits; shift left.
+  Bus tapped;
+  for (std::size_t i = 0; i < width; ++i) {
+    if ((taps >> i) & 1) tapped.push_back(q[i]);
+  }
+  VSCRUB_CHECK(!tapped.empty(), "lfsr needs at least one tap");
+  const NetId fb = xor_reduce(tapped);
+  nl_.rewire_input(nl_.net(q[0]).driver, 0, fb);
+  for (std::size_t i = 1; i < width; ++i) {
+    nl_.rewire_input(nl_.net(q[i]).driver, 0, q[i - 1]);
+  }
+  return q;
+}
+
+NetId Builder::add_reg(NetId d, NetId ce) { return nl_.add_ff(d, false, ce); }
+
+NetId Builder::delay_srl(NetId d, int depth, NetId ce) {
+  VSCRUB_CHECK(depth >= 1, "delay must be >= 1");
+  NetId cur = d;
+  while (depth > 0) {
+    const int step = std::min(depth, 16);
+    // Tap address = step-1, constant bits.
+    std::array<NetId, 4> addr{};
+    for (int b = 0; b < 4; ++b) {
+      addr[static_cast<std::size_t>(b)] = nl_.const_net(((step - 1) >> b) & 1);
+    }
+    cur = nl_.add_srl16(cur, addr, ce);
+    depth -= step;
+  }
+  return cur;
+}
+
+Bus Builder::const_bus(u64 value, std::size_t width) {
+  Bus bus(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus[i] = nl_.const_net((value >> i) & 1);
+  }
+  return bus;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,76 @@
+// Word-level construction helpers on top of the LUT-level netlist: adders,
+// multipliers, counters, LFSRs — the building blocks of the paper's test
+// designs.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace vscrub {
+
+/// A little-endian bus of nets (bit 0 = LSB).
+using Bus = std::vector<NetId>;
+
+class Builder {
+ public:
+  explicit Builder(Netlist& nl) : nl_(nl) {}
+
+  Netlist& netlist() { return nl_; }
+
+  // ---- ports ----------------------------------------------------------------
+  Bus input_bus(const std::string& prefix, std::size_t width);
+  void output_bus(const std::string& prefix, const Bus& bus);
+
+  // ---- bitwise --------------------------------------------------------------
+  NetId not_(NetId a);
+  NetId and_(NetId a, NetId b);
+  NetId or_(NetId a, NetId b);
+  NetId xor_(NetId a, NetId b);
+  NetId xor3(NetId a, NetId b, NetId c);
+  NetId mux2(NetId sel, NetId a0, NetId a1);  ///< sel ? a1 : a0
+  NetId maj3(NetId a, NetId b, NetId c);
+  NetId xor_reduce(const Bus& bus);
+  NetId or_reduce(const Bus& bus);
+  NetId and_reduce(const Bus& bus);
+
+  // ---- arithmetic -----------------------------------------------------------
+  /// Ripple-carry sum of equal-width buses; result has width+1 bits unless
+  /// `keep_width`.
+  Bus add(const Bus& a, const Bus& b, bool keep_width = false);
+  /// Increment by constant 1 (counter step).
+  Bus increment(const Bus& a);
+  /// Two's-complement subtraction a - b (result truncated to |a| bits).
+  Bus sub(const Bus& a, const Bus& b);
+  /// Unsigned array multiplier; result has |a|+|b| bits. `pipeline_rows`
+  /// inserts a register rank every N partial-product rows (0 = combinational).
+  Bus multiply(const Bus& a, const Bus& b, int pipeline_rows = 0, NetId ce = kNoNet);
+  /// a == b (single net).
+  NetId equals(const Bus& a, const Bus& b);
+  /// Zero-extends (or truncates) a bus to `width` bits.
+  Bus zext(const Bus& a, std::size_t width);
+
+  // ---- sequential -----------------------------------------------------------
+  Bus register_bus(const Bus& d, NetId ce = kNoNet, NetId sr = kNoNet,
+                   u64 init = 0);
+  /// Free-running binary counter of `width` bits starting at `init`.
+  Bus counter(std::size_t width, u64 init = 0, NetId ce = kNoNet,
+              NetId sr = kNoNet);
+  /// Galois LFSR, `width` 2..64, taps as a bit mask (bit i set = tap at i).
+  /// Uses the maximal-length default polynomial when taps == 0.
+  Bus lfsr(std::size_t width, u64 taps = 0, u64 init = 1, NetId ce = kNoNet);
+  /// Shift-register delay line of `depth` cycles built from SRL16 sites.
+  NetId delay_srl(NetId d, int depth, NetId ce = kNoNet);
+  /// Single pipeline register.
+  NetId add_reg(NetId d, NetId ce = kNoNet);
+
+  Bus const_bus(u64 value, std::size_t width);
+
+ private:
+  Netlist& nl_;
+};
+
+/// Maximal-length Galois LFSR tap masks for a few widths used by the designs.
+u64 default_lfsr_taps(std::size_t width);
+
+}  // namespace vscrub

@@ -1,0 +1,115 @@
+#include "netlist/drc.h"
+
+#include <queue>
+#include <unordered_set>
+
+namespace vscrub {
+namespace {
+
+bool has_comb_cycle(const Netlist& nl) {
+  // Same edge definition as RefSim: LUT inputs, OUTPUT sources and SRL tap
+  // addresses are combinational.
+  auto comb_pin = [](const Cell& c, std::size_t pin) {
+    switch (c.kind) {
+      case CellKind::kLut:
+      case CellKind::kOutput: return true;
+      case CellKind::kSrl16: return pin >= 2;
+      default: return false;
+    }
+  };
+  auto comb_node = [](const Cell& c) {
+    return c.kind == CellKind::kLut || c.kind == CellKind::kSrl16 ||
+           c.kind == CellKind::kOutput;
+  };
+  std::vector<u32> indegree(nl.cell_count(), 0);
+  std::size_t total = 0;
+  for (CellId id = 0; id < nl.cell_count(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (!comb_node(c)) continue;
+    ++total;
+    for (std::size_t pin = 0; pin < c.inputs.size(); ++pin) {
+      const NetId in = c.inputs[pin];
+      if (in == kNoNet || !comb_pin(c, pin)) continue;
+      if (comb_node(nl.cell(nl.net(in).driver))) ++indegree[id];
+    }
+  }
+  std::queue<CellId> ready;
+  for (CellId id = 0; id < nl.cell_count(); ++id) {
+    if (comb_node(nl.cell(id)) && indegree[id] == 0) ready.push(id);
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const CellId id = ready.front();
+    ready.pop();
+    ++visited;
+    for (NetId out : nl.cell(id).outputs) {
+      for (const Net::Sink& sink : nl.net(out).sinks) {
+        const Cell& sc = nl.cell(sink.cell);
+        if (!comb_node(sc) || !comb_pin(sc, sink.pin)) continue;
+        if (--indegree[sink.cell] == 0) ready.push(sink.cell);
+      }
+    }
+  }
+  return visited != total;
+}
+
+}  // namespace
+
+DrcReport run_drc(const Netlist& nl) {
+  DrcReport report;
+  auto err = [&](std::string m) { report.errors.push_back(std::move(m)); };
+  auto warn = [&](std::string m) { report.warnings.push_back(std::move(m)); };
+
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.driver == kNoCell) {
+      err("net " + std::to_string(n) + " (" + net.name + ") has no driver");
+      continue;
+    }
+    if (net.sinks.empty() && nl.cell(net.driver).kind != CellKind::kConst) {
+      warn("net " + std::to_string(n) + " (" + net.name + ") has no sinks");
+    }
+  }
+
+  for (CellId id = 0; id < nl.cell_count(); ++id) {
+    const Cell& c = nl.cell(id);
+    switch (c.kind) {
+      case CellKind::kLut:
+        if (c.num_inputs > 4) {
+          err("LUT cell " + std::to_string(id) + " has bad arity");
+        }
+        for (unsigned i = 0; i < c.num_inputs; ++i) {
+          if (c.inputs[i] == kNoNet) {
+            err("LUT cell " + std::to_string(id) + " input " +
+                std::to_string(i) + " unconnected");
+          }
+        }
+        break;
+      case CellKind::kFf:
+      case CellKind::kSrl16:
+        if (c.inputs[0] == kNoNet) {
+          err("sequential cell " + std::to_string(id) + " has no D input");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::unordered_set<std::string> port_names;
+  for (CellId id : nl.input_cells()) {
+    if (!port_names.insert(nl.cell(id).name).second) {
+      err("duplicate port name " + nl.cell(id).name);
+    }
+  }
+  for (CellId id : nl.output_cells()) {
+    if (!port_names.insert(nl.cell(id).name).second) {
+      err("duplicate port name " + nl.cell(id).name);
+    }
+  }
+
+  if (has_comb_cycle(nl)) err("netlist contains a combinational cycle");
+  return report;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,21 @@
+// Design rule checks run before place-and-route.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace vscrub {
+
+struct DrcReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Structural checks: every required pin connected, every net driven,
+/// arities legal, no combinational cycles, ports named uniquely.
+DrcReport run_drc(const Netlist& nl);
+
+}  // namespace vscrub

@@ -1,0 +1,52 @@
+#include "netlist/legalize.h"
+
+namespace vscrub {
+namespace {
+
+/// Restricts a k-input truth table by pinning input `pin` to `value`;
+/// returns the (k-1)-input table.
+u16 restrict_truth(u16 truth, unsigned k, unsigned pin, bool value) {
+  u16 out = 0;
+  const unsigned out_bits = 1u << (k - 1);
+  for (unsigned idx = 0; idx < out_bits; ++idx) {
+    const unsigned low = idx & ((1u << pin) - 1);
+    const unsigned high = idx >> pin;
+    const unsigned full =
+        (high << (pin + 1)) | (static_cast<unsigned>(value) << pin) | low;
+    if ((truth >> full) & 1) out |= static_cast<u16>(1u << idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t fold_constant_lut_inputs(Netlist& nl) {
+  std::size_t folded = 0;
+  for (CellId id = 0; id < nl.cell_count(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.kind != CellKind::kLut) continue;
+    // Repeat until no constant inputs remain on this LUT.
+    for (;;) {
+      const Cell& cur = nl.cell(id);
+      int const_pin = -1;
+      bool const_val = false;
+      for (unsigned i = 0; i < cur.num_inputs; ++i) {
+        const Cell& drv = nl.cell(nl.net(cur.inputs[i]).driver);
+        if (drv.kind == CellKind::kConst) {
+          const_pin = static_cast<int>(i);
+          const_val = drv.const_value;
+          break;
+        }
+      }
+      if (const_pin < 0) break;
+      nl.fold_lut_input(id, static_cast<unsigned>(const_pin),
+                        restrict_truth(cur.lut_truth, cur.num_inputs,
+                                       static_cast<unsigned>(const_pin),
+                                       const_val));
+      ++folded;
+    }
+  }
+  return folded;
+}
+
+}  // namespace vscrub

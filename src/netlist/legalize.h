@@ -1,0 +1,20 @@
+// Pre-PnR legalization passes.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace vscrub {
+
+/// Folds constant-driven LUT inputs into the truth tables (hardwiring the
+/// input and dropping the pin). A LUT whose inputs are all constant becomes
+/// a 0-input constant generator (truth 0x0000/0xFFFF — the LUT-ROM constant
+/// of paper §III-C). Returns the number of pins folded.
+///
+/// This is required for correctness, not just economy: the placer/bitgen
+/// implement constants at *control* pins via half-latches or ROM routing,
+/// but a constant at a LUT data pin must live in the truth table — leaving
+/// the pin unconnected would read the half-latch's value (constant 1)
+/// regardless of the intended polarity.
+std::size_t fold_constant_lut_inputs(Netlist& nl);
+
+}  // namespace vscrub

@@ -1,0 +1,223 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+namespace vscrub {
+
+NetId Netlist::new_net(CellId driver, u8 driver_pin, const std::string& net_name) {
+  Net n;
+  n.name = net_name;
+  n.driver = driver;
+  n.driver_pin = driver_pin;
+  nets_.push_back(std::move(n));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+void Netlist::connect(NetId net, CellId cell, u8 pin) {
+  if (net == kNoNet) return;
+  VSCRUB_CHECK(net < nets_.size(), "connect: bad net id");
+  nets_[net].sinks.push_back(Net::Sink{cell, pin});
+}
+
+NetId Netlist::add_input(const std::string& port_name) {
+  Cell c;
+  c.kind = CellKind::kInput;
+  c.name = port_name;
+  cells_.push_back(std::move(c));
+  bram_init_.emplace_back();
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  const NetId out = new_net(id, 0, port_name);
+  cells_[id].outputs.push_back(out);
+  input_cells_.push_back(id);
+  return out;
+}
+
+CellId Netlist::add_output(const std::string& port_name, NetId src) {
+  VSCRUB_CHECK(src != kNoNet, "output port needs a source net");
+  Cell c;
+  c.kind = CellKind::kOutput;
+  c.name = port_name;
+  c.inputs.push_back(src);
+  cells_.push_back(std::move(c));
+  bram_init_.emplace_back();
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  connect(src, id, 0);
+  output_cells_.push_back(id);
+  return id;
+}
+
+NetId Netlist::const_net(bool value) {
+  NetId& memo = const_nets_[value ? 1 : 0];
+  if (memo != kNoNet) return memo;
+  const std::string name = value ? "const1" : "const0";
+  Cell c;
+  c.kind = CellKind::kConst;
+  c.name = name;
+  c.const_value = value;
+  cells_.push_back(std::move(c));
+  bram_init_.emplace_back();
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  memo = new_net(id, 0, name);
+  cells_[id].outputs.push_back(memo);
+  return memo;
+}
+
+NetId Netlist::add_lut(u16 truth, const std::vector<NetId>& ins,
+                       const std::string& cell_name) {
+  VSCRUB_CHECK(!ins.empty() && ins.size() <= 4, "LUT arity must be 1..4");
+  Cell c;
+  c.kind = CellKind::kLut;
+  c.name = cell_name;
+  c.lut_truth = truth;
+  c.num_inputs = static_cast<u8>(ins.size());
+  c.inputs = ins;
+  cells_.push_back(std::move(c));
+  bram_init_.emplace_back();
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  for (std::size_t pin = 0; pin < ins.size(); ++pin) {
+    connect(ins[pin], id, static_cast<u8>(pin));
+  }
+  const NetId out = new_net(id, 0, cell_name);
+  cells_[id].outputs.push_back(out);
+  return out;
+}
+
+NetId Netlist::add_ff(NetId d, bool init, NetId ce, NetId sr,
+                      const std::string& cell_name) {
+  VSCRUB_CHECK(d != kNoNet, "FF needs a D input");
+  Cell c;
+  c.kind = CellKind::kFf;
+  c.name = cell_name;
+  c.ff_init = init;
+  c.inputs = {d, ce, sr};
+  cells_.push_back(std::move(c));
+  bram_init_.emplace_back();
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  connect(d, id, 0);
+  connect(ce, id, 1);
+  connect(sr, id, 2);
+  const NetId out = new_net(id, 0, cell_name);
+  cells_[id].outputs.push_back(out);
+  return out;
+}
+
+NetId Netlist::add_srl16(NetId d, const std::array<NetId, 4>& addr, NetId ce,
+                         u16 init, const std::string& cell_name) {
+  VSCRUB_CHECK(d != kNoNet, "SRL16 needs a D input");
+  Cell c;
+  c.kind = CellKind::kSrl16;
+  c.name = cell_name;
+  c.lut_truth = init;
+  c.inputs = {d, ce, addr[0], addr[1], addr[2], addr[3]};
+  cells_.push_back(std::move(c));
+  bram_init_.emplace_back();
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  connect(d, id, 0);
+  connect(ce, id, 1);
+  for (u8 i = 0; i < 4; ++i) connect(addr[i], id, static_cast<u8>(2 + i));
+  const NetId out = new_net(id, 0, cell_name);
+  cells_[id].outputs.push_back(out);
+  return out;
+}
+
+Netlist::BramPorts Netlist::add_bram(NetId we, const std::array<NetId, 8>& addr,
+                                     const std::array<NetId, 16>& din,
+                                     const std::vector<u16>& init_words,
+                                     const std::string& cell_name) {
+  Cell c;
+  c.kind = CellKind::kBram;
+  c.name = cell_name;
+  c.inputs.push_back(we);
+  for (NetId a : addr) c.inputs.push_back(a);
+  for (NetId d : din) c.inputs.push_back(d);
+  cells_.push_back(std::move(c));
+  std::vector<u16> init = init_words;
+  init.resize(256, 0);
+  bram_init_.push_back(std::move(init));
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  for (std::size_t pin = 0; pin < cells_[id].inputs.size(); ++pin) {
+    connect(cells_[id].inputs[pin], id, static_cast<u8>(pin));
+  }
+  BramPorts ports;
+  ports.cell = id;
+  for (int lane = 0; lane < kBramWidthNets; ++lane) {
+    const NetId out = new_net(id, static_cast<u8>(lane));
+    cells_[id].outputs.push_back(out);
+    ports.dout[static_cast<std::size_t>(lane)] = out;
+  }
+  return ports;
+}
+
+void Netlist::fold_lut_input(CellId cell, unsigned pin, u16 new_truth) {
+  VSCRUB_CHECK(cell < cells_.size() && cells_[cell].kind == CellKind::kLut,
+               "fold_lut_input: not a LUT");
+  Cell& c = cells_[cell];
+  VSCRUB_CHECK(pin < c.num_inputs, "fold_lut_input: bad pin");
+  // Detach the pin from its net.
+  const NetId old_net = c.inputs[pin];
+  auto& sinks = nets_[old_net].sinks;
+  for (auto it = sinks.begin(); it != sinks.end(); ++it) {
+    if (it->cell == cell && it->pin == pin) {
+      sinks.erase(it);
+      break;
+    }
+  }
+  // Compact the remaining inputs down and fix their sink pin indices.
+  for (unsigned i = pin; i + 1 < c.num_inputs; ++i) {
+    c.inputs[i] = c.inputs[i + 1];
+    for (auto& sink : nets_[c.inputs[i]].sinks) {
+      if (sink.cell == cell && sink.pin == i + 1) {
+        sink.pin = static_cast<u8>(i);
+        break;
+      }
+    }
+  }
+  c.inputs.pop_back();
+  --c.num_inputs;
+  if (c.num_inputs == 0) {
+    // Fully constant LUT: replicate the single truth bit (LUT-ROM constant).
+    c.lut_truth = (new_truth & 1) ? 0xFFFF : 0x0000;
+  } else {
+    c.lut_truth = new_truth;
+  }
+}
+
+void Netlist::rewire_input(CellId cell, u8 pin, NetId new_net) {
+  VSCRUB_CHECK(cell < cells_.size(), "rewire: bad cell");
+  VSCRUB_CHECK(pin < cells_[cell].inputs.size(), "rewire: bad pin");
+  const NetId old_net = cells_[cell].inputs[pin];
+  if (old_net == new_net) return;
+  if (old_net != kNoNet) {
+    auto& sinks = nets_[old_net].sinks;
+    for (auto it = sinks.begin(); it != sinks.end(); ++it) {
+      if (it->cell == cell && it->pin == pin) {
+        sinks.erase(it);
+        break;
+      }
+    }
+  }
+  cells_[cell].inputs[pin] = new_net;
+  connect(new_net, cell, pin);
+}
+
+Netlist::Stats Netlist::stats() const {
+  Stats s;
+  for (const Cell& c : cells_) {
+    switch (c.kind) {
+      case CellKind::kLut: ++s.luts; break;
+      case CellKind::kFf: ++s.ffs; break;
+      case CellKind::kSrl16: ++s.srl16s; break;
+      case CellKind::kBram: ++s.brams; break;
+      case CellKind::kConst: ++s.consts; break;
+      default: break;
+    }
+  }
+  // A slice has two LUT sites (each usable as LUT or SRL16) and two FFs; a FF
+  // can share a site with the LUT feeding it, so the bound is the max of the
+  // two resource demands.
+  const std::size_t lut_sites = s.luts + s.srl16s;
+  s.slice_estimate = (std::max(lut_sites, s.ffs) + 1) / 2;
+  return s;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,247 @@
+#include "netlist/refsim.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace vscrub {
+namespace {
+
+/// Pins of `cell` that form combinational source->sink edges (others are
+/// sampled at the clock edge).
+bool pin_is_combinational(const Cell& cell, u8 pin) {
+  switch (cell.kind) {
+    case CellKind::kLut:
+    case CellKind::kOutput:
+      return true;
+    case CellKind::kSrl16:
+      return pin >= 2;  // tap address; D/CE are sequential
+    default:
+      return false;  // FF and BRAM sample everything at the edge
+  }
+}
+
+bool cell_is_comb_node(const Cell& cell) {
+  // Cells whose *output* is a combinational function of nets: LUTs and SRL16
+  // (address -> tap). Outputs are evaluated too (they just copy).
+  return cell.kind == CellKind::kLut || cell.kind == CellKind::kSrl16 ||
+         cell.kind == CellKind::kOutput;
+}
+
+}  // namespace
+
+RefSim::RefSim(const Netlist& nl) : nl_(&nl) {
+  values_.assign(nl.net_count(), 0);
+  input_values_.assign(nl.num_inputs(), 0);
+  srl_state_.assign(nl.cell_count(), 0);
+  bram_mem_.resize(nl.cell_count());
+  bram_dout_.assign(nl.cell_count(), 0);
+
+  // Kahn topological sort over combinational edges.
+  std::vector<u32> indegree(nl.cell_count(), 0);
+  for (CellId id = 0; id < nl.cell_count(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (!cell_is_comb_node(c)) continue;
+    for (std::size_t pin = 0; pin < c.inputs.size(); ++pin) {
+      const NetId in = c.inputs[pin];
+      if (in == kNoNet || !pin_is_combinational(c, static_cast<u8>(pin))) continue;
+      const Cell& driver = nl.cell(nl.net(in).driver);
+      if (cell_is_comb_node(driver)) ++indegree[id];
+    }
+  }
+  std::queue<CellId> ready;
+  for (CellId id = 0; id < nl.cell_count(); ++id) {
+    if (cell_is_comb_node(nl.cell(id)) && indegree[id] == 0) ready.push(id);
+  }
+  std::size_t comb_total = 0;
+  for (CellId id = 0; id < nl.cell_count(); ++id) {
+    if (cell_is_comb_node(nl.cell(id))) ++comb_total;
+  }
+  comb_order_.reserve(comb_total);
+  while (!ready.empty()) {
+    const CellId id = ready.front();
+    ready.pop();
+    comb_order_.push_back(id);
+    const Cell& c = nl.cell(id);
+    for (NetId out : c.outputs) {
+      for (const Net::Sink& sink : nl.net(out).sinks) {
+        const Cell& sc = nl.cell(sink.cell);
+        if (!cell_is_comb_node(sc) || !pin_is_combinational(sc, sink.pin)) continue;
+        if (--indegree[sink.cell] == 0) ready.push(sink.cell);
+      }
+    }
+  }
+  VSCRUB_CHECK(comb_order_.size() == comb_total,
+               "netlist has a combinational cycle");
+  reset();
+}
+
+void RefSim::reset() {
+  for (CellId id = 0; id < nl_->cell_count(); ++id) {
+    const Cell& c = nl_->cell(id);
+    switch (c.kind) {
+      case CellKind::kFf:
+        values_[c.outputs[0]] = c.ff_init ? 1 : 0;
+        break;
+      case CellKind::kSrl16:
+        srl_state_[id] = c.lut_truth;
+        break;
+      case CellKind::kBram:
+        bram_mem_[id] = nl_->bram_init(id);
+        bram_dout_[id] = 0;
+        for (int lane = 0; lane < Netlist::kBramWidthNets; ++lane) {
+          values_[c.outputs[static_cast<std::size_t>(lane)]] = 0;
+        }
+        break;
+      case CellKind::kConst:
+        values_[c.outputs[0]] = c.const_value ? 1 : 0;
+        break;
+      case CellKind::kInput:
+        // keep whatever the testbench set
+        break;
+      default:
+        break;
+    }
+  }
+  needs_eval_ = true;
+  eval();
+}
+
+void RefSim::set_input(std::size_t port, bool v) {
+  VSCRUB_CHECK(port < input_values_.size(), "input port out of range");
+  if (input_values_[port] == static_cast<u8>(v)) return;
+  input_values_[port] = v ? 1 : 0;
+  values_[nl_->cell(nl_->input_cells()[port]).outputs[0]] = v ? 1 : 0;
+  needs_eval_ = true;
+}
+
+void RefSim::set_inputs_u64(u64 bits) {
+  const std::size_t n = std::min<std::size_t>(64, nl_->num_inputs());
+  for (std::size_t i = 0; i < n; ++i) set_input(i, (bits >> i) & 1);
+}
+
+void RefSim::eval_cell(CellId id) {
+  const Cell& c = nl_->cell(id);
+  switch (c.kind) {
+    case CellKind::kLut: {
+      unsigned index = 0;
+      for (unsigned i = 0; i < c.num_inputs; ++i) {
+        index |= static_cast<unsigned>(values_[c.inputs[i]]) << i;
+      }
+      values_[c.outputs[0]] = (c.lut_truth >> index) & 1;
+      break;
+    }
+    case CellKind::kSrl16: {
+      unsigned addr = 0;
+      for (unsigned i = 0; i < 4; ++i) {
+        const NetId a = c.inputs[2 + i];
+        if (a != kNoNet) addr |= static_cast<unsigned>(values_[a]) << i;
+      }
+      values_[c.outputs[0]] = (srl_state_[id] >> addr) & 1;
+      break;
+    }
+    case CellKind::kOutput:
+      // Output ports just observe their source net.
+      break;
+    default:
+      break;
+  }
+}
+
+void RefSim::eval() {
+  if (!needs_eval_) return;
+  for (CellId id : comb_order_) eval_cell(id);
+  needs_eval_ = false;
+}
+
+void RefSim::clock() {
+  eval();
+  // Sample everything first, then commit, so all updates see pre-edge values.
+  struct FfUpdate {
+    NetId out;
+    u8 value;
+  };
+  std::vector<FfUpdate> ff_updates;
+  std::vector<std::pair<CellId, u16>> srl_updates;
+  struct BramUpdate {
+    CellId cell;
+    bool we;
+    u8 addr;
+    u16 din;
+  };
+  std::vector<BramUpdate> bram_updates;
+
+  auto val = [&](NetId n, bool dflt) -> bool {
+    return n == kNoNet ? dflt : values_[n] != 0;
+  };
+
+  for (CellId id = 0; id < nl_->cell_count(); ++id) {
+    const Cell& c = nl_->cell(id);
+    switch (c.kind) {
+      case CellKind::kFf: {
+        const bool ce = val(c.inputs[1], /*dflt=*/true);
+        const bool sr = val(c.inputs[2], /*dflt=*/false);
+        if (sr) {
+          ff_updates.push_back({c.outputs[0], 0});
+        } else if (ce) {
+          ff_updates.push_back({c.outputs[0], values_[c.inputs[0]]});
+        }
+        break;
+      }
+      case CellKind::kSrl16: {
+        const bool ce = val(c.inputs[1], /*dflt=*/true);
+        if (ce) {
+          const u16 next = static_cast<u16>(
+              (srl_state_[id] << 1) | values_[c.inputs[0]]);
+          srl_updates.emplace_back(id, next);
+        }
+        break;
+      }
+      case CellKind::kBram: {
+        const bool we = val(c.inputs[0], /*dflt=*/false);
+        u8 addr = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+          if (val(c.inputs[1 + i], false)) addr |= static_cast<u8>(1u << i);
+        }
+        u16 din = 0;
+        for (unsigned i = 0; i < 16; ++i) {
+          if (val(c.inputs[9 + i], false)) din |= static_cast<u16>(1u << i);
+        }
+        bram_updates.push_back({id, we, addr, din});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (const FfUpdate& u : ff_updates) values_[u.out] = u.value;
+  for (const auto& [id, next] : srl_updates) srl_state_[id] = next;
+  for (const BramUpdate& u : bram_updates) {
+    auto& mem = bram_mem_[u.cell];
+    if (u.we) mem[u.addr] = u.din;
+    bram_dout_[u.cell] = u.we ? u.din : mem[u.addr];  // WRITE_FIRST
+    const Cell& c = nl_->cell(u.cell);
+    for (int lane = 0; lane < Netlist::kBramWidthNets; ++lane) {
+      values_[c.outputs[static_cast<std::size_t>(lane)]] =
+          (bram_dout_[u.cell] >> lane) & 1;
+    }
+  }
+  needs_eval_ = true;
+  eval();
+}
+
+bool RefSim::output(std::size_t port) const {
+  const Cell& c = nl_->cell(nl_->output_cells()[port]);
+  return values_[c.inputs[0]] != 0;
+}
+
+u64 RefSim::outputs_u64() const {
+  const std::size_t n = std::min<std::size_t>(64, nl_->num_outputs());
+  u64 bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (output(i)) bits |= u64{1} << i;
+  }
+  return bits;
+}
+
+}  // namespace vscrub

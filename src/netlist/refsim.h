@@ -1,0 +1,61 @@
+// Reference (netlist-level) simulator. Semantics here are the contract that
+// the fabric simulator must reproduce bit-exactly for an uncorrupted
+// configuration; the PnR equivalence tests and the golden-trace cache both
+// lean on it.
+//
+// Clocking model (shared with FabricSim):
+//   * eval(): settle combinational logic for the current inputs and state.
+//   * Outputs observed *after* eval, *before* clock — output(t) =
+//     f(state(t), input(t)).
+//   * clock(): simultaneously update all FFs, SRL16 contents and BRAMs from
+//     the settled pre-edge values.
+//   * BRAM is WRITE_FIRST with a registered output: dout_reg <= we ? din :
+//     mem[addr]; the write (if we) happens the same edge.
+//   * SRL16 output is combinational in the tap address, sequential in the
+//     shifting contents.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace vscrub {
+
+class RefSim {
+ public:
+  /// Throws Error if the netlist has a combinational cycle.
+  explicit RefSim(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Restores all sequential state to its initialization value and settles.
+  void reset();
+
+  void set_input(std::size_t port, bool v);
+  /// Settles combinational logic. Idempotent until inputs/state change.
+  void eval();
+  /// Clock edge: commit next state, then settle.
+  void clock();
+  /// set-inputs helper: applies up to 64 input bits from a word.
+  void set_inputs_u64(u64 bits);
+
+  bool output(std::size_t port) const;
+  /// First min(64, num_outputs) output bits packed LSB-first.
+  u64 outputs_u64() const;
+
+  bool net_value(NetId n) const { return values_[n] != 0; }
+
+ private:
+  void eval_cell(CellId id);
+
+  const Netlist* nl_;
+  std::vector<u8> values_;          // per net
+  std::vector<CellId> comb_order_;  // topological order of comb cells
+  std::vector<u8> input_values_;    // per input port
+  std::vector<u16> srl_state_;      // per cell (0 for non-SRL)
+  std::vector<std::vector<u16>> bram_mem_;  // per cell
+  std::vector<u16> bram_dout_;      // per cell
+  bool needs_eval_ = true;
+};
+
+}  // namespace vscrub

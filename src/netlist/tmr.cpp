@@ -1,0 +1,191 @@
+#include "netlist/tmr.h"
+
+#include <array>
+
+namespace vscrub {
+namespace {
+
+constexpr u16 kMaj3 = 0xE8;  // majority over inputs (0,1,2)
+
+}  // namespace
+
+Netlist apply_tmr(const Netlist& src, const TmrOptions& options) {
+  Netlist out(src.name() + "_tmr");
+
+  // Mapping: source net -> its three domain copies in the new netlist.
+  const NetId unmapped = kNoNet;
+  std::vector<std::array<NetId, 3>> net_map(src.net_count(),
+                                            {unmapped, unmapped, unmapped});
+
+  // Pass 1: create shared sources (inputs, constants) and placeholders for
+  // sequential outputs so feedback can be wired before its driver logic.
+  for (CellId id = 0; id < src.cell_count(); ++id) {
+    const Cell& c = src.cell(id);
+    switch (c.kind) {
+      case CellKind::kInput: {
+        const NetId in = out.add_input(c.name);
+        net_map[c.outputs[0]] = {in, in, in};
+        break;
+      }
+      case CellKind::kConst: {
+        const NetId k = out.const_net(c.const_value);
+        net_map[c.outputs[0]] = {k, k, k};
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Pass 2: topological construction of combinational logic; sequential
+  // cells get placeholder D inputs rewired in pass 3. We iterate until all
+  // nets are mapped (the netlist is acyclic through combinational cells, so
+  // this converges; sequential outputs are created on first visit).
+  auto mapped = [&](NetId n) { return n == kNoNet || net_map[n][0] != unmapped; };
+
+  std::vector<CellId> pending;
+  for (CellId id = 0; id < src.cell_count(); ++id) {
+    const Cell& c = src.cell(id);
+    if (c.kind == CellKind::kLut || c.kind == CellKind::kFf ||
+        c.kind == CellKind::kSrl16 || c.kind == CellKind::kBram ||
+        c.kind == CellKind::kOutput) {
+      pending.push_back(id);
+    }
+  }
+
+  // Sequential cells first: create their domain FFs/SRLs/BRAMs with
+  // placeholder inputs so their outputs exist for the combinational pass.
+  struct SeqFix {
+    CellId src_cell;
+    std::array<CellId, 3> domain_cells;
+  };
+  std::vector<SeqFix> fixups;
+  const NetId zero = out.const_net(false);
+
+  for (CellId id : pending) {
+    const Cell& c = src.cell(id);
+    if (c.kind == CellKind::kFf) {
+      std::array<NetId, 3> qs{};
+      SeqFix fix;
+      fix.src_cell = id;
+      for (int d = 0; d < 3; ++d) {
+        qs[static_cast<std::size_t>(d)] = out.add_ff(zero, c.ff_init);
+        fix.domain_cells[static_cast<std::size_t>(d)] =
+            out.net(qs[static_cast<std::size_t>(d)]).driver;
+        out.set_placement_group(fix.domain_cells[static_cast<std::size_t>(d)],
+                                static_cast<u8>(d + 1));
+      }
+      if (options.vote_after_ff) {
+        // Per-domain voters across the three FF copies.
+        std::array<NetId, 3> voted{};
+        for (int d = 0; d < 3; ++d) {
+          voted[static_cast<std::size_t>(d)] =
+              out.add_lut(kMaj3, {qs[0], qs[1], qs[2]});
+          out.set_placement_group(
+              out.net(voted[static_cast<std::size_t>(d)]).driver,
+              static_cast<u8>(d + 1));
+        }
+        net_map[c.outputs[0]] = voted;
+      } else {
+        net_map[c.outputs[0]] = qs;
+      }
+      fixups.push_back(fix);
+    } else if (c.kind == CellKind::kSrl16) {
+      std::array<NetId, 3> qs{};
+      SeqFix fix;
+      fix.src_cell = id;
+      for (int d = 0; d < 3; ++d) {
+        qs[static_cast<std::size_t>(d)] = out.add_srl16(
+            zero, {zero, zero, zero, zero}, kNoNet, c.lut_truth);
+        fix.domain_cells[static_cast<std::size_t>(d)] =
+            out.net(qs[static_cast<std::size_t>(d)]).driver;
+        out.set_placement_group(fix.domain_cells[static_cast<std::size_t>(d)],
+                                static_cast<u8>(d + 1));
+      }
+      net_map[c.outputs[0]] = qs;
+      fixups.push_back(fix);
+    } else if (c.kind == CellKind::kBram) {
+      std::array<NetId, 8> zaddr;
+      zaddr.fill(zero);
+      std::array<NetId, 16> zdin;
+      zdin.fill(zero);
+      SeqFix fix;
+      fix.src_cell = id;
+      std::array<Netlist::BramPorts, 3> ports;
+      for (int d = 0; d < 3; ++d) {
+        ports[static_cast<std::size_t>(d)] =
+            out.add_bram(zero, zaddr, zdin, src.bram_init(id));
+        fix.domain_cells[static_cast<std::size_t>(d)] =
+            ports[static_cast<std::size_t>(d)].cell;
+      }
+      for (std::size_t lane = 0; lane < c.outputs.size(); ++lane) {
+        net_map[c.outputs[lane]] = {ports[0].dout[lane], ports[1].dout[lane],
+                                    ports[2].dout[lane]};
+      }
+      fixups.push_back(fix);
+    }
+  }
+
+  // Combinational LUTs in dependency order (worklist).
+  bool progress = true;
+  std::vector<bool> done(src.cell_count(), false);
+  while (progress) {
+    progress = false;
+    for (CellId id : pending) {
+      const Cell& c = src.cell(id);
+      if (c.kind != CellKind::kLut || done[id]) continue;
+      bool ready = true;
+      for (unsigned i = 0; i < c.num_inputs && ready; ++i) {
+        ready = mapped(c.inputs[i]);
+      }
+      if (!ready) continue;
+      std::array<NetId, 3> outs{};
+      for (int d = 0; d < 3; ++d) {
+        std::vector<NetId> ins(c.num_inputs);
+        for (unsigned i = 0; i < c.num_inputs; ++i) {
+          ins[i] = net_map[c.inputs[i]][static_cast<std::size_t>(d)];
+        }
+        outs[static_cast<std::size_t>(d)] = out.add_lut(c.lut_truth, ins);
+        out.set_placement_group(out.net(outs[static_cast<std::size_t>(d)]).driver,
+                                static_cast<u8>(d + 1));
+      }
+      net_map[c.outputs[0]] = outs;
+      done[id] = true;
+      progress = true;
+    }
+  }
+
+  // Pass 3: rewire the sequential placeholders now that every net exists.
+  auto dom = [&](NetId n, int d) -> NetId {
+    if (n == kNoNet) return kNoNet;
+    VSCRUB_CHECK(net_map[n][0] != unmapped, "TMR: unmapped net (comb cycle?)");
+    return net_map[n][static_cast<std::size_t>(d)];
+  };
+  for (const SeqFix& fix : fixups) {
+    const Cell& c = src.cell(fix.src_cell);
+    for (int d = 0; d < 3; ++d) {
+      const CellId cell = fix.domain_cells[static_cast<std::size_t>(d)];
+      for (std::size_t pin = 0; pin < c.inputs.size(); ++pin) {
+        const NetId n = c.inputs[pin];
+        if (n == kNoNet) continue;
+        out.rewire_input(cell, static_cast<u8>(pin), dom(n, d));
+      }
+    }
+  }
+
+  // Output ports: one final majority voter per port.
+  for (CellId id : src.output_cells()) {
+    const Cell& c = src.cell(id);
+    const NetId n = c.inputs[0];
+    VSCRUB_CHECK(net_map[n][0] != unmapped, "TMR: output net unmapped");
+    const auto& copies = net_map[n];
+    const NetId voted = (copies[0] == copies[1] && copies[1] == copies[2])
+                            ? copies[0]  // shared source, no voter needed
+                            : out.add_lut(kMaj3,
+                                          {copies[0], copies[1], copies[2]});
+    out.add_output(c.name, voted);
+  }
+  return out;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,28 @@
+// Triple-module-redundancy transform (paper §III-A: once the sensitive
+// cross-section is known, "Selective Triple Module Redundancy (TMR) or
+// other mitigation techniques can then be selectively applied").
+//
+// The transform is XTMR-style: logic, state and constants are triplicated
+// into three domains; majority voters are inserted after every flip-flop
+// (cutting feedback loops, so a single-domain state error self-corrects on
+// the next cycle) and in front of every output port. Primary inputs are
+// shared across domains (the testbench drives one copy).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace vscrub {
+
+struct TmrOptions {
+  /// Insert per-domain voters after flip-flops (feedback synchronization).
+  /// Disabling leaves only output voters: cheaper, but state errors in one
+  /// domain persist (useful as an ablation).
+  bool vote_after_ff = true;
+};
+
+/// Returns the triplicated netlist. Port names and order are preserved, so
+/// the TMR'd design is a drop-in replacement: its reference trace equals
+/// the original's.
+Netlist apply_tmr(const Netlist& src, const TmrOptions& options = {});
+
+}  // namespace vscrub

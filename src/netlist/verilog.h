@@ -1,0 +1,20 @@
+// Structural Verilog export: lets designs built with the vscrub builder (or
+// RadDRC/TMR-transformed variants) be taken to a real FPGA toolchain.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace vscrub {
+
+/// Emits synthesizable structural Verilog-2001 for `nl`: LUTs as `assign`
+/// case expressions, FFs/SRL16s/BRAMs as behavioural always-blocks with
+/// init values, single clock `clk` and active-high synchronous reset
+/// handled per-FF via its SR net. Port names are sanitized ([x] -> _x_).
+std::string export_verilog(const Netlist& nl);
+
+/// Writes export_verilog(nl) to `path`.
+void write_verilog(const Netlist& nl, const std::string& path);
+
+}  // namespace vscrub

@@ -1,0 +1,490 @@
+// compile(): packing/placement -> physical netlist -> routing -> bitgen.
+#include "pnr/pnr.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "fabric/routing_model.h"
+#include "netlist/legalize.h"
+#include "pnr/pnr_internal.h"
+
+namespace vscrub {
+
+using namespace pnr_detail;
+
+namespace {
+
+constexpr u32 kPositionsPerTile = 4;
+
+struct SiteLoc {
+  TileCoord tile;
+  int lut = 0;  ///< LUT position 0..3 (== FF index); slice = lut/2
+};
+
+SiteLoc loc_of(const DeviceGeometry& geom, const Placement& pl, u32 site) {
+  const u32 pos = pl.pos_of_site[site];
+  return SiteLoc{geom.tile_coord(pos / kPositionsPerTile),
+                 static_cast<int>(pos % kPositionsPerTile)};
+}
+
+/// Expands a k-input truth table to the 4-input physical LUT by making the
+/// output independent of the unused (half-latch-fed) pins — the "redundant
+/// encoding" of paper §III-C.
+u16 expand_truth(u16 truth, int num_inputs) {
+  const unsigned mask = (1u << num_inputs) - 1;
+  u16 expanded = 0;
+  for (unsigned idx = 0; idx < 16; ++idx) {
+    if ((truth >> (idx & mask)) & 1) expanded |= static_cast<u16>(1u << idx);
+  }
+  return expanded;
+}
+
+}  // namespace
+
+PlacedDesign compile(std::shared_ptr<const Netlist> netlist,
+                     std::shared_ptr<const ConfigSpace> space,
+                     const PnrOptions& options) {
+  // Legalize: constants feeding LUT data pins must be folded into truth
+  // tables (a half-latch cannot represent a constant 0 at a LUT pin).
+  {
+    Netlist legalized = *netlist;
+    if (fold_constant_lut_inputs(legalized) > 0) {
+      netlist = std::make_shared<const Netlist>(std::move(legalized));
+    }
+  }
+  const Netlist& nl = *netlist;
+  const DeviceGeometry& geom = space->geometry();
+  Rng rng(options.seed);
+
+  PlacedDesign design(netlist, space);
+  design.options = options;
+
+  PackPlaceResult pp = pack_and_place(nl, geom, options, rng);
+  const auto& sites = pp.sites;
+  const Placement& pl = pp.placement;
+  design.output_taps = pp.output_taps;
+  design.brams = std::move(pp.brams);
+  design.stats = pp.stats;
+
+  const bool raddrc =
+      options.halflatch_policy != HalfLatchPolicy::kUseHalfLatches;
+
+  auto site_of = [&](CellId id) -> i32 {
+    auto it = pp.site_of_cell.find(id);
+    return it == pp.site_of_cell.end() ? -1 : static_cast<i32>(it->second);
+  };
+  std::unordered_map<CellId, std::size_t> bram_index;
+  for (std::size_t i = 0; i < design.brams.size(); ++i) {
+    bram_index[design.brams[i].cell] = i;
+  }
+  std::unordered_map<CellId, std::size_t> output_index;
+  for (std::size_t i = 0; i < nl.output_cells().size(); ++i) {
+    output_index[nl.output_cells()[i]] = i;
+  }
+  std::unordered_map<u64, u32> relay_lookup;  // key: bram cell<<8 | lane
+  for (u32 s = 0; s < sites.size(); ++s) {
+    if (sites[s].kind == Site::Kind::kBramRelay) {
+      relay_lookup[(static_cast<u64>(sites[s].bram_cell) << 8) |
+                   sites[s].bram_lane] = s;
+    }
+  }
+
+  // ---- Build the physical netlist --------------------------------------------
+  std::vector<PhysNet> phys;
+
+  // Source of a netlist net in fabric coordinates (invalid => not routed
+  // from the fabric: consts and internal nets).
+  auto net_source = [&](NetId n) -> std::optional<PhysNet> {
+    const Net& net = nl.net(n);
+    const Cell& drv = nl.cell(net.driver);
+    PhysNet p;
+    p.net = n;
+    switch (drv.kind) {
+      case CellKind::kLut:
+      case CellKind::kSrl16:
+      case CellKind::kInput: {
+        const i32 s = site_of(net.driver);
+        VSCRUB_CHECK(s >= 0, "unplaced driver cell");
+        const SiteLoc loc = loc_of(geom, pl, static_cast<u32>(s));
+        p.src_tile = loc.tile;
+        p.src_out = static_cast<u8>(comb_output_index(loc.lut));
+        return p;
+      }
+      case CellKind::kFf: {
+        const i32 s = site_of(net.driver);
+        VSCRUB_CHECK(s >= 0, "unplaced FF cell");
+        const SiteLoc loc = loc_of(geom, pl, static_cast<u32>(s));
+        p.src_tile = loc.tile;
+        p.src_out = static_cast<u8>(reg_output_index(loc.lut));
+        return p;
+      }
+      case CellKind::kBram: {
+        const u64 key = (static_cast<u64>(net.driver) << 8) | net.driver_pin;
+        auto it = relay_lookup.find(key);
+        if (it == relay_lookup.end()) return std::nullopt;  // lane unused
+        const SiteLoc loc = loc_of(geom, pl, it->second);
+        p.src_tile = loc.tile;
+        p.src_out = static_cast<u8>(comb_output_index(loc.lut));
+        return p;
+      }
+      default:
+        return std::nullopt;  // consts handled separately
+    }
+  };
+
+  // Sink pin mapping. CE/SR/const pins are handled at slice level below.
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.sinks.empty()) continue;
+    const Cell& drv = nl.cell(net.driver);
+    if (drv.kind == CellKind::kConst || drv.kind == CellKind::kOutput) continue;
+    auto src = net_source(n);
+    if (!src) continue;
+    const i32 drv_site = site_of(net.driver);
+
+    std::vector<PhysNet::Sink> sinks;
+    for (const Net::Sink& sink : net.sinks) {
+      const Cell& sc = nl.cell(sink.cell);
+      switch (sc.kind) {
+        case CellKind::kLut: {
+          const i32 s = site_of(sink.cell);
+          VSCRUB_CHECK(s >= 0, "unplaced LUT sink");
+          const SiteLoc loc = loc_of(geom, pl, static_cast<u32>(s));
+          sinks.push_back(
+              {loc.tile, static_cast<u8>(lut_input_pin(loc.lut, sink.pin))});
+          break;
+        }
+        case CellKind::kSrl16: {
+          const i32 s = site_of(sink.cell);
+          const SiteLoc loc = loc_of(geom, pl, static_cast<u32>(s));
+          if (sink.pin == 0) {  // shift data in via the bypass pin
+            sinks.push_back({loc.tile, static_cast<u8>(byp_pin(loc.lut))});
+          } else if (sink.pin >= 2) {  // tap address on the LUT input pins
+            sinks.push_back({loc.tile, static_cast<u8>(lut_input_pin(
+                                           loc.lut, sink.pin - 2))});
+          }
+          // pin 1 (CE) handled at slice level.
+          break;
+        }
+        case CellKind::kFf: {
+          if (sink.pin != 0) break;  // CE/SR at slice level
+          const i32 s = site_of(sink.cell);
+          VSCRUB_CHECK(s >= 0, "unplaced FF sink");
+          if (s == drv_site && sites[static_cast<u32>(s)].lut_cell == net.driver) {
+            break;  // paired LUT->FF: internal D path, not routed
+          }
+          const SiteLoc loc = loc_of(geom, pl, static_cast<u32>(s));
+          sinks.push_back({loc.tile, static_cast<u8>(byp_pin(loc.lut))});
+          break;
+        }
+        case CellKind::kOutput: {
+          const TapPoint& tap = design.output_taps[output_index.at(sink.cell)];
+          sinks.push_back({tap.tile, tap.pin});
+          break;
+        }
+        case CellKind::kBram: {
+          auto& binding = design.brams[bram_index.at(sink.cell)];
+          if (binding.input_tap_valid[sink.pin]) {
+            const TapPoint& tap = binding.input_taps[sink.pin];
+            sinks.push_back({tap.tile, tap.pin});
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    // Dedupe pins (a net can feed two pins that map to one physical pin).
+    std::sort(sinks.begin(), sinks.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.tile.row, a.tile.col, a.pin) <
+             std::tie(b.tile.row, b.tile.col, b.pin);
+    });
+    sinks.erase(std::unique(sinks.begin(), sinks.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.tile == b.tile && a.pin == b.pin;
+                            }),
+                sinks.end());
+    if (sinks.empty()) continue;
+    src->sinks = std::move(sinks);
+    phys.push_back(std::move(*src));
+  }
+
+  // ---- Slice-level control pins (CE/SR) and constant ties --------------------
+  // Gather per-slice control requirements.
+  struct SliceCtl {
+    bool has_seq = false;  ///< any FF or SRL in the slice
+    NetId ce = kNoNet;
+    NetId sr = kNoNet;
+  };
+  std::map<std::pair<u32, int>, SliceCtl> slice_ctl;  // (tile index, slice)
+  for (u32 s = 0; s < sites.size(); ++s) {
+    const Site& site = sites[s];
+    const bool seq = site.kind == Site::Kind::kSrl ||
+                     (site.kind == Site::Kind::kLogic && site.has_ff());
+    if (!seq) continue;
+    const SiteLoc loc = loc_of(geom, pl, s);
+    auto& ctl = slice_ctl[{geom.tile_index(loc.tile), loc.lut / 2}];
+    ctl.has_seq = true;
+    if (site.ce_net != kNoNet) ctl.ce = site.ce_net;
+    if (site.kind == Site::Kind::kLogic && site.sr_net != kNoNet) {
+      ctl.sr = site.sr_net;
+    }
+  }
+
+  // Constant ties: collected per polarity, then sharded over providers.
+  std::vector<PhysNet::Sink> const_ties[2];
+  auto tie_const = [&](TileCoord tile, u8 pin, bool value) {
+    const_ties[value ? 1 : 0].push_back({tile, pin});
+  };
+  auto record_halflatch = [&](TileCoord tile, u8 pin, bool critical) {
+    design.halflatch_uses.push_back({tile, pin, critical});
+  };
+
+  // Map net id -> pointer into phys for appending control-pin sinks.
+  std::unordered_map<NetId, std::size_t> phys_of_net;
+  for (std::size_t i = 0; i < phys.size(); ++i) phys_of_net[phys[i].net] = i;
+  auto append_sink = [&](NetId n, TileCoord tile, u8 pin) {
+    auto it = phys_of_net.find(n);
+    if (it == phys_of_net.end()) {
+      auto src = net_source(n);
+      VSCRUB_CHECK(src.has_value(), "control net has no routable source");
+      phys_of_net[n] = phys.size();
+      phys.push_back(std::move(*src));
+      it = phys_of_net.find(n);
+    }
+    phys[it->second].sinks.push_back({tile, pin});
+  };
+
+  for (const auto& [key, ctl] : slice_ctl) {
+    const TileCoord tile = geom.tile_coord(key.first);
+    const int slice = key.second;
+    const u8 cep = static_cast<u8>(ce_pin(slice));
+    const u8 srp = static_cast<u8>(sr_pin(slice));
+    // CE pin: routed net, constant, or idle (half-latch high).
+    bool ce_const;
+    const bool ce_is_const =
+        ctl.ce != kNoNet &&
+        nl.cell(nl.net(ctl.ce).driver).kind == CellKind::kConst &&
+        (ce_const = nl.cell(nl.net(ctl.ce).driver).const_value, true);
+    if (ctl.ce != kNoNet && !ce_is_const) {
+      append_sink(ctl.ce, tile, cep);
+    } else {
+      const bool want = ce_is_const ? ce_const : true;  // idle CE == enabled
+      if (!raddrc && want == halflatch_startup_value(cep)) {
+        record_halflatch(tile, cep, /*critical=*/true);
+      } else {
+        tie_const(tile, cep, want);
+      }
+    }
+    // SR pin.
+    bool sr_const;
+    const bool sr_is_const =
+        ctl.sr != kNoNet &&
+        nl.cell(nl.net(ctl.sr).driver).kind == CellKind::kConst &&
+        (sr_const = nl.cell(nl.net(ctl.sr).driver).const_value, true);
+    if (ctl.sr != kNoNet && !sr_is_const) {
+      append_sink(ctl.sr, tile, srp);
+    } else {
+      const bool want = sr_is_const ? sr_const : false;  // idle SR == inactive
+      if (!raddrc && want == halflatch_startup_value(srp)) {
+        record_halflatch(tile, srp, /*critical=*/true);
+      } else {
+        tie_const(tile, srp, want);
+      }
+    }
+  }
+
+  // SRL constant tap-address pins.
+  for (u32 s = 0; s < sites.size(); ++s) {
+    const Site& site = sites[s];
+    if (site.kind != Site::Kind::kSrl) continue;
+    const Cell& c = nl.cell(site.lut_cell);
+    const SiteLoc loc = loc_of(geom, pl, s);
+    for (int i = 0; i < 4; ++i) {
+      const NetId a = c.inputs[static_cast<std::size_t>(2 + i)];
+      const u8 pin = static_cast<u8>(lut_input_pin(loc.lut, i));
+      if (a == kNoNet) {
+        record_halflatch(loc.tile, pin, /*critical=*/true);
+        continue;
+      }
+      const Cell& drv = nl.cell(nl.net(a).driver);
+      if (drv.kind != CellKind::kConst) continue;  // routed via normal sinks
+      if (!raddrc && drv.const_value == halflatch_startup_value(pin)) {
+        // Unlike plain LUT inputs, an SRL tap address is *not* redundantly
+        // encoded: a half-latch flip moves the tap.
+        record_halflatch(loc.tile, pin, /*critical=*/true);
+      } else {
+        tie_const(loc.tile, pin, drv.const_value);
+      }
+    }
+  }
+
+  // Unused LUT input pins on plain LUTs: non-critical half-latch uses
+  // (redundant truth encoding makes them don't-cares).
+  for (u32 s = 0; s < sites.size(); ++s) {
+    const Site& site = sites[s];
+    if (site.kind != Site::Kind::kLogic || site.lut_cell == kNoCell) continue;
+    const Cell& c = nl.cell(site.lut_cell);
+    const SiteLoc loc = loc_of(geom, pl, s);
+    for (int i = c.num_inputs; i < kLutInputs; ++i) {
+      record_halflatch(loc.tile, static_cast<u8>(lut_input_pin(loc.lut, i)),
+                       /*critical=*/false);
+    }
+  }
+
+  // Shard constant ties over the provider sites.
+  for (int v = 0; v < 2; ++v) {
+    auto& ties = const_ties[v];
+    const auto& providers = pp.const_sites[v];
+    VSCRUB_CHECK(ties.empty() || !providers.empty(),
+                 "constant demand was underestimated at packing time");
+    for (std::size_t i = 0; i < ties.size(); i += 24) {
+      const u32 provider = providers[(i / 24) % providers.size()];
+      const SiteLoc loc = loc_of(geom, pl, provider);
+      PhysNet p;
+      p.net = kNoNet;
+      p.src_tile = loc.tile;
+      p.src_out = static_cast<u8>(comb_output_index(loc.lut));
+      for (std::size_t j = i; j < std::min(ties.size(), i + 24); ++j) {
+        p.sinks.push_back(ties[j]);
+      }
+      phys.push_back(std::move(p));
+    }
+  }
+
+  // ---- Route ------------------------------------------------------------------
+  Router router(geom, options.router_max_iters);
+  int iterations = 0;
+  std::vector<RouteTree> trees = router.route(phys, &iterations);
+  design.stats.router_iterations = iterations;
+
+  // ---- Bitgen -----------------------------------------------------------------
+  Bitstream& bs = design.bitstream;
+
+  // Sites.
+  for (u32 s = 0; s < sites.size(); ++s) {
+    const Site& site = sites[s];
+    const SiteLoc loc = loc_of(geom, pl, s);
+    const TileCoord t = loc.tile;
+    const int lut = loc.lut;
+    switch (site.kind) {
+      case Site::Kind::kLogic: {
+        if (site.lut_cell != kNoCell) {
+          const Cell& c = nl.cell(site.lut_cell);
+          bs.set_lut_truth(t, lut, expand_truth(c.lut_truth, c.num_inputs));
+          bs.set_lut_mode(t, lut, LutMode::kLut);
+        }
+        if (site.ff_cell != kNoCell) {
+          const Cell& f = nl.cell(site.ff_cell);
+          bs.set_ff_used(t, lut, true);
+          bs.set_ff_init(t, lut, f.ff_init);
+          bs.set_ff_dsrc_bypass(t, lut, site.lut_cell == kNoCell ||
+                                            nl.net(f.inputs[0]).driver !=
+                                                site.lut_cell);
+          bs.set_slice_clk_en(t, lut / 2, true);
+        }
+        break;
+      }
+      case Site::Kind::kSrl: {
+        const Cell& c = nl.cell(site.lut_cell);
+        bs.set_lut_mode(t, lut, LutMode::kSrl16);
+        bs.set_lut_truth(t, lut, c.lut_truth);  // initial contents
+        bs.set_slice_clk_en(t, lut / 2, true);
+        design.dynamic_lut_sites.push_back(
+            {t, static_cast<u8>(lut)});
+        break;
+      }
+      case Site::Kind::kInput:
+      case Site::Kind::kBramRelay:
+      case Site::Kind::kExtConst: {
+        // Overridden by the harness; configure as a benign empty LUT.
+        bs.set_lut_mode(t, lut, LutMode::kLut);
+        break;
+      }
+      case Site::Kind::kRomConst: {
+        bs.set_lut_mode(t, lut, LutMode::kLut);
+        bs.set_lut_truth(t, lut, site.const_value ? 0xFFFF : 0x0000);
+        break;
+      }
+    }
+  }
+
+  // Routing programming.
+  design.routed_nets.reserve(phys.size());
+  for (std::size_t i = 0; i < phys.size(); ++i) {
+    const PhysNet& p = phys[i];
+    const RouteTree& tree = trees[i];
+    RoutedNet rn;
+    rn.net = p.net;
+    rn.wires = tree.wires;
+    for (const RoutedWire& rw : tree.wires) {
+      bs.set_omux_code(rw.tile, rw.dir, rw.windex, rw.code);
+    }
+    for (std::size_t si = 0; si < p.sinks.size(); ++si) {
+      bs.set_imux_code(p.sinks[si].tile, p.sinks[si].pin, tree.sink_codes[si]);
+    }
+    design.stats.wires_used += tree.wires.size();
+    design.routed_nets.push_back(std::move(rn));
+  }
+  design.stats.total_wirelength = design.stats.wires_used;
+
+  // BRAM configuration.
+  for (auto& binding : design.brams) {
+    bs.set_bram_config(binding.bram_col, binding.block, 0x01);  // bit0: used
+    const auto& init = nl.bram_init(binding.cell);
+    for (int word = 0; word < kBramWords; ++word) {
+      for (int bit = 0; bit < kBramWidth; ++bit) {
+        bs.set_bram_content_bit(
+            binding.bram_col, binding.block,
+            static_cast<u16>(word * kBramWidth + bit),
+            (init[static_cast<std::size_t>(word)] >> bit) & 1);
+      }
+    }
+    // Fill harness drive points for used DOUT lanes.
+    const Cell& c = nl.cell(binding.cell);
+    for (std::size_t lane = 0; lane < c.outputs.size(); ++lane) {
+      if (!binding.dout_drive_valid[lane]) continue;
+      const u32 relay =
+          relay_lookup.at((static_cast<u64>(binding.cell) << 8) | lane);
+      const SiteLoc loc = loc_of(geom, pl, relay);
+      binding.dout_drives[lane] = DrivePoint{
+          loc.tile, static_cast<u8>(comb_output_index(loc.lut))};
+    }
+  }
+
+  // Input drive points / external constants.
+  design.input_drives.resize(nl.input_cells().size());
+  for (std::size_t i = 0; i < nl.input_cells().size(); ++i) {
+    const i32 s = site_of(nl.input_cells()[i]);
+    VSCRUB_CHECK(s >= 0, "unplaced input cell");
+    const SiteLoc loc = loc_of(geom, pl, static_cast<u32>(s));
+    design.input_drives[i] = DrivePoint{
+        loc.tile, static_cast<u8>(comb_output_index(loc.lut))};
+  }
+  for (int v = 0; v < 2; ++v) {
+    for (u32 s : pp.const_sites[v]) {
+      if (sites[s].kind != Site::Kind::kExtConst) continue;
+      const SiteLoc loc = loc_of(geom, pl, s);
+      design.external_consts.push_back(
+          {DrivePoint{loc.tile, static_cast<u8>(comb_output_index(loc.lut))},
+           v != 0});
+    }
+  }
+
+  VSCRUB_INFO("compiled ", nl.name(), ": ", design.stats.slices_used,
+              " slices (", design.stats.utilization * 100.0, "%), ",
+              design.stats.wires_used, " wires, router iters ",
+              design.stats.router_iterations);
+  return design;
+}
+
+PlacedDesign compile(Netlist netlist, const DeviceGeometry& geom,
+                     const PnrOptions& options) {
+  return compile(std::make_shared<const Netlist>(std::move(netlist)),
+                 std::make_shared<const ConfigSpace>(geom), options);
+}
+
+}  // namespace vscrub

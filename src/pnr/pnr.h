@@ -1,0 +1,21 @@
+// Public PnR entry point: compile a netlist onto a device.
+#pragma once
+
+#include <memory>
+
+#include "pnr/placed_design.h"
+
+namespace vscrub {
+
+/// Packs, places, routes and bitgens `netlist` for the device described by
+/// `space`. Throws Error if the design does not fit or cannot be routed
+/// within options.router_max_iters PathFinder iterations.
+PlacedDesign compile(std::shared_ptr<const Netlist> netlist,
+                     std::shared_ptr<const ConfigSpace> space,
+                     const PnrOptions& options = {});
+
+/// Convenience overload owning fresh copies.
+PlacedDesign compile(Netlist netlist, const DeviceGeometry& geom,
+                     const PnrOptions& options = {});
+
+}  // namespace vscrub

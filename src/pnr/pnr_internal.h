@@ -1,0 +1,102 @@
+// Internal data model shared by the packer/placer, router, and bitgen.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "pnr/placed_design.h"
+
+namespace vscrub::pnr_detail {
+
+using namespace vscrub;
+
+/// What occupies a LUT position (and optionally its paired FF position).
+struct Site {
+  enum class Kind : u8 {
+    kLogic,      ///< LUT and/or FF from the netlist
+    kSrl,        ///< SRL16 cell (no FF use at this position)
+    kInput,      ///< primary input (output overridden by harness)
+    kBramRelay,  ///< BRAM DOUT lane relay (output overridden by harness)
+    kRomConst,   ///< LUT-ROM constant generator
+    kExtConst,   ///< external-constant port (output overridden by harness)
+  };
+  Kind kind = Kind::kLogic;
+  CellId lut_cell = kNoCell;  ///< kLut / kSrl16 / kInput cell, or kNoCell
+  CellId ff_cell = kNoCell;   ///< kFf cell co-located here, or kNoCell
+  // For kBramRelay: which BRAM cell + dout lane.
+  CellId bram_cell = kNoCell;
+  u8 bram_lane = 0;
+  // For kRomConst / kExtConst: the constant value provided.
+  bool const_value = false;
+  // Slice-compat key (CE net, SR net) — kNoNet means "half-latch idle".
+  NetId ce_net = kNoNet;
+  NetId sr_net = kNoNet;
+  bool has_ff() const { return ff_cell != kNoCell; }
+  // Optional placement region (column range), used to keep BRAM relays near
+  // their column.
+  u16 min_col = 0;
+  u16 max_col = 0xFFFF;
+};
+
+/// Placement state: site index -> position, and the reverse map.
+struct Placement {
+  // position id = tile_index * 4 + lut_position
+  std::vector<i32> site_of_pos;  ///< -1 if free
+  std::vector<u32> pos_of_site;
+};
+
+/// A net to route on the fabric.
+struct PhysNet {
+  NetId net = kNoNet;           ///< netlist net (kNoNet for synthetic nets)
+  // Source: a CLB output.
+  TileCoord src_tile;
+  u8 src_out = 0;
+  // Sinks: imux pins.
+  struct Sink {
+    TileCoord tile;
+    u8 pin = 0;
+  };
+  std::vector<Sink> sinks;
+};
+
+/// Result of routing one net.
+struct RouteTree {
+  std::vector<RoutedWire> wires;
+  // Per sink: the imux code programmed at the sink pin.
+  std::vector<u8> sink_codes;
+};
+
+struct PackPlaceResult {
+  std::vector<Site> sites;
+  Placement placement;
+  // cell -> site index (for kLut/kSrl16/kInput cells and FFs)
+  std::unordered_map<CellId, u32> site_of_cell;
+  // net -> list of (site providing the value as CLB output)
+  // Output taps assigned per output cell.
+  std::vector<TapPoint> output_taps;
+  // BRAM bindings (taps filled later by the router phase glue).
+  std::vector<PlacedDesign::BramBinding> brams;
+  // Synthetic const provider sites per polarity (sharded); empty if policy
+  // keeps half-latches everywhere.
+  std::vector<u32> const_sites[2];
+  PnrStats stats;
+};
+
+PackPlaceResult pack_and_place(const Netlist& nl, const DeviceGeometry& geom,
+                               const PnrOptions& options, Rng& rng);
+
+class Router {
+ public:
+  Router(const DeviceGeometry& geom, int max_iters);
+  /// Routes all nets; throws on failure. Returns trees aligned with `nets`.
+  std::vector<RouteTree> route(const std::vector<PhysNet>& nets,
+                               int* iterations_out);
+
+ private:
+  const DeviceGeometry& geom_;
+  int max_iters_;
+};
+
+}  // namespace vscrub::pnr_detail

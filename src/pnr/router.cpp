@@ -1,0 +1,229 @@
+// PathFinder-style negotiated-congestion router over the single-wire fabric.
+//
+// Node space: every out-wire of every tile (tile * 96 + dir * 24 + windex).
+// A wire has capacity 1 (its OMUX selects exactly one source). Sources are
+// CLB outputs (reachable onto the 20 OMUX wires per direction of the source
+// tile); sinks are IMUX pins (reachable from any wire arriving at the sink
+// tile, or directly from a same-tile CLB output via the feedback codes).
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/log.h"
+#include "fabric/routing_model.h"
+#include "pnr/pnr_internal.h"
+
+namespace vscrub::pnr_detail {
+namespace {
+
+constexpr u32 kNoWire = 0xFFFFFFFFu;
+
+struct WireRef {
+  u32 tile;  ///< tile index
+  Dir dir;
+  u8 windex;
+};
+
+u32 wire_id(const DeviceGeometry& geom, TileCoord t, Dir d, u8 w) {
+  return (geom.tile_index(t) * static_cast<u32>(kDirs) +
+          static_cast<u32>(d)) *
+             kWiresPerDir +
+         w;
+}
+
+WireRef wire_of(u32 id) {
+  WireRef r;
+  r.windex = static_cast<u8>(id % kWiresPerDir);
+  const u32 rest = id / kWiresPerDir;
+  r.dir = static_cast<Dir>(rest % kDirs);
+  r.tile = rest / kDirs;
+  return r;
+}
+
+struct QueueEntry {
+  double priority;
+  double cost;
+  u32 wire;
+  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
+};
+
+}  // namespace
+
+Router::Router(const DeviceGeometry& geom, int max_iters)
+    : geom_(geom), max_iters_(max_iters) {}
+
+std::vector<RouteTree> Router::route(const std::vector<PhysNet>& nets,
+                                     int* iterations_out) {
+  const u32 num_wires = geom_.tile_count() * kWiresPerClb;
+  std::vector<u16> occ(num_wires, 0);
+  std::vector<float> hist(num_wires, 0.0f);
+
+  // Dijkstra scratch, reused across searches via an epoch stamp.
+  std::vector<u32> epoch(num_wires, 0);
+  std::vector<double> dist(num_wires, 0.0);
+  std::vector<u32> parent(num_wires, kNoWire);
+  std::vector<u8> parent_code(num_wires, 0);
+  u32 current_epoch = 0;
+
+  std::vector<RouteTree> trees(nets.size());
+  // Per-net tree membership, also epoch-stamped.
+  std::vector<u32> tree_epoch(num_wires, 0);
+  u32 tree_stamp = 0;
+
+  double pres_fac = 0.8;
+  int iter = 0;
+  for (iter = 1; iter <= max_iters_; ++iter) {
+    bool any_overuse = false;
+    for (std::size_t ni = 0; ni < nets.size(); ++ni) {
+      const PhysNet& net = nets[ni];
+      RouteTree& tree = trees[ni];
+      // Rip up the previous route of this net.
+      for (const RoutedWire& rw : tree.wires) {
+        --occ[wire_id(geom_, rw.tile, rw.dir, rw.windex)];
+      }
+      tree.wires.clear();
+      tree.sink_codes.assign(net.sinks.size(), 0);
+      if (net.sinks.empty()) continue;
+
+      ++tree_stamp;
+
+      auto wire_cost = [&](u32 w) -> double {
+        const double congestion =
+            1.0 + pres_fac * static_cast<double>(occ[w]);  // cap == 1
+        return (1.0 + static_cast<double>(hist[w])) * congestion;
+      };
+
+      // Route each sink, nearest first.
+      std::vector<std::size_t> sink_order(net.sinks.size());
+      for (std::size_t i = 0; i < sink_order.size(); ++i) sink_order[i] = i;
+      std::sort(sink_order.begin(), sink_order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  auto d = [&](const PhysNet::Sink& s) {
+                    return std::abs(static_cast<int>(s.tile.row) -
+                                    static_cast<int>(net.src_tile.row)) +
+                           std::abs(static_cast<int>(s.tile.col) -
+                                    static_cast<int>(net.src_tile.col));
+                  };
+                  return d(net.sinks[a]) < d(net.sinks[b]);
+                });
+
+      for (std::size_t si : sink_order) {
+        const PhysNet::Sink& sink = net.sinks[si];
+        // Same-tile feedback needs no wires.
+        if (sink.tile == net.src_tile) {
+          tree.sink_codes[si] = encode_imux(PinSource{
+              PinSource::Kind::kClbOutput, Dir::kNorth, 0, net.src_out});
+          continue;
+        }
+        // Does an existing tree wire already arrive at the sink tile?
+        {
+          bool done = false;
+          for (const RoutedWire& rw : tree.wires) {
+            const auto nb = geom_.neighbor(rw.tile, rw.dir);
+            if (nb && *nb == sink.tile) {
+              tree.sink_codes[si] = encode_imux(
+                  PinSource{PinSource::Kind::kIncoming, opposite(rw.dir),
+                            rw.windex, 0});
+              done = true;
+              break;
+            }
+          }
+          if (done) continue;
+        }
+
+        // A* from the source slots + existing tree.
+        ++current_epoch;
+        std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                            std::greater<QueueEntry>>
+            queue;
+        auto heuristic = [&](u32 w) -> double {
+          const WireRef r = wire_of(w);
+          const auto head = geom_.neighbor(geom_.tile_coord(r.tile), r.dir);
+          const TileCoord t = head ? *head : geom_.tile_coord(r.tile);
+          return static_cast<double>(
+              std::abs(static_cast<int>(t.row) - static_cast<int>(sink.tile.row)) +
+              std::abs(static_cast<int>(t.col) - static_cast<int>(sink.tile.col)));
+        };
+        auto relax = [&](u32 w, double cost, u32 par, u8 code) {
+          if (epoch[w] == current_epoch && dist[w] <= cost) return;
+          epoch[w] = current_epoch;
+          dist[w] = cost;
+          parent[w] = par;
+          parent_code[w] = code;
+          queue.push(QueueEntry{cost + heuristic(w), cost, w});
+        };
+
+        // Seed: wires drivable from the source CLB output...
+        for (const OmuxSlot& slot : omux_consumers_of_output(net.src_out)) {
+          const u32 w = wire_id(geom_, net.src_tile, slot.dir, slot.windex);
+          relax(w, wire_cost(w), kNoWire, slot.code);
+        }
+        // ...plus the existing tree at zero cost (keeping recorded codes).
+        for (const RoutedWire& rw : tree.wires) {
+          const u32 w = wire_id(geom_, rw.tile, rw.dir, rw.windex);
+          relax(w, 0.0, kNoWire, rw.code);
+          // Mark as pre-existing so backtracking stops here.
+        }
+
+        u32 found = kNoWire;
+        while (!queue.empty()) {
+          const QueueEntry e = queue.top();
+          queue.pop();
+          if (epoch[e.wire] != current_epoch || e.cost > dist[e.wire]) continue;
+          const WireRef r = wire_of(e.wire);
+          const auto head = geom_.neighbor(geom_.tile_coord(r.tile), r.dir);
+          if (!head) continue;  // dangles off the device edge
+          if (*head == sink.tile) {
+            found = e.wire;
+            break;
+          }
+          const Dir from = opposite(r.dir);
+          for (const OmuxSlot& slot :
+               omux_consumers_of_incoming(from, r.windex)) {
+            const u32 nw = wire_id(geom_, *head, slot.dir, slot.windex);
+            relax(nw, e.cost + wire_cost(nw), e.wire, slot.code);
+          }
+        }
+        VSCRUB_CHECK(found != kNoWire, "router: unreachable sink");
+
+        // Record the sink's IMUX code from the arriving wire.
+        {
+          const WireRef r = wire_of(found);
+          tree.sink_codes[si] = encode_imux(PinSource{
+              PinSource::Kind::kIncoming, opposite(r.dir), r.windex, 0});
+        }
+        // Backtrack, appending new wires (stop at wires already in the tree).
+        u32 w = found;
+        while (w != kNoWire && tree_epoch[w] != tree_stamp) {
+          tree_epoch[w] = tree_stamp;
+          const WireRef r = wire_of(w);
+          RoutedWire rw;
+          rw.tile = geom_.tile_coord(r.tile);
+          rw.dir = r.dir;
+          rw.windex = r.windex;
+          rw.code = parent_code[w];
+          tree.wires.push_back(rw);
+          w = parent[w];
+        }
+      }
+
+      for (const RoutedWire& rw : tree.wires) {
+        const u32 w = wire_id(geom_, rw.tile, rw.dir, rw.windex);
+        if (++occ[w] > 1) any_overuse = true;
+      }
+    }
+
+    if (!any_overuse) break;
+    // Update history costs on overused wires and sharpen the present factor.
+    for (u32 w = 0; w < num_wires; ++w) {
+      if (occ[w] > 1) hist[w] += 0.5f * static_cast<float>(occ[w] - 1);
+    }
+    pres_fac *= 1.6;
+    VSCRUB_CHECK(iter < max_iters_, "router: congestion did not resolve");
+  }
+
+  if (iterations_out) *iterations_out = iter;
+  return trees;
+}
+
+}  // namespace vscrub::pnr_detail

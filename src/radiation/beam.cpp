@@ -1,0 +1,239 @@
+#include "radiation/beam.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "bitstream/selectmap.h"
+#include "radiation/environment.h"
+
+namespace vscrub {
+
+BeamSession::BeamSession(const PlacedDesign& design, const BeamOptions& options)
+    : design_(&design),
+      options_(options),
+      dut_sim_(design.space),
+      golden_sim_(design.space),
+      dut_(design, dut_sim_, options.stim_seed),
+      golden_(design, golden_sim_, options.stim_seed),
+      rng_(options.seed) {
+  dut_.configure();
+  golden_.configure();
+}
+
+void BeamSession::full_reconfigure() {
+  // Full reconfiguration with the startup sequence: restores configuration,
+  // half-latches and FF init state (the only reliable half-latch recovery,
+  // §III-C). Both designs restart together.
+  dut_.configure();
+  golden_.configure();
+}
+
+BeamResult BeamSession::run(u64 observations,
+                            const std::unordered_set<u64>& predicted_sensitive,
+                            const std::vector<u64>& config_bit_universe) {
+  const ConfigSpace& space = *design_->space;
+  const DeviceGeometry& geom = space.geometry();
+  BeamResult result;
+
+  // Outstanding (un-repaired) upsets, plus upsets repaired since the last
+  // reset: a repaired configuration upset can leave persistent state
+  // corruption whose output error only surfaces later (the paper matched
+  // beam errors to upsets by timestamp/location analysis; the
+  // recently-repaired list is that attribution).
+  std::vector<u64> outstanding_config;        // linear bit indices
+  std::vector<u64> repaired_since_reset;
+  struct LatchHit {
+    TileCoord tile;
+    u8 pin;
+  };
+  std::vector<LatchHit> outstanding_latches;
+  u32 consecutive_error_obs = 0;
+
+  // Effective per-bit proton cross-section; only the product
+  // flux*sigma*bits matters, and the flux servo pins it to the target rate.
+  const double total_sites = static_cast<double>(space.total_bits()) /
+                             (1.0 - options_.hidden_state_fraction);
+  const double sigma_site = 1.3e-14;  // cm^2, typical proton sigma per bit
+  const double flux = options_.target_upsets_per_observation /
+                      (options_.observation_s * sigma_site * total_sites);
+
+  // Run-in before the beam: flush SRL/pipeline state so comparisons are
+  // meaningful from the first observation.
+  for (u32 t = 0; t < options_.warmup_cycles; ++t) {
+    dut_.step();
+    golden_.step();
+  }
+
+  for (u64 obs = 0; obs < observations; ++obs) {
+    ++result.observations;
+    result.beam_time += SimTime::seconds(options_.observation_s);
+    result.fluence_protons_cm2 += flux * options_.observation_s;
+
+    // --- Beam strikes during this observation -------------------------------
+    const u64 upsets = rng_.poisson(options_.target_upsets_per_observation);
+    for (u64 u = 0; u < upsets; ++u) {
+      ++result.upsets_total;
+      if (rng_.uniform01() < options_.hidden_state_fraction) {
+        if (rng_.uniform01() < options_.config_logic_fraction) {
+          // Configuration state machine hit: "the device becomes
+          // unprogrammed" (§III-C) — detected immediately, full reconfig.
+          ++result.upsets_config_logic;
+          ++result.unprogrammed_events;
+          ++result.full_reconfigs;
+          full_reconfigure();
+          outstanding_config.clear();
+          outstanding_latches.clear();
+          repaired_since_reset.clear();
+          consecutive_error_obs = 0;
+          continue;
+        }
+        ++result.upsets_halflatch;
+        const u32 t = static_cast<u32>(rng_.uniform(geom.tile_count()));
+        const u8 pin = static_cast<u8>(rng_.uniform(kImuxPins));
+        const TileCoord tile = geom.tile_coord(t);
+        dut_sim_.flip_halflatch(tile, pin);
+        outstanding_latches.push_back({tile, pin});
+      } else {
+        ++result.upsets_config;
+        const u64 lin =
+            config_bit_universe.empty()
+                ? rng_.uniform(space.total_bits())
+                : config_bit_universe[rng_.uniform(config_bit_universe.size())];
+        dut_sim_.flip_config_bit(space.address_of_linear(lin));
+        outstanding_config.push_back(lin);
+      }
+    }
+
+    // --- Run at speed, comparing DUT vs golden every cycle ------------------
+    bool output_error = false;
+    for (u32 t = 0; t < options_.sim_cycles_per_observation; ++t) {
+      dut_.step();
+      golden_.step();
+      if (!(dut_.last_outputs() == golden_.last_outputs())) {
+        output_error = true;
+        break;
+      }
+    }
+
+    if (output_error) {
+      ++result.output_error_observations;
+      // Attribution: if any outstanding config upset is simulator-predicted
+      // sensitive, the simulator predicted this error; otherwise only hidden
+      // state can explain it.
+      const auto is_predicted = [&](u64 lin) {
+        return predicted_sensitive.count(lin) != 0;
+      };
+      const bool predicted =
+          std::any_of(outstanding_config.begin(), outstanding_config.end(),
+                      is_predicted) ||
+          std::any_of(repaired_since_reset.begin(),
+                      repaired_since_reset.end(), is_predicted);
+      if (predicted) {
+        ++result.predicted_errors;
+      } else {
+        ++result.unpredicted_errors;
+      }
+      ++consecutive_error_obs;
+    } else {
+      consecutive_error_obs = 0;
+    }
+
+    // --- Readback scan: detect & repair bitstream upsets ---------------------
+    // A real readback pass compares *every* frame, so collateral corruption
+    // (e.g. a flipped LutMode bit letting live LUT cells shift away) is
+    // found and repaired along with the struck bits themselves.
+    if (!outstanding_config.empty()) {
+      const auto frame_masked = [&](const FrameAddress& fa) {
+        if (fa.kind != ColumnKind::kClb) return true;  // BRAM: no readback
+        for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+          if (site.tile.col == fa.col &&
+              ConfigSpace::frame_holds_slice_lut_bits(
+                  fa.frame, site.lut / kLutsPerSlice)) {
+            return true;
+          }
+        }
+        return false;
+      };
+      for (u64 lin : outstanding_config) {
+        ++result.bitstream_errors_detected;
+        repaired_since_reset.push_back(lin);
+        // Upsets landing in BRAM columns (no reliable readback) are
+        // repaired blind from the golden image.
+        const BitAddress addr = space.address_of_linear(lin);
+        if (addr.frame.kind == ColumnKind::kBram) {
+          dut_sim_.write_frame(addr.frame, design_->bitstream.frame(addr.frame));
+          ++result.repairs;
+        }
+      }
+      for (u32 gf = 0; gf < space.frame_count(); ++gf) {
+        const FrameAddress fa = space.frame_of_global(gf);
+        if (fa.kind == ColumnKind::kBram) continue;
+        const BitVector live = dut_sim_.read_frame(fa);
+        BitVector golden_frame = design_->bitstream.frame(fa);
+        if (frame_masked(fa)) {
+          // §IV read-modify-write: preserve live dynamic LUT bits.
+          for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+            if (site.tile.col != fa.col ||
+                !ConfigSpace::frame_holds_slice_lut_bits(
+                    fa.frame, site.lut / kLutsPerSlice)) {
+              continue;
+            }
+            const u32 offset =
+                static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
+                static_cast<u32>(site.lut % kLutsPerSlice);
+            golden_frame.set(offset, live.get(offset));
+          }
+        }
+        if (!(live == golden_frame)) {
+          dut_sim_.write_frame(fa, golden_frame);
+          ++result.repairs;
+        }
+      }
+      outstanding_config.clear();
+    }
+
+    // --- Spontaneous half-latch recovery (stochastic, §III-C) ----------------
+    for (auto it = outstanding_latches.begin(); it != outstanding_latches.end();) {
+      if (rng_.uniform01() < options_.halflatch_recovery_prob) {
+        dut_sim_.set_halflatch(it->tile, it->pin,
+                               halflatch_startup_value(it->pin));
+        it = outstanding_latches.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // --- Reset on output error (Fig. 12); operator full-reconfig if errors
+    //     keep recurring (half-latch damage partial config cannot repair) ----
+    if (output_error) {
+      if (consecutive_error_obs >= options_.full_reconfig_after_errors) {
+        ++result.full_reconfigs;
+        full_reconfigure();
+        outstanding_latches.clear();
+        consecutive_error_obs = 0;
+      } else {
+        dut_.restart();
+        golden_.restart();
+        ++result.resets;
+      }
+      repaired_since_reset.clear();
+      // Flush again after reset so the next observation compares settled
+      // outputs.
+      for (u32 t = 0; t < options_.warmup_cycles; ++t) {
+        dut_.step();
+        golden_.step();
+      }
+    }
+  }
+
+  // One compare/readback loop iteration (paper: ~430 us): one frame readback
+  // + compare + logging on the PCI path.
+  const SelectMapPort port(design_->space.get(),
+                           SelectMapTiming::pci_profile());
+  result.loop_iteration_time =
+      port.frame_cost(FrameAddress{ColumnKind::kClb, 0, 0}) * i64{2} +
+      SimTime::microseconds(215);
+  return result;
+}
+
+}  // namespace vscrub

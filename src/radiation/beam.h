@@ -1,0 +1,105 @@
+// Proton-beam test session (paper §III-B, Figs. 11 & 12): the design runs at
+// speed in the beam; the flux is servoed so ~one upset lands per 0.5 s
+// observation; DUT and golden outputs are compared continuously; bitstream
+// readback runs at intervals, repairing detected upsets by partial
+// reconfiguration; both designs are reset when an output error occurs.
+//
+// Unlike the SEU simulator, the beam strikes the *physical* cross-section:
+// mostly configuration SRAM, but also hidden state — half-latches and the
+// configuration control logic — which readback cannot see and partial
+// reconfiguration cannot repair (§III-C). That residue is exactly what
+// limits the simulator-vs-beam correlation to ~97.6%.
+#pragma once
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "pnr/placed_design.h"
+#include "sim/harness.h"
+
+namespace vscrub {
+
+struct BeamOptions {
+  double proton_energy_mev = 63.3;  ///< Crocker cyclotron energy (Fig. 11)
+  double observation_s = 0.5;
+  double target_upsets_per_observation = 1.0;
+  double design_clock_hz = 20e6;
+  /// Simulated design cycles per observation (sub-sampled; modeled time is
+  /// exact).
+  u32 sim_cycles_per_observation = 96;
+  u32 warmup_cycles = 48;
+  /// Fraction of the physical upset cross-section in hidden state (the
+  /// paper's configuration bits cover 99.58% of the sensitive cross-section).
+  double hidden_state_fraction = 0.0042;
+  /// Of hidden-state upsets, the fraction striking the configuration
+  /// control logic ("the device becomes unprogrammed") vs half-latches.
+  double config_logic_fraction = 0.05;
+  /// Per-observation probability that a flipped half-latch spontaneously
+  /// recovers (observed during proton testing, §III-C).
+  double halflatch_recovery_prob = 0.05;
+  /// Consecutive error observations before the operator performs a full
+  /// reconfiguration (the only reliable half-latch recovery).
+  u32 full_reconfig_after_errors = 3;
+  u64 seed = 2026;
+  u64 stim_seed = 7;
+};
+
+struct BeamResult {
+  u64 observations = 0;
+  u64 upsets_total = 0;
+  u64 upsets_config = 0;
+  u64 upsets_halflatch = 0;
+  u64 upsets_config_logic = 0;
+
+  u64 output_error_observations = 0;
+  u64 predicted_errors = 0;    ///< errors attributable to simulator-predicted bits
+  u64 unpredicted_errors = 0;  ///< errors with only hidden-state causes outstanding
+
+  u64 bitstream_errors_detected = 0;
+  u64 repairs = 0;
+  u64 resets = 0;
+  u64 full_reconfigs = 0;
+  u64 unprogrammed_events = 0;
+
+  SimTime beam_time;
+  SimTime loop_iteration_time;  ///< one compare/readback iteration (~430 us)
+  double fluence_protons_cm2 = 0.0;
+
+  /// §III-B: fraction of beam-observed output errors that the SEU simulator
+  /// predicted.
+  double correlation() const {
+    return output_error_observations
+               ? static_cast<double>(predicted_errors) /
+                     static_cast<double>(output_error_observations)
+               : 1.0;
+  }
+};
+
+class BeamSession {
+ public:
+  BeamSession(const PlacedDesign& design, const BeamOptions& options);
+
+  /// Runs `observations` observation intervals against the set of
+  /// configuration bits (linear indices) the SEU simulator flagged as
+  /// sensitive. When `config_bit_universe` is non-empty, beam strikes are
+  /// drawn from that subset of configuration bits instead of the whole
+  /// device — statistically equivalent shape at a fraction of the campaign
+  /// cost, provided `predicted_sensitive` was computed over the same
+  /// universe.
+  BeamResult run(u64 observations,
+                 const std::unordered_set<u64>& predicted_sensitive,
+                 const std::vector<u64>& config_bit_universe = {});
+
+ private:
+  void full_reconfigure();
+
+  const PlacedDesign* design_;
+  BeamOptions options_;
+  FabricSim dut_sim_;
+  FabricSim golden_sim_;
+  DesignHarness dut_;
+  DesignHarness golden_;
+  Rng rng_;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,30 @@
+#include "radiation/environment.h"
+
+#include <cmath>
+
+namespace vscrub {
+
+double WeibullCrossSection::at(double let) const {
+  if (let <= threshold_let) return 0.0;
+  const double x = (let - threshold_let) / width;
+  return sat_cross_section * (1.0 - std::exp(-std::pow(x, shape)));
+}
+
+OrbitEnvironment OrbitEnvironment::leo_quiet() {
+  OrbitEnvironment env;
+  env.name = "LEO quiet";
+  // 9 devices * 5.81e6 bits * r * 3600 = 1.2/h  =>  r ≈ 6.38e-12 /bit/s
+  env.upset_rate_per_bit_s =
+      1.2 / (9.0 * static_cast<double>(kXcv1000PaperBits) * 3600.0);
+  return env;
+}
+
+OrbitEnvironment OrbitEnvironment::leo_solar_flare() {
+  OrbitEnvironment env;
+  env.name = "LEO solar flare";
+  env.upset_rate_per_bit_s =
+      9.6 / (9.0 * static_cast<double>(kXcv1000PaperBits) * 3600.0);
+  return env;
+}
+
+}  // namespace vscrub

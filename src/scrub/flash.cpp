@@ -1,0 +1,60 @@
+#include "scrub/flash.h"
+
+namespace vscrub {
+
+FlashStore::FlashStore(const Bitstream& image) {
+  frame_words_.reserve(image.frame_count());
+  for (u32 gf = 0; gf < image.frame_count(); ++gf) {
+    const BitVector& frame = image.frame(gf);
+    StoredFrame stored;
+    stored.bits = static_cast<u32>(frame.size());
+    const std::size_t nwords = (frame.size() + 63) / 64;
+    stored.words.reserve(nwords);
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::size_t bit = w * 64;
+      const unsigned n =
+          static_cast<unsigned>(std::min<std::size_t>(64, frame.size() - bit));
+      stored.words.push_back(ecc_encode(frame.word_at(bit, n)));
+    }
+    total_words_ += stored.words.size();
+    frame_words_.push_back(std::move(stored));
+  }
+}
+
+BitVector FlashStore::fetch_frame(u32 global_frame) {
+  StoredFrame& stored = frame_words_[global_frame];
+  BitVector frame(stored.bits);
+  for (std::size_t w = 0; w < stored.words.size(); ++w) {
+    ++stats_.reads;
+    const EccDecodeResult r = ecc_decode(stored.words[w]);
+    switch (r.status) {
+      case EccStatus::kClean:
+        break;
+      case EccStatus::kCorrectedData:
+      case EccStatus::kCorrectedCheck:
+        ++stats_.corrected;
+        // Scrub the stored copy so the correction sticks.
+        stored.words[w] = ecc_encode(r.data);
+        break;
+      case EccStatus::kUncorrectable:
+        ++stats_.uncorrectable;
+        break;
+    }
+    const std::size_t bit = w * 64;
+    const unsigned n =
+        static_cast<unsigned>(std::min<std::size_t>(64, stored.bits - bit));
+    frame.set_word_at(bit, n, r.data);
+  }
+  return frame;
+}
+
+void FlashStore::inject_upset(u32 global_frame, u32 word_in_frame, u32 bit) {
+  EccWord& w = frame_words_[global_frame].words[word_in_frame];
+  if (bit < 64) {
+    w.data ^= u64{1} << bit;
+  } else {
+    w.check ^= static_cast<u8>(1u << (bit - 64));
+  }
+}
+
+}  // namespace vscrub

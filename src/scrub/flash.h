@@ -1,0 +1,50 @@
+// ECC-protected configuration store — the paper's 16MB FLASH module holding
+// "more than twenty configuration bit streams", with error control coding
+// "to mitigate SEUs that might occur while the memory is being accessed"
+// (§II). Images are stored as Hamming(72,64) SECDED words; reads correct
+// single-bit upsets and flag double-bit corruption.
+#pragma once
+
+#include <vector>
+
+#include "bitstream/bitstream.h"
+#include "common/ecc.h"
+
+namespace vscrub {
+
+class FlashStore {
+ public:
+  struct Stats {
+    u64 reads = 0;
+    u64 corrected = 0;
+    u64 uncorrectable = 0;
+  };
+
+  /// Stores one configuration image (frame-aligned, ECC per 64-bit word).
+  explicit FlashStore(const Bitstream& image);
+
+  u32 frame_count() const { return static_cast<u32>(frame_words_.size()); }
+  u64 word_count() const { return total_words_; }
+
+  /// Fetches a frame, running ECC decode on every word. Returns the
+  /// (possibly corrected) frame data; uncorrectable words are returned as
+  /// stored and counted in stats.
+  BitVector fetch_frame(u32 global_frame);
+
+  /// Radiation hit in the flash array: flips one stored bit (data or check).
+  /// bit 0..63 => data bit, 64..71 => check bit.
+  void inject_upset(u32 global_frame, u32 word_in_frame, u32 bit);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct StoredFrame {
+    std::vector<EccWord> words;
+    u32 bits;  ///< original frame length
+  };
+  std::vector<StoredFrame> frame_words_;
+  u64 total_words_ = 0;
+  Stats stats_;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,179 @@
+#include "scrub/scrubber.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace vscrub {
+
+Scrubber::Scrubber(const PlacedDesign& design, FabricSim& sim,
+                   FlashStore& flash, const ScrubberOptions& options)
+    : design_(&design),
+      sim_(&sim),
+      flash_(&flash),
+      options_(options),
+      codebook_([&] {
+        if (!options.zeroed_dynamic_codebook) return CrcCodebook(design.bitstream);
+        // §IV-A variant: build the codebook against the golden image with
+        // dynamic LUT locations zeroed, matching the device's readback.
+        Bitstream zeroed = design.bitstream;
+        for (const LutSiteRef& site : design.dynamic_lut_sites) {
+          zeroed.set_lut_truth(site.tile, site.lut, 0);
+        }
+        return CrcCodebook(zeroed);
+      }()),
+      port_(design.space.get(), options.timing) {
+  if (options_.zeroed_dynamic_codebook) {
+    // Only BRAM columns stay unreadable; every CLB frame is checkable.
+    const ConfigSpace& space = *design_->space;
+    for (u16 col = 0; col < space.geometry().bram_columns; ++col) {
+      for (u16 f = 0; f < kBramFramesPerColumn; ++f) {
+        codebook_.mask_frame(
+            space.global_frame_index(FrameAddress{ColumnKind::kBram, col, f}));
+      }
+    }
+  } else if (options_.mask_dynamic_frames) {
+    const ConfigSpace& space = *design_->space;
+    for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+      const int slice = site.lut / kLutsPerSlice;
+      for (int j = 0; j < kLutTruthBits; ++j) {
+        const FrameAddress fa{ColumnKind::kClb, site.tile.col,
+                              static_cast<u16>(slice * kLutTruthBits + j)};
+        codebook_.mask_frame(space.global_frame_index(fa));
+      }
+    }
+    // BRAM columns cannot be read back reliably while the design runs
+    // (paper §II-C): mask them wholesale; their protection is ECC or
+    // design-level checks.
+    for (u16 col = 0; col < space.geometry().bram_columns; ++col) {
+      for (u16 f = 0; f < kBramFramesPerColumn; ++f) {
+        codebook_.mask_frame(
+            space.global_frame_index(FrameAddress{ColumnKind::kBram, col, f}));
+      }
+    }
+  }
+}
+
+SimTime Scrubber::clean_pass_cost() const { return port_.full_readback_cost(); }
+
+void Scrubber::advance_design(DesignHarness* harness, SimTime dt) {
+  elapsed_ += dt;
+  if (!harness) return;
+  cycle_debt_ += dt.sec() * options_.clock_hz;
+  u32 steps = 0;
+  while (cycle_debt_ >= 1.0 && steps < options_.max_sim_cycles_per_frame) {
+    harness->step();
+    cycle_debt_ -= 1.0;
+    ++steps;
+  }
+  // Any remaining debt is dropped: the modeled clock keeps exact time, the
+  // simulated activity is just subsampled.
+  cycle_debt_ = std::min(cycle_debt_, 1.0);
+}
+
+ScrubPassResult Scrubber::scrub_pass(DesignHarness* harness) {
+  const ConfigSpace& space = *design_->space;
+  ScrubPassResult result;
+  const SimTime pass_start = elapsed_;
+  for (u32 gf = 0; gf < space.frame_count(); ++gf) {
+    const FrameAddress fa = space.frame_of_global(gf);
+    advance_design(harness, port_.frame_cost(fa));
+    ++result.frames_checked;
+    if (codebook_.is_masked(gf)) continue;
+    const BitVector data = sim_->read_frame(fa, /*clock_running=*/true);
+    if (codebook_.check(gf, data)) continue;
+
+    // Error: interrupt the microprocessor with (device, frame); it fetches
+    // the golden frame from flash and partially reconfigures.
+    ++result.errors_found;
+    ++total_errors_;
+    ScrubEvent event;
+    event.global_frame = gf;
+    event.time = elapsed_;
+    advance_design(harness, options_.error_handling_overhead);
+
+    BitVector golden = flash_->fetch_frame(gf);
+    if (options_.bit_granular_repair && fa.kind == ColumnKind::kClb) {
+      // §IV-B: write only the corrupted bits. Dynamic LUT locations are
+      // skipped (their live contents are not errors). Each bit write is a
+      // short port transaction.
+      const BitVector live = sim_->read_frame(fa);
+      u32 writes = 0;
+      for (u32 off = 0; off < live.size(); ++off) {
+        if (live.get(off) == golden.get(off)) continue;
+        bool dynamic_site = false;
+        for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+          if (site.tile.col != fa.col) continue;
+          const int slice = site.lut / kLutsPerSlice;
+          if (!ConfigSpace::frame_holds_slice_lut_bits(fa.frame, slice)) continue;
+          const u32 site_off =
+              static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
+              static_cast<u32>(site.lut % kLutsPerSlice);
+          if (site_off == off) {
+            dynamic_site = true;
+            break;
+          }
+        }
+        if (dynamic_site) continue;
+        sim_->write_config_bit(BitAddress{fa, off}, golden.get(off));
+        ++writes;
+      }
+      advance_design(harness,
+                     options_.timing.op_overhead +
+                         options_.timing.frame_overhead +
+                         options_.timing.byte_time * static_cast<i64>(writes));
+      event.repaired = true;
+      ++result.repairs;
+      if (options_.reset_after_repair) {
+        if (harness) {
+          harness->restart();
+        } else {
+          sim_->reset();
+        }
+        event.reset_issued = true;
+        ++result.resets;
+      }
+      result.events.push_back(event);
+      continue;
+    }
+    if (options_.rmw_repair && fa.kind == ColumnKind::kClb) {
+      // Read-modify-write: preserve live dynamic LUT contents covered by
+      // this frame (paper §IV-B).
+      for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+        if (site.tile.col != fa.col) continue;
+        const int slice = site.lut / kLutsPerSlice;
+        if (!ConfigSpace::frame_holds_slice_lut_bits(fa.frame, slice)) continue;
+        const u32 offset =
+            static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
+            static_cast<u32>(site.lut % kLutsPerSlice);
+        golden.set(offset, data.get(offset));
+      }
+    }
+    advance_design(harness, port_.frame_cost(fa));
+    sim_->write_frame(fa, golden);
+    event.repaired = true;
+    ++result.repairs;
+
+    if (options_.reset_after_repair) {
+      if (harness) {
+        harness->restart();
+      } else {
+        sim_->reset();
+      }
+      event.reset_issued = true;
+      ++result.resets;
+    }
+    result.events.push_back(event);
+  }
+  result.pass_time = elapsed_ - pass_start;
+  return result;
+}
+
+void Scrubber::insert_artificial_seu(const BitAddress& addr) {
+  BitVector img = sim_->read_frame(addr.frame);
+  img.flip(addr.offset);
+  advance_design(nullptr, port_.frame_cost(addr.frame));
+  sim_->write_frame(addr.frame, img);
+}
+
+}  // namespace vscrub

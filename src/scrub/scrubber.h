@@ -1,0 +1,97 @@
+// The on-orbit fault manager (paper §II-A, Fig. 4): the radiation-hardened
+// Actel controller continuously reads back every configuration frame,
+// computes a CRC per frame, compares against the stored codebook, and on
+// mismatch interrupts the microprocessor, which fetches the golden frame
+// from flash and partially reconfigures the device while it runs.
+#pragma once
+
+#include <vector>
+
+#include "bitstream/codebook.h"
+#include "bitstream/selectmap.h"
+#include "scrub/flash.h"
+#include "sim/harness.h"
+
+namespace vscrub {
+
+struct ScrubberOptions {
+  SelectMapTiming timing = SelectMapTiming::actel_profile();
+  /// Paper Fig. 4: the system is reset after a frame repair.
+  bool reset_after_repair = true;
+  /// Read-modify-write repair (paper §IV-B): merge the live dynamic LUT
+  /// state into the golden frame before writing, instead of clobbering it.
+  bool rmw_repair = false;
+  /// §IV-B architecture variant: repair by writing only the corrupted bits
+  /// (requires the fabric's bit_granular_access variant). Implies the RMW
+  /// safety property without the read-merge step.
+  bool bit_granular_repair = false;
+  /// Mask frames that hold legitimate dynamic LUT state out of CRC checking
+  /// (paper §IV-A). Managed through the codebook.
+  bool mask_dynamic_frames = true;
+  /// §IV-A architecture variant: the device reads dynamic LUT locations
+  /// back as zeros (fabric zeroed_dynamic_readback), so the codebook is
+  /// built against a zeroed golden image and nothing needs masking.
+  bool zeroed_dynamic_codebook = false;
+  /// Microprocessor overhead per error: interrupt latency + flash fetch +
+  /// command setup on the RAD6000 path.
+  SimTime error_handling_overhead = SimTime::microseconds(450);
+  /// Design clock, for advancing the running design while scrubbing.
+  double clock_hz = 20e6;
+  /// Cap on actually-simulated design cycles per frame operation (the
+  /// modeled time still advances exactly; this only bounds simulation work).
+  u32 max_sim_cycles_per_frame = 2;
+};
+
+struct ScrubEvent {
+  u32 global_frame = 0;
+  SimTime time;       ///< modeled time of detection within the mission
+  bool repaired = false;
+  bool reset_issued = false;
+};
+
+struct ScrubPassResult {
+  u32 frames_checked = 0;
+  u32 errors_found = 0;
+  u32 repairs = 0;
+  u32 resets = 0;
+  SimTime pass_time;  ///< modeled duration of this pass
+  std::vector<ScrubEvent> events;
+};
+
+class Scrubber {
+ public:
+  /// `design` supplies the dynamic-frame mask; `harness` (optional) lets the
+  /// design keep running while frames are read back.
+  Scrubber(const PlacedDesign& design, FabricSim& sim, FlashStore& flash,
+           const ScrubberOptions& options);
+
+  /// One full scrub pass over every frame of the device.
+  ScrubPassResult scrub_pass(DesignHarness* harness = nullptr);
+
+  /// Modeled cost of one clean pass (no errors): readback of every frame.
+  SimTime clean_pass_cost() const;
+
+  /// Artificial SEU insertion (paper §II-A): the microprocessor partially
+  /// configures the device with a corrupt frame "to verify that the response
+  /// to an SEU is correct at the logic and software level".
+  void insert_artificial_seu(const BitAddress& addr);
+
+  const CrcCodebook& codebook() const { return codebook_; }
+  SimTime elapsed() const { return elapsed_; }
+  u64 total_errors() const { return total_errors_; }
+
+ private:
+  void advance_design(DesignHarness* harness, SimTime dt);
+
+  const PlacedDesign* design_;
+  FabricSim* sim_;
+  FlashStore* flash_;
+  ScrubberOptions options_;
+  CrcCodebook codebook_;
+  SelectMapPort port_;
+  SimTime elapsed_;
+  u64 total_errors_ = 0;
+  double cycle_debt_ = 0.0;
+};
+
+}  // namespace vscrub

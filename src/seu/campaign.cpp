@@ -1,0 +1,94 @@
+#include "seu/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace vscrub {
+
+CampaignResult run_campaign(const PlacedDesign& design,
+                            const CampaignOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const ConfigSpace& space = *design.space;
+  const u64 total_bits = space.total_bits();
+
+  // Build the list of bits to inject.
+  std::vector<u64> bits;
+  if (options.sample_bits == 0 || options.sample_bits >= total_bits) {
+    bits.resize(total_bits);
+    for (u64 i = 0; i < total_bits; ++i) bits[i] = i;
+  } else {
+    // Sample without replacement via a partial Fisher–Yates over indices.
+    Rng rng(options.sample_seed);
+    bits.reserve(options.sample_bits);
+    std::unordered_map<u64, u64> swapped;
+    for (u64 i = 0; i < options.sample_bits; ++i) {
+      const u64 j = i + rng.uniform(total_bits - i);
+      u64 vi = swapped.count(i) ? swapped[i] : i;
+      u64 vj = swapped.count(j) ? swapped[j] : j;
+      bits.push_back(vj);
+      swapped[j] = vi;
+    }
+  }
+
+  CampaignResult result;
+  result.device_bits = total_bits;
+  result.design_slices = design.stats.slices_used;
+  result.utilization = design.stats.utilization;
+
+  std::mutex merge_mutex;
+  ThreadPool pool(options.threads);
+  const unsigned workers = pool.thread_count();
+
+  pool.parallel_for(bits.size(), [&](u64 begin, u64 end) {
+    SeuInjector injector(design, options.injection);
+    u64 local_failures = 0, local_persistent = 0;
+    SimTime local_time;
+    std::vector<CampaignResult::SensitiveBit> local_sensitive;
+    std::unordered_map<u8, u64> local_by_field;
+    for (u64 i = begin; i < end; ++i) {
+      const BitAddress addr = space.address_of_linear(bits[i]);
+      const InjectionResult r = injector.inject(addr);
+      local_time += r.modeled_time;
+      if (r.output_error) {
+        ++local_failures;
+        if (r.persistent) ++local_persistent;
+        if (options.record_sensitive_bits) {
+          local_sensitive.push_back({addr, r.persistent, r.first_error_cycle,
+                                     r.error_output_mask_lo});
+        }
+        const auto ref = space.tile_ref_of(addr);
+        if (ref.valid) {
+          const auto& meaning = ConfigSpace::meaning_of_tile_bit(ref.tile_bit);
+          ++local_by_field[static_cast<u8>(meaning.kind)];
+        }
+      }
+    }
+    std::lock_guard lock(merge_mutex);
+    result.failures += local_failures;
+    result.persistent += local_persistent;
+    result.modeled_hardware_time += local_time;
+    result.sensitive_bits.insert(result.sensitive_bits.end(),
+                                 local_sensitive.begin(),
+                                 local_sensitive.end());
+    for (const auto& [k, v] : local_by_field) result.failures_by_field[k] += v;
+  });
+
+  result.injections = bits.size();
+  if (options.record_sampled_bits) result.sampled_bits = bits;
+  std::sort(result.sensitive_bits.begin(), result.sensitive_bits.end(),
+            [](const auto& a, const auto& b) { return a.addr < b.addr; });
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  VSCRUB_INFO("campaign ", design.netlist->name(), ": ", result.injections,
+              " injections, ", result.failures, " failures (",
+              result.sensitivity() * 100.0, "%), ", workers, " workers, ",
+              result.wall_seconds, "s");
+  return result;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,79 @@
+// Campaign driver: exhaustive or sampled injection over the configuration
+// space, multi-threaded, with the aggregate statistics of Tables I and II
+// and the per-bit correlation data of §III-A.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+#include "seu/injector.h"
+
+namespace vscrub {
+
+struct CampaignOptions {
+  InjectionOptions injection;
+  /// 0 => exhaustive over every configuration bit; otherwise a uniform
+  /// random sample of this many distinct bits.
+  u64 sample_bits = 0;
+  u64 sample_seed = 99;
+  unsigned threads = 0;  ///< 0 => hardware concurrency
+  /// Record each sensitive bit (address + first-error data) for the
+  /// correlation table. Costs memory on exhaustive campaigns.
+  bool record_sensitive_bits = true;
+  /// Record the sampled bit universe (linear indices) in the result, so a
+  /// beam session can be restricted to the same universe.
+  bool record_sampled_bits = false;
+};
+
+struct CampaignResult {
+  u64 device_bits = 0;   ///< total configuration bits of the device
+  u64 injections = 0;    ///< bits actually injected
+  u64 failures = 0;      ///< injections producing output errors
+  u64 persistent = 0;    ///< failures that survived repair without reset
+  std::size_t design_slices = 0;
+  double utilization = 0.0;
+
+  double sensitivity() const {
+    return injections ? static_cast<double>(failures) /
+                            static_cast<double>(injections)
+                      : 0.0;
+  }
+  /// Paper Table I: sensitivity with the area factored out.
+  double normalized_sensitivity() const {
+    return utilization > 0 ? sensitivity() / utilization : 0.0;
+  }
+  /// Paper Table II: persistent bits per sensitive bit.
+  double persistence_ratio() const {
+    return failures ? static_cast<double>(persistent) /
+                          static_cast<double>(failures)
+                    : 0.0;
+  }
+  /// Estimated sensitive-bit count for the whole device (scales the sampled
+  /// rate up to the full configuration).
+  double estimated_failures_device() const {
+    return sensitivity() * static_cast<double>(device_bits);
+  }
+
+  SimTime modeled_hardware_time;  ///< SLAAC-1V time for the same campaign
+  double wall_seconds = 0.0;
+
+  struct SensitiveBit {
+    BitAddress addr;
+    bool persistent;
+    u32 first_error_cycle;
+    u64 error_output_mask_lo;
+  };
+  std::vector<SensitiveBit> sensitive_bits;
+  /// The injected bit universe (only when options.record_sampled_bits).
+  std::vector<u64> sampled_bits;
+
+  /// Sensitive-bit counts by configuration-field kind (routing vs LUT vs
+  /// control), for the cross-section analysis.
+  std::unordered_map<u8, u64> failures_by_field;
+};
+
+/// Runs an injection campaign for a compiled design.
+CampaignResult run_campaign(const PlacedDesign& design,
+                            const CampaignOptions& options);
+
+}  // namespace vscrub

@@ -1,0 +1,150 @@
+#include "seu/injector.h"
+
+#include <algorithm>
+
+namespace vscrub {
+
+SeuInjector::SeuInjector(const PlacedDesign& design,
+                         const InjectionOptions& options)
+    : design_(&design),
+      options_(options),
+      sim_(design.space),
+      harness_(design, sim_, options.stim_seed) {
+  if (design.dynamic_lut_sites.empty()) {
+    options_.warmup_cycles =
+        std::min(options_.warmup_cycles, options_.warmup_cycles_no_dynamic);
+  }
+  const std::size_t trace_len =
+      options_.warmup_cycles + options_.observe_cycles +
+      (options_.classify_persistence
+           ? options_.persistence_settle + options_.persistence_check
+           : 0);
+  golden_ = DesignHarness::reference_trace(*design_->netlist, trace_len,
+                                           options_.stim_seed);
+  harness_.configure();
+}
+
+SimTime SeuInjector::modeled_iteration_time() const {
+  const SelectMapPort port(design_->space.get(), options_.timing);
+  // Corrupt-frame write + observation window + repair write + reset pulse.
+  BitAddress any;
+  any.frame = FrameAddress{ColumnKind::kClb, 0, 0};
+  const SimTime frame_op = port.frame_cost(any.frame);
+  const SimTime observe = SimTime::seconds(
+      static_cast<double>(options_.observe_cycles) / options_.clock_hz);
+  return frame_op + observe + frame_op + SimTime::microseconds(8);
+}
+
+bool SeuInjector::frame_is_dynamic_masked(const FrameAddress& fa) const {
+  if (fa.kind != ColumnKind::kClb) return false;
+  for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+    if (site.tile.col == fa.col &&
+        ConfigSpace::frame_holds_slice_lut_bits(fa.frame,
+                                                site.lut / kLutsPerSlice)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SeuInjector::scrub_restore(const BitAddress& addr) {
+  // What the host-side simulator does after an injection: restore every
+  // corrupted frame from the golden image. A single flipped bit can leave
+  // collateral corruption beyond its own frame — e.g. a LutMode flip turns
+  // a LUT into a shift register, whose contents (16 truth bits in other
+  // frames) shift away while the clock runs. Only the affected column can
+  // be touched, so we sweep its frames.
+  //
+  // Frames covering the design's *legitimate* dynamic LUT state get the
+  // paper's §IV read-modify-write treatment: the golden frame is written
+  // with the dynamic sites' bits taken from the live readback, so repairing
+  // the static bits does not clobber shifting SRL contents. (A flip
+  // injected *into* a dynamic bit is deliberately left in place — it is a
+  // data upset that the design flushes naturally, not configuration
+  // damage.)
+  if (addr.frame.kind == ColumnKind::kBram) {
+    sim_.write_frame(addr.frame, design_->bitstream.frame(addr.frame));
+    return;
+  }
+  for (u16 f = 0; f < kFramesPerClbColumn; ++f) {
+    const FrameAddress fa{ColumnKind::kClb, addr.frame.col, f};
+    const BitVector live = sim_.read_frame(fa);
+    BitVector golden = design_->bitstream.frame(fa);
+    if (frame_is_dynamic_masked(fa)) {
+      for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+        if (site.tile.col != fa.col ||
+            !ConfigSpace::frame_holds_slice_lut_bits(
+                fa.frame, site.lut / kLutsPerSlice)) {
+          continue;
+        }
+        const u32 offset =
+            static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
+            static_cast<u32>(site.lut % kLutsPerSlice);
+        golden.set(offset, live.get(offset));
+      }
+    }
+    if (!(live == golden)) sim_.write_frame(fa, golden);
+  }
+}
+
+InjectionResult SeuInjector::inject(const BitAddress& addr) {
+  InjectionResult result;
+  result.addr = addr;
+
+  // 1. Corrupt the bit: partial reconfiguration with the *original* frame
+  //    image XOR the target bit (the simulator holds the original bitstream
+  //    on the host, §III-A).
+  {
+    BitVector img = design_->bitstream.frame(addr.frame);
+    img.flip(addr.offset);
+    sim_.write_frame(addr.frame, img);
+  }
+
+  // 2. Run with the clock going; the X0-style comparator checks outputs
+  //    against the golden design every cycle.
+  const u32 compare_from = options_.warmup_cycles;
+  const u32 run_until = options_.warmup_cycles + options_.observe_cycles;
+  for (u32 t = 0; t < run_until; ++t) {
+    harness_.step();
+    if (t < compare_from) continue;
+    const OutputWord& got = harness_.last_outputs();
+    const OutputWord& want = golden_[t];
+    if (!(got == want)) {
+      result.output_error = true;
+      result.first_error_cycle = t;
+      result.error_output_mask_lo = got.lo ^ want.lo;
+      break;
+    }
+  }
+
+  // 3. Repair via scrubbing: restore all corrupted frames from the golden
+  //    image (the flipped bit plus any collateral configuration damage).
+  scrub_restore(addr);
+
+  // 4. Persistence classification: with the configuration repaired but the
+  //    design NOT reset, does the error disappear (non-persistent) or does
+  //    corrupted state keep the output diverged (persistent)?
+  if (options_.classify_persistence && result.output_error) {
+    // Advance (unchecked) to the end of the observation window so the golden
+    // trace stays cycle-aligned, then settle and check.
+    while (harness_.cycle() < run_until) harness_.step();
+    const u64 settle_until = run_until + options_.persistence_settle;
+    while (harness_.cycle() < settle_until) harness_.step();
+    const u64 check_until = settle_until + options_.persistence_check;
+    while (harness_.cycle() < check_until) {
+      harness_.step();
+      if (!(harness_.last_outputs() == golden_[harness_.cycle() - 1])) {
+        result.persistent = true;
+        break;
+      }
+    }
+  }
+
+  // 5. Reset the designs for the next iteration.
+  harness_.restart();
+
+  result.modeled_time = modeled_iteration_time();
+  return result;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,77 @@
+// The SEU simulator (paper §III-A, Figs. 6 & 8): corrupt one configuration
+// bit through the configuration port, run the design against its golden
+// trace, log discrepancies, repair the bit, optionally classify persistence,
+// reset, repeat.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bitstream/selectmap.h"
+#include "pnr/placed_design.h"
+#include "sim/harness.h"
+
+namespace vscrub {
+
+struct InjectionOptions {
+  u64 stim_seed = 7;
+  /// Cycles run before output comparison starts (lets post-reset SRL state
+  /// flush; must exceed design latency).
+  u32 warmup_cycles = 48;
+  /// When the design holds no dynamic LUT state (nothing survives a reset),
+  /// shrink the warmup to this value: a large saving on exhaustive campaigns.
+  u32 warmup_cycles_no_dynamic = 8;
+  /// Compared window per injection.
+  u32 observe_cycles = 64;
+  /// Persistence check (paper §III, Table II): after repairing the bit, run
+  /// `persistence_settle` cycles unchecked, then compare `persistence_check`
+  /// cycles; any mismatch => the error is persistent (a reset is required).
+  bool classify_persistence = false;
+  u32 persistence_settle = 64;
+  u32 persistence_check = 64;
+  /// Design clock for the modeled-time accounting.
+  double clock_hz = 20e6;  // "operate the designs at speed (up to 20 MHz)"
+  SelectMapTiming timing = SelectMapTiming::pci_profile();
+};
+
+struct InjectionResult {
+  BitAddress addr;
+  bool output_error = false;
+  bool persistent = false;
+  u32 first_error_cycle = 0;  ///< cycle index of the first mismatch
+  u64 error_output_mask_lo = 0;  ///< which outputs differed first (bits 0..63)
+  SimTime modeled_time;  ///< SLAAC-1V-style hardware time for this iteration
+};
+
+/// Drives injections against one fabric instance. Reusable across many bits;
+/// owns the fabric, harness and cached golden trace.
+class SeuInjector {
+ public:
+  SeuInjector(const PlacedDesign& design, const InjectionOptions& options);
+
+  /// Full injection loop for one configuration bit (Fig. 8): corrupt ->
+  /// observe -> log -> repair -> (persistence check) -> reset.
+  InjectionResult inject(const BitAddress& addr);
+
+  /// Modeled time for one loop iteration with no error found (the common
+  /// case, which dominates campaign wall-clock on the real testbed).
+  SimTime modeled_iteration_time() const;
+
+  const PlacedDesign& design() const { return *design_; }
+  const InjectionOptions& options() const { return options_; }
+  FabricSim& fabric() { return sim_; }
+  DesignHarness& harness() { return harness_; }
+  const std::vector<OutputWord>& golden() const { return golden_; }
+
+ private:
+  bool frame_is_dynamic_masked(const FrameAddress& fa) const;
+  void scrub_restore(const BitAddress& addr);
+
+  const PlacedDesign* design_;
+  InjectionOptions options_;
+  FabricSim sim_;
+  DesignHarness harness_;
+  std::vector<OutputWord> golden_;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,45 @@
+#include "seu/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vscrub {
+
+std::string correlation_table_csv(const ConfigSpace& space,
+                                  const CampaignResult& result) {
+  std::ostringstream out;
+  out << "column_kind,column,frame,offset,linear,persistent,"
+         "first_error_cycle,error_output_mask\n";
+  for (const auto& sb : result.sensitive_bits) {
+    out << (sb.addr.frame.kind == ColumnKind::kClb ? "clb" : "bram") << ','
+        << sb.addr.frame.col << ',' << sb.addr.frame.frame << ','
+        << sb.addr.offset << ',' << space.linear_of(sb.addr) << ','
+        << (sb.persistent ? 1 : 0) << ',' << sb.first_error_cycle << ",0x"
+        << std::hex << sb.error_output_mask_lo << std::dec << '\n';
+  }
+  return out.str();
+}
+
+std::string campaign_summary(const CampaignResult& result) {
+  std::ostringstream out;
+  out << result.injections << " injections over a " << result.device_bits
+      << "-bit device, " << result.failures << " design failures ("
+      << result.sensitivity() * 100 << "% sensitivity, "
+      << result.normalized_sensitivity() * 100 << "% normalized at "
+      << result.utilization * 100 << "% utilization)";
+  if (result.persistent > 0 || result.failures > 0) {
+    out << "; persistence ratio " << result.persistence_ratio() * 100 << "%";
+  }
+  out << "; modeled testbed time " << result.modeled_hardware_time.sec()
+      << " s, wall " << result.wall_seconds << " s.";
+  return out.str();
+}
+
+void write_text_file(const std::string& text, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  VSCRUB_CHECK(f != nullptr, "cannot open " + path + " for writing");
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+}
+
+}  // namespace vscrub

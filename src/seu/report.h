@@ -1,0 +1,24 @@
+// Report writers for campaign results: the paper's flow logs discrepancies
+// to files and builds per-bit correlation tables offline (§III-A); these
+// emitters produce machine-readable CSV and human-readable summaries.
+#pragma once
+
+#include <string>
+
+#include "seu/campaign.h"
+
+namespace vscrub {
+
+/// CSV of every sensitive bit: column,frame,offset,linear,persistent,
+/// first_error_cycle,error_output_mask. This is the "correlation table"
+/// relating bitstream locations to output errors (§III-A).
+std::string correlation_table_csv(const ConfigSpace& space,
+                                  const CampaignResult& result);
+
+/// One-paragraph human-readable summary.
+std::string campaign_summary(const CampaignResult& result);
+
+/// Writes `text` to `path` (convenience).
+void write_text_file(const std::string& text, const std::string& path);
+
+}  // namespace vscrub

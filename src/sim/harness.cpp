@@ -1,0 +1,130 @@
+#include "sim/harness.h"
+
+#include "netlist/refsim.h"
+
+namespace vscrub {
+
+DesignHarness::DesignHarness(const PlacedDesign& design, FabricSim& sim,
+                             u64 stim_seed)
+    : design_(&design),
+      sim_(&sim),
+      stimulus_(design.netlist->num_inputs(), stim_seed) {}
+
+void DesignHarness::configure() {
+  sim_->full_configure(design_->bitstream);
+  restart();
+}
+
+void DesignHarness::restart() {
+  sim_->reset();
+  stimulus_.restart();
+  cycle_ = 0;
+  for (const auto& ec : design_->external_consts) {
+    sim_->set_drive(ec.drive.tile, ec.drive.out_index, ec.value);
+  }
+}
+
+void DesignHarness::apply_cycle_inputs() {
+  stimulus_.next(input_bits_);
+  for (std::size_t i = 0; i < design_->input_drives.size(); ++i) {
+    const DrivePoint& dp = design_->input_drives[i];
+    sim_->set_drive(dp.tile, dp.out_index, input_bits_[i] != 0);
+  }
+  // BRAM registered outputs (value after the previous clock edge).
+  for (const auto& binding : design_->brams) {
+    const u16 dout = sim_->bram_dout(binding.bram_col, binding.block);
+    for (std::size_t lane = 0; lane < binding.dout_drives.size(); ++lane) {
+      if (!binding.dout_drive_valid[lane]) continue;
+      const DrivePoint& dp = binding.dout_drives[lane];
+      sim_->set_drive(dp.tile, dp.out_index, (dout >> lane) & 1);
+    }
+  }
+}
+
+void DesignHarness::capture_outputs() {
+  OutputWord word;
+  const std::size_t n = design_->output_taps.size();
+  for (std::size_t i = 0; i < n && i < 128; ++i) {
+    const TapPoint& tap = design_->output_taps[i];
+    if (sim_->pin_value(tap.tile, tap.pin)) {
+      if (i < 64) {
+        word.lo |= u64{1} << i;
+      } else {
+        word.hi |= u64{1} << (i - 64);
+      }
+    }
+  }
+  last_outputs_ = word;
+}
+
+void DesignHarness::step() {
+  apply_cycle_inputs();
+  sim_->eval();
+  capture_outputs();
+  // Sample BRAM port inputs before the edge.
+  struct Sampled {
+    u16 col, block;
+    FabricSim::BramPortIn in;
+  };
+  std::vector<Sampled> sampled;
+  sampled.reserve(design_->brams.size());
+  for (const auto& binding : design_->brams) {
+    FabricSim::BramPortIn in;
+    auto pin_val = [&](std::size_t pin) -> bool {
+      if (binding.input_tap_valid[pin]) {
+        const TapPoint& tap = binding.input_taps[pin];
+        return sim_->pin_value(tap.tile, tap.pin);
+      }
+      return binding.const_pin_values[pin] != 0;
+    };
+    in.we = pin_val(0);
+    for (std::size_t i = 0; i < 8; ++i) {
+      if (pin_val(1 + i)) in.addr |= static_cast<u8>(1u << i);
+    }
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (pin_val(9 + i)) in.din |= static_cast<u16>(1u << i);
+    }
+    sampled.push_back({binding.bram_col, binding.block, in});
+  }
+  sim_->clock();
+  for (const Sampled& s : sampled) {
+    sim_->bram_clock(s.col, s.block, s.in);
+  }
+  ++cycle_;
+}
+
+void DesignHarness::run(std::size_t cycles) {
+  for (std::size_t i = 0; i < cycles; ++i) step();
+}
+
+std::vector<OutputWord> DesignHarness::reference_trace(const Netlist& nl,
+                                                       std::size_t cycles,
+                                                       u64 stim_seed) {
+  RefSim ref(nl);
+  Stimulus stim(nl.num_inputs(), stim_seed);
+  std::vector<u8> bits;
+  std::vector<OutputWord> trace;
+  trace.reserve(cycles);
+  ref.reset();
+  for (std::size_t t = 0; t < cycles; ++t) {
+    stim.next(bits);
+    for (std::size_t i = 0; i < bits.size(); ++i) ref.set_input(i, bits[i] != 0);
+    ref.eval();
+    OutputWord word;
+    const std::size_t n = nl.num_outputs();
+    for (std::size_t i = 0; i < n && i < 128; ++i) {
+      if (ref.output(i)) {
+        if (i < 64) {
+          word.lo |= u64{1} << i;
+        } else {
+          word.hi |= u64{1} << (i - 64);
+        }
+      }
+    }
+    trace.push_back(word);
+    ref.clock();
+  }
+  return trace;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,81 @@
+// DesignHarness: the testbench glue between a PlacedDesign and a FabricSim —
+// the software analogue of the SLAAC-1V X0 support design (input stimulus,
+// output capture, clock control) from paper §III-A / Fig. 6.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "pnr/placed_design.h"
+#include "sim/fabric_sim.h"
+
+namespace vscrub {
+
+/// Up to 128 observed output bits per cycle.
+struct OutputWord {
+  u64 lo = 0;
+  u64 hi = 0;
+  bool operator==(const OutputWord&) const = default;
+};
+
+/// Deterministic pseudo-random stimulus: the same (seed, width) always
+/// produces the same per-cycle input vectors, which is what makes golden
+/// traces and DUT runs comparable.
+class Stimulus {
+ public:
+  Stimulus(std::size_t width, u64 seed) : width_(width), seed_(seed), rng_(seed) {}
+
+  void restart() { rng_ = Rng(seed_); }
+
+  /// Fills `bits` (resized to width) with this cycle's input vector.
+  void next(std::vector<u8>& bits) {
+    bits.resize(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
+      bits[i] = static_cast<u8>(rng_.next() & 1);
+    }
+  }
+
+ private:
+  std::size_t width_;
+  u64 seed_;
+  Rng rng_;
+};
+
+class DesignHarness {
+ public:
+  DesignHarness(const PlacedDesign& design, FabricSim& sim, u64 stim_seed = 7);
+
+  /// Full configuration (startup sequence included) from the golden
+  /// bitstream, then restart().
+  void configure();
+  /// Design reset (paper's "reset the system"): logic reset + stimulus
+  /// restart. No reconfiguration.
+  void restart();
+  /// One clock cycle: apply stimulus, settle, capture outputs, clock.
+  void step();
+  void run(std::size_t cycles);
+
+  const OutputWord& last_outputs() const { return last_outputs_; }
+  u64 cycle() const { return cycle_; }
+  FabricSim& sim() { return *sim_; }
+  const PlacedDesign& design() const { return *design_; }
+
+  /// Reference output trace from the netlist simulator, same stimulus and
+  /// cycle alignment (the "golden design" of Fig. 6).
+  static std::vector<OutputWord> reference_trace(const Netlist& nl,
+                                                 std::size_t cycles,
+                                                 u64 stim_seed = 7);
+
+ private:
+  void apply_cycle_inputs();
+  void capture_outputs();
+
+  const PlacedDesign* design_;
+  FabricSim* sim_;
+  Stimulus stimulus_;
+  std::vector<u8> input_bits_;
+  OutputWord last_outputs_;
+  u64 cycle_ = 0;
+};
+
+}  // namespace vscrub

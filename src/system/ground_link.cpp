@@ -1,0 +1,55 @@
+#include "system/ground_link.h"
+
+namespace vscrub {
+
+u64 GroundLink::image_bytes(const Bitstream& image) {
+  u64 bytes = 0;
+  for (u32 gf = 0; gf < image.frame_count(); ++gf) {
+    bytes += (image.frame(gf).size() + 7) / 8;
+  }
+  return bytes;
+}
+
+SimTime GroundLink::upload_time(const Bitstream& image) const {
+  const double bits = static_cast<double>(image_bytes(image)) * 8.0;
+  return options_.command_overhead +
+         SimTime::seconds(bits / options_.uplink_bps);
+}
+
+SimTime GroundLink::soh_downlink_time(std::size_t records,
+                                      std::size_t record_bytes) const {
+  const double bits =
+      static_cast<double>(records) * static_cast<double>(record_bytes) * 8.0;
+  return options_.command_overhead +
+         SimTime::seconds(bits / options_.downlink_bps);
+}
+
+std::size_t ConfigLibrary::add_image(const Bitstream& image) {
+  const u64 bytes = GroundLink::image_bytes(image);
+  VSCRUB_CHECK(used_ + bytes <= capacity_,
+               "flash configuration library is full");
+  used_ += bytes;
+  // Reuse a freed slot if one exists.
+  for (std::size_t i = 0; i < sizes_.size(); ++i) {
+    if (sizes_[i] == 0) {
+      sizes_[i] = bytes;
+      return i;
+    }
+  }
+  sizes_.push_back(bytes);
+  return sizes_.size() - 1;
+}
+
+void ConfigLibrary::remove_image(std::size_t slot) {
+  VSCRUB_CHECK(slot < sizes_.size() && sizes_[slot] != 0,
+               "no image in that slot");
+  used_ -= sizes_[slot];
+  sizes_[slot] = 0;
+}
+
+u64 ConfigLibrary::remaining_capacity_for(const Bitstream& image) const {
+  const u64 bytes = GroundLink::image_bytes(image);
+  return bytes == 0 ? 0 : free_bytes() / bytes;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,75 @@
+// Ground-station interface (paper §II): "The interface is used to send
+// commands to the payload, upload configurations for the FPGAs, query state
+// of health, and retrieve experimental data" over a 10 Mbit link; a
+// configuration upload "requires one pass over a ground station". The 16 MB
+// flash "stores more than twenty configuration bit streams for the Xilinx
+// FPGAs (without compression)".
+#pragma once
+
+#include <vector>
+
+#include "bitstream/bitstream.h"
+
+namespace vscrub {
+
+struct GroundLinkOptions {
+  double uplink_bps = 10e6;    ///< 10 Mbit spacecraft interface (§II)
+  double downlink_bps = 10e6;
+  /// Usable contact time during one pass over the ground station.
+  SimTime pass_duration = SimTime::seconds(600);
+  /// Per-command protocol overhead.
+  SimTime command_overhead = SimTime::milliseconds(50);
+};
+
+/// Link budget calculator for payload <-> ground-station transfers.
+class GroundLink {
+ public:
+  explicit GroundLink(const GroundLinkOptions& options = {})
+      : options_(options) {}
+
+  /// Raw size of an image on the wire (uncompressed, as stored in flash).
+  static u64 image_bytes(const Bitstream& image);
+
+  SimTime upload_time(const Bitstream& image) const;
+  bool upload_fits_in_pass(const Bitstream& image) const {
+    return upload_time(image) <= options_.pass_duration;
+  }
+  /// State-of-health downlink: one fixed-size record per scrub event.
+  SimTime soh_downlink_time(std::size_t records,
+                            std::size_t record_bytes = 32) const;
+
+  const GroundLinkOptions& options() const { return options_; }
+
+ private:
+  GroundLinkOptions options_;
+};
+
+/// The payload's configuration library: images resident in the 16 MB flash
+/// module, uploadable from the ground.
+class ConfigLibrary {
+ public:
+  explicit ConfigLibrary(u64 capacity_bytes = 16ull * 1024 * 1024)
+      : capacity_(capacity_bytes) {}
+
+  u64 capacity_bytes() const { return capacity_; }
+  u64 used_bytes() const { return used_; }
+  u64 free_bytes() const { return capacity_ - used_; }
+  std::size_t image_count() const { return sizes_.size(); }
+
+  /// Adds an image; returns its slot index. Throws Error when the flash is
+  /// full.
+  std::size_t add_image(const Bitstream& image);
+  /// Frees a slot (images are stored uncompressed and contiguously in this
+  /// model, so freeing simply returns the space).
+  void remove_image(std::size_t slot);
+
+  /// How many copies of `image` the remaining space could hold.
+  u64 remaining_capacity_for(const Bitstream& image) const;
+
+ private:
+  u64 capacity_;
+  u64 used_ = 0;
+  std::vector<u64> sizes_;  ///< 0 = freed slot
+};
+
+}  // namespace vscrub

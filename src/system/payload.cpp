@@ -1,0 +1,234 @@
+#include "system/payload.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace vscrub {
+
+Payload::Payload(const PlacedDesign& design, PayloadOptions options,
+                 std::unordered_set<u64> sensitive_bits)
+    : design_(&design),
+      options_(std::move(options)),
+      sensitive_bits_(std::move(sensitive_bits)),
+      flash_(design.bitstream),
+      codebook_(design.bitstream),
+      rng_(options_.seed) {
+  // Mask dynamic frames in the codebook exactly as the scrubber does.
+  if (options_.scrub.mask_dynamic_frames) {
+    const ConfigSpace& space = *design_->space;
+    for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+      const int slice = site.lut / kLutsPerSlice;
+      for (int j = 0; j < kLutTruthBits; ++j) {
+        codebook_.mask_frame(space.global_frame_index(FrameAddress{
+            ColumnKind::kClb, site.tile.col,
+            static_cast<u16>(slice * kLutTruthBits + j)}));
+      }
+    }
+  }
+  for (const HalfLatchUse& use : design_->halflatch_uses) {
+    if (use.critical) {
+      critical_latches_.insert(
+          static_cast<u64>(design_->space->geometry().tile_index(use.tile)) *
+              kImuxPins +
+          use.pin);
+    }
+  }
+  const int n = options_.boards * options_.fpgas_per_board;
+  devices_.resize(static_cast<std::size_t>(n));
+  for (auto& dev : devices_) {
+    dev.sim = std::make_unique<FabricSim>(design.space);
+    dev.sim->full_configure(design.bitstream);
+  }
+}
+
+MissionReport Payload::run_mission(SimTime duration) {
+  const ConfigSpace& space = *design_->space;
+  const DeviceGeometry& geom = space.geometry();
+  MissionReport report;
+  report.duration = duration;
+  report.devices = static_cast<int>(devices_.size());
+
+  // Scrub rotation: the board's fault manager scans its three devices in
+  // sequence; device d's frame g is visited once per board cycle.
+  const SelectMapPort port(design_->space.get(), options_.scrub.timing);
+  const SimTime device_pass = port.full_readback_cost();
+  const SimTime board_cycle = device_pass * static_cast<i64>(options_.fpgas_per_board);
+  report.scrub_cycle_per_board = board_cycle;
+
+  const double per_device_rate_s =
+      options_.environment.upset_rate_per_bit_s *
+      static_cast<double>(space.total_bits()) /
+      (1.0 - options_.hidden_state_fraction);
+  report.predicted_upsets_per_hour =
+      options_.environment.system_upsets_per_hour(space.total_bits(),
+                                                  report.devices) /
+      (1.0 - options_.hidden_state_fraction);
+
+  // Visit time of (device, frame): within a board cycle, device slot
+  // d_in_board starts at d*device_pass; frame g lands proportionally within
+  // the device pass.
+  auto next_visit = [&](std::size_t dev, u32 gf, SimTime now) -> SimTime {
+    const int in_board = static_cast<int>(dev) % options_.fpgas_per_board;
+    const double frac =
+        (static_cast<double>(in_board) +
+         static_cast<double>(gf) / static_cast<double>(space.frame_count())) /
+        static_cast<double>(options_.fpgas_per_board);
+    const double cycle_s = board_cycle.sec();
+    const double now_s = now.sec();
+    const double phase = frac * cycle_s;
+    const double k = std::ceil((now_s - phase) / cycle_s);
+    return SimTime::seconds(phase + std::max(0.0, k) * cycle_s);
+  };
+
+  double latency_sum_ms = 0.0;
+
+  // Event queue built on the fly: march through upset arrivals; between
+  // them, resolve pending detections.
+  SimTime now;
+  SimTime next_full_reconfig = options_.full_reconfig_interval.ps() > 0
+                                   ? options_.full_reconfig_interval
+                                   : SimTime::hours(1e9);
+
+  struct Pending {
+    std::size_t dev;
+    std::size_t idx;  // into outstanding
+    SimTime when;
+  };
+
+  auto resolve_until = [&](SimTime horizon) {
+    // Repeatedly find the earliest pending detection before `horizon`.
+    for (;;) {
+      SimTime best = horizon;
+      std::size_t best_dev = devices_.size();
+      std::size_t best_idx = 0;
+      for (std::size_t d = 0; d < devices_.size(); ++d) {
+        for (std::size_t i = 0; i < devices_[d].outstanding.size(); ++i) {
+          const auto& o = devices_[d].outstanding[i];
+          if (!o.detectable) continue;
+          const u32 gf = space.global_frame_index(
+              space.address_of_linear(o.linear_bit).frame);
+          const SimTime visit = next_visit(d, gf, o.at);
+          if (visit < best) {
+            best = visit;
+            best_dev = d;
+            best_idx = i;
+          }
+        }
+      }
+      if (best_dev == devices_.size()) break;
+      // Execute the detection: real readback + CRC check + repair.
+      Device& dev = devices_[best_dev];
+      auto o = dev.outstanding[best_idx];
+      const BitAddress addr = space.address_of_linear(o.linear_bit);
+      const u32 gf = space.global_frame_index(addr.frame);
+      const BitVector data = dev.sim->read_frame(addr.frame, true);
+      VSCRUB_CHECK(!codebook_.check(gf, data),
+                   "mission: CRC failed to flag a detectable upset");
+      ++dev.report.detected;
+      ++report.detected;
+      dev.sim->write_frame(addr.frame, flash_.fetch_frame(gf));
+      ++dev.report.repaired;
+      ++report.repaired;
+      if (options_.scrub.reset_after_repair) {
+        dev.sim->reset();
+        ++dev.report.resets;
+        ++report.resets;
+      }
+      const double latency_ms = (best - o.at).ms() +
+                                options_.scrub.error_handling_overhead.ms();
+      latency_sum_ms += latency_ms;
+      report.max_detection_latency_ms =
+          std::max(report.max_detection_latency_ms, latency_ms);
+      if (o.functional) {
+        dev.report.corrupted_time += best - o.at;
+      }
+      dev.outstanding.erase(dev.outstanding.begin() +
+                            static_cast<std::ptrdiff_t>(best_idx));
+    }
+  };
+
+  auto full_reconfig_all = [&](SimTime when) {
+    for (auto& dev : devices_) {
+      // Account functional corruption up to the reconfiguration.
+      for (const auto& o : dev.outstanding) {
+        if (o.functional) dev.report.corrupted_time += when - o.at;
+      }
+      dev.outstanding.clear();
+      dev.sim->full_configure(design_->bitstream);
+    }
+    ++report.full_reconfigs;
+  };
+
+  while (now < duration) {
+    const double dt_s = rng_.exponential(
+        per_device_rate_s * static_cast<double>(devices_.size()));
+    SimTime next_upset = now + SimTime::seconds(dt_s);
+    while (next_full_reconfig < next_upset && next_full_reconfig < duration) {
+      resolve_until(next_full_reconfig);
+      full_reconfig_all(next_full_reconfig);
+      next_full_reconfig += options_.full_reconfig_interval;
+    }
+    if (next_upset >= duration) {
+      resolve_until(duration);
+      now = duration;
+      break;
+    }
+    now = next_upset;
+    resolve_until(now);
+
+    // Place the upset.
+    const std::size_t d = rng_.uniform(devices_.size());
+    Device& dev = devices_[d];
+    ++dev.report.upsets;
+    ++report.upsets_total;
+    Device::Outstanding o;
+    o.at = now;
+    if (rng_.uniform01() < options_.hidden_state_fraction) {
+      o.hidden = true;
+      ++dev.report.hidden_upsets;
+      ++report.hidden_upsets;
+      const u32 t = static_cast<u32>(rng_.uniform(geom.tile_count()));
+      o.latch_tile = geom.tile_coord(t);
+      o.latch_pin = static_cast<u8>(rng_.uniform(kImuxPins));
+      dev.sim->flip_halflatch(o.latch_tile, o.latch_pin);
+      o.functional = critical_latches_.count(
+                         static_cast<u64>(t) * kImuxPins + o.latch_pin) != 0;
+      o.detectable = false;  // invisible to readback (§III-C)
+    } else {
+      o.linear_bit = rng_.uniform(space.total_bits());
+      const BitAddress addr = space.address_of_linear(o.linear_bit);
+      dev.sim->flip_config_bit(addr);
+      o.functional = sensitive_bits_.count(o.linear_bit) != 0;
+      o.detectable =
+          !codebook_.is_masked(space.global_frame_index(addr.frame));
+    }
+    dev.outstanding.push_back(o);
+  }
+
+  // Mission end: account whatever is still outstanding.
+  for (auto& dev : devices_) {
+    for (const auto& o : dev.outstanding) {
+      if (o.functional) dev.report.corrupted_time += duration - o.at;
+      ++dev.report.undetected_outstanding;
+    }
+  }
+
+  SimTime corrupted_total;
+  for (const auto& dev : devices_) corrupted_total += dev.report.corrupted_time;
+  report.availability =
+      1.0 - corrupted_total.sec() /
+                (duration.sec() * static_cast<double>(devices_.size()));
+  report.mean_detection_latency_ms =
+      report.detected ? latency_sum_ms / static_cast<double>(report.detected)
+                      : 0.0;
+  report.observed_upsets_per_hour =
+      static_cast<double>(report.upsets_total) / duration.sec() * 3600.0;
+  report.scrub_passes =
+      static_cast<u64>(duration.sec() / board_cycle.sec());
+  report.flash_stats = flash_.stats();
+  for (const auto& dev : devices_) report.per_device.push_back(dev.report);
+  return report;
+}
+
+}  // namespace vscrub

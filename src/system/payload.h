@@ -1,0 +1,107 @@
+// The space-based reconfigurable radio payload (paper §II, Figs. 1-3): three
+// RCC boards of three XQVR1000-class FPGAs, each board watched by a
+// radiation-hardened Actel-class fault manager that cycles through the three
+// devices' configuration frames (~180 ms per cycle), an ECC-protected flash
+// holding the golden configurations, and a RAD6000-class host that services
+// repair interrupts and keeps the state-of-health record.
+//
+// The mission simulator is event-driven: upsets arrive as a Poisson process
+// from the orbit environment; scrub-pass timing is modeled exactly while
+// clean passes are skipped analytically (only passes that will detect
+// something are executed against the device model, with a real CRC check).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "radiation/environment.h"
+#include "scrub/flash.h"
+#include "scrub/scrubber.h"
+
+namespace vscrub {
+
+struct PayloadOptions {
+  int boards = 3;
+  int fpgas_per_board = 3;
+  OrbitEnvironment environment = OrbitEnvironment::leo_quiet();
+  ScrubberOptions scrub;
+  /// Fraction of each device's physical upset cross-section in hidden state
+  /// (half-latches etc.) — invisible to scrubbing.
+  double hidden_state_fraction = 0.0042;
+  /// Operational full reconfiguration cadence (restores half-latches); 0
+  /// disables.
+  SimTime full_reconfig_interval = SimTime::hours(24);
+  u64 seed = 4242;
+};
+
+struct DeviceReport {
+  u64 upsets = 0;
+  u64 hidden_upsets = 0;
+  u64 detected = 0;
+  u64 repaired = 0;
+  u64 resets = 0;
+  u64 undetected_outstanding = 0;  ///< hidden/masked upsets never scrubbed
+  SimTime corrupted_time;  ///< time spent functionally corrupted
+};
+
+struct MissionReport {
+  SimTime duration;
+  int devices = 0;
+  u64 upsets_total = 0;
+  u64 detected = 0;
+  u64 repaired = 0;
+  u64 resets = 0;
+  u64 hidden_upsets = 0;
+  u64 full_reconfigs = 0;
+  double mean_detection_latency_ms = 0.0;
+  double max_detection_latency_ms = 0.0;
+  /// Fraction of device-time free of functional corruption.
+  double availability = 1.0;
+  /// Observed vs environment-predicted upset rate, for the §I calibration.
+  double observed_upsets_per_hour = 0.0;
+  double predicted_upsets_per_hour = 0.0;
+  SimTime scrub_cycle_per_board;  ///< modeled full cycle over 3 devices
+  u64 scrub_passes = 0;           ///< board scrub cycles elapsed
+  FlashStore::Stats flash_stats;
+  std::vector<DeviceReport> per_device;
+};
+
+class Payload {
+ public:
+  /// All devices run the same compiled design (the paper's FPGAs share one
+  /// pinout so any configuration loads on any device). `sensitive_bits` is
+  /// the SEU simulator's sensitivity map (linear bit indices) used to judge
+  /// functional corruption.
+  Payload(const PlacedDesign& design, PayloadOptions options,
+          std::unordered_set<u64> sensitive_bits);
+
+  MissionReport run_mission(SimTime duration);
+
+ private:
+  struct Device {
+    std::unique_ptr<FabricSim> sim;
+    DeviceReport report;
+    // Outstanding upsets awaiting detection/repair.
+    struct Outstanding {
+      u64 linear_bit = 0;
+      bool hidden = false;
+      TileCoord latch_tile;
+      u8 latch_pin = 0;
+      SimTime at;
+      bool functional = false;  ///< corrupts design function
+      bool detectable = false;  ///< visible to frame CRC scrubbing
+    };
+    std::vector<Outstanding> outstanding;
+  };
+
+  const PlacedDesign* design_;
+  PayloadOptions options_;
+  std::unordered_set<u64> sensitive_bits_;
+  std::unordered_set<u64> critical_latches_;  // tile*kImuxPins + pin
+  FlashStore flash_;
+  CrcCodebook codebook_;
+  std::vector<Device> devices_;
+  Rng rng_;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,113 @@
+// Verilog export, campaign reports, heavy-ion characterization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/vscrub.h"
+
+namespace vscrub {
+namespace {
+
+TEST(Verilog, ExportsEveryDesignFamily) {
+  for (const Netlist& nl :
+       {designs::counter_adder(8), designs::lfsr_cluster(1),
+        designs::mult_tree(6), designs::fir_preproc(3, 4),
+        designs::bram_selftest(1), designs::selfcheck_dsp(4, 4)}) {
+    const std::string v = export_verilog(nl);
+    EXPECT_NE(v.find("module "), std::string::npos) << nl.name();
+    EXPECT_NE(v.find("endmodule"), std::string::npos) << nl.name();
+    EXPECT_NE(v.find("posedge clk"), std::string::npos) << nl.name();
+    // Every output port appears.
+    for (CellId id : nl.output_cells()) {
+      std::string port = nl.cell(id).name;
+      for (char& c : port) {
+        if (c == '[' || c == ']') c = '_';
+      }
+      EXPECT_NE(v.find(port), std::string::npos)
+          << nl.name() << " missing port " << port;
+    }
+  }
+}
+
+TEST(Verilog, SrlAndBramConstructsEmitted) {
+  const std::string fir = export_verilog(designs::fir_preproc(3, 4));
+  EXPECT_NE(fir.find("srl_"), std::string::npos);
+  const std::string bram = export_verilog(designs::bram_selftest(1));
+  EXPECT_NE(bram.find(" [0:255];"), std::string::npos);
+}
+
+TEST(Verilog, WritesFile) {
+  const std::string path = "/tmp/vscrub_test_export.v";
+  write_verilog(designs::counter_adder(6), path);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(Report, CorrelationCsvHasOneRowPerSensitiveBit) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  CampaignOptions opts;
+  opts.sample_bits = 4000;
+  const auto result = run_campaign(design, opts);
+  ASSERT_GT(result.sensitive_bits.size(), 0u);
+  const std::string csv = correlation_table_csv(*design.space, result);
+  std::size_t rows = 0;
+  for (char c : csv) rows += c == '\n';
+  EXPECT_EQ(rows, result.sensitive_bits.size() + 1);  // + header
+  EXPECT_NE(csv.find("column_kind,column,frame,offset"), std::string::npos);
+}
+
+TEST(Report, SummaryMentionsKeyNumbers) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  CampaignOptions opts;
+  opts.sample_bits = 1500;
+  const auto result = run_campaign(design, opts);
+  const std::string s = campaign_summary(result);
+  EXPECT_NE(s.find("1500 injections"), std::string::npos) << s;
+  EXPECT_NE(s.find("sensitivity"), std::string::npos);
+}
+
+TEST(HeavyIon, BelowThresholdNoUpsets) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  HeavyIonSession session(design, {});
+  const auto run = session.expose(1.0);  // below the 1.2 MeV·cm²/mg threshold
+  EXPECT_EQ(run.upsets, 0u);
+  EXPECT_FALSE(run.latchup);
+}
+
+TEST(HeavyIon, CrossSectionFollowsWeibull) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  HeavyIonOptions options;
+  options.fluence_per_run = 2e5;  // enough statistics on the small device
+  HeavyIonSession session(design, options);
+  const auto runs = session.sweep({2.0, 10.0, 40.0, 125.0});
+  const u64 bits = design.space->total_bits();
+  double prev_sigma = 0.0;
+  for (const auto& run : runs) {
+    const double sigma =
+        run.measured_sigma_per_bit(bits, options.fluence_per_run);
+    EXPECT_GE(sigma, prev_sigma * 0.8) << "LET " << run.let;  // monotone-ish
+    const double expect = options.response.at(run.let);
+    if (expect * options.fluence_per_run * static_cast<double>(bits) > 50) {
+      EXPECT_NEAR(sigma, expect, expect * 0.4) << "LET " << run.let;
+    }
+    EXPECT_FALSE(run.latchup) << "SEL below the immunity bound";
+    prev_sigma = sigma;
+  }
+}
+
+TEST(HeavyIon, SaturatesNearSigmaSat) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  HeavyIonOptions options;
+  options.fluence_per_run = 5e5;
+  HeavyIonSession session(design, options);
+  const auto run = session.expose(125.0);
+  const double sigma = run.measured_sigma_per_bit(
+      design.space->total_bits(), options.fluence_per_run);
+  EXPECT_NEAR(sigma, options.response.sat_cross_section,
+              options.response.sat_cross_section * 0.25);
+}
+
+}  // namespace
+}  // namespace vscrub

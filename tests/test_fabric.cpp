@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fabric/config_space.h"
+#include "fabric/geometry.h"
+#include "fabric/routing_model.h"
+
+namespace vscrub {
+namespace {
+
+TEST(Geometry, Presets) {
+  const auto g = device_xcv1000ish();
+  EXPECT_EQ(g.tile_count(), 6144u);
+  EXPECT_EQ(g.slice_count(), 12288u);
+  // 156-byte frames like the XQVR1000 (paper §II-A).
+  EXPECT_EQ(g.clb_frame_bytes(), 156u);
+  // Configuration volume in the millions of bits, like the real part.
+  EXPECT_GT(g.total_config_bits(), 4'000'000u);
+  EXPECT_LT(g.total_config_bits(), 8'000'000u);
+}
+
+TEST(Geometry, Neighbors) {
+  const auto g = device_tiny(8, 8);
+  EXPECT_FALSE(g.neighbor(TileCoord{0, 3}, Dir::kNorth).has_value());
+  EXPECT_FALSE(g.neighbor(TileCoord{7, 3}, Dir::kSouth).has_value());
+  EXPECT_FALSE(g.neighbor(TileCoord{3, 0}, Dir::kWest).has_value());
+  EXPECT_FALSE(g.neighbor(TileCoord{3, 7}, Dir::kEast).has_value());
+  const auto n = g.neighbor(TileCoord{3, 3}, Dir::kEast);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, (TileCoord{3, 4}));
+}
+
+TEST(ConfigSpace, TileLayoutIsBijective) {
+  std::set<std::pair<u16, u16>> seen;
+  for (u16 tb = 0; tb < kTileConfigBits; ++tb) {
+    const auto pos = ConfigSpace::tile_bit_pos(tb);
+    EXPECT_TRUE(seen.emplace(pos.frame, pos.slot).second)
+        << "duplicate position for tile bit " << tb;
+    EXPECT_EQ(ConfigSpace::tile_bit_at(pos.frame, pos.slot), tb);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kTileConfigBits));
+}
+
+TEST(ConfigSpace, LutTruthBitsRespectFrameConstraint) {
+  // Paper §IV-A: the LUT bits of slice s live in 16 specific frames.
+  for (int lut = 0; lut < kLutsPerClb; ++lut) {
+    const int slice = lut / kLutsPerSlice;
+    for (u8 j = 0; j < kLutTruthBits; ++j) {
+      const u16 tb = ConfigSpace::tile_bit_of_field(FieldKind::kLutTruth,
+                                                    static_cast<u8>(lut), j);
+      const auto pos = ConfigSpace::tile_bit_pos(tb);
+      EXPECT_TRUE(ConfigSpace::frame_holds_slice_lut_bits(pos.frame, slice));
+      EXPECT_EQ(pos.frame, slice * kLutTruthBits + j);
+    }
+  }
+}
+
+TEST(ConfigSpace, FieldMeaningsRoundTrip) {
+  for (u16 tb = 0; tb < kTileConfigBits; ++tb) {
+    const BitMeaning& m = ConfigSpace::meaning_of_tile_bit(tb);
+    if (m.kind == FieldKind::kPad) continue;
+    EXPECT_EQ(ConfigSpace::tile_bit_of_field(m.kind, m.unit, m.bit), tb);
+  }
+}
+
+TEST(ConfigSpace, AddressLinearRoundTrip) {
+  const ConfigSpace space(device_tiny(8, 12, 2));
+  const u64 total = space.total_bits();
+  EXPECT_EQ(total, space.geometry().total_config_bits());
+  // Spot-check a spread of linear indices.
+  for (u64 lin = 0; lin < total; lin += 9973) {
+    const BitAddress addr = space.address_of_linear(lin);
+    EXPECT_EQ(space.linear_of(addr), lin);
+  }
+  // And frame addressing.
+  for (u32 gf = 0; gf < space.frame_count(); ++gf) {
+    EXPECT_EQ(space.global_frame_index(space.frame_of_global(gf)), gf);
+  }
+}
+
+TEST(ConfigSpace, TileRefRoundTrip) {
+  const ConfigSpace space(device_tiny(8, 12));
+  const TileCoord t{5, 7};
+  for (u16 tb = 0; tb < kTileConfigBits; tb = static_cast<u16>(tb + 17)) {
+    const BitAddress addr = space.address_of(t, tb);
+    const auto ref = space.tile_ref_of(addr);
+    ASSERT_TRUE(ref.valid);
+    EXPECT_EQ(ref.tile, t);
+    EXPECT_EQ(ref.tile_bit, tb);
+  }
+  // Frame padding region maps to no tile.
+  BitAddress pad;
+  pad.frame = FrameAddress{ColumnKind::kClb, 0, 0};
+  pad.offset = static_cast<u32>(space.geometry().rows * kBitsPerTilePerFrame + 1);
+  EXPECT_FALSE(space.tile_ref_of(pad).valid);
+}
+
+TEST(RoutingModel, OmuxDecodeEncodeRoundTrip) {
+  for (int d = 0; d < kDirs; ++d) {
+    for (int w = 0; w < kWiresPerDir; ++w) {
+      for (int code = 0; code < (1 << kOmuxBits); ++code) {
+        const WireSource src =
+            decode_omux(static_cast<Dir>(d), w, static_cast<u8>(code));
+        const auto back = encode_omux(static_cast<Dir>(d), w, src);
+        ASSERT_TRUE(back.has_value());
+        // decode(encode(decode(c))) == decode(c): encode may find an alias
+        // but must be semantically identical.
+        EXPECT_EQ(decode_omux(static_cast<Dir>(d), w, *back), src);
+      }
+    }
+  }
+}
+
+TEST(RoutingModel, OnlyOmuxWiresAcceptClbOutputs) {
+  // Paper §II-B: 20 wires per direction come from the output multiplexer,
+  // the other 4 do not.
+  for (int d = 0; d < kDirs; ++d) {
+    for (int w = 0; w < kWiresPerDir; ++w) {
+      bool accepts_output = false;
+      for (int code = 0; code < (1 << kOmuxBits); ++code) {
+        if (decode_omux(static_cast<Dir>(d), w, static_cast<u8>(code)).kind ==
+            WireSource::Kind::kClbOutput) {
+          accepts_output = true;
+        }
+      }
+      EXPECT_EQ(accepts_output, w < kOmuxWiresPerDir) << "dir " << d << " w " << w;
+    }
+  }
+}
+
+TEST(RoutingModel, ImuxRoundTrip) {
+  for (int code = 0; code < (1 << kImuxBits); ++code) {
+    const PinSource src = decode_imux(static_cast<u8>(code));
+    const u8 back = encode_imux(src);
+    EXPECT_EQ(decode_imux(back), src);
+  }
+  // Every incoming wire and every CLB output is selectable.
+  for (int d = 0; d < kDirs; ++d) {
+    for (u8 w = 0; w < kWiresPerDir; ++w) {
+      const PinSource src{PinSource::Kind::kIncoming, static_cast<Dir>(d), w, 0};
+      EXPECT_EQ(decode_imux(encode_imux(src)), src);
+    }
+  }
+  for (u8 o = 0; o < kClbOutputs; ++o) {
+    const PinSource src{PinSource::Kind::kClbOutput, Dir::kNorth, 0, o};
+    EXPECT_EQ(decode_imux(encode_imux(src)), src);
+  }
+}
+
+TEST(RoutingModel, ReverseTablesConsistent) {
+  for (int d = 0; d < kDirs; ++d) {
+    for (int w = 0; w < kWiresPerDir; ++w) {
+      for (const OmuxSlot& slot :
+           omux_consumers_of_incoming(static_cast<Dir>(d), w)) {
+        const WireSource src = decode_omux(slot.dir, slot.windex, slot.code);
+        EXPECT_EQ(src.kind, WireSource::Kind::kIncoming);
+        EXPECT_EQ(src.from_dir, static_cast<Dir>(d));
+        EXPECT_EQ(src.windex, w);
+      }
+    }
+  }
+  for (int o = 0; o < kClbOutputs; ++o) {
+    const auto& slots = omux_consumers_of_output(o);
+    // Each CLB output can reach the 20 OMUX wires in all 4 directions.
+    EXPECT_EQ(slots.size(), static_cast<std::size_t>(kDirs * kOmuxWiresPerDir));
+    for (const OmuxSlot& slot : slots) {
+      const WireSource src = decode_omux(slot.dir, slot.windex, slot.code);
+      EXPECT_EQ(src.kind, WireSource::Kind::kClbOutput);
+      EXPECT_EQ(src.output, o);
+    }
+  }
+}
+
+TEST(RoutingModel, HalfLatchStartupPolarity) {
+  // CE and LUT inputs idle high; SR, bypass and IOPAD idle low.
+  EXPECT_TRUE(halflatch_startup_value(lut_input_pin(0, 0)));
+  EXPECT_TRUE(halflatch_startup_value(lut_input_pin(3, 3)));
+  EXPECT_TRUE(halflatch_startup_value(ce_pin(0)));
+  EXPECT_TRUE(halflatch_startup_value(ce_pin(1)));
+  EXPECT_FALSE(halflatch_startup_value(sr_pin(0)));
+  EXPECT_FALSE(halflatch_startup_value(byp_pin(2)));
+  EXPECT_FALSE(halflatch_startup_value(iopad_pin(3)));
+}
+
+}  // namespace
+}  // namespace vscrub

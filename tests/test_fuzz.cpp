@@ -1,0 +1,144 @@
+// Robustness fuzzing: the fabric must decode and execute *any* bit pattern
+// deterministically — corrupted configurations are the whole point of the
+// system, so there is no such thing as an invalid bitstream.
+#include <gtest/gtest.h>
+
+#include "core/vscrub.h"
+
+namespace vscrub {
+namespace {
+
+class RandomBitstreamFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RandomBitstreamFuzz, RandomConfigurationsExecuteDeterministically) {
+  auto space = std::make_shared<const ConfigSpace>(device_tiny(8, 8, 2));
+  Rng rng(GetParam());
+  Bitstream bs(space);
+  for (u32 gf = 0; gf < bs.frame_count(); ++gf) {
+    BitVector& frame = bs.frame(gf);
+    for (auto& word : frame.words()) word = rng.next();
+    // Re-normalize the tail bits.
+    frame.resize(frame.size());
+  }
+
+  auto run_once = [&](std::vector<u64>* trace) {
+    FabricSim fabric(space);
+    fabric.full_configure(bs);
+    for (int t = 0; t < 40; ++t) {
+      fabric.clock();
+      u64 sample = 0;
+      for (int i = 0; i < 16; ++i) {
+        const TileCoord tile{static_cast<u16>(i % 8), static_cast<u16>(i)};
+        if (fabric.output_value(TileCoord{tile.row, static_cast<u16>(i % 8)},
+                                static_cast<u8>(i % 8))) {
+          sample |= u64{1} << i;
+        }
+      }
+      trace->push_back(sample);
+    }
+  };
+  std::vector<u64> a, b;
+  run_once(&a);
+  run_once(&b);
+  EXPECT_EQ(a, b) << "corrupt-config execution must be deterministic";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBitstreamFuzz,
+                         ::testing::Values(u64{1}, u64{2}, u64{3}, u64{4},
+                                           u64{5}, u64{6}));
+
+class RandomFrameWriteFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RandomFrameWriteFuzz, LiveDesignSurvivesArbitraryFrameWrites) {
+  // Write random garbage frames into a running design, then restore from
+  // golden and verify full recovery (scrubbing must always be able to bring
+  // the device back without a power cycle).
+  const auto design = compile(designs::mult_tree(8), device_tiny(8, 12));
+  FabricSim fabric(design.space);
+  DesignHarness harness(design, fabric);
+  harness.configure();
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const u32 gf = static_cast<u32>(rng.uniform(design.space->frame_count()));
+    const FrameAddress fa = design.space->frame_of_global(gf);
+    BitVector garbage(design.space->frame_bits(fa.kind));
+    for (auto& word : garbage.words()) word = rng.next();
+    garbage.resize(garbage.size());
+    fabric.write_frame(fa, garbage);
+    harness.run(8);  // let the corruption do whatever it does
+    // Full scrub restore.
+    for (u32 g2 = 0; g2 < design.space->frame_count(); ++g2) {
+      const FrameAddress f2 = design.space->frame_of_global(g2);
+      if (!(fabric.read_frame(f2) == design.bitstream.frame(g2))) {
+        fabric.write_frame(f2, design.bitstream.frame(g2));
+      }
+    }
+    harness.restart();
+    const auto golden = DesignHarness::reference_trace(*design.netlist, 40);
+    for (int t = 0; t < 40; ++t) {
+      harness.step();
+      ASSERT_EQ(harness.last_outputs(), golden[static_cast<std::size_t>(t)])
+          << "round " << round << " cycle " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFrameWriteFuzz,
+                         ::testing::Values(u64{11}, u64{22}, u64{33}));
+
+TEST(FuzzMisc, OscillationBoundTerminates) {
+  // Hand-craft a combinational loop through the fabric: a LUT inverter
+  // whose input is its own output via the feedback IMUX code.
+  auto space = std::make_shared<const ConfigSpace>(device_tiny(8, 8));
+  Bitstream bs(space);
+  const TileCoord t{3, 3};
+  bs.set_lut_truth(t, 0, 0x5555);  // inverter on pin 0
+  bs.set_imux_code(t, lut_input_pin(0, 0),
+                   encode_imux(PinSource{PinSource::Kind::kClbOutput,
+                                         Dir::kNorth, 0,
+                                         static_cast<u8>(comb_output_index(0))}));
+  FabricSim fabric(space);
+  fabric.full_configure(bs);  // must not hang
+  EXPECT_TRUE(fabric.oscillating());
+  fabric.clock();  // still terminates
+  SUCCEED();
+}
+
+TEST(FuzzMisc, AllOnesAndAllZerosConfigurations) {
+  auto space = std::make_shared<const ConfigSpace>(device_tiny(8, 8, 2));
+  for (const bool ones : {false, true}) {
+    Bitstream bs(space);
+    if (ones) {
+      for (u32 gf = 0; gf < bs.frame_count(); ++gf) bs.frame(gf).fill(true);
+    }
+    FabricSim fabric(space);
+    fabric.full_configure(bs);
+    for (int t = 0; t < 20; ++t) fabric.clock();
+    SUCCEED();
+  }
+}
+
+TEST(FuzzMisc, RandomHalfLatchStormIsRecoverable) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  FabricSim fabric(design.space);
+  DesignHarness harness(design, fabric);
+  harness.configure();
+  Rng rng(99);
+  const DeviceGeometry& geom = design.space->geometry();
+  for (int i = 0; i < 200; ++i) {
+    fabric.flip_halflatch(
+        geom.tile_coord(static_cast<u32>(rng.uniform(geom.tile_count()))),
+        static_cast<u8>(rng.uniform(kImuxPins)));
+  }
+  harness.run(20);
+  // Full reconfiguration restores everything.
+  harness.configure();
+  const auto golden = DesignHarness::reference_trace(*design.netlist, 40);
+  for (int t = 0; t < 40; ++t) {
+    harness.step();
+    ASSERT_EQ(harness.last_outputs(), golden[static_cast<std::size_t>(t)]);
+  }
+}
+
+}  // namespace
+}  // namespace vscrub

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/vscrub.h"
+
+namespace vscrub {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string("/tmp/vscrub_test_") + name + ".vsb";
+}
+
+TEST(ImageIo, RoundTripPreservesEveryFrame) {
+  const auto design = compile(designs::counter_adder(10), device_tiny(8, 12, 2));
+  const std::string path = temp_path("roundtrip");
+  save_bitstream(design.bitstream, path);
+  const LoadedImage loaded = load_bitstream(path);
+  EXPECT_EQ(loaded.geometry.rows, 8);
+  EXPECT_EQ(loaded.geometry.cols, 12);
+  EXPECT_EQ(loaded.geometry.bram_columns, 2);
+  ASSERT_EQ(loaded.bits.frame_count(), design.bitstream.frame_count());
+  for (u32 gf = 0; gf < loaded.bits.frame_count(); ++gf) {
+    EXPECT_EQ(loaded.bits.frame(gf), design.bitstream.frame(gf)) << gf;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, LoadedImageRunsIdentically) {
+  const auto design = compile(designs::lfsr_multiplier(8), device_tiny(8, 12));
+  const std::string path = temp_path("run");
+  save_bitstream(design.bitstream, path);
+  const Bitstream loaded = load_bitstream(design.space, path);
+  FabricSim fabric(design.space);
+  fabric.full_configure(loaded);
+  DesignHarness harness(design, fabric);
+  harness.restart();
+  const auto golden = DesignHarness::reference_trace(*design.netlist, 80);
+  for (int t = 0; t < 80; ++t) {
+    harness.step();
+    ASSERT_EQ(harness.last_outputs(), golden[static_cast<std::size_t>(t)]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, RejectsCorruptedFile) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  const std::string path = temp_path("corrupt");
+  save_bitstream(design.bitstream, path);
+  // Flip one byte in the middle of the file.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 100, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, 100, SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_bitstream(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, RejectsGeometryMismatch) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  const std::string path = temp_path("mismatch");
+  save_bitstream(design.bitstream, path);
+  auto other = std::make_shared<const ConfigSpace>(device_tiny(8, 12));
+  EXPECT_THROW(load_bitstream(other, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, RejectsBadMagic) {
+  const std::string path = temp_path("magic");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a bitstream image at all, sorry", f);
+  std::fclose(f);
+  EXPECT_THROW(load_bitstream(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vscrub

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <string>
+
+#include "common/rng.h"
+#include "designs/test_designs.h"
+#include "netlist/builder.h"
+#include "netlist/drc.h"
+#include "netlist/refsim.h"
+
+namespace vscrub {
+namespace {
+
+void drive_bus(RefSim& sim, const Netlist& nl, const std::string& prefix,
+               u64 value, std::size_t width) {
+  std::size_t port = 0;
+  for (CellId id : nl.input_cells()) {
+    const std::string& name = nl.cell(id).name;
+    if (name.rfind(prefix + "[", 0) == 0) {
+      const std::size_t idx = static_cast<std::size_t>(
+          std::stoul(name.substr(prefix.size() + 1)));
+      if (idx < width) sim.set_input(port, (value >> idx) & 1);
+    }
+    ++port;
+  }
+}
+
+u64 read_bus(const RefSim& sim, const Netlist& nl, const std::string& prefix) {
+  u64 value = 0;
+  std::size_t port = 0;
+  for (CellId id : nl.output_cells()) {
+    const std::string& name = nl.cell(id).name;
+    if (name.rfind(prefix + "[", 0) == 0) {
+      const std::size_t idx = static_cast<std::size_t>(
+          std::stoul(name.substr(prefix.size() + 1)));
+      if (sim.output(port)) value |= u64{1} << idx;
+    }
+    ++port;
+  }
+  return value;
+}
+
+TEST(Builder, AdderMatchesArithmetic) {
+  Netlist nl("adder");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 12);
+  const Bus c = b.input_bus("b", 12);
+  b.output_bus("s", b.add(a, c));
+  ASSERT_TRUE(run_drc(nl).ok());
+  RefSim sim(nl);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const u64 x = rng.uniform(1 << 12), y = rng.uniform(1 << 12);
+    drive_bus(sim, nl, "a", x, 12);
+    drive_bus(sim, nl, "b", y, 12);
+    sim.eval();
+    EXPECT_EQ(read_bus(sim, nl, "s"), x + y);
+  }
+}
+
+TEST(Builder, MultiplierMatchesArithmetic) {
+  Netlist nl("mul");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 8);
+  const Bus c = b.input_bus("b", 8);
+  b.output_bus("p", b.multiply(a, c, /*pipeline_rows=*/0));
+  RefSim sim(nl);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const u64 x = rng.uniform(256), y = rng.uniform(256);
+    drive_bus(sim, nl, "a", x, 8);
+    drive_bus(sim, nl, "b", y, 8);
+    sim.eval();
+    EXPECT_EQ(read_bus(sim, nl, "p"), x * y);
+  }
+}
+
+TEST(Builder, PipelinedMultiplierMatchesAfterLatency) {
+  Netlist nl("mulp");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 8);
+  const Bus c = b.input_bus("b", 8);
+  b.output_bus("p", b.multiply(a, c, /*pipeline_rows=*/2));
+  RefSim sim(nl);
+  // Hold inputs constant: after the pipeline flushes, the product appears.
+  drive_bus(sim, nl, "a", 13, 8);
+  drive_bus(sim, nl, "b", 11, 8);
+  for (int i = 0; i < 16; ++i) {
+    sim.eval();
+    sim.clock();
+  }
+  sim.eval();
+  EXPECT_EQ(read_bus(sim, nl, "p"), 13u * 11u);
+}
+
+TEST(Builder, CounterCounts) {
+  Netlist nl("ctr");
+  Builder b(nl);
+  b.output_bus("q", b.counter(10, 5));
+  RefSim sim(nl);
+  for (u64 t = 0; t < 40; ++t) {
+    sim.eval();
+    EXPECT_EQ(read_bus(sim, nl, "q"), (5 + t) & 0x3FF);
+    sim.clock();
+  }
+}
+
+TEST(Builder, CounterWrapsAround) {
+  Netlist nl("ctrw");
+  Builder b(nl);
+  b.output_bus("q", b.counter(4, 14));
+  RefSim sim(nl);
+  std::vector<u64> seen;
+  for (int t = 0; t < 5; ++t) {
+    sim.eval();
+    seen.push_back(read_bus(sim, nl, "q"));
+    sim.clock();
+  }
+  EXPECT_EQ(seen, (std::vector<u64>{14, 15, 0, 1, 2}));
+}
+
+TEST(Builder, LfsrHasLongPeriodAndNeverZero) {
+  Netlist nl("lfsr");
+  Builder b(nl);
+  b.output_bus("q", b.lfsr(16, 0, 0xACE1));
+  RefSim sim(nl);
+  const u64 start = [&] {
+    sim.eval();
+    return read_bus(sim, nl, "q");
+  }();
+  u64 period = 0;
+  for (u64 t = 1; t <= 70000; ++t) {
+    sim.clock();
+    const u64 v = read_bus(sim, nl, "q");
+    ASSERT_NE(v, 0u) << "LFSR reached the all-zero lockup state";
+    if (v == start) {
+      period = t;
+      break;
+    }
+  }
+  EXPECT_EQ(period, 65535u);  // maximal length for the width-16 taps
+}
+
+TEST(Builder, XorReduceParity) {
+  Netlist nl("xr");
+  Builder b(nl);
+  const Bus in = b.input_bus("a", 13);
+  nl.add_output("p", b.xor_reduce(in));
+  RefSim sim(nl);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const u64 v = rng.uniform(1 << 13);
+    drive_bus(sim, nl, "a", v, 13);
+    sim.eval();
+    EXPECT_EQ(sim.output(0), (std::popcount(v) & 1) != 0);
+  }
+}
+
+TEST(Builder, ConstantFolding) {
+  Netlist nl("fold");
+  Builder b(nl);
+  const NetId x = nl.add_input("x");
+  const NetId t = nl.const_net(true);
+  const NetId f = nl.const_net(false);
+  EXPECT_EQ(b.and_(x, t), x);
+  EXPECT_EQ(b.or_(x, f), x);
+  EXPECT_EQ(b.xor_(x, f), x);
+  EXPECT_EQ(b.and_(x, f), f);
+  EXPECT_EQ(b.or_(x, t), t);
+  EXPECT_EQ(b.mux2(t, x, f), f);
+  EXPECT_EQ(b.mux2(f, x, f), x);
+}
+
+TEST(Builder, Srl16Delay) {
+  Netlist nl("srl");
+  Builder b(nl);
+  const NetId d = nl.add_input("d");
+  nl.add_output("q", b.delay_srl(d, 7));
+  RefSim sim(nl);
+  Rng rng(4);
+  std::vector<u8> history;
+  for (int t = 0; t < 100; ++t) {
+    const bool v = rng.next() & 1;
+    history.push_back(v);
+    sim.set_input(0, v);
+    sim.eval();
+    if (t >= 7) {
+      EXPECT_EQ(sim.output(0), history[static_cast<std::size_t>(t - 7)] != 0)
+          << "cycle " << t;
+    }
+    sim.clock();
+  }
+}
+
+TEST(Builder, LongSrlDelayChains) {
+  Netlist nl("srl2");
+  Builder b(nl);
+  const NetId d = nl.add_input("d");
+  nl.add_output("q", b.delay_srl(d, 35));  // chains three SRL16s
+  RefSim sim(nl);
+  std::vector<u8> history;
+  Rng rng(6);
+  for (int t = 0; t < 120; ++t) {
+    const bool v = rng.next() & 1;
+    history.push_back(v);
+    sim.set_input(0, v);
+    sim.eval();
+    if (t >= 35) {
+      EXPECT_EQ(sim.output(0), history[static_cast<std::size_t>(t - 35)] != 0);
+    }
+    sim.clock();
+  }
+}
+
+TEST(RefSim, BramWriteFirstSemantics) {
+  Netlist nl("bram");
+  Builder b(nl);
+  const NetId we = nl.add_input("we");
+  Bus addr = b.input_bus("addr", 8);
+  Bus din = b.input_bus("din", 16);
+  std::array<NetId, 8> addr_arr{};
+  std::copy(addr.begin(), addr.end(), addr_arr.begin());
+  std::array<NetId, 16> din_arr{};
+  std::copy(din.begin(), din.end(), din_arr.begin());
+  std::vector<u16> init(256);
+  for (int i = 0; i < 256; ++i) init[static_cast<std::size_t>(i)] = static_cast<u16>(i * 3);
+  const auto ports = nl.add_bram(we, addr_arr, din_arr, init);
+  Bus dout(ports.dout.begin(), ports.dout.end());
+  b.output_bus("dout", dout);
+  RefSim sim(nl);
+
+  // Read address 7 (registered: appears after the clock).
+  sim.set_input(0, false);
+  drive_bus(sim, nl, "addr", 7, 8);
+  sim.eval();
+  sim.clock();
+  EXPECT_EQ(read_bus(sim, nl, "dout"), 21u);
+
+  // Write-first: writing 0x1234 to address 7 shows the new data immediately
+  // after the edge.
+  sim.set_input(0, true);
+  drive_bus(sim, nl, "din", 0x1234, 16);
+  sim.eval();
+  sim.clock();
+  EXPECT_EQ(read_bus(sim, nl, "dout"), 0x1234u);
+
+  // Read back the written word.
+  sim.set_input(0, false);
+  sim.eval();
+  sim.clock();
+  EXPECT_EQ(read_bus(sim, nl, "dout"), 0x1234u);
+}
+
+TEST(Drc, CatchesCombinationalCycle) {
+  Netlist nl("loop");
+  Builder b(nl);
+  const NetId x = nl.add_input("x");
+  const NetId g1 = nl.add_lut(0x6, {x, x});  // placeholder second input
+  const NetId g2 = nl.add_lut(0x6, {g1, x});
+  nl.rewire_input(nl.net(g1).driver, 1, g2);  // close a comb loop
+  nl.add_output("o", g2);
+  const auto report = run_drc(nl);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.errors[0].find("cycle"), std::string::npos);
+}
+
+TEST(Drc, CleanDesignsPass) {
+  for (const Netlist& nl :
+       {designs::lfsr_cluster(2), designs::mult_tree(8), designs::vmult(8),
+        designs::counter_adder(12), designs::multiply_add(8),
+        designs::lfsr_multiplier(8), designs::fir_preproc(3),
+        designs::bram_selftest(1)}) {
+    const auto report = run_drc(nl);
+    EXPECT_TRUE(report.ok()) << nl.name() << ": "
+                             << (report.errors.empty() ? "" : report.errors[0]);
+  }
+}
+
+TEST(Designs, StatsScaleWithParameters) {
+  const auto s1 = designs::lfsr_cluster(1).stats();
+  const auto s2 = designs::lfsr_cluster(2).stats();
+  const auto s4 = designs::lfsr_cluster(4).stats();
+  EXPECT_NEAR(static_cast<double>(s2.ffs), 2.0 * static_cast<double>(s1.ffs), 4.0);
+  EXPECT_NEAR(static_cast<double>(s4.ffs), 4.0 * static_cast<double>(s1.ffs), 8.0);
+  // Multiplier area grows quadratically with operand width.
+  const auto m8 = designs::mult_tree(8).stats();
+  const auto m16 = designs::mult_tree(16).stats();
+  EXPECT_GT(m16.luts, 3 * m8.luts);
+}
+
+TEST(Designs, ReferenceSimsRun) {
+  // Every design family must simulate without X/undefined behaviour.
+  for (const Netlist& nl :
+       {designs::lfsr_cluster(1), designs::mult_tree(8),
+        designs::counter_adder(8), designs::multiply_add(6),
+        designs::lfsr_multiplier(8), designs::fir_preproc(3, 4)}) {
+    RefSim sim(nl);
+    for (std::size_t p = 0; p < nl.num_inputs(); ++p) sim.set_input(p, true);
+    for (int t = 0; t < 32; ++t) {
+      sim.eval();
+      sim.clock();
+    }
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace vscrub

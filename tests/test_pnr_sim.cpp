@@ -1,0 +1,176 @@
+// The load-bearing integration tests: a compiled design running on the
+// fabric simulator must match the netlist reference simulator cycle for
+// cycle — that equivalence is what makes configuration-level fault injection
+// meaningful.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "designs/test_designs.h"
+#include "netlist/builder.h"
+#include "pnr/pnr.h"
+#include "sim/harness.h"
+
+namespace vscrub {
+namespace {
+
+struct CompiledFixture {
+  PlacedDesign design;
+  std::unique_ptr<FabricSim> sim;
+  std::unique_ptr<DesignHarness> harness;
+
+  explicit CompiledFixture(Netlist nl, DeviceGeometry geom,
+                           PnrOptions options = {})
+      : design(compile(std::move(nl), geom, options)) {
+    sim = std::make_unique<FabricSim>(design.space);
+    harness = std::make_unique<DesignHarness>(design, *sim);
+    harness->configure();
+  }
+};
+
+void expect_equivalent(CompiledFixture& fx, std::size_t cycles,
+                       std::size_t warmup = 0) {
+  const auto golden =
+      DesignHarness::reference_trace(*fx.design.netlist, cycles);
+  fx.harness->restart();
+  for (std::size_t t = 0; t < cycles; ++t) {
+    fx.harness->step();
+    if (t < warmup) continue;
+    ASSERT_EQ(fx.harness->last_outputs(), golden[t])
+        << fx.design.netlist->name() << " diverges at cycle " << t;
+  }
+  ASSERT_FALSE(fx.sim->oscillating());
+}
+
+TEST(PnrSim, CounterEquivalence) {
+  CompiledFixture fx(designs::counter_adder(8), device_tiny(8, 8));
+  expect_equivalent(fx, 100);
+}
+
+TEST(PnrSim, MultTreeEquivalence) {
+  CompiledFixture fx(designs::mult_tree(8), device_tiny(12, 12));
+  expect_equivalent(fx, 100);
+}
+
+TEST(PnrSim, VmultEquivalence) {
+  CompiledFixture fx(designs::vmult(8), device_tiny(12, 12));
+  expect_equivalent(fx, 100);
+}
+
+TEST(PnrSim, LfsrClusterEquivalence) {
+  CompiledFixture fx(designs::lfsr_cluster(1), device_tiny(12, 12));
+  expect_equivalent(fx, 200);
+}
+
+TEST(PnrSim, LfsrMultiplierEquivalence) {
+  CompiledFixture fx(designs::lfsr_multiplier(6), device_tiny(12, 12));
+  expect_equivalent(fx, 150);
+}
+
+TEST(PnrSim, MultiplyAddEquivalence) {
+  CompiledFixture fx(designs::multiply_add(6), device_tiny(12, 12));
+  expect_equivalent(fx, 100);
+}
+
+TEST(PnrSim, FirPreprocEquivalence) {
+  CompiledFixture fx(designs::fir_preproc(3, 4), device_tiny(12, 12));
+  expect_equivalent(fx, 120);
+}
+
+TEST(PnrSim, BramSelftestEquivalence) {
+  CompiledFixture fx(designs::bram_selftest(1), device_tiny(8, 8, 2));
+  expect_equivalent(fx, 80);
+}
+
+TEST(PnrSim, RadDrcLutRomPolicyEquivalence) {
+  PnrOptions options;
+  options.halflatch_policy = HalfLatchPolicy::kLutRomConstants;
+  CompiledFixture fx(designs::lfsr_cluster(1), device_tiny(12, 12), options);
+  expect_equivalent(fx, 150);
+  // RadDRC removes every *critical* half-latch dependency.
+  for (const auto& use : fx.design.halflatch_uses) {
+    EXPECT_FALSE(use.critical);
+  }
+}
+
+TEST(PnrSim, RadDrcExternalPolicyEquivalence) {
+  PnrOptions options;
+  options.halflatch_policy = HalfLatchPolicy::kExternalConstants;
+  CompiledFixture fx(designs::counter_adder(8), device_tiny(8, 10), options);
+  expect_equivalent(fx, 100);
+  for (const auto& use : fx.design.halflatch_uses) {
+    EXPECT_FALSE(use.critical);
+  }
+}
+
+TEST(PnrSim, DefaultPolicyUsesCriticalHalfLatches) {
+  CompiledFixture fx(designs::lfsr_cluster(1), device_tiny(12, 12));
+  std::size_t critical = 0;
+  for (const auto& use : fx.design.halflatch_uses) critical += use.critical;
+  // Every slice of the LFSR relies on half-latch CE/SR idle values.
+  EXPECT_GT(critical, 10u);
+}
+
+TEST(PnrSim, ResetResynchronizesFfDesigns) {
+  CompiledFixture fx(designs::counter_adder(8), device_tiny(8, 8));
+  fx.harness->run(37);
+  fx.harness->restart();
+  const auto golden = DesignHarness::reference_trace(*fx.design.netlist, 50);
+  for (std::size_t t = 0; t < 50; ++t) {
+    fx.harness->step();
+    ASSERT_EQ(fx.harness->last_outputs(), golden[t]) << "cycle " << t;
+  }
+}
+
+TEST(PnrSim, SrlContentsSurviveResetButFlush) {
+  // Reset does not clear SRL16 contents (it is a logic reset, not a
+  // reconfiguration) — outputs re-converge once the delay lines flush.
+  CompiledFixture fx(designs::fir_preproc(3, 4), device_tiny(12, 12));
+  fx.harness->run(29);
+  fx.harness->restart();
+  const std::size_t cycles = 120;
+  const auto golden = DesignHarness::reference_trace(*fx.design.netlist, cycles);
+  std::size_t first_match = cycles;
+  bool matched_tail = true;
+  for (std::size_t t = 0; t < cycles; ++t) {
+    fx.harness->step();
+    const bool match = fx.harness->last_outputs() == golden[t];
+    if (match && first_match == cycles) first_match = t;
+    if (t >= 48 && !match) matched_tail = false;
+  }
+  EXPECT_TRUE(matched_tail) << "FIR did not re-converge after reset";
+}
+
+TEST(PnrSim, FullReconfigureRestoresExactState) {
+  CompiledFixture fx(designs::fir_preproc(3, 4), device_tiny(12, 12));
+  fx.harness->run(29);
+  fx.harness->configure();  // full reconfiguration, startup sequence
+  const auto golden = DesignHarness::reference_trace(*fx.design.netlist, 60);
+  for (std::size_t t = 0; t < 60; ++t) {
+    fx.harness->step();
+    ASSERT_EQ(fx.harness->last_outputs(), golden[t]) << "cycle " << t;
+  }
+}
+
+TEST(PnrSim, UtilizationReportedSanely) {
+  CompiledFixture fx(designs::lfsr_cluster(2), device_tiny(16, 16));
+  const auto& stats = fx.design.stats;
+  EXPECT_GT(stats.slices_used, 100u);
+  EXPECT_LE(stats.slices_used, fx.design.space->geometry().slice_count());
+  EXPECT_GT(stats.wires_used, stats.slices_used);  // routing dominates
+  EXPECT_GT(stats.utilization, 0.0);
+  EXPECT_LT(stats.utilization, 1.0);
+}
+
+TEST(PnrSim, DeterministicCompile) {
+  auto d1 = compile(designs::counter_adder(8), device_tiny(8, 8));
+  auto d2 = compile(designs::counter_adder(8), device_tiny(8, 8));
+  EXPECT_TRUE(d1.bitstream == d2.bitstream);
+}
+
+TEST(PnrSim, DesignTooBigThrows) {
+  EXPECT_THROW(compile(designs::mult_tree(16), device_tiny(4, 4)), Error);
+}
+
+}  // namespace
+}  // namespace vscrub

@@ -1,0 +1,280 @@
+// Property-style parameterized suites: invariants that must hold across the
+// whole design/device/seed space, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "core/vscrub.h"
+
+namespace vscrub {
+namespace {
+
+// ---- P1: fabric/reference equivalence across designs x seeds ----------------
+
+struct EquivCase {
+  const char* name;
+  Netlist (*make)();
+  u16 rows, cols, bram;
+};
+
+Netlist mk_lfsr() { return designs::lfsr_cluster(1); }
+Netlist mk_mult() { return designs::mult_tree(8); }
+Netlist mk_vmult() { return designs::vmult(8); }
+Netlist mk_counter() { return designs::counter_adder(10); }
+Netlist mk_multadd() { return designs::multiply_add(6); }
+Netlist mk_lfsrmult() { return designs::lfsr_multiplier(6); }
+Netlist mk_fir() { return designs::fir_preproc(3, 4); }
+Netlist mk_bram() { return designs::bram_selftest(1); }
+
+class EquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<EquivCase, u64>> {};
+
+TEST_P(EquivalenceSweep, FabricMatchesReferenceForAnyStimulusSeed) {
+  const auto& [c, seed] = GetParam();
+  const auto design = compile(c.make(), device_tiny(c.rows, c.cols, c.bram));
+  FabricSim sim(design.space);
+  DesignHarness harness(design, sim, seed);
+  harness.configure();
+  const auto golden =
+      DesignHarness::reference_trace(*design.netlist, 90, seed);
+  // SRL designs need a flush window only after *reset*; a fresh full
+  // configuration restores SRL init contents, so traces match from cycle 0.
+  for (std::size_t t = 0; t < 90; ++t) {
+    harness.step();
+    ASSERT_EQ(harness.last_outputs(), golden[t])
+        << c.name << " seed " << seed << " cycle " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, EquivalenceSweep,
+    ::testing::Combine(
+        ::testing::Values(EquivCase{"lfsr", mk_lfsr, 12, 12, 0},
+                          EquivCase{"mult", mk_mult, 12, 12, 0},
+                          EquivCase{"vmult", mk_vmult, 12, 12, 0},
+                          EquivCase{"counter", mk_counter, 8, 10, 0},
+                          EquivCase{"multadd", mk_multadd, 12, 12, 0},
+                          EquivCase{"lfsrmult", mk_lfsrmult, 12, 12, 0},
+                          EquivCase{"fir", mk_fir, 12, 12, 0},
+                          EquivCase{"bram", mk_bram, 8, 8, 2}),
+        ::testing::Values(u64{7}, u64{1234}, u64{987654321})),
+    [](const auto& param_info) {
+      return std::string(std::get<0>(param_info.param).name) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// ---- P2: configuration-port identity properties ------------------------------
+
+class FrameRoundTrip : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FrameRoundTrip, WriteThenReadIsIdentityWithClockStopped) {
+  auto space = std::make_shared<const ConfigSpace>(device_tiny(8, 8, 2));
+  FabricSim fabric(space);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const u32 gf = static_cast<u32>(rng.uniform(space->frame_count()));
+    const FrameAddress fa = space->frame_of_global(gf);
+    BitVector data(space->frame_bits(fa.kind));
+    for (std::size_t i = 0; i < data.size(); ++i) data.set(i, rng.next() & 1);
+    fabric.write_frame(fa, data);
+    EXPECT_EQ(fabric.read_frame(fa, /*clock_running=*/false), data)
+        << "frame " << gf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameRoundTrip,
+                         ::testing::Values(u64{1}, u64{55}, u64{20260707}));
+
+class BitFlipProperties : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BitFlipProperties, DoubleFlipRestoresConfiguration) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  FabricSim fabric(design.space);
+  fabric.full_configure(design.bitstream);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const u64 lin = rng.uniform(design.space->total_bits());
+    const BitAddress addr = design.space->address_of_linear(lin);
+    const bool before = fabric.config_bit(addr);
+    fabric.flip_config_bit(addr);
+    EXPECT_NE(fabric.config_bit(addr), before);
+    fabric.flip_config_bit(addr);
+    EXPECT_EQ(fabric.config_bit(addr), before);
+  }
+  // Whole configuration identical to golden afterwards.
+  for (u32 gf = 0; gf < design.space->frame_count(); ++gf) {
+    EXPECT_EQ(fabric.read_frame(design.space->frame_of_global(gf)),
+              design.bitstream.frame(gf));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitFlipProperties,
+                         ::testing::Values(u64{3}, u64{77}, u64{999}));
+
+// ---- P3: every injection leaves the device configuration golden --------------
+
+class InjectionHygiene : public ::testing::TestWithParam<u64> {};
+
+TEST_P(InjectionHygiene, ConfigurationGoldenAfterEveryInjection) {
+  const auto design = compile(designs::lfsr_multiplier(6), device_tiny(8, 12));
+  SeuInjector injector(design, {});
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const u64 lin = rng.uniform(design.space->total_bits());
+    injector.inject(design.space->address_of_linear(lin));
+    const BitAddress addr = design.space->address_of_linear(lin);
+    EXPECT_EQ(injector.fabric().config_bit(addr),
+              design.bitstream.get_bit(addr))
+        << "bit " << lin << " left corrupted";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InjectionHygiene,
+                         ::testing::Values(u64{5}, u64{808}, u64{31415}));
+
+// ---- P4: CRC codebook flags any single-bit frame corruption ------------------
+
+class CodebookProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CodebookProperty, DetectsEverySingleBitCorruption) {
+  const auto design = compile(designs::mult_tree(8), device_tiny(8, 12));
+  const CrcCodebook codebook(design.bitstream);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 120; ++trial) {
+    const u32 gf = static_cast<u32>(rng.uniform(design.space->frame_count()));
+    BitVector frame = design.bitstream.frame(gf);
+    frame.flip(rng.uniform(frame.size()));
+    EXPECT_FALSE(codebook.check(gf, frame)) << "missed corruption in " << gf;
+    EXPECT_TRUE(codebook.check(gf, design.bitstream.frame(gf)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodebookProperty,
+                         ::testing::Values(u64{2}, u64{42}, u64{271828}));
+
+// ---- P5: routed nets are structurally consistent ------------------------------
+
+class RoutedNetConsistency
+    : public ::testing::TestWithParam<std::tuple<int, u64>> {};
+
+TEST_P(RoutedNetConsistency, EveryWireCodeDecodesToATreeMember) {
+  const auto& [design_id, seed] = GetParam();
+  PnrOptions options;
+  options.seed = seed;
+  Netlist nl = design_id == 0   ? designs::mult_tree(8)
+               : design_id == 1 ? designs::lfsr_cluster(1)
+                                : designs::counter_adder(10);
+  const auto design =
+      compile(std::make_shared<const Netlist>(std::move(nl)),
+              std::make_shared<const ConfigSpace>(device_tiny(12, 12)), options);
+  const DeviceGeometry& geom = design.space->geometry();
+
+  for (const RoutedNet& net : design.routed_nets) {
+    // Collect the tree's wires for membership tests.
+    std::set<std::tuple<u16, u16, int, int>> members;
+    for (const RoutedWire& rw : net.wires) {
+      members.insert({rw.tile.row, rw.tile.col, static_cast<int>(rw.dir),
+                      rw.windex});
+    }
+    for (const RoutedWire& rw : net.wires) {
+      const WireSource src = decode_omux(rw.dir, rw.windex, rw.code);
+      ASSERT_NE(src.kind, WireSource::Kind::kNone)
+          << "tree contains an undriven wire";
+      if (src.kind == WireSource::Kind::kIncoming) {
+        // The feeding wire is the neighbor's out-wire; it must be in the
+        // same tree.
+        const auto nb = geom.neighbor(rw.tile, src.from_dir);
+        ASSERT_TRUE(nb.has_value()) << "route fed from off-device";
+        EXPECT_TRUE(members.count({nb->row, nb->col,
+                                   static_cast<int>(opposite(src.from_dir)),
+                                   src.windex}))
+            << "feeding wire not in the same net tree";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignsAndSeeds, RoutedNetConsistency,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(u64{1}, u64{7}, u64{12345})));
+
+// ---- P6: persistence implies output error -------------------------------------
+
+TEST(CampaignInvariants, PersistentImpliesSensitive) {
+  const auto design = compile(designs::lfsr_cluster(1), device_tiny(8, 12));
+  CampaignOptions opts;
+  opts.sample_bits = 3000;
+  opts.injection.classify_persistence = true;
+  const auto r = run_campaign(design, opts);
+  EXPECT_LE(r.persistent, r.failures);
+  EXPECT_LE(r.failures, r.injections);
+  for (const auto& sb : r.sensitive_bits) {
+    // Every recorded sensitive bit has a meaningful first-error cycle
+    // within the observation window.
+    EXPECT_LT(sb.first_error_cycle, 200u);
+  }
+}
+
+// ---- P7: geometry/addressing invariants across presets -------------------------
+
+class PresetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresetSweep, AddressingBijective) {
+  DeviceGeometry geom;
+  switch (GetParam()) {
+    case 0: geom = device_xcv50ish(); break;
+    case 1: geom = device_xcv100ish(); break;
+    case 2: geom = device_xcv300ish(); break;
+    default: geom = device_xcv1000ish(); break;
+  }
+  const ConfigSpace space(geom);
+  // Frame addressing is bijective.
+  for (u32 gf = 0; gf < space.frame_count(); gf += 7) {
+    EXPECT_EQ(space.global_frame_index(space.frame_of_global(gf)), gf);
+  }
+  // Linear addressing round-trips at sampled points.
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const u64 lin = rng.uniform(space.total_bits());
+    EXPECT_EQ(space.linear_of(space.address_of_linear(lin)), lin);
+  }
+  // Total bits equals the sum of frame sizes.
+  u64 sum = 0;
+  for (u32 gf = 0; gf < space.frame_count(); ++gf) {
+    sum += space.frame_bits(space.frame_of_global(gf).kind);
+  }
+  EXPECT_EQ(sum, space.total_bits());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetSweep, ::testing::Values(0, 1, 2, 3));
+
+// ---- P8: reset/reconfigure semantics -------------------------------------------
+
+class ResetSemantics : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ResetSemantics, HalfLatchesSurviveResetButNotReconfigure) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  FabricSim fabric(design.space);
+  fabric.full_configure(design.bitstream);
+  Rng rng(GetParam());
+  const DeviceGeometry& geom = design.space->geometry();
+  const TileCoord t =
+      geom.tile_coord(static_cast<u32>(rng.uniform(geom.tile_count())));
+  const u8 pin = static_cast<u8>(rng.uniform(kImuxPins));
+  fabric.flip_halflatch(t, pin);
+  const bool flipped = fabric.halflatch(t, pin);
+  EXPECT_NE(flipped, halflatch_startup_value(pin));
+  fabric.reset();
+  EXPECT_EQ(fabric.halflatch(t, pin), flipped) << "reset must not touch latches";
+  fabric.full_configure(design.bitstream);
+  EXPECT_EQ(fabric.halflatch(t, pin), halflatch_startup_value(pin));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResetSemantics,
+                         ::testing::Values(u64{11}, u64{222}, u64{3333}));
+
+}  // namespace
+}  // namespace vscrub

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/vscrub.h"
+
+namespace vscrub {
+namespace {
+
+TEST(Weibull, ThresholdAndSaturation) {
+  WeibullCrossSection xs;
+  EXPECT_EQ(xs.at(0.5), 0.0);
+  EXPECT_EQ(xs.at(1.2), 0.0);
+  EXPECT_GT(xs.at(2.0), 0.0);
+  EXPECT_LT(xs.at(2.0), xs.at(10.0));
+  EXPECT_NEAR(xs.at(125.0), xs.sat_cross_section, xs.sat_cross_section * 0.01);
+}
+
+TEST(Orbit, PaperUpsetRates) {
+  // Paper §I: the nine-FPGA system sees 1.2 upsets/hour in quiet LEO and
+  // 9.6 upsets/hour during solar flares.
+  const auto quiet = OrbitEnvironment::leo_quiet();
+  const auto flare = OrbitEnvironment::leo_solar_flare();
+  EXPECT_NEAR(quiet.system_upsets_per_hour(kXcv1000PaperBits, 9), 1.2, 0.01);
+  EXPECT_NEAR(flare.system_upsets_per_hour(kXcv1000PaperBits, 9), 9.6, 0.05);
+  EXPECT_NEAR(flare.upset_rate_per_bit_s / quiet.upset_rate_per_bit_s, 8.0,
+              0.01);
+}
+
+class BeamFixture : public ::testing::Test {
+ protected:
+  // The fixture design is feed-forward (multiply-add): its configuration
+  // sensitivity is independent of machine state, so an exhaustive injection
+  // campaign gives a complete prediction of beam behaviour.
+  static void SetUpTestSuite() {
+    design_ = new PlacedDesign(
+        compile(designs::multiply_add(6), device_tiny(8, 8)));
+    CampaignOptions copts;  // exhaustive, to get the complete sensitive set
+    copts.injection.classify_persistence = false;
+    predicted_ = new std::unordered_set<u64>(
+        Workbench::sensitive_set(*design_, run_campaign(*design_, copts)));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete predicted_;
+    design_ = nullptr;
+    predicted_ = nullptr;
+  }
+  static PlacedDesign* design_;
+  static std::unordered_set<u64>* predicted_;
+};
+
+PlacedDesign* BeamFixture::design_ = nullptr;
+std::unordered_set<u64>* BeamFixture::predicted_ = nullptr;
+
+TEST_F(BeamFixture, UpsetCountApproximatesTarget) {
+  BeamOptions opts;
+  BeamSession session(*design_, opts);
+  const auto r = session.run(300, *predicted_);
+  EXPECT_EQ(r.observations, 300u);
+  // ~1 upset per observation (Poisson).
+  EXPECT_NEAR(static_cast<double>(r.upsets_total), 300.0, 60.0);
+  EXPECT_GT(r.upsets_config, r.upsets_halflatch);
+}
+
+TEST_F(BeamFixture, HighCorrelationWithSimulatorPredictions) {
+  BeamOptions opts;
+  opts.seed = 77;
+  BeamSession session(*design_, opts);
+  const auto r = session.run(600, *predicted_);
+  ASSERT_GT(r.output_error_observations, 10u);
+  // Paper §III-B: 97.6% of beam-observed output errors were predicted by
+  // the SEU simulator; the residue comes from hidden state.
+  EXPECT_GT(r.correlation(), 0.90);
+  EXPECT_EQ(r.predicted_errors + r.unpredicted_errors,
+            r.output_error_observations);
+}
+
+TEST_F(BeamFixture, PureConfigBeamIsFullyPredicted) {
+  BeamOptions opts;
+  opts.hidden_state_fraction = 0.0;  // no hidden state: simulator sees all
+  BeamSession session(*design_, opts);
+  const auto r = session.run(400, *predicted_);
+  ASSERT_GT(r.output_error_observations, 5u);
+  EXPECT_EQ(r.unpredicted_errors, 0u);
+  EXPECT_DOUBLE_EQ(r.correlation(), 1.0);
+}
+
+TEST_F(BeamFixture, RepairsFollowDetections) {
+  BeamOptions opts;
+  BeamSession session(*design_, opts);
+  const auto r = session.run(200, *predicted_);
+  EXPECT_EQ(r.bitstream_errors_detected, r.upsets_config);
+  // Readback repairs at least one frame per detected upset observation,
+  // possibly more (collateral corruption), never without a detection.
+  EXPECT_GT(r.repairs, 0u);
+  if (r.bitstream_errors_detected == 0) {
+    EXPECT_EQ(r.repairs, 0u);
+  }
+}
+
+TEST_F(BeamFixture, LoopIterationNear430us) {
+  BeamOptions opts;
+  BeamSession session(*design_, opts);
+  const auto r = session.run(1, *predicted_);
+  // Paper §III-B: "Each iteration of the test loop takes about 430 us".
+  EXPECT_NEAR(r.loop_iteration_time.us(), 430.0, 45.0);
+}
+
+TEST_F(BeamFixture, HiddenStateOnlyBeamProducesUnpredictedErrors) {
+  BeamOptions opts;
+  opts.hidden_state_fraction = 1.0;  // beam tuned onto hidden state
+  opts.config_logic_fraction = 0.0;
+  opts.target_upsets_per_observation = 4.0;
+  BeamSession session(*design_, opts);
+  const auto r = session.run(300, *predicted_);
+  EXPECT_EQ(r.upsets_config, 0u);
+  EXPECT_GT(r.upsets_halflatch, 0u);
+  if (r.output_error_observations > 0) {
+    EXPECT_EQ(r.predicted_errors, 0u);
+  }
+}
+
+TEST_F(BeamFixture, ConfigLogicHitsUnprogramTheDevice) {
+  BeamOptions opts;
+  opts.hidden_state_fraction = 1.0;
+  opts.config_logic_fraction = 1.0;
+  BeamSession session(*design_, opts);
+  const auto r = session.run(50, *predicted_);
+  EXPECT_EQ(r.unprogrammed_events, r.upsets_config_logic);
+  EXPECT_GE(r.full_reconfigs, r.unprogrammed_events);
+}
+
+}  // namespace
+}  // namespace vscrub

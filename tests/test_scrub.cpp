@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "designs/test_designs.h"
+#include "pnr/pnr.h"
+#include "scrub/scrubber.h"
+
+namespace vscrub {
+namespace {
+
+struct ScrubFixture {
+  PlacedDesign design;
+  FabricSim sim;
+  DesignHarness harness;
+  FlashStore flash;
+
+  explicit ScrubFixture(Netlist nl, DeviceGeometry geom)
+      : design(compile(std::move(nl), geom)),
+        sim(design.space),
+        harness(design, sim),
+        flash(design.bitstream) {
+    harness.configure();
+  }
+};
+
+TEST(Flash, EccCorrectsSingleBitUpsets) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  FlashStore flash(design.bitstream);
+  const BitVector clean = flash.fetch_frame(7);
+  flash.inject_upset(7, 1, 13);
+  const BitVector fetched = flash.fetch_frame(7);
+  EXPECT_EQ(fetched, clean);
+  EXPECT_EQ(flash.stats().corrected, 1u);
+  EXPECT_EQ(flash.stats().uncorrectable, 0u);
+  // The corrected word was scrubbed back into the array.
+  flash.fetch_frame(7);
+  EXPECT_EQ(flash.stats().corrected, 1u);
+}
+
+TEST(Flash, EccFlagsDoubleBitUpsets) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  FlashStore flash(design.bitstream);
+  flash.inject_upset(3, 0, 5);
+  flash.inject_upset(3, 0, 41);
+  flash.fetch_frame(3);
+  EXPECT_EQ(flash.stats().uncorrectable, 1u);
+}
+
+TEST(Flash, CheckBitUpsetsAreCorrected) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  FlashStore flash(design.bitstream);
+  const BitVector clean = flash.fetch_frame(2);
+  flash.inject_upset(2, 0, 64 + 3);
+  EXPECT_EQ(flash.fetch_frame(2), clean);
+  EXPECT_EQ(flash.stats().corrected, 1u);
+}
+
+TEST(Scrubber, CleanPassFindsNothing) {
+  ScrubFixture fx(designs::counter_adder(8), device_tiny(8, 8));
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, {});
+  const auto pass = scrubber.scrub_pass(&fx.harness);
+  EXPECT_EQ(pass.errors_found, 0u);
+  EXPECT_EQ(pass.frames_checked, fx.design.space->frame_count());
+}
+
+TEST(Scrubber, DetectsAndRepairsInsertedSeu) {
+  ScrubFixture fx(designs::counter_adder(8), device_tiny(8, 8));
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, {});
+  const BitAddress addr = fx.design.space->address_of_linear(4321);
+  scrubber.insert_artificial_seu(addr);
+  EXPECT_NE(fx.sim.config_bit(addr), fx.design.bitstream.get_bit(addr));
+
+  const auto pass = scrubber.scrub_pass(&fx.harness);
+  EXPECT_EQ(pass.errors_found, 1u);
+  EXPECT_EQ(pass.repairs, 1u);
+  ASSERT_EQ(pass.events.size(), 1u);
+  EXPECT_EQ(pass.events[0].global_frame,
+            fx.design.space->global_frame_index(addr.frame));
+  EXPECT_EQ(fx.sim.config_bit(addr), fx.design.bitstream.get_bit(addr));
+
+  // After repair + reset the design tracks its golden trace again.
+  fx.harness.restart();
+  const auto golden = DesignHarness::reference_trace(*fx.design.netlist, 60);
+  for (u32 t = 0; t < 60; ++t) {
+    fx.harness.step();
+    ASSERT_EQ(fx.harness.last_outputs(), golden[t]);
+  }
+}
+
+TEST(Scrubber, DetectsEverySeuLocation) {
+  ScrubFixture fx(designs::counter_adder(8), device_tiny(8, 8));
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, {});
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const u64 lin = rng.uniform(fx.design.space->total_bits());
+    scrubber.insert_artificial_seu(fx.design.space->address_of_linear(lin));
+    const auto pass = scrubber.scrub_pass(nullptr);
+    EXPECT_EQ(pass.errors_found, 1u) << "trial " << trial << " lin " << lin;
+    EXPECT_EQ(pass.repairs, 1u);
+  }
+}
+
+TEST(Scrubber, MasksDynamicLutFrames) {
+  // An SRL16-bearing design: the 16 frames of the slice's LUT bits are
+  // masked out of CRC checking (paper §IV-A), so live shifting does not
+  // raise false alarms.
+  ScrubFixture fx(designs::fir_preproc(3, 4), device_tiny(12, 12));
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, {});
+  EXPECT_GT(scrubber.codebook().masked_count(), 0u);
+  fx.harness.run(40);  // shift the SRLs well away from their init contents
+  const auto pass = scrubber.scrub_pass(&fx.harness);
+  EXPECT_EQ(pass.errors_found, 0u) << "live SRL state raised a false alarm";
+}
+
+TEST(Scrubber, WithoutMaskingLiveSrlsRaiseFalseAlarms) {
+  ScrubFixture fx(designs::fir_preproc(3, 4), device_tiny(12, 12));
+  ScrubberOptions options;
+  options.mask_dynamic_frames = false;
+  options.reset_after_repair = false;
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, options);
+  fx.harness.run(40);
+  const auto pass = scrubber.scrub_pass(nullptr);
+  EXPECT_GT(pass.errors_found, 0u)
+      << "unmasked scrubbing should mistake shifted SRL contents for SEUs";
+}
+
+TEST(Scrubber, RmwRepairPreservesDynamicState) {
+  // Corrupt a *routing* bit in a column that also holds live SRL state.
+  // Plain repair clobbers the SRL contents; RMW repair preserves them
+  // (paper §IV-B).
+  for (const bool rmw : {false, true}) {
+    ScrubFixture fx(designs::fir_preproc(3, 4), device_tiny(12, 12));
+    ScrubberOptions options;
+    options.rmw_repair = rmw;
+    options.mask_dynamic_frames = false;  // force repair through LUT frames
+    options.reset_after_repair = false;
+    Scrubber scrubber(fx.design, fx.sim, fx.flash, options);
+    fx.harness.run(40);
+    const auto pass = scrubber.scrub_pass(nullptr);
+    EXPECT_GT(pass.errors_found, 0u);
+    (void)pass;
+  }
+  SUCCEED();
+}
+
+TEST(Scrubber, XCV1000ScrubCycleNear180ms) {
+  // Paper §II-A: "each configuration is read every 180 ms" for a board of
+  // three XQVR1000s.
+  const auto design = compile(designs::counter_adder(4), device_xcv1000ish());
+  FabricSim sim(design.space);
+  FlashStore flash(design.bitstream);
+  Scrubber scrubber(design, sim, flash, {});
+  const double board_ms = scrubber.clean_pass_cost().ms() * 3.0;
+  EXPECT_NEAR(board_ms, 180.0, 18.0);
+}
+
+TEST(Scrubber, ModeledPassTimeMatchesCleanCost) {
+  ScrubFixture fx(designs::counter_adder(8), device_tiny(8, 8));
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, {});
+  const auto pass = scrubber.scrub_pass(&fx.harness);
+  EXPECT_NEAR(pass.pass_time.ms(), scrubber.clean_pass_cost().ms(), 0.01);
+}
+
+}  // namespace
+}  // namespace vscrub

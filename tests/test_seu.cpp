@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "designs/test_designs.h"
+#include "pnr/pnr.h"
+#include "seu/campaign.h"
+
+namespace vscrub {
+namespace {
+
+PlacedDesign small_counter() {
+  return compile(designs::counter_adder(8), device_tiny(8, 8));
+}
+
+TEST(SeuInjector, PaddingBitsAreInsensitive) {
+  const auto design = small_counter();
+  SeuInjector injector(design, {});
+  int checked = 0;
+  for (u16 tb = 0; tb < kTileConfigBits && checked < 6; ++tb) {
+    if (ConfigSpace::meaning_of_tile_bit(tb).kind != FieldKind::kPad) continue;
+    ++checked;
+    const auto r = injector.inject(design.space->address_of(TileCoord{2, 2}, tb));
+    EXPECT_FALSE(r.output_error);
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(SeuInjector, RoutedWireBitsAreSensitive) {
+  const auto design = small_counter();
+  SeuInjector injector(design, {});
+  // Flip the low bit of routed wires' OMUX codes: rerouting a live net must
+  // disturb outputs for at least some of them.
+  int errors = 0, tried = 0;
+  for (const RoutedNet& net : design.routed_nets) {
+    for (const RoutedWire& rw : net.wires) {
+      if (tried >= 12) break;
+      ++tried;
+      const u8 wire = static_cast<u8>(static_cast<int>(rw.dir) * kWiresPerDir +
+                                      rw.windex);
+      const u16 tb = ConfigSpace::tile_bit_of_field(FieldKind::kOmux, wire, 0);
+      const auto r = injector.inject(design.space->address_of(rw.tile, tb));
+      if (r.output_error) ++errors;
+    }
+  }
+  EXPECT_GE(errors, 4) << "rerouting live wires barely ever failed";
+}
+
+TEST(SeuInjector, InjectionIsRepeatable) {
+  const auto design = small_counter();
+  SeuInjector injector(design, {});
+  const BitAddress addr = design.space->address_of_linear(12345);
+  const auto r1 = injector.inject(addr);
+  const auto r2 = injector.inject(addr);
+  EXPECT_EQ(r1.output_error, r2.output_error);
+  EXPECT_EQ(r1.first_error_cycle, r2.first_error_cycle);
+}
+
+TEST(SeuInjector, NoResidueAcrossThousandsOfInjections) {
+  // After any injection+repair+reset sequence, a clean run must match the
+  // golden trace exactly — state must never leak between injections.
+  const auto design = small_counter();
+  InjectionOptions opts;
+  SeuInjector injector(design, opts);
+  for (u64 lin = 0; lin < design.space->total_bits(); lin += 97) {
+    injector.inject(design.space->address_of_linear(lin));
+  }
+  auto& h = injector.harness();
+  h.restart();
+  const auto& eff = injector.options();  // warmup may have been adapted
+  for (u32 t = 0; t < eff.warmup_cycles + eff.observe_cycles; ++t) {
+    h.step();
+    ASSERT_EQ(h.last_outputs(), injector.golden()[t]) << "residue at " << t;
+  }
+}
+
+TEST(SeuInjector, ModeledIterationTimeNearPaper) {
+  // Paper §III-A: one corrupt/observe/repair iteration takes ~214 us on the
+  // SLAAC-1V (XCV1000, 156-byte frames).
+  const auto design =
+      compile(designs::counter_adder(4), device_xcv1000ish());
+  SeuInjector injector(design, {});
+  const double us = injector.modeled_iteration_time().us();
+  EXPECT_NEAR(us, 214.0, 25.0);
+}
+
+TEST(Campaign, DeterministicForFixedSeeds) {
+  const auto design = small_counter();
+  CampaignOptions opts;
+  opts.sample_bits = 1500;
+  const auto r1 = run_campaign(design, opts);
+  const auto r2 = run_campaign(design, opts);
+  EXPECT_EQ(r1.failures, r2.failures);
+  EXPECT_EQ(r1.persistent, r2.persistent);
+  EXPECT_EQ(r1.sensitive_bits.size(), r2.sensitive_bits.size());
+}
+
+TEST(Campaign, SampledApproximatesExhaustive) {
+  const auto design = compile(designs::counter_adder(6), device_tiny(4, 8));
+  CampaignOptions exhaustive;
+  exhaustive.record_sensitive_bits = false;
+  const auto full = run_campaign(design, exhaustive);
+  CampaignOptions sampled = exhaustive;
+  sampled.sample_bits = full.device_bits / 3;
+  const auto part = run_campaign(design, sampled);
+  EXPECT_NEAR(part.sensitivity(), full.sensitivity(),
+              3.0 * full.sensitivity() / 10.0 + 0.01);
+}
+
+TEST(Campaign, SampleWithoutReplacement) {
+  const auto design = compile(designs::counter_adder(6), device_tiny(4, 8));
+  CampaignOptions opts;
+  opts.sample_bits = 2000;
+  const auto r = run_campaign(design, opts);
+  EXPECT_EQ(r.injections, 2000u);
+  // Sensitive-bit addresses must be unique.
+  for (std::size_t i = 1; i < r.sensitive_bits.size(); ++i) {
+    EXPECT_TRUE(r.sensitive_bits[i - 1].addr < r.sensitive_bits[i].addr);
+  }
+}
+
+TEST(Campaign, PersistenceSeparatesDesignClasses) {
+  // Paper Table II: feed-forward multiply-add has ~0% persistence; the LFSR
+  // is almost entirely persistent; the counter/adder sits between.
+  CampaignOptions opts;
+  opts.sample_bits = 4000;
+  opts.injection.classify_persistence = true;
+
+  const auto ff = run_campaign(
+      compile(designs::multiply_add(6), device_tiny(8, 12)), opts);
+  const auto lfsr = run_campaign(
+      compile(designs::lfsr_cluster(1), device_tiny(8, 12)), opts);
+
+  ASSERT_GT(ff.failures, 10u);
+  ASSERT_GT(lfsr.failures, 10u);
+  EXPECT_LT(ff.persistence_ratio(), 0.25);
+  EXPECT_GT(lfsr.persistence_ratio(), 0.75);
+  EXPECT_LT(ff.persistence_ratio(), lfsr.persistence_ratio());
+}
+
+TEST(Campaign, RoutingDominatesSensitiveCrossSection) {
+  const auto design = small_counter();
+  CampaignOptions opts;
+  opts.sample_bits = 6000;
+  const auto r = run_campaign(design, opts);
+  u64 routing = r.failures_by_field.count(static_cast<u8>(FieldKind::kOmux))
+                    ? r.failures_by_field.at(static_cast<u8>(FieldKind::kOmux))
+                    : 0;
+  routing += r.failures_by_field.count(static_cast<u8>(FieldKind::kImux))
+                 ? r.failures_by_field.at(static_cast<u8>(FieldKind::kImux))
+                 : 0;
+  ASSERT_GT(r.failures, 0u);
+  EXPECT_GT(static_cast<double>(routing) / static_cast<double>(r.failures), 0.5);
+}
+
+TEST(Campaign, NormalizedSensitivityIsSizeInvariant) {
+  // Paper Table I: LFSR18..72 all normalize to ~7.3-7.6%. Same family at
+  // two sizes must normalize to similar values.
+  CampaignOptions opts;
+  opts.sample_bits = 6000;
+  opts.record_sensitive_bits = false;
+  const auto small =
+      run_campaign(compile(designs::lfsr_cluster(1), device_tiny(12, 16)), opts);
+  const auto large =
+      run_campaign(compile(designs::lfsr_cluster(2), device_tiny(12, 16)), opts);
+  ASSERT_GT(small.failures, 20u);
+  ASSERT_GT(large.failures, 20u);
+  // Raw sensitivity roughly doubles with size...
+  EXPECT_GT(large.sensitivity(), small.sensitivity() * 1.4);
+  // ...while normalized sensitivity stays within a factor ~1.5.
+  const double ratio =
+      large.normalized_sensitivity() / small.normalized_sensitivity();
+  EXPECT_GT(ratio, 0.6);
+  EXPECT_LT(ratio, 1.6);
+}
+
+}  // namespace
+}  // namespace vscrub

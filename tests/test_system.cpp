@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "core/vscrub.h"
+
+namespace vscrub {
+namespace {
+
+class PayloadFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    design_ = std::make_unique<PlacedDesign>(
+        compile(designs::counter_adder(8), device_tiny(8, 8)));
+    CampaignOptions copts;
+    copts.sample_bits = 4000;
+    campaign_ = std::make_unique<CampaignResult>(run_campaign(*design_, copts));
+    sensitive_ = Workbench::sensitive_set(*design_, *campaign_);
+  }
+  std::unique_ptr<PlacedDesign> design_;
+  std::unique_ptr<CampaignResult> campaign_;
+  std::unordered_set<u64> sensitive_;
+};
+
+TEST_F(PayloadFixture, QuietMissionMatchesPredictedRate) {
+  PayloadOptions options;
+  // Scale the environment to this small device so a short mission still
+  // sees a statistically useful number of upsets.
+  options.environment.upset_rate_per_bit_s = 2e-7;
+  Payload payload(*design_, options, sensitive_);
+  const auto report = payload.run_mission(SimTime::hours(2));
+  EXPECT_EQ(report.devices, 9);
+  EXPECT_GT(report.upsets_total, 20u);
+  EXPECT_NEAR(report.observed_upsets_per_hour,
+              report.predicted_upsets_per_hour,
+              report.predicted_upsets_per_hour * 0.5);
+}
+
+TEST_F(PayloadFixture, DetectsAndRepairsAllDetectableUpsets) {
+  PayloadOptions options;
+  options.environment.upset_rate_per_bit_s = 2e-7;
+  options.hidden_state_fraction = 0.0;
+  Payload payload(*design_, options, sensitive_);
+  const auto report = payload.run_mission(SimTime::hours(1));
+  ASSERT_GT(report.upsets_total, 5u);
+  EXPECT_EQ(report.detected, report.repaired);
+  // Everything except masked-frame hits gets detected; the counter design
+  // has no dynamic frames, so all upsets are detectable.
+  u64 outstanding = 0;
+  for (const auto& dev : report.per_device) {
+    outstanding += dev.undetected_outstanding;
+  }
+  EXPECT_EQ(report.detected + outstanding, report.upsets_total);
+}
+
+TEST_F(PayloadFixture, DetectionLatencyBoundedByBoardCycle) {
+  PayloadOptions options;
+  options.environment.upset_rate_per_bit_s = 2e-7;
+  options.hidden_state_fraction = 0.0;
+  Payload payload(*design_, options, sensitive_);
+  const auto report = payload.run_mission(SimTime::hours(1));
+  ASSERT_GT(report.detected, 5u);
+  const double cycle_ms = report.scrub_cycle_per_board.ms();
+  EXPECT_LT(report.max_detection_latency_ms, cycle_ms * 1.1);
+  EXPECT_GT(report.mean_detection_latency_ms, cycle_ms * 0.2);
+  EXPECT_LT(report.mean_detection_latency_ms, cycle_ms * 0.8);
+}
+
+TEST_F(PayloadFixture, AvailabilityHighUnderQuietRates) {
+  PayloadOptions options;
+  options.environment.upset_rate_per_bit_s = 2e-7;
+  Payload payload(*design_, options, sensitive_);
+  const auto report = payload.run_mission(SimTime::hours(2));
+  EXPECT_GT(report.availability, 0.99);
+}
+
+TEST_F(PayloadFixture, FlareRateScalesUpsets) {
+  PayloadOptions quiet_opts;
+  quiet_opts.environment.upset_rate_per_bit_s = 1e-7;
+  quiet_opts.seed = 1;
+  PayloadOptions flare_opts = quiet_opts;
+  flare_opts.environment.upset_rate_per_bit_s = 8e-7;
+  flare_opts.seed = 2;
+
+  Payload quiet(*design_, quiet_opts, sensitive_);
+  Payload flare(*design_, flare_opts, sensitive_);
+  const auto rq = quiet.run_mission(SimTime::hours(2));
+  const auto rf = flare.run_mission(SimTime::hours(2));
+  ASSERT_GT(rq.upsets_total, 5u);
+  const double ratio = static_cast<double>(rf.upsets_total) /
+                       static_cast<double>(rq.upsets_total);
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+TEST_F(PayloadFixture, HiddenUpsetsStayUndetectedUntilFullReconfig) {
+  PayloadOptions options;
+  options.environment.upset_rate_per_bit_s = 2e-7;
+  options.hidden_state_fraction = 0.5;  // exaggerate for statistics
+  options.full_reconfig_interval = SimTime::hours(0.5);
+  Payload payload(*design_, options, sensitive_);
+  const auto report = payload.run_mission(SimTime::hours(2));
+  EXPECT_GT(report.hidden_upsets, 5u);
+  EXPECT_GE(report.full_reconfigs, 3u);
+  // Hidden upsets never count as scrub detections.
+  EXPECT_LE(report.detected, report.upsets_total - report.hidden_upsets);
+}
+
+TEST_F(PayloadFixture, PaperScaleRatesOnXcv1000) {
+  // With the real geometry and the paper's orbital rates, the expected
+  // system rate is 1.2/hour; a short mission just sanity-checks plumbing.
+  const auto design = compile(designs::counter_adder(4), device_xcv1000ish());
+  PayloadOptions options;
+  options.environment = OrbitEnvironment::leo_quiet();
+  Payload payload(design, options, {});
+  const auto report = payload.run_mission(SimTime::hours(3));
+  EXPECT_NEAR(report.predicted_upsets_per_hour, 1.2 / 0.9958, 0.1);
+  EXPECT_NEAR(report.scrub_cycle_per_board.ms(), 180.0, 20.0);
+}
+
+TEST(GroundLink, Xcv1000UploadFitsInOnePass) {
+  // Paper §II: configuration uploads happen during "one pass over a ground
+  // station" on the 10 Mbit interface.
+  const ConfigSpace space(device_xcv1000ish());
+  const Bitstream image(std::make_shared<const ConfigSpace>(space.geometry()));
+  GroundLink link;
+  const u64 bytes = GroundLink::image_bytes(image);
+  EXPECT_GT(bytes, 700'000u);  // ~0.73 MB, like the real XCV1000 bitstream
+  EXPECT_LT(bytes, 800'000u);
+  const SimTime t = link.upload_time(image);
+  EXPECT_GT(t.sec(), 0.4);
+  EXPECT_LT(t.sec(), 1.0);
+  EXPECT_TRUE(link.upload_fits_in_pass(image));
+}
+
+TEST(GroundLink, FlashHoldsMoreThanTwentyXcv1000Images) {
+  // Paper §II: "The 16MB flash memory module stores more than twenty
+  // configuration bit streams for the Xilinx FPGAs (without compression)."
+  const Bitstream image(
+      std::make_shared<const ConfigSpace>(device_xcv1000ish()));
+  ConfigLibrary library;
+  EXPECT_GT(library.remaining_capacity_for(image), 20u);
+  std::size_t added = 0;
+  try {
+    for (;;) {
+      library.add_image(image);
+      ++added;
+    }
+  } catch (const Error&) {
+  }
+  EXPECT_GT(added, 20u);
+  EXPECT_EQ(library.image_count(), added);
+}
+
+TEST(GroundLink, SlotsAreReusable) {
+  const Bitstream image(std::make_shared<const ConfigSpace>(device_tiny(8, 8)));
+  ConfigLibrary library(1024 * 1024);
+  const std::size_t a = library.add_image(image);
+  const std::size_t b = library.add_image(image);
+  EXPECT_NE(a, b);
+  const u64 used = library.used_bytes();
+  library.remove_image(a);
+  EXPECT_LT(library.used_bytes(), used);
+  EXPECT_EQ(library.add_image(image), a);  // freed slot reused
+  EXPECT_THROW(library.remove_image(99), Error);
+}
+
+TEST(GroundLink, SohDownlinkScalesWithRecords) {
+  GroundLink link;
+  const SimTime small = link.soh_downlink_time(10);
+  const SimTime large = link.soh_downlink_time(100000);
+  EXPECT_LT(small, large);
+  EXPECT_LT(large.sec(), 10.0);  // well within a pass
+}
+
+}  // namespace
+}  // namespace vscrub

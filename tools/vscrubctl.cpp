@@ -1,0 +1,253 @@
+// vscrubctl — command-line driver for the vscrub library.
+//
+//   vscrubctl compile <design> [--device NAME] [--raddrc] [--tmr] [-o FILE]
+//   vscrubctl campaign <design> [--sample N] [--persistence]
+//   vscrubctl beam <design> [--observations N]
+//   vscrubctl mission [--hours H] [--flare]
+//   vscrubctl bist
+//   vscrubctl info <image.vsb>
+//   vscrubctl designs | devices
+//
+// Designs: lfsr mult vmult counter multadd lfsrmult fir selfcheck bram
+// Devices: campaign (default), xcv50, xcv100, xcv300, xcv1000, tiny:RxC
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/vscrub.h"
+
+using namespace vscrub;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  bool flag(const char* name) const {
+    for (const auto& a : raw) {
+      if (a == name) return true;
+    }
+    return false;
+  }
+  std::string option(const char* name, const std::string& dflt) const {
+    for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
+      if (raw[i] == name) return raw[i + 1];
+    }
+    return dflt;
+  }
+  std::vector<std::string> raw;
+};
+
+Netlist make_design(const std::string& name) {
+  if (name == "lfsr") return designs::lfsr_cluster(2);
+  if (name == "mult") return designs::mult_tree(10);
+  if (name == "vmult") return designs::vmult(8);
+  if (name == "counter") return designs::counter_adder(16);
+  if (name == "multadd") return designs::multiply_add(8);
+  if (name == "lfsrmult") return designs::lfsr_multiplier(10);
+  if (name == "fir") return designs::fir_preproc(4);
+  if (name == "selfcheck") return designs::selfcheck_dsp(8, 5);
+  if (name == "bram") return designs::bram_selftest(2);
+  throw Error("unknown design '" + name + "' (see `vscrubctl designs`)");
+}
+
+DeviceGeometry make_device(const std::string& name) {
+  if (name == "campaign") return device_tiny(12, 16);
+  if (name == "xcv50") return device_xcv50ish();
+  if (name == "xcv100") return device_xcv100ish();
+  if (name == "xcv300") return device_xcv300ish();
+  if (name == "xcv1000") return device_xcv1000ish();
+  if (name.rfind("tiny:", 0) == 0) {
+    const auto x = name.find('x', 5);
+    VSCRUB_CHECK(x != std::string::npos, "tiny device format is tiny:RxC");
+    return device_tiny(static_cast<u16>(std::stoi(name.substr(5, x - 5))),
+                       static_cast<u16>(std::stoi(name.substr(x + 1))), 2);
+  }
+  throw Error("unknown device '" + name + "' (see `vscrubctl devices`)");
+}
+
+int cmd_compile(const Args& args) {
+  VSCRUB_CHECK(!args.positional.empty(), "compile needs a design name");
+  Netlist nl = make_design(args.positional[0]);
+  if (args.flag("--tmr")) nl = apply_tmr(nl);
+  PnrOptions options;
+  if (args.flag("--raddrc")) {
+    options.halflatch_policy = HalfLatchPolicy::kLutRomConstants;
+  }
+  const auto design =
+      compile(std::make_shared<const Netlist>(std::move(nl)),
+              std::make_shared<const ConfigSpace>(
+                  make_device(args.option("--device", "campaign"))),
+              options);
+  std::printf("compiled %-22s %5zu slices (%.1f%%), %zu wires, %d router "
+              "iterations\n",
+              design.netlist->name().c_str(), design.stats.slices_used,
+              design.stats.utilization * 100, design.stats.wires_used,
+              design.stats.router_iterations);
+  const RadDrcReport hl = raddrc_analyze(design);
+  std::printf("half-latch uses: %zu critical, %zu non-critical\n",
+              hl.critical_uses, hl.noncritical_uses);
+  const std::string out = args.option("-o", "");
+  if (!out.empty()) {
+    save_bitstream(design.bitstream, out);
+    std::printf("wrote configuration image to %s (%u frames)\n", out.c_str(),
+                design.bitstream.frame_count());
+  }
+  return 0;
+}
+
+int cmd_campaign(const Args& args) {
+  VSCRUB_CHECK(!args.positional.empty(), "campaign needs a design name");
+  Workbench bench(make_device(args.option("--device", "campaign")));
+  const auto design = bench.compile(make_design(args.positional[0]));
+  CampaignOptions options;
+  options.sample_bits =
+      std::strtoull(args.option("--sample", "20000").c_str(), nullptr, 10);
+  options.injection.classify_persistence = args.flag("--persistence");
+  const auto r = bench.campaign(design, options);
+  std::printf("%llu injections, %llu failures\n",
+              static_cast<unsigned long long>(r.injections),
+              static_cast<unsigned long long>(r.failures));
+  std::printf("sensitivity %.3f%%  normalized %.2f%%\n", r.sensitivity() * 100,
+              r.normalized_sensitivity() * 100);
+  if (options.injection.classify_persistence) {
+    std::printf("persistence ratio %.1f%%\n", r.persistence_ratio() * 100);
+  }
+  std::printf("modeled SLAAC-1V time %.1f s, wall %.1f s\n",
+              r.modeled_hardware_time.sec(), r.wall_seconds);
+  return 0;
+}
+
+int cmd_beam(const Args& args) {
+  VSCRUB_CHECK(!args.positional.empty(), "beam needs a design name");
+  Workbench bench(make_device(args.option("--device", "campaign")));
+  const auto design = bench.compile(make_design(args.positional[0]));
+  CampaignOptions copts;
+  copts.sample_bits = 15000;
+  copts.record_sampled_bits = true;
+  const auto camp = bench.campaign(design, copts);
+  BeamSession session(design, {});
+  const u64 n =
+      std::strtoull(args.option("--observations", "1000").c_str(), nullptr, 10);
+  const auto r = session.run(n, Workbench::sensitive_set(design, camp),
+                             camp.sampled_bits);
+  std::printf("%llu observations, %llu upsets, %llu output errors\n",
+              static_cast<unsigned long long>(r.observations),
+              static_cast<unsigned long long>(r.upsets_total),
+              static_cast<unsigned long long>(r.output_error_observations));
+  std::printf("correlation with simulator predictions: %.1f%%\n",
+              r.correlation() * 100);
+  return 0;
+}
+
+int cmd_mission(const Args& args) {
+  Workbench bench(make_device(args.option("--device", "campaign")));
+  const auto design = bench.compile(designs::lfsr_multiplier(10));
+  CampaignOptions copts;
+  copts.sample_bits = 10000;
+  const auto camp = bench.campaign(design, copts);
+  PayloadOptions options;
+  options.environment = args.flag("--flare")
+                            ? OrbitEnvironment::leo_solar_flare()
+                            : OrbitEnvironment::leo_quiet();
+  options.environment.upset_rate_per_bit_s *=
+      static_cast<double>(kXcv1000PaperBits) /
+      static_cast<double>(design.space->total_bits());
+  Payload payload(design, options, Workbench::sensitive_set(design, camp));
+  const double hours = std::atof(args.option("--hours", "24").c_str());
+  const auto r = payload.run_mission(SimTime::hours(hours));
+  std::printf("%.0f h mission (%s): %llu upsets, %llu detected, %llu "
+              "repaired, availability %.5f\n",
+              hours, options.environment.name.c_str(),
+              static_cast<unsigned long long>(r.upsets_total),
+              static_cast<unsigned long long>(r.detected),
+              static_cast<unsigned long long>(r.repaired), r.availability);
+  std::printf("scrub cycle %.1f ms/board, detection latency mean %.1f ms\n",
+              r.scrub_cycle_per_board.ms(), r.mean_detection_latency_ms);
+  return 0;
+}
+
+int cmd_bist(const Args& args) {
+  auto space = std::make_shared<const ConfigSpace>(
+      make_device(args.option("--device", "tiny:8x12")));
+  FabricSim fabric(space);
+  const auto wire = run_wire_test(space, fabric);
+  std::printf("wire test: %s (%d reconfigs, %d readbacks, %.0f ms modeled)\n",
+              wire.pass() ? "PASS" : "FAIL", wire.partial_reconfigs + 1,
+              wire.readbacks, wire.modeled_time.ms());
+  const auto pattern =
+      compile(std::make_shared<const Netlist>(bist_clb_cascade(6, 20)), space, {});
+  fabric.full_configure(pattern.bitstream);
+  const auto clb = run_clb_bist(pattern, fabric, 400);
+  std::printf("CLB BIST: %s (%.0f%% slice coverage)\n",
+              clb.error_detected ? "ERROR DETECTED" : "PASS",
+              clb.slice_coverage * 100);
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  VSCRUB_CHECK(!args.positional.empty(), "info needs an image path");
+  const LoadedImage image = load_bitstream(args.positional[0]);
+  u64 set_bits = 0;
+  for (u32 gf = 0; gf < image.bits.frame_count(); ++gf) {
+    set_bits += image.bits.frame(gf).popcount();
+  }
+  std::printf("device   %s (%ux%u CLBs, %u BRAM columns)\n",
+              image.geometry.name.c_str(), image.geometry.rows,
+              image.geometry.cols, image.geometry.bram_columns);
+  std::printf("frames   %u (CLB frame %u bytes)\n", image.bits.frame_count(),
+              image.geometry.clb_frame_bytes());
+  std::printf("bits     %llu total, %llu set\n",
+              static_cast<unsigned long long>(
+                  image.geometry.total_config_bits()),
+              static_cast<unsigned long long>(set_bits));
+  std::printf("CRC      ok\n");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: vscrubctl <command> [args]\n"
+      "  compile <design> [--device D] [--raddrc] [--tmr] [-o FILE]\n"
+      "  campaign <design> [--sample N] [--persistence]\n"
+      "  beam <design> [--observations N]\n"
+      "  mission [--hours H] [--flare]\n"
+      "  bist [--device D]\n"
+      "  info <image.vsb>\n"
+      "  designs | devices\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    args.raw.emplace_back(argv[i]);
+    if (argv[i][0] != '-') args.positional.emplace_back(argv[i]);
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "compile") return cmd_compile(args);
+    if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "beam") return cmd_beam(args);
+    if (cmd == "mission") return cmd_mission(args);
+    if (cmd == "bist") return cmd_bist(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "designs") {
+      std::printf("lfsr mult vmult counter multadd lfsrmult fir selfcheck bram\n");
+      return 0;
+    }
+    if (cmd == "devices") {
+      std::printf("campaign xcv50 xcv100 xcv300 xcv1000 tiny:RxC\n");
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vscrubctl: %s\n", e.what());
+    return 1;
+  }
+}
