@@ -60,7 +60,7 @@ void run_report() {
   PayloadOptions popts;
   popts.environment.upset_rate_per_bit_s = 2e-7;  // scaled for statistics
   popts.hidden_state_fraction = 0.0;
-  Payload payload(small, popts, Workbench::sensitive_set(small, camp));
+  Payload payload(small, popts, camp.sensitive_set(small));
   const MissionReport mission = payload.run_mission(SimTime::hours(2));
   std::printf("\nmission (2 h, scaled rate): %llu upsets, %llu detected\n",
               static_cast<unsigned long long>(mission.upsets_total),

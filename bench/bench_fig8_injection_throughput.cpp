@@ -9,6 +9,8 @@
 //     here inverted: we report how much slower our software fabric model is
 //     than the modeled SLAAC-1V hardware, which is exactly the speed-up a
 //     hardware testbed buys.
+#include <cstdlib>
+
 #include "bench_util.h"
 
 namespace vscrub::bench {
@@ -52,6 +54,43 @@ void run_report() {
   std::printf("exhaustive XCV1000 campaign at software speed: %.1f hours vs "
               "%.1f minutes in hardware\n\n",
               bits * sw_us_per_bit / 3600e6, bits * iter_us / 60e6);
+
+  // Full exhaustive sweep of an XCV50-class part — the acceptance workload
+  // for the incremental-repair + observability-pruning engine. Takes tens of
+  // minutes of host time, so it only runs when asked:
+  //   VSCRUB_E8_EXHAUSTIVE=1 ./bench_fig8_injection_throughput
+  if (const char* gate = std::getenv("VSCRUB_E8_EXHAUSTIVE");
+      gate != nullptr && gate[0] == '1') {
+    std::printf("exhaustive XCV50-class campaign (VSCRUB_E8_EXHAUSTIVE)\n");
+    rule();
+    Workbench xbench(device_xcv50ish());
+    const PlacedDesign xdesign = xbench.compile(designs::mult_tree(8));
+    const CampaignOptions xopts =
+        CampaignOptions{}.with_exhaustive().with_injection(
+            InjectionOptions{}.with_persistence());
+    const CampaignResult r = xbench.campaign(xdesign, xopts);
+    // Order-independent digest of (bit, persistence) pairs: two engines
+    // agree on results iff they agree on this hash.
+    u64 h = 1469598103934665603ull;
+    for (const auto& sb : r.sensitive_bits) {
+      const u64 v =
+          xdesign.space->linear_of(sb.addr) * 2 + (sb.persistent ? 1 : 0);
+      h = (h ^ v) * 1099511628211ull;
+    }
+    std::printf("injections %llu, failures %llu, persistent %llu, pruned "
+                "%llu\n",
+                static_cast<unsigned long long>(r.injections),
+                static_cast<unsigned long long>(r.failures),
+                static_cast<unsigned long long>(r.persistent),
+                static_cast<unsigned long long>(r.pruned));
+    std::printf("result hash %016llx\n", static_cast<unsigned long long>(h));
+    std::printf("wall %.1f s (%.1f us per bit); phases: corrupt %.1f s, run "
+                "%.1f s, repair %.1f s, persistence %.1f s\n\n",
+                r.wall_seconds,
+                r.wall_seconds * 1e6 / static_cast<double>(r.injections),
+                r.phases.corrupt_s, r.phases.run_s, r.phases.repair_s,
+                r.phases.persist_s);
+  }
 }
 
 void BM_CorruptRepairOnly(benchmark::State& state) {

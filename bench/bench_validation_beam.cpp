@@ -28,7 +28,7 @@ void run_validation() {
   copts.sample_bits = kUniverse;
   copts.record_sampled_bits = true;
   const CampaignResult camp = run_campaign(design, copts);
-  const auto predicted = Workbench::sensitive_set(design, camp);
+  const auto predicted = camp.sensitive_set(design);
   const std::vector<u64>& universe = camp.sampled_bits;
   std::printf("\nE5 — SEU-simulator validation against the proton beam\n");
   rule();

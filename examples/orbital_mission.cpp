@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   CampaignOptions copts;
   copts.sample_bits = 12000;
   const CampaignResult campaign = bench.campaign(design, copts);
-  const auto sensitive = Workbench::sensitive_set(design, campaign);
+  const auto sensitive = campaign.sensitive_set(design);
   std::printf("design %s: sensitivity %.2f%% (sampled)\n",
               design.netlist->name().c_str(), campaign.sensitivity() * 100);
 

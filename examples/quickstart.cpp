@@ -1,6 +1,7 @@
 // Quickstart: compile a design onto the fabric, let it run, inject a single
 // SEU through the configuration port, watch the scrubber detect and repair
-// it while the design keeps running — the paper's Fig. 4 loop end to end.
+// it while the design keeps running — the paper's Fig. 4 loop end to end —
+// then sanity-check the part with the Workbench's BIST and half-latch DRC.
 //
 //   ./quickstart
 #include <cstdio>
@@ -19,7 +20,13 @@ int main() {
               design.netlist->name().c_str(), design.stats.slices_used,
               design.stats.utilization * 100.0, design.stats.wires_used);
 
-  // 2. Configure a fabric and run the design against its golden trace.
+  // 2. Half-latch DRC (§III-C): how exposed is this placement to hidden
+  //    state?
+  const RadDrcReport drc = bench.raddrc(design);
+  std::printf("half-latch uses: %zu critical, %zu non-critical\n",
+              drc.critical_uses, drc.noncritical_uses);
+
+  // 3. Configure a fabric and run the design against its golden trace.
   FabricSim fabric(design.space);
   DesignHarness harness(design, fabric);
   harness.configure();
@@ -28,14 +35,14 @@ int main() {
   std::printf("ran 100 cycles; outputs match golden: %s\n",
               harness.last_outputs() == golden[99] ? "yes" : "NO");
 
-  // 3. On-orbit machinery: ECC flash with the golden image, CRC codebook,
-  //    scrubbing fault manager.
+  // 4. On-orbit machinery: ECC flash with the golden image, CRC codebook,
+  //    scrubbing fault manager — all wired by the workbench.
   FlashStore flash(design.bitstream);
-  Scrubber scrubber(design, fabric, flash, {});
+  Scrubber scrubber = bench.scrub(design, fabric, flash);
   std::printf("scrub pass over %u frames costs %.2f ms (modeled)\n",
               design.space->frame_count(), scrubber.clean_pass_cost().ms());
 
-  // 4. Inject an artificial SEU (paper §II-A) into a random config bit.
+  // 5. Inject an artificial SEU (paper §II-A) into a random config bit.
   Rng rng(2026);
   const BitAddress hit =
       design.space->address_of_linear(rng.uniform(design.space->total_bits()));
@@ -43,14 +50,14 @@ int main() {
   std::printf("\ninjected SEU at column %u frame %u offset %u\n",
               hit.frame.col, hit.frame.frame, hit.offset);
 
-  // 5. Scrub: detect by CRC-vs-codebook, repair by partial reconfiguration.
+  // 6. Scrub: detect by CRC-vs-codebook, repair by partial reconfiguration.
   const ScrubPassResult pass = scrubber.scrub_pass(&harness);
   std::printf("scrub pass: %u error(s) found, %u repaired, %u reset(s), "
               "%.2f ms\n",
               pass.errors_found, pass.repairs, pass.resets,
               pass.pass_time.ms());
 
-  // 6. The design is healthy again.
+  // 7. The design is healthy again.
   harness.restart();
   bool ok = true;
   for (int t = 0; t < 200; ++t) {
@@ -58,5 +65,12 @@ int main() {
     ok = ok && harness.last_outputs() == golden[static_cast<std::size_t>(t)];
   }
   std::printf("post-repair run matches golden trace: %s\n", ok ? "yes" : "NO");
-  return ok && pass.errors_found == 1 ? 0 : 1;
+
+  // 8. Permanent-fault self-test (§II-B) of the pristine part.
+  const Workbench::BistReport bist = bench.bist();
+  std::printf("BIST: wire %s, CLB %s (%.0f%% slice coverage)\n",
+              bist.wire.pass() ? "PASS" : "FAIL",
+              bist.clb.error_detected ? "ERROR" : "PASS",
+              bist.clb.slice_coverage * 100.0);
+  return ok && pass.errors_found == 1 && bist.pass() ? 0 : 1;
 }

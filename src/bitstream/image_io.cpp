@@ -1,118 +1,57 @@
 #include "bitstream/image_io.h"
 
-#include <algorithm>
-#include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "common/crc.h"
+#include "bitstream/record_io.h"
 
 namespace vscrub {
 namespace {
 
-constexpr char kMagic[5] = {'V', 'S', 'C', 'B', '1'};
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f) std::fclose(f);
-  }
-};
-using File = std::unique_ptr<std::FILE, FileCloser>;
-
-void put_u32(std::vector<u8>& out, u32 v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
-}
-void put_u16(std::vector<u8>& out, u16 v) {
-  out.push_back(static_cast<u8>(v));
-  out.push_back(static_cast<u8>(v >> 8));
-}
-u32 get_u32(const std::vector<u8>& in, std::size_t& pos) {
-  VSCRUB_CHECK(pos + 4 <= in.size(), "image truncated");
-  u32 v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(in[pos++]) << (8 * i);
-  return v;
-}
-u16 get_u16(const std::vector<u8>& in, std::size_t& pos) {
-  VSCRUB_CHECK(pos + 2 <= in.size(), "image truncated");
-  u16 v = static_cast<u16>(in[pos] | (in[pos + 1] << 8));
-  pos += 2;
-  return v;
-}
+// Byte-for-byte the historical format; only the I/O plumbing moved to the
+// shared record layer (which adds atomic tmp+rename writes).
+const std::string kMagic = "VSCB1";
 
 }  // namespace
 
 void save_bitstream(const Bitstream& image, const std::string& path) {
   const DeviceGeometry& geom = image.space().geometry();
-  std::vector<u8> out;
-  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
-  put_u16(out, geom.rows);
-  put_u16(out, geom.cols);
-  put_u16(out, geom.bram_columns);
-  put_u16(out, geom.frame_pad_slots);
-  put_u32(out, static_cast<u32>(geom.name.size()));
-  out.insert(out.end(), geom.name.begin(), geom.name.end());
-  put_u32(out, image.frame_count());
+  RecordWriter w(kMagic);
+  w.put_u16(geom.rows);
+  w.put_u16(geom.cols);
+  w.put_u16(geom.bram_columns);
+  w.put_u16(geom.frame_pad_slots);
+  w.put_string(geom.name);
+  w.put_u32(image.frame_count());
   for (u32 gf = 0; gf < image.frame_count(); ++gf) {
     const auto bytes = image.frame(gf).to_bytes();
-    put_u32(out, static_cast<u32>(image.frame(gf).size()));
-    out.insert(out.end(), bytes.begin(), bytes.end());
+    w.put_u32(static_cast<u32>(image.frame(gf).size()));
+    w.put_bytes(bytes.data(), bytes.size());
   }
-  put_u32(out, crc32(out));
-
-  const File f(std::fopen(path.c_str(), "wb"));
-  VSCRUB_CHECK(f != nullptr, "cannot open " + path + " for writing");
-  VSCRUB_CHECK(std::fwrite(out.data(), 1, out.size(), f.get()) == out.size(),
-               "short write to " + path);
+  w.write(path);
 }
 
 LoadedImage load_bitstream(const std::string& path) {
-  const File f(std::fopen(path.c_str(), "rb"));
-  VSCRUB_CHECK(f != nullptr, "cannot open " + path);
-  std::fseek(f.get(), 0, SEEK_END);
-  const long size = std::ftell(f.get());
-  VSCRUB_CHECK(size > 0, "empty image " + path);
-  std::fseek(f.get(), 0, SEEK_SET);
-  std::vector<u8> in(static_cast<std::size_t>(size));
-  VSCRUB_CHECK(std::fread(in.data(), 1, in.size(), f.get()) == in.size(),
-               "short read from " + path);
-
-  VSCRUB_CHECK(in.size() > sizeof(kMagic) + 4, "image too small");
-  VSCRUB_CHECK(std::equal(kMagic, kMagic + sizeof(kMagic), in.begin()),
-               "bad image magic");
-  // CRC trailer covers everything before it.
-  std::size_t pos = in.size() - 4;
-  const u32 stored_crc = get_u32(in, pos);
-  in.resize(in.size() - 4);
-  VSCRUB_CHECK(crc32(in) == stored_crc, "image CRC mismatch (corrupted file)");
-
-  pos = sizeof(kMagic);
+  RecordReader r(path, kMagic);
   DeviceGeometry geom;
-  geom.rows = get_u16(in, pos);
-  geom.cols = get_u16(in, pos);
-  geom.bram_columns = get_u16(in, pos);
-  geom.frame_pad_slots = get_u16(in, pos);
-  const u32 name_len = get_u32(in, pos);
-  VSCRUB_CHECK(pos + name_len <= in.size(), "image truncated");
-  geom.name.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
-                   in.begin() + static_cast<std::ptrdiff_t>(pos + name_len));
-  pos += name_len;
+  geom.rows = r.get_u16();
+  geom.cols = r.get_u16();
+  geom.bram_columns = r.get_u16();
+  geom.frame_pad_slots = r.get_u16();
+  geom.name = r.get_string();
 
   auto space = std::make_shared<const ConfigSpace>(geom);
   LoadedImage loaded{geom, Bitstream(space)};
-  const u32 frames = get_u32(in, pos);
+  const u32 frames = r.get_u32();
   VSCRUB_CHECK(frames == loaded.bits.frame_count(),
                "image frame count does not match geometry");
   for (u32 gf = 0; gf < frames; ++gf) {
-    const u32 nbits = get_u32(in, pos);
+    const u32 nbits = r.get_u32();
     VSCRUB_CHECK(nbits == loaded.bits.frame(gf).size(),
                  "frame size mismatch in image");
-    const std::size_t nbytes = (nbits + 7) / 8;
-    VSCRUB_CHECK(pos + nbytes <= in.size(), "image truncated");
-    const std::vector<u8> bytes(
-        in.begin() + static_cast<std::ptrdiff_t>(pos),
-        in.begin() + static_cast<std::ptrdiff_t>(pos + nbytes));
+    std::vector<u8> bytes((nbits + 7) / 8);
+    r.get_bytes(bytes.data(), bytes.size());
     loaded.bits.frame(gf) = BitVector::from_bytes(bytes, nbits);
-    pos += nbytes;
   }
   return loaded;
 }

@@ -1,0 +1,143 @@
+#include "bitstream/record_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/crc.h"
+#include "common/log.h"
+
+namespace vscrub {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+RecordWriter::RecordWriter(const std::string& magic) {
+  buf_.insert(buf_.end(), magic.begin(), magic.end());
+}
+
+void RecordWriter::put_u8(u8 v) { buf_.push_back(v); }
+
+void RecordWriter::put_u16(u16 v) {
+  buf_.push_back(static_cast<u8>(v));
+  buf_.push_back(static_cast<u8>(v >> 8));
+}
+
+void RecordWriter::put_u32(u32 v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void RecordWriter::put_u64(u64 v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void RecordWriter::put_string(const std::string& s) {
+  put_u32(static_cast<u32>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void RecordWriter::put_bytes(const u8* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+void RecordWriter::write(const std::string& path) const {
+  std::vector<u8> out = buf_;
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<u8>(crc32(buf_) >> (8 * i)));
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    const File f(std::fopen(tmp.c_str(), "wb"));
+    VSCRUB_CHECK(f != nullptr, "cannot open " + tmp + " for writing");
+    VSCRUB_CHECK(std::fwrite(out.data(), 1, out.size(), f.get()) == out.size(),
+                 "short write to " + tmp);
+    VSCRUB_CHECK(std::fflush(f.get()) == 0, "flush failed for " + tmp);
+  }
+  VSCRUB_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot rename " + tmp + " to " + path);
+}
+
+RecordReader::RecordReader(const std::string& path, const std::string& magic)
+    : path_(path) {
+  const File f(std::fopen(path.c_str(), "rb"));
+  VSCRUB_CHECK(f != nullptr, "cannot open " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  VSCRUB_CHECK(size > 0, "empty record " + path);
+  std::fseek(f.get(), 0, SEEK_SET);
+  buf_.resize(static_cast<std::size_t>(size));
+  VSCRUB_CHECK(std::fread(buf_.data(), 1, buf_.size(), f.get()) == buf_.size(),
+               "short read from " + path);
+
+  VSCRUB_CHECK(buf_.size() > magic.size() + 4, "record too small: " + path);
+  VSCRUB_CHECK(std::equal(magic.begin(), magic.end(), buf_.begin()),
+               "bad record magic in " + path);
+  // CRC trailer covers everything before it.
+  pos_ = buf_.size() - 4;
+  const u32 stored_crc = get_u32();
+  buf_.resize(buf_.size() - 4);
+  VSCRUB_CHECK(crc32(buf_) == stored_crc,
+               "record CRC mismatch (corrupted file): " + path);
+  pos_ = magic.size();
+}
+
+u8 RecordReader::get_u8() {
+  VSCRUB_CHECK(pos_ + 1 <= buf_.size(), "record truncated: " + path_);
+  return buf_[pos_++];
+}
+
+u16 RecordReader::get_u16() {
+  VSCRUB_CHECK(pos_ + 2 <= buf_.size(), "record truncated: " + path_);
+  const u16 v = static_cast<u16>(buf_[pos_] | (buf_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+u32 RecordReader::get_u32() {
+  VSCRUB_CHECK(pos_ + 4 <= buf_.size(), "record truncated: " + path_);
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+u64 RecordReader::get_u64() {
+  VSCRUB_CHECK(pos_ + 8 <= buf_.size(), "record truncated: " + path_);
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::string RecordReader::get_string() {
+  const u32 n = get_u32();
+  VSCRUB_CHECK(pos_ + n <= buf_.size(), "record truncated: " + path_);
+  std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return s;
+}
+
+void RecordReader::get_bytes(u8* out, std::size_t n) {
+  VSCRUB_CHECK(pos_ + n <= buf_.size(), "record truncated: " + path_);
+  std::copy(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n), out);
+  pos_ += n;
+}
+
+bool record_exists(const std::string& path, const std::string& magic) {
+  const File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  std::string head(magic.size(), '\0');
+  if (std::fread(head.data(), 1, head.size(), f.get()) != head.size()) {
+    return false;
+  }
+  return head == magic;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,68 @@
+// CRC-protected on-disk records: the little-endian, magic-tagged,
+// crc32-trailed container shared by bitstream images ("VSCB1") and campaign
+// checkpoints ("VSCK1"). A RecordWriter accumulates fields and writes the
+// whole record atomically (tmp file + rename), so a reader never observes a
+// half-written file; a RecordReader verifies magic and CRC up front and then
+// hands out fields with bounds checking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+class RecordWriter {
+ public:
+  /// Starts a record with the given magic tag (e.g. "VSCB1").
+  explicit RecordWriter(const std::string& magic);
+
+  void put_u8(u8 v);
+  void put_u16(u16 v);
+  void put_u32(u32 v);
+  void put_u64(u64 v);
+  /// Length-prefixed (u32) byte string.
+  void put_string(const std::string& s);
+  /// Raw bytes, no length prefix (callers encode their own counts).
+  void put_bytes(const u8* data, std::size_t n);
+
+  const std::vector<u8>& bytes() const { return buf_; }
+
+  /// Appends the crc32 trailer (over everything accumulated so far) and
+  /// writes the record to `path` atomically: the bytes land in `path`.tmp
+  /// first and are renamed into place, so an interrupted write leaves any
+  /// previous record intact.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<u8> buf_;
+};
+
+class RecordReader {
+ public:
+  /// Loads `path`, checks the magic tag and the crc32 trailer, and positions
+  /// the cursor on the first field after the magic. Throws (VSCRUB_CHECK) on
+  /// any mismatch.
+  RecordReader(const std::string& path, const std::string& magic);
+
+  u8 get_u8();
+  u16 get_u16();
+  u32 get_u32();
+  u64 get_u64();
+  std::string get_string();
+  void get_bytes(u8* out, std::size_t n);
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<u8> buf_;  ///< payload without the CRC trailer
+  std::size_t pos_ = 0;
+  std::string path_;  ///< for error messages
+};
+
+/// True when `path` exists and carries the given magic tag (cheap sniff; no
+/// CRC verification).
+bool record_exists(const std::string& path, const std::string& magic);
+
+}  // namespace vscrub

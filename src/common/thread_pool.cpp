@@ -51,6 +51,36 @@ void ThreadPool::parallel_for(u64 n,
   wait_idle();
 }
 
+unsigned ThreadPool::chunk_workers(u64 n, u64 chunk_size) const {
+  if (n == 0) return 0;
+  chunk_size = std::max<u64>(1, chunk_size);
+  const u64 nchunks = (n + chunk_size - 1) / chunk_size;
+  return static_cast<unsigned>(std::min<u64>(nchunks, thread_count()));
+}
+
+void ThreadPool::parallel_chunks(
+    u64 n, u64 chunk_size,
+    const std::function<void(u64, u64, unsigned)>& fn) {
+  if (n == 0) return;
+  chunk_size = std::max<u64>(1, chunk_size);
+  const u64 nchunks = (n + chunk_size - 1) / chunk_size;
+  std::atomic<u64> cursor{0};
+  const unsigned tasks = chunk_workers(n, chunk_size);
+  for (unsigned w = 0; w < tasks; ++w) {
+    // &cursor / &fn outlive the tasks: wait_idle() below blocks until every
+    // task has drained the cursor.
+    submit([&cursor, &fn, n, nchunks, chunk_size, w] {
+      for (;;) {
+        const u64 c = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (c >= nchunks) return;
+        const u64 begin = c * chunk_size;
+        fn(begin, std::min(n, begin + chunk_size), w);
+      }
+    });
+  }
+  wait_idle();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -1,8 +1,10 @@
-// Minimal work-stealing-free thread pool for injection campaigns. Campaigns
-// shard the configuration-bit space statically; the pool just runs the
-// shards. Falls back to inline execution when hardware_concurrency() == 1.
+// Minimal work-stealing-free thread pool for injection campaigns. The
+// campaign engine pulls fixed-size chunks from a shared cursor
+// (parallel_chunks); parallel_for keeps the legacy static sharding for
+// workloads with uniform per-item cost.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -34,6 +36,20 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Each worker processes a contiguous shard for cache friendliness.
   void parallel_for(u64 n, const std::function<void(u64 begin, u64 end)>& fn);
+
+  /// Chunked work-queue scheduling: [0, n) is cut into `chunk_size`-sized
+  /// ranges and workers claim the next unclaimed chunk from a shared atomic
+  /// cursor until none remain. Unlike parallel_for's static shards, a chunk
+  /// that happens to be expensive (a column dense with sensitive routing
+  /// bits) delays only its own worker — everyone else keeps pulling.
+  /// `worker` identifies the claiming task, 0 <= worker < chunk_workers(n,
+  /// chunk_size), so callers can keep per-worker scratch state.
+  void parallel_chunks(
+      u64 n, u64 chunk_size,
+      const std::function<void(u64 begin, u64 end, unsigned worker)>& fn);
+
+  /// Number of worker tasks parallel_chunks(n, chunk_size, ...) will spawn.
+  unsigned chunk_workers(u64 n, u64 chunk_size) const;
 
  private:
   void worker_loop();

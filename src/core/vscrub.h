@@ -62,16 +62,63 @@ class Workbench {
     return run_campaign(design, options);
   }
 
+  /// Build a scrubber for a compiled design over a live fabric and a golden
+  /// flash store (the paper's Fig. 4 detect/repair flow).
+  Scrubber scrub(const PlacedDesign& design, FabricSim& sim, FlashStore& flash,
+                 const ScrubberOptions& options = {}) const {
+    return Scrubber(design, sim, flash, options);
+  }
+
+  /// Proton-beam validation session for a compiled design (§III-B).
+  BeamSession beam_session(const PlacedDesign& design,
+                           const BeamOptions& options = {}) const {
+    return BeamSession(design, options);
+  }
+
+  /// Orbital mission simulator: boards of identical devices flying `design`
+  /// under an orbit environment, judged against the campaign's sensitivity
+  /// map (see CampaignResult::sensitive_set).
+  Payload mission(const PlacedDesign& design, PayloadOptions options,
+                  std::unordered_set<u64> sensitive_bits) const {
+    return Payload(design, std::move(options), std::move(sensitive_bits));
+  }
+
+  struct BistReport {
+    WireTestResult wire;
+    ClbBistResult clb;
+    bool pass() const { return wire.pass() && !clb.error_detected; }
+  };
+  /// On-orbit permanent-fault self-test (§II-B): the wire-walk test plus a
+  /// compiled CLB LFSR-cascade pattern, each on a fresh fabric carrying
+  /// `faults` (empty = health check of a pristine device).
+  BistReport bist(const std::vector<FabricSim::PermanentFault>& faults = {},
+                  u64 clb_cycles = 400) const {
+    BistReport report;
+    {
+      FabricSim fabric(space_);
+      for (const auto& f : faults) fabric.inject_permanent_fault(f);
+      report.wire = run_wire_test(space_, fabric);
+    }
+    {
+      const PlacedDesign pattern = compile(bist_clb_cascade(6, 20));
+      FabricSim fabric(space_);
+      for (const auto& f : faults) fabric.inject_permanent_fault(f);
+      report.clb = run_clb_bist(pattern, fabric, clb_cycles);
+    }
+    return report;
+  }
+
+  /// Half-latch dependency DRC for a compiled design (§III-C).
+  RadDrcReport raddrc(const PlacedDesign& design) const {
+    return raddrc_analyze(design);
+  }
+
   /// The sensitivity map as a linear-bit-index set, the form the beam
   /// validation and mission simulator consume.
+  [[deprecated("use CampaignResult::sensitive_set(design) instead")]]
   static std::unordered_set<u64> sensitive_set(const PlacedDesign& design,
                                                const CampaignResult& result) {
-    std::unordered_set<u64> set;
-    set.reserve(result.sensitive_bits.size());
-    for (const auto& sb : result.sensitive_bits) {
-      set.insert(design.space->linear_of(sb.addr));
-    }
-    return set;
+    return result.sensitive_set(design);
   }
 
  private:

@@ -2,49 +2,212 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <mutex>
+#include <utility>
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "seu/checkpoint.h"
 
 namespace vscrub {
+namespace {
 
-CampaignResult run_campaign(const PlacedDesign& design,
-                            const CampaignOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
-  const ConfigSpace& space = *design.space;
+/// Chunk sizing never derives from the thread count: results, progress and
+/// checkpoints must be comparable across machines (and a checkpoint taken
+/// on an 8-way host must resume on a 1-way one).
+u64 resolve_chunk_size(u64 requested, u64 n) {
+  if (requested != 0) return requested;
+  return std::clamp<u64>(n / 256, 64, 4096);
+}
+
+/// The bit universe: every configuration bit, or a uniform sample without
+/// replacement drawn via a partial Fisher–Yates over virtual indices.
+std::vector<u64> build_universe(const ConfigSpace& space,
+                                const CampaignOptions& options) {
   const u64 total_bits = space.total_bits();
-
-  // Build the list of bits to inject.
   std::vector<u64> bits;
   if (options.sample_bits == 0 || options.sample_bits >= total_bits) {
     bits.resize(total_bits);
     for (u64 i = 0; i < total_bits; ++i) bits[i] = i;
   } else {
-    // Sample without replacement via a partial Fisher–Yates over indices.
     Rng rng(options.sample_seed);
     bits.reserve(options.sample_bits);
     std::unordered_map<u64, u64> swapped;
+    swapped.reserve(options.sample_bits);
     for (u64 i = 0; i < options.sample_bits; ++i) {
       const u64 j = i + rng.uniform(total_bits - i);
-      u64 vi = swapped.count(i) ? swapped[i] : i;
-      u64 vj = swapped.count(j) ? swapped[j] : j;
+      // Reserved above, so the emplace cannot rehash and `itj` stays valid.
+      const auto itj = swapped.find(j);
+      const u64 vj = itj == swapped.end() ? j : itj->second;
+      const auto iti = swapped.find(i);
+      const u64 vi = iti == swapped.end() ? i : iti->second;
       bits.push_back(vj);
-      swapped[j] = vi;
+      if (itj == swapped.end()) {
+        swapped.emplace(j, vi);
+      } else {
+        itj->second = vi;
+      }
     }
   }
+  return bits;
+}
+
+/// Aggregates over completed chunks; guarded by the campaign merge mutex.
+struct Aggregates {
+  u64 injections = 0;
+  u64 failures = 0;
+  u64 persistent = 0;
+  u64 pruned = 0;
+  i64 modeled_ps = 0;
+  InjectionPhases phases;
+  std::vector<CampaignResult::SensitiveBit> sensitive;
+  std::unordered_map<u8, u64> by_field;
+};
+
+CampaignCheckpoint to_checkpoint(const Aggregates& agg,
+                                 const std::vector<u8>& done, u64 fingerprint,
+                                 u64 total_injections, u64 chunk_size) {
+  CampaignCheckpoint ck;
+  ck.fingerprint = fingerprint;
+  ck.total_injections = total_injections;
+  ck.chunk_size = chunk_size;
+  ck.done = done;
+  ck.injections = agg.injections;
+  ck.failures = agg.failures;
+  ck.persistent = agg.persistent;
+  ck.pruned = agg.pruned;
+  ck.modeled_ps = agg.modeled_ps;
+  ck.phases = agg.phases;
+  ck.sensitive_bits = agg.sensitive;
+  ck.failures_by_field.assign(agg.by_field.begin(), agg.by_field.end());
+  std::sort(ck.failures_by_field.begin(), ck.failures_by_field.end());
+  return ck;
+}
+
+}  // namespace
+
+std::unordered_set<u64> CampaignResult::sensitive_set(
+    const PlacedDesign& design) const {
+  std::unordered_set<u64> set;
+  set.reserve(sensitive_bits.size());
+  for (const auto& sb : sensitive_bits) {
+    set.insert(design.space->linear_of(sb.addr));
+  }
+  return set;
+}
+
+CampaignResult run_campaign(const PlacedDesign& design,
+                            const CampaignOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const ConfigSpace& space = *design.space;
+
+  const std::vector<u64> bits = build_universe(space, options);
+  const u64 n = bits.size();
+  const u64 chunk_size = resolve_chunk_size(options.chunk_size, n);
+  const u64 nchunks = (n + chunk_size - 1) / chunk_size;
+  const u64 fingerprint = campaign_fingerprint(design, options, n, chunk_size);
 
   CampaignResult result;
-  result.device_bits = total_bits;
+  result.device_bits = space.total_bits();
   result.design_slices = design.stats.slices_used;
   result.utilization = design.stats.utilization;
 
-  std::mutex merge_mutex;
-  ThreadPool pool(options.threads);
-  const unsigned workers = pool.thread_count();
+  // Resume: a compatible checkpoint pre-marks its chunks done and seeds the
+  // aggregates; anything else is ignored (and overwritten on the next save).
+  Aggregates agg;
+  std::vector<u8> done((nchunks + 7) / 8, 0);
+  u64 resumed_chunks = 0;
+  if (!options.checkpoint_path.empty()) {
+    CampaignCheckpoint prev;
+    bool loaded = false;
+    try {
+      loaded = load_campaign_checkpoint(options.checkpoint_path, &prev);
+    } catch (const Error& e) {
+      VSCRUB_WARN("campaign: unreadable checkpoint ", options.checkpoint_path,
+                  " (", e.what(), "); starting fresh");
+    }
+    if (loaded && prev.fingerprint == fingerprint &&
+        prev.total_injections == n && prev.chunk_size == chunk_size &&
+        prev.done.size() == done.size()) {
+      done = prev.done;
+      for (u64 c = 0; c < nchunks; ++c) {
+        resumed_chunks += static_cast<u64>((done[c >> 3] >> (c & 7)) & 1);
+      }
+      agg.injections = prev.injections;
+      agg.failures = prev.failures;
+      agg.persistent = prev.persistent;
+      agg.pruned = prev.pruned;
+      agg.modeled_ps = prev.modeled_ps;
+      agg.phases = prev.phases;
+      agg.sensitive = std::move(prev.sensitive_bits);
+      for (const auto& [kind, count] : prev.failures_by_field) {
+        agg.by_field[kind] = count;
+      }
+      VSCRUB_INFO("campaign: resumed ", resumed_chunks, "/", nchunks,
+                  " chunks (", agg.injections, " injections) from ",
+                  options.checkpoint_path);
+    } else if (loaded) {
+      VSCRUB_INFO("campaign: checkpoint ", options.checkpoint_path,
+                  " belongs to a different campaign; starting fresh");
+    }
+  }
+  result.resumed_injections = agg.injections;
 
-  pool.parallel_for(bits.size(), [&](u64 begin, u64 end) {
-    SeuInjector injector(design, options.injection);
+  // Chunks completed in *this* run never get re-claimed (the cursor is
+  // monotonic), so workers only need the pre-run bitmap to skip resumed
+  // work — an immutable snapshot, readable without the merge lock.
+  const std::vector<u8> resumed_done = done;
+
+  std::mutex merge_mutex;
+  std::atomic<bool> stop{false};
+  u64 chunks_done = resumed_chunks;     // guarded by merge_mutex
+  u64 chunks_since_progress = 0;        // guarded by merge_mutex
+  u64 chunks_since_checkpoint = 0;      // guarded by merge_mutex
+
+  const auto make_progress = [&](double elapsed_s) {
+    // Rate and ETA from this run's own work; resumed chunks were free.
+    CampaignProgress p;
+    p.injections_done = agg.injections;
+    p.injections_total = n;
+    p.failures = agg.failures;
+    p.persistent = agg.persistent;
+    p.pruned = agg.pruned;
+    p.chunks_done = chunks_done;
+    p.chunks_total = nchunks;
+    p.chunks_resumed = resumed_chunks;
+    p.elapsed_s = elapsed_s;
+    const u64 run_injections = agg.injections - result.resumed_injections;
+    p.bits_per_s =
+        elapsed_s > 0 ? static_cast<double>(run_injections) / elapsed_s : 0.0;
+    p.eta_s = p.bits_per_s > 0
+                  ? static_cast<double>(n - agg.injections) / p.bits_per_s
+                  : 0.0;
+    p.phases = agg.phases;
+    return p;
+  };
+  const auto save_checkpoint = [&] {
+    save_campaign_checkpoint(
+        options.checkpoint_path,
+        to_checkpoint(agg, done, fingerprint, n, chunk_size));
+  };
+
+  ThreadPool pool(options.threads);
+  std::vector<std::unique_ptr<SeuInjector>> injectors(pool.thread_count());
+
+  pool.parallel_chunks(n, chunk_size, [&](u64 begin, u64 end,
+                                          unsigned worker) {
+    const u64 c = begin / chunk_size;
+    if ((resumed_done[c >> 3] >> (c & 7)) & 1) return;
+    if (stop.load(std::memory_order_relaxed)) return;
+    // One injector per worker, built on first use (the constructor computes
+    // the golden trace and configures a fabric — not free).
+    if (!injectors[worker]) {
+      injectors[worker] =
+          std::make_unique<SeuInjector>(design, options.injection);
+    }
+    SeuInjector& injector = *injectors[worker];
+
     u64 local_failures = 0, local_persistent = 0;
     SimTime local_time;
     std::vector<CampaignResult::SensitiveBit> local_sensitive;
@@ -67,27 +230,67 @@ CampaignResult run_campaign(const PlacedDesign& design,
         }
       }
     }
+    const InjectionPhases phase_delta = injector.phases();
+    injector.reset_phases();
+
     std::lock_guard lock(merge_mutex);
-    result.failures += local_failures;
-    result.persistent += local_persistent;
-    result.modeled_hardware_time += local_time;
-    result.sensitive_bits.insert(result.sensitive_bits.end(),
-                                 local_sensitive.begin(),
-                                 local_sensitive.end());
-    for (const auto& [k, v] : local_by_field) result.failures_by_field[k] += v;
+    agg.injections += end - begin;
+    agg.failures += local_failures;
+    agg.persistent += local_persistent;
+    agg.pruned += phase_delta.pruned;
+    agg.modeled_ps += local_time.ps();
+    agg.phases += phase_delta;
+    agg.sensitive.insert(agg.sensitive.end(), local_sensitive.begin(),
+                         local_sensitive.end());
+    for (const auto& [k, v] : local_by_field) agg.by_field[k] += v;
+    done[c >> 3] = static_cast<u8>(done[c >> 3] | (1u << (c & 7)));
+    ++chunks_done;
+
+    if (options.on_progress && ++chunks_since_progress >=
+                                   std::max<u64>(1, options.progress_every_chunks)) {
+      chunks_since_progress = 0;
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (!options.on_progress(make_progress(elapsed))) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (!options.checkpoint_path.empty() &&
+        ++chunks_since_checkpoint >=
+            std::max<u64>(1, options.checkpoint_every_chunks)) {
+      chunks_since_checkpoint = 0;
+      save_checkpoint();
+    }
   });
 
-  result.injections = bits.size();
+  // Final checkpoint first: it reads `agg`, which the moves below gut.
+  if (!options.checkpoint_path.empty()) save_checkpoint();
+
+  result.interrupted = stop.load(std::memory_order_relaxed);
+  result.injections = agg.injections;
+  result.failures = agg.failures;
+  result.persistent = agg.persistent;
+  result.pruned = agg.pruned;
+  result.modeled_hardware_time = SimTime::picoseconds(agg.modeled_ps);
+  result.phases = agg.phases;
+  result.sensitive_bits = std::move(agg.sensitive);
+  result.failures_by_field = std::move(agg.by_field);
   if (options.record_sampled_bits) result.sampled_bits = bits;
   std::sort(result.sensitive_bits.begin(), result.sensitive_bits.end(),
             [](const auto& a, const auto& b) { return a.addr < b.addr; });
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (options.on_progress) options.on_progress(make_progress(result.wall_seconds));
+
   VSCRUB_INFO("campaign ", design.netlist->name(), ": ", result.injections,
-              " injections, ", result.failures, " failures (",
-              result.sensitivity() * 100.0, "%), ", workers, " workers, ",
-              result.wall_seconds, "s");
+              " injections (", result.resumed_injections, " resumed, ",
+              result.pruned, " pruned), ", result.failures, " failures (",
+              result.sensitivity() * 100.0, "%), ", pool.thread_count(),
+              " workers, ", result.wall_seconds, "s",
+              result.interrupted ? " [interrupted]" : "");
   return result;
 }
 

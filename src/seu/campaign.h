@@ -1,14 +1,35 @@
 // Campaign driver: exhaustive or sampled injection over the configuration
-// space, multi-threaded, with the aggregate statistics of Tables I and II
-// and the per-bit correlation data of §III-A.
+// space, scheduled as fixed-size bit chunks pulled by pool workers from an
+// atomic cursor, with live progress telemetry, periodic checkpointing, and
+// the aggregate statistics of Tables I and II plus the per-bit correlation
+// data of §III-A.
 #pragma once
 
+#include <functional>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/thread_pool.h"
 #include "seu/injector.h"
 
 namespace vscrub {
+
+/// Live telemetry handed to CampaignOptions::on_progress as chunks complete.
+struct CampaignProgress {
+  u64 injections_done = 0;
+  u64 injections_total = 0;
+  u64 failures = 0;
+  u64 persistent = 0;
+  u64 pruned = 0;  ///< injections short-circuited by observability pruning
+  u64 chunks_done = 0;     ///< includes chunks restored from a checkpoint
+  u64 chunks_total = 0;
+  u64 chunks_resumed = 0;  ///< chunks skipped because a checkpoint covered them
+  double elapsed_s = 0.0;
+  double bits_per_s = 0.0;  ///< injection rate this run (excludes resumed work)
+  double eta_s = 0.0;       ///< projected seconds to completion at that rate
+  InjectionPhases phases;   ///< per-phase wall clock this run
+};
 
 struct CampaignOptions {
   InjectionOptions injection;
@@ -23,6 +44,68 @@ struct CampaignOptions {
   /// Record the sampled bit universe (linear indices) in the result, so a
   /// beam session can be restricted to the same universe.
   bool record_sampled_bits = false;
+
+  /// Scheduler chunk size in bits; 0 => auto (total/256 clamped to
+  /// [64, 4096]). Never derived from the thread count, so results and
+  /// checkpoints are comparable across machines.
+  u64 chunk_size = 0;
+  /// Called (serialized, from worker threads) every `progress_every_chunks`
+  /// completed chunks and once at the end. Return false to stop the
+  /// campaign: in-flight chunks finish, the rest stay pending, the result
+  /// comes back with `interrupted = true` (and a final checkpoint is written
+  /// when checkpointing is on).
+  std::function<bool(const CampaignProgress&)> on_progress;
+  u64 progress_every_chunks = 8;
+  /// When set, campaign progress is checkpointed here every
+  /// `checkpoint_every_chunks` completed chunks (plus once at the end), and
+  /// a compatible checkpoint found at this path resumes the campaign from
+  /// where it stopped. An incompatible checkpoint (different device, design,
+  /// options, or chunking) is ignored and overwritten.
+  std::string checkpoint_path;
+  u64 checkpoint_every_chunks = 32;
+
+  // Fluent construction, so call sites can assemble options in one
+  // expression instead of mutating an aggregate field-by-field.
+  CampaignOptions& with_injection(const InjectionOptions& v) {
+    injection = v;
+    return *this;
+  }
+  CampaignOptions& with_sample(u64 bits, u64 seed = 99) {
+    sample_bits = bits;
+    sample_seed = seed;
+    return *this;
+  }
+  CampaignOptions& with_exhaustive() {
+    sample_bits = 0;
+    return *this;
+  }
+  CampaignOptions& with_threads(unsigned v) {
+    threads = v;
+    return *this;
+  }
+  CampaignOptions& with_sensitive_bits(bool v) {
+    record_sensitive_bits = v;
+    return *this;
+  }
+  CampaignOptions& with_sampled_bits(bool v) {
+    record_sampled_bits = v;
+    return *this;
+  }
+  CampaignOptions& with_chunk_size(u64 v) {
+    chunk_size = v;
+    return *this;
+  }
+  CampaignOptions& with_progress(std::function<bool(const CampaignProgress&)> cb,
+                                 u64 every_chunks = 8) {
+    on_progress = std::move(cb);
+    progress_every_chunks = every_chunks;
+    return *this;
+  }
+  CampaignOptions& with_checkpoint(std::string path, u64 every_chunks = 32) {
+    checkpoint_path = std::move(path);
+    checkpoint_every_chunks = every_chunks;
+    return *this;
+  }
 };
 
 struct CampaignResult {
@@ -57,6 +140,17 @@ struct CampaignResult {
   SimTime modeled_hardware_time;  ///< SLAAC-1V time for the same campaign
   double wall_seconds = 0.0;
 
+  /// True when a progress callback stopped the campaign early; the counters
+  /// above then cover only the chunks that completed.
+  bool interrupted = false;
+  /// Injections restored from a checkpoint rather than run in this process.
+  u64 resumed_injections = 0;
+  /// Injections short-circuited by observability pruning (still counted in
+  /// `injections`; pruning does not change any result, only host time).
+  u64 pruned = 0;
+  /// Host wall clock by injection phase, summed across workers.
+  InjectionPhases phases;
+
   struct SensitiveBit {
     BitAddress addr;
     bool persistent;
@@ -70,6 +164,10 @@ struct CampaignResult {
   /// Sensitive-bit counts by configuration-field kind (routing vs LUT vs
   /// control), for the cross-section analysis.
   std::unordered_map<u8, u64> failures_by_field;
+
+  /// The sensitivity map as a linear-bit-index set, the form the beam
+  /// validation and mission simulator consume.
+  std::unordered_set<u64> sensitive_set(const PlacedDesign& design) const;
 };
 
 /// Runs an injection campaign for a compiled design.

@@ -1,0 +1,144 @@
+#include "seu/checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "bitstream/record_io.h"
+
+namespace vscrub {
+namespace {
+
+const std::string kMagic = "VSCK1";
+
+u64 fnv1a(u64 h, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+u64 fnv1a(u64 h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void put_phases(RecordWriter& w, const InjectionPhases& p) {
+  w.put_u64(std::bit_cast<u64>(p.corrupt_s));
+  w.put_u64(std::bit_cast<u64>(p.run_s));
+  w.put_u64(std::bit_cast<u64>(p.repair_s));
+  w.put_u64(std::bit_cast<u64>(p.persist_s));
+  w.put_u64(p.pruned);
+}
+
+InjectionPhases get_phases(RecordReader& r) {
+  InjectionPhases p;
+  p.corrupt_s = std::bit_cast<double>(r.get_u64());
+  p.run_s = std::bit_cast<double>(r.get_u64());
+  p.repair_s = std::bit_cast<double>(r.get_u64());
+  p.persist_s = std::bit_cast<double>(r.get_u64());
+  p.pruned = r.get_u64();
+  return p;
+}
+
+}  // namespace
+
+u64 campaign_fingerprint(const PlacedDesign& design,
+                         const CampaignOptions& options, u64 total_injections,
+                         u64 chunk_size) {
+  const DeviceGeometry& geom = design.space->geometry();
+  u64 h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  h = fnv1a(h, geom.name);
+  h = fnv1a(h, geom.rows);
+  h = fnv1a(h, geom.cols);
+  h = fnv1a(h, geom.bram_columns);
+  h = fnv1a(h, geom.frame_pad_slots);
+  h = fnv1a(h, design.netlist->name());
+  h = fnv1a(h, total_injections);
+  h = fnv1a(h, options.sample_bits);
+  h = fnv1a(h, options.sample_seed);
+  h = fnv1a(h, chunk_size);
+  h = fnv1a(h, static_cast<u64>(options.record_sensitive_bits));
+  h = fnv1a(h, static_cast<u64>(options.record_sampled_bits));
+  const InjectionOptions& inj = options.injection;
+  h = fnv1a(h, inj.stim_seed);
+  h = fnv1a(h, inj.warmup_cycles);
+  h = fnv1a(h, inj.warmup_cycles_no_dynamic);
+  h = fnv1a(h, inj.observe_cycles);
+  h = fnv1a(h, static_cast<u64>(inj.classify_persistence));
+  h = fnv1a(h, inj.persistence_settle);
+  h = fnv1a(h, inj.persistence_check);
+  h = fnv1a(h, std::bit_cast<u64>(inj.clock_hz));
+  h = fnv1a(h, static_cast<u64>(inj.prune_unobservable));
+  return h;
+}
+
+void save_campaign_checkpoint(const std::string& path,
+                              const CampaignCheckpoint& ck) {
+  RecordWriter w(kMagic);
+  w.put_u64(ck.fingerprint);
+  w.put_u64(ck.total_injections);
+  w.put_u64(ck.chunk_size);
+  w.put_u64(ck.done.size());
+  w.put_bytes(ck.done.data(), ck.done.size());
+  w.put_u64(ck.injections);
+  w.put_u64(ck.failures);
+  w.put_u64(ck.persistent);
+  w.put_u64(ck.pruned);
+  w.put_u64(static_cast<u64>(ck.modeled_ps));
+  put_phases(w, ck.phases);
+  w.put_u64(ck.sensitive_bits.size());
+  for (const auto& sb : ck.sensitive_bits) {
+    w.put_u8(static_cast<u8>(sb.addr.frame.kind));
+    w.put_u16(sb.addr.frame.col);
+    w.put_u16(sb.addr.frame.frame);
+    w.put_u32(sb.addr.offset);
+    w.put_u8(static_cast<u8>(sb.persistent));
+    w.put_u32(sb.first_error_cycle);
+    w.put_u64(sb.error_output_mask_lo);
+  }
+  w.put_u64(ck.failures_by_field.size());
+  for (const auto& [kind, count] : ck.failures_by_field) {
+    w.put_u8(kind);
+    w.put_u64(count);
+  }
+  w.write(path);
+}
+
+bool load_campaign_checkpoint(const std::string& path,
+                              CampaignCheckpoint* ck) {
+  if (!record_exists(path, kMagic)) return false;
+  RecordReader r(path, kMagic);
+  ck->fingerprint = r.get_u64();
+  ck->total_injections = r.get_u64();
+  ck->chunk_size = r.get_u64();
+  ck->done.resize(r.get_u64());
+  r.get_bytes(ck->done.data(), ck->done.size());
+  ck->injections = r.get_u64();
+  ck->failures = r.get_u64();
+  ck->persistent = r.get_u64();
+  ck->pruned = r.get_u64();
+  ck->modeled_ps = static_cast<i64>(r.get_u64());
+  ck->phases = get_phases(r);
+  ck->sensitive_bits.resize(r.get_u64());
+  for (auto& sb : ck->sensitive_bits) {
+    sb.addr.frame.kind = static_cast<ColumnKind>(r.get_u8());
+    sb.addr.frame.col = r.get_u16();
+    sb.addr.frame.frame = r.get_u16();
+    sb.addr.offset = r.get_u32();
+    sb.persistent = r.get_u8() != 0;
+    sb.first_error_cycle = r.get_u32();
+    sb.error_output_mask_lo = r.get_u64();
+  }
+  ck->failures_by_field.resize(r.get_u64());
+  for (auto& [kind, count] : ck->failures_by_field) {
+    kind = r.get_u8();
+    count = r.get_u64();
+  }
+  return true;
+}
+
+}  // namespace vscrub

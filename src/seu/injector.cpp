@@ -1,8 +1,26 @@
 #include "seu/injector.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace vscrub {
+
+namespace {
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    sink_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count();
+  }
+
+ private:
+  double& sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+}  // namespace
 
 SeuInjector::SeuInjector(const PlacedDesign& design,
                          const InjectionOptions& options)
@@ -22,6 +40,67 @@ SeuInjector::SeuInjector(const PlacedDesign& design,
   golden_ = DesignHarness::reference_trace(*design_->netlist, trace_len,
                                            options_.stim_seed);
   harness_.configure();
+  snapshot_observability();
+  // The configuration just written is the dirty-tracking baseline every
+  // incremental repair restores to, and the post-restart FF state is the
+  // hermetic-reset baseline every injection rolls back to.
+  sim_.clear_dirty_frames();
+  ff_baseline_ = sim_.ff_state_snapshot();
+}
+
+void SeuInjector::snapshot_observability() {
+  // A flip confined to tile T can only change T's own outputs and the wires
+  // T drives. An *inactive* tile (omux all zero, no routed pins, no live
+  // LUTs/FFs, no overrides) consumes nothing and forwards nothing, so a
+  // corrupted T whose whole neighbourhood is inactive has no path to any
+  // tap: its new wire values die at the first hop and nobody reads its
+  // outputs. Hence: observable(T) = active(T) or any 4-neighbour active,
+  // seeded with every harness attachment point so a constant-feeding tile
+  // that happens to decode inactive is never pruned.
+  const DeviceGeometry& geom = sim_.geometry();
+  observable_.assign(geom.tile_count(), 0);
+  for (u16 r = 0; r < geom.rows; ++r) {
+    for (u16 c = 0; c < geom.cols; ++c) {
+      bool obs = sim_.tile_active({r, c});
+      if (!obs && r > 0) obs = sim_.tile_active({static_cast<u16>(r - 1), c});
+      if (!obs && r + 1 < geom.rows)
+        obs = sim_.tile_active({static_cast<u16>(r + 1), c});
+      if (!obs && c > 0) obs = sim_.tile_active({r, static_cast<u16>(c - 1)});
+      if (!obs && c + 1 < geom.cols)
+        obs = sim_.tile_active({r, static_cast<u16>(c + 1)});
+      if (obs) observable_[geom.tile_index({r, c})] = 1;
+    }
+  }
+  auto seed = [&](TileCoord t) { observable_[geom.tile_index(t)] = 1; };
+  for (const DrivePoint& d : design_->input_drives) seed(d.tile);
+  for (const TapPoint& t : design_->output_taps) seed(t.tile);
+  for (const auto& ec : design_->external_consts) seed(ec.drive.tile);
+  for (const auto& b : design_->brams) {
+    for (std::size_t p = 0; p < b.input_taps.size(); ++p) {
+      if (p < b.input_tap_valid.size() && b.input_tap_valid[p]) {
+        seed(b.input_taps[p].tile);
+      }
+    }
+    for (std::size_t l = 0; l < b.dout_drives.size(); ++l) {
+      if (l < b.dout_drive_valid.size() && b.dout_drive_valid[l]) {
+        seed(b.dout_drives[l].tile);
+      }
+    }
+  }
+  // BRAM content/config bits matter only when the design binds a block.
+  bram_observable_ = !design_->brams.empty();
+}
+
+bool SeuInjector::bit_observable(const BitAddress& addr) const {
+  if (addr.frame.kind == ColumnKind::kBram) return bram_observable_;
+  // Writing any frame that covers live SRL16/RAM16 cells clobbers their
+  // shifting contents with stale baseline values (the §IV-A read-modify-
+  // write hazard) — an effect of the *write*, not the flipped bit, and one
+  // the full loop faithfully reproduces. Never prune those injections.
+  if (frame_is_dynamic_masked(addr.frame)) return true;
+  const ConfigSpace::TileRef ref = sim_.space().tile_ref_of(addr);
+  if (!ref.valid) return false;  // padding slot: no hardware behind it
+  return observable_[sim_.geometry().tile_index(ref.tile)] != 0;
 }
 
 SimTime SeuInjector::modeled_iteration_time() const {
@@ -48,12 +127,15 @@ bool SeuInjector::frame_is_dynamic_masked(const FrameAddress& fa) const {
 }
 
 void SeuInjector::scrub_restore(const BitAddress& addr) {
-  // What the host-side simulator does after an injection: restore every
-  // corrupted frame from the golden image. A single flipped bit can leave
-  // collateral corruption beyond its own frame — e.g. a LutMode flip turns
-  // a LUT into a shift register, whose contents (16 truth bits in other
-  // frames) shift away while the clock runs. Only the affected column can
-  // be touched, so we sweep its frames.
+  // Incremental repair: FabricSim records every frame whose readback may
+  // have diverged since the last repair (partial-reconfiguration writes,
+  // runtime SRL16/RAM16 shifts, BRAM port writes), so only that set — not a
+  // whole-column sweep — needs restoring from the golden image. A frame not
+  // in the set provably still reads back its baseline content. The dirty
+  // set naturally covers collateral corruption beyond the flipped bit's own
+  // frame — e.g. a LutMode flip turns a LUT into a shift register, whose
+  // contents (16 truth bits in other frames) shift away while the clock
+  // runs, marking those frames as they go.
   //
   // Frames covering the design's *legitimate* dynamic LUT state get the
   // paper's §IV read-modify-write treatment: the golden frame is written
@@ -62,15 +144,26 @@ void SeuInjector::scrub_restore(const BitAddress& addr) {
   // injected *into* a dynamic bit is deliberately left in place — it is a
   // data upset that the design flushes naturally, not configuration
   // damage.)
-  if (addr.frame.kind == ColumnKind::kBram) {
-    sim_.write_frame(addr.frame, design_->bitstream.frame(addr.frame));
-    return;
-  }
-  for (u16 f = 0; f < kFramesPerClbColumn; ++f) {
-    const FrameAddress fa{ColumnKind::kClb, addr.frame.col, f};
+  const u32 injected_gf = sim_.space().global_frame_index(addr.frame);
+  // Copy: the write_frame calls below re-mark the frames they touch.
+  const std::vector<u32> dirty = sim_.dirty_frames();
+  residual_frames_.clear();
+  for (const u32 gf : dirty) {
+    const FrameAddress fa = sim_.space().frame_of_global(gf);
+    if (fa.kind == ColumnKind::kBram) {
+      // Runtime writes through the design's own BRAM ports are live data,
+      // not corruption — restore only the frame the injection hit.
+      if (gf == injected_gf) {
+        sim_.write_frame(fa, design_->bitstream.frame(fa));
+      } else {
+        residual_frames_.push_back(gf);
+      }
+      continue;
+    }
     const BitVector live = sim_.read_frame(fa);
     BitVector golden = design_->bitstream.frame(fa);
     if (frame_is_dynamic_masked(fa)) {
+      residual_frames_.push_back(gf);
       for (const LutSiteRef& site : design_->dynamic_lut_sites) {
         if (site.tile.col != fa.col ||
             !ConfigSpace::frame_holds_slice_lut_bits(
@@ -85,16 +178,49 @@ void SeuInjector::scrub_restore(const BitAddress& addr) {
     }
     if (!(live == golden)) sim_.write_frame(fa, golden);
   }
+  // Everything now matches the baseline again except the deliberately-kept
+  // frames recorded in residual_frames_, which hermetic_reset() reloads
+  // before the next injection starts.
+  sim_.clear_dirty_frames();
+}
+
+void SeuInjector::hermetic_reset() {
+  // Every injection must be a pure function of its bit: any state a run can
+  // leave behind — live SRL/RAM16 contents and BRAM data kept by the repair
+  // (plus anything the persistence window shifted or wrote afterwards), and
+  // FF values in sites only a corrupted decode ever clocked (reset() skips
+  // unused FFs by design) — is rolled back to the post-configure baseline.
+  std::vector<u32> stale = std::move(residual_frames_);
+  residual_frames_.clear();
+  const std::vector<u32>& dirty = sim_.dirty_frames();
+  stale.insert(stale.end(), dirty.begin(), dirty.end());
+  for (const u32 gf : stale) {
+    const FrameAddress fa = sim_.space().frame_of_global(gf);
+    sim_.write_frame(fa, design_->bitstream.frame(fa));
+  }
+  sim_.clear_dirty_frames();
+  sim_.restore_ff_state(ff_baseline_);
+  harness_.restart();
 }
 
 InjectionResult SeuInjector::inject(const BitAddress& addr) {
   InjectionResult result;
   result.addr = addr;
 
+  // Observability pruning: when the flipped bit provably cannot reach a tap,
+  // the clocked run is a foregone conclusion — no output error, no
+  // persistence, and (since no clock edge occurs) no design state to reset.
+  // The corrupt/repair round trip is still performed so the configuration
+  // memory sees exactly the traffic the full loop would generate. Modeled
+  // hardware time is unchanged: the real testbed cannot prune.
+  const bool pruned =
+      options_.prune_unobservable && !bit_observable(addr);
+
   // 1. Corrupt the bit: partial reconfiguration with the *original* frame
   //    image XOR the target bit (the simulator holds the original bitstream
   //    on the host, §III-A).
   {
+    PhaseTimer timer(phases_.corrupt_s);
     BitVector img = design_->bitstream.frame(addr.frame);
     img.flip(addr.offset);
     sim_.write_frame(addr.frame, img);
@@ -104,27 +230,34 @@ InjectionResult SeuInjector::inject(const BitAddress& addr) {
   //    against the golden design every cycle.
   const u32 compare_from = options_.warmup_cycles;
   const u32 run_until = options_.warmup_cycles + options_.observe_cycles;
-  for (u32 t = 0; t < run_until; ++t) {
-    harness_.step();
-    if (t < compare_from) continue;
-    const OutputWord& got = harness_.last_outputs();
-    const OutputWord& want = golden_[t];
-    if (!(got == want)) {
-      result.output_error = true;
-      result.first_error_cycle = t;
-      result.error_output_mask_lo = got.lo ^ want.lo;
-      break;
+  if (!pruned) {
+    PhaseTimer timer(phases_.run_s);
+    for (u32 t = 0; t < run_until; ++t) {
+      harness_.step();
+      if (t < compare_from) continue;
+      const OutputWord& got = harness_.last_outputs();
+      const OutputWord& want = golden_[t];
+      if (!(got == want)) {
+        result.output_error = true;
+        result.first_error_cycle = t;
+        result.error_output_mask_lo = got.lo ^ want.lo;
+        break;
+      }
     }
   }
 
-  // 3. Repair via scrubbing: restore all corrupted frames from the golden
+  // 3. Repair via scrubbing: restore the corrupted frames from the golden
   //    image (the flipped bit plus any collateral configuration damage).
-  scrub_restore(addr);
+  {
+    PhaseTimer timer(phases_.repair_s);
+    scrub_restore(addr);
+  }
 
   // 4. Persistence classification: with the configuration repaired but the
   //    design NOT reset, does the error disappear (non-persistent) or does
   //    corrupted state keep the output diverged (persistent)?
   if (options_.classify_persistence && result.output_error) {
+    PhaseTimer timer(phases_.persist_s);
     // Advance (unchecked) to the end of the observation window so the golden
     // trace stays cycle-aligned, then settle and check.
     while (harness_.cycle() < run_until) harness_.step();
@@ -140,8 +273,16 @@ InjectionResult SeuInjector::inject(const BitAddress& addr) {
     }
   }
 
-  // 5. Reset the designs for the next iteration.
-  harness_.restart();
+  // 5. Reset for the next iteration — hermetically, so every injection is a
+  //    pure function of its bit (the campaign scheduler depends on this: it
+  //    hands bits to workers in a nondeterministic order). A pruned
+  //    injection never clocked or re-decoded anything the repair didn't
+  //    undo, so the design is still sitting in its baseline state.
+  if (!pruned) {
+    hermetic_reset();
+  } else {
+    ++phases_.pruned;
+  }
 
   result.modeled_time = modeled_iteration_time();
   return result;

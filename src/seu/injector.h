@@ -32,6 +32,51 @@ struct InjectionOptions {
   /// Design clock for the modeled-time accounting.
   double clock_hz = 20e6;  // "operate the designs at speed (up to 20 MHz)"
   SelectMapTiming timing = SelectMapTiming::pci_profile();
+  /// Observability pruning: skip the clocked run for bits that provably
+  /// cannot reach an output tap (padding slots, BRAM bits of BRAM-less
+  /// designs, and bits of tiles whose whole neighbourhood decodes inactive).
+  /// Sound — pruned bits report exactly what the full run would — and the
+  /// main host-side speedup on low-utilization devices. Disable to force
+  /// every bit through the full corrupt/run/repair loop.
+  bool prune_unobservable = true;
+
+  // Fluent construction, so call sites can assemble options in one
+  // expression instead of mutating an aggregate field-by-field.
+  InjectionOptions& with_stim_seed(u64 v) { stim_seed = v; return *this; }
+  InjectionOptions& with_warmup_cycles(u32 v) { warmup_cycles = v; return *this; }
+  InjectionOptions& with_observe_cycles(u32 v) { observe_cycles = v; return *this; }
+  InjectionOptions& with_persistence(bool on = true) {
+    classify_persistence = on;
+    return *this;
+  }
+  InjectionOptions& with_persistence_window(u32 settle, u32 check) {
+    classify_persistence = true;
+    persistence_settle = settle;
+    persistence_check = check;
+    return *this;
+  }
+  InjectionOptions& with_clock_hz(double v) { clock_hz = v; return *this; }
+  InjectionOptions& with_timing(const SelectMapTiming& t) { timing = t; return *this; }
+  InjectionOptions& with_pruning(bool on) { prune_unobservable = on; return *this; }
+};
+
+/// Wall-clock telemetry accumulated across inject() calls; feeds the
+/// campaign's per-phase progress reports.
+struct InjectionPhases {
+  double corrupt_s = 0.0;  ///< planting the upset (frame write)
+  double run_s = 0.0;      ///< clocked run + golden comparison
+  double repair_s = 0.0;   ///< incremental scrub restore
+  double persist_s = 0.0;  ///< persistence classification window
+  u64 pruned = 0;  ///< injections short-circuited by observability pruning
+
+  InjectionPhases& operator+=(const InjectionPhases& o) {
+    corrupt_s += o.corrupt_s;
+    run_s += o.run_s;
+    repair_s += o.repair_s;
+    persist_s += o.persist_s;
+    pruned += o.pruned;
+    return *this;
+  }
 };
 
 struct InjectionResult {
@@ -63,15 +108,36 @@ class SeuInjector {
   DesignHarness& harness() { return harness_; }
   const std::vector<OutputWord>& golden() const { return golden_; }
 
+  /// Whether flipping `addr` could possibly change an observed output (see
+  /// InjectionOptions::prune_unobservable for the argument).
+  bool bit_observable(const BitAddress& addr) const;
+
+  /// Accumulated per-phase wall clock since construction / reset_phases().
+  const InjectionPhases& phases() const { return phases_; }
+  void reset_phases() { phases_ = InjectionPhases{}; }
+
  private:
   bool frame_is_dynamic_masked(const FrameAddress& fa) const;
   void scrub_restore(const BitAddress& addr);
+  void snapshot_observability();
+  void hermetic_reset();
 
   const PlacedDesign* design_;
   InjectionOptions options_;
   FabricSim sim_;
   DesignHarness harness_;
   std::vector<OutputWord> golden_;
+  // Observability snapshot, taken right after configuration (before any
+  // corruption): per-tile "a flip here could reach a tap" flags.
+  std::vector<u8> observable_;
+  bool bram_observable_ = false;
+  // Hermetic-reset baseline: FF state right after configure()+restart().
+  std::vector<u8> ff_baseline_;
+  // Frames scrub_restore() deliberately left diverged from the golden image
+  // (live SRL/RAM16 contents, BRAM data written by the design's own ports);
+  // hermetic_reset() reloads them before the next injection.
+  std::vector<u32> residual_frames_;
+  InjectionPhases phases_;
 };
 
 }  // namespace vscrub

@@ -36,6 +36,7 @@ FabricSim::FabricSim(std::shared_ptr<const ConfigSpace> space,
   stuck_wire_.assign(static_cast<std::size_t>(n) * kWiresPerClb, 0);
   stuck_out_.assign(static_cast<std::size_t>(n) * kClbOutputs, 0);
   dirty_flag_.assign(n, 0);
+  frame_dirty_.assign(space_->frame_count(), 0);
   neighbor_.assign(static_cast<std::size_t>(n) * kDirs, kNoTile);
   pin_src_.assign(static_cast<std::size_t>(n) * kImuxPins, kSrcZero);
   wire_src_.assign(static_cast<std::size_t>(n) * kWiresPerClb, kSrcZero);
@@ -266,7 +267,30 @@ void FabricSim::full_configure(const Bitstream& bs) {
   }
   for (auto& col : bram_) std::fill(col.dout.begin(), col.dout.end(), 0);
   cycle_count_ = 0;
+  // Full configuration establishes a new dirty-tracking baseline: every
+  // frame now reads back exactly the image just loaded.
+  clear_dirty_frames();
   eval();
+}
+
+void FabricSim::clear_dirty_frames() {
+  for (u32 gf : dirty_frames_) frame_dirty_[gf] = 0;
+  dirty_frames_.clear();
+}
+
+void FabricSim::mark_frame_dirty(u32 global_frame) {
+  if (frame_dirty_[global_frame]) return;
+  frame_dirty_[global_frame] = 1;
+  dirty_frames_.push_back(global_frame);
+}
+
+void FabricSim::mark_lut_frames_dirty(u32 tile, u8 site) {
+  // A LUT cell's 16 truth bits are spread one per frame across its slice's
+  // 16 frames; a runtime shift/write can touch any of them.
+  const u16 col = space_->geometry().tile_coord(tile).col;
+  const u32 base = static_cast<u32>(col) * kFramesPerClbColumn +
+                   static_cast<u32>(site / kLutsPerSlice) * kLutTruthBits;
+  for (u32 f = 0; f < kLutTruthBits; ++f) mark_frame_dirty(base + f);
 }
 
 BitVector FabricSim::assemble_frame(const FrameAddress& fa) const {
@@ -351,31 +375,44 @@ BitVector FabricSim::read_frame(const FrameAddress& fa, bool clock_running) {
 void FabricSim::write_frame(const FrameAddress& fa, const BitVector& data) {
   VSCRUB_CHECK(data.size() == space_->frame_bits(fa.kind),
                "frame size mismatch");
+  // Diff against the current live content first: a write that changes
+  // nothing is a no-op (no dirty mark, no decode), and only tiles whose
+  // bits actually change are re-decoded — per-tile invalidation instead of
+  // a whole-column re-decode on every frame write.
+  const BitVector cur = assemble_frame(fa);
+  if (cur == data) return;
   cfg_.frame(fa) = data;
+  mark_frame_dirty(space_->global_frame_index(fa));
   if (fa.kind == ColumnKind::kBram) {
     // BRAM content is authoritative in cfg_; nothing to decode.
     return;
   }
   const DeviceGeometry& geom = space_->geometry();
   for (u16 row = 0; row < geom.rows; ++row) {
+    const u32 base = static_cast<u32>(row) * kBitsPerTilePerFrame;
+    u64 diff = data.word_at(base, kBitsPerTilePerFrame) ^
+               cur.word_at(base, kBitsPerTilePerFrame);
+    if (diff == 0) continue;
     const TileCoord tc{row, fa.col};
     const u32 t = tidx(tc);
     Tile& tl = tiles_[t];
     bool changed = false;
-    for (u16 slot = 0; slot < kBitsPerTilePerFrame; ++slot) {
+    while (diff != 0) {
+      const u16 slot = static_cast<u16>(std::countr_zero(diff));
+      diff &= diff - 1;
       const int tb = ConfigSpace::tile_bit_at(fa.frame, slot);
       if (tb < 0) continue;
-      const bool v = data.get(static_cast<u32>(row) * kBitsPerTilePerFrame + slot);
+      const bool v = data.get(base + slot);
       const BitMeaning& m = ConfigSpace::meaning_of_tile_bit(static_cast<u16>(tb));
       switch (m.kind) {
         case FieldKind::kLutTruth: {
           // Live cell write: this is where partial reconfiguration clobbers
           // shifting SRL16 contents (the RMW problem).
           const u16 mask = static_cast<u16>(1u << m.bit);
-          const u16 cur = tl.lut_cells[m.unit];
-          const u16 nxt = v ? static_cast<u16>(cur | mask)
-                            : static_cast<u16>(cur & ~mask);
-          if (nxt != cur) {
+          const u16 cell = tl.lut_cells[m.unit];
+          const u16 nxt = v ? static_cast<u16>(cell | mask)
+                            : static_cast<u16>(cell & ~mask);
+          if (nxt != cell) {
             tl.lut_cells[m.unit] = nxt;
             changed = true;
           }
@@ -713,6 +750,9 @@ void FabricSim::clock() {
     if (tl.lut_cells[p.site] != p.value) {
       tl.lut_cells[p.site] = p.value;
       mark_dirty(p.tile);
+      // Runtime LUT-cell changes are readback-visible: the frames holding
+      // this site's truth bits no longer match the configured image.
+      mark_lut_frames_dirty(p.tile, p.site);
     }
   }
   ++cycle_count_;
@@ -736,6 +776,19 @@ void FabricSim::reset() {
   }
   for (auto& col : bram_) std::fill(col.dout.begin(), col.dout.end(), 0);
   oscillating_ = false;
+  eval();
+}
+
+void FabricSim::restore_ff_state(const std::vector<u8>& state) {
+  for (std::size_t i = 0; i < ff_state_.size(); ++i) {
+    if (ff_state_[i] == state[i]) continue;
+    ff_state_[i] = state[i];
+    const u32 t = static_cast<u32>(i / kFfsPerClb);
+    const std::size_t f = i % kFfsPerClb;
+    out_val_[static_cast<std::size_t>(t) * kClbOutputs + (f / 2) * 4 + 2 +
+             (f % 2)] = state[i];
+    mark_dirty(t);
+  }
   eval();
 }
 
@@ -795,6 +848,11 @@ void FabricSim::bram_clock(u16 bram_col, u16 block, const BramPortIn& in) {
                                 static_cast<u16>(in.addr * kBramWidth + b),
                                 (in.din >> b) & 1);
     }
+    // The written word lives in one content frame (frame f holds bits
+    // f*64..f*64+63 of every block); its readback diverges from the image.
+    mark_frame_dirty(space_->global_frame_index(
+        FrameAddress{ColumnKind::kBram, bram_col,
+                     static_cast<u16>(in.addr * kBramWidth / 64)}));
     word = in.din;  // WRITE_FIRST
   }
   bram_[bram_col].dout[block] = word;

@@ -84,6 +84,21 @@ class FabricSim {
   /// Current value of a configuration bit (live memory).
   bool config_bit(const BitAddress& addr) const;
 
+  // ---- Dirty-frame tracking ---------------------------------------------------
+  // Every frame whose *readback content* may have diverged since the last
+  // clear_dirty_frames() (or full_configure(), which resets the baseline) is
+  // recorded here: partial-reconfiguration writes, runtime SRL16/RAM16 LUT
+  // shifts, and BRAM port writes. A frame NOT in this set provably reads
+  // back exactly what it held at the baseline — the invariant the SEU
+  // injector's incremental repair relies on to skip the whole-column sweep.
+  /// Global frame indices dirtied since the last clear (unordered, no
+  /// duplicates).
+  const std::vector<u32>& dirty_frames() const { return dirty_frames_; }
+  bool frame_dirty(u32 global_frame) const {
+    return frame_dirty_[global_frame] != 0;
+  }
+  void clear_dirty_frames();
+
   // ---- Harness attachment -----------------------------------------------------
   /// Overrides the combinational output `out_index` of `tile` with a
   /// harness-driven value (primary inputs, BRAM relays, external constants).
@@ -102,6 +117,13 @@ class FabricSim {
   /// memory, SRL16 contents and half-latches are NOT touched (reset is a
   /// logic operation, not a reconfiguration).
   void reset();
+  /// Snapshot of every FF's state (used and unused — a corrupted decode can
+  /// clock FFs the baseline never uses, and reset() deliberately skips
+  /// those). Pairs with restore_ff_state() for hermetic rollback.
+  const std::vector<u8>& ff_state_snapshot() const { return ff_state_; }
+  /// Restores all FF state from a snapshot taken on this geometry and
+  /// re-evaluates. Unlike reset(), covers unused FFs too.
+  void restore_ff_state(const std::vector<u8>& state);
   u64 cycle_count() const { return cycle_count_; }
   /// True when the last eval() hit the oscillation bound (a corrupted
   /// configuration formed a combinational loop).
@@ -142,6 +164,11 @@ class FabricSim {
 
   /// Number of tiles currently active (decoded as used); exposed for tests.
   std::size_t active_tile_count() const;
+  /// Whether a tile currently decodes as active (drives wires, computes LUT
+  /// outputs, clocks FFs, or reads any routed pin). An inactive tile
+  /// consumes nothing and forwards nothing — the SEU injector's
+  /// observability pruning builds on exactly this property.
+  bool tile_active(TileCoord t) const { return tiles_[tidx(t)].active; }
 
  private:
   struct Tile;
@@ -152,6 +179,8 @@ class FabricSim {
   void refresh_tile_activity(u32 tile);
   void rebuild_seq_list();
   void mark_dirty(u32 tile);
+  void mark_frame_dirty(u32 global_frame);
+  void mark_lut_frames_dirty(u32 tile, u8 site);
   void process_tile(u32 tile);
   bool resolve_pin(const Tile& tl, u32 tile, u8 pin) const;
 
@@ -218,6 +247,9 @@ class FabricSim {
   // Dirty-tile worklist.
   std::vector<u32> dirty_queue_;
   std::vector<u8> dirty_flag_;
+  // Dirty-frame set (see dirty_frames()).
+  std::vector<u32> dirty_frames_;
+  std::vector<u8> frame_dirty_;
   bool oscillating_ = false;
   u64 cycle_count_ = 0;
   Rng corrupt_rng_{0xC0FFEE};  ///< deterministic readback-hazard corruption

@@ -1,0 +1,144 @@
+// Campaign determinism and checkpoint/resume guarantees of the chunked
+// scheduler: identical CampaignOptions must yield bit-identical campaign
+// results regardless of thread count, chunk size, observability pruning, or
+// whether the campaign was interrupted and resumed from a checkpoint.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/vscrub.h"
+
+using namespace vscrub;
+
+namespace {
+
+PlacedDesign small_static_design() {
+  return compile(designs::counter_adder(6), device_tiny(4, 8));
+}
+
+/// Everything a campaign promises to reproduce exactly (wall clock and
+/// phase telemetry are measurements, not results, and are excluded).
+/// `pruned` counts are compared separately: they are deterministic across
+/// schedules but intentionally differ between prune-on and prune-off runs.
+void expect_same_result(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.device_bits, b.device_bits);
+  EXPECT_EQ(a.injections, b.injections);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.persistent, b.persistent);
+  EXPECT_EQ(a.modeled_hardware_time.ps(), b.modeled_hardware_time.ps());
+  ASSERT_EQ(a.sensitive_bits.size(), b.sensitive_bits.size());
+  for (std::size_t i = 0; i < a.sensitive_bits.size(); ++i) {
+    const auto& sa = a.sensitive_bits[i];
+    const auto& sb = b.sensitive_bits[i];
+    EXPECT_EQ(sa.addr, sb.addr) << "sensitive bit " << i;
+    EXPECT_EQ(sa.persistent, sb.persistent) << "sensitive bit " << i;
+    EXPECT_EQ(sa.first_error_cycle, sb.first_error_cycle)
+        << "sensitive bit " << i;
+    EXPECT_EQ(sa.error_output_mask_lo, sb.error_output_mask_lo)
+        << "sensitive bit " << i;
+  }
+  EXPECT_EQ(a.failures_by_field, b.failures_by_field);
+}
+
+}  // namespace
+
+TEST(CampaignDeterminism, ThreadCountInvarianceSampled) {
+  const auto design = small_static_design();
+  CampaignOptions opts = CampaignOptions{}
+                             .with_sample(3000, 17)
+                             .with_chunk_size(128)
+                             .with_injection(InjectionOptions{}.with_persistence());
+  const auto r1 = run_campaign(design, opts.with_threads(1));
+  const auto r8 = run_campaign(design, opts.with_threads(8));
+  expect_same_result(r1, r8);
+  EXPECT_EQ(r1.pruned, r8.pruned);
+  EXPECT_GT(r1.failures, 0u);
+}
+
+TEST(CampaignDeterminism, ThreadCountInvarianceExhaustive) {
+  const auto design = compile(designs::counter_adder(4), device_tiny(4, 6));
+  CampaignOptions opts = CampaignOptions{}.with_exhaustive();
+  const auto r1 = run_campaign(design, opts.with_threads(1));
+  const auto r8 = run_campaign(design, opts.with_threads(8));
+  EXPECT_EQ(r1.injections, r1.device_bits);
+  expect_same_result(r1, r8);
+  EXPECT_EQ(r1.pruned, r8.pruned);
+}
+
+TEST(CampaignDeterminism, ChunkSizeInvariance) {
+  const auto design = small_static_design();
+  CampaignOptions opts = CampaignOptions{}.with_sample(3000, 17).with_threads(8);
+  const auto small_chunks = run_campaign(design, opts.with_chunk_size(32));
+  const auto big_chunks = run_campaign(design, opts.with_chunk_size(1024));
+  expect_same_result(small_chunks, big_chunks);
+  EXPECT_EQ(small_chunks.pruned, big_chunks.pruned);
+}
+
+TEST(CampaignDeterminism, PruningMatchesUnprunedSimulation) {
+  const auto design = small_static_design();
+  CampaignOptions opts = CampaignOptions{}.with_sample(2500, 23);
+  const auto pruned =
+      run_campaign(design, opts.with_injection(InjectionOptions{}.with_pruning(true)));
+  const auto full =
+      run_campaign(design, opts.with_injection(InjectionOptions{}.with_pruning(false)));
+  expect_same_result(pruned, full);
+  EXPECT_GT(pruned.pruned, 0u);  // the device has idle regions to skip
+  EXPECT_EQ(full.pruned, 0u);
+}
+
+TEST(CampaignDeterminism, PruningMatchesUnprunedWithDynamicLutState) {
+  // fir_preproc holds live SRL16 delay lines: frames covering them must
+  // never be pruned (writing such a frame clobbers shifting contents — an
+  // effect the full loop reproduces and pruning would miss).
+  const auto design = compile(designs::fir_preproc(2), device_tiny(8, 12));
+  ASSERT_FALSE(design.dynamic_lut_sites.empty());
+  CampaignOptions opts = CampaignOptions{}.with_sample(1200, 5);
+  const auto pruned =
+      run_campaign(design, opts.with_injection(InjectionOptions{}.with_pruning(true)));
+  const auto full =
+      run_campaign(design, opts.with_injection(InjectionOptions{}.with_pruning(false)));
+  expect_same_result(pruned, full);
+}
+
+TEST(CampaignDeterminism, CheckpointResumeRoundTrip) {
+  const auto design = compile(designs::counter_adder(4), device_tiny(4, 6));
+  const std::string path =
+      ::testing::TempDir() + "vscrub_campaign_checkpoint_test.vsck";
+  std::remove(path.c_str());
+
+  CampaignOptions opts = CampaignOptions{}
+                             .with_exhaustive()
+                             .with_threads(2)
+                             .with_chunk_size(64);
+  const auto uninterrupted = run_campaign(design, opts);
+
+  // Interrupt after a few chunks: the progress callback asks the campaign
+  // to stop, and the final checkpoint captures the completed chunks.
+  auto interrupted_opts = opts;
+  interrupted_opts.with_checkpoint(path, 2).with_progress(
+      [](const CampaignProgress& p) { return p.chunks_done < 4; }, 1);
+  const auto partial = run_campaign(design, interrupted_opts);
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_LT(partial.injections, uninterrupted.injections);
+  EXPECT_GT(partial.injections, 0u);
+
+  // Resume: picks up the checkpoint, runs only the remaining chunks, and
+  // lands on the same final result as the uninterrupted campaign.
+  auto resume_opts = opts;
+  resume_opts.with_checkpoint(path, 8);
+  const auto resumed = run_campaign(design, resume_opts);
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.resumed_injections, partial.injections);
+  expect_same_result(uninterrupted, resumed);
+  EXPECT_EQ(uninterrupted.pruned, resumed.pruned);
+
+  // A checkpoint from different options must be ignored, not resumed.
+  auto mismatched = opts;
+  mismatched.with_sample(2000, 77).with_checkpoint(path);
+  const auto fresh = run_campaign(design, mismatched);
+  EXPECT_EQ(fresh.resumed_injections, 0u);
+  EXPECT_EQ(fresh.injections, 2000u);
+
+  std::remove(path.c_str());
+}

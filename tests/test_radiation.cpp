@@ -36,7 +36,7 @@ class BeamFixture : public ::testing::Test {
     CampaignOptions copts;  // exhaustive, to get the complete sensitive set
     copts.injection.classify_persistence = false;
     predicted_ = new std::unordered_set<u64>(
-        Workbench::sensitive_set(*design_, run_campaign(*design_, copts)));
+        run_campaign(*design_, copts).sensitive_set(*design_));
   }
   static void TearDownTestSuite() {
     delete design_;

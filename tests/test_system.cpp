@@ -13,7 +13,7 @@ class PayloadFixture : public ::testing::Test {
     CampaignOptions copts;
     copts.sample_bits = 4000;
     campaign_ = std::make_unique<CampaignResult>(run_campaign(*design_, copts));
-    sensitive_ = Workbench::sensitive_set(*design_, *campaign_);
+    sensitive_ = campaign_->sensitive_set(*design_);
   }
   std::unique_ptr<PlacedDesign> design_;
   std::unique_ptr<CampaignResult> campaign_;

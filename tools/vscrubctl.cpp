@@ -1,7 +1,9 @@
 // vscrubctl — command-line driver for the vscrub library.
 //
 //   vscrubctl compile <design> [--device NAME] [--raddrc] [--tmr] [-o FILE]
-//   vscrubctl campaign <design> [--sample N] [--persistence]
+//   vscrubctl campaign <design> [--sample N | --exhaustive] [--persistence]
+//                      [--threads N] [--chunk N] [--checkpoint FILE]
+//                      [--progress] [--no-prune]
 //   vscrubctl beam <design> [--observations N]
 //   vscrubctl mission [--hours H] [--flare]
 //   vscrubctl bist
@@ -101,13 +103,41 @@ int cmd_campaign(const Args& args) {
   VSCRUB_CHECK(!args.positional.empty(), "campaign needs a design name");
   Workbench bench(make_device(args.option("--device", "campaign")));
   const auto design = bench.compile(make_design(args.positional[0]));
-  CampaignOptions options;
-  options.sample_bits =
-      std::strtoull(args.option("--sample", "20000").c_str(), nullptr, 10);
-  options.injection.classify_persistence = args.flag("--persistence");
+  CampaignOptions options =
+      CampaignOptions{}
+          .with_injection(InjectionOptions{}
+                              .with_persistence(args.flag("--persistence"))
+                              .with_pruning(!args.flag("--no-prune")))
+          .with_threads(static_cast<unsigned>(
+              std::strtoul(args.option("--threads", "0").c_str(), nullptr, 10)))
+          .with_chunk_size(
+              std::strtoull(args.option("--chunk", "0").c_str(), nullptr, 10));
+  if (args.flag("--exhaustive")) {
+    options.with_exhaustive();
+  } else {
+    options.with_sample(
+        std::strtoull(args.option("--sample", "20000").c_str(), nullptr, 10));
+  }
+  const std::string checkpoint = args.option("--checkpoint", "");
+  if (!checkpoint.empty()) options.with_checkpoint(checkpoint);
+  if (args.flag("--progress")) {
+    options.with_progress([](const CampaignProgress& p) {
+      std::fprintf(stderr,
+                   "\r%llu/%llu bits  %llu failures  %.0f bits/s  "
+                   "ETA %.0f s   ",
+                   static_cast<unsigned long long>(p.injections_done),
+                   static_cast<unsigned long long>(p.injections_total),
+                   static_cast<unsigned long long>(p.failures), p.bits_per_s,
+                   p.eta_s);
+      return true;
+    });
+  }
   const auto r = bench.campaign(design, options);
-  std::printf("%llu injections, %llu failures\n",
+  if (args.flag("--progress")) std::fprintf(stderr, "\n");
+  std::printf("%llu injections (%llu resumed, %llu pruned), %llu failures\n",
               static_cast<unsigned long long>(r.injections),
+              static_cast<unsigned long long>(r.resumed_injections),
+              static_cast<unsigned long long>(r.pruned),
               static_cast<unsigned long long>(r.failures));
   std::printf("sensitivity %.3f%%  normalized %.2f%%\n", r.sensitivity() * 100,
               r.normalized_sensitivity() * 100);
@@ -116,6 +146,11 @@ int cmd_campaign(const Args& args) {
   }
   std::printf("modeled SLAAC-1V time %.1f s, wall %.1f s\n",
               r.modeled_hardware_time.sec(), r.wall_seconds);
+  std::printf("phases: corrupt %.1f s, run %.1f s, repair %.1f s, "
+              "persistence %.1f s\n",
+              r.phases.corrupt_s, r.phases.run_s, r.phases.repair_s,
+              r.phases.persist_s);
+  if (r.interrupted) std::printf("campaign interrupted; checkpoint saved\n");
   return 0;
 }
 
@@ -130,7 +165,7 @@ int cmd_beam(const Args& args) {
   BeamSession session(design, {});
   const u64 n =
       std::strtoull(args.option("--observations", "1000").c_str(), nullptr, 10);
-  const auto r = session.run(n, Workbench::sensitive_set(design, camp),
+  const auto r = session.run(n, camp.sensitive_set(design),
                              camp.sampled_bits);
   std::printf("%llu observations, %llu upsets, %llu output errors\n",
               static_cast<unsigned long long>(r.observations),
@@ -154,7 +189,7 @@ int cmd_mission(const Args& args) {
   options.environment.upset_rate_per_bit_s *=
       static_cast<double>(kXcv1000PaperBits) /
       static_cast<double>(design.space->total_bits());
-  Payload payload(design, options, Workbench::sensitive_set(design, camp));
+  Payload payload(design, options, camp.sensitive_set(design));
   const double hours = std::atof(args.option("--hours", "24").c_str());
   const auto r = payload.run_mission(SimTime::hours(hours));
   std::printf("%.0f h mission (%s): %llu upsets, %llu detected, %llu "
@@ -211,7 +246,9 @@ int usage() {
       stderr,
       "usage: vscrubctl <command> [args]\n"
       "  compile <design> [--device D] [--raddrc] [--tmr] [-o FILE]\n"
-      "  campaign <design> [--sample N] [--persistence]\n"
+      "  campaign <design> [--sample N | --exhaustive] [--persistence]\n"
+      "           [--threads N] [--chunk N] [--checkpoint FILE] [--progress]\n"
+      "           [--no-prune]\n"
       "  beam <design> [--observations N]\n"
       "  mission [--hours H] [--flare]\n"
       "  bist [--device D]\n"
