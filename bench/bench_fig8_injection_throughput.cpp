@@ -35,18 +35,40 @@ void run_report() {
   std::printf("exhaustive campaign, modeled: %.1f minutes  (paper: ~20 min)\n",
               bits * iter_us / 60e6);
 
-  // Software wall-clock on the campaign device.
+  // Software wall-clock on the campaign device: the scalar loop against the
+  // 64-lane bit-sliced gang engine, same sampled workload.
   Workbench bench(campaign_device());
   const PlacedDesign design = bench.compile(designs::mult_tree(8));
-  CampaignOptions copts;
-  copts.sample_bits = 3000;
-  copts.record_sensitive_bits = false;
-  const CampaignResult camp = run_campaign(design, copts);
+  auto sampled = [&](u32 gang_width) {
+    CampaignOptions copts;
+    copts.sample_bits = 3000;
+    copts.record_sensitive_bits = false;
+    copts.injection.gang_width = gang_width;
+    return run_campaign(design, copts);
+  };
+  const CampaignResult scalar_camp = sampled(1);
+  const CampaignResult camp = sampled(64);
+  const double scalar_us_per_bit = scalar_camp.wall_seconds * 1e6 /
+                                   static_cast<double>(scalar_camp.injections);
   const double sw_us_per_bit =
       camp.wall_seconds * 1e6 / static_cast<double>(camp.injections);
+  const double early_exit_rate =
+      camp.phases.gang_runs > 0
+          ? static_cast<double>(camp.phases.gang_early_exits) /
+                static_cast<double>(camp.phases.gang_runs)
+          : 0.0;
+  const double lanes_per_run =
+      camp.phases.gang_runs > 0
+          ? static_cast<double>(camp.phases.gang_lanes) /
+                static_cast<double>(camp.phases.gang_runs)
+          : 0.0;
   rule();
-  std::printf("software fabric model: %.0f us per injected bit (measured)\n",
-              sw_us_per_bit);
+  std::printf("software fabric model, scalar loop: %.0f us per injected bit\n",
+              scalar_us_per_bit);
+  std::printf("software fabric model, gang engine: %.0f us per injected bit "
+              "(%.1fx; %.1f lanes/run, %.0f%% early exit)\n",
+              sw_us_per_bit, scalar_us_per_bit / sw_us_per_bit, lanes_per_run,
+              early_exit_rate * 100);
   std::printf("hardware-testbed speed-up implied: %.0fx per bit — and the\n"
               "paper's comparison point, gate-level software simulation of\n"
               "a V1000-scale design, is orders of magnitude slower still.\n",
@@ -54,6 +76,21 @@ void run_report() {
   std::printf("exhaustive XCV1000 campaign at software speed: %.1f hours vs "
               "%.1f minutes in hardware\n\n",
               bits * sw_us_per_bit / 3600e6, bits * iter_us / 60e6);
+
+  BenchJson json;
+  json.set("injections", static_cast<double>(camp.injections));
+  json.set("wall_s", camp.wall_seconds);
+  json.set("bits_per_s",
+           static_cast<double>(camp.injections) / camp.wall_seconds);
+  json.set("scalar_wall_s", scalar_camp.wall_seconds);
+  json.set("scalar_bits_per_s", static_cast<double>(scalar_camp.injections) /
+                                    scalar_camp.wall_seconds);
+  json.set("gang_speedup", scalar_camp.wall_seconds / camp.wall_seconds);
+  json.set("gang_runs", static_cast<double>(camp.phases.gang_runs));
+  json.set("gang_lanes_per_run", lanes_per_run);
+  json.set("gang_early_exit_rate", early_exit_rate);
+  json.set("gang_fallbacks", static_cast<double>(camp.phases.gang_fallbacks));
+  json.write(bench_json_path("BENCH_injection.json"));
 
   // Full exhaustive sweep of an XCV50-class part — the acceptance workload
   // for the incremental-repair + observability-pruning engine. Takes tens of
@@ -63,11 +100,16 @@ void run_report() {
       gate != nullptr && gate[0] == '1') {
     std::printf("exhaustive XCV50-class campaign (VSCRUB_E8_EXHAUSTIVE)\n");
     rule();
+    // VSCRUB_E8_GANG_WIDTH=1 runs the scalar baseline for comparison.
+    u32 xgang = 64;
+    if (const char* gw = std::getenv("VSCRUB_E8_GANG_WIDTH"); gw != nullptr) {
+      xgang = static_cast<u32>(std::strtoul(gw, nullptr, 10));
+    }
     Workbench xbench(device_xcv50ish());
     const PlacedDesign xdesign = xbench.compile(designs::mult_tree(8));
     const CampaignOptions xopts =
         CampaignOptions{}.with_exhaustive().with_injection(
-            InjectionOptions{}.with_persistence());
+            InjectionOptions{}.with_persistence().with_gang_width(xgang));
     const CampaignResult r = xbench.campaign(xdesign, xopts);
     // Order-independent digest of (bit, persistence) pairs: two engines
     // agree on results iff they agree on this hash.
@@ -85,11 +127,32 @@ void run_report() {
                 static_cast<unsigned long long>(r.pruned));
     std::printf("result hash %016llx\n", static_cast<unsigned long long>(h));
     std::printf("wall %.1f s (%.1f us per bit); phases: corrupt %.1f s, run "
-                "%.1f s, repair %.1f s, persistence %.1f s\n\n",
+                "%.1f s, repair %.1f s, persistence %.1f s\n",
                 r.wall_seconds,
                 r.wall_seconds * 1e6 / static_cast<double>(r.injections),
                 r.phases.corrupt_s, r.phases.run_s, r.phases.repair_s,
                 r.phases.persist_s);
+    if (r.phases.gang_runs > 0) {
+      std::printf("gang: %llu runs, %.1f lanes/run, %.1f%% early exit, %llu "
+                  "fallbacks\n",
+                  static_cast<unsigned long long>(r.phases.gang_runs),
+                  static_cast<double>(r.phases.gang_lanes) /
+                      static_cast<double>(r.phases.gang_runs),
+                  100.0 * static_cast<double>(r.phases.gang_early_exits) /
+                      static_cast<double>(r.phases.gang_runs),
+                  static_cast<unsigned long long>(r.phases.gang_fallbacks));
+    }
+    std::printf("\n");
+    BenchJson xjson;
+    xjson.set("gang_width", static_cast<double>(xgang));
+    xjson.set("injections", static_cast<double>(r.injections));
+    xjson.set("failures", static_cast<double>(r.failures));
+    xjson.set("persistent", static_cast<double>(r.persistent));
+    xjson.set("result_hash", static_cast<double>(h >> 12));  // 52-bit-safe
+    xjson.set("wall_s", r.wall_seconds);
+    xjson.set("bits_per_s",
+              static_cast<double>(r.injections) / r.wall_seconds);
+    xjson.write(bench_json_path("BENCH_injection_exhaustive.json"));
   }
 }
 

@@ -1,5 +1,7 @@
 #include "bench_util.h"
 
+#include <cstdlib>
+
 namespace vscrub::bench {
 
 void print_sensitivity_table(const char* title,
@@ -30,6 +32,42 @@ CampaignResult table_campaign(const PlacedDesign& design, u64 sample_bits,
   options.record_sensitive_bits = false;
   options.injection.classify_persistence = persistence;
   return run_campaign(design, options);
+}
+
+void BenchJson::set(const std::string& key, double value) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  fields_.emplace_back(key, value);
+}
+
+bool BenchJson::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    // %.17g round-trips doubles; integral metrics print without a point.
+    std::fprintf(f, "  \"%s\": %.17g%s\n", fields_[i].first.c_str(),
+                 fields_[i].second, i + 1 < fields_.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+std::string bench_json_path(const std::string& name) {
+  if (const char* dir = std::getenv("VSCRUB_BENCH_JSON_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    return std::string(dir) + "/" + name;
+  }
+  return name;
 }
 
 }  // namespace vscrub::bench

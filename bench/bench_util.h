@@ -68,4 +68,23 @@ inline void rule() {
               "────────────────────\n");
 }
 
+/// Machine-readable bench output: an ordered flat map of numeric metrics,
+/// written as a single JSON object. CI runs the bench binaries in Release and
+/// uploads these files as artifacts, so the performance trajectory is tracked
+/// per commit instead of living only in scrollback.
+class BenchJson {
+ public:
+  void set(const std::string& key, double value);
+  /// Writes `{"key": value, ...}` to `path` (overwrites). Returns false and
+  /// warns on stderr if the file cannot be written; benches keep going.
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, double>> fields_;
+};
+
+/// Resolves a bench's JSON output path: $VSCRUB_BENCH_JSON_DIR/<name> when the
+/// environment variable is set, plain <name> (cwd) otherwise.
+std::string bench_json_path(const std::string& name);
+
 }  // namespace vscrub::bench

@@ -212,22 +212,41 @@ CampaignResult run_campaign(const PlacedDesign& design,
     SimTime local_time;
     std::vector<CampaignResult::SensitiveBit> local_sensitive;
     std::unordered_map<u8, u64> local_by_field;
-    for (u64 i = begin; i < end; ++i) {
-      const BitAddress addr = space.address_of_linear(bits[i]);
-      const InjectionResult r = injector.inject(addr);
+    const auto consume = [&](const InjectionResult& r) {
       local_time += r.modeled_time;
       if (r.output_error) {
         ++local_failures;
         if (r.persistent) ++local_persistent;
         if (options.record_sensitive_bits) {
-          local_sensitive.push_back({addr, r.persistent, r.first_error_cycle,
+          local_sensitive.push_back({r.addr, r.persistent,
+                                     r.first_error_cycle,
                                      r.error_output_mask_lo});
         }
-        const auto ref = space.tile_ref_of(addr);
+        const auto ref = space.tile_ref_of(r.addr);
         if (ref.valid) {
           const auto& meaning = ConfigSpace::meaning_of_tile_bit(ref.tile_bit);
           ++local_by_field[static_cast<u8>(meaning.kind)];
         }
+      }
+    };
+    // Gang batching: collect this chunk's gang-eligible bits for one
+    // word-parallel run; everything else goes through the scalar loop. Both
+    // paths yield identical per-bit results, so the aggregation is
+    // order-independent (sensitive bits are sorted at the end anyway).
+    const bool use_gang = injector.gang_capable();
+    std::vector<BitAddress> gang_addrs;
+    if (use_gang) gang_addrs.reserve(end - begin);
+    for (u64 i = begin; i < end; ++i) {
+      const BitAddress addr = space.address_of_linear(bits[i]);
+      if (use_gang && injector.gang_eligible(addr)) {
+        gang_addrs.push_back(addr);
+        continue;
+      }
+      consume(injector.inject(addr));
+    }
+    if (!gang_addrs.empty()) {
+      for (const InjectionResult& r : injector.run_gang(gang_addrs)) {
+        consume(r);
       }
     }
     const InjectionPhases phase_delta = injector.phases();

@@ -8,7 +8,8 @@
 namespace vscrub {
 namespace {
 
-const std::string kMagic = "VSCK1";
+// VSCK2 added the gang-engine counters to the phase block.
+const std::string kMagic = "VSCK2";
 
 u64 fnv1a(u64 h, u64 v) {
   for (int i = 0; i < 8; ++i) {
@@ -32,6 +33,10 @@ void put_phases(RecordWriter& w, const InjectionPhases& p) {
   w.put_u64(std::bit_cast<u64>(p.repair_s));
   w.put_u64(std::bit_cast<u64>(p.persist_s));
   w.put_u64(p.pruned);
+  w.put_u64(p.gang_runs);
+  w.put_u64(p.gang_lanes);
+  w.put_u64(p.gang_early_exits);
+  w.put_u64(p.gang_fallbacks);
 }
 
 InjectionPhases get_phases(RecordReader& r) {
@@ -41,6 +46,10 @@ InjectionPhases get_phases(RecordReader& r) {
   p.repair_s = std::bit_cast<double>(r.get_u64());
   p.persist_s = std::bit_cast<double>(r.get_u64());
   p.pruned = r.get_u64();
+  p.gang_runs = r.get_u64();
+  p.gang_lanes = r.get_u64();
+  p.gang_early_exits = r.get_u64();
+  p.gang_fallbacks = r.get_u64();
   return p;
 }
 
@@ -73,6 +82,9 @@ u64 campaign_fingerprint(const PlacedDesign& design,
   h = fnv1a(h, inj.persistence_check);
   h = fnv1a(h, std::bit_cast<u64>(inj.clock_hz));
   h = fnv1a(h, static_cast<u64>(inj.prune_unobservable));
+  // gang_width is deliberately NOT hashed: gang evaluation is result-
+  // invariant (bit-for-bit identical to scalar at any width), so checkpoints
+  // written at one width resume correctly at any other.
   return h;
 }
 

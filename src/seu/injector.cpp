@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "sim/gang_sim.h"
+
 namespace vscrub {
 
 namespace {
@@ -46,6 +48,77 @@ SeuInjector::SeuInjector(const PlacedDesign& design,
   // hermetic-reset baseline every injection rolls back to.
   sim_.clear_dirty_frames();
   ff_baseline_ = sim_.ff_state_snapshot();
+}
+
+SeuInjector::~SeuInjector() = default;
+
+bool SeuInjector::gang_capable() const {
+  return options_.gang_width >= 2 && design_->brams.empty() &&
+         design_->dynamic_lut_sites.empty();
+}
+
+bool SeuInjector::gang_eligible(const BitAddress& addr) const {
+  if (addr.frame.kind != ColumnKind::kClb) return false;
+  // Pruned bits stay scalar: inject() short-circuits them (no clocked run at
+  // all), which is faster than any gang lane and keeps the pruned counter
+  // meaningful.
+  if (options_.prune_unobservable && !bit_observable(addr)) return false;
+  return true;
+}
+
+std::vector<InjectionResult> SeuInjector::run_gang(
+    const std::vector<BitAddress>& addrs) {
+  std::vector<InjectionResult> out;
+  out.reserve(addrs.size());
+  if (!gang_capable()) {
+    for (const BitAddress& addr : addrs) out.push_back(inject(addr));
+    return out;
+  }
+  if (!gang_) gang_ = std::make_unique<GangSim>(*design_);
+
+  GangSim::RunParams params;
+  params.warmup_cycles = options_.warmup_cycles;
+  params.observe_cycles = options_.observe_cycles;
+  params.classify_persistence = options_.classify_persistence;
+  params.persistence_settle = options_.persistence_settle;
+  params.persistence_check = options_.persistence_check;
+  params.stim_seed = options_.stim_seed;
+  params.golden = &golden_;
+
+  const std::size_t lanes_per_run =
+      std::min<std::size_t>(options_.gang_width - 1, GangSim::kMaxVariants);
+  std::vector<GangSim::LaneResult> lanes(lanes_per_run);
+  const SimTime per_bit = modeled_iteration_time();
+
+  for (std::size_t base = 0; base < addrs.size(); base += lanes_per_run) {
+    const std::size_t n = std::min(lanes_per_run, addrs.size() - base);
+    GangSim::RunStats stats;
+    {
+      PhaseTimer timer(phases_.run_s);
+      gang_->run(addrs.data() + base, n, params, lanes.data(), &stats);
+    }
+    ++phases_.gang_runs;
+    phases_.gang_lanes += n;
+    if (stats.early_exit) ++phases_.gang_early_exits;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lanes[i].fallback) {
+        ++phases_.gang_fallbacks;
+        out.push_back(inject(addrs[base + i]));
+        continue;
+      }
+      InjectionResult r;
+      r.addr = addrs[base + i];
+      r.output_error = lanes[i].output_error;
+      r.persistent = lanes[i].persistent;
+      r.first_error_cycle = lanes[i].first_error_cycle;
+      r.error_output_mask_lo = lanes[i].error_output_mask_lo;
+      // Modeled hardware time is per-bit: the real testbed runs the loop
+      // serially no matter how the host simulates it.
+      r.modeled_time = per_bit;
+      out.push_back(r);
+    }
+  }
+  return out;
 }
 
 void SeuInjector::snapshot_observability() {
@@ -199,6 +272,13 @@ void SeuInjector::hermetic_reset() {
     sim_.write_frame(fa, design_->bitstream.frame(fa));
   }
   sim_.clear_dirty_frames();
+  // Drop the input-drive overrides left by the last stepped cycle. Without
+  // this the next injection's corrupt-time settle starts from the previous
+  // run's final drive/comb fixpoint instead of the post-configure baseline —
+  // and for flips that create feedback paths (multiple fixpoints) the verdict
+  // depends on that starting state, breaking purity. restart() re-applies the
+  // external constants, exactly as the constructor-time baseline had them.
+  sim_.clear_drives();
   sim_.restore_ff_state(ff_baseline_);
   harness_.restart();
 }

@@ -4,6 +4,7 @@
 // reset, repeat.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -39,6 +40,13 @@ struct InjectionOptions {
   /// main host-side speedup on low-utilization devices. Disable to force
   /// every bit through the full corrupt/run/repair loop.
   bool prune_unobservable = true;
+  /// Bit-sliced gang evaluation: pack up to this many injection candidates
+  /// (including the golden reference lane) into one word-parallel simulation.
+  /// Results are bit-for-bit identical to the scalar loop regardless of
+  /// width; <= 1 disables ganging. Only designs without BRAM bindings or
+  /// legitimate dynamic LUT state are gang-capable; everything else falls
+  /// back to the scalar path automatically.
+  u32 gang_width = 64;
 
   // Fluent construction, so call sites can assemble options in one
   // expression instead of mutating an aggregate field-by-field.
@@ -58,6 +66,7 @@ struct InjectionOptions {
   InjectionOptions& with_clock_hz(double v) { clock_hz = v; return *this; }
   InjectionOptions& with_timing(const SelectMapTiming& t) { timing = t; return *this; }
   InjectionOptions& with_pruning(bool on) { prune_unobservable = on; return *this; }
+  InjectionOptions& with_gang_width(u32 w) { gang_width = w; return *this; }
 };
 
 /// Wall-clock telemetry accumulated across inject() calls; feeds the
@@ -68,6 +77,10 @@ struct InjectionPhases {
   double repair_s = 0.0;   ///< incremental scrub restore
   double persist_s = 0.0;  ///< persistence classification window
   u64 pruned = 0;  ///< injections short-circuited by observability pruning
+  u64 gang_runs = 0;           ///< gang evaluations dispatched
+  u64 gang_lanes = 0;          ///< candidate lanes across all gang runs
+  u64 gang_early_exits = 0;    ///< gang runs retired before their full window
+  u64 gang_fallbacks = 0;      ///< lanes re-run through the scalar path
 
   InjectionPhases& operator+=(const InjectionPhases& o) {
     corrupt_s += o.corrupt_s;
@@ -75,6 +88,10 @@ struct InjectionPhases {
     repair_s += o.repair_s;
     persist_s += o.persist_s;
     pruned += o.pruned;
+    gang_runs += o.gang_runs;
+    gang_lanes += o.gang_lanes;
+    gang_early_exits += o.gang_early_exits;
+    gang_fallbacks += o.gang_fallbacks;
     return *this;
   }
 };
@@ -90,13 +107,30 @@ struct InjectionResult {
 
 /// Drives injections against one fabric instance. Reusable across many bits;
 /// owns the fabric, harness and cached golden trace.
+class GangSim;
+
 class SeuInjector {
  public:
   SeuInjector(const PlacedDesign& design, const InjectionOptions& options);
+  ~SeuInjector();
 
   /// Full injection loop for one configuration bit (Fig. 8): corrupt ->
   /// observe -> log -> repair -> (persistence check) -> reset.
   InjectionResult inject(const BitAddress& addr);
+
+  /// Whether this design supports gang evaluation at all (no BRAM bindings,
+  /// no legitimate dynamic LUT state) with the current options.
+  bool gang_capable() const;
+  /// Whether `addr` may ride in a gang run. Bits the observability pruner
+  /// would skip stay on the scalar path (which short-circuits them), as do
+  /// BRAM-column bits.
+  bool gang_eligible(const BitAddress& addr) const;
+  /// Evaluates a batch of bits through the bit-sliced gang engine, up to
+  /// options().gang_width - 1 candidates per run. Verdicts are bit-for-bit
+  /// identical to per-bit inject() calls; lanes the engine cannot decide
+  /// exactly are transparently re-run through the scalar loop. results[i]
+  /// corresponds to addrs[i].
+  std::vector<InjectionResult> run_gang(const std::vector<BitAddress>& addrs);
 
   /// Modeled time for one loop iteration with no error found (the common
   /// case, which dominates campaign wall-clock on the real testbed).
@@ -137,6 +171,9 @@ class SeuInjector {
   // (live SRL/RAM16 contents, BRAM data written by the design's own ports);
   // hermetic_reset() reloads them before the next injection.
   std::vector<u32> residual_frames_;
+  // Lazily-constructed gang engine. Fully independent of sim_/harness_
+  // (it owns its own fabric), so scalar fallback re-runs are safe mid-batch.
+  std::unique_ptr<GangSim> gang_;
   InjectionPhases phases_;
 };
 

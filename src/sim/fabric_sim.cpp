@@ -8,18 +8,13 @@
 namespace vscrub {
 namespace {
 
-// Resolved-source encodings (precomputed from the decoded mux codes so the
-// eval loop never re-decodes).
-constexpr u32 kSrcKindShift = 30;
-constexpr u32 kSrcPayload = (1u << kSrcKindShift) - 1;
-enum : u32 {
-  kSrcHalfLatch = 0u << kSrcKindShift,
-  kSrcWire = 1u << kSrcKindShift,
-  kSrcOutput = 2u << kSrcKindShift,
-  kSrcZero = 3u << kSrcKindShift,
-};
-
-constexpr u32 kNoTile = 0xFFFFFFFFu;
+constexpr u32 kSrcKindShift = FabricSim::kSrcKindShift;
+constexpr u32 kSrcPayload = FabricSim::kSrcPayload;
+constexpr u32 kSrcHalfLatch = FabricSim::kSrcHalfLatch;
+constexpr u32 kSrcWire = FabricSim::kSrcWire;
+constexpr u32 kSrcOutput = FabricSim::kSrcOutput;
+constexpr u32 kSrcZero = FabricSim::kSrcZero;
+constexpr u32 kNoTile = FabricSim::kNoTile;
 
 }  // namespace
 
@@ -58,23 +53,7 @@ FabricSim::FabricSim(std::shared_ptr<const ConfigSpace> space,
 
 void FabricSim::decode_full_tile(TileCoord tc) {
   const u32 t = tidx(tc);
-  Tile& tl = tiles_[t];
-  for (int l = 0; l < kLutsPerClb; ++l) {
-    tl.lut_cells[l] = cfg_.lut_truth(tc, l);
-    tl.lut_mode[l] = cfg_.lut_mode(tc, l);
-  }
-  for (int f = 0; f < kFfsPerClb; ++f) {
-    tl.ff_init[f] = cfg_.ff_init(tc, f);
-    tl.ff_used[f] = cfg_.ff_used(tc, f);
-    tl.ff_byp[f] = cfg_.ff_dsrc_bypass(tc, f);
-  }
-  for (int s = 0; s < kSlicesPerClb; ++s) tl.clk_en[s] = cfg_.slice_clk_en(tc, s);
-  for (int p = 0; p < kImuxPins; ++p) tl.imux[p] = cfg_.imux_code(tc, p);
-  for (int d = 0; d < kDirs; ++d) {
-    for (int w = 0; w < kWiresPerDir; ++w) {
-      tl.omux[d * kWiresPerDir + w] = cfg_.omux_code(tc, static_cast<Dir>(d), w);
-    }
-  }
+  decode_tile_config(cfg_, tc, tiles_[t]);
   refresh_tile_activity(t);
   mark_dirty(t);
 }
@@ -230,6 +209,31 @@ void FabricSim::refresh_tile_activity(u32 t) {
       v = 0;
     }
     if (changed) {
+      for (int d = 0; d < kDirs; ++d) {
+        const u32 nb = neighbor_[static_cast<std::size_t>(t) * kDirs + static_cast<std::size_t>(d)];
+        if (nb != kNoTile) mark_dirty(nb);
+      }
+    }
+  } else {
+    // Re-sync registered outputs with FF state. If a corrupted decode ever
+    // made this tile inactive, the zeroing branch above cleared its
+    // registered outputs while ff_state_ kept the real values — and nothing
+    // rewrites a registered output until its FF next *changes* value, so on
+    // repair the desync would persist into later injections (observed as
+    // thread-count-dependent campaign results).
+    bool resynced = false;
+    for (int f = 0; f < kFfsPerClb; ++f) {
+      const std::size_t oi = static_cast<std::size_t>(t) * kClbOutputs +
+                             static_cast<std::size_t>((f / 2) * 4 + 2 + (f % 2));
+      const u8 v = ff_state_[static_cast<std::size_t>(t) * kFfsPerClb +
+                             static_cast<std::size_t>(f)];
+      if (out_val_[oi] != v) {
+        out_val_[oi] = v;
+        resynced = true;
+      }
+    }
+    if (resynced) {
+      mark_dirty(t);
       for (int d = 0; d < kDirs; ++d) {
         const u32 nb = neighbor_[static_cast<std::size_t>(t) * kDirs + static_cast<std::size_t>(d)];
         if (nb != kNoTile) mark_dirty(nb);
@@ -403,67 +407,7 @@ void FabricSim::write_frame(const FrameAddress& fa, const BitVector& data) {
       const int tb = ConfigSpace::tile_bit_at(fa.frame, slot);
       if (tb < 0) continue;
       const bool v = data.get(base + slot);
-      const BitMeaning& m = ConfigSpace::meaning_of_tile_bit(static_cast<u16>(tb));
-      switch (m.kind) {
-        case FieldKind::kLutTruth: {
-          // Live cell write: this is where partial reconfiguration clobbers
-          // shifting SRL16 contents (the RMW problem).
-          const u16 mask = static_cast<u16>(1u << m.bit);
-          const u16 cell = tl.lut_cells[m.unit];
-          const u16 nxt = v ? static_cast<u16>(cell | mask)
-                            : static_cast<u16>(cell & ~mask);
-          if (nxt != cell) {
-            tl.lut_cells[m.unit] = nxt;
-            changed = true;
-          }
-          break;
-        }
-        case FieldKind::kLutMode: {
-          u8 code = static_cast<u8>(tl.lut_mode[m.unit]);
-          code = static_cast<u8>((code & ~(1u << m.bit)) |
-                                 (static_cast<u8>(v) << m.bit));
-          const LutMode mode = code == 3 ? LutMode::kLut : static_cast<LutMode>(code);
-          if (mode != tl.lut_mode[m.unit]) {
-            tl.lut_mode[m.unit] = mode;
-            changed = true;
-          }
-          break;
-        }
-        case FieldKind::kFfInit:
-          changed |= tl.ff_init[m.unit] != v;
-          tl.ff_init[m.unit] = v;
-          break;
-        case FieldKind::kFfUsed:
-          changed |= tl.ff_used[m.unit] != v;
-          tl.ff_used[m.unit] = v;
-          break;
-        case FieldKind::kFfDSrc:
-          changed |= tl.ff_byp[m.unit] != v;
-          tl.ff_byp[m.unit] = v;
-          break;
-        case FieldKind::kSliceClkEn:
-          changed |= tl.clk_en[m.unit] != v;
-          tl.clk_en[m.unit] = v;
-          break;
-        case FieldKind::kImux: {
-          u8 code = tl.imux[m.unit];
-          code = static_cast<u8>((code & ~(1u << m.bit)) |
-                                 (static_cast<u8>(v) << m.bit));
-          changed |= code != tl.imux[m.unit];
-          tl.imux[m.unit] = code;
-          break;
-        }
-        case FieldKind::kOmux: {
-          u8 code = tl.omux[m.unit];
-          code = static_cast<u8>((code & ~(1u << m.bit)) |
-                                 (static_cast<u8>(v) << m.bit));
-          changed |= code != tl.omux[m.unit];
-          tl.omux[m.unit] = code;
-          break;
-        }
-        case FieldKind::kPad:
-          break;
-      }
+      changed |= apply_tile_bit(tl, static_cast<u16>(tb), v);
     }
     if (changed) {
       refresh_tile_activity(t);
@@ -652,14 +596,10 @@ void FabricSim::eval() {
       }
       break;
     }
-    if (head == dirty_queue_.size()) break;
-    // Compact occasionally so the vector does not grow without bound.
-    if (head > 4096 && head * 2 > dirty_queue_.size()) {
-      dirty_queue_.erase(dirty_queue_.begin(),
-                         dirty_queue_.begin() + static_cast<std::ptrdiff_t>(head));
-      head = 0;
-    }
   }
+  // Head-index reset: the processed prefix is reclaimed wholesale here, so
+  // the loop never pays an O(n) erase-compaction; the eval bound above
+  // already caps how large the queue can grow within one sweep.
   dirty_queue_.clear();
 }
 
@@ -668,16 +608,7 @@ void FabricSim::eval() {
 void FabricSim::rebuild_seq_list() {
   seq_tiles_.clear();
   for (u32 t = 0; t < tiles_.size(); ++t) {
-    const Tile& tl = tiles_[t];
-    bool seq = false;
-    for (int s = 0; s < kSlicesPerClb && !seq; ++s) {
-      if (!tl.clk_en[s]) continue;
-      for (int i = 0; i < kLutsPerSlice && !seq; ++i) {
-        const int site = s * kLutsPerSlice + i;
-        seq = tl.ff_used[site] || tl.lut_mode[site] != LutMode::kLut;
-      }
-    }
-    if (seq) seq_tiles_.push_back(t);
+    if (tile_is_sequential(tiles_[t])) seq_tiles_.push_back(t);
   }
   seq_list_stale_ = false;
 }

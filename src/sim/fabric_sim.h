@@ -24,6 +24,7 @@
 
 #include "bitstream/bitstream.h"
 #include "common/rng.h"
+#include "sim/tile_decode.h"
 
 namespace vscrub {
 
@@ -49,6 +50,34 @@ struct ArchVariants {
 
 class FabricSim {
  public:
+  // Resolved-source encodings (precomputed from the decoded mux codes so the
+  // eval loop never re-decodes). Shared with GangSim, whose word-parallel
+  // state arrays use the same payload indexing.
+  static constexpr u32 kSrcKindShift = 30;
+  static constexpr u32 kSrcPayload = (1u << kSrcKindShift) - 1;
+  enum : u32 {
+    kSrcHalfLatch = 0u << kSrcKindShift,
+    kSrcWire = 1u << kSrcKindShift,
+    kSrcOutput = 2u << kSrcKindShift,
+    kSrcZero = 3u << kSrcKindShift,
+  };
+  static constexpr u32 kNoTile = 0xFFFFFFFFu;
+
+  /// One tile's decoded configuration plus the derived acceleration caches
+  /// refresh_tile_activity() maintains. Exposed (read-only) so GangSim can
+  /// run variant lanes with exactly the structures the scalar engine decoded.
+  struct Tile : TileConfig {
+    std::vector<u8> driven_wires;    ///< wire indices with omux code != 0
+    std::vector<u8> connected_pins;  ///< pins with non-half-latch imux codes
+    bool active = false;
+    bool has_local_feedback = false;  ///< any pin reads an own CLB output
+    u8 active_lut_mask = 0;  ///< LUTs that can ever output nonzero
+    u8 override_mask = 0;  ///< CLB outputs overridden by the harness
+    u8 override_vals = 0;
+    u8 lut_base_idx[kLutsPerClb];  ///< index bits from half-latch-fed pins
+    u8 lut_dyn_mask[kLutsPerClb];  ///< pins needing dynamic resolution
+  };
+
   explicit FabricSim(std::shared_ptr<const ConfigSpace> space,
                      const ArchVariants& variants = {});
 
@@ -170,9 +199,26 @@ class FabricSim {
   /// observability pruning builds on exactly this property.
   bool tile_active(TileCoord t) const { return tiles_[tidx(t)].active; }
 
- private:
-  struct Tile;
+  // ---- Gang-engine introspection ---------------------------------------------
+  // Read-only views of the decoded tiles, resolved sources and value arrays.
+  // GangSim mirrors FabricSim's evaluation word-parallel over these exact
+  // structures, so they are exposed rather than re-derived.
+  const Tile& tile_state(u32 tile) const { return tiles_[tile]; }
+  u32 pin_source(u32 tile, u8 pin) const {
+    return pin_src_[static_cast<std::size_t>(tile) * kImuxPins + pin];
+  }
+  u32 wire_source(u32 tile, u8 wire) const {
+    return wire_src_[static_cast<std::size_t>(tile) * kWiresPerClb + wire];
+  }
+  u32 neighbor_index(u32 tile, int dir) const {
+    return neighbor_[static_cast<std::size_t>(tile) * kDirs +
+                     static_cast<std::size_t>(dir)];
+  }
+  const std::vector<u8>& wire_values() const { return wire_val_; }
+  const std::vector<u8>& out_values() const { return out_val_; }
+  const std::vector<u8>& halflatch_values() const { return halflatch_; }
 
+ private:
   u32 tidx(TileCoord t) const { return space_->geometry().tile_index(t); }
   BitVector assemble_frame(const FrameAddress& fa) const;
   void decode_full_tile(TileCoord t);
@@ -187,27 +233,6 @@ class FabricSim {
   std::shared_ptr<const ConfigSpace> space_;
   ArchVariants variants_;
   Bitstream cfg_;  ///< live configuration memory (non-LUT bits authoritative)
-
-  struct Tile {
-    u16 lut_cells[kLutsPerClb];  ///< live LUT SRAM contents (authoritative)
-    LutMode lut_mode[kLutsPerClb];
-    u8 imux[kImuxPins];
-    u8 omux[kWiresPerClb];
-    bool ff_init[kFfsPerClb];
-    bool ff_used[kFfsPerClb];
-    bool ff_byp[kFfsPerClb];
-    bool clk_en[kSlicesPerClb];
-    // Decoded activity acceleration.
-    std::vector<u8> driven_wires;    ///< wire indices with omux code != 0
-    std::vector<u8> connected_pins;  ///< pins with non-half-latch imux codes
-    bool active = false;
-    bool has_local_feedback = false;  ///< any pin reads an own CLB output
-    u8 active_lut_mask = 0;  ///< LUTs that can ever output nonzero
-    u8 override_mask = 0;  ///< CLB outputs overridden by the harness
-    u8 override_vals = 0;
-    u8 lut_base_idx[kLutsPerClb];  ///< index bits from half-latch-fed pins
-    u8 lut_dyn_mask[kLutsPerClb];  ///< pins needing dynamic resolution
-  };
 
   std::vector<Tile> tiles_;
   std::vector<u8> wire_val_;    // [tile*96 + dir*24 + w]

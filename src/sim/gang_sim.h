@@ -1,0 +1,176 @@
+// GangSim: the bit-sliced gang evaluator. Packs up to 63 injection
+// candidates plus one golden reference into a single simulation by widening
+// every wire/output/FF value to a u64 word whose bit *i* carries lane *i*'s
+// logic value (lane 0 is reserved for the uncorrupted golden design).
+//
+// The engine reuses FabricSim's decoded tile structures, resolved-source
+// encodings, dirty-queue event sweep and settle semantics — the word-level
+// pass is, per lane, exactly the scalar pass — so gang results are
+// bit-for-bit identical to running SeuInjector::inject() per candidate.
+// Each lane's configuration delta is confined to one tile (a configuration
+// bit decodes into exactly one tile's field); that tile is re-evaluated
+// per-lane with the variant decode and its bits spliced back into the words,
+// while every other tile is evaluated once for all 64 lanes.
+//
+// Early exit: once a lane's configuration is repaired (the persistence
+// phase), its state is a pure function of state the golden lane also holds —
+// the cycle its divergence mask goes to zero with no pending FF delta it can
+// never diverge again, so the lane retires with a non-persistent verdict.
+// Lanes whose evaluation the engine cannot reproduce exactly (a corrupted
+// decode oscillating past the eval bound) come back flagged `fallback` and
+// must be re-run through the scalar path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "pnr/placed_design.h"
+#include "sim/fabric_sim.h"
+#include "sim/harness.h"
+
+namespace vscrub {
+
+class GangSim {
+ public:
+  /// Word width: 63 candidate lanes + the golden lane in bit 0.
+  static constexpr int kMaxLanes = 64;
+  static constexpr int kMaxVariants = kMaxLanes - 1;
+
+  /// Verdict for one candidate lane; field meanings match InjectionResult.
+  struct LaneResult {
+    bool fallback = false;  ///< verdict unavailable: re-run the scalar path
+    bool output_error = false;
+    bool persistent = false;
+    u32 first_error_cycle = 0;
+    u64 error_output_mask_lo = 0;
+  };
+
+  /// Run schedule; mirrors the InjectionOptions fields the scalar loop uses.
+  struct RunParams {
+    u32 warmup_cycles = 0;
+    u32 observe_cycles = 0;
+    bool classify_persistence = false;
+    u32 persistence_settle = 0;
+    u32 persistence_check = 0;
+    u64 stim_seed = 7;
+    /// Reference output trace (from the netlist simulator). The golden lane
+    /// self-checks against it every compared cycle; a mismatch aborts the
+    /// run with every undecided lane flagged fallback.
+    const std::vector<OutputWord>* golden = nullptr;
+  };
+
+  struct RunStats {
+    u64 cycles_run = 0;
+    u64 cycles_full = 0;  ///< cycles the run would take with no early exit
+    bool early_exit = false;
+  };
+
+  /// Requires a gang-capable design: no BRAM bindings and no legitimate
+  /// dynamic LUT state (flips may still *create* SRL16/RAM16 sites — those
+  /// are modeled per-lane).
+  explicit GangSim(const PlacedDesign& design);
+
+  /// Evaluates `count` (<= kMaxVariants) candidate bit flips against one
+  /// shared stimulus stream; results[i] is the verdict for addrs[i].
+  void run(const BitAddress* addrs, std::size_t count, const RunParams& p,
+           LaneResult* results, RunStats* stats);
+
+ private:
+  struct Variant {
+    int lane = 0;
+    u32 tile = 0;
+    FabricSim::Tile cfg;  ///< corrupted decode, incl. derived caches
+    std::array<u32, kImuxPins> pin_src;
+    std::array<u32, kWiresPerClb> wire_src;
+    bool seq = false;      ///< variant decode participates in clocking
+    bool repaired = false; ///< overlay dropped: lane follows golden structure
+    u16 pending_cells[kLutsPerClb] = {};  ///< sampled SRL16/RAM16 next state
+    u8 cells_pending = 0;
+    i32 next = -1;  ///< chain of variants sharing a tile
+  };
+
+  struct Pending {
+    u32 tile;
+    u8 ff;
+    u64 word;   ///< sampled next-state, one bit per lane
+    u64 wmask;  ///< lanes whose structure actually clocks this FF
+  };
+
+  u64 splat(u8 v) const { return v ? ~u64{0} : u64{0}; }
+  u64 resolve_word(u32 enc) const;
+  u8 lane_of(u32 enc, int lane) const {
+    return static_cast<u8>((resolve_word(enc) >> lane) & 1);
+  }
+  void mark_dirty(u32 t);
+  void mark_neighbors_dirty(u32 t);
+  bool install_variant(const BitAddress& addr, int lane);
+  void settle_lane_decode(u32 t, int lane, const FabricSim::Tile& cfg,
+                          const u32* wire_src);
+  void repair_lane(int lane);
+  void process_tile(u32 t);
+  void golden_pass(u32 t);
+  void variant_pass(Variant& v, u8* outs);
+  void update_div(u32 t);
+  u64 global_div();
+  void eval();
+  void clock_words();
+  void apply_inputs(Stimulus& stim);
+  void capture_taps();
+
+  const PlacedDesign* design_;
+  FabricSim golden_;       ///< pristine configured fabric: decode oracle and
+                           ///< word-baseline source (never clocked)
+  DesignHarness harness_;  ///< used once, to configure golden_
+  u32 ntiles_ = 0;
+  const std::vector<u8>* hl_ = nullptr;  ///< golden half-latch values
+
+  // Splatted baseline state, memcpy'd into the live words at run start.
+  std::vector<u64> base_out_w_, base_wire_w_, base_ff_w_;
+  std::vector<u64> out_w_, wire_w_, ff_w_;
+
+  // Harness overrides (identical across lanes, stored as splat words).
+  std::vector<u8> base_ovr_mask_, ovr_mask_;
+  std::vector<u64> base_ovr_w_, ovr_w_;
+  std::vector<u8> drive_mask_;  ///< static per-tile input-drive out mask
+
+  std::vector<u8> base_active_, gang_active_;
+  std::vector<u8> golden_seq_flag_;
+  std::vector<u32> golden_seq_;
+
+  std::vector<u8> dirty_flag_;
+  std::vector<u32> dirty_queue_;
+
+  std::vector<Variant> variants_;
+  std::vector<i32> tile_vhead_;
+  std::vector<u8> tile_has_var_;
+  std::vector<u32> variant_tiles_;
+
+  // Per-tile lane-divergence masks (lane bit set => that lane's state in
+  // this tile differs from the golden lane's).
+  std::vector<u64> tile_div_;
+  std::vector<u8> div_flag_;
+  std::vector<u32> div_tiles_;
+
+  std::vector<Pending> pending_;
+  std::vector<u32> pend_slot_;   // [tile*4+ff] -> pending index + 1
+  std::vector<u32> pend_epoch_;  // slot valid iff epoch matches
+  u32 clock_epoch_ = 0;
+
+  struct Drive {
+    u32 tile;
+    u8 out;
+  };
+  struct Tap {
+    u32 tile;
+    u8 pin;
+  };
+  std::vector<Drive> drives_;
+  std::vector<Tap> taps_;
+  std::vector<u8> input_bits_;
+  std::vector<u64> tap_w_;
+
+  bool eval_bound_hit_ = false;
+};
+
+}  // namespace vscrub

@@ -27,9 +27,11 @@ class Stimulus {
 
   void restart() { rng_ = Rng(seed_); }
 
-  /// Fills `bits` (resized to width) with this cycle's input vector.
+  /// Fills `bits` (resized to width) with this cycle's input vector. The
+  /// resize is conditional: callers reuse one buffer for millions of cycles,
+  /// and an unconditional resize() sat on the per-cycle hot path.
   void next(std::vector<u8>& bits) {
-    bits.resize(width_);
+    if (bits.size() != width_) bits.resize(width_);
     for (std::size_t i = 0; i < width_; ++i) {
       bits[i] = static_cast<u8>(rng_.next() & 1);
     }

@@ -1,0 +1,89 @@
+#include "sim/tile_decode.h"
+
+namespace vscrub {
+
+void decode_tile_config(const Bitstream& cfg, TileCoord tc, TileConfig& tl) {
+  for (int l = 0; l < kLutsPerClb; ++l) {
+    tl.lut_cells[l] = cfg.lut_truth(tc, l);
+    tl.lut_mode[l] = cfg.lut_mode(tc, l);
+  }
+  for (int f = 0; f < kFfsPerClb; ++f) {
+    tl.ff_init[f] = cfg.ff_init(tc, f);
+    tl.ff_used[f] = cfg.ff_used(tc, f);
+    tl.ff_byp[f] = cfg.ff_dsrc_bypass(tc, f);
+  }
+  for (int s = 0; s < kSlicesPerClb; ++s) tl.clk_en[s] = cfg.slice_clk_en(tc, s);
+  for (int p = 0; p < kImuxPins; ++p) tl.imux[p] = cfg.imux_code(tc, p);
+  for (int d = 0; d < kDirs; ++d) {
+    for (int w = 0; w < kWiresPerDir; ++w) {
+      tl.omux[d * kWiresPerDir + w] = cfg.omux_code(tc, static_cast<Dir>(d), w);
+    }
+  }
+}
+
+bool apply_tile_bit(TileConfig& tl, u16 tile_bit, bool v) {
+  const BitMeaning& m = ConfigSpace::meaning_of_tile_bit(tile_bit);
+  switch (m.kind) {
+    case FieldKind::kLutTruth: {
+      // Live cell write: this is where partial reconfiguration clobbers
+      // shifting SRL16 contents (the RMW problem).
+      const u16 mask = static_cast<u16>(1u << m.bit);
+      const u16 cell = tl.lut_cells[m.unit];
+      const u16 nxt =
+          v ? static_cast<u16>(cell | mask) : static_cast<u16>(cell & ~mask);
+      if (nxt == cell) return false;
+      tl.lut_cells[m.unit] = nxt;
+      return true;
+    }
+    case FieldKind::kLutMode: {
+      u8 code = static_cast<u8>(tl.lut_mode[m.unit]);
+      code = static_cast<u8>((code & ~(1u << m.bit)) |
+                             (static_cast<u8>(v) << m.bit));
+      const LutMode mode = code == 3 ? LutMode::kLut : static_cast<LutMode>(code);
+      if (mode == tl.lut_mode[m.unit]) return false;
+      tl.lut_mode[m.unit] = mode;
+      return true;
+    }
+    case FieldKind::kFfInit: {
+      const bool changed = tl.ff_init[m.unit] != v;
+      tl.ff_init[m.unit] = v;
+      return changed;
+    }
+    case FieldKind::kFfUsed: {
+      const bool changed = tl.ff_used[m.unit] != v;
+      tl.ff_used[m.unit] = v;
+      return changed;
+    }
+    case FieldKind::kFfDSrc: {
+      const bool changed = tl.ff_byp[m.unit] != v;
+      tl.ff_byp[m.unit] = v;
+      return changed;
+    }
+    case FieldKind::kSliceClkEn: {
+      const bool changed = tl.clk_en[m.unit] != v;
+      tl.clk_en[m.unit] = v;
+      return changed;
+    }
+    case FieldKind::kImux: {
+      u8 code = tl.imux[m.unit];
+      code = static_cast<u8>((code & ~(1u << m.bit)) |
+                             (static_cast<u8>(v) << m.bit));
+      const bool changed = code != tl.imux[m.unit];
+      tl.imux[m.unit] = code;
+      return changed;
+    }
+    case FieldKind::kOmux: {
+      u8 code = tl.omux[m.unit];
+      code = static_cast<u8>((code & ~(1u << m.bit)) |
+                             (static_cast<u8>(v) << m.bit));
+      const bool changed = code != tl.omux[m.unit];
+      tl.omux[m.unit] = code;
+      return changed;
+    }
+    case FieldKind::kPad:
+      break;
+  }
+  return false;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,49 @@
+// Shared tile-level configuration decode. FabricSim and GangSim must agree
+// *exactly* on how raw configuration bits decode into tile behaviour — any
+// drift between the two engines breaks the gang/scalar equivalence the
+// campaign depends on — so the decode lives here, once, and both engines
+// call it.
+#pragma once
+
+#include "bitstream/bitstream.h"
+#include "fabric/config_space.h"
+
+namespace vscrub {
+
+/// The decoded configuration of one CLB tile: everything behaviour-relevant
+/// that the tile's 768 configuration bits encode. `lut_cells` doubles as the
+/// live LUT SRAM in the simulators (SRL16/RAM16 contents shift at runtime).
+struct TileConfig {
+  u16 lut_cells[kLutsPerClb];
+  LutMode lut_mode[kLutsPerClb];
+  u8 imux[kImuxPins];
+  u8 omux[kWiresPerClb];
+  bool ff_init[kFfsPerClb];
+  bool ff_used[kFfsPerClb];
+  bool ff_byp[kFfsPerClb];
+  bool clk_en[kSlicesPerClb];
+};
+
+/// Decodes every field of `tc`'s tile from the configuration image.
+void decode_tile_config(const Bitstream& cfg, TileCoord tc, TileConfig& out);
+
+/// Applies one tile-local configuration-bit change (tile_bit 0..767 set to
+/// `value`) to an already-decoded TileConfig. Returns true when the decoded
+/// behaviour changed (a padding bit, or a LutMode code aliasing to the same
+/// mode, changes nothing).
+bool apply_tile_bit(TileConfig& tl, u16 tile_bit, bool value);
+
+/// Whether the tile participates in clocking: any slice with its clock
+/// enabled that holds a used FF or a dynamic (SRL16/RAM16) LUT site.
+inline bool tile_is_sequential(const TileConfig& tl) {
+  for (int s = 0; s < kSlicesPerClb; ++s) {
+    if (!tl.clk_en[s]) continue;
+    for (int i = 0; i < kLutsPerSlice; ++i) {
+      const int site = s * kLutsPerSlice + i;
+      if (tl.ff_used[site] || tl.lut_mode[site] != LutMode::kLut) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vscrub

@@ -101,6 +101,49 @@ TEST(CampaignDeterminism, PruningMatchesUnprunedWithDynamicLutState) {
   expect_same_result(pruned, full);
 }
 
+TEST(CampaignDeterminism, GangWidthInvarianceExhaustive) {
+  // The bit-sliced gang engine promises results bit-for-bit identical to the
+  // scalar loop at every lane width and thread count: sensitivity set,
+  // persistence classification, first-error cycles, output masks, modeled
+  // hardware time — everything expect_same_result checks.
+  const auto design = compile(designs::counter_adder(4), device_tiny(4, 6));
+  CampaignOptions base =
+      CampaignOptions{}.with_exhaustive().with_chunk_size(128);
+  auto with_gang = [&](u32 width, u32 threads) {
+    CampaignOptions o = base;
+    return run_campaign(
+        design, o.with_threads(threads)
+                    .with_injection(InjectionOptions{}
+                                        .with_persistence()
+                                        .with_gang_width(width)));
+  };
+  const auto scalar = with_gang(1u, 1u);  // gang disabled: the reference
+  EXPECT_GT(scalar.failures, 0u);
+  for (const u32 width : {8u, 64u}) {
+    for (const u32 threads : {1u, 4u}) {
+      const auto ganged = with_gang(width, threads);
+      SCOPED_TRACE("gang_width=" + std::to_string(width) +
+                   " threads=" + std::to_string(threads));
+      expect_same_result(scalar, ganged);
+      EXPECT_EQ(scalar.pruned, ganged.pruned);
+    }
+  }
+}
+
+TEST(CampaignDeterminism, GangMatchesScalarWithPruningOff) {
+  // Prune-off forces every CLB bit through a clocked run, so the gang engine
+  // carries the entire load (no scalar short-circuits to hide behind).
+  const auto design = compile(designs::counter_adder(4), device_tiny(4, 6));
+  CampaignOptions opts = CampaignOptions{}.with_exhaustive().with_threads(4);
+  const auto scalar = run_campaign(
+      design, opts.with_injection(
+                  InjectionOptions{}.with_pruning(false).with_gang_width(1)));
+  const auto ganged = run_campaign(
+      design, opts.with_injection(
+                  InjectionOptions{}.with_pruning(false).with_gang_width(64)));
+  expect_same_result(scalar, ganged);
+}
+
 TEST(CampaignDeterminism, CheckpointResumeRoundTrip) {
   const auto design = compile(designs::counter_adder(4), device_tiny(4, 6));
   const std::string path =

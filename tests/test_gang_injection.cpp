@@ -1,0 +1,154 @@
+// Bit-sliced gang injection engine (GangSim): per-bit equivalence with the
+// scalar inject() loop, early-exit soundness on reconvergent logic cones,
+// eligibility rules, and the deprecated-API compile check riding this PR.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/vscrub.h"
+
+using namespace vscrub;
+
+namespace {
+
+/// Every field a single injection promises to reproduce.
+void expect_same_verdict(const InjectionResult& scalar,
+                         const InjectionResult& gang, std::size_t i) {
+  EXPECT_EQ(scalar.addr, gang.addr) << "bit " << i;
+  EXPECT_EQ(scalar.output_error, gang.output_error) << "bit " << i;
+  EXPECT_EQ(scalar.persistent, gang.persistent) << "bit " << i;
+  EXPECT_EQ(scalar.first_error_cycle, gang.first_error_cycle) << "bit " << i;
+  EXPECT_EQ(scalar.error_output_mask_lo, gang.error_output_mask_lo)
+      << "bit " << i;
+  EXPECT_EQ(scalar.modeled_time.ps(), gang.modeled_time.ps()) << "bit " << i;
+}
+
+std::vector<BitAddress> eligible_bits(const SeuInjector& injector,
+                                      const PlacedDesign& design,
+                                      u64 stride = 1) {
+  std::vector<BitAddress> addrs;
+  const u64 total = design.space->total_bits();
+  for (u64 i = 0; i < total; i += stride) {
+    const BitAddress addr = design.space->address_of_linear(i);
+    if (injector.gang_eligible(addr)) addrs.push_back(addr);
+  }
+  return addrs;
+}
+
+}  // namespace
+
+TEST(GangInjection, MatchesScalarPerBitExhaustive) {
+  // Every gang-eligible bit of a small sequential design, verdicts compared
+  // field-by-field against the scalar loop (persistence included).
+  const auto design = compile(designs::counter_adder(4), device_tiny(4, 6));
+  const InjectionOptions opts = InjectionOptions{}.with_persistence();
+
+  SeuInjector gang(design, InjectionOptions(opts).with_gang_width(64));
+  SeuInjector scalar(design, InjectionOptions(opts).with_gang_width(1));
+  ASSERT_TRUE(gang.gang_capable());
+  EXPECT_FALSE(scalar.gang_capable());
+
+  const auto addrs = eligible_bits(gang, design);
+  ASSERT_GT(addrs.size(), 64u);  // spans several gang runs
+
+  const auto results = gang.run_gang(addrs);
+  ASSERT_EQ(results.size(), addrs.size());
+  u64 errors = 0;
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    expect_same_verdict(scalar.inject(addrs[i]), results[i], i);
+    errors += results[i].output_error;
+  }
+  EXPECT_GT(errors, 0u);
+  EXPECT_GT(gang.phases().gang_runs, 1u);
+  EXPECT_EQ(gang.phases().gang_lanes, addrs.size());
+}
+
+TEST(GangInjection, EarlyExitMatchesFullScalarOnReconvergentCones) {
+  // mult_tree's multiply-add tree reconverges many partial products into one
+  // accumulator: corrupted lanes whose divergence dies out are retired early
+  // by the golden-divergence rule, and their verdicts (including persistence,
+  // which the early exit skips simulating) must equal the full-length run.
+  const auto design = compile(designs::mult_tree(4), device_tiny(8, 12));
+  const InjectionOptions opts =
+      InjectionOptions{}.with_persistence().with_observe_cycles(96);
+
+  SeuInjector gang(design, InjectionOptions(opts).with_gang_width(64));
+  SeuInjector scalar(design, InjectionOptions(opts).with_gang_width(1));
+  ASSERT_TRUE(gang.gang_capable());
+
+  // Stride the space to keep per-bit scalar reruns affordable; the stride is
+  // coprime with the lane width so batches mix tiles and frames.
+  const auto addrs = eligible_bits(gang, design, 13);
+  ASSERT_GT(addrs.size(), 128u);
+
+  const auto results = gang.run_gang(addrs);
+  ASSERT_EQ(results.size(), addrs.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    expect_same_verdict(scalar.inject(addrs[i]), results[i], i);
+  }
+  // The point of the test: early exits actually happened, and they happened
+  // on runs whose verdicts just matched the full-length scalar loop.
+  EXPECT_GT(gang.phases().gang_early_exits, 0u);
+}
+
+TEST(GangInjection, WidthOneAndBramDesignsFallBackToScalar) {
+  // gang_width <= 1 disables ganging; run_gang() must still answer, via the
+  // scalar loop.
+  const auto design = compile(designs::counter_adder(4), device_tiny(4, 6));
+  SeuInjector inj(design, InjectionOptions{}.with_gang_width(1));
+  EXPECT_FALSE(inj.gang_capable());
+  const std::vector<BitAddress> addrs = {design.space->address_of_linear(0)};
+  const auto results = inj.run_gang(addrs);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].addr, addrs[0]);
+  EXPECT_EQ(inj.phases().gang_runs, 0u);
+
+  // Designs holding live SRL16 delay lines are not gang-capable: corrupting
+  // a frame clobbers shifting cell contents mid-run, which the gang engine's
+  // shared golden lane cannot represent.
+  const auto fir = compile(designs::fir_preproc(2), device_tiny(8, 12));
+  ASSERT_FALSE(fir.dynamic_lut_sites.empty());
+  SeuInjector fir_inj(fir, InjectionOptions{}.with_gang_width(64));
+  EXPECT_FALSE(fir_inj.gang_capable());
+}
+
+TEST(GangInjection, PrunedBitsAreNotGangEligible) {
+  // Observability-pruned bits stay on the scalar path, which short-circuits
+  // them without a clocked run; padding slots and idle-region bits must not
+  // occupy gang lanes.
+  const auto design = compile(designs::counter_adder(4), device_tiny(4, 6));
+  SeuInjector inj(design, InjectionOptions{});
+  const u64 total = design.space->total_bits();
+  u64 eligible = 0, skipped = 0;
+  for (u64 i = 0; i < total; ++i) {
+    const BitAddress addr = design.space->address_of_linear(i);
+    if (inj.gang_eligible(addr)) {
+      ++eligible;
+      EXPECT_TRUE(inj.bit_observable(addr));
+    } else {
+      ++skipped;
+    }
+  }
+  EXPECT_GT(eligible, 0u);
+  EXPECT_GT(skipped, 0u);  // device_tiny(4, 6) has idle regions
+}
+
+TEST(GangInjection, DeprecatedSensitiveSetForwarderStillCompiles) {
+  // Workbench::sensitive_set(design, result) is [[deprecated]] in favor of
+  // CampaignResult::sensitive_set(design); this pins the forwarder's behavior
+  // until its scheduled deletion.
+  Workbench bench(device_tiny(4, 6));
+  const auto design = bench.compile(designs::counter_adder(4));
+  const auto result =
+      bench.campaign(design, CampaignOptions{}.with_sample(400, 11));
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const auto via_static = Workbench::sensitive_set(design, result);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  EXPECT_EQ(via_static, result.sensitive_set(design));
+}

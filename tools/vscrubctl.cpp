@@ -3,7 +3,7 @@
 //   vscrubctl compile <design> [--device NAME] [--raddrc] [--tmr] [-o FILE]
 //   vscrubctl campaign <design> [--sample N | --exhaustive] [--persistence]
 //                      [--threads N] [--chunk N] [--checkpoint FILE]
-//                      [--progress] [--no-prune]
+//                      [--progress] [--no-prune] [--gang-width N] [--no-gang]
 //   vscrubctl beam <design> [--observations N]
 //   vscrubctl mission [--hours H] [--flare]
 //   vscrubctl bist
@@ -103,11 +103,19 @@ int cmd_campaign(const Args& args) {
   VSCRUB_CHECK(!args.positional.empty(), "campaign needs a design name");
   Workbench bench(make_device(args.option("--device", "campaign")));
   const auto design = bench.compile(make_design(args.positional[0]));
+  // --no-gang forces every injection down the scalar path (gang width 1);
+  // --gang-width caps the lanes packed per bit-sliced run (default 64).
+  const u32 gang_width =
+      args.flag("--no-gang")
+          ? 1u
+          : static_cast<u32>(std::strtoul(
+                args.option("--gang-width", "64").c_str(), nullptr, 10));
   CampaignOptions options =
       CampaignOptions{}
           .with_injection(InjectionOptions{}
                               .with_persistence(args.flag("--persistence"))
-                              .with_pruning(!args.flag("--no-prune")))
+                              .with_pruning(!args.flag("--no-prune"))
+                              .with_gang_width(gang_width))
           .with_threads(static_cast<unsigned>(
               std::strtoul(args.option("--threads", "0").c_str(), nullptr, 10)))
           .with_chunk_size(
@@ -150,6 +158,16 @@ int cmd_campaign(const Args& args) {
               "persistence %.1f s\n",
               r.phases.corrupt_s, r.phases.run_s, r.phases.repair_s,
               r.phases.persist_s);
+  if (r.phases.gang_runs > 0) {
+    std::printf("gang: %llu runs, %.1f lanes/run, %.1f%% early exit, "
+                "%llu fallbacks\n",
+                static_cast<unsigned long long>(r.phases.gang_runs),
+                static_cast<double>(r.phases.gang_lanes) /
+                    static_cast<double>(r.phases.gang_runs),
+                100.0 * static_cast<double>(r.phases.gang_early_exits) /
+                    static_cast<double>(r.phases.gang_runs),
+                static_cast<unsigned long long>(r.phases.gang_fallbacks));
+  }
   if (r.interrupted) std::printf("campaign interrupted; checkpoint saved\n");
   return 0;
 }
@@ -248,7 +266,7 @@ int usage() {
       "  compile <design> [--device D] [--raddrc] [--tmr] [-o FILE]\n"
       "  campaign <design> [--sample N | --exhaustive] [--persistence]\n"
       "           [--threads N] [--chunk N] [--checkpoint FILE] [--progress]\n"
-      "           [--no-prune]\n"
+      "           [--no-prune] [--gang-width N] [--no-gang]\n"
       "  beam <design> [--observations N]\n"
       "  mission [--hours H] [--flare]\n"
       "  bist [--device D]\n"
