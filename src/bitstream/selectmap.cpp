@@ -2,6 +2,38 @@
 
 namespace vscrub {
 
+TransferResult SelectMapPort::transfer(const FrameAddress& fa) {
+  TransferResult result;
+  ++link_stats_.transfers;
+  if (!faults_.enabled()) {
+    result.cost = frame_cost(fa);
+    return result;
+  }
+  for (u32 attempt = 0; attempt <= faults_.max_transfer_retries; ++attempt) {
+    if (attempt > 0) {
+      result.cost += faults_.backoff_base * (i64{1} << (attempt - 1));
+    }
+    result.attempts = attempt + 1;
+    if (!rng_.bernoulli(faults_.transfer_timeout_prob)) {
+      result.cost += frame_cost(fa);
+      return result;
+    }
+    ++link_stats_.timeouts;
+    result.cost += faults_.timeout_cost;
+  }
+  ++link_stats_.retries_exhausted;
+  result.ok = false;
+  return result;
+}
+
+bool SelectMapPort::corrupt_readback(BitVector& data) {
+  if (faults_.readback_flip_prob <= 0.0 || data.size() == 0) return false;
+  if (!rng_.bernoulli(faults_.readback_flip_prob)) return false;
+  data.flip(static_cast<std::size_t>(rng_.uniform(data.size())));
+  ++link_stats_.noise_flips;
+  return true;
+}
+
 SimTime SelectMapPort::full_readback_cost() const {
   SimTime total;
   for (u32 gf = 0; gf < space_->frame_count(); ++gf) {

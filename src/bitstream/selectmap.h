@@ -10,6 +10,8 @@
 // SLAAC-1V (driver + board round trips dominate).
 #pragma once
 
+#include "common/bitvector.h"
+#include "common/rng.h"
 #include "common/types.h"
 #include "fabric/config_space.h"
 
@@ -43,13 +45,59 @@ struct SelectMapTiming {
   }
 };
 
+/// Fault model of the scrub datapath itself. The paper treats readback,
+/// flash fetch and partial reconfiguration as ideal; deployed scrubbers
+/// (ARICH at Belle II, PDR scrubbers) report that the link upsets too:
+/// readback shift registers flip bits in transit, transfers hang and must be
+/// retried. All rates default to zero (ideal link, exact legacy behaviour);
+/// the sampling is seeded so every campaign/mission stays deterministic.
+struct ScrubLinkFaults {
+  /// Per frame-readback probability that the *returned* data has one bit
+  /// flipped by noise in the readback path. The configuration memory is
+  /// untouched — repairing on such a read would be a false repair.
+  double readback_flip_prob = 0.0;
+  /// Per transfer-attempt probability that the SelectMAP transaction times
+  /// out (watchdog fires) and must be retried.
+  double transfer_timeout_prob = 0.0;
+  /// Retries after the first timed-out attempt; exceeding them is an
+  /// exhaustion the scrubber escalates to a reset.
+  u32 max_transfer_retries = 3;
+  /// Bus time lost per timed-out attempt (watchdog detection latency).
+  SimTime timeout_cost = SimTime::microseconds(50);
+  /// Backoff before retry k (0-based) is backoff_base * 2^k.
+  SimTime backoff_base = SimTime::microseconds(10);
+  u64 seed = 0x5eed;
+
+  bool enabled() const {
+    return readback_flip_prob > 0.0 || transfer_timeout_prob > 0.0;
+  }
+
+  /// Paper-plausible on-orbit rates: noise events a few times per hour over
+  /// a board's ~180 ms scrub cycle, timeouts an order of magnitude rarer.
+  static ScrubLinkFaults leo_profile() {
+    ScrubLinkFaults f;
+    f.readback_flip_prob = 1e-7;
+    f.transfer_timeout_prob = 1e-8;
+    return f;
+  }
+};
+
+/// Outcome of one (possibly retried) frame transfer through the link.
+struct TransferResult {
+  SimTime cost;      ///< total modeled time, timeouts and backoff included
+  u32 attempts = 1;  ///< 1 = first try succeeded
+  bool ok = true;    ///< false when retries were exhausted
+};
+
 /// Accumulates configuration-port activity time for one device.
 class SelectMapPort {
  public:
-  SelectMapPort(const ConfigSpace* space, SelectMapTiming timing)
-      : space_(space), timing_(timing) {}
+  SelectMapPort(const ConfigSpace* space, SelectMapTiming timing,
+                const ScrubLinkFaults& faults = {})
+      : space_(space), timing_(timing), faults_(faults), rng_(faults.seed) {}
 
   const SelectMapTiming& timing() const { return timing_; }
+  const ScrubLinkFaults& faults() const { return faults_; }
   SimTime elapsed() const { return elapsed_; }
   void reset_elapsed() { elapsed_ = SimTime{}; }
 
@@ -62,6 +110,25 @@ class SelectMapPort {
   void charge_frame(const FrameAddress& fa) { elapsed_ += frame_cost(fa); }
   void charge(SimTime t) { elapsed_ += t; }
 
+  /// Samples one frame transfer against the link fault model: timed-out
+  /// attempts cost timeout_cost plus exponential backoff; success costs
+  /// frame_cost(fa). With the fault model disabled this is exactly
+  /// {frame_cost(fa), 1, true} and consumes no randomness.
+  TransferResult transfer(const FrameAddress& fa);
+
+  /// Samples readback-path noise for frame data just read back: with
+  /// probability readback_flip_prob flips one uniformly-chosen bit of `data`
+  /// in place. Returns true when noise was injected.
+  bool corrupt_readback(BitVector& data);
+
+  struct LinkStats {
+    u64 transfers = 0;
+    u64 timeouts = 0;           ///< timed-out attempts (retried or not)
+    u64 retries_exhausted = 0;  ///< transfers that never completed
+    u64 noise_flips = 0;        ///< readback bits flipped in transit
+  };
+  const LinkStats& link_stats() const { return link_stats_; }
+
   /// Time to read back every frame of the device (one scrub pass of one
   /// device, before CRC compare overheads).
   SimTime full_readback_cost() const;
@@ -69,6 +136,9 @@ class SelectMapPort {
  private:
   const ConfigSpace* space_;
   SelectMapTiming timing_;
+  ScrubLinkFaults faults_;
+  Rng rng_;
+  LinkStats link_stats_;
   SimTime elapsed_;
 };
 

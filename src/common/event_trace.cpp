@@ -1,0 +1,65 @@
+#include "common/event_trace.h"
+
+#include <cstdio>
+
+namespace vscrub {
+
+EventTrace::Event::Event(EventTrace* trace, const char* type, SimTime at)
+    : trace_(trace) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{\"ev\":\"%s\",\"t_ps\":%lld", type,
+                static_cast<long long>(at.ps()));
+  line_ = buf;
+}
+
+EventTrace::Event::~Event() {
+  line_ += '}';
+  trace_->lines_.push_back(std::move(line_));
+}
+
+EventTrace::Event& EventTrace::Event::f(const char* key, u64 v) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ",\"%s\":%llu", key,
+                static_cast<unsigned long long>(v));
+  line_ += buf;
+  return *this;
+}
+
+EventTrace::Event& EventTrace::Event::f(const char* key, double v) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ",\"%s\":%.17g", key, v);
+  line_ += buf;
+  return *this;
+}
+
+EventTrace::Event& EventTrace::Event::f(const char* key, const char* v) {
+  line_ += ",\"";
+  line_ += key;
+  line_ += "\":\"";
+  line_ += v;
+  line_ += '"';
+  return *this;
+}
+
+std::string EventTrace::joined() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+bool EventTrace::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string out = joined();
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,59 @@
+// JSONL event trace: an append-only in-memory log of simulation events
+// (scrub detections, repairs, escalations, mission upsets), one compact JSON
+// object per line. Lines are built deterministically — modeled SimTime only,
+// fields in emission order, integers exact — so two runs with the same seed
+// produce byte-identical traces, which the fleet determinism tests assert.
+//
+// Usage (fluent; the line is sealed when the Event temporary dies):
+//
+//   trace.event("scrub_repair", now).f("frame", gf).f("attempts", 2);
+//   trace.write_jsonl("mission_trace.jsonl");
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+class EventTrace {
+ public:
+  class Event {
+   public:
+    Event(EventTrace* trace, const char* type, SimTime at);
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+    ~Event();
+
+    Event& f(const char* key, u64 v);
+    Event& f(const char* key, u32 v) { return f(key, static_cast<u64>(v)); }
+    Event& f(const char* key, double v);
+    Event& f(const char* key, const char* v);
+
+   private:
+    EventTrace* trace_;
+    std::string line_;
+  };
+
+  /// Starts one event line stamped with the modeled time (integer
+  /// picoseconds, so traces never depend on float formatting).
+  Event event(const char* type, SimTime at) { return Event(this, type, at); }
+
+  std::size_t size() const { return lines_.size(); }
+  const std::vector<std::string>& lines() const { return lines_; }
+  /// Every line joined with '\n' terminators — the exact bytes write_jsonl
+  /// emits; determinism tests compare this string.
+  std::string joined() const;
+  void clear() { lines_.clear(); }
+
+  /// Writes one JSON object per line. Returns false (warning on stderr) when
+  /// the file cannot be written.
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  friend class Event;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace vscrub

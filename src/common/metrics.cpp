@@ -1,0 +1,105 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vscrub {
+
+void Histogram::record(double v) {
+  if (!samples_.empty() && v < samples_.back()) sorted_ = false;
+  samples_.push_back(v);
+  sum_ += v;
+}
+
+double Histogram::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  // Nearest-rank: the smallest sample with at least p% of the mass below it.
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c;
+  }
+  counters_.emplace_back(name, Counter{});
+  return counters_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return h;
+  }
+  histograms_.emplace_back(name, Histogram{});
+  return histograms_.back().second;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  for (auto& [n, v] : gauges_) {
+    if (n == name) {
+      v = value;
+      return;
+    }
+  }
+  gauges_.emplace_back(name, value);
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::vector<std::pair<std::string, double>> fields;
+  for (const auto& [n, c] : counters_) {
+    fields.emplace_back(n, static_cast<double>(c.value()));
+  }
+  for (const auto& [n, v] : gauges_) fields.emplace_back(n, v);
+  for (const auto& [n, h] : histograms_) {
+    fields.emplace_back(n + "_count", static_cast<double>(h.count()));
+    fields.emplace_back(n + "_mean", h.mean());
+    fields.emplace_back(n + "_p50", h.percentile(50));
+    fields.emplace_back(n + "_p99", h.percentile(99));
+  }
+  std::string out = "{\n";
+  char buf[352];
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    // %.17g round-trips doubles; integral metrics print without a point.
+    std::snprintf(buf, sizeof buf, "  \"%s\": %.17g%s\n",
+                  fields[i].first.c_str(), fields[i].second,
+                  i + 1 < fields.size() ? "," : "");
+    out += buf;
+  }
+  out += "}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,68 @@
+// Lightweight observability layer: a registry of named counters, gauges and
+// histograms that the scrubber, the mission simulator and the fleet runner
+// populate as they go. Everything is deterministic (insertion-ordered, no
+// wall-clock reads) so metric output can be compared byte-for-byte in the
+// determinism tests, and the whole registry serializes to the same flat JSON
+// shape the bench artifacts (BENCH_*.json) use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(u64 n = 1) { value_ += n; }
+  u64 value() const { return value_; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// Sample accumulator with exact percentiles (keeps every sample; the
+/// workloads recording into it — per-detection latencies, per-pass costs —
+/// are small enough that a sketch would be premature).
+class Histogram {
+ public:
+  void record(double v);
+  u64 count() const { return static_cast<u64>(samples_.size()); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Nearest-rank percentile, p in [0, 100]. 0 when empty.
+  double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// Insertion-ordered name -> metric registry. Lookup is linear: registries
+/// hold tens of metrics and are touched far from any hot loop.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  void set_gauge(const std::string& name, double value);
+
+  /// Flat `{"name": value, ...}` JSON: counters and gauges verbatim, each
+  /// histogram expanded to name_count/name_mean/name_p50/name_p99. The shape
+  /// matches the BENCH_*.json artifacts CI uploads.
+  std::string to_json() const;
+  /// Writes to_json() to `path`. Returns false (with a warning on stderr)
+  /// when the file cannot be written; callers keep going.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, Counter>> counters_;
+  std::vector<std::pair<std::string, Histogram>> histograms_;
+  std::vector<std::pair<std::string, double>> gauges_;
+};
+
+}  // namespace vscrub

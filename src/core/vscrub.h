@@ -34,6 +34,7 @@
 #include "seu/campaign.h"
 #include "seu/report.h"
 #include "sim/harness.h"
+#include "system/fleet.h"
 #include "system/ground_link.h"
 #include "system/payload.h"
 
@@ -81,6 +82,15 @@ class Workbench {
   Payload mission(const PlacedDesign& design, PayloadOptions options,
                   std::unordered_set<u64> sensitive_bits) const {
     return Payload(design, std::move(options), std::move(sensitive_bits));
+  }
+
+  /// Monte-Carlo seed sweep: N independent missions across the thread pool,
+  /// aggregated into availability confidence intervals and latency
+  /// percentiles. Deterministic for any thread count.
+  FleetResult fleet(const PlacedDesign& design,
+                    const std::unordered_set<u64>& sensitive_bits,
+                    const FleetOptions& options = {}) const {
+    return run_fleet(design, sensitive_bits, options);
   }
 
   struct BistReport {

@@ -2,7 +2,8 @@
 
 namespace vscrub {
 
-FlashStore::FlashStore(const Bitstream& image) {
+FlashStore::FlashStore(const Bitstream& image, const FlashFaultModel& faults)
+    : faults_(faults), rng_(faults.seed) {
   frame_words_.reserve(image.frame_count());
   for (u32 gf = 0; gf < image.frame_count(); ++gf) {
     const BitVector& frame = image.frame(gf);
@@ -21,11 +22,27 @@ FlashStore::FlashStore(const Bitstream& image) {
   }
 }
 
-BitVector FlashStore::fetch_frame(u32 global_frame) {
+BitVector FlashStore::fetch_frame(u32 global_frame, FetchStatus* status) {
   StoredFrame& stored = frame_words_[global_frame];
   BitVector frame(stored.bits);
+  if (status != nullptr) *status = FetchStatus{};
   for (std::size_t w = 0; w < stored.words.size(); ++w) {
     ++stats_.reads;
+    if (faults_.enabled()) {
+      // Radiation since the last scrub of this word: flip one stored bit, or
+      // two distinct ones for a (much rarer) uncorrectable event.
+      if (rng_.bernoulli(faults_.word_upset_prob)) {
+        inject_upset(global_frame, static_cast<u32>(w),
+                     static_cast<u32>(rng_.uniform(72)));
+      }
+      if (rng_.bernoulli(faults_.word_double_upset_prob)) {
+        const u32 a = static_cast<u32>(rng_.uniform(72));
+        u32 b = static_cast<u32>(rng_.uniform(71));
+        if (b >= a) ++b;
+        inject_upset(global_frame, static_cast<u32>(w), a);
+        inject_upset(global_frame, static_cast<u32>(w), b);
+      }
+    }
     const EccDecodeResult r = ecc_decode(stored.words[w]);
     switch (r.status) {
       case EccStatus::kClean:
@@ -33,11 +50,13 @@ BitVector FlashStore::fetch_frame(u32 global_frame) {
       case EccStatus::kCorrectedData:
       case EccStatus::kCorrectedCheck:
         ++stats_.corrected;
+        if (status != nullptr) ++status->corrected;
         // Scrub the stored copy so the correction sticks.
         stored.words[w] = ecc_encode(r.data);
         break;
       case EccStatus::kUncorrectable:
         ++stats_.uncorrectable;
+        if (status != nullptr) ++status->uncorrectable;
         break;
     }
     const std::size_t bit = w * 64;

@@ -9,8 +9,35 @@
 
 #include "bitstream/bitstream.h"
 #include "common/ecc.h"
+#include "common/rng.h"
 
 namespace vscrub {
+
+/// Radiation fault model of the flash array itself: each fetched ECC word
+/// may have accumulated upsets since it was last scrubbed. Rates default to
+/// zero (pristine array); sampling is seeded for determinism.
+struct FlashFaultModel {
+  /// Per fetched word, probability of one accumulated bit upset (data or
+  /// check bit) — SECDED corrects these and the fetch scrubs them back.
+  double word_upset_prob = 0.0;
+  /// Per fetched word, probability of an accumulated double-bit upset —
+  /// SECDED only flags these; the fetched frame is not trustworthy.
+  double word_double_upset_prob = 0.0;
+  u64 seed = 0xf1a5;
+
+  bool enabled() const {
+    return word_upset_prob > 0.0 || word_double_upset_prob > 0.0;
+  }
+
+  /// Paper-plausible on-orbit rates: the 16MB array sees upsets at a small
+  /// fraction of the FPGA configuration rate; double-bit events are rare.
+  static FlashFaultModel leo_profile() {
+    FlashFaultModel f;
+    f.word_upset_prob = 1e-7;
+    f.word_double_upset_prob = 1e-9;
+    return f;
+  }
+};
 
 class FlashStore {
  public:
@@ -18,18 +45,28 @@ class FlashStore {
     u64 reads = 0;
     u64 corrected = 0;
     u64 uncorrectable = 0;
+    bool operator==(const Stats&) const = default;
+  };
+
+  /// ECC outcome of one fetch_frame call, for callers that must react to a
+  /// specific fetch (a scrubber must not repair with a double-bit frame).
+  struct FetchStatus {
+    u32 corrected = 0;
+    u32 uncorrectable = 0;
   };
 
   /// Stores one configuration image (frame-aligned, ECC per 64-bit word).
-  explicit FlashStore(const Bitstream& image);
+  explicit FlashStore(const Bitstream& image,
+                      const FlashFaultModel& faults = {});
 
   u32 frame_count() const { return static_cast<u32>(frame_words_.size()); }
   u64 word_count() const { return total_words_; }
 
-  /// Fetches a frame, running ECC decode on every word. Returns the
-  /// (possibly corrected) frame data; uncorrectable words are returned as
-  /// stored and counted in stats.
-  BitVector fetch_frame(u32 global_frame);
+  /// Fetches a frame, running ECC decode on every word (after sampling the
+  /// fault model, when enabled). Returns the (possibly corrected) frame
+  /// data; uncorrectable words are returned as stored and counted in stats
+  /// and in `*status` when given.
+  BitVector fetch_frame(u32 global_frame, FetchStatus* status = nullptr);
 
   /// Radiation hit in the flash array: flips one stored bit (data or check).
   /// bit 0..63 => data bit, 64..71 => check bit.
@@ -44,6 +81,8 @@ class FlashStore {
   };
   std::vector<StoredFrame> frame_words_;
   u64 total_words_ = 0;
+  FlashFaultModel faults_;
+  Rng rng_;
   Stats stats_;
 };
 

@@ -22,7 +22,7 @@ Scrubber::Scrubber(const PlacedDesign& design, FabricSim& sim,
         }
         return CrcCodebook(zeroed);
       }()),
-      port_(design.space.get(), options.timing) {
+      port_(design.space.get(), options.timing, options.link_faults) {
   if (options_.zeroed_dynamic_codebook) {
     // Only BRAM columns stay unreadable; every CLB frame is checkable.
     const ConfigSpace& space = *design_->space;
@@ -71,20 +71,112 @@ void Scrubber::advance_design(DesignHarness* harness, SimTime dt) {
   cycle_debt_ = std::min(cycle_debt_, 1.0);
 }
 
+void Scrubber::issue_reset(DesignHarness* harness, ScrubPassResult& result,
+                           ScrubEvent& event) {
+  if (harness) {
+    harness->restart();
+  } else {
+    sim_->reset();
+  }
+  event.reset_issued = true;
+  ++result.resets;
+}
+
+bool Scrubber::read_with_link(const FrameAddress& fa, bool primary,
+                              DesignHarness* harness, ScrubPassResult& result,
+                              BitVector* data) {
+  const TransferResult tr = port_.transfer(fa);
+  advance_design(harness, tr.cost);
+  // On success the first attempt was clean unless retried (attempts - 1
+  // timeouts); on exhaustion every attempt timed out.
+  result.transfer_timeouts += tr.ok ? tr.attempts - 1 : tr.attempts;
+  // A primary read's ideal cost is part of clean_pass_cost(); only the
+  // excess is fault overhead. Extra fault-path reads are overhead entirely.
+  result.fault_overhead += primary ? tr.cost - port_.frame_cost(fa) : tr.cost;
+  if (!tr.ok) {
+    ++result.retries_exhausted;
+    return false;
+  }
+  if (data != nullptr) {
+    *data = sim_->read_frame(fa, /*clock_running=*/true);
+    port_.corrupt_readback(*data);
+  }
+  return true;
+}
+
 ScrubPassResult Scrubber::scrub_pass(DesignHarness* harness) {
   const ConfigSpace& space = *design_->space;
+  const bool faulty = options_.link_faults.enabled();
   ScrubPassResult result;
   const SimTime pass_start = elapsed_;
   for (u32 gf = 0; gf < space.frame_count(); ++gf) {
     const FrameAddress fa = space.frame_of_global(gf);
-    advance_design(harness, port_.frame_cost(fa));
+    const bool masked = codebook_.is_masked(gf);
     ++result.frames_checked;
-    if (codebook_.is_masked(gf)) continue;
-    const BitVector data = sim_->read_frame(fa, /*clock_running=*/true);
+    BitVector data;
+    if (!read_with_link(fa, /*primary=*/true, harness, result,
+                        masked ? nullptr : &data)) {
+      // Retry/backoff exhausted: this frame cannot be read, so its state is
+      // unknown; for a checkable frame that is escalated to a reset.
+      if (!masked) {
+        ScrubEvent event;
+        event.global_frame = gf;
+        event.time = elapsed_;
+        ++result.escalations;
+        if (options_.trace) {
+          options_.trace->event("scrub_link_exhausted", elapsed_).f("frame", gf);
+        }
+        issue_reset(harness, result, event);
+        result.events.push_back(event);
+      }
+      continue;
+    }
+    if (masked) continue;
     if (codebook_.check(gf, data)) continue;
 
-    // Error: interrupt the microprocessor with (device, frame); it fetches
-    // the golden frame from flash and partially reconfigures.
+    if (faulty && options_.crc_confirm_rereads > 0) {
+      // A CRC mismatch may be noise in the readback path, not a real config
+      // upset. Repair only once two consecutive readbacks agree bit-for-bit
+      // and still fail CRC; anything else is a false alarm (a real upset
+      // drowned in noise is caught on the next pass).
+      bool confirmed = false;
+      bool link_dead = false;
+      for (u32 i = 0; i < options_.crc_confirm_rereads; ++i) {
+        BitVector again;
+        if (!read_with_link(fa, /*primary=*/false, harness, result, &again)) {
+          link_dead = true;
+          break;
+        }
+        if (codebook_.check(gf, again)) break;  // earlier read was noise
+        if (again == data) {
+          confirmed = true;
+          break;
+        }
+        data = std::move(again);
+      }
+      if (link_dead) {
+        ScrubEvent event;
+        event.global_frame = gf;
+        event.time = elapsed_;
+        ++result.escalations;
+        if (options_.trace) {
+          options_.trace->event("scrub_link_exhausted", elapsed_).f("frame", gf);
+        }
+        issue_reset(harness, result, event);
+        result.events.push_back(event);
+        continue;
+      }
+      if (!confirmed) {
+        ++result.false_alarms;
+        if (options_.trace) {
+          options_.trace->event("scrub_false_alarm", elapsed_).f("frame", gf);
+        }
+        continue;
+      }
+    }
+
+    // Confirmed error: interrupt the microprocessor with (device, frame); it
+    // fetches the golden frame from flash and partially reconfigures.
     ++result.errors_found;
     ++total_errors_;
     ScrubEvent event;
@@ -92,7 +184,25 @@ ScrubPassResult Scrubber::scrub_pass(DesignHarness* harness) {
     event.time = elapsed_;
     advance_design(harness, options_.error_handling_overhead);
 
-    BitVector golden = flash_->fetch_frame(gf);
+    FlashStore::FetchStatus fetch;
+    BitVector golden = flash_->fetch_frame(gf, &fetch);
+    if (fetch.uncorrectable > 0) {
+      // §II flash ECC: a double-bit word means the golden copy is not
+      // trustworthy — never partially reconfigure with corrupt data.
+      // Escalate to a reset and leave the frame for a higher-level recovery
+      // (alternate image, ground upload).
+      ++result.flash_uncorrectable;
+      ++result.escalations;
+      if (options_.trace) {
+        options_.trace->event("scrub_flash_uncorrectable", elapsed_)
+            .f("frame", gf)
+            .f("words", fetch.uncorrectable);
+      }
+      issue_reset(harness, result, event);
+      result.events.push_back(event);
+      continue;
+    }
+
     if (options_.bit_granular_repair && fa.kind == ColumnKind::kClb) {
       // §IV-B: write only the corrupted bits. Dynamic LUT locations are
       // skipped (their live contents are not errors). Each bit write is a
@@ -124,49 +234,107 @@ ScrubPassResult Scrubber::scrub_pass(DesignHarness* harness) {
                          options_.timing.byte_time * static_cast<i64>(writes));
       event.repaired = true;
       ++result.repairs;
-      if (options_.reset_after_repair) {
-        if (harness) {
-          harness->restart();
-        } else {
-          sim_->reset();
+    } else {
+      if (options_.rmw_repair && fa.kind == ColumnKind::kClb) {
+        // Read-modify-write: preserve live dynamic LUT contents covered by
+        // this frame (paper §IV-B).
+        for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+          if (site.tile.col != fa.col) continue;
+          const int slice = site.lut / kLutsPerSlice;
+          if (!ConfigSpace::frame_holds_slice_lut_bits(fa.frame, slice)) continue;
+          const u32 offset =
+              static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
+              static_cast<u32>(site.lut % kLutsPerSlice);
+          golden.set(offset, data.get(offset));
         }
-        event.reset_issued = true;
-        ++result.resets;
       }
-      result.events.push_back(event);
-      continue;
-    }
-    if (options_.rmw_repair && fa.kind == ColumnKind::kClb) {
-      // Read-modify-write: preserve live dynamic LUT contents covered by
-      // this frame (paper §IV-B).
-      for (const LutSiteRef& site : design_->dynamic_lut_sites) {
-        if (site.tile.col != fa.col) continue;
-        const int slice = site.lut / kLutsPerSlice;
-        if (!ConfigSpace::frame_holds_slice_lut_bits(fa.frame, slice)) continue;
-        const u32 offset =
-            static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
-            static_cast<u32>(site.lut % kLutsPerSlice);
-        golden.set(offset, data.get(offset));
+      // The repair write goes through the same faulty link as readback.
+      const TransferResult wr = port_.transfer(fa);
+      advance_design(harness, wr.cost);
+      result.transfer_timeouts += wr.ok ? wr.attempts - 1 : wr.attempts;
+      result.fault_overhead += wr.cost - port_.frame_cost(fa);
+      if (!wr.ok) {
+        ++result.retries_exhausted;
+        ++result.escalations;
+        if (options_.trace) {
+          options_.trace->event("scrub_link_exhausted", elapsed_).f("frame", gf);
+        }
+        issue_reset(harness, result, event);
+        result.events.push_back(event);
+        continue;
       }
+      sim_->write_frame(fa, golden);
+      event.repaired = true;
+      ++result.repairs;
     }
-    advance_design(harness, port_.frame_cost(fa));
-    sim_->write_frame(fa, golden);
-    event.repaired = true;
-    ++result.repairs;
 
-    if (options_.reset_after_repair) {
-      if (harness) {
-        harness->restart();
-      } else {
-        sim_->reset();
+    if (faulty && options_.repair_verify_attempts > 0) {
+      // Verify-readback: confirm the repair actually landed (the write, or
+      // the verify read itself, may have been corrupted in transit). A
+      // persistent mismatch escalates to a reset.
+      bool verified = false;
+      for (u32 attempt = 0; attempt < options_.repair_verify_attempts;
+           ++attempt) {
+        BitVector check;
+        if (!read_with_link(fa, /*primary=*/false, harness, result, &check)) {
+          break;
+        }
+        if (codebook_.check(gf, check)) {
+          verified = true;
+          break;
+        }
+        ++result.repair_verify_failures;
+        if (attempt + 1 < options_.repair_verify_attempts) {
+          const TransferResult wr = port_.transfer(fa);
+          advance_design(harness, wr.cost);
+          result.transfer_timeouts += wr.ok ? wr.attempts - 1 : wr.attempts;
+          result.fault_overhead += wr.cost;
+          if (!wr.ok) {
+            ++result.retries_exhausted;
+            break;
+          }
+          sim_->write_frame(fa, golden);
+        }
       }
-      event.reset_issued = true;
-      ++result.resets;
+      if (!verified) {
+        ++result.escalations;
+        if (options_.trace) {
+          options_.trace->event("scrub_verify_escalation", elapsed_)
+              .f("frame", gf);
+        }
+        issue_reset(harness, result, event);
+        result.events.push_back(event);
+        continue;
+      }
     }
+
+    if (options_.trace) {
+      options_.trace->event("scrub_repair", elapsed_)
+          .f("frame", gf)
+          .f("reset", static_cast<u64>(options_.reset_after_repair));
+    }
+    if (options_.reset_after_repair) issue_reset(harness, result, event);
     result.events.push_back(event);
   }
   result.pass_time = elapsed_ - pass_start;
+  publish_metrics(result);
   return result;
+}
+
+void Scrubber::publish_metrics(const ScrubPassResult& r) {
+  if (options_.metrics == nullptr) return;
+  MetricsRegistry& m = *options_.metrics;
+  m.counter("scrub_frames_checked").add(r.frames_checked);
+  m.counter("scrub_errors").add(r.errors_found);
+  m.counter("scrub_repairs").add(r.repairs);
+  m.counter("scrub_resets").add(r.resets);
+  m.counter("scrub_false_alarms").add(r.false_alarms);
+  m.counter("scrub_transfer_timeouts").add(r.transfer_timeouts);
+  m.counter("scrub_retries_exhausted").add(r.retries_exhausted);
+  m.counter("scrub_repair_verify_failures").add(r.repair_verify_failures);
+  m.counter("scrub_flash_uncorrectable").add(r.flash_uncorrectable);
+  m.counter("scrub_escalations").add(r.escalations);
+  m.histogram("scrub_pass_ms").record(r.pass_time.ms());
 }
 
 void Scrubber::insert_artificial_seu(const BitAddress& addr) {

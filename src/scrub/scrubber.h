@@ -9,6 +9,8 @@
 
 #include "bitstream/codebook.h"
 #include "bitstream/selectmap.h"
+#include "common/event_trace.h"
+#include "common/metrics.h"
 #include "scrub/flash.h"
 #include "sim/harness.h"
 
@@ -40,6 +42,23 @@ struct ScrubberOptions {
   /// Cap on actually-simulated design cycles per frame operation (the
   /// modeled time still advances exactly; this only bounds simulation work).
   u32 max_sim_cycles_per_frame = 2;
+  /// Fault model of the scrub datapath itself (readback noise, transfer
+  /// timeouts). All-zero = ideal link and exact legacy behaviour: no
+  /// re-reads, no verify readbacks, no extra modeled time.
+  ScrubLinkFaults link_faults;
+  /// With a faulty link, a CRC mismatch is only repaired once two
+  /// consecutive readbacks agree bit-for-bit and still fail CRC; this bounds
+  /// the confirming re-reads. Mismatches that never confirm are counted as
+  /// false alarms (readback noise) and left for the next pass.
+  u32 crc_confirm_rereads = 2;
+  /// With a faulty link, every repair is verified by a readback; a failed
+  /// verify rewrites the golden frame, up to this many attempts, then
+  /// escalates to a reset.
+  u32 repair_verify_attempts = 2;
+  /// Optional observability sinks (may stay null): per-pass counters land in
+  /// `metrics`, individual detections/repairs/escalations in `trace`.
+  MetricsRegistry* metrics = nullptr;
+  EventTrace* trace = nullptr;
 };
 
 struct ScrubEvent {
@@ -51,10 +70,21 @@ struct ScrubEvent {
 
 struct ScrubPassResult {
   u32 frames_checked = 0;
-  u32 errors_found = 0;
+  u32 errors_found = 0;  ///< confirmed configuration errors
   u32 repairs = 0;
   u32 resets = 0;
-  SimTime pass_time;  ///< modeled duration of this pass
+  // Scrub-path fault handling (all zero with an ideal link):
+  u32 false_alarms = 0;        ///< CRC mismatches attributed to readback noise
+  u32 transfer_timeouts = 0;   ///< timed-out transfer attempts (retried)
+  u32 retries_exhausted = 0;   ///< transfers abandoned after max retries
+  u32 repair_verify_failures = 0;  ///< post-repair readbacks that failed CRC
+  u32 flash_uncorrectable = 0;     ///< golden fetches with double-bit words
+  u32 escalations = 0;  ///< resets issued because repair could not proceed
+  SimTime pass_time;    ///< modeled duration of this pass
+  /// Modeled time spent on the fault path (re-reads, retries, backoff,
+  /// verify readbacks, repair rewrites). For a pass with no confirmed
+  /// errors, pass_time == clean_pass_cost() + fault_overhead exactly.
+  SimTime fault_overhead;
   std::vector<ScrubEvent> events;
 };
 
@@ -82,6 +112,17 @@ class Scrubber {
 
  private:
   void advance_design(DesignHarness* harness, SimTime dt);
+  void issue_reset(DesignHarness* harness, ScrubPassResult& result,
+                   ScrubEvent& event);
+  /// Readback through the faulty link: transfer (retries/backoff), then the
+  /// device read with sampled readback-path noise. `primary` distinguishes
+  /// the once-per-frame scheduled read (whose ideal cost is part of
+  /// clean_pass_cost) from extra fault-path reads (charged to
+  /// fault_overhead). Returns false when retries were exhausted.
+  bool read_with_link(const FrameAddress& fa, bool primary,
+                      DesignHarness* harness, ScrubPassResult& result,
+                      BitVector* data);
+  void publish_metrics(const ScrubPassResult& result);
 
   const PlacedDesign* design_;
   FabricSim* sim_;

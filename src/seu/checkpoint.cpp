@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "bitstream/record_io.h"
+#include "common/log.h"
 
 namespace vscrub {
 namespace {
@@ -127,7 +128,14 @@ bool load_campaign_checkpoint(const std::string& path,
   ck->fingerprint = r.get_u64();
   ck->total_injections = r.get_u64();
   ck->chunk_size = r.get_u64();
-  ck->done.resize(r.get_u64());
+  // Element counts are validated against the bytes actually present before
+  // any resize: a corrupted-but-CRC-colliding (or truncated-and-rewritten)
+  // count field must fail cleanly, not allocate gigabytes or resume from a
+  // bogus cursor.
+  const u64 done_n = r.get_u64();
+  VSCRUB_CHECK(done_n <= r.remaining(),
+               "checkpoint: done bitmap larger than record");
+  ck->done.resize(done_n);
   r.get_bytes(ck->done.data(), ck->done.size());
   ck->injections = r.get_u64();
   ck->failures = r.get_u64();
@@ -135,7 +143,12 @@ bool load_campaign_checkpoint(const std::string& path,
   ck->pruned = r.get_u64();
   ck->modeled_ps = static_cast<i64>(r.get_u64());
   ck->phases = get_phases(r);
-  ck->sensitive_bits.resize(r.get_u64());
+  // Each sensitive-bit entry is 22 bytes on the wire (u8+u16+u16+u32+u8+u32+
+  // u64), each failures_by_field entry 9 (u8+u64).
+  const u64 sens_n = r.get_u64();
+  VSCRUB_CHECK(sens_n <= r.remaining() / 22,
+               "checkpoint: sensitive-bit count larger than record");
+  ck->sensitive_bits.resize(sens_n);
   for (auto& sb : ck->sensitive_bits) {
     sb.addr.frame.kind = static_cast<ColumnKind>(r.get_u8());
     sb.addr.frame.col = r.get_u16();
@@ -145,7 +158,10 @@ bool load_campaign_checkpoint(const std::string& path,
     sb.first_error_cycle = r.get_u32();
     sb.error_output_mask_lo = r.get_u64();
   }
-  ck->failures_by_field.resize(r.get_u64());
+  const u64 fields_n = r.get_u64();
+  VSCRUB_CHECK(fields_n <= r.remaining() / 9,
+               "checkpoint: failure-field count larger than record");
+  ck->failures_by_field.resize(fields_n);
   for (auto& [kind, count] : ck->failures_by_field) {
     kind = r.get_u8();
     count = r.get_u64();

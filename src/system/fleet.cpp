@@ -1,0 +1,96 @@
+#include "system/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace vscrub {
+
+FleetResult run_fleet(const PlacedDesign& design,
+                      const std::unordered_set<u64>& sensitive_bits,
+                      const FleetOptions& options) {
+  FleetResult result;
+  result.reports.resize(options.missions);
+  result.traces.resize(options.capture_traces ? options.missions : 0);
+
+  ThreadPool pool(options.threads);
+  // One mission per work item: missions vary in cost (upset counts differ by
+  // seed), so the chunked work queue load-balances better than static shards.
+  pool.parallel_chunks(options.missions, /*chunk_size=*/1,
+                       [&](u64 begin, u64 end, unsigned) {
+                         for (u64 i = begin; i < end; ++i) {
+                           PayloadOptions po = options.payload;
+                           po.seed = options.base_seed + i;
+                           po.metrics = nullptr;
+                           EventTrace trace;
+                           po.trace =
+                               options.capture_traces ? &trace : nullptr;
+                           Payload payload(design, po, sensitive_bits);
+                           result.reports[i] =
+                               payload.run_mission(options.duration);
+                           if (options.capture_traces) {
+                             result.traces[i] = trace.joined();
+                           }
+                         }
+                       });
+
+  // Aggregate from the index-ordered reports (deterministic for any thread
+  // count or completion order).
+  Histogram latency;
+  double avail_sum = 0.0;
+  double avail_sq_sum = 0.0;
+  for (const MissionReport& r : result.reports) {
+    avail_sum += r.availability;
+    avail_sq_sum += r.availability * r.availability;
+    for (const double ms : r.detection_latency_ms) latency.record(ms);
+    result.upsets_total += r.upsets_total;
+    result.detected += r.detected;
+    result.repaired += r.repaired;
+    result.resets += r.resets;
+    result.false_alarms += r.false_alarms;
+    result.false_repairs += r.false_repairs;
+    result.scrub_transfer_timeouts += r.scrub_transfer_timeouts;
+    result.scrub_retries_exhausted += r.scrub_retries_exhausted;
+    result.flash_escalations += r.flash_escalations;
+  }
+  const double n = static_cast<double>(options.missions);
+  if (options.missions > 0) result.availability_mean = avail_sum / n;
+  if (options.missions > 1) {
+    const double var = std::max(
+        0.0, (avail_sq_sum - avail_sum * avail_sum / n) / (n - 1.0));
+    result.availability_ci95 = 1.96 * std::sqrt(var / n);
+  }
+  result.detection_latency_p50_ms = latency.percentile(50.0);
+  result.detection_latency_p99_ms = latency.percentile(99.0);
+  return result;
+}
+
+void fill_fleet_metrics(const FleetResult& result, MetricsRegistry& metrics) {
+  metrics.counter("fleet_missions").add(result.reports.size());
+  metrics.counter("fleet_upsets").add(result.upsets_total);
+  metrics.counter("fleet_detected").add(result.detected);
+  metrics.counter("fleet_repaired").add(result.repaired);
+  metrics.counter("fleet_resets").add(result.resets);
+  metrics.counter("fleet_false_alarms").add(result.false_alarms);
+  metrics.counter("fleet_false_repairs").add(result.false_repairs);
+  metrics.counter("fleet_transfer_timeouts")
+      .add(result.scrub_transfer_timeouts);
+  metrics.counter("fleet_retries_exhausted")
+      .add(result.scrub_retries_exhausted);
+  metrics.counter("fleet_flash_escalations").add(result.flash_escalations);
+  metrics.set_gauge("fleet_availability_mean", result.availability_mean);
+  metrics.set_gauge("fleet_availability_ci95", result.availability_ci95);
+  metrics.set_gauge("fleet_detection_latency_p50_ms",
+                    result.detection_latency_p50_ms);
+  metrics.set_gauge("fleet_detection_latency_p99_ms",
+                    result.detection_latency_p99_ms);
+  double avail_min = 1.0;
+  for (const MissionReport& r : result.reports) {
+    avail_min = std::min(avail_min, r.availability);
+  }
+  metrics.set_gauge("fleet_availability_min",
+                    result.reports.empty() ? 0.0 : avail_min);
+}
+
+}  // namespace vscrub

@@ -1,0 +1,68 @@
+// Monte-Carlo fleet runner: N independent seeded missions of the same
+// payload (a seed sweep) spread across the thread pool, aggregated into
+// availability confidence intervals and detection-latency percentiles.
+//
+// Missions are fully independent — mission i always runs with seed
+// base_seed + i against its own Payload instance — so the result is a pure
+// function of (design, options) and is bit-identical for any thread count,
+// which the determinism tests assert.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "system/payload.h"
+
+namespace vscrub {
+
+struct FleetOptions {
+  u32 missions = 16;
+  /// Mission i runs with PayloadOptions::seed = base_seed + i.
+  u64 base_seed = 1;
+  SimTime duration = SimTime::hours(24);
+  /// Template for every mission; seed and observability sinks are
+  /// overwritten per mission.
+  PayloadOptions payload;
+  /// 0 = hardware concurrency.
+  u32 threads = 0;
+  /// Keep each mission's JSONL event trace (joined bytes) in the result.
+  bool capture_traces = false;
+};
+
+struct FleetResult {
+  /// Per-mission reports, ordered by mission index (not completion order).
+  std::vector<MissionReport> reports;
+  /// Per-mission joined JSONL traces when capture_traces is set, else empty.
+  std::vector<std::string> traces;
+  // Availability across missions: sample mean and 95% confidence-interval
+  // half-width (normal approximation; 0 with fewer than 2 missions).
+  double availability_mean = 1.0;
+  double availability_ci95 = 0.0;
+  // Detection latency percentiles over every detection in the fleet.
+  double detection_latency_p50_ms = 0.0;
+  double detection_latency_p99_ms = 0.0;
+  // Summed counters over all missions.
+  u64 upsets_total = 0;
+  u64 detected = 0;
+  u64 repaired = 0;
+  u64 resets = 0;
+  u64 false_alarms = 0;
+  u64 false_repairs = 0;
+  u64 scrub_transfer_timeouts = 0;
+  u64 scrub_retries_exhausted = 0;
+  u64 flash_escalations = 0;
+};
+
+/// Runs the seed sweep across the pool and aggregates. The aggregation is
+/// computed from the index-ordered reports, so it is deterministic too.
+FleetResult run_fleet(const PlacedDesign& design,
+                      const std::unordered_set<u64>& sensitive_bits,
+                      const FleetOptions& options);
+
+/// Publishes the aggregate statistics into a metrics registry (fleet_*
+/// names) — the payload of BENCH_mission.json.
+void fill_fleet_metrics(const FleetResult& result, MetricsRegistry& metrics);
+
+}  // namespace vscrub

@@ -11,7 +11,7 @@ Payload::Payload(const PlacedDesign& design, PayloadOptions options,
     : design_(&design),
       options_(std::move(options)),
       sensitive_bits_(std::move(sensitive_bits)),
-      flash_(design.bitstream),
+      flash_(design.bitstream, options_.flash_faults),
       codebook_(design.bitstream),
       rng_(options_.seed) {
   // Mask dynamic frames in the codebook exactly as the scrubber does.
@@ -127,7 +127,35 @@ MissionReport Payload::run_mission(SimTime duration) {
                    "mission: CRC failed to flag a detectable upset");
       ++dev.report.detected;
       ++report.detected;
-      dev.sim->write_frame(addr.frame, flash_.fetch_frame(gf));
+      const double latency_ms = (best - o.at).ms() +
+                                options_.scrub.error_handling_overhead.ms();
+      latency_sum_ms += latency_ms;
+      report.detection_latency_ms.push_back(latency_ms);
+      report.max_detection_latency_ms =
+          std::max(report.max_detection_latency_ms, latency_ms);
+      FlashStore::FetchStatus fetch;
+      const BitVector golden = flash_.fetch_frame(gf, &fetch);
+      if (fetch.uncorrectable > 0) {
+        // The golden frame came back with a double-bit ECC word: never
+        // partially reconfigure with corrupt data. Escalate to a full
+        // reconfiguration of this device from the ground image, which also
+        // clears everything else outstanding on it.
+        ++report.flash_escalations;
+        ++dev.report.resets;
+        ++report.resets;
+        if (options_.trace) {
+          options_.trace->event("flash_escalation", best)
+              .f("dev", static_cast<u64>(best_dev))
+              .f("frame", gf);
+        }
+        for (const auto& oo : dev.outstanding) {
+          if (oo.functional) dev.report.corrupted_time += best - oo.at;
+        }
+        dev.outstanding.clear();
+        dev.sim->full_configure(design_->bitstream);
+        continue;
+      }
+      dev.sim->write_frame(addr.frame, golden);
       ++dev.report.repaired;
       ++report.repaired;
       if (options_.scrub.reset_after_repair) {
@@ -135,11 +163,12 @@ MissionReport Payload::run_mission(SimTime duration) {
         ++dev.report.resets;
         ++report.resets;
       }
-      const double latency_ms = (best - o.at).ms() +
-                                options_.scrub.error_handling_overhead.ms();
-      latency_sum_ms += latency_ms;
-      report.max_detection_latency_ms =
-          std::max(report.max_detection_latency_ms, latency_ms);
+      if (options_.trace) {
+        options_.trace->event("mission_repair", best)
+            .f("dev", static_cast<u64>(best_dev))
+            .f("frame", gf)
+            .f("latency_ms", latency_ms);
+      }
       if (o.functional) {
         dev.report.corrupted_time += best - o.at;
       }
@@ -158,6 +187,7 @@ MissionReport Payload::run_mission(SimTime duration) {
       dev.sim->full_configure(design_->bitstream);
     }
     ++report.full_reconfigs;
+    if (options_.trace) options_.trace->event("full_reconfig", when);
   };
 
   while (now < duration) {
@@ -203,7 +233,68 @@ MissionReport Payload::run_mission(SimTime duration) {
       o.detectable =
           !codebook_.is_masked(space.global_frame_index(addr.frame));
     }
+    if (options_.trace) {
+      options_.trace->event("upset", now)
+          .f("dev", static_cast<u64>(d))
+          .f("hidden", static_cast<u64>(o.hidden))
+          .f("functional", static_cast<u64>(o.functional))
+          .f("detectable", static_cast<u64>(o.detectable));
+    }
     dev.outstanding.push_back(o);
+  }
+
+  // Scrub-link fault events (readback noise, transfer timeouts) never touch
+  // device state: the scrubber's re-read confirm filter rejects noise before
+  // any repair, and timeouts only cost link time. They are modeled as their
+  // own Poisson processes on a stream derived from the mission seed, so the
+  // legacy rng stream — and everything simulated above — is untouched.
+  if (options_.scrub.link_faults.enabled()) {
+    const ScrubLinkFaults& lf = options_.scrub.link_faults;
+    u32 unmasked = 0;
+    for (u32 gf = 0; gf < space.frame_count(); ++gf) {
+      if (!codebook_.is_masked(gf)) ++unmasked;
+    }
+    const double cycle_s = board_cycle.sec();
+    const double dev_count = static_cast<double>(devices_.size());
+    const double visits_all =
+        dev_count * static_cast<double>(space.frame_count()) / cycle_s;
+    const double visits_unmasked =
+        dev_count * static_cast<double>(unmasked) / cycle_s;
+    // A noise flip on an in-sync unmasked frame fails its CRC; a timeout can
+    // hit any frame's transfer.
+    const double rate_noise = visits_unmasked * lf.readback_flip_prob;
+    const double rate_timeout = visits_all * lf.transfer_timeout_prob;
+    const double rate_total = rate_noise + rate_timeout;
+    if (rate_total > 0.0) {
+      Rng fault_rng(options_.seed ^ 0x5c2bfa017ULL);
+      double t_s = fault_rng.exponential(rate_total);
+      while (t_s < duration.sec()) {
+        if (fault_rng.uniform01() * rate_total < rate_noise) {
+          ++report.false_alarms;
+          if (options_.trace) {
+            options_.trace->event("scrub_false_alarm", SimTime::seconds(t_s));
+          }
+        } else {
+          // First attempt timed out; retries are fresh Bernoulli draws.
+          u32 timeouts = 1;
+          while (timeouts <= lf.max_transfer_retries &&
+                 fault_rng.bernoulli(lf.transfer_timeout_prob)) {
+            ++timeouts;
+          }
+          report.scrub_transfer_timeouts += timeouts;
+          if (timeouts > lf.max_transfer_retries) {
+            ++report.scrub_retries_exhausted;
+            ++report.scrub_fault_resets;
+            ++report.resets;
+            if (options_.trace) {
+              options_.trace->event("scrub_link_exhausted",
+                                    SimTime::seconds(t_s));
+            }
+          }
+        }
+        t_s += fault_rng.exponential(rate_total);
+      }
+    }
   }
 
   // Mission end: account whatever is still outstanding.
@@ -228,7 +319,32 @@ MissionReport Payload::run_mission(SimTime duration) {
       static_cast<u64>(duration.sec() / board_cycle.sec());
   report.flash_stats = flash_.stats();
   for (const auto& dev : devices_) report.per_device.push_back(dev.report);
+  if (options_.metrics != nullptr) {
+    fill_mission_metrics(report, *options_.metrics);
+  }
   return report;
+}
+
+void Payload::fill_mission_metrics(const MissionReport& report,
+                                   MetricsRegistry& metrics) {
+  metrics.counter("mission_upsets").add(report.upsets_total);
+  metrics.counter("mission_detected").add(report.detected);
+  metrics.counter("mission_repaired").add(report.repaired);
+  metrics.counter("mission_resets").add(report.resets);
+  metrics.counter("mission_hidden_upsets").add(report.hidden_upsets);
+  metrics.counter("mission_full_reconfigs").add(report.full_reconfigs);
+  metrics.counter("mission_false_alarms").add(report.false_alarms);
+  metrics.counter("mission_false_repairs").add(report.false_repairs);
+  metrics.counter("mission_transfer_timeouts")
+      .add(report.scrub_transfer_timeouts);
+  metrics.counter("mission_retries_exhausted")
+      .add(report.scrub_retries_exhausted);
+  metrics.counter("mission_flash_escalations").add(report.flash_escalations);
+  metrics.counter("mission_flash_ecc_corrected").add(report.flash_stats.corrected);
+  metrics.set_gauge("mission_availability", report.availability);
+  metrics.set_gauge("mission_duration_hours", report.duration.sec() / 3600.0);
+  Histogram& lat = metrics.histogram("mission_detection_latency_ms");
+  for (const double ms : report.detection_latency_ms) lat.record(ms);
 }
 
 }  // namespace vscrub

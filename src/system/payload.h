@@ -14,6 +14,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/event_trace.h"
+#include "common/metrics.h"
 #include "radiation/environment.h"
 #include "scrub/flash.h"
 #include "scrub/scrubber.h"
@@ -32,6 +34,16 @@ struct PayloadOptions {
   /// disables.
   SimTime full_reconfig_interval = SimTime::hours(24);
   u64 seed = 4242;
+  /// Radiation fault model of the flash array holding the golden image.
+  /// A golden fetch that comes back with a double-bit (uncorrectable) word
+  /// is never written to the device: the repair escalates to a full
+  /// reconfiguration of that device instead.
+  FlashFaultModel flash_faults;
+  /// Optional observability sinks (may stay null). The mission is a pure
+  /// function of (design, options minus these pointers): attaching or
+  /// detaching them never changes the MissionReport.
+  MetricsRegistry* metrics = nullptr;
+  EventTrace* trace = nullptr;
 };
 
 struct DeviceReport {
@@ -42,6 +54,8 @@ struct DeviceReport {
   u64 resets = 0;
   u64 undetected_outstanding = 0;  ///< hidden/masked upsets never scrubbed
   SimTime corrupted_time;  ///< time spent functionally corrupted
+
+  bool operator==(const DeviceReport&) const = default;
 };
 
 struct MissionReport {
@@ -63,7 +77,20 @@ struct MissionReport {
   SimTime scrub_cycle_per_board;  ///< modeled full cycle over 3 devices
   u64 scrub_passes = 0;           ///< board scrub cycles elapsed
   FlashStore::Stats flash_stats;
+  // Scrub-path fault accounting (all zero with an ideal link and pristine
+  // flash):
+  u64 false_alarms = 0;   ///< CRC mismatches rejected as readback noise
+  u64 false_repairs = 0;  ///< repairs triggered by noise alone — must stay 0
+  u64 scrub_transfer_timeouts = 0;   ///< timed-out transfer attempts
+  u64 scrub_retries_exhausted = 0;   ///< transfers abandoned after max retries
+  u64 scrub_fault_resets = 0;        ///< resets escalated from link faults
+  u64 flash_escalations = 0;  ///< repairs aborted on uncorrectable golden
+  /// Per-detection latency samples (ms), in detection order; feeds the fleet
+  /// percentiles.
+  std::vector<double> detection_latency_ms;
   std::vector<DeviceReport> per_device;
+
+  bool operator==(const MissionReport&) const = default;
 };
 
 class Payload {
@@ -76,6 +103,11 @@ class Payload {
           std::unordered_set<u64> sensitive_bits);
 
   MissionReport run_mission(SimTime duration);
+
+  /// Publishes the report's counters and latency distribution into a metrics
+  /// registry (mission_* names).
+  static void fill_mission_metrics(const MissionReport& report,
+                                   MetricsRegistry& metrics);
 
  private:
   struct Device {

@@ -1,9 +1,16 @@
 // Robustness fuzzing: the fabric must decode and execute *any* bit pattern
 // deterministically — corrupted configurations are the whole point of the
-// system, so there is no such thing as an invalid bitstream.
+// system, so there is no such thing as an invalid bitstream. Likewise the
+// VSCK checkpoint reader: truncated or bit-flipped records must fail
+// cleanly, never crash or resume from a corrupt cursor.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
+#include "bitstream/record_io.h"
 #include "core/vscrub.h"
+#include "seu/checkpoint.h"
 
 namespace vscrub {
 namespace {
@@ -138,6 +145,148 @@ TEST(FuzzMisc, RandomHalfLatchStormIsRecoverable) {
     harness.step();
     ASSERT_EQ(harness.last_outputs(), golden[static_cast<std::size_t>(t)]);
   }
+}
+
+CampaignCheckpoint sample_checkpoint() {
+  CampaignCheckpoint ck;
+  ck.fingerprint = 0xABCDEF;
+  ck.total_injections = 512;
+  ck.chunk_size = 64;
+  ck.done.assign(8, 0x55);
+  ck.injections = 448;
+  ck.failures = 17;
+  ck.persistent = 3;
+  ck.pruned = 12;
+  ck.modeled_ps = 123456789;
+  ck.phases.corrupt_s = 1.5;
+  ck.phases.run_s = 2.5;
+  for (u32 i = 0; i < 5; ++i) {
+    CampaignResult::SensitiveBit sb;
+    sb.addr = BitAddress{FrameAddress{ColumnKind::kClb, static_cast<u16>(i),
+                                      static_cast<u16>(i * 3)},
+                         i * 7};
+    sb.persistent = (i & 1) != 0;
+    sb.first_error_cycle = i * 11;
+    sb.error_output_mask_lo = u64{1} << i;
+    ck.sensitive_bits.push_back(sb);
+  }
+  ck.failures_by_field.emplace_back(u8{2}, u64{9});
+  ck.failures_by_field.emplace_back(u8{5}, u64{8});
+  return ck;
+}
+
+std::vector<u8> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<u8>(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<u8>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Attempts a load that must NOT succeed: clean failure (false return or a
+// vscrub::Error) is fine, resuming with data is not. Any other outcome
+// (crash, uncaught foreign exception) fails the test harness itself.
+void expect_clean_rejection(const std::string& path, const char* what) {
+  CampaignCheckpoint out;
+  bool loaded = false;
+  try {
+    loaded = load_campaign_checkpoint(path, &out);
+  } catch (const Error&) {
+    return;  // clean, typed failure
+  }
+  EXPECT_FALSE(loaded) << what << ": corrupt record accepted";
+}
+
+TEST(CheckpointFuzz, RoundTripsIntact) {
+  const std::string path = ::testing::TempDir() + "ckfuzz_roundtrip.vsck";
+  const CampaignCheckpoint ck = sample_checkpoint();
+  save_campaign_checkpoint(path, ck);
+  CampaignCheckpoint out;
+  ASSERT_TRUE(load_campaign_checkpoint(path, &out));
+  EXPECT_EQ(out.fingerprint, ck.fingerprint);
+  EXPECT_EQ(out.done, ck.done);
+  EXPECT_EQ(out.sensitive_bits.size(), ck.sensitive_bits.size());
+  EXPECT_EQ(out.failures_by_field, ck.failures_by_field);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzz, TruncatedCheckpointsFailCleanly) {
+  const std::string path = ::testing::TempDir() + "ckfuzz_trunc.vsck";
+  save_campaign_checkpoint(path, sample_checkpoint());
+  const std::vector<u8> full = read_file(path);
+  ASSERT_GT(full.size(), 16u);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    write_file(path, std::vector<u8>(full.begin(),
+                                     full.begin() +
+                                         static_cast<std::ptrdiff_t>(len)));
+    expect_clean_rejection(path, "truncation");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzz, BitFlippedCheckpointsNeverResume) {
+  const std::string path = ::testing::TempDir() + "ckfuzz_flip.vsck";
+  save_campaign_checkpoint(path, sample_checkpoint());
+  const std::vector<u8> full = read_file(path);
+  // Every single-bit flip anywhere in the record — header, counts, payload,
+  // CRC trailer — must be rejected (crc32 catches all single-bit errors).
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::vector<u8> flipped = full;
+      flipped[byte] = static_cast<u8>(flipped[byte] ^ (1u << bit));
+      write_file(path, flipped);
+      expect_clean_rejection(path, "bit flip");
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzz, OversizedCountsRejectedBeforeAllocation) {
+  // A record with a valid magic and CRC but an absurd element count must be
+  // rejected by the size guards, not attempt a huge resize. (CRC-valid
+  // hostile input models a corrupt-then-rewritten cursor.)
+  const std::string path = ::testing::TempDir() + "ckfuzz_oversize.vsck";
+  {
+    RecordWriter w("VSCK2");
+    w.put_u64(1);              // fingerprint
+    w.put_u64(512);            // total_injections
+    w.put_u64(64);             // chunk_size
+    w.put_u64(u64{1} << 60);   // done bitmap "size": absurd
+    w.write(path);
+    expect_clean_rejection(path, "oversized done bitmap");
+  }
+  {
+    RecordWriter w("VSCK2");
+    w.put_u64(1);    // fingerprint
+    w.put_u64(512);  // total_injections
+    w.put_u64(64);   // chunk_size
+    w.put_u64(0);    // done bitmap empty
+    w.put_u64(0);    // injections
+    w.put_u64(0);    // failures
+    w.put_u64(0);    // persistent
+    w.put_u64(0);    // pruned
+    w.put_u64(0);    // modeled_ps
+    for (int i = 0; i < 9; ++i) w.put_u64(0);  // phases block
+    w.put_u64(u64{1} << 59);  // sensitive-bit count: absurd
+    w.write(path);
+    expect_clean_rejection(path, "oversized sensitive-bit table");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzz, WrongMagicIsIgnoredNotFatal) {
+  const std::string path = ::testing::TempDir() + "ckfuzz_magic.vsck";
+  RecordWriter w("VSCB1");  // a bitstream-image record, not a checkpoint
+  w.put_u64(42);
+  w.write(path);
+  CampaignCheckpoint out;
+  EXPECT_FALSE(load_campaign_checkpoint(path, &out))
+      << "foreign record types must be skipped so campaigns start fresh";
+  std::remove(path.c_str());
 }
 
 }  // namespace

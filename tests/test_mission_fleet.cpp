@@ -1,0 +1,184 @@
+// Mission determinism and fleet Monte-Carlo aggregation: same seed =>
+// byte-identical MissionReport and event trace, across runs and across
+// FleetRunner thread counts; scrub-path faults at paper-plausible rates
+// cause zero false repairs and negligible availability loss.
+#include <gtest/gtest.h>
+
+#include "core/vscrub.h"
+
+namespace vscrub {
+namespace {
+
+class FleetFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new PlacedDesign(
+        compile(designs::counter_adder(8), device_tiny(8, 8)));
+    CampaignOptions copts;
+    copts.sample_bits = 4000;
+    const CampaignResult camp = run_campaign(*design_, copts);
+    sensitive_ = new std::unordered_set<u64>(camp.sensitive_set(*design_));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete sensitive_;
+    design_ = nullptr;
+    sensitive_ = nullptr;
+  }
+
+  static PayloadOptions faulty_options() {
+    PayloadOptions o;
+    // Scaled so a short mission on the small test device sees a useful
+    // number of upsets, plus paper-plausible scrub-path fault rates.
+    o.environment.upset_rate_per_bit_s = 2e-7;
+    o.scrub.link_faults = ScrubLinkFaults::leo_profile();
+    o.flash_faults = FlashFaultModel::leo_profile();
+    return o;
+  }
+
+  static PlacedDesign* design_;
+  static std::unordered_set<u64>* sensitive_;
+};
+
+PlacedDesign* FleetFixture::design_ = nullptr;
+std::unordered_set<u64>* FleetFixture::sensitive_ = nullptr;
+
+TEST_F(FleetFixture, SameSeedReproducesReportAndTrace) {
+  const auto run_once = [&](EventTrace* trace) {
+    PayloadOptions o = faulty_options();
+    o.seed = 7;
+    o.trace = trace;
+    Payload payload(*design_, o, *sensitive_);
+    return payload.run_mission(SimTime::hours(2));
+  };
+  EventTrace t1;
+  EventTrace t2;
+  const MissionReport r1 = run_once(&t1);
+  const MissionReport r2 = run_once(&t2);
+  EXPECT_TRUE(r1 == r2);
+  ASSERT_GT(t1.size(), 0u);
+  EXPECT_EQ(t1.joined(), t2.joined());
+  // Observability sinks must not influence the simulation.
+  const MissionReport r3 = run_once(nullptr);
+  EXPECT_TRUE(r1 == r3);
+}
+
+TEST_F(FleetFixture, FleetReproducesSingleThreadBitForBit) {
+  FleetOptions options;
+  options.missions = 6;
+  options.base_seed = 100;
+  options.duration = SimTime::hours(1);
+  options.payload = faulty_options();
+  options.capture_traces = true;
+  options.threads = 1;
+  const FleetResult seq = run_fleet(*design_, *sensitive_, options);
+  options.threads = 4;
+  const FleetResult par = run_fleet(*design_, *sensitive_, options);
+  ASSERT_EQ(seq.reports.size(), 6u);
+  ASSERT_EQ(par.reports.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(seq.reports[i] == par.reports[i]) << "mission " << i;
+    EXPECT_EQ(seq.traces[i], par.traces[i]) << "mission " << i;
+    EXPECT_FALSE(seq.traces[i].empty()) << "mission " << i;
+  }
+  EXPECT_EQ(seq.detected, par.detected);
+  EXPECT_EQ(seq.availability_mean, par.availability_mean);
+  EXPECT_EQ(seq.detection_latency_p99_ms, par.detection_latency_p99_ms);
+  // Fleet mission i is exactly a standalone mission with seed base_seed+i.
+  PayloadOptions o = faulty_options();
+  o.seed = 103;
+  Payload payload(*design_, o, *sensitive_);
+  EXPECT_TRUE(payload.run_mission(options.duration) == seq.reports[3]);
+}
+
+TEST_F(FleetFixture, LeoFaultRatesCauseZeroFalseRepairs) {
+  PayloadOptions clean;
+  clean.environment.upset_rate_per_bit_s = 2e-7;
+  clean.seed = 11;
+  Payload clean_payload(*design_, clean, *sensitive_);
+  const MissionReport rc = clean_payload.run_mission(SimTime::hours(4));
+
+  PayloadOptions faulty = faulty_options();
+  faulty.seed = 11;
+  Payload faulty_payload(*design_, faulty, *sensitive_);
+  const MissionReport rf = faulty_payload.run_mission(SimTime::hours(4));
+
+  // The fault processes ride an independent rng stream: the upset history is
+  // identical, the scrub-path faults are extra.
+  EXPECT_EQ(rf.upsets_total, rc.upsets_total);
+  EXPECT_GT(rf.false_alarms + rf.scrub_transfer_timeouts, 0u)
+      << "fault model should actually fire at LEO rates over 4 h";
+  EXPECT_EQ(rf.false_repairs, 0u) << "noise must never become a repair";
+  // Availability within 1% of the fault-free mission (acceptance bar).
+  EXPECT_NEAR(rf.availability, rc.availability, 0.01);
+}
+
+TEST_F(FleetFixture, FlashDoubleBitEscalatesNeverRepairsCorrupt) {
+  PayloadOptions o;
+  o.environment.upset_rate_per_bit_s = 2e-7;
+  o.hidden_state_fraction = 0.0;
+  o.seed = 3;
+  // Exaggerated double-bit rate so escalations actually occur in 2 h.
+  o.flash_faults.word_double_upset_prob = 0.05;
+  Payload payload(*design_, o, *sensitive_);
+  const MissionReport r = payload.run_mission(SimTime::hours(2));
+  ASSERT_GT(r.detected, 10u);
+  EXPECT_GT(r.flash_escalations, 0u);
+  // Every detection either repaired from a clean fetch or escalated —
+  // corrupt golden data is never written.
+  EXPECT_EQ(r.detected, r.repaired + r.flash_escalations);
+  EXPECT_GT(r.flash_stats.uncorrectable, 0u);
+}
+
+TEST_F(FleetFixture, FleetAggregatesMatchPerMissionReports) {
+  FleetOptions options;
+  options.missions = 4;
+  options.base_seed = 40;
+  options.duration = SimTime::hours(1);
+  options.payload = faulty_options();
+  const FleetResult r = run_fleet(*design_, *sensitive_, options);
+  u64 upsets = 0;
+  u64 detected = 0;
+  u64 alarms = 0;
+  double avail_sum = 0.0;
+  double lat_max = 0.0;
+  for (const MissionReport& m : r.reports) {
+    upsets += m.upsets_total;
+    detected += m.detected;
+    alarms += m.false_alarms;
+    avail_sum += m.availability;
+    lat_max = std::max(lat_max, m.max_detection_latency_ms);
+  }
+  EXPECT_EQ(r.upsets_total, upsets);
+  EXPECT_EQ(r.detected, detected);
+  EXPECT_EQ(r.false_alarms, alarms);
+  EXPECT_DOUBLE_EQ(r.availability_mean, avail_sum / 4.0);
+  EXPECT_GE(r.availability_ci95, 0.0);
+  EXPECT_LE(r.detection_latency_p50_ms, r.detection_latency_p99_ms);
+  EXPECT_LE(r.detection_latency_p99_ms, lat_max + 1e-9);
+
+  MetricsRegistry metrics;
+  fill_fleet_metrics(r, metrics);
+  EXPECT_EQ(metrics.counter("fleet_missions").value(), 4u);
+  EXPECT_EQ(metrics.counter("fleet_upsets").value(), upsets);
+  const std::string json = metrics.to_json();
+  EXPECT_NE(json.find("\"fleet_availability_mean\":"), std::string::npos);
+  EXPECT_NE(json.find("\"fleet_false_repairs\": 0"), std::string::npos);
+}
+
+TEST_F(FleetFixture, MissionMetricsMatchReport) {
+  MetricsRegistry metrics;
+  PayloadOptions o = faulty_options();
+  o.seed = 21;
+  o.metrics = &metrics;
+  Payload payload(*design_, o, *sensitive_);
+  const MissionReport r = payload.run_mission(SimTime::hours(1));
+  EXPECT_EQ(metrics.counter("mission_upsets").value(), r.upsets_total);
+  EXPECT_EQ(metrics.counter("mission_detected").value(), r.detected);
+  EXPECT_EQ(metrics.counter("mission_false_alarms").value(), r.false_alarms);
+  EXPECT_EQ(metrics.histogram("mission_detection_latency_ms").count(),
+            static_cast<u64>(r.detection_latency_ms.size()));
+}
+
+}  // namespace
+}  // namespace vscrub

@@ -1,0 +1,167 @@
+// Scrub-datapath fault model: readback noise must never cause a repair,
+// transfer timeouts retry with backoff (and escalate on exhaustion), flash
+// double-bit ECC aborts the repair — all with exact SimTime accounting.
+#include <gtest/gtest.h>
+
+#include "designs/test_designs.h"
+#include "pnr/pnr.h"
+#include "scrub/scrubber.h"
+
+namespace vscrub {
+namespace {
+
+struct FaultFixture {
+  PlacedDesign design;
+  FabricSim sim;
+  DesignHarness harness;
+  FlashStore flash;
+
+  FaultFixture()
+      : design(compile(designs::counter_adder(8), device_tiny(8, 8))),
+        sim(design.space),
+        harness(design, sim),
+        flash(design.bitstream) {
+    harness.configure();
+  }
+};
+
+TEST(ScrubFaults, ReadbackNoiseIsFilteredNeverRepaired) {
+  FaultFixture fx;
+  ScrubberOptions options;
+  options.link_faults.readback_flip_prob = 0.05;
+  options.link_faults.seed = 99;
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, options);
+  u32 alarms = 0;
+  for (int p = 0; p < 3; ++p) {
+    const auto pass = scrubber.scrub_pass(&fx.harness);
+    EXPECT_EQ(pass.errors_found, 0u) << "pass " << p;
+    EXPECT_EQ(pass.repairs, 0u) << "noise must never trigger a repair";
+    EXPECT_EQ(pass.resets, 0u);
+    alarms += pass.false_alarms;
+    // Exact accounting: every picosecond beyond the clean pass is fault
+    // overhead (the confirming re-reads).
+    EXPECT_EQ(pass.pass_time, scrubber.clean_pass_cost() + pass.fault_overhead);
+  }
+  EXPECT_GT(alarms, 0u) << "flip probability 0.05 should raise alarms";
+  // The device configuration was never touched.
+  const ConfigSpace& space = *fx.design.space;
+  for (u32 gf = 0; gf < space.frame_count(); ++gf) {
+    ASSERT_EQ(fx.sim.read_frame(space.frame_of_global(gf), false),
+              fx.design.bitstream.frame(gf))
+        << "frame " << gf;
+  }
+}
+
+TEST(ScrubFaults, RealUpsetRepairedThroughNoisyLink) {
+  FaultFixture fx;
+  ScrubberOptions options;
+  options.link_faults.readback_flip_prob = 0.05;
+  options.link_faults.seed = 17;
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, options);
+  const BitAddress addr = fx.design.space->address_of_linear(4321);
+  scrubber.insert_artificial_seu(addr);
+  const auto pass = scrubber.scrub_pass(&fx.harness);
+  // The re-read filter must confirm the real upset (two consecutive
+  // identical CRC-failing reads), not mistake it for noise.
+  EXPECT_EQ(pass.errors_found, 1u);
+  EXPECT_EQ(pass.repairs, 1u);
+  EXPECT_EQ(pass.escalations, 0u);
+  EXPECT_EQ(fx.sim.config_bit(addr), fx.design.bitstream.get_bit(addr));
+}
+
+TEST(ScrubFaults, TimeoutRetriesThenSucceeds) {
+  FaultFixture fx;
+  ScrubberOptions options;
+  options.link_faults.transfer_timeout_prob = 0.2;
+  options.link_faults.seed = 5;
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, options);
+  const auto pass = scrubber.scrub_pass(&fx.harness);
+  EXPECT_EQ(pass.frames_checked, fx.design.space->frame_count());
+  EXPECT_EQ(pass.errors_found, 0u);
+  EXPECT_EQ(pass.repairs, 0u);
+  EXPECT_GT(pass.transfer_timeouts, 0u);
+  // Timeout + backoff time is accounted exactly as fault overhead.
+  EXPECT_EQ(pass.pass_time, scrubber.clean_pass_cost() + pass.fault_overhead);
+  EXPECT_GT(pass.fault_overhead, SimTime());
+}
+
+TEST(ScrubFaults, RetryExhaustionEscalatesWithExactModeledTime) {
+  FaultFixture fx;
+  ScrubberOptions options;
+  options.link_faults.transfer_timeout_prob = 1.0;  // every attempt times out
+  options.link_faults.max_transfer_retries = 2;
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, options);
+  const auto pass = scrubber.scrub_pass(nullptr);
+  const u32 frames = fx.design.space->frame_count();
+  EXPECT_EQ(pass.retries_exhausted, frames);
+  EXPECT_EQ(pass.escalations, frames);
+  EXPECT_EQ(pass.resets, frames);
+  EXPECT_EQ(pass.errors_found, 0u);
+  EXPECT_EQ(pass.repairs, 0u);
+  // 3 attempts per frame (initial + 2 retries), each costing the timeout;
+  // exponential backoff of 1x + 2x the base between attempts.
+  EXPECT_EQ(pass.transfer_timeouts, 3u * frames);
+  const SimTime per_frame = options.link_faults.timeout_cost * i64{3} +
+                            options.link_faults.backoff_base * i64{3};
+  EXPECT_EQ(pass.pass_time, per_frame * static_cast<i64>(frames));
+  EXPECT_EQ(pass.pass_time, scrubber.clean_pass_cost() + pass.fault_overhead);
+}
+
+TEST(ScrubFaults, FlashDoubleBitEscalatesInsteadOfCorruptRepair) {
+  FaultFixture fx;
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, {});
+  const BitAddress addr = fx.design.space->address_of_linear(4321);
+  const u32 gf = fx.design.space->global_frame_index(addr.frame);
+  scrubber.insert_artificial_seu(addr);
+  // The golden copy of this frame rots in flash: a double-bit word that
+  // SECDED can only flag.
+  fx.flash.inject_upset(gf, 0, 5);
+  fx.flash.inject_upset(gf, 0, 41);
+  const auto pass = scrubber.scrub_pass(&fx.harness);
+  EXPECT_EQ(pass.errors_found, 1u);
+  EXPECT_EQ(pass.repairs, 0u) << "corrupt golden data must never be written";
+  EXPECT_EQ(pass.flash_uncorrectable, 1u);
+  EXPECT_EQ(pass.escalations, 1u);
+  EXPECT_EQ(pass.resets, 1u);
+  // The frame was left alone (still carrying the SEU), not overwritten with
+  // the corrupt fetch.
+  EXPECT_NE(fx.sim.config_bit(addr), fx.design.bitstream.get_bit(addr));
+}
+
+TEST(ScrubFaults, MetricsAndTracePublished) {
+  FaultFixture fx;
+  MetricsRegistry metrics;
+  EventTrace trace;
+  ScrubberOptions options;
+  options.metrics = &metrics;
+  options.trace = &trace;
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, options);
+  scrubber.insert_artificial_seu(fx.design.space->address_of_linear(1234));
+  const auto pass = scrubber.scrub_pass(&fx.harness);
+  ASSERT_EQ(pass.repairs, 1u);
+  EXPECT_EQ(metrics.counter("scrub_frames_checked").value(),
+            static_cast<u64>(pass.frames_checked));
+  EXPECT_EQ(metrics.counter("scrub_errors").value(), 1u);
+  EXPECT_EQ(metrics.counter("scrub_repairs").value(), 1u);
+  EXPECT_EQ(metrics.histogram("scrub_pass_ms").count(), 1u);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_NE(trace.joined().find("\"ev\":\"scrub_repair\""), std::string::npos);
+  const std::string json = metrics.to_json();
+  EXPECT_NE(json.find("\"scrub_repairs\": 1"), std::string::npos);
+  EXPECT_NE(json.find("scrub_pass_ms_p50"), std::string::npos);
+}
+
+TEST(ScrubFaults, IdealLinkBehaviourUnchangedByFaultMachinery) {
+  // With an all-zero fault model the pass must be byte-identical to the
+  // legacy path: no extra reads, no overhead, same events.
+  FaultFixture fx;
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, {});
+  const auto pass = scrubber.scrub_pass(&fx.harness);
+  EXPECT_EQ(pass.false_alarms, 0u);
+  EXPECT_EQ(pass.transfer_timeouts, 0u);
+  EXPECT_EQ(pass.fault_overhead, SimTime());
+  EXPECT_EQ(pass.pass_time, scrubber.clean_pass_cost());
+}
+
+}  // namespace
+}  // namespace vscrub

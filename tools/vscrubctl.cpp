@@ -5,7 +5,10 @@
 //                      [--threads N] [--chunk N] [--checkpoint FILE]
 //                      [--progress] [--no-prune] [--gang-width N] [--no-gang]
 //   vscrubctl beam <design> [--observations N]
-//   vscrubctl mission [--hours H] [--flare]
+//   vscrubctl mission [--hours H] [--flare] [--seed S] [--scrub-faults]
+//                     [--trace FILE.jsonl] [--json FILE.json]
+//   vscrubctl fleet [--missions N] [--hours H] [--flare] [--seed S]
+//                   [--threads N] [--scrub-faults] [--json FILE.json]
 //   vscrubctl bist
 //   vscrubctl info <image.vsb>
 //   vscrubctl designs | devices
@@ -194,6 +197,20 @@ int cmd_beam(const Args& args) {
   return 0;
 }
 
+void apply_mission_flags(const Args& args, PayloadOptions& options,
+                         u64 total_bits) {
+  options.environment = args.flag("--flare")
+                            ? OrbitEnvironment::leo_solar_flare()
+                            : OrbitEnvironment::leo_quiet();
+  options.environment.upset_rate_per_bit_s *=
+      static_cast<double>(kXcv1000PaperBits) / static_cast<double>(total_bits);
+  if (args.flag("--scrub-faults")) {
+    // Paper-plausible fault rates for the scrub datapath and golden store.
+    options.scrub.link_faults = ScrubLinkFaults::leo_profile();
+    options.flash_faults = FlashFaultModel::leo_profile();
+  }
+}
+
 int cmd_mission(const Args& args) {
   Workbench bench(make_device(args.option("--device", "campaign")));
   const auto design = bench.compile(designs::lfsr_multiplier(10));
@@ -201,12 +218,15 @@ int cmd_mission(const Args& args) {
   copts.sample_bits = 10000;
   const auto camp = bench.campaign(design, copts);
   PayloadOptions options;
-  options.environment = args.flag("--flare")
-                            ? OrbitEnvironment::leo_solar_flare()
-                            : OrbitEnvironment::leo_quiet();
-  options.environment.upset_rate_per_bit_s *=
-      static_cast<double>(kXcv1000PaperBits) /
-      static_cast<double>(design.space->total_bits());
+  apply_mission_flags(args, options, design.space->total_bits());
+  options.seed =
+      std::strtoull(args.option("--seed", "4242").c_str(), nullptr, 10);
+  MetricsRegistry metrics;
+  EventTrace trace;
+  const std::string trace_path = args.option("--trace", "");
+  const std::string json_path = args.option("--json", "");
+  if (!json_path.empty()) options.metrics = &metrics;
+  if (!trace_path.empty()) options.trace = &trace;
   Payload payload(design, options, camp.sensitive_set(design));
   const double hours = std::atof(args.option("--hours", "24").c_str());
   const auto r = payload.run_mission(SimTime::hours(hours));
@@ -218,6 +238,66 @@ int cmd_mission(const Args& args) {
               static_cast<unsigned long long>(r.repaired), r.availability);
   std::printf("scrub cycle %.1f ms/board, detection latency mean %.1f ms\n",
               r.scrub_cycle_per_board.ms(), r.mean_detection_latency_ms);
+  if (options.scrub.link_faults.enabled() || options.flash_faults.enabled()) {
+    std::printf("scrub faults: %llu false alarms, %llu false repairs, %llu "
+                "timeouts, %llu flash escalations\n",
+                static_cast<unsigned long long>(r.false_alarms),
+                static_cast<unsigned long long>(r.false_repairs),
+                static_cast<unsigned long long>(r.scrub_transfer_timeouts),
+                static_cast<unsigned long long>(r.flash_escalations));
+  }
+  if (!trace_path.empty() && trace.write_jsonl(trace_path)) {
+    std::printf("wrote %zu trace events to %s\n", trace.size(),
+                trace_path.c_str());
+  }
+  if (!json_path.empty() && metrics.write_json(json_path)) {
+    std::printf("wrote mission metrics to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_fleet(const Args& args) {
+  Workbench bench(make_device(args.option("--device", "campaign")));
+  const auto design = bench.compile(designs::lfsr_multiplier(10));
+  CampaignOptions copts;
+  copts.sample_bits = 10000;
+  const auto camp = bench.campaign(design, copts);
+  FleetOptions options;
+  options.missions = static_cast<u32>(
+      std::strtoul(args.option("--missions", "8").c_str(), nullptr, 10));
+  options.base_seed =
+      std::strtoull(args.option("--seed", "1").c_str(), nullptr, 10);
+  options.threads = static_cast<u32>(
+      std::strtoul(args.option("--threads", "0").c_str(), nullptr, 10));
+  options.duration =
+      SimTime::hours(std::atof(args.option("--hours", "24").c_str()));
+  apply_mission_flags(args, options.payload, design.space->total_bits());
+  const auto r = bench.fleet(design, camp.sensitive_set(design), options);
+  std::printf("%u missions x %.0f h (%s): %llu upsets, %llu detected, %llu "
+              "repaired\n",
+              options.missions, options.duration.sec() / 3600.0,
+              options.payload.environment.name.c_str(),
+              static_cast<unsigned long long>(r.upsets_total),
+              static_cast<unsigned long long>(r.detected),
+              static_cast<unsigned long long>(r.repaired));
+  std::printf("availability %.6f +/- %.6f (95%% CI), latency p50 %.1f ms, "
+              "p99 %.1f ms\n",
+              r.availability_mean, r.availability_ci95,
+              r.detection_latency_p50_ms, r.detection_latency_p99_ms);
+  std::printf("scrub faults: %llu false alarms, %llu false repairs, %llu "
+              "timeouts, %llu flash escalations\n",
+              static_cast<unsigned long long>(r.false_alarms),
+              static_cast<unsigned long long>(r.false_repairs),
+              static_cast<unsigned long long>(r.scrub_transfer_timeouts),
+              static_cast<unsigned long long>(r.flash_escalations));
+  const std::string json_path = args.option("--json", "");
+  if (!json_path.empty()) {
+    MetricsRegistry metrics;
+    fill_fleet_metrics(r, metrics);
+    if (metrics.write_json(json_path)) {
+      std::printf("wrote fleet metrics to %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -268,7 +348,10 @@ int usage() {
       "           [--threads N] [--chunk N] [--checkpoint FILE] [--progress]\n"
       "           [--no-prune] [--gang-width N] [--no-gang]\n"
       "  beam <design> [--observations N]\n"
-      "  mission [--hours H] [--flare]\n"
+      "  mission [--hours H] [--flare] [--seed S] [--scrub-faults]\n"
+      "          [--trace FILE.jsonl] [--json FILE.json]\n"
+      "  fleet [--missions N] [--hours H] [--flare] [--seed S] [--threads N]\n"
+      "        [--scrub-faults] [--json FILE.json]\n"
       "  bist [--device D]\n"
       "  info <image.vsb>\n"
       "  designs | devices\n");
@@ -290,6 +373,7 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "beam") return cmd_beam(args);
     if (cmd == "mission") return cmd_mission(args);
+    if (cmd == "fleet") return cmd_fleet(args);
     if (cmd == "bist") return cmd_bist(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "designs") {
