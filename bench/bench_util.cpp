@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "report/json.h"
+
 namespace vscrub::bench {
 
 void print_sensitivity_table(const char* title,
@@ -45,19 +47,11 @@ void BenchJson::set(const std::string& key, double value) {
 }
 
 bool BenchJson::write(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
-    return false;
-  }
-  std::fprintf(f, "{\n");
-  for (std::size_t i = 0; i < fields_.size(); ++i) {
-    // %.17g round-trips doubles; integral metrics print without a point.
-    std::fprintf(f, "  \"%s\": %.17g%s\n", fields_[i].first.c_str(),
-                 fields_[i].second, i + 1 < fields_.size() ? "," : "");
-  }
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  // Serialized through the shared report/json emitter, so bench artifacts
+  // carry the same schema_version/kind preamble as every other report.
+  JsonReport report("bench");
+  for (const auto& [key, value] : fields_) report.set(key, value);
+  if (!report.write(path)) return false;
   std::printf("wrote %s\n", path.c_str());
   return true;
 }

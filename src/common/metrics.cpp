@@ -65,7 +65,8 @@ void MetricsRegistry::set_gauge(const std::string& name, double value) {
   gauges_.emplace_back(name, value);
 }
 
-std::string MetricsRegistry::to_json() const {
+std::vector<std::pair<std::string, double>> MetricsRegistry::flattened()
+    const {
   std::vector<std::pair<std::string, double>> fields;
   for (const auto& [n, c] : counters_) {
     fields.emplace_back(n, static_cast<double>(c.value()));
@@ -77,29 +78,7 @@ std::string MetricsRegistry::to_json() const {
     fields.emplace_back(n + "_p50", h.percentile(50));
     fields.emplace_back(n + "_p99", h.percentile(99));
   }
-  std::string out = "{\n";
-  char buf[352];
-  for (std::size_t i = 0; i < fields.size(); ++i) {
-    // %.17g round-trips doubles; integral metrics print without a point.
-    std::snprintf(buf, sizeof buf, "  \"%s\": %.17g%s\n",
-                  fields[i].first.c_str(), fields[i].second,
-                  i + 1 < fields.size() ? "," : "");
-    out += buf;
-  }
-  out += "}\n";
-  return out;
-}
-
-bool MetricsRegistry::write_json(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "metrics: cannot write %s\n", path.c_str());
-    return false;
-  }
-  const std::string json = to_json();
-  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
-  std::fclose(f);
-  return ok;
+  return fields;
 }
 
 }  // namespace vscrub

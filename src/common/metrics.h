@@ -51,13 +51,11 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name);
   void set_gauge(const std::string& name, double value);
 
-  /// Flat `{"name": value, ...}` JSON: counters and gauges verbatim, each
-  /// histogram expanded to name_count/name_mean/name_p50/name_p99. The shape
-  /// matches the BENCH_*.json artifacts CI uploads.
-  std::string to_json() const;
-  /// Writes to_json() to `path`. Returns false (with a warning on stderr)
-  /// when the file cannot be written; callers keep going.
-  bool write_json(const std::string& path) const;
+  /// The registry flattened to ordered (name, value) pairs: counters and
+  /// gauges verbatim, each histogram expanded to name_count/name_mean/
+  /// name_p50/name_p99. Serialization itself lives in report/json
+  /// (JsonReport::add_metrics): one JSON emitter for every artifact.
+  std::vector<std::pair<std::string, double>> flattened() const;
 
  private:
   std::vector<std::pair<std::string, Counter>> counters_;

@@ -1,0 +1,202 @@
+#include "core/cli.h"
+
+#include <cstdlib>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+namespace {
+
+CliFlag value_flag(const char* name, const char* value_name,
+                   const char* help) {
+  return CliFlag{name, true, value_name, help};
+}
+
+CliFlag bool_flag(const char* name, const char* help) {
+  return CliFlag{name, false, "", help};
+}
+
+CliFlag device_flag() {
+  return value_flag("--device", "D",
+                    "device geometry (see `vscrubctl devices`)");
+}
+
+std::vector<CliFlag> campaign_flags() {
+  return {
+      device_flag(),
+      value_flag("--sample", "N", "sample N random bits (default 20000)"),
+      bool_flag("--exhaustive", "inject every configuration bit"),
+      bool_flag("--persistence", "classify persistent vs transient failures"),
+      value_flag("--threads", "N", "worker threads (0 = hardware)"),
+      value_flag("--chunk", "N", "bits per scheduler chunk (0 = auto)"),
+      value_flag("--checkpoint", "FILE", "checkpoint/resume file"),
+      bool_flag("--progress", "live progress line on stderr"),
+      bool_flag("--no-prune", "disable influence-set pruning"),
+      value_flag("--gang-width", "N", "bit-sliced gang lanes (default 64)"),
+      bool_flag("--no-gang", "scalar injections only (gang width 1)"),
+      value_flag("--cache-dir", "DIR", "content-addressed verdict store"),
+      value_flag("--json", "FILE", "write a versioned campaign report"),
+  };
+}
+
+std::vector<CliCommand> build_commands() {
+  std::vector<CliCommand> commands;
+  commands.push_back(
+      {"compile", "<design>", "place, route and emit a configuration image",
+       {
+           device_flag(),
+           bool_flag("--raddrc", "route LUT-ROM constants (half-latch DRC)"),
+           bool_flag("--tmr", "apply triple modular redundancy first"),
+           value_flag("-o", "FILE", "write the bitstream image"),
+       }});
+  commands.push_back({"campaign", "<design>",
+                      "run a fault-injection campaign", campaign_flags()});
+  {
+    CliCommand recampaign{"recampaign", "<design>",
+                          "delta re-campaign against a verdict store",
+                          campaign_flags()};
+    commands.push_back(std::move(recampaign));
+  }
+  commands.push_back(
+      {"beam", "<design>", "virtual beam-test correlation run",
+       {
+           device_flag(),
+           value_flag("--observations", "N", "beam observations (default 1000)"),
+       }});
+  commands.push_back(
+      {"mission", "", "single on-orbit mission simulation",
+       {
+           device_flag(),
+           value_flag("--hours", "H", "mission duration (default 24)"),
+           bool_flag("--flare", "solar-flare environment"),
+           value_flag("--seed", "S", "mission random seed"),
+           bool_flag("--scrub-faults", "enable scrub-datapath fault models"),
+           value_flag("--trace", "FILE", "write a JSONL event trace"),
+           value_flag("--json", "FILE", "write a versioned mission report"),
+       }});
+  commands.push_back(
+      {"fleet", "", "Monte-Carlo fleet of seeded missions",
+       {
+           device_flag(),
+           value_flag("--missions", "N", "missions in the sweep (default 8)"),
+           value_flag("--hours", "H", "per-mission duration (default 24)"),
+           bool_flag("--flare", "solar-flare environment"),
+           value_flag("--seed", "S", "base seed (mission i uses seed+i)"),
+           value_flag("--threads", "N", "worker threads (0 = hardware)"),
+           bool_flag("--scrub-faults", "enable scrub-datapath fault models"),
+           value_flag("--json", "FILE", "write a versioned fleet report"),
+       }});
+  commands.push_back({"bist", "", "built-in self-test of the fabric model",
+                      {device_flag()}});
+  commands.push_back(
+      {"info", "<image.vsb>", "describe a saved configuration image", {}});
+  commands.push_back({"designs", "", "list built-in design generators", {}});
+  commands.push_back({"devices", "", "list device geometries", {}});
+  return commands;
+}
+
+}  // namespace
+
+const std::vector<CliCommand>& cli_commands() {
+  static const std::vector<CliCommand> commands = build_commands();
+  return commands;
+}
+
+const CliCommand* cli_find(const std::string& name) {
+  for (const CliCommand& cmd : cli_commands()) {
+    if (cmd.name == name) return &cmd;
+  }
+  return nullptr;
+}
+
+bool CliArgs::flag(const std::string& name) const {
+  for (const auto& [k, v] : options) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+std::string CliArgs::option(const std::string& name,
+                            const std::string& dflt) const {
+  for (const auto& [k, v] : options) {
+    if (k == name) return v;
+  }
+  return dflt;
+}
+
+u64 CliArgs::option_u64(const std::string& name, u64 dflt) const {
+  for (const auto& [k, v] : options) {
+    if (k == name) return std::strtoull(v.c_str(), nullptr, 10);
+  }
+  return dflt;
+}
+
+double CliArgs::option_double(const std::string& name, double dflt) const {
+  for (const auto& [k, v] : options) {
+    if (k == name) return std::atof(v.c_str());
+  }
+  return dflt;
+}
+
+CliArgs cli_parse(const CliCommand& cmd,
+                  const std::vector<std::string>& argv) {
+  CliArgs args;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& word = argv[i];
+    if (word.empty() || word[0] != '-') {
+      args.positional.push_back(word);
+      continue;
+    }
+    const CliFlag* flag = nullptr;
+    for (const CliFlag& f : cmd.flags) {
+      if (f.name == word) {
+        flag = &f;
+        break;
+      }
+    }
+    if (flag == nullptr) {
+      throw Error("unknown flag '" + word + "' for `vscrubctl " + cmd.name +
+                  "` (try --help)");
+    }
+    std::string value;
+    if (flag->takes_value) {
+      if (i + 1 >= argv.size()) {
+        throw Error("flag '" + word + "' needs a " + flag->value_name +
+                    " value");
+      }
+      value = argv[++i];
+    }
+    args.options.emplace_back(word, std::move(value));
+  }
+  return args;
+}
+
+std::string cli_help(const CliCommand& cmd) {
+  std::string out = "usage: vscrubctl " + cmd.name;
+  if (!cmd.positional.empty()) out += " " + cmd.positional;
+  if (!cmd.flags.empty()) out += " [flags]";
+  out += "\n  " + cmd.help + "\n";
+  if (!cmd.flags.empty()) out += "flags:\n";
+  for (const CliFlag& f : cmd.flags) {
+    std::string lhs = "  " + f.name;
+    if (f.takes_value) lhs += " " + f.value_name;
+    while (lhs.size() < 22) lhs += ' ';
+    out += lhs + f.help + "\n";
+  }
+  return out;
+}
+
+std::string cli_usage() {
+  std::string out = "usage: vscrubctl <command> [flags]\n"
+                    "commands (see `vscrubctl <command> --help`):\n";
+  for (const CliCommand& cmd : cli_commands()) {
+    std::string lhs = "  " + cmd.name;
+    if (!cmd.positional.empty()) lhs += " " + cmd.positional;
+    while (lhs.size() < 22) lhs += ' ';
+    out += lhs + cmd.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace vscrub

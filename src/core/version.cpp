@@ -2,6 +2,8 @@
 
 namespace vscrub {
 
-const char* version() { return "1.0.0"; }
+// 2.0.0: the deprecated static Workbench::sensitive_set forwarder is gone
+// (kWorkbenchApiVersion 2); verdict store + recampaign + report/json added.
+const char* version() { return "2.0.0"; }
 
 }  // namespace vscrub

@@ -43,6 +43,12 @@ namespace vscrub {
 /// Library version.
 const char* version();
 
+/// Workbench API version. Bumped to 2 when the deprecated static
+/// Workbench::sensitive_set(design, result) forwarder was removed (use
+/// CampaignResult::sensitive_set(design)) and the verdict-store surface
+/// (CampaignOptions::with_cache, Workbench::recampaign) was added.
+inline constexpr int kWorkbenchApiVersion = 2;
+
 class Workbench {
  public:
   explicit Workbench(DeviceGeometry geom)
@@ -57,10 +63,23 @@ class Workbench {
         std::make_shared<const Netlist>(std::move(netlist)), space_, options);
   }
 
-  /// Run an SEU injection campaign.
+  /// Run an SEU injection campaign. Pass options.with_cache(dir) to answer
+  /// injections from (and persist fresh verdicts to) a content-addressed
+  /// verdict store — warm-cache results are bit-identical to cold runs.
   CampaignResult campaign(const PlacedDesign& design,
                           const CampaignOptions& options = {}) const {
     return run_campaign(design, options);
+  }
+
+  /// Delta re-campaign against the prior run recorded in the verdict store:
+  /// diffs the design's frames against the stored manifest, re-injects only
+  /// bits whose content-addressed key moved, replays the rest, and reports
+  /// the reuse rate and speedup vs the prior run. `options.cache_dir` is
+  /// filled from `cache_dir` here.
+  RecampaignResult recampaign(const PlacedDesign& design, std::string cache_dir,
+                              CampaignOptions options = {}) const {
+    options.cache_dir = std::move(cache_dir);
+    return run_recampaign(design, options);
   }
 
   /// Build a scrubber for a compiled design over a live fabric and a golden
@@ -121,14 +140,6 @@ class Workbench {
   /// Half-latch dependency DRC for a compiled design (§III-C).
   RadDrcReport raddrc(const PlacedDesign& design) const {
     return raddrc_analyze(design);
-  }
-
-  /// The sensitivity map as a linear-bit-index set, the form the beam
-  /// validation and mission simulator consume.
-  [[deprecated("use CampaignResult::sensitive_set(design) instead")]]
-  static std::unordered_set<u64> sensitive_set(const PlacedDesign& design,
-                                               const CampaignResult& result) {
-    return result.sensitive_set(design);
   }
 
  private:

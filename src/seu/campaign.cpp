@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "seu/cache_key.h"
 #include "seu/checkpoint.h"
 
 namespace vscrub {
@@ -59,6 +60,8 @@ struct Aggregates {
   u64 failures = 0;
   u64 persistent = 0;
   u64 pruned = 0;
+  u64 cache_hits = 0;
+  u64 cache_misses = 0;
   i64 modeled_ps = 0;
   InjectionPhases phases;
   std::vector<CampaignResult::SensitiveBit> sensitive;
@@ -77,6 +80,8 @@ CampaignCheckpoint to_checkpoint(const Aggregates& agg,
   ck.failures = agg.failures;
   ck.persistent = agg.persistent;
   ck.pruned = agg.pruned;
+  ck.cache_hits = agg.cache_hits;
+  ck.cache_misses = agg.cache_misses;
   ck.modeled_ps = agg.modeled_ps;
   ck.phases = agg.phases;
   ck.sensitive_bits = agg.sensitive;
@@ -97,6 +102,28 @@ std::unordered_set<u64> CampaignResult::sensitive_set(
   return set;
 }
 
+u64 CampaignResult::sensitive_digest(const PlacedDesign& design) const {
+  // XOR of per-bit hashes: order-independent, so the digest is stable no
+  // matter how chunks were scheduled. Provenance (from_cache) is excluded —
+  // a warm replay must digest identically to the cold run it replays.
+  u64 digest = 0;
+  for (const auto& sb : sensitive_bits) {
+    u64 h = 0xCBF29CE484222325ULL;
+    const auto fold = [&h](u64 v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001B3ULL;
+      }
+    };
+    fold(design.space->linear_of(sb.addr));
+    fold(static_cast<u64>(sb.persistent));
+    fold(sb.first_error_cycle);
+    fold(sb.error_output_mask_lo);
+    digest ^= h;
+  }
+  return digest;
+}
+
 CampaignResult run_campaign(const PlacedDesign& design,
                             const CampaignOptions& options) {
   const auto start = std::chrono::steady_clock::now();
@@ -112,6 +139,22 @@ CampaignResult run_campaign(const PlacedDesign& design,
   result.device_bits = space.total_bits();
   result.design_slices = design.stats.slices_used;
   result.utilization = design.stats.utilization;
+
+  // Verdict store: opened (and its shards loaded) before the pool starts, so
+  // workers only ever issue lock-free find() probes plus buffered put()s.
+  // The key plan is computed once and shared read-only.
+  std::unique_ptr<VerdictStore> store;
+  CacheKeyPlan plan;
+  SimTime cached_iter_time;
+  if (!options.cache_dir.empty()) {
+    result.cache_enabled = true;
+    store = std::make_unique<VerdictStore>(options.cache_dir);
+    plan = build_cache_key_plan(design, options.injection);
+    // Every iteration — fresh or replayed — bills the same modeled hardware
+    // cost: the real testbed cannot cache.
+    cached_iter_time =
+        modeled_injection_iteration_time(design, options.injection);
+  }
 
   // Resume: a compatible checkpoint pre-marks its chunks done and seeds the
   // aggregates; anything else is ignored (and overwritten on the next save).
@@ -138,6 +181,8 @@ CampaignResult run_campaign(const PlacedDesign& design,
       agg.failures = prev.failures;
       agg.persistent = prev.persistent;
       agg.pruned = prev.pruned;
+      agg.cache_hits = prev.cache_hits;
+      agg.cache_misses = prev.cache_misses;
       agg.modeled_ps = prev.modeled_ps;
       agg.phases = prev.phases;
       agg.sensitive = std::move(prev.sensitive_bits);
@@ -173,6 +218,7 @@ CampaignResult run_campaign(const PlacedDesign& design,
     p.failures = agg.failures;
     p.persistent = agg.persistent;
     p.pruned = agg.pruned;
+    p.cache_hits = agg.cache_hits;
     p.chunks_done = chunks_done;
     p.chunks_total = nchunks;
     p.chunks_resumed = resumed_chunks;
@@ -200,19 +246,13 @@ CampaignResult run_campaign(const PlacedDesign& design,
     const u64 c = begin / chunk_size;
     if ((resumed_done[c >> 3] >> (c & 7)) & 1) return;
     if (stop.load(std::memory_order_relaxed)) return;
-    // One injector per worker, built on first use (the constructor computes
-    // the golden trace and configures a fabric — not free).
-    if (!injectors[worker]) {
-      injectors[worker] =
-          std::make_unique<SeuInjector>(design, options.injection);
-    }
-    SeuInjector& injector = *injectors[worker];
 
     u64 local_failures = 0, local_persistent = 0;
+    u64 local_hits = 0, local_misses = 0;
     SimTime local_time;
     std::vector<CampaignResult::SensitiveBit> local_sensitive;
     std::unordered_map<u8, u64> local_by_field;
-    const auto consume = [&](const InjectionResult& r) {
+    const auto consume = [&](const InjectionResult& r, bool from_cache) {
       local_time += r.modeled_time;
       if (r.output_error) {
         ++local_failures;
@@ -220,7 +260,7 @@ CampaignResult run_campaign(const PlacedDesign& design,
         if (options.record_sensitive_bits) {
           local_sensitive.push_back({r.addr, r.persistent,
                                      r.first_error_cycle,
-                                     r.error_output_mask_lo});
+                                     r.error_output_mask_lo, from_cache});
         }
         const auto ref = space.tile_ref_of(r.addr);
         if (ref.valid) {
@@ -229,34 +269,96 @@ CampaignResult run_campaign(const PlacedDesign& design,
         }
       }
     };
-    // Gang batching: collect this chunk's gang-eligible bits for one
-    // word-parallel run; everything else goes through the scalar loop. Both
-    // paths yield identical per-bit results, so the aggregation is
-    // order-independent (sensitive bits are sorted at the end anyway).
-    const bool use_gang = injector.gang_capable();
-    std::vector<BitAddress> gang_addrs;
-    if (use_gang) gang_addrs.reserve(end - begin);
-    for (u64 i = begin; i < end; ++i) {
-      const BitAddress addr = space.address_of_linear(bits[i]);
-      if (use_gang && injector.gang_eligible(addr)) {
-        gang_addrs.push_back(addr);
-        continue;
+
+    // Verdict-store probe, ahead of both the scheduler's scalar loop and the
+    // gang engine: a hit replays the stored verdict (bit-identical to what
+    // the injection would produce) and never touches a simulator. Probe the
+    // exact key first, then the conservative whole-design fallback key under
+    // which oscillation-bounded verdicts were stored.
+    std::vector<u64> miss_bits;
+    if (store) {
+      miss_bits.reserve(end - begin);
+      for (u64 i = begin; i < end; ++i) {
+        const u64 linear = bits[i];
+        const BitAddress addr = space.address_of_linear(linear);
+        const StoredVerdict* v = store->find(plan.key_of(space, addr, linear));
+        if (!v) v = store->find(plan.fallback_key_of(space, addr, linear));
+        if (!v) {
+          ++local_misses;
+          miss_bits.push_back(linear);
+          continue;
+        }
+        ++local_hits;
+        InjectionResult r;
+        r.addr = addr;
+        r.output_error = v->output_error;
+        r.persistent = v->persistent;
+        r.first_error_cycle = v->first_error_cycle;
+        r.error_output_mask_lo = v->error_output_mask_lo;
+        r.modeled_time = cached_iter_time;
+        consume(r, /*from_cache=*/true);
       }
-      consume(injector.inject(addr));
+    } else {
+      miss_bits.assign(bits.begin() + static_cast<std::ptrdiff_t>(begin),
+                       bits.begin() + static_cast<std::ptrdiff_t>(end));
     }
-    if (!gang_addrs.empty()) {
-      for (const InjectionResult& r : injector.run_gang(gang_addrs)) {
-        consume(r);
+
+    InjectionPhases phase_delta;
+    if (!miss_bits.empty()) {
+      // One injector per worker, built on first miss (the constructor
+      // computes the golden trace and configures a fabric — not free, and a
+      // fully-cached chunk never needs one).
+      if (!injectors[worker]) {
+        injectors[worker] =
+            std::make_unique<SeuInjector>(design, options.injection);
       }
+      SeuInjector& injector = *injectors[worker];
+      const auto record = [&](const InjectionResult& r) {
+        consume(r, /*from_cache=*/false);
+        if (store) {
+          const u64 linear = space.linear_of(r.addr);
+          // Oscillation-bounded runs are not provably a function of the
+          // bit's closure alone: store them under the whole-design fallback
+          // key, which any design change invalidates.
+          const VerdictKey key =
+              r.fabric_oscillated ? plan.fallback_key_of(space, r.addr, linear)
+                                  : plan.key_of(space, r.addr, linear);
+          store->put(key, StoredVerdict{r.output_error, r.persistent,
+                                        r.first_error_cycle,
+                                        r.error_output_mask_lo});
+        }
+      };
+      // Gang batching: collect this chunk's gang-eligible bits for one
+      // word-parallel run; everything else goes through the scalar loop.
+      // Both paths yield identical per-bit results, so the aggregation is
+      // order-independent (sensitive bits are sorted at the end anyway).
+      const bool use_gang = injector.gang_capable();
+      std::vector<BitAddress> gang_addrs;
+      if (use_gang) gang_addrs.reserve(miss_bits.size());
+      for (const u64 linear : miss_bits) {
+        const BitAddress addr = space.address_of_linear(linear);
+        if (use_gang && injector.gang_eligible(addr)) {
+          gang_addrs.push_back(addr);
+          continue;
+        }
+        record(injector.inject(addr));
+      }
+      if (!gang_addrs.empty()) {
+        for (const InjectionResult& r : injector.run_gang(gang_addrs)) {
+          record(r);
+        }
+      }
+      phase_delta = injector.phases();
+      injector.reset_phases();
     }
-    const InjectionPhases phase_delta = injector.phases();
-    injector.reset_phases();
 
     std::lock_guard lock(merge_mutex);
     agg.injections += end - begin;
     agg.failures += local_failures;
     agg.persistent += local_persistent;
     agg.pruned += phase_delta.pruned;
+    agg.cache_hits += local_hits;
+    agg.cache_misses += local_misses;
     agg.modeled_ps += local_time.ps();
     agg.phases += phase_delta;
     agg.sensitive.insert(agg.sensitive.end(), local_sensitive.begin(),
@@ -292,6 +394,8 @@ CampaignResult run_campaign(const PlacedDesign& design,
   result.failures = agg.failures;
   result.persistent = agg.persistent;
   result.pruned = agg.pruned;
+  result.cache_hits = agg.cache_hits;
+  result.cache_misses = agg.cache_misses;
   result.modeled_hardware_time = SimTime::picoseconds(agg.modeled_ps);
   result.phases = agg.phases;
   result.sensitive_bits = std::move(agg.sensitive);
@@ -299,6 +403,39 @@ CampaignResult run_campaign(const PlacedDesign& design,
   if (options.record_sampled_bits) result.sampled_bits = bits;
   std::sort(result.sensitive_bits.begin(), result.sensitive_bits.end(),
             [](const auto& a, const auto& b) { return a.addr < b.addr; });
+  // Persist the store last: fresh verdicts first (workers are done, so
+  // flush() no longer races find()), then — only for a *completed* campaign —
+  // the manifest a later recampaign diffs against.
+  if (store) {
+    result.cache_stores = store->flush();
+    if (!result.interrupted) {
+      CampaignManifest m;
+      m.arch_fingerprint = plan.arch_fingerprint;
+      m.stimulus_hash = plan.stimulus_hash;
+      m.design_name = design.netlist->name();
+      m.device_name = space.geometry().name;
+      m.universe_bits = n;
+      m.sample_bits = options.sample_bits;
+      m.sample_seed = options.sample_seed;
+      m.injections = result.injections;
+      m.failures = result.failures;
+      m.persistent = result.persistent;
+      m.sensitive_digest = result.sensitive_digest(design);
+      m.frame_hashes = plan.frame_hashes;
+      m.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      try {
+        save_campaign_manifest(
+            campaign_manifest_path(store->dir(), m.device_name, m.design_name),
+            m);
+      } catch (const Error& e) {
+        VSCRUB_WARN("campaign: cannot write manifest (", e.what(), ")");
+      }
+    }
+  }
+
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -306,11 +443,58 @@ CampaignResult run_campaign(const PlacedDesign& design,
 
   VSCRUB_INFO("campaign ", design.netlist->name(), ": ", result.injections,
               " injections (", result.resumed_injections, " resumed, ",
-              result.pruned, " pruned), ", result.failures, " failures (",
-              result.sensitivity() * 100.0, "%), ", pool.thread_count(),
-              " workers, ", result.wall_seconds, "s",
+              result.pruned, " pruned", result.cache_enabled ? ", " : "",
+              result.cache_enabled ? std::to_string(result.cache_hits) : "",
+              result.cache_enabled ? " cached" : "", "), ", result.failures,
+              " failures (", result.sensitivity() * 100.0, "%), ",
+              pool.thread_count(), " workers, ", result.wall_seconds, "s",
               result.interrupted ? " [interrupted]" : "");
   return result;
+}
+
+RecampaignResult run_recampaign(const PlacedDesign& design,
+                                const CampaignOptions& options) {
+  VSCRUB_CHECK(!options.cache_dir.empty(),
+               "run_recampaign requires CampaignOptions::cache_dir");
+  RecampaignResult rr;
+
+  // Load the prior manifest *before* the campaign runs (a completed campaign
+  // overwrites it). A missing or corrupt manifest degrades to "no prior":
+  // the run is then an ordinary cache-filling campaign.
+  CampaignManifest prior;
+  const std::string manifest_path = campaign_manifest_path(
+      options.cache_dir, design.space->geometry().name, design.netlist->name());
+  try {
+    rr.had_prior = load_campaign_manifest(manifest_path, &prior);
+  } catch (const Error& e) {
+    VSCRUB_WARN("recampaign: unreadable manifest ", manifest_path, " (",
+                e.what(), "); treating as cold");
+  }
+  if (rr.had_prior) {
+    const std::vector<u64> frames = hash_bitstream_frames(design.bitstream);
+    rr.frames_total = frames.size();
+    if (prior.frame_hashes.size() == frames.size()) {
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        rr.frames_changed +=
+            static_cast<u64>(frames[i] != prior.frame_hashes[i]);
+      }
+    } else {
+      rr.frames_changed = frames.size();  // different device: all-new frames
+    }
+    rr.prior_injections = prior.injections;
+    rr.prior_wall_seconds = prior.wall_seconds;
+    rr.prior_sensitive_digest = prior.sensitive_digest;
+    VSCRUB_INFO("recampaign ", design.netlist->name(), ": ",
+                rr.frames_changed, "/", rr.frames_total,
+                " frames changed vs prior run");
+  }
+
+  rr.result = run_campaign(design, options);
+
+  rr.current_sensitive_digest = rr.result.sensitive_digest(design);
+  rr.sensitive_match =
+      rr.had_prior && rr.prior_sensitive_digest == rr.current_sensitive_digest;
+  return rr;
 }
 
 }  // namespace vscrub

@@ -22,6 +22,7 @@ struct CampaignProgress {
   u64 failures = 0;
   u64 persistent = 0;
   u64 pruned = 0;  ///< injections short-circuited by observability pruning
+  u64 cache_hits = 0;      ///< injections answered by the verdict store
   u64 chunks_done = 0;     ///< includes chunks restored from a checkpoint
   u64 chunks_total = 0;
   u64 chunks_resumed = 0;  ///< chunks skipped because a checkpoint covered them
@@ -64,6 +65,15 @@ struct CampaignOptions {
   std::string checkpoint_path;
   u64 checkpoint_every_chunks = 32;
 
+  /// When set, opens a content-addressed verdict store in this directory:
+  /// bits whose key (arch fingerprint, stimulus, frame content, influence
+  /// closure, bit index — see seu/cache_key.h) matches a stored verdict are
+  /// answered from the store without simulation; everything injected fresh
+  /// is stored back, and a campaign manifest is written on completion so a
+  /// later run_recampaign() can diff against this run. Warm-cache results
+  /// are bit-identical to cold runs; corrupt store files degrade to misses.
+  std::string cache_dir;
+
   // Fluent construction, so call sites can assemble options in one
   // expression instead of mutating an aggregate field-by-field.
   CampaignOptions& with_injection(const InjectionOptions& v) {
@@ -104,6 +114,10 @@ struct CampaignOptions {
   CampaignOptions& with_checkpoint(std::string path, u64 every_chunks = 32) {
     checkpoint_path = std::move(path);
     checkpoint_every_chunks = every_chunks;
+    return *this;
+  }
+  CampaignOptions& with_cache(std::string dir) {
+    cache_dir = std::move(dir);
     return *this;
   }
 };
@@ -151,11 +165,20 @@ struct CampaignResult {
   /// Host wall clock by injection phase, summed across workers.
   InjectionPhases phases;
 
+  /// Verdict-store telemetry (all zero unless options.cache_dir was set).
+  bool cache_enabled = false;
+  u64 cache_hits = 0;    ///< injections answered from the store
+  u64 cache_misses = 0;  ///< injections that had to run (includes pruned)
+  u64 cache_stores = 0;  ///< fresh verdicts persisted by the final flush
+
   struct SensitiveBit {
     BitAddress addr;
     bool persistent;
     u32 first_error_cycle;
     u64 error_output_mask_lo;
+    /// Provenance: true when the verdict was replayed from the store rather
+    /// than produced by a fresh injection in this run.
+    bool from_cache = false;
   };
   std::vector<SensitiveBit> sensitive_bits;
   /// The injected bit universe (only when options.record_sampled_bits).
@@ -168,10 +191,56 @@ struct CampaignResult {
   /// The sensitivity map as a linear-bit-index set, the form the beam
   /// validation and mission simulator consume.
   std::unordered_set<u64> sensitive_set(const PlacedDesign& design) const;
+
+  /// Order-independent digest of the sensitive-bit list (linear index +
+  /// verdict fields; provenance excluded, so warm and cold runs of the same
+  /// design digest identically). This is what recampaigns compare.
+  u64 sensitive_digest(const PlacedDesign& design) const;
 };
 
 /// Runs an injection campaign for a compiled design.
 CampaignResult run_campaign(const PlacedDesign& design,
                             const CampaignOptions& options);
+
+/// A campaign run against a prior manifest in the same verdict store: the
+/// embedded result plus the frame-level delta against the prior run and the
+/// reuse/speedup accounting the bench job publishes.
+struct RecampaignResult {
+  CampaignResult result;
+
+  /// False when the store held no manifest for this (device, design) pair —
+  /// the run then degenerates to a plain (cold, but cache-filling) campaign.
+  bool had_prior = false;
+  u64 frames_total = 0;
+  u64 frames_changed = 0;  ///< frames whose content hash moved vs the prior
+  u64 prior_injections = 0;
+  double prior_wall_seconds = 0.0;
+  u64 prior_sensitive_digest = 0;
+  u64 current_sensitive_digest = 0;
+  /// True when a prior digest exists and matches this run's — for an
+  /// unchanged design this is the warm==cold bit-identity check.
+  bool sensitive_match = false;
+
+  double hit_rate() const {
+    return result.injections ? static_cast<double>(result.cache_hits) /
+                                   static_cast<double>(result.injections)
+                             : 0.0;
+  }
+  double speedup_vs_prior() const {
+    return (had_prior && result.wall_seconds > 0)
+               ? prior_wall_seconds / result.wall_seconds
+               : 0.0;
+  }
+};
+
+/// Delta re-campaign: loads the prior manifest for this (device, design)
+/// pair from options.cache_dir (which must be set), diffs the design's
+/// frames against it, then runs the campaign with the verdict store — only
+/// bits whose content-addressed key moved (changed frames, or influence
+/// closures touching changed logic) are re-injected; the rest replay from
+/// the store. Digest comparison assumes the same universe/sampling options
+/// as the prior run.
+RecampaignResult run_recampaign(const PlacedDesign& design,
+                                const CampaignOptions& options);
 
 }  // namespace vscrub

@@ -9,8 +9,9 @@
 namespace vscrub {
 namespace {
 
-// VSCK2 added the gang-engine counters to the phase block.
-const std::string kMagic = "VSCK2";
+// VSCK2 added the gang-engine counters to the phase block; VSCK3 added the
+// verdict-store counters and per-sensitive-bit cache provenance.
+const std::string kMagic = "VSCK3";
 
 u64 fnv1a(u64 h, u64 v) {
   for (int i = 0; i < 8; ++i) {
@@ -85,7 +86,10 @@ u64 campaign_fingerprint(const PlacedDesign& design,
   h = fnv1a(h, static_cast<u64>(inj.prune_unobservable));
   // gang_width is deliberately NOT hashed: gang evaluation is result-
   // invariant (bit-for-bit identical to scalar at any width), so checkpoints
-  // written at one width resume correctly at any other.
+  // written at one width resume correctly at any other. cache_dir is not
+  // hashed for the same reason — verdict-store hits replay exactly what a
+  // fresh injection would produce, so a checkpoint taken with one cache
+  // configuration resumes correctly under any other.
   return h;
 }
 
@@ -101,6 +105,8 @@ void save_campaign_checkpoint(const std::string& path,
   w.put_u64(ck.failures);
   w.put_u64(ck.persistent);
   w.put_u64(ck.pruned);
+  w.put_u64(ck.cache_hits);
+  w.put_u64(ck.cache_misses);
   w.put_u64(static_cast<u64>(ck.modeled_ps));
   put_phases(w, ck.phases);
   w.put_u64(ck.sensitive_bits.size());
@@ -112,6 +118,7 @@ void save_campaign_checkpoint(const std::string& path,
     w.put_u8(static_cast<u8>(sb.persistent));
     w.put_u32(sb.first_error_cycle);
     w.put_u64(sb.error_output_mask_lo);
+    w.put_u8(static_cast<u8>(sb.from_cache));
   }
   w.put_u64(ck.failures_by_field.size());
   for (const auto& [kind, count] : ck.failures_by_field) {
@@ -141,12 +148,14 @@ bool load_campaign_checkpoint(const std::string& path,
   ck->failures = r.get_u64();
   ck->persistent = r.get_u64();
   ck->pruned = r.get_u64();
+  ck->cache_hits = r.get_u64();
+  ck->cache_misses = r.get_u64();
   ck->modeled_ps = static_cast<i64>(r.get_u64());
   ck->phases = get_phases(r);
-  // Each sensitive-bit entry is 22 bytes on the wire (u8+u16+u16+u32+u8+u32+
-  // u64), each failures_by_field entry 9 (u8+u64).
+  // Each sensitive-bit entry is 23 bytes on the wire (u8+u16+u16+u32+u8+u32+
+  // u64+u8), each failures_by_field entry 9 (u8+u64).
   const u64 sens_n = r.get_u64();
-  VSCRUB_CHECK(sens_n <= r.remaining() / 22,
+  VSCRUB_CHECK(sens_n <= r.remaining() / 23,
                "checkpoint: sensitive-bit count larger than record");
   ck->sensitive_bits.resize(sens_n);
   for (auto& sb : ck->sensitive_bits) {
@@ -157,6 +166,7 @@ bool load_campaign_checkpoint(const std::string& path,
     sb.persistent = r.get_u8() != 0;
     sb.first_error_cycle = r.get_u32();
     sb.error_output_mask_lo = r.get_u64();
+    sb.from_cache = r.get_u8() != 0;
   }
   const u64 fields_n = r.get_u64();
   VSCRUB_CHECK(fields_n <= r.remaining() / 9,

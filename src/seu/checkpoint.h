@@ -1,5 +1,5 @@
 // Campaign checkpoint/resume: periodic serialization of the chunk scheduler's
-// progress (done bitmap + partial aggregates) as a CRC-protected "VSCK1"
+// progress (done bitmap + partial aggregates) as a CRC-protected "VSCK3"
 // record, so a multi-hour exhaustive campaign killed mid-run restarts from
 // its last checkpoint instead of from bit zero. The fingerprint binds a
 // checkpoint to the exact (device, design, options, chunking) it was taken
@@ -24,6 +24,8 @@ struct CampaignCheckpoint {
   u64 failures = 0;
   u64 persistent = 0;
   u64 pruned = 0;
+  u64 cache_hits = 0;
+  u64 cache_misses = 0;
   i64 modeled_ps = 0;
   InjectionPhases phases;
   std::vector<CampaignResult::SensitiveBit> sensitive_bits;

@@ -176,15 +176,20 @@ bool SeuInjector::bit_observable(const BitAddress& addr) const {
   return observable_[sim_.geometry().tile_index(ref.tile)] != 0;
 }
 
-SimTime SeuInjector::modeled_iteration_time() const {
-  const SelectMapPort port(design_->space.get(), options_.timing);
+SimTime modeled_injection_iteration_time(const PlacedDesign& design,
+                                         const InjectionOptions& options) {
+  const SelectMapPort port(design.space.get(), options.timing);
   // Corrupt-frame write + observation window + repair write + reset pulse.
   BitAddress any;
   any.frame = FrameAddress{ColumnKind::kClb, 0, 0};
   const SimTime frame_op = port.frame_cost(any.frame);
   const SimTime observe = SimTime::seconds(
-      static_cast<double>(options_.observe_cycles) / options_.clock_hz);
+      static_cast<double>(options.observe_cycles) / options.clock_hz);
   return frame_op + observe + frame_op + SimTime::microseconds(8);
+}
+
+SimTime SeuInjector::modeled_iteration_time() const {
+  return modeled_injection_iteration_time(*design_, options_);
 }
 
 bool SeuInjector::frame_is_dynamic_masked(const FrameAddress& fa) const {
@@ -353,15 +358,23 @@ InjectionResult SeuInjector::inject(const BitAddress& addr) {
     }
   }
 
+  // Sticky oscillation flag (cleared by the reset below): did this
+  // injection ever drive the fabric through its oscillation handling?
+  result.fabric_oscillated = sim_.oscillating();
+
   // 5. Reset for the next iteration — hermetically, so every injection is a
   //    pure function of its bit (the campaign scheduler depends on this: it
   //    hands bits to workers in a nondeterministic order). A pruned
   //    injection never clocked or re-decoded anything the repair didn't
-  //    undo, so the design is still sitting in its baseline state.
+  //    undo, so the design is still sitting in its baseline state — unless
+  //    the corrupt-time decode tripped the (sticky) oscillation flag, which
+  //    only a reset clears; reset then, or it would taint every later
+  //    injection's fabric_oscillated.
   if (!pruned) {
     hermetic_reset();
   } else {
     ++phases_.pruned;
+    if (result.fabric_oscillated) hermetic_reset();
   }
 
   result.modeled_time = modeled_iteration_time();

@@ -103,7 +103,20 @@ struct InjectionResult {
   u32 first_error_cycle = 0;  ///< cycle index of the first mismatch
   u64 error_output_mask_lo = 0;  ///< which outputs differed first (bits 0..63)
   SimTime modeled_time;  ///< SLAAC-1V-style hardware time for this iteration
+  /// The run tripped the fabric's oscillation handling (a flip-created
+  /// combinational loop or an eval past the event budget). Such values are
+  /// truncated by a *global* budget, so the verdict is not provably a
+  /// function of the bit's influence closure alone — the verdict cache
+  /// stores these under its conservative whole-design key.
+  bool fabric_oscillated = false;
 };
+
+/// Modeled hardware time for one no-error loop iteration under `options`
+/// (corrupt write + observation window + repair write + reset pulse). Also
+/// the per-verdict cost the campaign charges for verdict-store hits: the
+/// real testbed cannot cache, so cached and fresh iterations bill alike.
+SimTime modeled_injection_iteration_time(const PlacedDesign& design,
+                                         const InjectionOptions& options);
 
 /// Drives injections against one fabric instance. Reusable across many bits;
 /// owns the fabric, harness and cached golden trace.

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "report/json.h"
 #include "seu/campaign.h"
 
 namespace vscrub {
@@ -17,6 +18,16 @@ std::string correlation_table_csv(const ConfigSpace& space,
 
 /// One-paragraph human-readable summary.
 std::string campaign_summary(const CampaignResult& result);
+
+/// The campaign result as a versioned JSON report ("kind": "campaign"),
+/// through the shared report/json serializer.
+JsonReport campaign_report_json(const PlacedDesign& design,
+                                const CampaignResult& result);
+
+/// The recampaign result ("kind": "recampaign"): every campaign field plus
+/// the frame delta, verdict reuse rate and speedup vs the prior run.
+JsonReport recampaign_report_json(const PlacedDesign& design,
+                                  const RecampaignResult& rr);
 
 /// Writes `text` to `path` (convenience).
 void write_text_file(const std::string& text, const std::string& path);

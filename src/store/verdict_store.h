@@ -1,0 +1,132 @@
+// Content-addressed campaign-verdict store: a file-backed cache of per-bit
+// injection verdicts, keyed by what the verdict actually depends on (arch
+// fingerprint, stimulus hash, frame content hash, influence-set hash, bit
+// index) rather than by which campaign produced it. Re-running an unchanged
+// design replays every verdict from disk; re-running a *changed* design
+// re-injects only the bits whose keys moved and reuses the rest.
+//
+// Durability model: verdicts live in 16 shard files ("VVS1" records through
+// bitstream/record_io, so every shard is magic-tagged and CRC-32-trailed and
+// written atomically via tmp+rename). A shard that fails its magic, CRC or
+// count guard is dropped wholesale — a corrupt, truncated or hostile record
+// can only ever degrade to cache misses, never serve a wrong verdict — and
+// is rewritten clean (with whatever entries survived elsewhere plus this
+// run's fresh verdicts) on the next flush().
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+/// 128-bit content-addressed key. Two independent 64-bit digests: campaigns
+/// put millions of verdicts in one store, and a 64-bit key would make
+/// birthday collisions — i.e. silently wrong verdicts — plausible.
+struct VerdictKey {
+  u64 hi = 0;
+  u64 lo = 0;
+  bool operator==(const VerdictKey&) const = default;
+};
+
+struct VerdictKeyHash {
+  std::size_t operator()(const VerdictKey& k) const {
+    return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+/// The cached outcome of one injection — exactly the fields of an
+/// InjectionResult that are a function of the flipped bit (modeled time is
+/// recomputed from the live options instead of stored).
+struct StoredVerdict {
+  bool output_error = false;
+  bool persistent = false;
+  u32 first_error_cycle = 0;
+  u64 error_output_mask_lo = 0;
+  bool operator==(const StoredVerdict&) const = default;
+};
+
+class VerdictStore {
+ public:
+  static constexpr u32 kShards = 16;
+
+  /// Opens (creating the directory if needed) and loads every readable
+  /// shard. Unreadable shards are counted in corrupt_shards(), dropped, and
+  /// queued for a clean rewrite on the next flush().
+  explicit VerdictStore(std::string dir);
+
+  /// Lookup among the entries loaded at open time. Thread-safe against
+  /// concurrent find() and put() calls: the loaded maps are immutable until
+  /// flush(), which must not run concurrently with lookups.
+  const StoredVerdict* find(const VerdictKey& key) const;
+
+  /// Buffers a fresh verdict for the next flush(). Thread-safe.
+  void put(const VerdictKey& key, const StoredVerdict& v);
+
+  /// Merges buffered puts into the in-memory maps and atomically rewrites
+  /// every dirty shard. Returns the number of entries newly written. Not
+  /// thread-safe against concurrent find()/put().
+  std::size_t flush();
+
+  /// Entries currently servable by find().
+  std::size_t size() const;
+  /// Shards dropped at open time (magic/CRC/count-guard failures).
+  u32 corrupt_shards() const { return corrupt_shards_; }
+
+  const std::string& dir() const { return dir_; }
+  static u32 shard_of(const VerdictKey& key) {
+    return static_cast<u32>(key.hi & (kShards - 1));
+  }
+  std::string shard_path(u32 shard) const;
+
+ private:
+  std::string dir_;
+  std::array<std::unordered_map<VerdictKey, StoredVerdict, VerdictKeyHash>,
+             kShards>
+      shards_;
+  std::array<bool, kShards> dirty_{};
+  u32 corrupt_shards_ = 0;
+
+  std::mutex pending_mutex_;
+  std::vector<std::pair<VerdictKey, StoredVerdict>> pending_;
+};
+
+/// Summary of the last completed campaign against a store directory: the
+/// key-plan fingerprints, the per-frame content hashes (what delta
+/// re-campaigns diff against), and the headline results the warm run is
+/// compared to. One "VSMF1" record per (device, design) pair.
+struct CampaignManifest {
+  u64 arch_fingerprint = 0;
+  u64 stimulus_hash = 0;
+  std::string design_name;
+  std::string device_name;
+  u64 universe_bits = 0;  ///< size of the injected bit universe
+  u64 sample_bits = 0;
+  u64 sample_seed = 0;
+  u64 injections = 0;
+  u64 failures = 0;
+  u64 persistent = 0;
+  u64 sensitive_digest = 0;  ///< CampaignResult::sensitive_digest of that run
+  double wall_seconds = 0.0;
+  std::vector<u64> frame_hashes;  ///< per global frame, from the key plan
+};
+
+/// Manifest file path inside a store directory (names are sanitized).
+std::string campaign_manifest_path(const std::string& dir,
+                                   const std::string& device,
+                                   const std::string& design);
+
+/// Writes the manifest atomically (tmp + rename).
+void save_campaign_manifest(const std::string& path,
+                            const CampaignManifest& m);
+
+/// Loads a manifest; returns false when the file is missing or carries a
+/// different magic. Throws on a corrupted (CRC-failing) record — callers
+/// treat that the same as "no prior run".
+bool load_campaign_manifest(const std::string& path, CampaignManifest* m);
+
+}  // namespace vscrub

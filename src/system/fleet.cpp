@@ -93,4 +93,18 @@ void fill_fleet_metrics(const FleetResult& result, MetricsRegistry& metrics) {
                     result.reports.empty() ? 0.0 : avail_min);
 }
 
+JsonReport fleet_report_json(const FleetResult& result) {
+  MetricsRegistry metrics;
+  fill_fleet_metrics(result, metrics);
+  JsonReport report("fleet");
+  report.add_metrics(metrics);
+  return report;
+}
+
+JsonReport mission_report_json(const MetricsRegistry& metrics) {
+  JsonReport report("mission");
+  report.add_metrics(metrics);
+  return report;
+}
+
 }  // namespace vscrub

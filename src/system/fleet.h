@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "report/json.h"
 #include "system/payload.h"
 
 namespace vscrub {
@@ -64,5 +65,14 @@ FleetResult run_fleet(const PlacedDesign& design,
 /// Publishes the aggregate statistics into a metrics registry (fleet_*
 /// names) — the payload of BENCH_mission.json.
 void fill_fleet_metrics(const FleetResult& result, MetricsRegistry& metrics);
+
+/// The fleet aggregates as a versioned JSON report ("kind": "fleet"),
+/// through the shared report/json serializer.
+JsonReport fleet_report_json(const FleetResult& result);
+
+/// A mission's filled metrics registry as a versioned JSON report
+/// ("kind": "mission"). Pass the registry that PayloadOptions::metrics
+/// pointed at during the run.
+JsonReport mission_report_json(const MetricsRegistry& metrics);
 
 }  // namespace vscrub

@@ -1,0 +1,109 @@
+// CLI contract: the declarative command table in core/cli.{h,cpp} is the
+// single source of truth for vscrubctl. These tests pin the flag-naming
+// convention, reject undeclared flags, and require every subcommand's
+// --help output to list every flag it accepts.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/cli.h"
+
+namespace vscrub {
+namespace {
+
+TEST(Cli, EveryCommandHelpListsEveryFlag) {
+  for (const CliCommand& cmd : cli_commands()) {
+    const std::string help = cli_help(cmd);
+    EXPECT_NE(help.find("vscrubctl " + cmd.name), std::string::npos)
+        << cmd.name << " help lacks a usage line";
+    for (const CliFlag& f : cmd.flags) {
+      EXPECT_NE(help.find(f.name), std::string::npos)
+          << "`vscrubctl " << cmd.name << " --help` does not list " << f.name;
+      EXPECT_FALSE(f.help.empty())
+          << cmd.name << " " << f.name << " has no help text";
+    }
+  }
+}
+
+TEST(Cli, UsageScreenListsEveryCommand) {
+  const std::string usage = cli_usage();
+  for (const CliCommand& cmd : cli_commands()) {
+    EXPECT_NE(usage.find(cmd.name), std::string::npos)
+        << "usage screen does not list " << cmd.name;
+  }
+}
+
+TEST(Cli, FlagNamingConventionIsUniform) {
+  // Long flags are `--kebab-case` (lowercase letters and single dashes);
+  // the only short flag grandfathered in is compile's `-o`.
+  for (const CliCommand& cmd : cli_commands()) {
+    for (const CliFlag& f : cmd.flags) {
+      if (f.name == "-o") continue;
+      ASSERT_GE(f.name.size(), 3u) << cmd.name << " flag " << f.name;
+      EXPECT_EQ(f.name.substr(0, 2), "--") << cmd.name << " " << f.name;
+      for (const char c : f.name.substr(2)) {
+        EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) || c == '-')
+            << cmd.name << " flag " << f.name
+            << " violates the --kebab-case convention";
+      }
+      EXPECT_EQ(f.takes_value, !f.value_name.empty())
+          << cmd.name << " " << f.name << ": value flags need a value name";
+    }
+  }
+}
+
+TEST(Cli, NormalizedFlagsPresentWhereTheyApply) {
+  // The PR-4 normalization pass: gang control, scrub-fault toggles and the
+  // verdict store use the same spelling everywhere they appear.
+  const CliCommand* campaign = cli_find("campaign");
+  const CliCommand* recampaign = cli_find("recampaign");
+  const CliCommand* mission = cli_find("mission");
+  const CliCommand* fleet = cli_find("fleet");
+  ASSERT_NE(campaign, nullptr);
+  ASSERT_NE(recampaign, nullptr);
+  ASSERT_NE(mission, nullptr);
+  ASSERT_NE(fleet, nullptr);
+  const auto has = [](const CliCommand* cmd, const char* name) {
+    for (const CliFlag& f : cmd->flags) {
+      if (f.name == name) return true;
+    }
+    return false;
+  };
+  for (const CliCommand* cmd : {campaign, recampaign}) {
+    EXPECT_TRUE(has(cmd, "--gang-width")) << cmd->name;
+    EXPECT_TRUE(has(cmd, "--cache-dir")) << cmd->name;
+    EXPECT_TRUE(has(cmd, "--json")) << cmd->name;
+  }
+  for (const CliCommand* cmd : {mission, fleet}) {
+    EXPECT_TRUE(has(cmd, "--scrub-faults")) << cmd->name;
+    EXPECT_TRUE(has(cmd, "--json")) << cmd->name;
+  }
+}
+
+TEST(Cli, ParseAcceptsDeclaredFlagsOnly) {
+  const CliCommand* cmd = cli_find("campaign");
+  ASSERT_NE(cmd, nullptr);
+  const CliArgs args = cli_parse(
+      *cmd, {"lfsrmult", "--sample", "500", "--progress", "--cache-dir", "d"});
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "lfsrmult");
+  EXPECT_TRUE(args.flag("--progress"));
+  EXPECT_FALSE(args.flag("--exhaustive"));
+  EXPECT_EQ(args.option_u64("--sample", 0), 500u);
+  EXPECT_EQ(args.option("--cache-dir", ""), "d");
+  EXPECT_EQ(args.option_u64("--gang-width", 64), 64u);  // default passthrough
+
+  EXPECT_THROW(cli_parse(*cmd, {"--gangwidth", "8"}), Error);
+  EXPECT_THROW(cli_parse(*cmd, {"--observations", "9"}), Error)
+      << "beam-only flag must not leak into campaign";
+  EXPECT_THROW(cli_parse(*cmd, {"--sample"}), Error)
+      << "value flag without a value";
+}
+
+TEST(Cli, UnknownCommandIsNull) {
+  EXPECT_EQ(cli_find("recalibrate"), nullptr);
+  EXPECT_NE(cli_find("recampaign"), nullptr);
+}
+
+}  // namespace
+}  // namespace vscrub

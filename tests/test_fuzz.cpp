@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "bitstream/record_io.h"
 #include "core/vscrub.h"
 #include "seu/checkpoint.h"
+#include "store/verdict_store.h"
 
 namespace vscrub {
 namespace {
@@ -251,7 +253,7 @@ TEST(CheckpointFuzz, OversizedCountsRejectedBeforeAllocation) {
   // hostile input models a corrupt-then-rewritten cursor.)
   const std::string path = ::testing::TempDir() + "ckfuzz_oversize.vsck";
   {
-    RecordWriter w("VSCK2");
+    RecordWriter w("VSCK3");
     w.put_u64(1);              // fingerprint
     w.put_u64(512);            // total_injections
     w.put_u64(64);             // chunk_size
@@ -260,7 +262,7 @@ TEST(CheckpointFuzz, OversizedCountsRejectedBeforeAllocation) {
     expect_clean_rejection(path, "oversized done bitmap");
   }
   {
-    RecordWriter w("VSCK2");
+    RecordWriter w("VSCK3");
     w.put_u64(1);    // fingerprint
     w.put_u64(512);  // total_injections
     w.put_u64(64);   // chunk_size
@@ -269,6 +271,8 @@ TEST(CheckpointFuzz, OversizedCountsRejectedBeforeAllocation) {
     w.put_u64(0);    // failures
     w.put_u64(0);    // persistent
     w.put_u64(0);    // pruned
+    w.put_u64(0);    // cache_hits
+    w.put_u64(0);    // cache_misses
     w.put_u64(0);    // modeled_ps
     for (int i = 0; i < 9; ++i) w.put_u64(0);  // phases block
     w.put_u64(u64{1} << 59);  // sensitive-bit count: absurd
@@ -287,6 +291,180 @@ TEST(CheckpointFuzz, WrongMagicIsIgnoredNotFatal) {
   EXPECT_FALSE(load_campaign_checkpoint(path, &out))
       << "foreign record types must be skipped so campaigns start fresh";
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Verdict-store format fuzzing: a corrupt, truncated or hostile shard file
+// must only ever degrade to cache misses — never crash, never serve a wrong
+// verdict — and the next flush() must rewrite the shard clean.
+
+VerdictKey vkey(u64 i) { return VerdictKey{i * 0x9E3779B97F4A7C15ULL + 1, i}; }
+
+StoredVerdict vverdict(u64 i) {
+  StoredVerdict v;
+  v.output_error = (i & 1) != 0;
+  v.persistent = (i & 2) != 0;
+  v.first_error_cycle = static_cast<u32>(i * 3);
+  v.error_output_mask_lo = i << 8;
+  return v;
+}
+
+std::string fresh_store_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Seeds a store with kEntries verdicts and returns its directory.
+constexpr u64 kEntries = 64;
+std::string seeded_store(const char* name) {
+  const std::string dir = fresh_store_dir(name);
+  VerdictStore store(dir);
+  for (u64 i = 0; i < kEntries; ++i) store.put(vkey(i), vverdict(i));
+  EXPECT_EQ(store.flush(), kEntries);
+  return dir;
+}
+
+// Opens the store and counts how many seeded entries are still served; every
+// served verdict must be byte-exact (a wrong verdict is the one failure mode
+// the format must rule out).
+u64 served_entries(const std::string& dir) {
+  VerdictStore store(dir);
+  u64 served = 0;
+  for (u64 i = 0; i < kEntries; ++i) {
+    if (const StoredVerdict* v = store.find(vkey(i))) {
+      EXPECT_EQ(*v, vverdict(i)) << "entry " << i << " served corrupted";
+      ++served;
+    }
+  }
+  return served;
+}
+
+TEST(VerdictStoreFuzz, RoundTripsIntact) {
+  const std::string dir = seeded_store("vsfuzz_roundtrip");
+  EXPECT_EQ(served_entries(dir), kEntries);
+  VerdictStore store(dir);
+  EXPECT_EQ(store.corrupt_shards(), 0u);
+  EXPECT_EQ(store.size(), kEntries);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStoreFuzz, TruncatedShardsDegradeToMisses) {
+  const std::string dir = seeded_store("vsfuzz_trunc");
+  VerdictStore probe(dir);
+  const std::string shard = probe.shard_path(VerdictStore::shard_of(vkey(0)));
+  const std::vector<u8> full = read_file(shard);
+  ASSERT_GT(full.size(), 16u);
+  // Every truncation length: the shard drops wholesale, the rest survive.
+  for (std::size_t len = 0; len < full.size(); len += 7) {
+    write_file(shard, std::vector<u8>(full.begin(),
+                                      full.begin() +
+                                          static_cast<std::ptrdiff_t>(len)));
+    EXPECT_LT(served_entries(dir), kEntries) << "truncated shard accepted";
+  }
+  write_file(shard, full);
+  EXPECT_EQ(served_entries(dir), kEntries);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStoreFuzz, BitFlippedShardsNeverServeWrongVerdicts) {
+  const std::string dir = seeded_store("vsfuzz_flip");
+  VerdictStore probe(dir);
+  const std::string shard = probe.shard_path(VerdictStore::shard_of(vkey(0)));
+  const std::vector<u8> full = read_file(shard);
+  for (std::size_t byte = 0; byte < full.size(); byte += 5) {
+    for (int bit = 0; bit < 8; bit += 5) {
+      std::vector<u8> flipped = full;
+      flipped[byte] = static_cast<u8>(flipped[byte] ^ (1u << bit));
+      write_file(shard, flipped);
+      // served_entries verifies any served verdict byte-exactly; the CRC
+      // trailer must reject the whole shard for every single-bit flip.
+      EXPECT_LT(served_entries(dir), kEntries) << "bit-flipped shard accepted";
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStoreFuzz, OversizedCountRejectedBeforeAllocation) {
+  // Valid magic and CRC, absurd entry count: the count guard must drop the
+  // shard without attempting the allocation.
+  const std::string dir = seeded_store("vsfuzz_oversize");
+  VerdictStore probe(dir);
+  const u32 shard_idx = VerdictStore::shard_of(vkey(0));
+  {
+    RecordWriter w("VVS1");
+    w.put_u64(u64{1} << 58);
+    w.write(probe.shard_path(shard_idx));
+  }
+  VerdictStore store(dir);
+  EXPECT_EQ(store.corrupt_shards(), 1u);
+  EXPECT_EQ(store.find(vkey(0)), nullptr) << "hostile shard served a verdict";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStoreFuzz, WrongMagicShardIsDroppedNotFatal) {
+  const std::string dir = seeded_store("vsfuzz_magic");
+  VerdictStore probe(dir);
+  const u32 shard_idx = VerdictStore::shard_of(vkey(0));
+  {
+    RecordWriter w("VSCK3");  // a checkpoint record, not a verdict shard
+    w.put_u64(42);
+    w.write(probe.shard_path(shard_idx));
+  }
+  VerdictStore store(dir);
+  EXPECT_EQ(store.corrupt_shards(), 1u);
+  EXPECT_EQ(store.find(vkey(0)), nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStoreFuzz, FlushRewritesCorruptShardsClean) {
+  const std::string dir = seeded_store("vsfuzz_heal");
+  VerdictStore probe(dir);
+  const u32 shard_idx = VerdictStore::shard_of(vkey(0));
+  write_file(probe.shard_path(shard_idx), {0xDE, 0xAD, 0xBE, 0xEF});
+  {
+    VerdictStore store(dir);
+    ASSERT_EQ(store.corrupt_shards(), 1u);
+    // Re-put one verdict that hashes into the corrupt shard and flush: the
+    // shard must come back readable.
+    store.put(vkey(0), vverdict(0));
+    store.flush();
+  }
+  VerdictStore healed(dir);
+  EXPECT_EQ(healed.corrupt_shards(), 0u);
+  const StoredVerdict* v = healed.find(vkey(0));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, vverdict(0));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStoreFuzz, ManifestCorruptionFailsCleanly) {
+  const std::string dir = fresh_store_dir("vsfuzz_manifest");
+  std::filesystem::create_directories(dir);
+  const std::string path = campaign_manifest_path(dir, "tiny", "fuzz_design");
+  CampaignManifest m;
+  m.arch_fingerprint = 7;
+  m.stimulus_hash = 9;
+  m.design_name = "fuzz_design";
+  m.device_name = "tiny";
+  m.injections = 100;
+  m.frame_hashes = {1, 2, 3};
+  save_campaign_manifest(path, m);
+  const std::vector<u8> full = read_file(path);
+  for (std::size_t len = 0; len < full.size(); len += 3) {
+    write_file(path, std::vector<u8>(full.begin(),
+                                     full.begin() +
+                                         static_cast<std::ptrdiff_t>(len)));
+    CampaignManifest out;
+    bool loaded = false;
+    try {
+      loaded = load_campaign_manifest(path, &out);
+    } catch (const Error&) {
+      continue;  // clean, typed failure — callers treat it as "no prior"
+    }
+    EXPECT_FALSE(loaded) << "truncated manifest accepted at " << len;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

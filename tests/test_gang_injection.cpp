@@ -133,22 +133,3 @@ TEST(GangInjection, PrunedBitsAreNotGangEligible) {
   EXPECT_GT(eligible, 0u);
   EXPECT_GT(skipped, 0u);  // device_tiny(4, 6) has idle regions
 }
-
-TEST(GangInjection, DeprecatedSensitiveSetForwarderStillCompiles) {
-  // Workbench::sensitive_set(design, result) is [[deprecated]] in favor of
-  // CampaignResult::sensitive_set(design); this pins the forwarder's behavior
-  // until its scheduled deletion.
-  Workbench bench(device_tiny(4, 6));
-  const auto design = bench.compile(designs::counter_adder(4));
-  const auto result =
-      bench.campaign(design, CampaignOptions{}.with_sample(400, 11));
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  const auto via_static = Workbench::sensitive_set(design, result);
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  EXPECT_EQ(via_static, result.sensitive_set(design));
-}

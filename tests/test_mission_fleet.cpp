@@ -161,7 +161,9 @@ TEST_F(FleetFixture, FleetAggregatesMatchPerMissionReports) {
   fill_fleet_metrics(r, metrics);
   EXPECT_EQ(metrics.counter("fleet_missions").value(), 4u);
   EXPECT_EQ(metrics.counter("fleet_upsets").value(), upsets);
-  const std::string json = metrics.to_json();
+  const std::string json = fleet_report_json(r).to_json();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"fleet\""), std::string::npos);
   EXPECT_NE(json.find("\"fleet_availability_mean\":"), std::string::npos);
   EXPECT_NE(json.find("\"fleet_false_repairs\": 0"), std::string::npos);
 }

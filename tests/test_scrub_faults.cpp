@@ -5,6 +5,7 @@
 
 #include "designs/test_designs.h"
 #include "pnr/pnr.h"
+#include "report/json.h"
 #include "scrub/scrubber.h"
 
 namespace vscrub {
@@ -146,7 +147,8 @@ TEST(ScrubFaults, MetricsAndTracePublished) {
   EXPECT_EQ(metrics.histogram("scrub_pass_ms").count(), 1u);
   ASSERT_EQ(trace.size(), 1u);
   EXPECT_NE(trace.joined().find("\"ev\":\"scrub_repair\""), std::string::npos);
-  const std::string json = metrics.to_json();
+  const std::string json = JsonReport("scrub").add_metrics(metrics).to_json();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"scrub_repairs\": 1"), std::string::npos);
   EXPECT_NE(json.find("scrub_pass_ms_p50"), std::string::npos);
 }

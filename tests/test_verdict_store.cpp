@@ -1,0 +1,206 @@
+// Content-addressed verdict store: warm-cache campaign runs must be
+// bit-identical to cold runs (same failures, same sensitive set, same
+// modeled time) with ~100% verdict reuse; delta re-campaigns of a changed
+// design reuse unmoved keys and still match a from-scratch cold run; a
+// corrupted store degrades to a cold run with identical results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "core/vscrub.h"
+#include "store/verdict_store.h"
+
+namespace vscrub {
+namespace {
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+CampaignOptions cached_options(const std::string& dir, u64 sample = 4000) {
+  return CampaignOptions{}.with_sample(sample).with_cache(dir);
+}
+
+// Everything about a campaign outcome that must be reproduced bit-exactly by
+// a warm run (provenance flags excluded — those are the only allowed delta).
+struct Outcome {
+  u64 injections, failures, persistent, sensitive_digest;
+  i64 modeled_ps;
+  std::vector<std::tuple<u64, bool, u32, u64>> sensitive;
+  bool operator==(const Outcome&) const = default;
+};
+
+Outcome outcome_of(const PlacedDesign& design, const CampaignResult& r) {
+  Outcome o{r.injections, r.failures, r.persistent,
+            r.sensitive_digest(design), r.modeled_hardware_time.ps(), {}};
+  for (const auto& sb : r.sensitive_bits) {
+    o.sensitive.emplace_back(design.space->linear_of(sb.addr), sb.persistent,
+                             sb.first_error_cycle, sb.error_output_mask_lo);
+  }
+  std::sort(o.sensitive.begin(), o.sensitive.end());
+  return o;
+}
+
+TEST(VerdictStore, WarmRunIsBitIdenticalAndFullyCached) {
+  const std::string dir = fresh_dir("vstore_warm");
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+
+  const CampaignResult cold = run_campaign(design, cached_options(dir));
+  EXPECT_TRUE(cold.cache_enabled);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, cold.injections);
+  EXPECT_EQ(cold.cache_stores, cold.injections);
+
+  const CampaignResult warm = run_campaign(design, cached_options(dir));
+  EXPECT_EQ(outcome_of(design, warm), outcome_of(design, cold));
+  EXPECT_EQ(warm.cache_hits, warm.injections);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_GE(static_cast<double>(warm.cache_hits) /
+                static_cast<double>(warm.injections),
+            0.99);
+  for (const auto& sb : warm.sensitive_bits) {
+    EXPECT_TRUE(sb.from_cache) << "warm sensitive bit not marked cached";
+  }
+  for (const auto& sb : cold.sensitive_bits) {
+    EXPECT_FALSE(sb.from_cache) << "cold sensitive bit marked cached";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStore, WarmRunMatchesAcrossThreadCountsAndGangWidths) {
+  const std::string dir = fresh_dir("vstore_threads");
+  const auto design = compile(designs::lfsr_cluster(2), device_tiny(8, 8));
+  const CampaignResult cold =
+      run_campaign(design, cached_options(dir).with_threads(1));
+  const CampaignResult warm4 =
+      run_campaign(design, cached_options(dir).with_threads(4));
+  CampaignOptions scalar = cached_options(dir).with_threads(2);
+  scalar.injection.gang_width = 1;
+  const CampaignResult warm_scalar = run_campaign(design, scalar);
+  EXPECT_EQ(outcome_of(design, warm4), outcome_of(design, cold));
+  EXPECT_EQ(outcome_of(design, warm_scalar), outcome_of(design, cold));
+  EXPECT_EQ(warm4.cache_hits, warm4.injections);
+  EXPECT_EQ(warm_scalar.cache_hits, warm_scalar.injections);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStore, PersistenceVerdictsRoundTrip) {
+  const std::string dir = fresh_dir("vstore_persist");
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  CampaignOptions options = cached_options(dir, 2500);
+  options.injection.classify_persistence = true;
+  const CampaignResult cold = run_campaign(design, options);
+  const CampaignResult warm = run_campaign(design, options);
+  EXPECT_EQ(outcome_of(design, warm), outcome_of(design, cold));
+  EXPECT_EQ(warm.persistent, cold.persistent);
+  EXPECT_EQ(warm.cache_hits, warm.injections);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStore, RecampaignOfUnchangedDesignReusesEverything) {
+  const std::string dir = fresh_dir("vstore_recamp");
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  const CampaignResult cold = run_campaign(design, cached_options(dir));
+
+  const RecampaignResult r = run_recampaign(design, cached_options(dir));
+  ASSERT_TRUE(r.had_prior);
+  EXPECT_EQ(r.frames_changed, 0u);
+  EXPECT_GT(r.frames_total, 0u);
+  EXPECT_DOUBLE_EQ(r.hit_rate(), 1.0);
+  EXPECT_TRUE(r.sensitive_match);
+  EXPECT_EQ(r.prior_injections, cold.injections);
+  EXPECT_EQ(r.prior_sensitive_digest, cold.sensitive_digest(design));
+  EXPECT_EQ(r.current_sensitive_digest, r.prior_sensitive_digest);
+  EXPECT_EQ(outcome_of(design, r.result), outcome_of(design, cold));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStore, RecampaignWithoutPriorRunsColdAndSeedsStore) {
+  const std::string dir = fresh_dir("vstore_noprior");
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  const RecampaignResult r = run_recampaign(design, cached_options(dir));
+  EXPECT_FALSE(r.had_prior);
+  EXPECT_EQ(r.result.cache_hits, 0u);
+  EXPECT_EQ(r.result.cache_stores, r.result.injections);
+  // The seeding run wrote a manifest: a second recampaign is fully warm.
+  const RecampaignResult warm = run_recampaign(design, cached_options(dir));
+  EXPECT_TRUE(warm.had_prior);
+  EXPECT_DOUBLE_EQ(warm.hit_rate(), 1.0);
+  EXPECT_TRUE(warm.sensitive_match);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStore, DeltaRecampaignOfChangedPlacementMatchesColdRun) {
+  // Same netlist, different placement seed: most frame contents move, but
+  // the campaign against the new placement must match its own cold run
+  // exactly — cached verdicts may only be reused where the key (frame
+  // content + influence closure) genuinely did not move.
+  const std::string dir = fresh_dir("vstore_delta");
+  PnrOptions pnr_a;
+  PnrOptions pnr_b;
+  pnr_b.seed = 7;
+  const auto design_a =
+      compile(std::make_shared<const Netlist>(designs::counter_adder(8)),
+              std::make_shared<const ConfigSpace>(device_tiny(8, 8)), pnr_a);
+  const auto design_b =
+      compile(std::make_shared<const Netlist>(designs::counter_adder(8)),
+              std::make_shared<const ConfigSpace>(device_tiny(8, 8)), pnr_b);
+
+  run_campaign(design_a, cached_options(dir));
+  const RecampaignResult delta = run_recampaign(design_b, cached_options(dir));
+  ASSERT_TRUE(delta.had_prior);
+  EXPECT_GT(delta.frames_changed, 0u);
+
+  const std::string cold_dir = fresh_dir("vstore_delta_cold");
+  const CampaignResult cold = run_campaign(design_b, cached_options(cold_dir));
+  EXPECT_EQ(outcome_of(design_b, delta.result), outcome_of(design_b, cold));
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(cold_dir);
+}
+
+TEST(VerdictStore, CorruptedStoreFallsBackToColdWithIdenticalResults) {
+  const std::string dir = fresh_dir("vstore_corrupt");
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  const CampaignResult cold = run_campaign(design, cached_options(dir));
+
+  // Trash every shard file in the store directory.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".vvs") continue;
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "garbage, not a VVS1 record";
+  }
+
+  const CampaignResult fallback = run_campaign(design, cached_options(dir));
+  EXPECT_EQ(fallback.cache_hits, 0u) << "corrupt store served verdicts";
+  EXPECT_EQ(outcome_of(design, fallback), outcome_of(design, cold));
+  // ...and the fallback run healed the store: a third run is fully warm.
+  const CampaignResult warm = run_campaign(design, cached_options(dir));
+  EXPECT_EQ(warm.cache_hits, warm.injections);
+  EXPECT_EQ(outcome_of(design, warm), outcome_of(design, cold));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(VerdictStore, OscillationProneDesignStaysExactUnderCache) {
+  // selfcheck_dsp exercises dynamic LUT sites; bram_selftest exercises BRAM
+  // bindings. Both force the conservative whole-design key mode — reuse
+  // must still be total for an unchanged design, and exact vs a cold run.
+  for (const char* which : {"selfcheck", "bram"}) {
+    const std::string dir = fresh_dir("vstore_osc");
+    const Netlist nl = std::string(which) == "bram"
+                           ? designs::bram_selftest(2)
+                           : designs::selfcheck_dsp(8, 5);
+    const auto design = compile(nl, device_tiny(8, 12, 2));
+    const CampaignResult cold = run_campaign(design, cached_options(dir, 2000));
+    const CampaignResult warm = run_campaign(design, cached_options(dir, 2000));
+    EXPECT_EQ(outcome_of(design, warm), outcome_of(design, cold)) << which;
+    EXPECT_EQ(warm.cache_hits, warm.injections) << which;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace vscrub

@@ -1,48 +1,22 @@
 // vscrubctl — command-line driver for the vscrub library.
 //
-//   vscrubctl compile <design> [--device NAME] [--raddrc] [--tmr] [-o FILE]
-//   vscrubctl campaign <design> [--sample N | --exhaustive] [--persistence]
-//                      [--threads N] [--chunk N] [--checkpoint FILE]
-//                      [--progress] [--no-prune] [--gang-width N] [--no-gang]
-//   vscrubctl beam <design> [--observations N]
-//   vscrubctl mission [--hours H] [--flare] [--seed S] [--scrub-faults]
-//                     [--trace FILE.jsonl] [--json FILE.json]
-//   vscrubctl fleet [--missions N] [--hours H] [--flare] [--seed S]
-//                   [--threads N] [--scrub-faults] [--json FILE.json]
-//   vscrubctl bist
-//   vscrubctl info <image.vsb>
-//   vscrubctl designs | devices
+// The command table (subcommands, positionals, flags and their help text)
+// lives in core/cli.{h,cpp} so the test suite can enforce the CLI contract;
+// this file only maps parsed arguments onto library calls. Run
+// `vscrubctl <command> --help` for per-command flags.
 //
 // Designs: lfsr mult vmult counter multadd lfsrmult fir selfcheck bram
 // Devices: campaign (default), xcv50, xcv100, xcv300, xcv1000, tiny:RxC
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/cli.h"
 #include "core/vscrub.h"
 
 using namespace vscrub;
 
 namespace {
-
-struct Args {
-  std::vector<std::string> positional;
-  bool flag(const char* name) const {
-    for (const auto& a : raw) {
-      if (a == name) return true;
-    }
-    return false;
-  }
-  std::string option(const char* name, const std::string& dflt) const {
-    for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
-      if (raw[i] == name) return raw[i + 1];
-    }
-    return dflt;
-  }
-  std::vector<std::string> raw;
-};
 
 Netlist make_design(const std::string& name) {
   if (name == "lfsr") return designs::lfsr_cluster(2);
@@ -72,7 +46,7 @@ DeviceGeometry make_device(const std::string& name) {
   throw Error("unknown device '" + name + "' (see `vscrubctl devices`)");
 }
 
-int cmd_compile(const Args& args) {
+int cmd_compile(const CliArgs& args) {
   VSCRUB_CHECK(!args.positional.empty(), "compile needs a design name");
   Netlist nl = make_design(args.positional[0]);
   if (args.flag("--tmr")) nl = apply_tmr(nl);
@@ -102,49 +76,47 @@ int cmd_compile(const Args& args) {
   return 0;
 }
 
-int cmd_campaign(const Args& args) {
-  VSCRUB_CHECK(!args.positional.empty(), "campaign needs a design name");
-  Workbench bench(make_device(args.option("--device", "campaign")));
-  const auto design = bench.compile(make_design(args.positional[0]));
+CampaignOptions campaign_options_from(const CliArgs& args) {
   // --no-gang forces every injection down the scalar path (gang width 1);
   // --gang-width caps the lanes packed per bit-sliced run (default 64).
   const u32 gang_width =
       args.flag("--no-gang")
           ? 1u
-          : static_cast<u32>(std::strtoul(
-                args.option("--gang-width", "64").c_str(), nullptr, 10));
+          : static_cast<u32>(args.option_u64("--gang-width", 64));
   CampaignOptions options =
       CampaignOptions{}
           .with_injection(InjectionOptions{}
                               .with_persistence(args.flag("--persistence"))
                               .with_pruning(!args.flag("--no-prune"))
                               .with_gang_width(gang_width))
-          .with_threads(static_cast<unsigned>(
-              std::strtoul(args.option("--threads", "0").c_str(), nullptr, 10)))
-          .with_chunk_size(
-              std::strtoull(args.option("--chunk", "0").c_str(), nullptr, 10));
+          .with_threads(static_cast<unsigned>(args.option_u64("--threads", 0)))
+          .with_chunk_size(args.option_u64("--chunk", 0));
   if (args.flag("--exhaustive")) {
     options.with_exhaustive();
   } else {
-    options.with_sample(
-        std::strtoull(args.option("--sample", "20000").c_str(), nullptr, 10));
+    options.with_sample(args.option_u64("--sample", 20000));
   }
   const std::string checkpoint = args.option("--checkpoint", "");
   if (!checkpoint.empty()) options.with_checkpoint(checkpoint);
+  const std::string cache_dir = args.option("--cache-dir", "");
+  if (!cache_dir.empty()) options.with_cache(cache_dir);
   if (args.flag("--progress")) {
     options.with_progress([](const CampaignProgress& p) {
       std::fprintf(stderr,
-                   "\r%llu/%llu bits  %llu failures  %.0f bits/s  "
-                   "ETA %.0f s   ",
+                   "\r%llu/%llu bits  %llu failures  %llu cached  "
+                   "%.0f bits/s  ETA %.0f s   ",
                    static_cast<unsigned long long>(p.injections_done),
                    static_cast<unsigned long long>(p.injections_total),
-                   static_cast<unsigned long long>(p.failures), p.bits_per_s,
+                   static_cast<unsigned long long>(p.failures),
+                   static_cast<unsigned long long>(p.cache_hits), p.bits_per_s,
                    p.eta_s);
       return true;
     });
   }
-  const auto r = bench.campaign(design, options);
-  if (args.flag("--progress")) std::fprintf(stderr, "\n");
+  return options;
+}
+
+void print_campaign_result(const CampaignResult& r, bool persistence) {
   std::printf("%llu injections (%llu resumed, %llu pruned), %llu failures\n",
               static_cast<unsigned long long>(r.injections),
               static_cast<unsigned long long>(r.resumed_injections),
@@ -152,7 +124,7 @@ int cmd_campaign(const Args& args) {
               static_cast<unsigned long long>(r.failures));
   std::printf("sensitivity %.3f%%  normalized %.2f%%\n", r.sensitivity() * 100,
               r.normalized_sensitivity() * 100);
-  if (options.injection.classify_persistence) {
+  if (persistence) {
     std::printf("persistence ratio %.1f%%\n", r.persistence_ratio() * 100);
   }
   std::printf("modeled SLAAC-1V time %.1f s, wall %.1f s\n",
@@ -161,6 +133,12 @@ int cmd_campaign(const Args& args) {
               "persistence %.1f s\n",
               r.phases.corrupt_s, r.phases.run_s, r.phases.repair_s,
               r.phases.persist_s);
+  if (r.cache_enabled) {
+    std::printf("verdict store: %llu hits, %llu misses, %llu stored\n",
+                static_cast<unsigned long long>(r.cache_hits),
+                static_cast<unsigned long long>(r.cache_misses),
+                static_cast<unsigned long long>(r.cache_stores));
+  }
   if (r.phases.gang_runs > 0) {
     std::printf("gang: %llu runs, %.1f lanes/run, %.1f%% early exit, "
                 "%llu fallbacks\n",
@@ -172,10 +150,52 @@ int cmd_campaign(const Args& args) {
                 static_cast<unsigned long long>(r.phases.gang_fallbacks));
   }
   if (r.interrupted) std::printf("campaign interrupted; checkpoint saved\n");
+}
+
+int cmd_campaign(const CliArgs& args) {
+  VSCRUB_CHECK(!args.positional.empty(), "campaign needs a design name");
+  Workbench bench(make_device(args.option("--device", "campaign")));
+  const auto design = bench.compile(make_design(args.positional[0]));
+  const CampaignOptions options = campaign_options_from(args);
+  const auto r = bench.campaign(design, options);
+  if (args.flag("--progress")) std::fprintf(stderr, "\n");
+  print_campaign_result(r, options.injection.classify_persistence);
+  const std::string json_path = args.option("--json", "");
+  if (!json_path.empty() && campaign_report_json(design, r).write(json_path)) {
+    std::printf("wrote campaign report to %s\n", json_path.c_str());
+  }
   return 0;
 }
 
-int cmd_beam(const Args& args) {
+int cmd_recampaign(const CliArgs& args) {
+  VSCRUB_CHECK(!args.positional.empty(), "recampaign needs a design name");
+  const std::string cache_dir = args.option("--cache-dir", "");
+  VSCRUB_CHECK(!cache_dir.empty(), "recampaign needs --cache-dir DIR");
+  Workbench bench(make_device(args.option("--device", "campaign")));
+  const auto design = bench.compile(make_design(args.positional[0]));
+  const CampaignOptions options = campaign_options_from(args);
+  const auto r = bench.recampaign(design, cache_dir, options);
+  if (args.flag("--progress")) std::fprintf(stderr, "\n");
+  print_campaign_result(r.result, options.injection.classify_persistence);
+  if (r.had_prior) {
+    std::printf("delta: %llu/%llu frames changed, reuse %.1f%%, "
+                "speedup vs prior %.1fx, sensitive set %s\n",
+                static_cast<unsigned long long>(r.frames_changed),
+                static_cast<unsigned long long>(r.frames_total),
+                r.hit_rate() * 100, r.speedup_vs_prior(),
+                r.sensitive_match ? "MATCH" : "DIVERGED");
+  } else {
+    std::printf("no prior manifest in %s; ran cold and seeded the store\n",
+                cache_dir.c_str());
+  }
+  const std::string json_path = args.option("--json", "");
+  if (!json_path.empty() && recampaign_report_json(design, r).write(json_path)) {
+    std::printf("wrote recampaign report to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_beam(const CliArgs& args) {
   VSCRUB_CHECK(!args.positional.empty(), "beam needs a design name");
   Workbench bench(make_device(args.option("--device", "campaign")));
   const auto design = bench.compile(make_design(args.positional[0]));
@@ -184,8 +204,7 @@ int cmd_beam(const Args& args) {
   copts.record_sampled_bits = true;
   const auto camp = bench.campaign(design, copts);
   BeamSession session(design, {});
-  const u64 n =
-      std::strtoull(args.option("--observations", "1000").c_str(), nullptr, 10);
+  const u64 n = args.option_u64("--observations", 1000);
   const auto r = session.run(n, camp.sensitive_set(design),
                              camp.sampled_bits);
   std::printf("%llu observations, %llu upsets, %llu output errors\n",
@@ -197,7 +216,7 @@ int cmd_beam(const Args& args) {
   return 0;
 }
 
-void apply_mission_flags(const Args& args, PayloadOptions& options,
+void apply_mission_flags(const CliArgs& args, PayloadOptions& options,
                          u64 total_bits) {
   options.environment = args.flag("--flare")
                             ? OrbitEnvironment::leo_solar_flare()
@@ -211,7 +230,7 @@ void apply_mission_flags(const Args& args, PayloadOptions& options,
   }
 }
 
-int cmd_mission(const Args& args) {
+int cmd_mission(const CliArgs& args) {
   Workbench bench(make_device(args.option("--device", "campaign")));
   const auto design = bench.compile(designs::lfsr_multiplier(10));
   CampaignOptions copts;
@@ -219,8 +238,7 @@ int cmd_mission(const Args& args) {
   const auto camp = bench.campaign(design, copts);
   PayloadOptions options;
   apply_mission_flags(args, options, design.space->total_bits());
-  options.seed =
-      std::strtoull(args.option("--seed", "4242").c_str(), nullptr, 10);
+  options.seed = args.option_u64("--seed", 4242);
   MetricsRegistry metrics;
   EventTrace trace;
   const std::string trace_path = args.option("--trace", "");
@@ -228,7 +246,7 @@ int cmd_mission(const Args& args) {
   if (!json_path.empty()) options.metrics = &metrics;
   if (!trace_path.empty()) options.trace = &trace;
   Payload payload(design, options, camp.sensitive_set(design));
-  const double hours = std::atof(args.option("--hours", "24").c_str());
+  const double hours = args.option_double("--hours", 24);
   const auto r = payload.run_mission(SimTime::hours(hours));
   std::printf("%.0f h mission (%s): %llu upsets, %llu detected, %llu "
               "repaired, availability %.5f\n",
@@ -250,27 +268,23 @@ int cmd_mission(const Args& args) {
     std::printf("wrote %zu trace events to %s\n", trace.size(),
                 trace_path.c_str());
   }
-  if (!json_path.empty() && metrics.write_json(json_path)) {
-    std::printf("wrote mission metrics to %s\n", json_path.c_str());
+  if (!json_path.empty() && mission_report_json(metrics).write(json_path)) {
+    std::printf("wrote mission report to %s\n", json_path.c_str());
   }
   return 0;
 }
 
-int cmd_fleet(const Args& args) {
+int cmd_fleet(const CliArgs& args) {
   Workbench bench(make_device(args.option("--device", "campaign")));
   const auto design = bench.compile(designs::lfsr_multiplier(10));
   CampaignOptions copts;
   copts.sample_bits = 10000;
   const auto camp = bench.campaign(design, copts);
   FleetOptions options;
-  options.missions = static_cast<u32>(
-      std::strtoul(args.option("--missions", "8").c_str(), nullptr, 10));
-  options.base_seed =
-      std::strtoull(args.option("--seed", "1").c_str(), nullptr, 10);
-  options.threads = static_cast<u32>(
-      std::strtoul(args.option("--threads", "0").c_str(), nullptr, 10));
-  options.duration =
-      SimTime::hours(std::atof(args.option("--hours", "24").c_str()));
+  options.missions = static_cast<u32>(args.option_u64("--missions", 8));
+  options.base_seed = args.option_u64("--seed", 1);
+  options.threads = static_cast<u32>(args.option_u64("--threads", 0));
+  options.duration = SimTime::hours(args.option_double("--hours", 24));
   apply_mission_flags(args, options.payload, design.space->total_bits());
   const auto r = bench.fleet(design, camp.sensitive_set(design), options);
   std::printf("%u missions x %.0f h (%s): %llu upsets, %llu detected, %llu "
@@ -291,17 +305,13 @@ int cmd_fleet(const Args& args) {
               static_cast<unsigned long long>(r.scrub_transfer_timeouts),
               static_cast<unsigned long long>(r.flash_escalations));
   const std::string json_path = args.option("--json", "");
-  if (!json_path.empty()) {
-    MetricsRegistry metrics;
-    fill_fleet_metrics(r, metrics);
-    if (metrics.write_json(json_path)) {
-      std::printf("wrote fleet metrics to %s\n", json_path.c_str());
-    }
+  if (!json_path.empty() && fleet_report_json(r).write(json_path)) {
+    std::printf("wrote fleet report to %s\n", json_path.c_str());
   }
   return 0;
 }
 
-int cmd_bist(const Args& args) {
+int cmd_bist(const CliArgs& args) {
   auto space = std::make_shared<const ConfigSpace>(
       make_device(args.option("--device", "tiny:8x12")));
   FabricSim fabric(space);
@@ -319,7 +329,7 @@ int cmd_bist(const Args& args) {
   return 0;
 }
 
-int cmd_info(const Args& args) {
+int cmd_info(const CliArgs& args) {
   VSCRUB_CHECK(!args.positional.empty(), "info needs an image path");
   const LoadedImage image = load_bitstream(args.positional[0]);
   u64 set_bits = 0;
@@ -339,52 +349,51 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: vscrubctl <command> [args]\n"
-      "  compile <design> [--device D] [--raddrc] [--tmr] [-o FILE]\n"
-      "  campaign <design> [--sample N | --exhaustive] [--persistence]\n"
-      "           [--threads N] [--chunk N] [--checkpoint FILE] [--progress]\n"
-      "           [--no-prune] [--gang-width N] [--no-gang]\n"
-      "  beam <design> [--observations N]\n"
-      "  mission [--hours H] [--flare] [--seed S] [--scrub-faults]\n"
-      "          [--trace FILE.jsonl] [--json FILE.json]\n"
-      "  fleet [--missions N] [--hours H] [--flare] [--seed S] [--threads N]\n"
-      "        [--scrub-faults] [--json FILE.json]\n"
-      "  bist [--device D]\n"
-      "  info <image.vsb>\n"
-      "  designs | devices\n");
-  return 2;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  Args args;
-  for (int i = 2; i < argc; ++i) {
-    args.raw.emplace_back(argv[i]);
-    if (argv[i][0] != '-') args.positional.emplace_back(argv[i]);
+  if (argc < 2) {
+    std::fputs(cli_usage().c_str(), stderr);
+    return 2;
   }
-  const std::string cmd = argv[1];
+  const std::string name = argv[1];
+  if (name == "--help" || name == "-h" || name == "help") {
+    std::fputs(cli_usage().c_str(), stdout);
+    return 0;
+  }
+  const CliCommand* cmd = cli_find(name);
+  if (cmd == nullptr) {
+    std::fputs(cli_usage().c_str(), stderr);
+    return 2;
+  }
+  std::vector<std::string> rest;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help" || std::string(argv[i]) == "-h") {
+      std::fputs(cli_help(*cmd).c_str(), stdout);
+      return 0;
+    }
+    rest.emplace_back(argv[i]);
+  }
   try {
-    if (cmd == "compile") return cmd_compile(args);
-    if (cmd == "campaign") return cmd_campaign(args);
-    if (cmd == "beam") return cmd_beam(args);
-    if (cmd == "mission") return cmd_mission(args);
-    if (cmd == "fleet") return cmd_fleet(args);
-    if (cmd == "bist") return cmd_bist(args);
-    if (cmd == "info") return cmd_info(args);
-    if (cmd == "designs") {
+    const CliArgs args = cli_parse(*cmd, rest);
+    if (name == "compile") return cmd_compile(args);
+    if (name == "campaign") return cmd_campaign(args);
+    if (name == "recampaign") return cmd_recampaign(args);
+    if (name == "beam") return cmd_beam(args);
+    if (name == "mission") return cmd_mission(args);
+    if (name == "fleet") return cmd_fleet(args);
+    if (name == "bist") return cmd_bist(args);
+    if (name == "info") return cmd_info(args);
+    if (name == "designs") {
       std::printf("lfsr mult vmult counter multadd lfsrmult fir selfcheck bram\n");
       return 0;
     }
-    if (cmd == "devices") {
+    if (name == "devices") {
       std::printf("campaign xcv50 xcv100 xcv300 xcv1000 tiny:RxC\n");
       return 0;
     }
-    return usage();
+    std::fputs(cli_usage().c_str(), stderr);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vscrubctl: %s\n", e.what());
     return 1;
