@@ -1,0 +1,220 @@
+// E-service — the vscrubd serving layer under concurrent load.
+//
+// Not a paper experiment: this bench characterizes the PR-5 subsystem that
+// turns the workbench into a shared service. It reports (a) end-to-end
+// throughput and request latency for a fleet of concurrent loopback clients
+// running the standard sampled campaign, (b) how much work the process-wide
+// verdict store absorbs across those clients, (c) typed-backpressure behavior
+// when the admission queue is deliberately starved, and (d) wire-protocol
+// microcosts (frame encode/decode, request parse).
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "bench_util.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+
+namespace vscrub::bench {
+namespace {
+
+constexpr const char* kSocket = "/tmp/vscrub_bench_svc.sock";
+constexpr const char* kStore = "/tmp/vscrub_bench_svc_store";
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start).count();
+}
+
+struct RunningServer {
+  explicit RunningServer(ServerOptions options) : server(std::move(options)) {
+    server.start();
+    runner = std::thread([this] { server.run(); });
+  }
+  ~RunningServer() {
+    server.request_stop();
+    runner.join();
+  }
+  SocketServer server;
+  std::thread runner;
+};
+
+void run_report() {
+  std::printf("\nE-service — vscrubd concurrent campaign service\n");
+  rule();
+
+  std::filesystem::remove_all(kStore);
+  const std::string payload = JsonReport("campaign_request")
+                                  .set_string("design", "lfsrmult")
+                                  .set_string("device", "campaign")
+                                  .set_u64("sample", 1000)
+                                  .to_json();
+
+  constexpr std::size_t kClients = 8;
+  constexpr int kRequestsPerClient = 2;
+  double wall_s = 0.0;
+  u64 cache_hits = 0;
+  u64 results = 0;
+  double p50 = 0.0, p99 = 0.0;
+  double ping_us = 0.0;
+  {
+    ServerOptions options;
+    options.socket_path = kSocket;
+    options.service.queue_capacity = 32;
+    options.service.executors = 3;
+    options.service.pool_threads = 3;
+    options.service.cache_dir = kStore;
+    RunningServer running(options);
+
+    // Ping round-trip cost over the real socket (frame encode + send + server
+    // dispatch + reply decode), amortized over many probes.
+    {
+      ServiceClient client = ServiceClient::connect_unix(kSocket);
+      constexpr int kPings = 2000;
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kPings; ++i) client.ping();
+      ping_us = seconds_since(start) * 1e6 / kPings;
+    }
+
+    std::vector<u64> hits(kClients, 0);
+    std::vector<u64> ok(kClients, 0);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        ServiceClient client = ServiceClient::connect_unix(kSocket);
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          const Frame reply = client.call(FrameKind::kCampaign, payload);
+          if (reply.kind != FrameKind::kResult) continue;
+          ++ok[c];
+          hits[c] += FlatJson::parse(reply.payload).get_u64("cache_hits");
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    wall_s = seconds_since(start);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      cache_hits += hits[c];
+      results += ok[c];
+    }
+
+    ServiceClient client = ServiceClient::connect_unix(kSocket);
+    const FlatJson stats = FlatJson::parse(client.stats().payload);
+    p50 = stats.get_double("request_latency_ms_p50");
+    p99 = stats.get_double("request_latency_ms_p99");
+  }
+
+  const u64 requests = static_cast<u64>(kClients) * kRequestsPerClient;
+  std::printf("%zu clients x %d campaigns (sample 1000): %llu/%llu results in "
+              "%.2f s (%.1f req/s)\n",
+              kClients, kRequestsPerClient,
+              static_cast<unsigned long long>(results),
+              static_cast<unsigned long long>(requests), wall_s,
+              static_cast<double>(results) / wall_s);
+  std::printf("request latency p50 %.1f ms, p99 %.1f ms; ping round-trip "
+              "%.1f us\n", p50, p99, ping_us);
+  std::printf("cross-client verdict reuse: %llu cached verdicts served\n",
+              static_cast<unsigned long long>(cache_hits));
+
+  // Backpressure: one executor, a single queue slot, a burst of requests —
+  // the excess must come back as typed kBusy, not buffer or block.
+  u64 busy = 0;
+  u64 served = 0;
+  u64 admission_rejects = 0;
+  {
+    ServerOptions options;
+    options.socket_path = kSocket;
+    options.service.queue_capacity = 1;
+    options.service.executors = 1;
+    options.service.pool_threads = 3;
+    RunningServer running(options);
+    std::vector<std::thread> burst;
+    std::vector<u64> was_busy(kClients, 0);
+    std::vector<u64> was_served(kClients, 0);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      burst.emplace_back([&, c] {
+        ServiceClient client = ServiceClient::connect_unix(kSocket);
+        const Frame reply = client.call(FrameKind::kCampaign, payload);
+        if (reply.kind == FrameKind::kBusy) was_busy[c] = 1;
+        if (reply.kind == FrameKind::kResult) was_served[c] = 1;
+      });
+    }
+    for (std::thread& t : burst) t.join();
+    for (std::size_t c = 0; c < kClients; ++c) {
+      busy += was_busy[c];
+      served += was_served[c];
+    }
+    ServiceClient client = ServiceClient::connect_unix(kSocket);
+    admission_rejects =
+        FlatJson::parse(client.stats().payload).get_u64("admission_rejects");
+  }
+  std::printf("starved admission (queue 1, 1 executor), %zu-request burst: "
+              "%llu served, %llu typed kBusy rejects\n\n",
+              kClients, static_cast<unsigned long long>(served),
+              static_cast<unsigned long long>(busy));
+
+  BenchJson json;
+  json.set("requests", static_cast<double>(requests));
+  json.set("results", static_cast<double>(results));
+  json.set("wall_s", wall_s);
+  json.set("requests_per_s", static_cast<double>(results) / wall_s);
+  json.set("latency_p50_ms", p50);
+  json.set("latency_p99_ms", p99);
+  json.set("ping_us", ping_us);
+  json.set("cache_hits", static_cast<double>(cache_hits));
+  json.set("burst_served", static_cast<double>(served));
+  json.set("burst_busy", static_cast<double>(busy));
+  json.set("admission_rejects", static_cast<double>(admission_rejects));
+  json.write(bench_json_path("BENCH_service.json"));
+  std::filesystem::remove_all(kStore);
+}
+
+void BM_FrameEncode(benchmark::State& state) {
+  const Frame frame{FrameKind::kCampaign, 42,
+                    R"({"design": "lfsrmult", "device": "campaign",)"
+                    R"( "sample": 20000, "seed": 99})"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_frame(frame));
+  }
+}
+BENCHMARK(BM_FrameEncode);
+
+void BM_FrameDecode(benchmark::State& state) {
+  const std::vector<u8> wire =
+      encode_frame({FrameKind::kCampaign, 42,
+                    R"({"design": "lfsrmult", "device": "campaign",)"
+                    R"( "sample": 20000, "seed": 99})"});
+  for (auto _ : state) {
+    FrameDecoder decoder;
+    decoder.feed(wire);
+    Frame out;
+    benchmark::DoNotOptimize(decoder.next(&out));
+  }
+}
+BENCHMARK(BM_FrameDecode);
+
+void BM_RequestParse(benchmark::State& state) {
+  const std::string text = JsonReport("campaign_request")
+                               .set_string("design", "lfsrmult")
+                               .set_string("device", "campaign")
+                               .set_u64("sample", 20000)
+                               .set_u64("seed", 99)
+                               .set_bool("persistence", true)
+                               .to_json();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FlatJson::parse(text));
+  }
+}
+BENCHMARK(BM_RequestParse);
+
+}  // namespace
+}  // namespace vscrub::bench
+
+int main(int argc, char** argv) {
+  vscrub::bench::run_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

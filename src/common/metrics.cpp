@@ -7,24 +7,45 @@
 namespace vscrub {
 
 void Histogram::record(double v) {
-  if (!samples_.empty() && v < samples_.back()) sorted_ = false;
-  samples_.push_back(v);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
   sum_ += v;
+  if (reservoir_cap_ == 0 || samples_.size() < reservoir_cap_) {
+    if (!samples_.empty() && v < samples_.back()) sorted_ = false;
+    samples_.push_back(v);
+    return;
+  }
+  // Algorithm R: sample i (0-based, i >= cap) replaces a random reservoir
+  // slot with probability cap / (i + 1) — here count_ is already i + 1.
+  const u64 j = reservoir_rng_.uniform(count_);
+  if (j < reservoir_cap_) {
+    samples_[static_cast<std::size_t>(j)] = v;
+    sorted_ = false;
+  }
+}
+
+void Histogram::set_reservoir(u64 cap, u64 seed) {
+  reservoir_cap_ = cap;
+  reservoir_rng_ = Rng(seed);
+  if (cap != 0 && samples_.size() > cap) {
+    samples_.resize(static_cast<std::size_t>(cap));
+    sorted_ = false;
+  }
 }
 
 double Histogram::mean() const {
-  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
-double Histogram::min() const {
-  if (samples_.empty()) return 0.0;
-  return *std::min_element(samples_.begin(), samples_.end());
-}
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
 
-double Histogram::max() const {
-  if (samples_.empty()) return 0.0;
-  return *std::max_element(samples_.begin(), samples_.end());
-}
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
 
 double Histogram::percentile(double p) const {
   if (samples_.empty()) return 0.0;
@@ -53,6 +74,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   }
   histograms_.emplace_back(name, Histogram{});
   return histograms_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      u64 reservoir_cap) {
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return h;
+  }
+  histograms_.emplace_back(name, Histogram{});
+  Histogram& h = histograms_.back().second;
+  h.set_reservoir(reservoir_cap);
+  return h;
 }
 
 void MetricsRegistry::set_gauge(const std::string& name, double value) {

@@ -1,14 +1,15 @@
 // Lightweight observability layer: a registry of named counters, gauges and
-// histograms that the scrubber, the mission simulator and the fleet runner
-// populate as they go. Everything is deterministic (insertion-ordered, no
-// wall-clock reads) so metric output can be compared byte-for-byte in the
-// determinism tests, and the whole registry serializes to the same flat JSON
-// shape the bench artifacts (BENCH_*.json) use.
+// histograms that the scrubber, the mission simulator, the fleet runner and
+// the campaign service populate as they go. Everything is deterministic
+// (insertion-ordered, no wall-clock reads) so metric output can be compared
+// byte-for-byte in the determinism tests, and the whole registry serializes
+// to the same flat JSON shape the bench artifacts (BENCH_*.json) use.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 
 namespace vscrub {
@@ -23,13 +24,17 @@ class Counter {
   u64 value_ = 0;
 };
 
-/// Sample accumulator with exact percentiles (keeps every sample; the
-/// workloads recording into it — per-detection latencies, per-pass costs —
-/// are small enough that a sketch would be premature).
+/// Sample accumulator with percentiles. By default it keeps every sample —
+/// exact percentiles, fine for bounded workloads (per-detection latencies,
+/// per-pass costs). A long-lived daemon recording request latencies forever
+/// must not grow without bound: set_reservoir(cap, seed) switches to
+/// deterministic reservoir sampling (Algorithm R over the seeded common/rng
+/// stream) — count/sum/mean/min/max stay exact, percentiles come from the
+/// reservoir and are exact until the cap is first exceeded.
 class Histogram {
  public:
   void record(double v);
-  u64 count() const { return static_cast<u64>(samples_.size()); }
+  u64 count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const;
   double min() const;
@@ -37,10 +42,20 @@ class Histogram {
   /// Nearest-rank percentile, p in [0, 100]. 0 when empty.
   double percentile(double p) const;
 
+  /// Bounds the sample buffer to `cap` entries via deterministic reservoir
+  /// sampling. Call before recording; a cap of 0 restores keep-everything.
+  void set_reservoir(u64 cap, u64 seed = 0x5EEDCAFEULL);
+  u64 reservoir_cap() const { return reservoir_cap_; }
+
  private:
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
   double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  u64 count_ = 0;
+  u64 reservoir_cap_ = 0;  ///< 0 = unbounded (keep every sample)
+  Rng reservoir_rng_{0x5EEDCAFEULL};
 };
 
 /// Insertion-ordered name -> metric registry. Lookup is linear: registries
@@ -49,6 +64,10 @@ class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);
   Histogram& histogram(const std::string& name);
+  /// Creates (or finds) a histogram and, on first creation, bounds it to a
+  /// deterministic reservoir of `reservoir_cap` samples — the form the
+  /// campaign service uses for its request-latency series.
+  Histogram& histogram(const std::string& name, u64 reservoir_cap);
   void set_gauge(const std::string& name, double value);
 
   /// The registry flattened to ordered (name, value) pairs: counters and

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.h"
+
 namespace vscrub {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -14,22 +16,36 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
     stop_ = true;
+    if (joined_) return;
+    joined_ = true;
   }
   cv_task_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::stopping() const {
+  std::lock_guard lock(mutex_);
+  return stop_;
+}
+
+bool ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
+    if (stop_) {
+      VSCRUB_WARN("thread_pool: submit() on a stopped pool; task dropped");
+      return false;
+    }
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   cv_task_.notify_one();
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -42,13 +58,28 @@ void ThreadPool::parallel_for(u64 n,
   if (n == 0) return;
   const u64 shards = std::min<u64>(n, thread_count());
   const u64 chunk = (n + shards - 1) / shards;
+  Latch latch;
+  latch.remaining = static_cast<unsigned>(shards);
+  unsigned queued = 0;
   for (u64 s = 0; s < shards; ++s) {
     const u64 begin = s * chunk;
     const u64 end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    submit([&fn, begin, end] { fn(begin, end); });
+    if (begin >= end) {
+      latch.arrive();
+      continue;
+    }
+    if (submit([&fn, &latch, begin, end] {
+          fn(begin, end);
+          latch.arrive();
+        })) {
+      ++queued;
+    } else {
+      // Stopped pool: keep the caller's work correct by running inline.
+      fn(begin, end);
+      latch.arrive();
+    }
   }
-  wait_idle();
+  if (queued > 0) latch.wait();
 }
 
 unsigned ThreadPool::chunk_workers(u64 n, u64 chunk_size) const {
@@ -66,19 +97,32 @@ void ThreadPool::parallel_chunks(
   const u64 nchunks = (n + chunk_size - 1) / chunk_size;
   std::atomic<u64> cursor{0};
   const unsigned tasks = chunk_workers(n, chunk_size);
+  const auto drain_cursor = [&cursor, &fn, n, nchunks, chunk_size](unsigned w) {
+    for (;;) {
+      const u64 c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) return;
+      const u64 begin = c * chunk_size;
+      fn(begin, std::min(n, begin + chunk_size), w);
+    }
+  };
+  Latch latch;
+  latch.remaining = tasks;
+  unsigned queued = 0;
   for (unsigned w = 0; w < tasks; ++w) {
-    // &cursor / &fn outlive the tasks: wait_idle() below blocks until every
-    // task has drained the cursor.
-    submit([&cursor, &fn, n, nchunks, chunk_size, w] {
-      for (;;) {
-        const u64 c = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (c >= nchunks) return;
-        const u64 begin = c * chunk_size;
-        fn(begin, std::min(n, begin + chunk_size), w);
-      }
-    });
+    // &cursor / &latch / &fn outlive the tasks: latch.wait() below blocks
+    // until every queued task has drained the cursor and arrived.
+    if (submit([&drain_cursor, &latch, w] {
+          drain_cursor(w);
+          latch.arrive();
+        })) {
+      ++queued;
+    } else {
+      // Stopped pool: the caller's thread finishes the remaining chunks.
+      drain_cursor(w);
+      latch.arrive();
+    }
   }
-  wait_idle();
+  if (queued > 0) latch.wait();
 }
 
 void ThreadPool::worker_loop() {

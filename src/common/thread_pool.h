@@ -2,6 +2,11 @@
 // campaign engine pulls fixed-size chunks from a shared cursor
 // (parallel_chunks); parallel_for keeps the legacy static sharding for
 // workloads with uniform per-item cost.
+//
+// Since the serving layer landed, one pool is shared by concurrent
+// campaigns: parallel_for/parallel_chunks wait on a per-call completion
+// latch, not on the pool going globally idle, so two callers interleave
+// their chunks fairly instead of each blocking until the other drains.
 #pragma once
 
 #include <atomic>
@@ -28,13 +33,25 @@ class ThreadPool {
   unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Enqueues a task. Tasks must not throw; wrap your own error channel.
-  void submit(std::function<void()> task);
+  /// Returns false — with a logged warning, and without enqueuing — when the
+  /// pool is shutting down or already shut down: a daemon draining while
+  /// clients are still submitting must never race the destructor.
+  bool submit(std::function<void()> task);
+
+  /// Stops accepting work, runs every already-queued task, and joins the
+  /// workers. Idempotent; called by the destructor.
+  void shutdown();
+
+  /// True once shutdown() has begun; submit() will refuse new work.
+  bool stopping() const;
 
   /// Blocks until all submitted tasks have finished.
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Each worker processes a contiguous shard for cache friendliness.
+  /// Safe to call from several threads at once: each call waits only for its
+  /// own shards. On a stopped pool the work runs inline on the caller.
   void parallel_for(u64 n, const std::function<void(u64 begin, u64 end)>& fn);
 
   /// Chunked work-queue scheduling: [0, n) is cut into `chunk_size`-sized
@@ -44,6 +61,8 @@ class ThreadPool {
   /// bits) delays only its own worker — everyone else keeps pulling.
   /// `worker` identifies the claiming task, 0 <= worker < chunk_workers(n,
   /// chunk_size), so callers can keep per-worker scratch state.
+  /// Safe to call concurrently from several threads (each call waits on its
+  /// own latch); on a stopped pool the chunks run inline on the caller.
   void parallel_chunks(
       u64 n, u64 chunk_size,
       const std::function<void(u64 begin, u64 end, unsigned worker)>& fn);
@@ -52,15 +71,32 @@ class ThreadPool {
   unsigned chunk_workers(u64 n, u64 chunk_size) const;
 
  private:
+  /// Per-call completion latch for the parallel_* helpers.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    unsigned remaining = 0;
+
+    void arrive() {
+      std::lock_guard lock(mutex);
+      if (--remaining == 0) cv.notify_all();
+    }
+    void wait() {
+      std::unique_lock lock(mutex);
+      cv.wait(lock, [this] { return remaining == 0; });
+    }
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   u64 in_flight_ = 0;
   bool stop_ = false;
+  bool joined_ = false;
 };
 
 }  // namespace vscrub

@@ -90,9 +90,52 @@ std::vector<CliCommand> build_commands() {
   commands.push_back({"bist", "", "built-in self-test of the fabric model",
                       {device_flag()}});
   commands.push_back(
+      {"serve", "", "run the vscrubd campaign service (VSRP1 socket)",
+       {
+           value_flag("--socket", "PATH",
+                      "unix socket path (default /tmp/vscrubd.sock)"),
+           value_flag("--tcp-port", "P", "also listen on TCP loopback port P"),
+           value_flag("--queue", "N", "admission queue capacity (default 16)"),
+           value_flag("--executors", "N", "concurrent requests (default 2)"),
+           value_flag("--threads", "N",
+                      "shared injection pool workers (0 = hardware)"),
+           value_flag("--cache-dir", "DIR",
+                      "process-wide verdict store shared by every client"),
+           value_flag("--retry-after", "MS",
+                      "busy-reply retry hint (default 250)"),
+           value_flag("--checkpoint-every", "N",
+                      "checkpoint served campaigns every N chunks (0 = off)"),
+           value_flag("--stats-json", "FILE",
+                      "write service stats JSON after the drain"),
+       }});
+  commands.push_back(
+      {"submit", "<op> [design]",
+       "submit ping|stats|campaign|recampaign|mission|fleet to a vscrubd",
+       {
+           value_flag("--socket", "PATH",
+                      "unix socket path (default /tmp/vscrubd.sock)"),
+           device_flag(),
+           value_flag("--sample", "N", "sample N random bits (default 20000)"),
+           bool_flag("--exhaustive", "inject every configuration bit"),
+           bool_flag("--persistence",
+                     "classify persistent vs transient failures"),
+           value_flag("--gang-width", "N", "bit-sliced gang lanes (default 64)"),
+           bool_flag("--no-gang", "scalar injections only (gang width 1)"),
+           value_flag("--seed", "S", "sample / mission seed"),
+           value_flag("--hours", "H", "mission duration (default 24)"),
+           value_flag("--missions", "N", "fleet missions (default 8)"),
+           bool_flag("--flare", "solar-flare environment"),
+           bool_flag("--scrub-faults", "enable scrub-datapath fault models"),
+           bool_flag("--progress", "stream progress frames to stderr"),
+           value_flag("--json", "FILE", "write the returned report JSON"),
+       }});
+  commands.push_back(
       {"info", "<image.vsb>", "describe a saved configuration image", {}});
   commands.push_back({"designs", "", "list built-in design generators", {}});
   commands.push_back({"devices", "", "list device geometries", {}});
+  commands.push_back({"version", "",
+                      "print workbench API, library and report-schema "
+                      "versions", {}});
   return commands;
 }
 

@@ -4,12 +4,14 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "common/log.h"
 #include "common/rng.h"
 #include "seu/cache_key.h"
 #include "seu/checkpoint.h"
+#include "store/verdict_store.h"
 
 namespace vscrub {
 namespace {
@@ -140,15 +142,20 @@ CampaignResult run_campaign(const PlacedDesign& design,
   result.design_slices = design.stats.slices_used;
   result.utilization = design.stats.utilization;
 
-  // Verdict store: opened (and its shards loaded) before the pool starts, so
-  // workers only ever issue lock-free find() probes plus buffered put()s.
-  // The key plan is computed once and shared read-only.
-  std::unique_ptr<VerdictStore> store;
+  // Verdict store: either the caller's shared process-wide instance
+  // (options.store — the serving layer's path, where concurrent campaigns
+  // hit each other's verdicts) or one opened here from cache_dir. Either
+  // way the key plan is computed once and shared read-only.
+  std::unique_ptr<VerdictStore> owned_store;
+  VerdictStore* store = options.store;
   CacheKeyPlan plan;
   SimTime cached_iter_time;
-  if (!options.cache_dir.empty()) {
+  if (store == nullptr && !options.cache_dir.empty()) {
+    owned_store = std::make_unique<VerdictStore>(options.cache_dir);
+    store = owned_store.get();
+  }
+  if (store != nullptr) {
     result.cache_enabled = true;
-    store = std::make_unique<VerdictStore>(options.cache_dir);
     plan = build_cache_key_plan(design, options.injection);
     // Every iteration — fresh or replayed — bills the same modeled hardware
     // cost: the real testbed cannot cache.
@@ -238,11 +245,18 @@ CampaignResult run_campaign(const PlacedDesign& design,
         to_checkpoint(agg, done, fingerprint, n, chunk_size));
   };
 
-  ThreadPool pool(options.threads);
-  std::vector<std::unique_ptr<SeuInjector>> injectors(pool.thread_count());
+  // Scheduling: an external shared pool when the caller provides one (the
+  // serving layer's process-wide pool), else a private pool per campaign.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(options.threads);
+    pool = owned_pool.get();
+  }
+  std::vector<std::unique_ptr<SeuInjector>> injectors(pool->thread_count());
 
-  pool.parallel_chunks(n, chunk_size, [&](u64 begin, u64 end,
-                                          unsigned worker) {
+  pool->parallel_chunks(n, chunk_size, [&](u64 begin, u64 end,
+                                           unsigned worker) {
     const u64 c = begin / chunk_size;
     if ((resumed_done[c >> 3] >> (c & 7)) & 1) return;
     if (stop.load(std::memory_order_relaxed)) return;
@@ -281,7 +295,8 @@ CampaignResult run_campaign(const PlacedDesign& design,
       for (u64 i = begin; i < end; ++i) {
         const u64 linear = bits[i];
         const BitAddress addr = space.address_of_linear(linear);
-        const StoredVerdict* v = store->find(plan.key_of(space, addr, linear));
+        std::optional<StoredVerdict> v =
+            store->find(plan.key_of(space, addr, linear));
         if (!v) v = store->find(plan.fallback_key_of(space, addr, linear));
         if (!v) {
           ++local_misses;
@@ -403,9 +418,10 @@ CampaignResult run_campaign(const PlacedDesign& design,
   if (options.record_sampled_bits) result.sampled_bits = bits;
   std::sort(result.sensitive_bits.begin(), result.sensitive_bits.end(),
             [](const auto& a, const auto& b) { return a.addr < b.addr; });
-  // Persist the store last: fresh verdicts first (workers are done, so
-  // flush() no longer races find()), then — only for a *completed* campaign —
-  // the manifest a later recampaign diffs against.
+  // Persist the store last: fresh verdicts first (flush is thread-safe, so
+  // a shared store's other campaigns keep probing while this one writes),
+  // then — only for a *completed* campaign — the manifest a later
+  // recampaign diffs against.
   if (store) {
     result.cache_stores = store->flush();
     if (!result.interrupted) {
@@ -447,15 +463,18 @@ CampaignResult run_campaign(const PlacedDesign& design,
               result.cache_enabled ? std::to_string(result.cache_hits) : "",
               result.cache_enabled ? " cached" : "", "), ", result.failures,
               " failures (", result.sensitivity() * 100.0, "%), ",
-              pool.thread_count(), " workers, ", result.wall_seconds, "s",
+              pool->thread_count(), " workers, ", result.wall_seconds, "s",
               result.interrupted ? " [interrupted]" : "");
   return result;
 }
 
 RecampaignResult run_recampaign(const PlacedDesign& design,
                                 const CampaignOptions& options) {
-  VSCRUB_CHECK(!options.cache_dir.empty(),
-               "run_recampaign requires CampaignOptions::cache_dir");
+  VSCRUB_CHECK(options.store != nullptr || !options.cache_dir.empty(),
+               "run_recampaign requires CampaignOptions::cache_dir or a "
+               "shared store");
+  const std::string store_dir =
+      options.store != nullptr ? options.store->dir() : options.cache_dir;
   RecampaignResult rr;
 
   // Load the prior manifest *before* the campaign runs (a completed campaign
@@ -463,7 +482,7 @@ RecampaignResult run_recampaign(const PlacedDesign& design,
   // the run is then an ordinary cache-filling campaign.
   CampaignManifest prior;
   const std::string manifest_path = campaign_manifest_path(
-      options.cache_dir, design.space->geometry().name, design.netlist->name());
+      store_dir, design.space->geometry().name, design.netlist->name());
   try {
     rr.had_prior = load_campaign_manifest(manifest_path, &prior);
   } catch (const Error& e) {

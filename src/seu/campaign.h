@@ -15,6 +15,8 @@
 
 namespace vscrub {
 
+class VerdictStore;
+
 /// Live telemetry handed to CampaignOptions::on_progress as chunks complete.
 struct CampaignProgress {
   u64 injections_done = 0;
@@ -74,6 +76,20 @@ struct CampaignOptions {
   /// are bit-identical to cold runs; corrupt store files degrade to misses.
   std::string cache_dir;
 
+  /// An already-open verdict store to use instead of opening cache_dir.
+  /// Not owned; must outlive the campaign. This is how the vscrubd serving
+  /// layer runs every concurrent request against one process-wide store so
+  /// clients hit each other's cached verdicts (VerdictStore is thread-safe
+  /// for shared find/put/flush). When set, cache_dir is ignored.
+  VerdictStore* store = nullptr;
+
+  /// An external thread pool to schedule the campaign's chunks on instead of
+  /// creating a pool per run. Not owned; must outlive the campaign. Several
+  /// campaigns may share one pool concurrently (chunk scheduling waits on a
+  /// per-call latch, not global pool idleness). When set, `threads` is
+  /// ignored. The worker count never affects results, only wall clock.
+  ThreadPool* pool = nullptr;
+
   // Fluent construction, so call sites can assemble options in one
   // expression instead of mutating an aggregate field-by-field.
   CampaignOptions& with_injection(const InjectionOptions& v) {
@@ -118,6 +134,14 @@ struct CampaignOptions {
   }
   CampaignOptions& with_cache(std::string dir) {
     cache_dir = std::move(dir);
+    return *this;
+  }
+  CampaignOptions& with_shared_store(VerdictStore* s) {
+    store = s;
+    return *this;
+  }
+  CampaignOptions& with_shared_pool(ThreadPool* p) {
+    pool = p;
     return *this;
   }
 };

@@ -82,24 +82,35 @@ VerdictStore::VerdictStore(std::string dir) : dir_(std::move(dir)) {
   }
 }
 
-const StoredVerdict* VerdictStore::find(const VerdictKey& key) const {
-  const auto& map = shards_[shard_of(key)];
-  const auto it = map.find(key);
-  return it == map.end() ? nullptr : &it->second;
+std::optional<StoredVerdict> VerdictStore::find(const VerdictKey& key) const {
+  {
+    std::shared_lock lock(maps_mutex_);
+    const auto& map = shards_[shard_of(key)];
+    const auto it = map.find(key);
+    if (it != map.end()) return it->second;
+  }
+  // Pending probe: verdicts another campaign produced but has not flushed
+  // yet. Misses pay a mutex here; hits save a whole injection.
+  std::lock_guard lock(pending_mutex_);
+  const auto it = pending_.find(key);
+  if (it != pending_.end()) return it->second;
+  return std::nullopt;
 }
 
 void VerdictStore::put(const VerdictKey& key, const StoredVerdict& v) {
   std::lock_guard lock(pending_mutex_);
-  pending_.emplace_back(key, v);
+  pending_.insert_or_assign(key, v);
 }
 
 std::size_t VerdictStore::flush() {
-  std::vector<std::pair<VerdictKey, StoredVerdict>> pending;
+  std::lock_guard flush_lock(flush_mutex_);
+  std::unordered_map<VerdictKey, StoredVerdict, VerdictKeyHash> pending;
   {
     std::lock_guard lock(pending_mutex_);
     pending.swap(pending_);
   }
   std::size_t stored = 0;
+  std::unique_lock maps_lock(maps_mutex_);
   for (const auto& [key, v] : pending) {
     const u32 s = shard_of(key);
     if (shards_[s].insert_or_assign(key, v).second) ++stored;
@@ -129,6 +140,7 @@ std::size_t VerdictStore::flush() {
 }
 
 std::size_t VerdictStore::size() const {
+  std::shared_lock lock(maps_mutex_);
   std::size_t n = 0;
   for (const auto& map : shards_) n += map.size();
   return n;

@@ -12,10 +12,20 @@
 // can only ever degrade to cache misses, never serve a wrong verdict — and
 // is rewritten clean (with whatever entries survived elsewhere plus this
 // run's fresh verdicts) on the next flush().
+//
+// Concurrency model: one store instance may be shared by concurrent
+// campaigns (the vscrubd serving layer runs every request against a single
+// process-wide store). find() takes a shared lock on the merged maps and,
+// on a miss there, probes the pending-put buffer — so one client's fresh
+// verdicts are visible to another *before* any flush. put() only touches the
+// pending buffer; flush() takes the exclusive lock to merge and rewrite
+// dirty shards, and is itself serialized against concurrent flushes.
 #pragma once
 
 #include <array>
 #include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -59,20 +69,22 @@ class VerdictStore {
   /// queued for a clean rewrite on the next flush().
   explicit VerdictStore(std::string dir);
 
-  /// Lookup among the entries loaded at open time. Thread-safe against
-  /// concurrent find() and put() calls: the loaded maps are immutable until
-  /// flush(), which must not run concurrently with lookups.
-  const StoredVerdict* find(const VerdictKey& key) const;
+  /// Lookup: the merged shard maps first, then (on a miss) the pending-put
+  /// buffer, so concurrent campaigns see each other's fresh verdicts without
+  /// waiting for a flush. Thread-safe against concurrent find()/put()/
+  /// flush(); returns a copy because a concurrent flush may rehash the maps.
+  std::optional<StoredVerdict> find(const VerdictKey& key) const;
 
   /// Buffers a fresh verdict for the next flush(). Thread-safe.
   void put(const VerdictKey& key, const StoredVerdict& v);
 
   /// Merges buffered puts into the in-memory maps and atomically rewrites
-  /// every dirty shard. Returns the number of entries newly written. Not
-  /// thread-safe against concurrent find()/put().
+  /// every dirty shard. Returns the number of entries newly written.
+  /// Thread-safe: concurrent flushes serialize, concurrent find()/put()
+  /// proceed against a consistent snapshot.
   std::size_t flush();
 
-  /// Entries currently servable by find().
+  /// Entries currently servable from the merged maps (excludes pending).
   std::size_t size() const;
   /// Shards dropped at open time (magic/CRC/count-guard failures).
   u32 corrupt_shards() const { return corrupt_shards_; }
@@ -85,14 +97,20 @@ class VerdictStore {
 
  private:
   std::string dir_;
+  /// Guards shards_/dirty_: shared for find()/size(), exclusive for the
+  /// flush() merge-and-rewrite.
+  mutable std::shared_mutex maps_mutex_;
   std::array<std::unordered_map<VerdictKey, StoredVerdict, VerdictKeyHash>,
              kShards>
       shards_;
   std::array<bool, kShards> dirty_{};
   u32 corrupt_shards_ = 0;
 
-  std::mutex pending_mutex_;
-  std::vector<std::pair<VerdictKey, StoredVerdict>> pending_;
+  mutable std::mutex pending_mutex_;
+  std::unordered_map<VerdictKey, StoredVerdict, VerdictKeyHash> pending_;
+  /// Serializes whole flush() calls (two flushes writing one shard file
+  /// concurrently would race on the tmp path).
+  std::mutex flush_mutex_;
 };
 
 /// Summary of the last completed campaign against a store directory: the

@@ -1,0 +1,62 @@
+// Blocking VSRP1 client: one socket, sequential request ids, replies
+// demultiplexed by id so several requests can be in flight on one
+// connection (submit a campaign, then cancel it, then wait). This is what
+// `vscrubctl submit` and the loopback tests use; it is intentionally
+// synchronous — the concurrency story lives on the server.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "svc/protocol.h"
+
+namespace vscrub {
+
+class ServiceClient {
+ public:
+  /// Connects to a vscrubd Unix-domain socket. Throws Error on failure.
+  static ServiceClient connect_unix(const std::string& socket_path);
+  /// Connects to a vscrubd TCP loopback port. Throws Error on failure.
+  static ServiceClient connect_tcp(u16 port);
+
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ~ServiceClient();
+
+  /// Sends a request frame and returns its id without waiting for a reply.
+  u64 send_request(FrameKind kind, const std::string& payload);
+
+  /// Blocks until the terminal reply (kResult / kError / kBusy) for `id`.
+  /// Non-terminal frames for `id` (kAccepted, kProgress) invoke `event` when
+  /// set; terminal replies for OTHER in-flight ids are buffered for their
+  /// own wait() call. Throws Error if the connection dies first.
+  Frame wait(u64 id, const std::function<void(const Frame&)>& event = {});
+
+  /// send_request + wait in one call.
+  Frame call(FrameKind kind, const std::string& payload,
+             const std::function<void(const Frame&)>& event = {});
+
+  /// Liveness probe; returns the kResult pong frame.
+  Frame ping() { return call(FrameKind::kPing, ""); }
+  /// Server metrics snapshot (kResult, service_stats payload).
+  Frame stats() { return call(FrameKind::kStats, ""); }
+  /// Asks the server to cancel request `target_id`; true when the server
+  /// still knew the request (queued or running).
+  bool cancel_request(u64 target_id);
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+  Frame read_frame();
+
+  int fd_ = -1;
+  u64 next_id_ = 1;
+  FrameDecoder decoder_;
+  /// Terminal replies read while waiting for a different id.
+  std::vector<std::pair<u64, Frame>> pending_;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,183 @@
+#include "svc/requests.h"
+
+#include <memory>
+#include <utility>
+
+#include "designs/test_designs.h"
+#include "pnr/pnr.h"
+#include "radiation/environment.h"
+#include "seu/report.h"
+#include "store/verdict_store.h"
+#include "system/fleet.h"
+
+namespace vscrub {
+
+Netlist design_by_name(const std::string& name) {
+  if (name == "lfsr") return designs::lfsr_cluster(2);
+  if (name == "mult") return designs::mult_tree(10);
+  if (name == "vmult") return designs::vmult(8);
+  if (name == "counter") return designs::counter_adder(16);
+  if (name == "multadd") return designs::multiply_add(8);
+  if (name == "lfsrmult") return designs::lfsr_multiplier(10);
+  if (name == "fir") return designs::fir_preproc(4);
+  if (name == "selfcheck") return designs::selfcheck_dsp(8, 5);
+  if (name == "bram") return designs::bram_selftest(2);
+  throw Error("unknown design '" + name + "' (see `vscrubctl designs`)");
+}
+
+DeviceGeometry device_by_name(const std::string& name) {
+  if (name == "campaign") return device_tiny(12, 16);
+  if (name == "xcv50") return device_xcv50ish();
+  if (name == "xcv100") return device_xcv100ish();
+  if (name == "xcv300") return device_xcv300ish();
+  if (name == "xcv1000") return device_xcv1000ish();
+  if (name.rfind("tiny:", 0) == 0) {
+    const auto x = name.find('x', 5);
+    VSCRUB_CHECK(x != std::string::npos, "tiny device format is tiny:RxC");
+    return device_tiny(static_cast<u16>(std::stoi(name.substr(5, x - 5))),
+                       static_cast<u16>(std::stoi(name.substr(x + 1))), 2);
+  }
+  throw Error("unknown device '" + name + "' (see `vscrubctl devices`)");
+}
+
+namespace {
+
+PlacedDesign compile_request_design(const std::string& design,
+                                    const std::string& device) {
+  return compile(std::make_shared<const Netlist>(design_by_name(design)),
+                 std::make_shared<const ConfigSpace>(device_by_name(device)),
+                 {});
+}
+
+/// Mirrors vscrubctl's campaign_options_from: same parameter names (with the
+/// CLI's dashes as underscores), same defaults, so a served request and the
+/// one-shot command run the identical campaign.
+CampaignOptions campaign_options_from(const FlatJson& params,
+                                      const RequestContext& ctx) {
+  const u32 gang_width =
+      params.get_bool("no_gang")
+          ? 1u
+          : static_cast<u32>(params.get_u64("gang_width", 64));
+  CampaignOptions options =
+      CampaignOptions{}
+          .with_injection(InjectionOptions{}
+                              .with_persistence(params.get_bool("persistence"))
+                              .with_pruning(!params.get_bool("no_prune"))
+                              .with_gang_width(gang_width))
+          .with_chunk_size(params.get_u64("chunk", 0));
+  if (params.get_bool("exhaustive")) {
+    options.with_exhaustive();
+  } else {
+    options.with_sample(params.get_u64("sample", 20000),
+                        params.get_u64("seed", 99));
+  }
+  if (ctx.store != nullptr) options.with_shared_store(ctx.store);
+  if (ctx.pool != nullptr) options.with_shared_pool(ctx.pool);
+  if (!ctx.checkpoint_path.empty()) options.with_checkpoint(ctx.checkpoint_path);
+  const std::atomic<bool>* cancelled = ctx.cancelled;
+  options.with_progress(
+      [cancelled, forward = ctx.on_progress](const CampaignProgress& p) {
+        if (forward) forward(p);
+        return cancelled == nullptr ||
+               !cancelled->load(std::memory_order_relaxed);
+      },
+      params.get_u64("progress_every_chunks", 8));
+  return options;
+}
+
+JsonReport run_campaign_request(const FlatJson& params,
+                                const RequestContext& ctx) {
+  const PlacedDesign design =
+      compile_request_design(params.get_string("design", "lfsrmult"),
+                             params.get_string("device", "campaign"));
+  const CampaignResult r =
+      run_campaign(design, campaign_options_from(params, ctx));
+  return campaign_report_json(design, r);
+}
+
+JsonReport run_recampaign_request(const FlatJson& params,
+                                  const RequestContext& ctx) {
+  VSCRUB_CHECK(ctx.store != nullptr,
+               "recampaign requests need a server started with --cache-dir");
+  const PlacedDesign design =
+      compile_request_design(params.get_string("design", "lfsrmult"),
+                             params.get_string("device", "campaign"));
+  const RecampaignResult rr =
+      run_recampaign(design, campaign_options_from(params, ctx));
+  return recampaign_report_json(design, rr);
+}
+
+/// Mirrors vscrubctl's apply_mission_flags (same environment scaling).
+void apply_mission_params(const FlatJson& params, PayloadOptions& options,
+                          u64 total_bits) {
+  options.environment = params.get_bool("flare")
+                            ? OrbitEnvironment::leo_solar_flare()
+                            : OrbitEnvironment::leo_quiet();
+  options.environment.upset_rate_per_bit_s *=
+      static_cast<double>(kXcv1000PaperBits) / static_cast<double>(total_bits);
+  if (params.get_bool("scrub_faults")) {
+    options.scrub.link_faults = ScrubLinkFaults::leo_profile();
+    options.flash_faults = FlashFaultModel::leo_profile();
+  }
+}
+
+/// The sensitivity campaign missions are judged against — shared pool and
+/// store, so concurrent mission requests for the same device reuse each
+/// other's verdicts instead of re-simulating the map.
+CampaignResult mission_sensitivity_campaign(const PlacedDesign& design,
+                                            const RequestContext& ctx) {
+  CampaignOptions copts;
+  copts.sample_bits = 10000;
+  if (ctx.store != nullptr) copts.with_shared_store(ctx.store);
+  if (ctx.pool != nullptr) copts.with_shared_pool(ctx.pool);
+  const std::atomic<bool>* cancelled = ctx.cancelled;
+  copts.with_progress([cancelled](const CampaignProgress&) {
+    return cancelled == nullptr || !cancelled->load(std::memory_order_relaxed);
+  });
+  return run_campaign(design, copts);
+}
+
+JsonReport run_mission_request(const FlatJson& params,
+                               const RequestContext& ctx) {
+  const PlacedDesign design = compile_request_design(
+      "lfsrmult", params.get_string("device", "campaign"));
+  const CampaignResult camp = mission_sensitivity_campaign(design, ctx);
+  PayloadOptions options;
+  apply_mission_params(params, options, design.space->total_bits());
+  options.seed = params.get_u64("seed", 4242);
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  Payload payload(design, options, camp.sensitive_set(design));
+  payload.run_mission(SimTime::hours(params.get_double("hours", 24)));
+  return mission_report_json(metrics);
+}
+
+JsonReport run_fleet_request(const FlatJson& params,
+                             const RequestContext& ctx) {
+  const PlacedDesign design = compile_request_design(
+      "lfsrmult", params.get_string("device", "campaign"));
+  const CampaignResult camp = mission_sensitivity_campaign(design, ctx);
+  FleetOptions options;
+  options.missions = static_cast<u32>(params.get_u64("missions", 8));
+  options.base_seed = params.get_u64("seed", 1);
+  options.threads = static_cast<u32>(params.get_u64("threads", 0));
+  options.duration = SimTime::hours(params.get_double("hours", 24));
+  apply_mission_params(params, options.payload, design.space->total_bits());
+  return fleet_report_json(run_fleet(design, camp.sensitive_set(design), options));
+}
+
+}  // namespace
+
+JsonReport execute_request(FrameKind kind, const FlatJson& params,
+                           const RequestContext& ctx) {
+  switch (kind) {
+    case FrameKind::kCampaign: return run_campaign_request(params, ctx);
+    case FrameKind::kRecampaign: return run_recampaign_request(params, ctx);
+    case FrameKind::kMission: return run_mission_request(params, ctx);
+    case FrameKind::kFleet: return run_fleet_request(params, ctx);
+    default:
+      throw Error(std::string("not a work request: ") + frame_kind_name(kind));
+  }
+}
+
+}  // namespace vscrub

@@ -1,0 +1,56 @@
+// Request execution for the vscrubd serving layer: maps a decoded VSRP1
+// work request (campaign / recampaign / mission / fleet) onto the same
+// library calls the vscrubctl one-shot commands make, against the service's
+// shared thread pool and process-wide verdict store. Keeping this a pure
+// params -> report function (no sockets, no queues) is what lets the tests
+// prove a served request is bit-identical to the equivalent CLI run.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "fabric/geometry.h"
+#include "netlist/netlist.h"
+#include "report/json.h"
+#include "seu/campaign.h"
+#include "svc/protocol.h"
+
+namespace vscrub {
+
+class VerdictStore;
+
+/// The built-in design generators by CLI name (lfsr, mult, vmult, counter,
+/// multadd, lfsrmult, fir, selfcheck, bram). Throws Error on an unknown name.
+Netlist design_by_name(const std::string& name);
+
+/// The device geometries by CLI name (campaign, xcv50, xcv100, xcv300,
+/// xcv1000, tiny:RxC). Throws Error on an unknown name.
+DeviceGeometry device_by_name(const std::string& name);
+
+/// Everything a request executes against. All pointers are borrowed and may
+/// be null: a null store disables verdict caching (and fails recampaigns), a
+/// null pool gives the campaign its own workers, a null cancelled flag makes
+/// the request uncancellable.
+struct RequestContext {
+  VerdictStore* store = nullptr;
+  ThreadPool* pool = nullptr;
+  const std::atomic<bool>* cancelled = nullptr;
+  /// Chunk-complete telemetry hook (campaign/recampaign only); the service
+  /// forwards these as kProgress frames. May be empty.
+  std::function<void(const CampaignProgress&)> on_progress;
+  /// When set, campaigns checkpoint here (VSCK3) so a cancelled or
+  /// hard-stopped request leaves a resumable trail. Empty = no checkpoints.
+  std::string checkpoint_path;
+};
+
+/// Executes one work request and returns its report (the same JSON the
+/// corresponding `vscrubctl <op> --json` writes). `kind` must be one of
+/// kCampaign/kRecampaign/kMission/kFleet. Throws Error on bad parameters or
+/// an unexecutable request; the service turns that into a typed kError reply.
+/// Cancellation is polled at chunk boundaries for campaign kinds; mission and
+/// fleet requests only honor a cancel that lands before they start.
+JsonReport execute_request(FrameKind kind, const FlatJson& params,
+                           const RequestContext& ctx);
+
+}  // namespace vscrub

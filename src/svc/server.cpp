@@ -1,0 +1,271 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace vscrub {
+namespace {
+
+/// The stop-pipe write end of the process's one server, for signal handlers.
+std::atomic<int> g_signal_fd{-1};
+
+extern "C" void vscrubd_signal_handler(int) {
+  const int fd = g_signal_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const auto n = ::write(fd, &byte, 1);
+  }
+}
+
+/// One live connection, shared between its reader thread and every executor
+/// holding an emit closure for one of its requests. The fd is closed only
+/// when the LAST holder lets go — an executor finishing a campaign after the
+/// client hung up must never write into a recycled fd number.
+struct ConnState {
+  explicit ConnState(int fd_in) : fd(fd_in) {}
+  ~ConnState() { ::close(fd); }
+
+  /// Writes one whole frame under the connection's write mutex, so frames
+  /// from concurrent executors interleave at frame — not byte — granularity.
+  void send_frame(const Frame& frame) {
+    const std::vector<u8> bytes = encode_frame(frame);
+    std::lock_guard lock(write_mutex);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                            MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer gone; replies for it are dropped
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  const int fd;
+  std::mutex write_mutex;
+};
+
+}  // namespace
+
+SocketServer::SocketServer(ServerOptions options)
+    : options_(std::move(options)),
+      service_(std::make_unique<CampaignService>(options_.service)) {}
+
+SocketServer::~SocketServer() {
+  close_listeners();
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (g_signal_fd.load(std::memory_order_relaxed) == stop_pipe_[1]) {
+    g_signal_fd.store(-1, std::memory_order_relaxed);
+  }
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+}
+
+void SocketServer::start() {
+  ::signal(SIGPIPE, SIG_IGN);
+  VSCRUB_CHECK(::pipe(stop_pipe_) == 0, "vscrubd: cannot create stop pipe");
+  ::fcntl(stop_pipe_[0], F_SETFL, O_NONBLOCK);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  VSCRUB_CHECK(options_.socket_path.size() < sizeof addr.sun_path,
+               "vscrubd: socket path too long: " + options_.socket_path);
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
+  unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  VSCRUB_CHECK(unix_fd_ >= 0, "vscrubd: cannot create unix socket");
+  VSCRUB_CHECK(::bind(unix_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr) == 0,
+               "vscrubd: cannot bind " + options_.socket_path);
+  VSCRUB_CHECK(::listen(unix_fd_, 64) == 0,
+               "vscrubd: cannot listen on " + options_.socket_path);
+
+  if (options_.tcp_port != 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    VSCRUB_CHECK(tcp_fd_ >= 0, "vscrubd: cannot create tcp socket");
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in tcp{};
+    tcp.sin_family = AF_INET;
+    tcp.sin_port = htons(options_.tcp_port);
+    // Loopback only: the frame protocol carries no authentication, so the
+    // TCP listener must never be reachable off-host.
+    tcp.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    VSCRUB_CHECK(::bind(tcp_fd_, reinterpret_cast<const sockaddr*>(&tcp),
+                        sizeof tcp) == 0,
+                 "vscrubd: cannot bind loopback tcp port");
+    VSCRUB_CHECK(::listen(tcp_fd_, 64) == 0,
+                 "vscrubd: cannot listen on tcp port");
+  }
+}
+
+void SocketServer::bind_signals() {
+  g_signal_fd.store(stop_pipe_[1], std::memory_order_relaxed);
+  ::signal(SIGTERM, vscrubd_signal_handler);
+  ::signal(SIGINT, vscrubd_signal_handler);
+}
+
+void SocketServer::request_stop() {
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void SocketServer::close_listeners() {
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+}
+
+void SocketServer::run() {
+  int stops = 0;
+  while (stops == 0) {
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    fds[nfds++] = {stop_pipe_[0], POLLIN, 0};
+    fds[nfds++] = {unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[nfds++] = {tcp_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, nfds, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      VSCRUB_WARN("vscrubd: poll failed; shutting down");
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      char byte;
+      while (::read(stop_pipe_[0], &byte, 1) == 1) ++stops;
+      break;
+    }
+    for (nfds_t i = 1; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int conn = ::accept(fds[i].fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      std::lock_guard lock(conn_mutex_);
+      conn_fds_.push_back(conn);
+      conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
+    }
+  }
+
+  // Drain: stop admitting, let queued + running work finish and deliver.
+  stopping_.store(true, std::memory_order_release);
+  close_listeners();
+  service_->begin_drain();
+  if (stops > 1) service_->cancel_all();
+  // A further stop request arriving *during* the drain escalates to cancel.
+  std::thread escalation([this] {
+    while (true) {
+      pollfd pfd{stop_pipe_[0], POLLIN, 0};
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) return;
+      char byte;
+      const auto n = ::read(stop_pipe_[0], &byte, 1);
+      if (n == 1) {
+        service_->cancel_all();
+        continue;
+      }
+      if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR)) return;
+      if ((pfd.revents & (POLLHUP | POLLERR)) != 0) return;
+    }
+  });
+  service_->wait_drained();
+  // Closing the write end EOFs the pipe and unblocks the escalation watcher.
+  if (g_signal_fd.load(std::memory_order_relaxed) == stop_pipe_[1]) {
+    g_signal_fd.store(-1, std::memory_order_relaxed);
+  }
+  ::close(stop_pipe_[1]);
+  stop_pipe_[1] = -1;
+  escalation.join();
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard lock(conn_mutex_);
+    conn_threads_.clear();
+    conn_fds_.clear();
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+void SocketServer::connection_loop(int fd) {
+  const auto state = std::make_shared<ConnState>(fd);
+  const auto emit = [state](const Frame& frame) { state->send_frame(frame); };
+
+  FrameDecoder decoder;
+  u8 buf[4096];
+  bool open = true;
+  while (open) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    decoder.feed(std::span<const u8>(buf, static_cast<std::size_t>(n)));
+    bool more = true;
+    while (more && open) {
+      Frame frame;
+      const FrameDecoder::Status status = decoder.next(&frame);
+      switch (status) {
+        case FrameDecoder::Status::kNeedMore:
+          more = false;
+          break;
+        case FrameDecoder::Status::kFrame:
+          service_->handle(frame, emit);
+          break;
+        case FrameDecoder::Status::kBadKind:
+          // Framing is intact: answer and keep the connection.
+          emit(Frame{FrameKind::kError, frame.request_id,
+                     JsonReport("error")
+                         .set_string("code", "unknown_kind")
+                         .set_string("error", "unknown frame kind")
+                         .to_json()});
+          break;
+        default:
+          // Stream-level corruption: the connection has lost sync. Answer
+          // with a typed error so the peer learns why, then close.
+          emit(Frame{FrameKind::kError, 0,
+                     JsonReport("error")
+                         .set_string("code", decode_status_name(status))
+                         .set_string("error",
+                                     "unrecoverable frame decode error")
+                         .to_json()});
+          open = false;
+          break;
+      }
+    }
+  }
+  // Break the peer now; the fd itself is closed when the last emit closure
+  // (possibly held by an executor still finishing this client's campaign)
+  // releases the shared state.
+  ::shutdown(fd, SHUT_RDWR);
+  std::lock_guard lock(conn_mutex_);
+  for (std::size_t i = 0; i < conn_fds_.size(); ++i) {
+    if (conn_fds_[i] == fd) {
+      conn_fds_.erase(conn_fds_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+}  // namespace vscrub

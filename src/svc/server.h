@@ -1,0 +1,77 @@
+// vscrubd transport: a Unix-domain (plus optional TCP loopback) socket
+// server speaking VSRP1, one reader thread per connection, all requests
+// funneled into one CampaignService. The accept loop is poll()-driven with a
+// self-pipe, so request_stop() — including from a signal handler — wakes it
+// without races.
+//
+// Shutdown discipline (the SIGTERM drain): the first stop request closes
+// admission (new work gets kBusy "draining") and lets queued + running
+// requests finish and deliver their replies; the second flips every live
+// request's cancel flag, so campaigns stop at the next chunk boundary,
+// checkpoint (VSCK3), and still deliver their interrupted results. Either
+// way run() returns normally and the daemon exits 0.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.h"
+
+namespace vscrub {
+
+struct ServerOptions {
+  /// Unix-domain socket path. Bound at start(); unlinked on shutdown.
+  std::string socket_path = "/tmp/vscrubd.sock";
+  /// When nonzero, also listen on 127.0.0.1:tcp_port (loopback only — the
+  /// protocol carries no authentication).
+  u16 tcp_port = 0;
+  ServiceOptions service;
+};
+
+class SocketServer {
+ public:
+  explicit SocketServer(ServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens (and ignores SIGPIPE). Throws Error on failure.
+  void start();
+
+  /// Accept loop; returns after a drain completes (see header comment).
+  void run();
+
+  /// Requests shutdown. Async-signal-safe (writes one byte to the self
+  /// pipe). First call drains gracefully; a second cancels live requests.
+  void request_stop();
+
+  /// Installs SIGTERM/SIGINT handlers that call request_stop() on this
+  /// server (one server per process).
+  void bind_signals();
+
+  CampaignService& service() { return *service_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+  void close_listeners();
+
+  ServerOptions options_;
+  std::unique_ptr<CampaignService> service_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace vscrub

@@ -1,0 +1,307 @@
+#include "svc/service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/log.h"
+#include "svc/requests.h"
+
+namespace vscrub {
+
+CampaignService::CampaignService(const ServiceOptions& options)
+    : options_(options),
+      pool_(options.pool_threads) {
+  if (!options_.cache_dir.empty()) {
+    store_ = std::make_unique<VerdictStore>(options_.cache_dir);
+  }
+  {
+    std::lock_guard lock(metrics_mutex_);
+    metrics_.histogram("request_latency_ms", options_.latency_reservoir);
+    metrics_.set_gauge("queue_depth", 0.0);
+    metrics_.set_gauge("queue_capacity",
+                       static_cast<double>(options_.queue_capacity));
+  }
+  const unsigned executors = options_.executors == 0 ? 1 : options_.executors;
+  executors_.reserve(executors);
+  for (unsigned i = 0; i < executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+CampaignService::~CampaignService() {
+  begin_drain();
+  wait_drained();
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : executors_) t.join();
+  pool_.shutdown();
+}
+
+JsonReport CampaignService::error_report(const std::string& code,
+                                         const std::string& message) const {
+  return JsonReport("error")
+      .set_string("code", code)
+      .set_string("error", message);
+}
+
+JsonReport CampaignService::busy_report(const std::string& reason) const {
+  return JsonReport("busy")
+      .set_string("reason", reason)
+      .set_u64("retry_after_ms", options_.retry_after_ms);
+}
+
+void CampaignService::reply(const Emit& emit, FrameKind kind, u64 request_id,
+                            const JsonReport& report) const {
+  emit(Frame{kind, request_id, report.to_json()});
+}
+
+void CampaignService::handle(const Frame& request, Emit emit) {
+  switch (request.kind) {
+    case FrameKind::kPing: {
+      {
+        std::lock_guard lock(metrics_mutex_);
+        metrics_.counter("pings").add();
+      }
+      reply(emit, FrameKind::kResult, request.request_id,
+            JsonReport("pong").set_u64("protocol_version", 1));
+      return;
+    }
+    case FrameKind::kStats:
+      reply(emit, FrameKind::kResult, request.request_id, stats_report());
+      return;
+    case FrameKind::kCancel: {
+      u64 target = 0;
+      try {
+        target = FlatJson::parse(request.payload).get_u64("target_id", 0);
+      } catch (const Error& e) {
+        reply(emit, FrameKind::kError, request.request_id,
+              error_report("bad_request", e.what()));
+        return;
+      }
+      reply(emit, FrameKind::kResult, request.request_id,
+            JsonReport("cancel").set_u64("target_id", target)
+                .set_bool("cancelled", cancel(target)));
+      return;
+    }
+    case FrameKind::kCampaign:
+    case FrameKind::kRecampaign:
+    case FrameKind::kMission:
+    case FrameKind::kFleet:
+      break;  // work request: admission control below
+    default:
+      reply(emit, FrameKind::kError, request.request_id,
+            error_report("bad_request",
+                         std::string("not a request kind: ") +
+                             frame_kind_name(request.kind)));
+      return;
+  }
+
+  // Reject-don't-buffer admission: the queue bound is the whole backpressure
+  // story, so the reply happens under the same lock that checked the bound
+  // (no admit/reject race can oversubscribe the queue).
+  Job job;
+  job.request = request;
+  job.emit = std::move(emit);
+  job.cancelled = std::make_shared<std::atomic<bool>>(false);
+  job.enqueued = std::chrono::steady_clock::now();
+  std::size_t depth = 0;
+  {
+    std::unique_lock lock(mutex_);
+    if (draining()) {
+      lock.unlock();
+      std::lock_guard mlock(metrics_mutex_);
+      metrics_.counter("admission_rejects").add();
+      reply(job.emit, FrameKind::kBusy, request.request_id,
+            busy_report("draining"));
+      return;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      lock.unlock();
+      std::lock_guard mlock(metrics_mutex_);
+      metrics_.counter("admission_rejects").add();
+      reply(job.emit, FrameKind::kBusy, request.request_id,
+            busy_report("queue_full"));
+      return;
+    }
+    live_.emplace_back(request.request_id, job.cancelled);
+    queue_.push_back(job);
+    depth = queue_.size();
+  }
+  // Emitted after unlocking: a slow client socket must never stall other
+  // admissions. A very fast executor can therefore emit the result before
+  // this kAccepted lands; clients treat kAccepted as advisory.
+  reply(job.emit, FrameKind::kAccepted, request.request_id,
+        JsonReport("accepted").set_u64("queue_depth", depth));
+  {
+    std::lock_guard mlock(metrics_mutex_);
+    metrics_.counter("requests_total").add();
+    metrics_.counter(std::string("requests_") +
+                     frame_kind_name(request.kind)).add();
+    metrics_.set_gauge("queue_depth", static_cast<double>(depth));
+  }
+  work_cv_.notify_one();
+}
+
+bool CampaignService::cancel(u64 request_id) {
+  std::lock_guard lock(mutex_);
+  for (auto& [id, flag] : live_) {
+    if (id == request_id) {
+      flag->store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void CampaignService::cancel_all() {
+  std::lock_guard lock(mutex_);
+  for (auto& [id, flag] : live_) flag->store(true, std::memory_order_relaxed);
+}
+
+void CampaignService::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+}
+
+void CampaignService::wait_drained() {
+  {
+    std::unique_lock lock(mutex_);
+    drained_cv_.wait(lock, [this] {
+      return queue_.empty() && running_ == 0;
+    });
+  }
+  if (store_) store_->flush();
+}
+
+void CampaignService::executor_loop() {
+  while (true) {
+    Job job;
+    std::size_t depth = 0;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      depth = queue_.size();
+      ++running_;
+    }
+    {
+      std::lock_guard mlock(metrics_mutex_);
+      metrics_.set_gauge("queue_depth", static_cast<double>(depth));
+    }
+
+    run_job(job);
+
+    {
+      std::lock_guard lock(mutex_);
+      --running_;
+      for (std::size_t i = 0; i < live_.size(); ++i) {
+        if (live_[i].first == job.request.request_id) {
+          live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      if (queue_.empty() && running_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+void CampaignService::run_job(Job& job) {
+  const u64 id = job.request.request_id;
+  if (job.cancelled->load(std::memory_order_relaxed)) {
+    std::lock_guard mlock(metrics_mutex_);
+    metrics_.counter("cancelled_before_start").add();
+    reply(job.emit, FrameKind::kError, id,
+          error_report("cancelled", "request cancelled before it started"));
+    return;
+  }
+
+  RequestContext ctx;
+  ctx.store = store_.get();
+  ctx.pool = &pool_;
+  ctx.cancelled = job.cancelled.get();
+  if (store_ && options_.checkpoint_every_chunks > 0 &&
+      (job.request.kind == FrameKind::kCampaign ||
+       job.request.kind == FrameKind::kRecampaign)) {
+    char name[48];
+    std::snprintf(name, sizeof name, "/ckpt_%llu.vsck",
+                  static_cast<unsigned long long>(id));
+    ctx.checkpoint_path = store_->dir() + name;
+  }
+  const Emit emit = job.emit;
+  ctx.on_progress = [this, emit, id](const CampaignProgress& p) {
+    reply(emit, FrameKind::kProgress, id,
+          JsonReport("progress")
+              .set_u64("injections_done", p.injections_done)
+              .set_u64("injections_total", p.injections_total)
+              .set_u64("failures", p.failures)
+              .set_u64("cache_hits", p.cache_hits)
+              .set_u64("chunks_done", p.chunks_done)
+              .set_u64("chunks_total", p.chunks_total)
+              .set("bits_per_s", p.bits_per_s)
+              .set("eta_s", p.eta_s));
+  };
+  // Progress frames stream only when asked for: every chunk-telemetry frame
+  // is a socket write the client must drain.
+  bool want_progress = false;
+  FlatJson params;
+  try {
+    params = FlatJson::parse(job.request.payload.empty() ? "{}"
+                                                         : job.request.payload);
+    want_progress = params.get_bool("progress", false);
+  } catch (const Error& e) {
+    std::lock_guard mlock(metrics_mutex_);
+    metrics_.counter("bad_requests").add();
+    reply(job.emit, FrameKind::kError, id, error_report("bad_request", e.what()));
+    return;
+  }
+  if (!want_progress) ctx.on_progress = nullptr;
+
+  try {
+    const JsonReport report = execute_request(job.request.kind, params, ctx);
+    reply(job.emit, FrameKind::kResult, id, report);
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - job.enqueued).count();
+    std::lock_guard mlock(metrics_mutex_);
+    metrics_.counter("results").add();
+    metrics_.histogram("request_latency_ms", options_.latency_reservoir)
+        .record(latency_ms);
+  } catch (const std::exception& e) {
+    std::lock_guard mlock(metrics_mutex_);
+    metrics_.counter("failed_requests").add();
+    reply(job.emit, FrameKind::kError, id, error_report("failed", e.what()));
+  }
+}
+
+JsonReport CampaignService::stats_report() const {
+  std::size_t depth;
+  std::size_t live;
+  {
+    std::lock_guard lock(mutex_);
+    depth = queue_.size();
+    live = live_.size();
+  }
+  JsonReport report("service_stats");
+  report.set_u64("protocol_version", 1)
+      .set_u64("executors", executors_.size())
+      .set_u64("pool_threads", pool_.thread_count())
+      .set_u64("queue_depth_now", depth)
+      .set_u64("live_requests", live)
+      .set_bool("draining", draining())
+      .set_bool("store_enabled", store_ != nullptr)
+      .set_u64("store_entries", store_ ? store_->size() : 0);
+  std::lock_guard mlock(metrics_mutex_);
+  report.add_metrics(metrics_);
+  return report;
+}
+
+}  // namespace vscrub

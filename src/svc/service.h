@@ -1,0 +1,139 @@
+// The vscrubd request engine, independent of any transport: a bounded
+// admission queue feeding a small set of executor threads, every work
+// request running against ONE process-wide verdict store and ONE shared
+// injection thread pool. The socket server (svc/server.h) is a thin shell
+// around this; the loopback tests drive it directly.
+//
+// Concurrency shape: executor threads are dedicated — they block on the
+// queue and on campaign completion, and only the campaign's *chunks* run on
+// the shared compute pool. Request handlers never run on the compute pool
+// itself; an executor blocking inside parallel_chunks while also occupying a
+// compute worker would deadlock the pool under multiplexed load.
+//
+// Backpressure is explicit: when the queue is full (or the service is
+// draining) a work request is answered immediately with a typed kBusy frame
+// carrying retry_after_ms — the service never buffers unboundedly and never
+// silently drops.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "report/json.h"
+#include "store/verdict_store.h"
+#include "svc/protocol.h"
+
+namespace vscrub {
+
+struct ServiceOptions {
+  /// Admission-queue capacity; a work request arriving when this many are
+  /// already queued gets a kBusy reply instead of a slot.
+  std::size_t queue_capacity = 16;
+  /// Executor threads — the number of requests making progress at once.
+  unsigned executors = 2;
+  /// Workers in the shared injection pool (0 = hardware concurrency).
+  unsigned pool_threads = 0;
+  /// Directory of the process-wide verdict store; empty = no store (campaign
+  /// requests run uncached, recampaign requests are rejected).
+  std::string cache_dir;
+  /// Retry hint carried in kBusy replies.
+  u64 retry_after_ms = 250;
+  /// Bound on the request-latency histogram (deterministic reservoir).
+  u64 latency_reservoir = 1024;
+  /// Campaigns checkpoint under cache_dir (VSCK3) every this many chunks so
+  /// a cancelled or hard-stopped request leaves a resumable trail; 0
+  /// disables server-side checkpointing.
+  u64 checkpoint_every_chunks = 0;
+};
+
+class CampaignService {
+ public:
+  /// Reply sink for one request. Called from executor threads (and inline
+  /// from handle() for immediate replies), possibly concurrently across
+  /// requests — implementations must be thread-safe.
+  using Emit = std::function<void(const Frame&)>;
+
+  explicit CampaignService(const ServiceOptions& options);
+  /// Drains (queued and running requests finish) and joins the executors.
+  ~CampaignService();
+
+  CampaignService(const CampaignService&) = delete;
+  CampaignService& operator=(const CampaignService&) = delete;
+
+  /// Routes one decoded request frame. Immediate kinds (ping/stats/cancel)
+  /// are answered synchronously through `emit`; work kinds are queued (emit
+  /// gets kAccepted now and kProgress/kResult/kError later, from an executor)
+  /// or rejected with kBusy. Unknown/invalid kinds get kError.
+  void handle(const Frame& request, Emit emit);
+
+  /// Stops admitting work. Already-queued and running requests finish and
+  /// their replies are delivered; new work requests get kBusy("draining").
+  void begin_drain();
+  /// Blocks until the queue is empty and every executor is idle. The
+  /// verdict store is flushed before returning.
+  void wait_drained();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Flips the cancel flag of every queued and running request (the hard
+  /// phase of a two-step shutdown: drain first, cancel on the second
+  /// signal). Campaigns stop at their next chunk boundary, checkpoint, and
+  /// still deliver their (interrupted) result.
+  bool cancel(u64 request_id);
+  void cancel_all();
+
+  /// Snapshot of the server-side metrics as a versioned JSON report
+  /// ("kind": "service_stats"): queue depth, admission rejects, request
+  /// latency p50/p99, per-kind counters, store size.
+  JsonReport stats_report() const;
+
+  VerdictStore* store() { return store_.get(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    Frame request;
+    Emit emit;
+    std::shared_ptr<std::atomic<bool>> cancelled;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void executor_loop();
+  void run_job(Job& job);
+  void reply(const Emit& emit, FrameKind kind, u64 request_id,
+             const JsonReport& report) const;
+  JsonReport error_report(const std::string& code,
+                          const std::string& message) const;
+  JsonReport busy_report(const std::string& reason) const;
+
+  ServiceOptions options_;
+  std::unique_ptr<VerdictStore> store_;  ///< null when cache_dir is empty
+  ThreadPool pool_;                      ///< shared injection compute pool
+
+  mutable std::mutex mutex_;             ///< guards queue_/live_/counters
+  std::condition_variable work_cv_;      ///< executors wait here
+  std::condition_variable drained_cv_;   ///< wait_drained() waits here
+  std::deque<Job> queue_;
+  /// Cancel flags of queued + running jobs, by request id.
+  std::vector<std::pair<u64, std::shared_ptr<std::atomic<bool>>>> live_;
+  unsigned running_ = 0;
+  std::atomic<bool> draining_{false};
+  bool stop_ = false;  ///< set by the destructor after the final drain
+
+  mutable std::mutex metrics_mutex_;
+  MetricsRegistry metrics_;
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace vscrub

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/bitvector.h"
 #include "common/crc.h"
 #include "common/ecc.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
@@ -198,6 +203,103 @@ TEST(ThreadPool, WaitIdleAfterManySubmits) {
 TEST(Error, CheckMacroThrows) {
   EXPECT_THROW(VSCRUB_CHECK(false, "boom"), Error);
   EXPECT_NO_THROW(VSCRUB_CHECK(true, "fine"));
+}
+
+TEST(ThreadPool, SubmitAfterShutdownIsRefusedNotFatal) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  EXPECT_TRUE(pool.submit([&count] { count.fetch_add(1); }));
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopping());
+  // Queued work ran before the join; late submits are dropped loudly, never
+  // enqueued into a dead queue.
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_FALSE(pool.submit([&count] { count.fetch_add(1); }));
+  EXPECT_EQ(count.load(), 1);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, ParallelWorkRunsInlineOnStoppedPool) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  // A drained daemon must still complete parallel work (inline on the
+  // caller) rather than deadlock waiting on workers that are gone.
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, [&](u64 begin, u64 end) {
+    for (u64 i = begin; i < end; ++i) ++hits[i];
+  });
+  std::atomic<u64> total{0};
+  pool.parallel_chunks(100, 7, [&](u64 begin, u64 end, unsigned) {
+    total.fetch_add(end - begin);
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPool, ConcurrentParallelChunksCallersShareOnePool) {
+  // The serving layer's shape: several campaigns multiplexed onto one pool,
+  // each waiting on its own completion latch.
+  ThreadPool pool(3);
+  constexpr std::size_t kCallers = 4;
+  std::vector<std::atomic<u64>> sums(kCallers);
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      pool.parallel_chunks(1000, 64, [&sums, c](u64 begin, u64 end, unsigned) {
+        for (u64 i = begin; i < end; ++i) sums[c].fetch_add(i);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), 1000u * 999u / 2) << "caller " << c;
+  }
+}
+
+TEST(Histogram, ExactModeMatchesReservoirUnderCap) {
+  Histogram exact;
+  Histogram reservoir;
+  reservoir.set_reservoir(256);
+  for (int i = 0; i < 200; ++i) {
+    exact.record(i);
+    reservoir.record(i);
+  }
+  // Under the cap the reservoir holds every sample: identical percentiles.
+  EXPECT_DOUBLE_EQ(exact.percentile(50), reservoir.percentile(50));
+  EXPECT_DOUBLE_EQ(exact.percentile(99), reservoir.percentile(99));
+  EXPECT_EQ(reservoir.count(), 200u);
+}
+
+TEST(Histogram, ReservoirBoundsMemoryAndKeepsExactAggregates) {
+  Histogram h;
+  h.set_reservoir(64, 7);
+  for (int i = 1; i <= 100000; ++i) h.record(i);
+  // count/sum/min/max stay exact regardless of what the reservoir kept.
+  EXPECT_EQ(h.count(), 100000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100000.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 100000.0 * 100001.0 / 2);
+  // Percentiles come from the 64 retained samples; Algorithm R keeps a
+  // uniform subsample, so the median estimate lands in the body of the
+  // distribution, not at an extreme.
+  const double p50 = h.percentile(50);
+  EXPECT_GT(p50, 10000.0);
+  EXPECT_LT(p50, 90000.0);
+  EXPECT_GE(h.percentile(99), p50);
+}
+
+TEST(Histogram, ReservoirIsDeterministic) {
+  const auto fill = [](u64 seed) {
+    Histogram h;
+    h.set_reservoir(32, seed);
+    for (int i = 0; i < 5000; ++i) h.record(i * 3 % 997);
+    return h;
+  };
+  Histogram a = fill(42);
+  Histogram b = fill(42);
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p)) << "p" << p;
+  }
 }
 
 }  // namespace

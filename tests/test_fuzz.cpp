@@ -332,7 +332,7 @@ u64 served_entries(const std::string& dir) {
   VerdictStore store(dir);
   u64 served = 0;
   for (u64 i = 0; i < kEntries; ++i) {
-    if (const StoredVerdict* v = store.find(vkey(i))) {
+    if (const std::optional<StoredVerdict> v = store.find(vkey(i))) {
       EXPECT_EQ(*v, vverdict(i)) << "entry " << i << " served corrupted";
       ++served;
     }
@@ -398,7 +398,8 @@ TEST(VerdictStoreFuzz, OversizedCountRejectedBeforeAllocation) {
   }
   VerdictStore store(dir);
   EXPECT_EQ(store.corrupt_shards(), 1u);
-  EXPECT_EQ(store.find(vkey(0)), nullptr) << "hostile shard served a verdict";
+  EXPECT_FALSE(store.find(vkey(0)).has_value())
+      << "hostile shard served a verdict";
   std::filesystem::remove_all(dir);
 }
 
@@ -413,7 +414,7 @@ TEST(VerdictStoreFuzz, WrongMagicShardIsDroppedNotFatal) {
   }
   VerdictStore store(dir);
   EXPECT_EQ(store.corrupt_shards(), 1u);
-  EXPECT_EQ(store.find(vkey(0)), nullptr);
+  EXPECT_FALSE(store.find(vkey(0)).has_value());
   std::filesystem::remove_all(dir);
 }
 
@@ -432,8 +433,8 @@ TEST(VerdictStoreFuzz, FlushRewritesCorruptShardsClean) {
   }
   VerdictStore healed(dir);
   EXPECT_EQ(healed.corrupt_shards(), 0u);
-  const StoredVerdict* v = healed.find(vkey(0));
-  ASSERT_NE(v, nullptr);
+  const std::optional<StoredVerdict> v = healed.find(vkey(0));
+  ASSERT_TRUE(v.has_value());
   EXPECT_EQ(*v, vverdict(0));
   std::filesystem::remove_all(dir);
 }

@@ -1,0 +1,531 @@
+// The vscrubd serving layer: VSRP1 framing round-trips, FlatJson reads what
+// JsonReport writes, the CampaignService enforces bounded admission with
+// typed backpressure, and the loopback server hands N concurrent clients
+// results bit-identical to a direct library run — with cross-client verdict
+// reuse, because every request shares one process-wide store.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/vscrub.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+#include "svc/requests.h"
+#include "svc/server.h"
+#include "svc/service.h"
+
+namespace vscrub {
+namespace {
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+bool terminal(FrameKind kind) {
+  return kind == FrameKind::kResult || kind == FrameKind::kError ||
+         kind == FrameKind::kBusy;
+}
+
+/// Thread-safe frame sink for driving CampaignService::handle directly.
+struct FrameLog {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Frame> frames;
+
+  CampaignService::Emit emit() {
+    return [this](const Frame& f) {
+      // notify under the lock: the waiter may destroy this FrameLog the
+      // moment it observes the terminal frame, so the notify must complete
+      // before the waiter can re-acquire the mutex.
+      std::lock_guard lock(mutex);
+      frames.push_back(f);
+      cv.notify_all();
+    };
+  }
+
+  Frame wait_terminal() {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this] {
+      for (const Frame& f : frames) {
+        if (terminal(f.kind)) return true;
+      }
+      return false;
+    });
+    for (const Frame& f : frames) {
+      if (terminal(f.kind)) return f;
+    }
+    return {};  // unreachable
+  }
+};
+
+// ---------------------------------------------------------------------------
+// VSRP1 framing
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, EncodeDecodeRoundTrip) {
+  const Frame in{FrameKind::kCampaign, 0xDEADBEEFCAFEull,
+                 R"({"kind": "campaign_request", "sample": 500})"};
+  const std::vector<u8> wire = encode_frame(in);
+  EXPECT_EQ(wire.size(),
+            kFrameHeaderBytes + in.payload.size() + kFrameTrailerBytes);
+
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  Frame out;
+  ASSERT_EQ(decoder.next(&out), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.kind, in.kind);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.payload, in.payload);
+  EXPECT_EQ(decoder.next(&out), FrameDecoder::Status::kNeedMore);
+  EXPECT_FALSE(decoder.poisoned());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Protocol, EmptyPayloadAndByteAtATimeFeed) {
+  const Frame in{FrameKind::kPing, 7, ""};
+  const std::vector<u8> wire = encode_frame(in);
+
+  FrameDecoder decoder;
+  Frame out;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    // Before the last byte there is never a complete frame.
+    EXPECT_EQ(decoder.next(&out), FrameDecoder::Status::kNeedMore) << i;
+    decoder.feed({&wire[i], 1});
+  }
+  ASSERT_EQ(decoder.next(&out), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.kind, FrameKind::kPing);
+  EXPECT_EQ(out.request_id, 7u);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(Protocol, BackToBackFramesInOneFeed) {
+  std::vector<u8> wire;
+  for (u64 id = 1; id <= 3; ++id) {
+    const std::vector<u8> one =
+        encode_frame({FrameKind::kStats, id, "{\"n\": " + std::to_string(id) + "}"});
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  Frame out;
+  for (u64 id = 1; id <= 3; ++id) {
+    ASSERT_EQ(decoder.next(&out), FrameDecoder::Status::kFrame) << id;
+    EXPECT_EQ(out.request_id, id);
+  }
+  EXPECT_EQ(decoder.next(&out), FrameDecoder::Status::kNeedMore);
+}
+
+TEST(Protocol, FlatJsonReadsWhatJsonReportWrites) {
+  const std::string text = JsonReport("roundtrip")
+                               .set_string("name", "tab\there \"quoted\" \\ \n")
+                               .set_u64("big", 18446744073709551615ull)
+                               .set("ratio", 0.25)
+                               .set_bool("yes", true)
+                               .set_bool("no", false)
+                               .to_json();
+  const FlatJson parsed = FlatJson::parse(text);
+  EXPECT_EQ(parsed.get_u64("schema_version"),
+            static_cast<u64>(kReportSchemaVersion));
+  EXPECT_EQ(parsed.get_string("kind"), "roundtrip");
+  EXPECT_EQ(parsed.get_string("name"), "tab\there \"quoted\" \\ \n");
+  EXPECT_EQ(parsed.get_u64("big"), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(parsed.get_double("ratio"), 0.25);
+  EXPECT_TRUE(parsed.get_bool("yes"));
+  EXPECT_FALSE(parsed.get_bool("no"));
+  EXPECT_FALSE(parsed.has("missing"));
+  EXPECT_EQ(parsed.get_u64("missing", 42), 42u);
+}
+
+TEST(Protocol, FlatJsonRejectsMalformedInput) {
+  EXPECT_THROW(FlatJson::parse("not json"), Error);
+  EXPECT_THROW(FlatJson::parse("{\"unterminated\": \"str"), Error);
+  EXPECT_THROW(FlatJson::parse("{\"nested\": {\"x\": 1}}"), Error);
+  EXPECT_THROW(FlatJson::parse("{\"arr\": [1, 2]}"), Error);
+  EXPECT_NO_THROW(FlatJson::parse("{}"));
+  EXPECT_NO_THROW(FlatJson::parse("{\"null_ok\": null}"));
+}
+
+// ---------------------------------------------------------------------------
+// CampaignService (no sockets: handle() driven directly)
+// ---------------------------------------------------------------------------
+
+const char* small_campaign_payload() {
+  return R"({"design": "lfsr", "device": "campaign", "sample": 300})";
+}
+
+TEST(CampaignService, PingStatsAndCancelAnswerInline) {
+  CampaignService svc(ServiceOptions{});
+  FrameLog ping;
+  svc.handle({FrameKind::kPing, 5, ""}, ping.emit());
+  // Inline kinds reply synchronously — no waiting needed.
+  ASSERT_EQ(ping.frames.size(), 1u);
+  EXPECT_EQ(ping.frames[0].kind, FrameKind::kResult);
+  EXPECT_EQ(ping.frames[0].request_id, 5u);
+  EXPECT_EQ(FlatJson::parse(ping.frames[0].payload).get_string("kind"), "pong");
+
+  FrameLog stats;
+  svc.handle({FrameKind::kStats, 6, ""}, stats.emit());
+  ASSERT_EQ(stats.frames.size(), 1u);
+  const FlatJson s = FlatJson::parse(stats.frames[0].payload);
+  EXPECT_EQ(s.get_string("kind"), "service_stats");
+  EXPECT_EQ(s.get_u64("pings"), 1u);
+  EXPECT_FALSE(s.get_bool("store_enabled"));
+
+  FrameLog cancel;
+  svc.handle({FrameKind::kCancel, 7, R"({"target_id": 999})"}, cancel.emit());
+  ASSERT_EQ(cancel.frames.size(), 1u);
+  EXPECT_EQ(cancel.frames[0].kind, FrameKind::kResult);
+  EXPECT_FALSE(FlatJson::parse(cancel.frames[0].payload).get_bool("cancelled"));
+}
+
+TEST(CampaignService, ReplyKindGetsTypedError) {
+  CampaignService svc(ServiceOptions{});
+  FrameLog log;
+  svc.handle({FrameKind::kResult, 9, ""}, log.emit());
+  ASSERT_EQ(log.frames.size(), 1u);
+  EXPECT_EQ(log.frames[0].kind, FrameKind::kError);
+  EXPECT_EQ(FlatJson::parse(log.frames[0].payload).get_string("code"),
+            "bad_request");
+}
+
+TEST(CampaignService, BadRequestJsonGetsTypedErrorNotCrash) {
+  ServiceOptions options;
+  options.executors = 1;
+  options.pool_threads = 2;
+  CampaignService svc(options);
+  FrameLog log;
+  svc.handle({FrameKind::kCampaign, 11, "{{{ not json"}, log.emit());
+  const Frame reply = log.wait_terminal();
+  EXPECT_EQ(reply.kind, FrameKind::kError);
+  EXPECT_EQ(FlatJson::parse(reply.payload).get_string("code"), "bad_request");
+
+  FrameLog unknown;
+  svc.handle({FrameKind::kCampaign, 12, R"({"design": "nonsense"})"},
+             unknown.emit());
+  EXPECT_EQ(unknown.wait_terminal().kind, FrameKind::kError);
+}
+
+// Wedges the single executor inside request A's terminal emit, so the queue
+// state is frozen while admission decisions are asserted. Deterministic: the
+// executor cannot pop another job until `release()`.
+class WedgedExecutor {
+ public:
+  explicit WedgedExecutor(CampaignService& svc) {
+    svc.handle({FrameKind::kCampaign, 1, small_campaign_payload()},
+               [this](const Frame& f) {
+                 if (!terminal(f.kind)) return;
+                 std::unique_lock lock(mutex_);
+                 wedged_ = true;
+                 cv_.notify_all();
+                 cv_.wait(lock, [this] { return released_; });
+               });
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return wedged_; });
+  }
+
+  void release() {
+    {
+      std::lock_guard lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool wedged_ = false;
+  bool released_ = false;
+};
+
+TEST(CampaignService, FullQueueGetsTypedBusyWithRetryHint) {
+  ServiceOptions options;
+  options.queue_capacity = 1;
+  options.executors = 1;
+  options.pool_threads = 2;
+  options.retry_after_ms = 7;
+  CampaignService svc(options);
+  WedgedExecutor wedge(svc);
+
+  // The executor is wedged on request 1; request 2 takes the only slot.
+  FrameLog queued;
+  svc.handle({FrameKind::kCampaign, 2, small_campaign_payload()},
+             queued.emit());
+  // Request 3 finds the queue full: typed kBusy, emitted inline.
+  FrameLog rejected;
+  svc.handle({FrameKind::kCampaign, 3, small_campaign_payload()},
+             rejected.emit());
+  {
+    std::lock_guard lock(rejected.mutex);
+    ASSERT_EQ(rejected.frames.size(), 1u);
+    EXPECT_EQ(rejected.frames[0].kind, FrameKind::kBusy);
+    const FlatJson busy = FlatJson::parse(rejected.frames[0].payload);
+    EXPECT_EQ(busy.get_string("reason"), "queue_full");
+    EXPECT_EQ(busy.get_u64("retry_after_ms"), 7u);
+  }
+
+  wedge.release();
+  // The queued request was never lost: it completes once the executor frees.
+  EXPECT_EQ(queued.wait_terminal().kind, FrameKind::kResult);
+
+  FrameLog stats;
+  svc.handle({FrameKind::kStats, 90, ""}, stats.emit());
+  const FlatJson s = FlatJson::parse(stats.frames[0].payload);
+  EXPECT_EQ(s.get_u64("admission_rejects"), 1u);
+  EXPECT_EQ(s.get_u64("requests_total"), 2u);
+}
+
+TEST(CampaignService, DrainingRejectsNewWorkButFinishesQueued) {
+  ServiceOptions options;
+  options.executors = 1;
+  options.pool_threads = 2;
+  CampaignService svc(options);
+
+  FrameLog queued;
+  svc.handle({FrameKind::kCampaign, 1, small_campaign_payload()},
+             queued.emit());
+  svc.begin_drain();
+
+  FrameLog rejected;
+  svc.handle({FrameKind::kCampaign, 2, small_campaign_payload()},
+             rejected.emit());
+  {
+    std::lock_guard lock(rejected.mutex);
+    ASSERT_EQ(rejected.frames.size(), 1u);
+    EXPECT_EQ(rejected.frames[0].kind, FrameKind::kBusy);
+    EXPECT_EQ(FlatJson::parse(rejected.frames[0].payload).get_string("reason"),
+              "draining");
+  }
+
+  svc.wait_drained();
+  // The in-flight request finished and delivered before the drain completed.
+  std::lock_guard lock(queued.mutex);
+  bool delivered = false;
+  for (const Frame& f : queued.frames) delivered |= f.kind == FrameKind::kResult;
+  EXPECT_TRUE(delivered);
+}
+
+TEST(CampaignService, CancelBeforeStartYieldsTypedError) {
+  ServiceOptions options;
+  options.queue_capacity = 4;
+  options.executors = 1;
+  options.pool_threads = 2;
+  CampaignService svc(options);
+  WedgedExecutor wedge(svc);
+
+  FrameLog queued;
+  svc.handle({FrameKind::kCampaign, 2, small_campaign_payload()},
+             queued.emit());
+  FrameLog cancel;
+  svc.handle({FrameKind::kCancel, 3, R"({"target_id": 2})"}, cancel.emit());
+  EXPECT_TRUE(FlatJson::parse(cancel.frames[0].payload).get_bool("cancelled"));
+
+  wedge.release();
+  const Frame reply = queued.wait_terminal();
+  EXPECT_EQ(reply.kind, FrameKind::kError);
+  EXPECT_EQ(FlatJson::parse(reply.payload).get_string("code"), "cancelled");
+}
+
+TEST(CampaignService, CancelMidFlightDeliversInterruptedResult) {
+  ServiceOptions options;
+  options.executors = 1;
+  options.pool_threads = 2;
+  CampaignService svc(options);
+
+  // Many small chunks with per-chunk telemetry: the first kProgress frame
+  // proves the campaign is mid-flight, and the cancel lands at the next
+  // chunk boundary.
+  FrameLog log;
+  std::atomic<bool> cancelled_once{false};
+  svc.handle({FrameKind::kCampaign, 21,
+              R"({"design": "lfsr", "device": "campaign", "sample": 4000,)"
+              R"( "chunk": 64, "progress": true, "progress_every_chunks": 1})"},
+             [&](const Frame& f) {
+               if (f.kind == FrameKind::kProgress &&
+                   !cancelled_once.exchange(true)) {
+                 EXPECT_TRUE(svc.cancel(21));
+               }
+               log.emit()(f);
+             });
+  const Frame reply = log.wait_terminal();
+  ASSERT_EQ(reply.kind, FrameKind::kResult);
+  const FlatJson report = FlatJson::parse(reply.payload);
+  EXPECT_TRUE(report.get_bool("interrupted"));
+  EXPECT_LT(report.get_u64("injections"), 4000u);
+  EXPECT_TRUE(cancelled_once.load());
+}
+
+TEST(CampaignService, RecampaignWithoutStoreIsTypedFailure) {
+  ServiceOptions options;
+  options.executors = 1;
+  options.pool_threads = 2;
+  CampaignService svc(options);
+  FrameLog log;
+  svc.handle({FrameKind::kRecampaign, 31, small_campaign_payload()},
+             log.emit());
+  const Frame reply = log.wait_terminal();
+  EXPECT_EQ(reply.kind, FrameKind::kError);
+  EXPECT_EQ(FlatJson::parse(reply.payload).get_string("code"), "failed");
+}
+
+// ---------------------------------------------------------------------------
+// Loopback integration: SocketServer + ServiceClient
+// ---------------------------------------------------------------------------
+
+struct LoopbackServer {
+  explicit LoopbackServer(ServerOptions options) : server(std::move(options)) {
+    server.start();
+    runner = std::thread([this] { server.run(); });
+  }
+  ~LoopbackServer() {
+    if (runner.joinable()) {
+      server.request_stop();
+      runner.join();
+    }
+  }
+  void stop_and_join() {
+    server.request_stop();
+    runner.join();
+  }
+  SocketServer server;
+  std::thread runner;
+};
+
+ServerOptions loopback_options(const char* socket_name) {
+  ServerOptions options;
+  options.socket_path = ::testing::TempDir() + socket_name;
+  std::filesystem::remove(options.socket_path);
+  options.service.queue_capacity = 32;
+  options.service.executors = 3;
+  options.service.pool_threads = 3;
+  return options;
+}
+
+TEST(ServiceLoopback, ConcurrentClientsMatchDirectRunAndShareVerdicts) {
+  const std::string dir = fresh_dir("svc_loopback_store");
+  ServerOptions options = loopback_options("svc_loop.sock");
+  options.service.cache_dir = dir;
+  LoopbackServer loop(options);
+
+  const std::string payload = JsonReport("campaign_request")
+                                  .set_string("design", "lfsrmult")
+                                  .set_string("device", "campaign")
+                                  .set_u64("sample", 1200)
+                                  .to_json();
+  constexpr std::size_t kClients = 8;
+  std::vector<u64> digests(kClients, 0);
+  std::vector<u64> hits(kClients, 0);
+  std::vector<u64> injections(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ServiceClient client =
+          ServiceClient::connect_unix(options.socket_path);
+      const Frame reply = client.call(FrameKind::kCampaign, payload);
+      EXPECT_EQ(reply.kind, FrameKind::kResult) << reply.payload;
+      if (reply.kind != FrameKind::kResult) return;
+      const FlatJson report = FlatJson::parse(reply.payload);
+      digests[c] = report.get_u64("sensitive_digest");
+      hits[c] = report.get_u64("cache_hits");
+      injections[c] = report.get_u64("injections");
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // The ground truth: the same campaign run directly through the library
+  // with the server's defaults (gang 64, pruning on, sample seed 99).
+  const PlacedDesign design =
+      compile(design_by_name("lfsrmult"), device_by_name("campaign"));
+  const CampaignResult direct = run_campaign(
+      design, CampaignOptions{}
+                  .with_injection(InjectionOptions{}
+                                      .with_persistence(false)
+                                      .with_pruning(true)
+                                      .with_gang_width(64))
+                  .with_sample(1200, 99));
+  const u64 expected = direct.sensitive_digest(design);
+
+  u64 total_hits = 0;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(digests[c], expected) << "client " << c;
+    EXPECT_EQ(injections[c], direct.injections) << "client " << c;
+    total_hits += hits[c];
+  }
+  // Concurrent clients share one store: someone must have reused a verdict
+  // another client computed.
+  EXPECT_GT(total_hits, 0u);
+
+  // The shared store also serves delta re-campaigns across the same socket.
+  ServiceClient client = ServiceClient::connect_unix(options.socket_path);
+  const Frame re = client.call(FrameKind::kRecampaign, payload);
+  ASSERT_EQ(re.kind, FrameKind::kResult) << re.payload;
+  const FlatJson rr = FlatJson::parse(re.payload);
+  EXPECT_TRUE(rr.get_bool("sensitive_match"));
+  EXPECT_EQ(rr.get_u64("current_sensitive_digest"), expected);
+
+  loop.stop_and_join();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceLoopback, AcceptedAndProgressStreamBeforeResult) {
+  ServerOptions options = loopback_options("svc_progress.sock");
+  LoopbackServer loop(options);
+
+  ServiceClient client = ServiceClient::connect_unix(options.socket_path);
+  const std::string payload =
+      R"({"design": "lfsr", "device": "campaign", "sample": 2000,)"
+      R"( "chunk": 64, "progress": true, "progress_every_chunks": 1})";
+  const u64 id = client.send_request(FrameKind::kCampaign, payload);
+  u64 progress_frames = 0;
+  u64 last_done = 0;
+  const Frame reply = client.wait(id, [&](const Frame& f) {
+    if (f.kind != FrameKind::kProgress) return;
+    ++progress_frames;
+    const FlatJson p = FlatJson::parse(f.payload);
+    const u64 done = p.get_u64("injections_done");
+    EXPECT_GE(done, last_done);
+    last_done = done;
+  });
+  ASSERT_EQ(reply.kind, FrameKind::kResult) << reply.payload;
+  EXPECT_GT(progress_frames, 0u);
+  const FlatJson report = FlatJson::parse(reply.payload);
+  EXPECT_FALSE(report.get_bool("interrupted"));
+  EXPECT_GT(report.get_u64("injections"), 0u);
+}
+
+TEST(ServiceLoopback, DrainDeliversInFlightResultThenExits) {
+  ServerOptions options = loopback_options("svc_drain.sock");
+  LoopbackServer loop(options);
+
+  ServiceClient client = ServiceClient::connect_unix(options.socket_path);
+  const u64 id = client.send_request(
+      FrameKind::kCampaign,
+      R"({"design": "lfsrmult", "device": "campaign", "sample": 1500})");
+  // Stop the server the moment the request is admitted: the drain must still
+  // finish the in-flight campaign and deliver its result.
+  std::atomic<bool> stopped{false};
+  const Frame reply = client.wait(id, [&](const Frame& f) {
+    if (f.kind == FrameKind::kAccepted && !stopped.exchange(true)) {
+      loop.server.request_stop();
+    }
+  });
+  // A fast executor may beat the kAccepted handoff; stop now in that case.
+  if (!stopped.exchange(true)) loop.server.request_stop();
+  EXPECT_EQ(reply.kind, FrameKind::kResult) << reply.payload;
+  loop.runner.join();
+  // A clean drain removes the socket.
+  EXPECT_FALSE(std::filesystem::exists(options.socket_path));
+}
+
+}  // namespace
+}  // namespace vscrub

@@ -1,0 +1,327 @@
+// Adversarial input on the VSRP1 framing layer and the live socket server:
+// truncated frames, bit flips, hostile length prefixes, unknown kinds and
+// plain garbage must all decode to *typed* errors — the decoder never yields
+// a corrupted frame as valid, and the server answers, closes, and keeps
+// serving other clients. Mirrors the artifact fuzz suite (test_fuzz.cpp),
+// which gives the on-disk formats the same discipline.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/crc.h"
+#include "common/rng.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+
+namespace vscrub {
+namespace {
+
+std::vector<u8> sample_wire() {
+  return encode_frame({FrameKind::kCampaign, 0x1122334455667788ull,
+                       R"({"design": "lfsr", "sample": 100})"});
+}
+
+/// Re-signs a hand-mutated frame so only the intended field is corrupt.
+void resign(std::vector<u8>* wire) {
+  const u32 crc = crc32(
+      std::span<const u8>(wire->data(), wire->size() - kFrameTrailerBytes));
+  for (int i = 0; i < 4; ++i) {
+    (*wire)[wire->size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<u8>(crc >> (8 * i));
+  }
+}
+
+TEST(ProtocolFuzz, TruncatedFramesNeverYieldAFrame) {
+  const std::vector<u8> wire = sample_wire();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(std::span<const u8>(wire.data(), cut));
+    Frame out;
+    EXPECT_EQ(decoder.next(&out), FrameDecoder::Status::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_FALSE(decoder.poisoned());
+  }
+}
+
+TEST(ProtocolFuzz, EverySingleBitFlipIsDetected) {
+  const std::vector<u8> wire = sample_wire();
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<u8> mutated = wire;
+      mutated[byte] = static_cast<u8>(mutated[byte] ^ (1u << bit));
+      FrameDecoder decoder;
+      decoder.feed(mutated);
+      Frame out;
+      const FrameDecoder::Status status = decoder.next(&out);
+      // A flip may land in the length field and leave the decoder waiting
+      // for bytes that never come (kNeedMore) — but it must never produce a
+      // validated frame: the CRC catches every single-bit error.
+      EXPECT_NE(status, FrameDecoder::Status::kFrame)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(ProtocolFuzz, OversizedLengthRejectedBeforeBuffering) {
+  std::vector<u8> wire = sample_wire();
+  const u64 huge = kMaxFramePayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    wire[14 + static_cast<std::size_t>(i)] = static_cast<u8>(huge >> (8 * i));
+  }
+  FrameDecoder decoder;
+  // Feed only the header: the hostile length must be rejected right there,
+  // not after the decoder tries to buffer kMaxFramePayload+1 bytes.
+  decoder.feed(std::span<const u8>(wire.data(), kFrameHeaderBytes));
+  Frame out;
+  EXPECT_EQ(decoder.next(&out), FrameDecoder::Status::kOversized);
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_LE(decoder.buffered(), kFrameHeaderBytes);
+  // Poisoned is sticky: the stream has lost sync for good.
+  decoder.feed(sample_wire());
+  EXPECT_EQ(decoder.next(&out), FrameDecoder::Status::kOversized);
+}
+
+TEST(ProtocolFuzz, GarbageStreamPoisonsWithBadMagic) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<u8> garbage(16 + rng.uniform(256));
+    for (u8& b : garbage) b = static_cast<u8>(rng.uniform(256));
+    if (garbage[0] == 'V') garbage[0] = 'X';  // guarantee a magic mismatch
+    FrameDecoder decoder;
+    decoder.feed(garbage);
+    Frame out;
+    EXPECT_EQ(decoder.next(&out), FrameDecoder::Status::kBadMagic) << trial;
+    EXPECT_TRUE(decoder.poisoned());
+  }
+}
+
+TEST(ProtocolFuzz, MagicMismatchDetectedOnPartialPrefix) {
+  // "VSRX" diverges from the magic at byte 3: the decoder must not wait for
+  // a full header to call it — a hostile peer could drip-feed forever.
+  const u8 early[] = {'V', 'S', 'R', 'X'};
+  FrameDecoder decoder;
+  decoder.feed(early);
+  Frame out;
+  EXPECT_EQ(decoder.next(&out), FrameDecoder::Status::kBadMagic);
+}
+
+TEST(ProtocolFuzz, UnknownKindIsConsumedNotPoisoning) {
+  std::vector<u8> wire = sample_wire();
+  wire[5] = 9;  // not a FrameKind
+  resign(&wire);
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  Frame out;
+  EXPECT_EQ(decoder.next(&out), FrameDecoder::Status::kBadKind);
+  EXPECT_EQ(out.request_id, 0x1122334455667788ull);
+  EXPECT_FALSE(decoder.poisoned());
+  // Framing stayed in sync: the next valid frame decodes normally.
+  decoder.feed(encode_frame({FrameKind::kPing, 3, ""}));
+  ASSERT_EQ(decoder.next(&out), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.kind, FrameKind::kPing);
+  EXPECT_EQ(out.request_id, 3u);
+}
+
+TEST(ProtocolFuzz, CorruptedPayloadFailsCrcNotJson) {
+  std::vector<u8> wire = sample_wire();
+  wire[kFrameHeaderBytes + 4] ^= 0x20;  // flip inside the JSON payload
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  Frame out;
+  EXPECT_EQ(decoder.next(&out), FrameDecoder::Status::kBadCrc);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(ProtocolFuzz, RandomChunkingNeverChangesDecodeResults) {
+  // Valid frames interleaved through arbitrary chunk boundaries must decode
+  // identically to a single feed.
+  std::vector<u8> wire;
+  for (u64 id = 1; id <= 20; ++id) {
+    const std::vector<u8> one = encode_frame(
+        {FrameKind::kStats, id, std::string(static_cast<std::size_t>(id * 7), 'x')});
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    FrameDecoder decoder;
+    std::size_t fed = 0;
+    u64 expect_id = 1;
+    while (fed < wire.size()) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<u64>(wire.size() - fed, 1 + rng.uniform(64)));
+      decoder.feed(std::span<const u8>(wire.data() + fed, n));
+      fed += n;
+      Frame out;
+      while (decoder.next(&out) == FrameDecoder::Status::kFrame) {
+        EXPECT_EQ(out.request_id, expect_id);
+        EXPECT_EQ(out.payload.size(), expect_id * 7);
+        ++expect_id;
+      }
+    }
+    EXPECT_EQ(expect_id, 21u) << "trial " << trial;
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live server under hostile bytes
+// ---------------------------------------------------------------------------
+
+int raw_connect(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+/// Reads until EOF and decodes everything the server sent back.
+std::vector<Frame> drain_replies(int fd) {
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  u8 buf[4096];
+  while (true) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    decoder.feed(std::span<const u8>(buf, static_cast<std::size_t>(n)));
+    Frame out;
+    while (decoder.next(&out) == FrameDecoder::Status::kFrame) {
+      frames.push_back(out);
+    }
+  }
+  return frames;
+}
+
+class ServerFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options_.socket_path = ::testing::TempDir() + "svc_fuzz.sock";
+    std::filesystem::remove(options_.socket_path);
+    options_.service.executors = 1;
+    options_.service.pool_threads = 2;
+    server_ = std::make_unique<SocketServer>(options_);
+    server_->start();
+    runner_ = std::thread([this] { server_->run(); });
+  }
+  void TearDown() override {
+    // Whatever the hostile client did, a fresh client must still get a pong.
+    ServiceClient client = ServiceClient::connect_unix(options_.socket_path);
+    const Frame pong = client.ping();
+    EXPECT_EQ(pong.kind, FrameKind::kResult);
+    EXPECT_EQ(FlatJson::parse(pong.payload).get_string("kind"), "pong");
+    server_->request_stop();
+    runner_.join();
+  }
+
+  ServerOptions options_;
+  std::unique_ptr<SocketServer> server_;
+  std::thread runner_;
+};
+
+TEST_F(ServerFuzz, GarbageBytesGetTypedErrorThenClose) {
+  const int fd = raw_connect(options_.socket_path);
+  const char garbage[] = "GET / HTTP/1.1\r\nHost: not-vsrp\r\n\r\n";
+  ASSERT_GT(::send(fd, garbage, sizeof garbage - 1, 0), 0);
+  const std::vector<Frame> replies = drain_replies(fd);  // returns on close
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].kind, FrameKind::kError);
+  EXPECT_EQ(FlatJson::parse(replies[0].payload).get_string("code"),
+            "bad_magic");
+  ::close(fd);
+}
+
+TEST_F(ServerFuzz, BadCrcGetsTypedErrorThenClose) {
+  std::vector<u8> wire = encode_frame({FrameKind::kPing, 1, ""});
+  wire[6] ^= 0xFF;  // corrupt the request id under the CRC
+  const int fd = raw_connect(options_.socket_path);
+  ASSERT_GT(::send(fd, wire.data(), wire.size(), 0), 0);
+  const std::vector<Frame> replies = drain_replies(fd);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(FlatJson::parse(replies[0].payload).get_string("code"), "bad_crc");
+  ::close(fd);
+}
+
+TEST_F(ServerFuzz, OversizedLengthPrefixRejectedImmediately) {
+  std::vector<u8> wire = encode_frame({FrameKind::kPing, 1, ""});
+  const u64 huge = kMaxFramePayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    wire[14 + static_cast<std::size_t>(i)] = static_cast<u8>(huge >> (8 * i));
+  }
+  const int fd = raw_connect(options_.socket_path);
+  ASSERT_GT(::send(fd, wire.data(), kFrameHeaderBytes, 0), 0);
+  const std::vector<Frame> replies = drain_replies(fd);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(FlatJson::parse(replies[0].payload).get_string("code"),
+            "oversized");
+  ::close(fd);
+}
+
+TEST_F(ServerFuzz, UnknownKindKeepsConnectionServing) {
+  std::vector<u8> wire = encode_frame({FrameKind::kPing, 42, ""});
+  wire[5] = 13;  // not a FrameKind
+  const u32 crc =
+      crc32(std::span<const u8>(wire.data(), wire.size() - kFrameTrailerBytes));
+  for (int i = 0; i < 4; ++i) {
+    wire[wire.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<u8>(crc >> (8 * i));
+  }
+  const std::vector<u8> ping = encode_frame({FrameKind::kPing, 43, ""});
+  const int fd = raw_connect(options_.socket_path);
+  ASSERT_GT(::send(fd, wire.data(), wire.size(), 0), 0);
+  ASSERT_GT(::send(fd, ping.data(), ping.size(), 0), 0);
+
+  // Same connection: a typed unknown_kind error for 42, then a pong for 43.
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  u8 buf[4096];
+  while (frames.size() < 2) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0);
+    decoder.feed(std::span<const u8>(buf, static_cast<std::size_t>(n)));
+    Frame out;
+    while (decoder.next(&out) == FrameDecoder::Status::kFrame) {
+      frames.push_back(out);
+    }
+  }
+  EXPECT_EQ(frames[0].kind, FrameKind::kError);
+  EXPECT_EQ(frames[0].request_id, 42u);
+  EXPECT_EQ(FlatJson::parse(frames[0].payload).get_string("code"),
+            "unknown_kind");
+  EXPECT_EQ(frames[1].kind, FrameKind::kResult);
+  EXPECT_EQ(frames[1].request_id, 43u);
+  ::close(fd);
+}
+
+TEST_F(ServerFuzz, TruncatedFrameThenDisconnectLeavesServerHealthy) {
+  const std::vector<u8> wire =
+      encode_frame({FrameKind::kCampaign, 9, R"({"sample": 100})"});
+  const int fd = raw_connect(options_.socket_path);
+  ASSERT_GT(::send(fd, wire.data(), wire.size() / 2, 0), 0);
+  ::close(fd);  // hang up mid-frame; TearDown proves the server still serves
+}
+
+TEST_F(ServerFuzz, RandomGarbageFloodNeverKillsTheServer) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<u8> garbage(64 + rng.uniform(512));
+    for (u8& b : garbage) b = static_cast<u8>(rng.uniform(256));
+    const int fd = raw_connect(options_.socket_path);
+    ASSERT_GT(::send(fd, garbage.data(), garbage.size(), 0), 0);
+    drain_replies(fd);  // server answers (or just closes); never crashes
+    ::close(fd);
+  }
+}
+
+}  // namespace
+}  // namespace vscrub

@@ -1,0 +1,58 @@
+// Shared `serve` implementation for the two daemon entry points: the
+// dedicated `vscrubd` binary and `vscrubctl serve`. Both parse the same
+// declarative `serve` command table from core/cli, so flags, help text and
+// behavior cannot drift apart.
+#pragma once
+
+#include <cstdio>
+
+#include "core/cli.h"
+#include "svc/server.h"
+
+namespace vscrub {
+
+inline ServerOptions server_options_from(const CliArgs& args) {
+  ServerOptions options;
+  options.socket_path = args.option("--socket", "/tmp/vscrubd.sock");
+  options.tcp_port = static_cast<u16>(args.option_u64("--tcp-port", 0));
+  options.service.queue_capacity = args.option_u64("--queue", 16);
+  options.service.executors =
+      static_cast<unsigned>(args.option_u64("--executors", 2));
+  options.service.pool_threads =
+      static_cast<unsigned>(args.option_u64("--threads", 0));
+  options.service.cache_dir = args.option("--cache-dir", "");
+  options.service.retry_after_ms = args.option_u64("--retry-after", 250);
+  options.service.checkpoint_every_chunks =
+      args.option_u64("--checkpoint-every", 0);
+  return options;
+}
+
+/// Runs the daemon until SIGTERM/SIGINT: first signal drains gracefully
+/// (in-flight requests finish and deliver), a second cancels live work at
+/// the next chunk boundary. Returns 0 after a clean drain.
+inline int run_serve(const CliArgs& args) {
+  const ServerOptions options = server_options_from(args);
+  SocketServer server(options);
+  server.start();
+  server.bind_signals();
+  std::printf("vscrubd: listening on %s", options.socket_path.c_str());
+  if (options.tcp_port != 0) {
+    std::printf(" and 127.0.0.1:%u", options.tcp_port);
+  }
+  std::printf(" (queue %zu, %u executors, store %s)\n",
+              options.service.queue_capacity, options.service.executors,
+              options.service.cache_dir.empty()
+                  ? "disabled"
+                  : options.service.cache_dir.c_str());
+  std::fflush(stdout);
+  server.run();
+  const std::string stats_path = args.option("--stats-json", "");
+  if (!stats_path.empty() &&
+      server.service().stats_report().write(stats_path)) {
+    std::printf("vscrubd: wrote service stats to %s\n", stats_path.c_str());
+  }
+  std::printf("vscrubd: drained, exiting\n");
+  return 0;
+}
+
+}  // namespace vscrub

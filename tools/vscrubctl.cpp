@@ -13,37 +13,20 @@
 
 #include "core/cli.h"
 #include "core/vscrub.h"
+#include "serve_common.h"
+#include "svc/client.h"
+#include "svc/requests.h"
 
 using namespace vscrub;
 
 namespace {
 
-Netlist make_design(const std::string& name) {
-  if (name == "lfsr") return designs::lfsr_cluster(2);
-  if (name == "mult") return designs::mult_tree(10);
-  if (name == "vmult") return designs::vmult(8);
-  if (name == "counter") return designs::counter_adder(16);
-  if (name == "multadd") return designs::multiply_add(8);
-  if (name == "lfsrmult") return designs::lfsr_multiplier(10);
-  if (name == "fir") return designs::fir_preproc(4);
-  if (name == "selfcheck") return designs::selfcheck_dsp(8, 5);
-  if (name == "bram") return designs::bram_selftest(2);
-  throw Error("unknown design '" + name + "' (see `vscrubctl designs`)");
-}
+// The name catalogs live in svc/requests so the serving layer resolves the
+// exact same designs and devices this CLI does.
+Netlist make_design(const std::string& name) { return design_by_name(name); }
 
 DeviceGeometry make_device(const std::string& name) {
-  if (name == "campaign") return device_tiny(12, 16);
-  if (name == "xcv50") return device_xcv50ish();
-  if (name == "xcv100") return device_xcv100ish();
-  if (name == "xcv300") return device_xcv300ish();
-  if (name == "xcv1000") return device_xcv1000ish();
-  if (name.rfind("tiny:", 0) == 0) {
-    const auto x = name.find('x', 5);
-    VSCRUB_CHECK(x != std::string::npos, "tiny device format is tiny:RxC");
-    return device_tiny(static_cast<u16>(std::stoi(name.substr(5, x - 5))),
-                       static_cast<u16>(std::stoi(name.substr(x + 1))), 2);
-  }
-  throw Error("unknown device '" + name + "' (see `vscrubctl devices`)");
+  return device_by_name(name);
 }
 
 int cmd_compile(const CliArgs& args) {
@@ -329,6 +312,95 @@ int cmd_bist(const CliArgs& args) {
   return 0;
 }
 
+int cmd_version(const CliArgs&) {
+  std::printf("vscrub %s\n", version());
+  std::printf("workbench api %d\n", kWorkbenchApiVersion);
+  std::printf("report schema %d\n", kReportSchemaVersion);
+  std::printf("vsrp protocol 1\n");
+  return 0;
+}
+
+FrameKind submit_kind(const std::string& op) {
+  if (op == "ping") return FrameKind::kPing;
+  if (op == "stats") return FrameKind::kStats;
+  if (op == "campaign") return FrameKind::kCampaign;
+  if (op == "recampaign") return FrameKind::kRecampaign;
+  if (op == "mission") return FrameKind::kMission;
+  if (op == "fleet") return FrameKind::kFleet;
+  throw Error("unknown submit op '" + op +
+              "' (ping stats campaign recampaign mission fleet)");
+}
+
+// Request parameters mirror the one-shot commands' flags (underscored), and
+// are only set when given on the command line — the server's defaults are
+// the CLI's defaults, so a bare submit equals a bare one-shot run.
+std::string submit_payload(const CliArgs& args, const std::string& op) {
+  JsonReport req(op + "_request");
+  if (args.positional.size() > 1) req.set_string("design", args.positional[1]);
+  req.set_string("device", args.option("--device", "campaign"));
+  if (args.flag("--exhaustive")) {
+    req.set_bool("exhaustive", true);
+  } else if (args.flag("--sample")) {
+    req.set_u64("sample", args.option_u64("--sample", 20000));
+  }
+  if (args.flag("--persistence")) req.set_bool("persistence", true);
+  if (args.flag("--no-gang")) req.set_bool("no_gang", true);
+  if (args.flag("--gang-width")) {
+    req.set_u64("gang_width", args.option_u64("--gang-width", 64));
+  }
+  if (args.flag("--seed")) req.set_u64("seed", args.option_u64("--seed", 0));
+  if (args.flag("--hours")) req.set("hours", args.option_double("--hours", 24));
+  if (args.flag("--missions")) {
+    req.set_u64("missions", args.option_u64("--missions", 8));
+  }
+  if (args.flag("--flare")) req.set_bool("flare", true);
+  if (args.flag("--scrub-faults")) req.set_bool("scrub_faults", true);
+  if (args.flag("--progress")) req.set_bool("progress", true);
+  return req.to_json();
+}
+
+int cmd_submit(const CliArgs& args) {
+  VSCRUB_CHECK(!args.positional.empty(),
+               "submit needs an op (ping|stats|campaign|recampaign|mission|"
+               "fleet)");
+  const std::string op = args.positional[0];
+  const FrameKind kind = submit_kind(op);
+  ServiceClient client =
+      ServiceClient::connect_unix(args.option("--socket", "/tmp/vscrubd.sock"));
+  const bool progress = args.flag("--progress");
+  const auto event = [progress](const Frame& f) {
+    if (!progress || f.kind != FrameKind::kProgress) return;
+    const FlatJson p = FlatJson::parse(f.payload);
+    std::fprintf(stderr, "\r%llu/%llu bits  %llu failures  %llu cached   ",
+                 static_cast<unsigned long long>(p.get_u64("injections_done")),
+                 static_cast<unsigned long long>(p.get_u64("injections_total")),
+                 static_cast<unsigned long long>(p.get_u64("failures")),
+                 static_cast<unsigned long long>(p.get_u64("cache_hits")));
+  };
+  const bool immediate = kind == FrameKind::kPing || kind == FrameKind::kStats;
+  const Frame reply =
+      client.call(kind, immediate ? "" : submit_payload(args, op), event);
+  if (progress) std::fprintf(stderr, "\n");
+  if (reply.kind == FrameKind::kBusy) {
+    const FlatJson busy = FlatJson::parse(reply.payload);
+    std::fprintf(stderr, "vscrubctl: server busy (%s); retry in %llu ms\n",
+                 busy.get_string("reason", "busy").c_str(),
+                 static_cast<unsigned long long>(
+                     busy.get_u64("retry_after_ms", 0)));
+    return 3;
+  }
+  if (reply.kind == FrameKind::kError) {
+    std::fprintf(stderr, "vscrubctl: server error: %s\n",
+                 FlatJson::parse(reply.payload)
+                     .get_string("error", "unknown").c_str());
+    return 1;
+  }
+  std::fputs(reply.payload.c_str(), stdout);
+  const std::string json_path = args.option("--json", "");
+  if (!json_path.empty()) write_text_file(reply.payload, json_path);
+  return 0;
+}
+
 int cmd_info(const CliArgs& args) {
   VSCRUB_CHECK(!args.positional.empty(), "info needs an image path");
   const LoadedImage image = load_bitstream(args.positional[0]);
@@ -361,6 +433,7 @@ int main(int argc, char** argv) {
     std::fputs(cli_usage().c_str(), stdout);
     return 0;
   }
+  if (name == "--version" || name == "-V") return cmd_version(CliArgs{});
   const CliCommand* cmd = cli_find(name);
   if (cmd == nullptr) {
     std::fputs(cli_usage().c_str(), stderr);
@@ -383,6 +456,9 @@ int main(int argc, char** argv) {
     if (name == "mission") return cmd_mission(args);
     if (name == "fleet") return cmd_fleet(args);
     if (name == "bist") return cmd_bist(args);
+    if (name == "serve") return run_serve(args);
+    if (name == "submit") return cmd_submit(args);
+    if (name == "version") return cmd_version(args);
     if (name == "info") return cmd_info(args);
     if (name == "designs") {
       std::printf("lfsr mult vmult counter multadd lfsrmult fir selfcheck bram\n");

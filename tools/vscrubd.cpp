@@ -1,0 +1,35 @@
+// vscrubd — the standalone campaign-service daemon. A thin shell over the
+// same `serve` command implementation `vscrubctl serve` uses; exists so a
+// deployment can ship and supervise the daemon without the full CLI.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cli.h"
+#include "serve_common.h"
+
+int main(int argc, char** argv) {
+  using namespace vscrub;
+  const CliCommand* cmd = cli_find("serve");
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string word = argv[i];
+    if (word == "--help" || word == "-h") {
+      std::string help = cli_help(*cmd);
+      // The shared command table prints `vscrubctl serve`; this binary is
+      // invoked as plain `vscrubd`.
+      const std::string from = "vscrubctl serve";
+      const auto at = help.find(from);
+      if (at != std::string::npos) help.replace(at, from.size(), "vscrubd");
+      std::fputs(help.c_str(), stdout);
+      return 0;
+    }
+    rest.push_back(word);
+  }
+  try {
+    return run_serve(cli_parse(*cmd, rest));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vscrubd: %s\n", e.what());
+    return 1;
+  }
+}
