@@ -105,6 +105,9 @@ std::vector<CliCommand> build_commands() {
                       "busy-reply retry hint (default 250)"),
            value_flag("--checkpoint-every", "N",
                       "checkpoint served campaigns every N chunks (0 = off)"),
+           value_flag("--send-timeout", "MS",
+                      "per-frame reply write deadline before a client that "
+                      "stops reading is dropped (default 10000)"),
            value_flag("--stats-json", "FILE",
                       "write service stats JSON after the drain"),
        }});

@@ -83,6 +83,7 @@ VerdictStore::VerdictStore(std::string dir) : dir_(std::move(dir)) {
 }
 
 std::optional<StoredVerdict> VerdictStore::find(const VerdictKey& key) const {
+  const u64 epoch = flush_epoch_.load(std::memory_order_acquire);
   {
     std::shared_lock lock(maps_mutex_);
     const auto& map = shards_[shard_of(key)];
@@ -91,9 +92,20 @@ std::optional<StoredVerdict> VerdictStore::find(const VerdictKey& key) const {
   }
   // Pending probe: verdicts another campaign produced but has not flushed
   // yet. Misses pay a mutex here; hits save a whole injection.
-  std::lock_guard lock(pending_mutex_);
-  const auto it = pending_.find(key);
-  if (it != pending_.end()) return it->second;
+  {
+    std::lock_guard lock(pending_mutex_);
+    const auto it = pending_.find(key);
+    if (it != pending_.end()) return it->second;
+  }
+  // A flush that completed between the two probes may have moved this key
+  // from pending_ into the maps; one re-probe closes that window, and the
+  // epoch check keeps the common miss path at a single atomic load.
+  if (flush_epoch_.load(std::memory_order_acquire) != epoch) {
+    std::shared_lock lock(maps_mutex_);
+    const auto& map = shards_[shard_of(key)];
+    const auto it = map.find(key);
+    if (it != map.end()) return it->second;
+  }
   return std::nullopt;
 }
 
@@ -104,18 +116,26 @@ void VerdictStore::put(const VerdictKey& key, const StoredVerdict& v) {
 
 std::size_t VerdictStore::flush() {
   std::lock_guard flush_lock(flush_mutex_);
-  std::unordered_map<VerdictKey, StoredVerdict, VerdictKeyHash> pending;
-  {
-    std::lock_guard lock(pending_mutex_);
-    pending.swap(pending_);
-  }
   std::size_t stored = 0;
-  std::unique_lock maps_lock(maps_mutex_);
-  for (const auto& [key, v] : pending) {
-    const u32 s = shard_of(key);
-    if (shards_[s].insert_or_assign(key, v).second) ++stored;
-    dirty_[s] = true;
+  {
+    // pending_mutex_ is held across the whole merge: a concurrent find()
+    // that misses the maps then either sees the verdict still in pending_ or
+    // waits here until the merge has made it visible in the maps — there is
+    // no window where a recorded verdict is in neither and gets re-simulated.
+    std::scoped_lock lock(pending_mutex_, maps_mutex_);
+    for (const auto& [key, v] : pending_) {
+      const u32 s = shard_of(key);
+      if (shards_[s].insert_or_assign(key, v).second) ++stored;
+      dirty_[s] = true;
+    }
+    pending_.clear();
+    flush_epoch_.fetch_add(1, std::memory_order_release);
   }
+  // Disk writes happen under a *shared* maps lock: shards_/dirty_ are only
+  // mutated by flush() (serialized by flush_mutex_), so concurrent find()
+  // probes keep being served while shard files are written — a flush of a
+  // large store must not stall every in-flight campaign on disk I/O.
+  std::shared_lock maps_lock(maps_mutex_);
   for (u32 s = 0; s < kShards; ++s) {
     if (!dirty_[s]) continue;
     RecordWriter w(kShardMagic);

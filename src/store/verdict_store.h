@@ -17,12 +17,17 @@
 // campaigns (the vscrubd serving layer runs every request against a single
 // process-wide store). find() takes a shared lock on the merged maps and,
 // on a miss there, probes the pending-put buffer — so one client's fresh
-// verdicts are visible to another *before* any flush. put() only touches the
-// pending buffer; flush() takes the exclusive lock to merge and rewrite
-// dirty shards, and is itself serialized against concurrent flushes.
+// verdicts are visible to another *before* any flush; when a flush completed
+// between the two probes (flush-epoch check) the maps are re-probed once, so
+// a recorded verdict is never invisible. put() only touches the pending
+// buffer. flush() holds the exclusive maps lock only for the in-memory
+// merge, then downgrades to a shared lock for the shard-file disk writes —
+// concurrent find() probes are never blocked on disk I/O — and is itself
+// serialized against concurrent flushes.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -108,6 +113,9 @@ class VerdictStore {
 
   mutable std::mutex pending_mutex_;
   std::unordered_map<VerdictKey, StoredVerdict, VerdictKeyHash> pending_;
+  /// Bumped once per completed flush merge; lets find() detect that a flush
+  /// moved entries from pending_ into the maps between its two probes.
+  mutable std::atomic<u64> flush_epoch_{0};
   /// Serializes whole flush() calls (two flushes writing one shard file
   /// concurrently would race on the tmp path).
   std::mutex flush_mutex_;

@@ -11,6 +11,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <utility>
 
 #include "common/log.h"
@@ -34,24 +35,56 @@ extern "C" void vscrubd_signal_handler(int) {
 /// when the LAST holder lets go — an executor finishing a campaign after the
 /// client hung up must never write into a recycled fd number.
 struct ConnState {
-  explicit ConnState(int fd_in) : fd(fd_in) {}
+  ConnState(int fd_in, int send_timeout_ms_in)
+      : fd(fd_in), send_timeout_ms(send_timeout_ms_in) {}
   ~ConnState() { ::close(fd); }
 
   /// Writes one whole frame under the connection's write mutex, so frames
   /// from concurrent executors interleave at frame — not byte — granularity.
+  /// The write is deadline-bounded: a peer that stops draining its socket
+  /// buffer for send_timeout_ms is declared dead — the connection is shut
+  /// down (unwedging its reader thread too) and all further replies are
+  /// dropped, same as the peer-gone policy. Executor threads therefore can
+  /// never block indefinitely inside a reply, and cancel_all()/wait_drained()
+  /// always make progress.
   void send_frame(const Frame& frame) {
+    if (dead.load(std::memory_order_relaxed)) return;
     const std::vector<u8> bytes = encode_frame(frame);
     std::lock_guard lock(write_mutex);
+    if (dead.load(std::memory_order_relaxed)) return;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(send_timeout_ms);
     std::size_t sent = 0;
     while (sent < bytes.size()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now()).count();
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, left > 0 ? static_cast<int>(left) : 0);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) {  // timeout (peer not draining) or poll failure
+        mark_dead();
+        return;
+      }
       const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                            MSG_NOSIGNAL);
-      if (n <= 0) return;  // peer gone; replies for it are dropped
+                            MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+        continue;
+      if (n <= 0) {  // peer gone; replies for it are dropped
+        mark_dead();
+        return;
+      }
       sent += static_cast<std::size_t>(n);
     }
   }
 
+  void mark_dead() {
+    dead.store(true, std::memory_order_relaxed);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+
   const int fd;
+  const int send_timeout_ms;
+  std::atomic<bool> dead{false};
   std::mutex write_mutex;
 };
 
@@ -162,9 +195,12 @@ void SocketServer::run() {
       if ((fds[i].revents & POLLIN) == 0) continue;
       const int conn = ::accept(fds[i].fd, nullptr, nullptr);
       if (conn < 0) continue;
+      const u64 client_id =
+          next_client_id_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard lock(conn_mutex_);
       conn_fds_.push_back(conn);
-      conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
+      conn_threads_.emplace_back(
+          [this, conn, client_id] { connection_loop(conn, client_id); });
     }
   }
 
@@ -211,8 +247,8 @@ void SocketServer::run() {
   ::unlink(options_.socket_path.c_str());
 }
 
-void SocketServer::connection_loop(int fd) {
-  const auto state = std::make_shared<ConnState>(fd);
+void SocketServer::connection_loop(int fd, u64 client_id) {
+  const auto state = std::make_shared<ConnState>(fd, options_.send_timeout_ms);
   const auto emit = [state](const Frame& frame) { state->send_frame(frame); };
 
   FrameDecoder decoder;
@@ -231,7 +267,7 @@ void SocketServer::connection_loop(int fd) {
           more = false;
           break;
         case FrameDecoder::Status::kFrame:
-          service_->handle(frame, emit);
+          service_->handle(frame, emit, client_id);
           break;
         case FrameDecoder::Status::kBadKind:
           // Framing is intact: answer and keep the connection.

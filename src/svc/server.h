@@ -29,6 +29,11 @@ struct ServerOptions {
   /// When nonzero, also listen on 127.0.0.1:tcp_port (loopback only — the
   /// protocol carries no authentication).
   u16 tcp_port = 0;
+  /// Deadline for writing one reply frame to a client. A peer that stops
+  /// draining its socket past this is declared dead: its replies are dropped
+  /// and the connection is shut down, so a wedged client can never pin an
+  /// executor thread (or stall the SIGTERM drain) forever.
+  int send_timeout_ms = 10000;
   ServiceOptions service;
 };
 
@@ -59,7 +64,7 @@ class SocketServer {
 
  private:
   void accept_loop();
-  void connection_loop(int fd);
+  void connection_loop(int fd, u64 client_id);
   void close_listeners();
 
   ServerOptions options_;
@@ -68,6 +73,9 @@ class SocketServer {
   int tcp_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};
   std::atomic<bool> stopping_{false};
+  /// Connection identity passed to CampaignService::handle — scopes
+  /// client-chosen request ids (cancel, live-job tracking) per connection.
+  std::atomic<u64> next_client_id_{1};
 
   std::mutex conn_mutex_;
   std::vector<std::thread> conn_threads_;

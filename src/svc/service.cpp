@@ -59,7 +59,7 @@ void CampaignService::reply(const Emit& emit, FrameKind kind, u64 request_id,
   emit(Frame{kind, request_id, report.to_json()});
 }
 
-void CampaignService::handle(const Frame& request, Emit emit) {
+void CampaignService::handle(const Frame& request, Emit emit, u64 client_id) {
   switch (request.kind) {
     case FrameKind::kPing: {
       {
@@ -84,7 +84,7 @@ void CampaignService::handle(const Frame& request, Emit emit) {
       }
       reply(emit, FrameKind::kResult, request.request_id,
             JsonReport("cancel").set_u64("target_id", target)
-                .set_bool("cancelled", cancel(target)));
+                .set_bool("cancelled", cancel(target, client_id)));
       return;
     }
     case FrameKind::kCampaign:
@@ -101,35 +101,41 @@ void CampaignService::handle(const Frame& request, Emit emit) {
   }
 
   // Reject-don't-buffer admission: the queue bound is the whole backpressure
-  // story, so the reply happens under the same lock that checked the bound
-  // (no admit/reject race can oversubscribe the queue).
+  // story, so the admit-or-reject decision is made under the lock that
+  // checked the bound (no admit/reject race can oversubscribe the queue).
   Job job;
   job.request = request;
   job.emit = std::move(emit);
   job.cancelled = std::make_shared<std::atomic<bool>>(false);
   job.enqueued = std::chrono::steady_clock::now();
+  job.client_id = client_id;
   std::size_t depth = 0;
+  // Rejects reply only after BOTH locks are released: emit can block on a
+  // stalled client socket, and neither admission (mutex_) nor metrics
+  // (metrics_mutex_) may wait behind that.
+  const char* reject = nullptr;
   {
     std::unique_lock lock(mutex_);
     if (draining()) {
-      lock.unlock();
+      reject = "draining";
+    } else if (queue_.size() >= options_.queue_capacity) {
+      reject = "queue_full";
+    } else {
+      job.job_id = next_job_id_++;
+      live_.push_back({client_id, request.request_id, job.job_id,
+                       job.cancelled});
+      queue_.push_back(job);
+      depth = queue_.size();
+    }
+  }
+  if (reject != nullptr) {
+    {
       std::lock_guard mlock(metrics_mutex_);
       metrics_.counter("admission_rejects").add();
-      reply(job.emit, FrameKind::kBusy, request.request_id,
-            busy_report("draining"));
-      return;
     }
-    if (queue_.size() >= options_.queue_capacity) {
-      lock.unlock();
-      std::lock_guard mlock(metrics_mutex_);
-      metrics_.counter("admission_rejects").add();
-      reply(job.emit, FrameKind::kBusy, request.request_id,
-            busy_report("queue_full"));
-      return;
-    }
-    live_.emplace_back(request.request_id, job.cancelled);
-    queue_.push_back(job);
-    depth = queue_.size();
+    reply(job.emit, FrameKind::kBusy, request.request_id,
+          busy_report(reject));
+    return;
   }
   // Emitted after unlocking: a slow client socket must never stall other
   // admissions. A very fast executor can therefore emit the result before
@@ -146,11 +152,11 @@ void CampaignService::handle(const Frame& request, Emit emit) {
   work_cv_.notify_one();
 }
 
-bool CampaignService::cancel(u64 request_id) {
+bool CampaignService::cancel(u64 request_id, u64 client_id) {
   std::lock_guard lock(mutex_);
-  for (auto& [id, flag] : live_) {
-    if (id == request_id) {
-      flag->store(true, std::memory_order_relaxed);
+  for (LiveEntry& e : live_) {
+    if (e.client_id == client_id && e.request_id == request_id) {
+      e.flag->store(true, std::memory_order_relaxed);
       return true;
     }
   }
@@ -159,7 +165,7 @@ bool CampaignService::cancel(u64 request_id) {
 
 void CampaignService::cancel_all() {
   std::lock_guard lock(mutex_);
-  for (auto& [id, flag] : live_) flag->store(true, std::memory_order_relaxed);
+  for (LiveEntry& e : live_) e.flag->store(true, std::memory_order_relaxed);
 }
 
 void CampaignService::begin_drain() {
@@ -204,7 +210,7 @@ void CampaignService::executor_loop() {
       std::lock_guard lock(mutex_);
       --running_;
       for (std::size_t i = 0; i < live_.size(); ++i) {
-        if (live_[i].first == job.request.request_id) {
+        if (live_[i].job_id == job.job_id) {
           live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
           break;
         }
@@ -217,8 +223,10 @@ void CampaignService::executor_loop() {
 void CampaignService::run_job(Job& job) {
   const u64 id = job.request.request_id;
   if (job.cancelled->load(std::memory_order_relaxed)) {
-    std::lock_guard mlock(metrics_mutex_);
-    metrics_.counter("cancelled_before_start").add();
+    {
+      std::lock_guard mlock(metrics_mutex_);
+      metrics_.counter("cancelled_before_start").add();
+    }
     reply(job.emit, FrameKind::kError, id,
           error_report("cancelled", "request cancelled before it started"));
     return;
@@ -231,9 +239,12 @@ void CampaignService::run_job(Job& job) {
   if (store_ && options_.checkpoint_every_chunks > 0 &&
       (job.request.kind == FrameKind::kCampaign ||
        job.request.kind == FrameKind::kRecampaign)) {
+    // Named by the server-assigned job id: client-chosen request ids collide
+    // across connections, and two concurrent campaigns must never share a
+    // checkpoint file.
     char name[48];
     std::snprintf(name, sizeof name, "/ckpt_%llu.vsck",
-                  static_cast<unsigned long long>(id));
+                  static_cast<unsigned long long>(job.job_id));
     ctx.checkpoint_path = store_->dir() + name;
   }
   const Emit emit = job.emit;
@@ -258,13 +269,18 @@ void CampaignService::run_job(Job& job) {
                                                          : job.request.payload);
     want_progress = params.get_bool("progress", false);
   } catch (const Error& e) {
-    std::lock_guard mlock(metrics_mutex_);
-    metrics_.counter("bad_requests").add();
+    {
+      std::lock_guard mlock(metrics_mutex_);
+      metrics_.counter("bad_requests").add();
+    }
     reply(job.emit, FrameKind::kError, id, error_report("bad_request", e.what()));
     return;
   }
   if (!want_progress) ctx.on_progress = nullptr;
 
+  // Every reply happens outside metrics_mutex_: emit can block on a slow
+  // client socket, and one stalled connection must not stall the metrics of
+  // every other executor and admission.
   try {
     const JsonReport report = execute_request(job.request.kind, params, ctx);
     reply(job.emit, FrameKind::kResult, id, report);
@@ -276,8 +292,10 @@ void CampaignService::run_job(Job& job) {
     metrics_.histogram("request_latency_ms", options_.latency_reservoir)
         .record(latency_ms);
   } catch (const std::exception& e) {
-    std::lock_guard mlock(metrics_mutex_);
-    metrics_.counter("failed_requests").add();
+    {
+      std::lock_guard mlock(metrics_mutex_);
+      metrics_.counter("failed_requests").add();
+    }
     reply(job.emit, FrameKind::kError, id, error_report("failed", e.what()));
   }
 }

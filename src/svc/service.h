@@ -75,7 +75,13 @@ class CampaignService {
   /// are answered synchronously through `emit`; work kinds are queued (emit
   /// gets kAccepted now and kProgress/kResult/kError later, from an executor)
   /// or rejected with kBusy. Unknown/invalid kinds get kError.
-  void handle(const Frame& request, Emit emit);
+  ///
+  /// `client_id` is the transport's identity for the issuing connection.
+  /// Request ids are client-chosen and only unique per connection, so every
+  /// job is tracked by {client_id, request_id}: a kCancel frame can only ever
+  /// cancel work submitted over the same connection, never another client's
+  /// request that happens to share the id.
+  void handle(const Frame& request, Emit emit, u64 client_id = 0);
 
   /// Stops admitting work. Already-queued and running requests finish and
   /// their replies are delivered; new work requests get kBusy("draining").
@@ -85,11 +91,13 @@ class CampaignService {
   void wait_drained();
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
-  /// Flips the cancel flag of every queued and running request (the hard
-  /// phase of a two-step shutdown: drain first, cancel on the second
-  /// signal). Campaigns stop at their next chunk boundary, checkpoint, and
-  /// still deliver their (interrupted) result.
-  bool cancel(u64 request_id);
+  /// Flips the cancel flag of the queued or running request that `client_id`
+  /// submitted as `request_id`; false when no such job is live. Campaigns
+  /// stop at their next chunk boundary, checkpoint, and still deliver their
+  /// (interrupted) result.
+  bool cancel(u64 request_id, u64 client_id = 0);
+  /// Flips every live request's cancel flag regardless of owner (the hard
+  /// phase of a two-step shutdown: drain first, cancel on the second signal).
   void cancel_all();
 
   /// Snapshot of the server-side metrics as a versioned JSON report
@@ -106,6 +114,19 @@ class CampaignService {
     Emit emit;
     std::shared_ptr<std::atomic<bool>> cancelled;
     std::chrono::steady_clock::time_point enqueued;
+    u64 client_id = 0;  ///< issuing connection (scopes kCancel)
+    /// Server-assigned, unique for the process lifetime: the key for live_
+    /// bookkeeping and checkpoint filenames, immune to request-id collisions
+    /// between connections.
+    u64 job_id = 0;
+  };
+
+  /// One queued-or-running job's cancel handle.
+  struct LiveEntry {
+    u64 client_id;
+    u64 request_id;
+    u64 job_id;
+    std::shared_ptr<std::atomic<bool>> flag;
   };
 
   void executor_loop();
@@ -124,8 +145,9 @@ class CampaignService {
   std::condition_variable work_cv_;      ///< executors wait here
   std::condition_variable drained_cv_;   ///< wait_drained() waits here
   std::deque<Job> queue_;
-  /// Cancel flags of queued + running jobs, by request id.
-  std::vector<std::pair<u64, std::shared_ptr<std::atomic<bool>>>> live_;
+  /// Cancel flags of queued + running jobs.
+  std::vector<LiveEntry> live_;
+  u64 next_job_id_ = 1;
   unsigned running_ = 0;
   std::atomic<bool> draining_{false};
   bool stop_ = false;  ///< set by the destructor after the final drain

@@ -335,6 +335,40 @@ TEST(CampaignService, CancelBeforeStartYieldsTypedError) {
   EXPECT_EQ(FlatJson::parse(reply.payload).get_string("code"), "cancelled");
 }
 
+TEST(CampaignService, CancelIsScopedToTheIssuingClient) {
+  ServiceOptions options;
+  options.queue_capacity = 4;
+  options.executors = 1;
+  options.pool_threads = 2;
+  CampaignService svc(options);
+  WedgedExecutor wedge(svc);
+
+  // Two connections each submit request id 2 — ids are client-chosen and
+  // only unique per connection.
+  FrameLog a;
+  svc.handle({FrameKind::kCampaign, 2, small_campaign_payload()}, a.emit(),
+             /*client_id=*/1);
+  FrameLog b;
+  svc.handle({FrameKind::kCampaign, 2, small_campaign_payload()}, b.emit(),
+             /*client_id=*/2);
+
+  // A cancel from a connection that owns no such request touches nothing.
+  EXPECT_FALSE(svc.cancel(2, /*client_id=*/42));
+
+  // Client B cancels *its* request 2; client A's must be untouched.
+  FrameLog cancel;
+  svc.handle({FrameKind::kCancel, 3, R"({"target_id": 2})"}, cancel.emit(),
+             /*client_id=*/2);
+  EXPECT_TRUE(FlatJson::parse(cancel.frames[0].payload).get_bool("cancelled"));
+
+  wedge.release();
+  const Frame a_reply = a.wait_terminal();
+  EXPECT_EQ(a_reply.kind, FrameKind::kResult) << a_reply.payload;
+  const Frame b_reply = b.wait_terminal();
+  EXPECT_EQ(b_reply.kind, FrameKind::kError);
+  EXPECT_EQ(FlatJson::parse(b_reply.payload).get_string("code"), "cancelled");
+}
+
 TEST(CampaignService, CancelMidFlightDeliversInterruptedResult) {
   ServiceOptions options;
   options.executors = 1;

@@ -24,6 +24,8 @@ inline ServerOptions server_options_from(const CliArgs& args) {
   options.service.retry_after_ms = args.option_u64("--retry-after", 250);
   options.service.checkpoint_every_chunks =
       args.option_u64("--checkpoint-every", 0);
+  options.send_timeout_ms =
+      static_cast<int>(args.option_u64("--send-timeout", 10000));
   return options;
 }
 
