@@ -1,0 +1,143 @@
+// E14 — the scrub-policy laboratory: the paper's readback+CRC loop raced
+// against the deployed alternatives (blind golden rewrite, sensitivity-mined
+// frame priority, Belle II-style intermodular staggering) over the identical
+// Monte-Carlo seed sweep.
+//
+// Comparability is the whole design: every policy runs the same missions
+// (same seeds, duration, environment, sensitivity map), so differences in
+// availability / MTTR / scrub bandwidth are attributable to scheduling alone.
+// CI asserts two invariants from the emitted BENCH_policies.json:
+//   * readback_crc availability == the no-policy baseline, exactly — the
+//     default path of API v3 is bit-identical to v2;
+//   * priority MTTR <= blind MTTR on this sensitivity-skewed design — hot
+//     frames are revisited more often than a full rotation, by construction.
+#include "bench_util.h"
+
+namespace vscrub::bench {
+namespace {
+
+/// Upset rate scaled for the campaign device so each mission sees enough
+/// functional upsets for the MTTR estimate to be meaningful (the orbital
+/// rate on the small part would give ~0 per mission).
+FleetOptions race_fleet_options() {
+  FleetOptions fo;
+  fo.missions = 8;
+  fo.base_seed = 1;
+  fo.duration = SimTime::hours(6);
+  fo.payload.environment.upset_rate_per_bit_s = 2e-7;
+  // Functional corruption ends when the frame is scrubbed, not when a
+  // device reset flushes hidden state — MTTR then measures the scrub
+  // schedule (the thing being raced), not the reset policy.
+  fo.payload.hidden_state_fraction = 0.0;
+  return fo;
+}
+
+void run_report() {
+  std::printf("\nE11 — scrub-policy race (API v3 laboratory)\n");
+  rule();
+
+  Workbench bench(campaign_device());
+  const PlacedDesign design = bench.compile(designs::lfsr_multiplier(10));
+  CampaignOptions copts;
+  copts.sample_bits = 10000;
+  const CampaignResult camp = run_campaign(design, copts);
+  const std::unordered_set<u64> sensitive = camp.sensitive_set(design);
+  const std::vector<u32> sens_map = mine_frame_sensitivity(*design.space, sensitive);
+  u32 hot_frames = 0;
+  for (const u32 s : sens_map) hot_frames += s > 0 ? 1 : 0;
+  std::printf("design lfsrmult on %s: %u frames, %u hot (%.0f%% of frames "
+              "hold every sensitive bit)\n",
+              design.space->geometry().name.c_str(),
+              design.space->frame_count(), hot_frames,
+              100.0 * hot_frames / design.space->frame_count());
+
+  // Baseline: the v2 path — no policy configured at all.
+  const FleetOptions fo = race_fleet_options();
+  const FleetResult baseline = run_fleet(design, sensitive, fo);
+
+  PolicyRaceOptions ro;
+  ro.policies = scrub_policy_names();
+  ro.fleet = fo;
+  const PolicyRaceResult race = run_policy_race(design, sensitive, ro);
+
+  std::printf("\n%-14s %-22s %10s %14s %10s %10s\n", "policy",
+              "availability", "mttr ms", "scrub B/s", "p50 ms", "p99 ms");
+  rule();
+  const auto print_row = [](const char* label, const FleetResult& r) {
+    std::printf("%-14s %.6f +/- %.6f %10.2f %14.0f %10.2f %10.2f\n", label,
+                r.availability_mean, r.availability_ci95, r.mttr_ms,
+                r.scrub_bandwidth_bytes_per_s, r.detection_latency_p50_ms,
+                r.detection_latency_p99_ms);
+  };
+  print_row("(baseline)", baseline);
+  for (const PolicyRaceEntry& e : race.entries) {
+    print_row(e.policy.c_str(), e.fleet);
+  }
+
+  BenchJson json;
+  json.set("missions", fo.missions);
+  json.set("mission_hours", fo.duration.sec() / 3600.0);
+  json.set("hot_frames", hot_frames);
+  json.set("baseline_availability_mean", baseline.availability_mean);
+  json.set("baseline_mttr_ms", baseline.mttr_ms);
+  json.set("baseline_functional_upsets",
+           static_cast<double>(baseline.functional_upsets));
+  for (const PolicyRaceEntry& e : race.entries) {
+    const FleetResult& r = e.fleet;
+    json.set(e.policy + "_availability_mean", r.availability_mean);
+    json.set(e.policy + "_availability_ci95", r.availability_ci95);
+    json.set(e.policy + "_mttr_ms", r.mttr_ms);
+    json.set(e.policy + "_scrub_bandwidth_bytes_per_s",
+             r.scrub_bandwidth_bytes_per_s);
+    json.set(e.policy + "_detection_latency_p50_ms",
+             r.detection_latency_p50_ms);
+    json.set(e.policy + "_detection_latency_p99_ms",
+             r.detection_latency_p99_ms);
+    json.set(e.policy + "_functional_upsets",
+             static_cast<double>(r.functional_upsets));
+    json.set(e.policy + "_repaired", static_cast<double>(r.repaired));
+  }
+  json.write(bench_json_path("BENCH_policies.json"));
+  std::printf("\n");
+}
+
+void BM_PolicyPlanPass(benchmark::State& state, const char* policy_name) {
+  static Workbench bench(campaign_device());
+  static const PlacedDesign design = bench.compile(designs::lfsr_multiplier(10));
+  static CampaignOptions copts = [] {
+    CampaignOptions o;
+    o.sample_bits = 10000;
+    return o;
+  }();
+  static const CampaignResult camp = run_campaign(design, copts);
+  static const std::vector<u32> sens =
+      mine_frame_sensitivity(*design.space, camp.sensitive_set(design));
+  const ScrubPolicyPtr policy = make_scrub_policy(policy_name);
+  ScrubPolicyContext ctx;
+  ctx.frame_count = design.space->frame_count();
+  ctx.frame_sensitivity = &sens;
+  std::vector<u32> order;
+  for (auto _ : state) {
+    policy->plan_pass(ctx, order);
+    benchmark::DoNotOptimize(order.data());
+    ++ctx.pass_index;
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyPlanPass, readback_crc, "readback_crc")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_PolicyPlanPass, blind, "blind")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_PolicyPlanPass, priority, "priority")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_PolicyPlanPass, staggered, "staggered")
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace vscrub::bench
+
+int main(int argc, char** argv) {
+  vscrub::bench::run_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -72,6 +72,8 @@ std::vector<CliCommand> build_commands() {
            bool_flag("--flare", "solar-flare environment"),
            value_flag("--seed", "S", "mission random seed"),
            bool_flag("--scrub-faults", "enable scrub-datapath fault models"),
+           value_flag("--scrub-policy", "NAME",
+                      "scrub policy (see `vscrubctl policies`)"),
            value_flag("--trace", "FILE", "write a JSONL event trace"),
            value_flag("--json", "FILE", "write a versioned mission report"),
        }});
@@ -85,6 +87,8 @@ std::vector<CliCommand> build_commands() {
            value_flag("--seed", "S", "base seed (mission i uses seed+i)"),
            value_flag("--threads", "N", "worker threads (0 = hardware)"),
            bool_flag("--scrub-faults", "enable scrub-datapath fault models"),
+           value_flag("--scrub-policy", "NAME",
+                      "scrub policy, comma list, or 'all' to race them"),
            value_flag("--json", "FILE", "write a versioned fleet report"),
        }});
   commands.push_back({"bist", "", "built-in self-test of the fabric model",
@@ -129,6 +133,8 @@ std::vector<CliCommand> build_commands() {
            value_flag("--missions", "N", "fleet missions (default 8)"),
            bool_flag("--flare", "solar-flare environment"),
            bool_flag("--scrub-faults", "enable scrub-datapath fault models"),
+           value_flag("--scrub-policy", "NAME",
+                      "scrub policy for mission/fleet (fleet: list or 'all')"),
            bool_flag("--progress", "stream progress frames to stderr"),
            value_flag("--json", "FILE", "write the returned report JSON"),
        }});
@@ -136,6 +142,7 @@ std::vector<CliCommand> build_commands() {
       {"info", "<image.vsb>", "describe a saved configuration image", {}});
   commands.push_back({"designs", "", "list built-in design generators", {}});
   commands.push_back({"devices", "", "list device geometries", {}});
+  commands.push_back({"policies", "", "list scrub policies", {}});
   commands.push_back({"version", "",
                       "print workbench API, library and report-schema "
                       "versions", {}});

@@ -43,11 +43,14 @@ namespace vscrub {
 /// Library version.
 const char* version();
 
-/// Workbench API version. Bumped to 2 when the deprecated static
-/// Workbench::sensitive_set(design, result) forwarder was removed (use
-/// CampaignResult::sensitive_set(design)) and the verdict-store surface
-/// (CampaignOptions::with_cache, Workbench::recampaign) was added.
-inline constexpr int kWorkbenchApiVersion = 2;
+/// Workbench API version. Bumped to 3 with the ScrubPolicy redesign: the
+/// scrub layer is scheduled by pluggable policy objects (scrub/policy.h),
+/// ScrubberOptions lost the `rmw_repair`/`bit_granular_repair` bool pair in
+/// favour of the RepairMode enum, and the fleet runner grew the policy race
+/// (run_policy_race / Workbench::policy_race). Defaults are behaviour- and
+/// bit-identical to v2: an unset policy is the paper's readback_crc loop,
+/// and RepairMode::kGoldenOverwrite matches both bools false.
+inline constexpr int kWorkbenchApiVersion = 3;
 
 class Workbench {
  public:
@@ -110,6 +113,14 @@ class Workbench {
                     const std::unordered_set<u64>& sensitive_bits,
                     const FleetOptions& options = {}) const {
     return run_fleet(design, sensitive_bits, options);
+  }
+
+  /// The scrub-policy laboratory (v3): the same seed sweep raced once per
+  /// policy, yielding per-policy availability/MTTR/bandwidth curves.
+  PolicyRaceResult policy_race(const PlacedDesign& design,
+                               const std::unordered_set<u64>& sensitive_bits,
+                               const PolicyRaceOptions& options = {}) const {
+    return run_policy_race(design, sensitive_bits, options);
   }
 
   struct BistReport {

@@ -1,0 +1,187 @@
+#include "scrub/policy.h"
+
+#include <algorithm>
+
+#include "fabric/config_space.h"
+
+namespace vscrub {
+namespace {
+
+/// The paper's loop (§II-A): every frame, scan order, readback + CRC.
+class ReadbackCrcPolicy final : public ScrubPolicy {
+ public:
+  const char* name() const override { return "readback_crc"; }
+  void plan_pass(const ScrubPolicyContext& ctx,
+                 std::vector<u32>& order) const override {
+    order.clear();
+    order.reserve(ctx.frame_count);
+    for (u32 gf = 0; gf < ctx.frame_count; ++gf) order.push_back(gf);
+  }
+};
+
+/// Unconditional golden rewrite of every frame, no readback (the classic
+/// "blind scrub" of the configuration-redundancy literature): upsets are
+/// never detected, only silently overwritten on the next visit.
+class BlindPolicy final : public ScrubPolicy {
+ public:
+  const char* name() const override { return "blind"; }
+  void plan_pass(const ScrubPolicyContext& ctx,
+                 std::vector<u32>& order) const override {
+    order.clear();
+    order.reserve(ctx.frame_count);
+    for (u32 gf = 0; gf < ctx.frame_count; ++gf) order.push_back(gf);
+  }
+  FrameOp frame_op(const ScrubPolicyContext&, u32) const override {
+    return FrameOp::kBlindWrite;
+  }
+  bool blind() const override { return true; }
+};
+
+/// Frame-priority scheduling: frames holding functionally sensitive bits
+/// ("hot", per the mined verdict-store sensitivity) are checked every pass,
+/// hottest first; the insensitive remainder is spread round-robin so each
+/// cold frame is still visited once every `cold_stride` passes. A pass is
+/// therefore shorter than a full scan, which shortens the hot-frame revisit
+/// period — that is the whole point of the policy.
+class PriorityPolicy final : public ScrubPolicy {
+ public:
+  explicit PriorityPolicy(u32 cold_stride)
+      : cold_stride_(std::max<u32>(1, cold_stride)) {}
+
+  const char* name() const override { return "priority"; }
+
+  void plan_pass(const ScrubPolicyContext& ctx,
+                 std::vector<u32>& order) const override {
+    order.clear();
+    const std::vector<u32>* sens = ctx.frame_sensitivity;
+    if (sens == nullptr || sens->empty()) {
+      // No sensitivity data: degrade to the plain scan.
+      order.reserve(ctx.frame_count);
+      for (u32 gf = 0; gf < ctx.frame_count; ++gf) order.push_back(gf);
+      return;
+    }
+    std::vector<u32> hot;
+    std::vector<u32> cold;
+    for (u32 gf = 0; gf < ctx.frame_count; ++gf) {
+      const u32 s = gf < sens->size() ? (*sens)[gf] : 0;
+      (s > 0 ? hot : cold).push_back(gf);
+    }
+    // Hottest first; ties broken by frame index so the order is total and
+    // deterministic.
+    std::stable_sort(hot.begin(), hot.end(), [&](u32 a, u32 b) {
+      return (*sens)[a] > (*sens)[b];
+    });
+    order = std::move(hot);
+    const u32 slice = static_cast<u32>(ctx.pass_index % cold_stride_);
+    for (u32 i = slice; i < cold.size(); i += cold_stride_) {
+      order.push_back(cold[i]);
+    }
+  }
+
+  u32 schedule_period() const override { return cold_stride_; }
+
+ private:
+  u32 cold_stride_;
+};
+
+/// Belle II-style intermodular staggering (arXiv:2010.16194): each module
+/// scans every frame in order, but the shared fault manager interleaves the
+/// modules' visits round-robin instead of finishing one device before
+/// starting the next, spreading scrub attention evenly across the group.
+class StaggeredPolicy final : public ScrubPolicy {
+ public:
+  const char* name() const override { return "staggered"; }
+  void plan_pass(const ScrubPolicyContext& ctx,
+                 std::vector<u32>& order) const override {
+    order.clear();
+    order.reserve(ctx.frame_count);
+    for (u32 gf = 0; gf < ctx.frame_count; ++gf) order.push_back(gf);
+  }
+  bool intermodular() const override { return true; }
+};
+
+}  // namespace
+
+const char* repair_mode_name(RepairMode mode) {
+  switch (mode) {
+    case RepairMode::kGoldenOverwrite:
+      return "golden_overwrite";
+    case RepairMode::kReadModifyWrite:
+      return "read_modify_write";
+    case RepairMode::kBitGranular:
+      return "bit_granular";
+  }
+  return "unknown";
+}
+
+FrameOp ScrubPolicy::frame_op(const ScrubPolicyContext&, u32) const {
+  return FrameOp::kReadbackCheck;
+}
+
+const std::vector<std::string>& scrub_policy_names() {
+  static const std::vector<std::string> names = {
+      "readback_crc",
+      "blind",
+      "priority",
+      "staggered",
+  };
+  return names;
+}
+
+ScrubPolicyPtr make_scrub_policy(const std::string& name,
+                                 const ScrubPolicyParams& params) {
+  if (name == "readback_crc" || name.empty()) {
+    return std::make_shared<ReadbackCrcPolicy>();
+  }
+  if (name == "blind") return std::make_shared<BlindPolicy>();
+  if (name == "priority") {
+    return std::make_shared<PriorityPolicy>(params.priority_cold_stride);
+  }
+  if (name == "staggered") return std::make_shared<StaggeredPolicy>();
+  std::string known;
+  for (const std::string& n : scrub_policy_names()) {
+    known += known.empty() ? n : ", " + n;
+  }
+  throw ScrubConfigError("unknown scrub policy '" + name + "' (known: " +
+                         known + ")");
+}
+
+ScrubPolicyPtr default_scrub_policy() {
+  static const ScrubPolicyPtr policy = std::make_shared<ReadbackCrcPolicy>();
+  return policy;
+}
+
+std::vector<std::string> parse_scrub_policy_list(const std::string& spec) {
+  if (spec.empty()) return {};
+  if (spec == "all") return scrub_policy_names();
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string name =
+        spec.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!name.empty()) {
+      make_scrub_policy(name);  // validate: throws on unknown names
+      names.push_back(name);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (names.empty()) {
+    throw ScrubConfigError("empty scrub policy list '" + spec + "'");
+  }
+  return names;
+}
+
+std::vector<u32> mine_frame_sensitivity(
+    const ConfigSpace& space, const std::unordered_set<u64>& sensitive_bits) {
+  std::vector<u32> counts(space.frame_count(), 0);
+  for (const u64 lin : sensitive_bits) {
+    if (lin >= space.total_bits()) continue;
+    const BitAddress addr = space.address_of_linear(lin);
+    ++counts[space.global_frame_index(addr.frame)];
+  }
+  return counts;
+}
+
+}  // namespace vscrub

@@ -1,0 +1,158 @@
+// ScrubPolicy — the strategy interface of the scrub layer (API v3).
+//
+// PR 3 made the scrub *datapath* a fault domain; this header makes the scrub
+// *schedule* a strategy. The paper reproduces exactly one policy —
+// continuous readback+CRC with golden-frame partial reconfiguration (§II-A,
+// Fig. 4) — but deployed scrubbers use real alternatives: blind golden
+// rewrites (no readback at all), frame-priority scheduling driven by which
+// bits past campaigns proved functionally sensitive, and Belle II-style
+// intermodular staggering of the scan across the devices of a board
+// (arXiv:2010.16194, arXiv:1806.10676).
+//
+// The split of responsibilities:
+//   * the policy decides WHICH frames are visited, in WHAT order, and
+//     whether a visit is a readback+CRC check or an unconditional golden
+//     rewrite (plan_pass / frame_op / schedule knobs below);
+//   * the Scrubber keeps everything the policies share — the faulty-link
+//     transfer machinery, confirm-reread false-alarm filtering, repair
+//     verify/escalation, flash ECC handling, metrics and tracing;
+//   * the mission simulator (system/payload) compiles the same pass plans
+//     into an analytic visit timetable, so a Monte-Carlo fleet races the
+//     identical schedules the frame-by-frame Scrubber executes.
+//
+// Every policy is deterministic and stateless: the plan for a pass is a pure
+// function of the ScrubPolicyContext, which is what keeps warm/cold runs,
+// re-runs and any-thread-count fleets bit-identical.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vscrub {
+
+class ConfigSpace;
+
+/// Typed error for contradictory or unknown scrub configuration: unknown
+/// policy names, and option combinations whose semantics would be undefined
+/// (e.g. blind scrubbing with a repair mode that needs readback data).
+/// Thrown instead of silently preferring one interpretation.
+class ScrubConfigError : public Error {
+ public:
+  explicit ScrubConfigError(const std::string& what) : Error(what) {}
+};
+
+/// How a confirmed configuration error is repaired (paper §IV-B). Replaces
+/// the API-v2 `rmw_repair` / `bit_granular_repair` bool pair, whose both-set
+/// combination was accepted with undocumented precedence; the enum makes the
+/// contradiction unrepresentable.
+enum class RepairMode : u8 {
+  /// Fetch the golden frame from flash and rewrite the whole frame.
+  kGoldenOverwrite,
+  /// Read-modify-write: merge the live dynamic LUT state covered by the
+  /// frame into the golden image before writing, so a repair never clobbers
+  /// legitimately changed state.
+  kReadModifyWrite,
+  /// §IV-B architecture variant: write only the corrupted bits (requires the
+  /// fabric's bit_granular_access variant); dynamic LUT sites are skipped.
+  kBitGranular,
+};
+
+const char* repair_mode_name(RepairMode mode);
+
+/// What a policy wants done at one visited frame.
+enum class FrameOp : u8 {
+  kReadbackCheck,  ///< read back, CRC-compare, repair on confirmed mismatch
+  kBlindWrite,     ///< unconditionally rewrite the golden frame, no readback
+  kSkip,           ///< leave the frame alone this pass
+};
+
+/// Everything a policy may condition a pass plan on. The same context shape
+/// serves the single-device Scrubber (module_count == 1) and the payload's
+/// board model (module_index = device slot within the board's scrub group).
+struct ScrubPolicyContext {
+  u32 frame_count = 0;
+  /// This device's slot within the scrub group sharing one fault manager.
+  u32 module_index = 0;
+  u32 module_count = 1;
+  /// Monotonic pass number; policies with schedule_period() > 1 rotate
+  /// their frame subsets on it.
+  u64 pass_index = 0;
+  /// Per-global-frame count of functionally sensitive bits, mined from the
+  /// campaign verdicts (see mine_frame_sensitivity). May be null or empty;
+  /// priority scheduling then degrades to scan order.
+  const std::vector<u32>* frame_sensitivity = nullptr;
+};
+
+/// A scrub-scheduling strategy. Implementations must be deterministic pure
+/// functions of the context — no internal state, no randomness — so that a
+/// policy can be shared across threads and replays are bit-identical.
+class ScrubPolicy {
+ public:
+  virtual ~ScrubPolicy() = default;
+
+  /// Registry name ("readback_crc", "blind", ...).
+  virtual const char* name() const = 0;
+
+  /// Global frame indices to visit in pass ctx.pass_index, in visit order.
+  /// `order` is cleared first. Frames not listed are not touched this pass.
+  virtual void plan_pass(const ScrubPolicyContext& ctx,
+                         std::vector<u32>& order) const = 0;
+
+  /// What to do at one planned frame. Default: readback + CRC check.
+  virtual FrameOp frame_op(const ScrubPolicyContext& ctx,
+                           u32 global_frame) const;
+
+  /// Number of passes after which the plan repeats ((pass_index % period)
+  /// fully determines the plan). 1 for every-pass-identical policies.
+  virtual u32 schedule_period() const { return 1; }
+
+  /// True when the policy repairs without readback (kBlindWrite visits).
+  /// Blind policies reject repair modes that need readback data.
+  virtual bool blind() const { return false; }
+
+  /// True when the group's fault manager interleaves this policy's visits
+  /// across modules (Belle II intermodular staggering) instead of scanning
+  /// the group's devices one after another.
+  virtual bool intermodular() const { return false; }
+};
+
+using ScrubPolicyPtr = std::shared_ptr<const ScrubPolicy>;
+
+/// Tuning knobs a policy may take at construction.
+struct ScrubPolicyParams {
+  /// priority: a frame with no sensitive bits is visited once every
+  /// cold_stride passes, while sensitive ("hot") frames are visited every
+  /// pass. Must be >= 1.
+  u32 priority_cold_stride = 4;
+};
+
+/// The registry: every built-in policy name, in table order.
+const std::vector<std::string>& scrub_policy_names();
+
+/// Constructs a policy by registry name. Throws ScrubConfigError on an
+/// unknown name (the message lists the registry).
+ScrubPolicyPtr make_scrub_policy(const std::string& name,
+                                 const ScrubPolicyParams& params = {});
+
+/// The default policy — the paper's readback+CRC loop. A Scrubber or
+/// Payload with no policy configured behaves exactly like API v2.
+ScrubPolicyPtr default_scrub_policy();
+
+/// Parses a `--scrub-policy` spec shared by the CLI and the VSRP1 request
+/// field: "" → empty list (keep the default), "all" → every registry name,
+/// otherwise a comma-separated list. Every listed name is validated against
+/// the registry; unknown names throw ScrubConfigError.
+std::vector<std::string> parse_scrub_policy_list(const std::string& spec);
+
+/// Mines per-frame sensitivity from a campaign's sensitive set (linear bit
+/// indices, the same map the verdict store serves campaign replays from):
+/// result[global_frame] = number of functionally sensitive bits in that
+/// frame. This is what `priority` ranks and partitions frames by.
+std::vector<u32> mine_frame_sensitivity(
+    const ConfigSpace& space, const std::unordered_set<u64>& sensitive_bits);
+
+}  // namespace vscrub

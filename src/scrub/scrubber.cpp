@@ -6,12 +6,40 @@
 
 namespace vscrub {
 
+void validate_scrub_options(const ScrubberOptions& options) {
+  const ScrubPolicy& policy =
+      options.policy ? *options.policy : *default_scrub_policy();
+  if (policy.blind()) {
+    if (options.repair_mode != RepairMode::kGoldenOverwrite) {
+      throw ScrubConfigError(
+          std::string("scrub policy '") + policy.name() +
+          "' repairs without readback and cannot use repair mode '" +
+          repair_mode_name(options.repair_mode) +
+          "' (read-modify-write and bit-granular repair need readback data)");
+    }
+    if (!options.mask_dynamic_frames) {
+      throw ScrubConfigError(
+          std::string("scrub policy '") + policy.name() +
+          "' requires mask_dynamic_frames: a blind golden rewrite through an "
+          "unmasked frame would clobber live dynamic LUT state");
+    }
+    if (options.zeroed_dynamic_codebook) {
+      throw ScrubConfigError(
+          std::string("scrub policy '") + policy.name() +
+          "' is incompatible with zeroed_dynamic_codebook: the zeroed "
+          "variant checks dynamic frames instead of masking them, but a "
+          "blind write would overwrite their live contents");
+    }
+  }
+}
+
 Scrubber::Scrubber(const PlacedDesign& design, FabricSim& sim,
                    FlashStore& flash, const ScrubberOptions& options)
     : design_(&design),
       sim_(&sim),
       flash_(&flash),
       options_(options),
+      policy_(options.policy ? options.policy : default_scrub_policy()),
       codebook_([&] {
         if (!options.zeroed_dynamic_codebook) return CrcCodebook(design.bitstream);
         // §IV-A variant: build the codebook against the golden image with
@@ -23,6 +51,7 @@ Scrubber::Scrubber(const PlacedDesign& design, FabricSim& sim,
         return CrcCodebook(zeroed);
       }()),
       port_(design.space.get(), options.timing, options.link_faults) {
+  validate_scrub_options(options_);
   if (options_.zeroed_dynamic_codebook) {
     // Only BRAM columns stay unreadable; every CLB frame is checkable.
     const ConfigSpace& space = *design_->space;
@@ -90,8 +119,8 @@ bool Scrubber::read_with_link(const FrameAddress& fa, bool primary,
   // On success the first attempt was clean unless retried (attempts - 1
   // timeouts); on exhaustion every attempt timed out.
   result.transfer_timeouts += tr.ok ? tr.attempts - 1 : tr.attempts;
-  // A primary read's ideal cost is part of clean_pass_cost(); only the
-  // excess is fault overhead. Extra fault-path reads are overhead entirely.
+  // A primary read's ideal cost is part of clean_cost; only the excess is
+  // fault overhead. Extra fault-path reads are overhead entirely.
   result.fault_overhead += primary ? tr.cost - port_.frame_cost(fa) : tr.cost;
   if (!tr.ok) {
     ++result.retries_exhausted;
@@ -104,217 +133,289 @@ bool Scrubber::read_with_link(const FrameAddress& fa, bool primary,
   return true;
 }
 
-ScrubPassResult Scrubber::scrub_pass(DesignHarness* harness) {
-  const ConfigSpace& space = *design_->space;
+void Scrubber::visit_readback(u32 gf, const FrameAddress& fa,
+                              DesignHarness* harness, ScrubPassResult& result) {
   const bool faulty = options_.link_faults.enabled();
-  ScrubPassResult result;
-  const SimTime pass_start = elapsed_;
-  for (u32 gf = 0; gf < space.frame_count(); ++gf) {
-    const FrameAddress fa = space.frame_of_global(gf);
-    const bool masked = codebook_.is_masked(gf);
-    ++result.frames_checked;
-    BitVector data;
-    if (!read_with_link(fa, /*primary=*/true, harness, result,
-                        masked ? nullptr : &data)) {
-      // Retry/backoff exhausted: this frame cannot be read, so its state is
-      // unknown; for a checkable frame that is escalated to a reset.
-      if (!masked) {
-        ScrubEvent event;
-        event.global_frame = gf;
-        event.time = elapsed_;
-        ++result.escalations;
-        if (options_.trace) {
-          options_.trace->event("scrub_link_exhausted", elapsed_).f("frame", gf);
-        }
-        issue_reset(harness, result, event);
-        result.events.push_back(event);
-      }
-      continue;
-    }
-    if (masked) continue;
-    if (codebook_.check(gf, data)) continue;
-
-    if (faulty && options_.crc_confirm_rereads > 0) {
-      // A CRC mismatch may be noise in the readback path, not a real config
-      // upset. Repair only once two consecutive readbacks agree bit-for-bit
-      // and still fail CRC; anything else is a false alarm (a real upset
-      // drowned in noise is caught on the next pass).
-      bool confirmed = false;
-      bool link_dead = false;
-      for (u32 i = 0; i < options_.crc_confirm_rereads; ++i) {
-        BitVector again;
-        if (!read_with_link(fa, /*primary=*/false, harness, result, &again)) {
-          link_dead = true;
-          break;
-        }
-        if (codebook_.check(gf, again)) break;  // earlier read was noise
-        if (again == data) {
-          confirmed = true;
-          break;
-        }
-        data = std::move(again);
-      }
-      if (link_dead) {
-        ScrubEvent event;
-        event.global_frame = gf;
-        event.time = elapsed_;
-        ++result.escalations;
-        if (options_.trace) {
-          options_.trace->event("scrub_link_exhausted", elapsed_).f("frame", gf);
-        }
-        issue_reset(harness, result, event);
-        result.events.push_back(event);
-        continue;
-      }
-      if (!confirmed) {
-        ++result.false_alarms;
-        if (options_.trace) {
-          options_.trace->event("scrub_false_alarm", elapsed_).f("frame", gf);
-        }
-        continue;
-      }
-    }
-
-    // Confirmed error: interrupt the microprocessor with (device, frame); it
-    // fetches the golden frame from flash and partially reconfigures.
-    ++result.errors_found;
-    ++total_errors_;
-    ScrubEvent event;
-    event.global_frame = gf;
-    event.time = elapsed_;
-    advance_design(harness, options_.error_handling_overhead);
-
-    FlashStore::FetchStatus fetch;
-    BitVector golden = flash_->fetch_frame(gf, &fetch);
-    if (fetch.uncorrectable > 0) {
-      // §II flash ECC: a double-bit word means the golden copy is not
-      // trustworthy — never partially reconfigure with corrupt data.
-      // Escalate to a reset and leave the frame for a higher-level recovery
-      // (alternate image, ground upload).
-      ++result.flash_uncorrectable;
+  const bool masked = codebook_.is_masked(gf);
+  ++result.frames_checked;
+  result.clean_cost += port_.frame_cost(fa);
+  BitVector data;
+  if (!read_with_link(fa, /*primary=*/true, harness, result,
+                      masked ? nullptr : &data)) {
+    // Retry/backoff exhausted: this frame cannot be read, so its state is
+    // unknown; for a checkable frame that is escalated to a reset.
+    if (!masked) {
+      ScrubEvent event;
+      event.global_frame = gf;
+      event.time = elapsed_;
       ++result.escalations;
       if (options_.trace) {
-        options_.trace->event("scrub_flash_uncorrectable", elapsed_)
-            .f("frame", gf)
-            .f("words", fetch.uncorrectable);
+        options_.trace->event("scrub_link_exhausted", elapsed_).f("frame", gf);
       }
       issue_reset(harness, result, event);
       result.events.push_back(event);
-      continue;
     }
+    return;
+  }
+  if (masked) return;
+  if (codebook_.check(gf, data)) return;
 
-    if (options_.bit_granular_repair && fa.kind == ColumnKind::kClb) {
-      // §IV-B: write only the corrupted bits. Dynamic LUT locations are
-      // skipped (their live contents are not errors). Each bit write is a
-      // short port transaction.
-      const BitVector live = sim_->read_frame(fa);
-      u32 writes = 0;
-      for (u32 off = 0; off < live.size(); ++off) {
-        if (live.get(off) == golden.get(off)) continue;
-        bool dynamic_site = false;
-        for (const LutSiteRef& site : design_->dynamic_lut_sites) {
-          if (site.tile.col != fa.col) continue;
-          const int slice = site.lut / kLutsPerSlice;
-          if (!ConfigSpace::frame_holds_slice_lut_bits(fa.frame, slice)) continue;
-          const u32 site_off =
-              static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
-              static_cast<u32>(site.lut % kLutsPerSlice);
-          if (site_off == off) {
-            dynamic_site = true;
-            break;
-          }
-        }
-        if (dynamic_site) continue;
-        sim_->write_config_bit(BitAddress{fa, off}, golden.get(off));
-        ++writes;
+  if (faulty && options_.crc_confirm_rereads > 0) {
+    // A CRC mismatch may be noise in the readback path, not a real config
+    // upset. Repair only once two consecutive readbacks agree bit-for-bit
+    // and still fail CRC; anything else is a false alarm (a real upset
+    // drowned in noise is caught on the next pass).
+    bool confirmed = false;
+    bool link_dead = false;
+    for (u32 i = 0; i < options_.crc_confirm_rereads; ++i) {
+      BitVector again;
+      if (!read_with_link(fa, /*primary=*/false, harness, result, &again)) {
+        link_dead = true;
+        break;
       }
-      advance_design(harness,
-                     options_.timing.op_overhead +
-                         options_.timing.frame_overhead +
-                         options_.timing.byte_time * static_cast<i64>(writes));
-      event.repaired = true;
-      ++result.repairs;
-    } else {
-      if (options_.rmw_repair && fa.kind == ColumnKind::kClb) {
-        // Read-modify-write: preserve live dynamic LUT contents covered by
-        // this frame (paper §IV-B).
-        for (const LutSiteRef& site : design_->dynamic_lut_sites) {
-          if (site.tile.col != fa.col) continue;
-          const int slice = site.lut / kLutsPerSlice;
-          if (!ConfigSpace::frame_holds_slice_lut_bits(fa.frame, slice)) continue;
-          const u32 offset =
-              static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
-              static_cast<u32>(site.lut % kLutsPerSlice);
-          golden.set(offset, data.get(offset));
-        }
+      if (codebook_.check(gf, again)) break;  // earlier read was noise
+      if (again == data) {
+        confirmed = true;
+        break;
       }
-      // The repair write goes through the same faulty link as readback.
-      const TransferResult wr = port_.transfer(fa);
-      advance_design(harness, wr.cost);
-      result.transfer_timeouts += wr.ok ? wr.attempts - 1 : wr.attempts;
-      result.fault_overhead += wr.cost - port_.frame_cost(fa);
-      if (!wr.ok) {
-        ++result.retries_exhausted;
-        ++result.escalations;
-        if (options_.trace) {
-          options_.trace->event("scrub_link_exhausted", elapsed_).f("frame", gf);
-        }
-        issue_reset(harness, result, event);
-        result.events.push_back(event);
-        continue;
-      }
-      sim_->write_frame(fa, golden);
-      event.repaired = true;
-      ++result.repairs;
+      data = std::move(again);
     }
-
-    if (faulty && options_.repair_verify_attempts > 0) {
-      // Verify-readback: confirm the repair actually landed (the write, or
-      // the verify read itself, may have been corrupted in transit). A
-      // persistent mismatch escalates to a reset.
-      bool verified = false;
-      for (u32 attempt = 0; attempt < options_.repair_verify_attempts;
-           ++attempt) {
-        BitVector check;
-        if (!read_with_link(fa, /*primary=*/false, harness, result, &check)) {
-          break;
-        }
-        if (codebook_.check(gf, check)) {
-          verified = true;
-          break;
-        }
-        ++result.repair_verify_failures;
-        if (attempt + 1 < options_.repair_verify_attempts) {
-          const TransferResult wr = port_.transfer(fa);
-          advance_design(harness, wr.cost);
-          result.transfer_timeouts += wr.ok ? wr.attempts - 1 : wr.attempts;
-          result.fault_overhead += wr.cost;
-          if (!wr.ok) {
-            ++result.retries_exhausted;
-            break;
-          }
-          sim_->write_frame(fa, golden);
-        }
+    if (link_dead) {
+      ScrubEvent event;
+      event.global_frame = gf;
+      event.time = elapsed_;
+      ++result.escalations;
+      if (options_.trace) {
+        options_.trace->event("scrub_link_exhausted", elapsed_).f("frame", gf);
       }
-      if (!verified) {
-        ++result.escalations;
-        if (options_.trace) {
-          options_.trace->event("scrub_verify_escalation", elapsed_)
-              .f("frame", gf);
-        }
-        issue_reset(harness, result, event);
-        result.events.push_back(event);
-        continue;
-      }
+      issue_reset(harness, result, event);
+      result.events.push_back(event);
+      return;
     }
+    if (!confirmed) {
+      ++result.false_alarms;
+      if (options_.trace) {
+        options_.trace->event("scrub_false_alarm", elapsed_).f("frame", gf);
+      }
+      return;
+    }
+  }
 
+  // Confirmed error: interrupt the microprocessor with (device, frame); it
+  // fetches the golden frame from flash and partially reconfigures.
+  ++result.errors_found;
+  ++total_errors_;
+  ScrubEvent event;
+  event.global_frame = gf;
+  event.time = elapsed_;
+  advance_design(harness, options_.error_handling_overhead);
+
+  FlashStore::FetchStatus fetch;
+  BitVector golden = flash_->fetch_frame(gf, &fetch);
+  if (fetch.uncorrectable > 0) {
+    // §II flash ECC: a double-bit word means the golden copy is not
+    // trustworthy — never partially reconfigure with corrupt data.
+    // Escalate to a reset and leave the frame for a higher-level recovery
+    // (alternate image, ground upload).
+    ++result.flash_uncorrectable;
+    ++result.escalations;
     if (options_.trace) {
-      options_.trace->event("scrub_repair", elapsed_)
+      options_.trace->event("scrub_flash_uncorrectable", elapsed_)
           .f("frame", gf)
-          .f("reset", static_cast<u64>(options_.reset_after_repair));
+          .f("words", fetch.uncorrectable);
     }
-    if (options_.reset_after_repair) issue_reset(harness, result, event);
+    issue_reset(harness, result, event);
     result.events.push_back(event);
+    return;
+  }
+
+  if (options_.repair_mode == RepairMode::kBitGranular &&
+      fa.kind == ColumnKind::kClb) {
+    // §IV-B: write only the corrupted bits. Dynamic LUT locations are
+    // skipped (their live contents are not errors). Each bit write is a
+    // short port transaction.
+    const BitVector live = sim_->read_frame(fa);
+    u32 writes = 0;
+    for (u32 off = 0; off < live.size(); ++off) {
+      if (live.get(off) == golden.get(off)) continue;
+      bool dynamic_site = false;
+      for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+        if (site.tile.col != fa.col) continue;
+        const int slice = site.lut / kLutsPerSlice;
+        if (!ConfigSpace::frame_holds_slice_lut_bits(fa.frame, slice)) continue;
+        const u32 site_off =
+            static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
+            static_cast<u32>(site.lut % kLutsPerSlice);
+        if (site_off == off) {
+          dynamic_site = true;
+          break;
+        }
+      }
+      if (dynamic_site) continue;
+      sim_->write_config_bit(BitAddress{fa, off}, golden.get(off));
+      ++writes;
+    }
+    advance_design(harness,
+                   options_.timing.op_overhead +
+                       options_.timing.frame_overhead +
+                       options_.timing.byte_time * static_cast<i64>(writes));
+    event.repaired = true;
+    ++result.repairs;
+  } else {
+    if (options_.repair_mode == RepairMode::kReadModifyWrite &&
+        fa.kind == ColumnKind::kClb) {
+      // Read-modify-write: preserve live dynamic LUT contents covered by
+      // this frame (paper §IV-B).
+      for (const LutSiteRef& site : design_->dynamic_lut_sites) {
+        if (site.tile.col != fa.col) continue;
+        const int slice = site.lut / kLutsPerSlice;
+        if (!ConfigSpace::frame_holds_slice_lut_bits(fa.frame, slice)) continue;
+        const u32 offset =
+            static_cast<u32>(site.tile.row) * kBitsPerTilePerFrame +
+            static_cast<u32>(site.lut % kLutsPerSlice);
+        golden.set(offset, data.get(offset));
+      }
+    }
+    // The repair write goes through the same faulty link as readback.
+    const TransferResult wr = port_.transfer(fa);
+    advance_design(harness, wr.cost);
+    result.transfer_timeouts += wr.ok ? wr.attempts - 1 : wr.attempts;
+    result.fault_overhead += wr.cost - port_.frame_cost(fa);
+    if (!wr.ok) {
+      ++result.retries_exhausted;
+      ++result.escalations;
+      if (options_.trace) {
+        options_.trace->event("scrub_link_exhausted", elapsed_).f("frame", gf);
+      }
+      issue_reset(harness, result, event);
+      result.events.push_back(event);
+      return;
+    }
+    sim_->write_frame(fa, golden);
+    event.repaired = true;
+    ++result.repairs;
+  }
+
+  if (faulty && options_.repair_verify_attempts > 0) {
+    // Verify-readback: confirm the repair actually landed (the write, or
+    // the verify read itself, may have been corrupted in transit). A
+    // persistent mismatch escalates to a reset.
+    bool verified = false;
+    for (u32 attempt = 0; attempt < options_.repair_verify_attempts;
+         ++attempt) {
+      BitVector check;
+      if (!read_with_link(fa, /*primary=*/false, harness, result, &check)) {
+        break;
+      }
+      if (codebook_.check(gf, check)) {
+        verified = true;
+        break;
+      }
+      ++result.repair_verify_failures;
+      if (attempt + 1 < options_.repair_verify_attempts) {
+        const TransferResult wr = port_.transfer(fa);
+        advance_design(harness, wr.cost);
+        result.transfer_timeouts += wr.ok ? wr.attempts - 1 : wr.attempts;
+        result.fault_overhead += wr.cost;
+        if (!wr.ok) {
+          ++result.retries_exhausted;
+          break;
+        }
+        sim_->write_frame(fa, golden);
+      }
+    }
+    if (!verified) {
+      ++result.escalations;
+      if (options_.trace) {
+        options_.trace->event("scrub_verify_escalation", elapsed_)
+            .f("frame", gf);
+      }
+      issue_reset(harness, result, event);
+      result.events.push_back(event);
+      return;
+    }
+  }
+
+  if (options_.trace) {
+    options_.trace->event("scrub_repair", elapsed_)
+        .f("frame", gf)
+        .f("reset", static_cast<u64>(options_.reset_after_repair));
+  }
+  if (options_.reset_after_repair) issue_reset(harness, result, event);
+  result.events.push_back(event);
+}
+
+void Scrubber::visit_blind(u32 gf, const FrameAddress& fa,
+                           DesignHarness* harness, ScrubPassResult& result) {
+  // Masked frames hold live dynamic state (or unreadable BRAM): a blind
+  // golden rewrite would clobber them, so they are never visited.
+  if (codebook_.is_masked(gf)) return;
+  ++result.frames_checked;
+  result.clean_cost += port_.frame_cost(fa);
+  FlashStore::FetchStatus fetch;
+  const BitVector golden = flash_->fetch_frame(gf, &fetch);
+  ScrubEvent event;
+  event.global_frame = gf;
+  event.time = elapsed_;
+  if (fetch.uncorrectable > 0) {
+    // Same flash-ECC rule as the readback path: never write corrupt golden
+    // data into the fabric.
+    ++result.flash_uncorrectable;
+    ++result.escalations;
+    if (options_.trace) {
+      options_.trace->event("scrub_flash_uncorrectable", elapsed_)
+          .f("frame", gf)
+          .f("words", fetch.uncorrectable);
+    }
+    issue_reset(harness, result, event);
+    result.events.push_back(event);
+    return;
+  }
+  // The scheduled blind write is this frame's primary transfer; like a
+  // primary read, its ideal cost is clean time and only the excess is
+  // fault overhead.
+  const TransferResult wr = port_.transfer(fa);
+  advance_design(harness, wr.cost);
+  result.transfer_timeouts += wr.ok ? wr.attempts - 1 : wr.attempts;
+  result.fault_overhead += wr.cost - port_.frame_cost(fa);
+  if (!wr.ok) {
+    ++result.retries_exhausted;
+    ++result.escalations;
+    if (options_.trace) {
+      options_.trace->event("scrub_link_exhausted", elapsed_).f("frame", gf);
+    }
+    issue_reset(harness, result, event);
+    result.events.push_back(event);
+    return;
+  }
+  sim_->write_frame(fa, golden);
+  ++result.blind_writes;
+}
+
+ScrubPassResult Scrubber::scrub_pass(DesignHarness* harness) {
+  const ConfigSpace& space = *design_->space;
+  ScrubPassResult result;
+  const SimTime pass_start = elapsed_;
+  ScrubPolicyContext ctx;
+  ctx.frame_count = space.frame_count();
+  ctx.module_index = options_.module_index;
+  ctx.module_count = options_.module_count;
+  ctx.pass_index = pass_index_++;
+  ctx.frame_sensitivity =
+      options_.frame_sensitivity.empty() ? nullptr : &options_.frame_sensitivity;
+  policy_->plan_pass(ctx, plan_);
+  for (const u32 gf : plan_) {
+    const FrameAddress fa = space.frame_of_global(gf);
+    switch (policy_->frame_op(ctx, gf)) {
+      case FrameOp::kSkip:
+        break;
+      case FrameOp::kReadbackCheck:
+        visit_readback(gf, fa, harness, result);
+        break;
+      case FrameOp::kBlindWrite:
+        visit_blind(gf, fa, harness, result);
+        break;
+    }
   }
   result.pass_time = elapsed_ - pass_start;
   publish_metrics(result);
@@ -328,6 +429,7 @@ void Scrubber::publish_metrics(const ScrubPassResult& r) {
   m.counter("scrub_errors").add(r.errors_found);
   m.counter("scrub_repairs").add(r.repairs);
   m.counter("scrub_resets").add(r.resets);
+  m.counter("scrub_blind_writes").add(r.blind_writes);
   m.counter("scrub_false_alarms").add(r.false_alarms);
   m.counter("scrub_transfer_timeouts").add(r.transfer_timeouts);
   m.counter("scrub_retries_exhausted").add(r.retries_exhausted);

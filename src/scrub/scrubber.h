@@ -3,6 +3,13 @@
 // computes a CRC per frame, compares against the stored codebook, and on
 // mismatch interrupts the microprocessor, which fetches the golden frame
 // from flash and partially reconfigures the device while it runs.
+//
+// API v3: WHICH frames are visited, in WHAT order, and whether a visit
+// checks (readback+CRC) or blindly rewrites is decided by a ScrubPolicy
+// (scrub/policy.h). The Scrubber keeps the shared plumbing — faulty-link
+// transfers, confirm rereads, repair verify, flash ECC, escalation,
+// metrics/trace — identical under every policy. With no policy configured
+// the behaviour is bit-identical to API v2.
 #pragma once
 
 #include <vector>
@@ -12,6 +19,7 @@
 #include "common/event_trace.h"
 #include "common/metrics.h"
 #include "scrub/flash.h"
+#include "scrub/policy.h"
 #include "sim/harness.h"
 
 namespace vscrub {
@@ -20,13 +28,18 @@ struct ScrubberOptions {
   SelectMapTiming timing = SelectMapTiming::actel_profile();
   /// Paper Fig. 4: the system is reset after a frame repair.
   bool reset_after_repair = true;
-  /// Read-modify-write repair (paper §IV-B): merge the live dynamic LUT
-  /// state into the golden frame before writing, instead of clobbering it.
-  bool rmw_repair = false;
-  /// §IV-B architecture variant: repair by writing only the corrupted bits
-  /// (requires the fabric's bit_granular_access variant). Implies the RMW
-  /// safety property without the read-merge step.
-  bool bit_granular_repair = false;
+  /// How confirmed errors are repaired (paper §IV-B). Replaces the API-v2
+  /// `rmw_repair`/`bit_granular_repair` bool pair.
+  RepairMode repair_mode = RepairMode::kGoldenOverwrite;
+  /// Pass-scheduling strategy. Null selects the paper's readback_crc loop,
+  /// which is bit-identical to the API-v2 Scrubber.
+  ScrubPolicyPtr policy;
+  /// Per-global-frame sensitive-bit counts (mine_frame_sensitivity) for
+  /// policies that rank frames. Empty = no data.
+  std::vector<u32> frame_sensitivity;
+  /// This device's slot within its scrub group, for intermodular policies.
+  u32 module_index = 0;
+  u32 module_count = 1;
   /// Mask frames that hold legitimate dynamic LUT state out of CRC checking
   /// (paper §IV-A). Managed through the codebook.
   bool mask_dynamic_frames = true;
@@ -61,6 +74,14 @@ struct ScrubberOptions {
   EventTrace* trace = nullptr;
 };
 
+/// Rejects contradictory option combinations with a ScrubConfigError: a
+/// blind policy cannot use a repair mode that needs readback data
+/// (kReadModifyWrite/kBitGranular), and must keep dynamic frames masked (a
+/// blind write through live LUT state would clobber it) — which also rules
+/// out the zeroed-codebook variant. Called by the Scrubber and Payload
+/// constructors; callers building options by hand may call it early.
+void validate_scrub_options(const ScrubberOptions& options);
+
 struct ScrubEvent {
   u32 global_frame = 0;
   SimTime time;       ///< modeled time of detection within the mission
@@ -73,6 +94,7 @@ struct ScrubPassResult {
   u32 errors_found = 0;  ///< confirmed configuration errors
   u32 repairs = 0;
   u32 resets = 0;
+  u32 blind_writes = 0;  ///< unconditional golden rewrites (blind policies)
   // Scrub-path fault handling (all zero with an ideal link):
   u32 false_alarms = 0;        ///< CRC mismatches attributed to readback noise
   u32 transfer_timeouts = 0;   ///< timed-out transfer attempts (retried)
@@ -81,9 +103,13 @@ struct ScrubPassResult {
   u32 flash_uncorrectable = 0;     ///< golden fetches with double-bit words
   u32 escalations = 0;  ///< resets issued because repair could not proceed
   SimTime pass_time;    ///< modeled duration of this pass
+  /// Ideal (fault-free) transfer cost of the frames this pass visited. For
+  /// the default full-scan readback policy this equals clean_pass_cost();
+  /// partial-pass policies (priority) and blind policies visit fewer frames.
+  SimTime clean_cost;
   /// Modeled time spent on the fault path (re-reads, retries, backoff,
   /// verify readbacks, repair rewrites). For a pass with no confirmed
-  /// errors, pass_time == clean_pass_cost() + fault_overhead exactly.
+  /// errors, pass_time == clean_cost + fault_overhead exactly.
   SimTime fault_overhead;
   std::vector<ScrubEvent> events;
 };
@@ -91,14 +117,18 @@ struct ScrubPassResult {
 class Scrubber {
  public:
   /// `design` supplies the dynamic-frame mask; `harness` (optional) lets the
-  /// design keep running while frames are read back.
+  /// design keep running while frames are read back. Throws ScrubConfigError
+  /// on contradictory options (see validate_scrub_options).
   Scrubber(const PlacedDesign& design, FabricSim& sim, FlashStore& flash,
            const ScrubberOptions& options);
 
-  /// One full scrub pass over every frame of the device.
+  /// One scrub pass over the frames the policy plans for this pass (the
+  /// full device, for the default policy).
   ScrubPassResult scrub_pass(DesignHarness* harness = nullptr);
 
-  /// Modeled cost of one clean pass (no errors): readback of every frame.
+  /// Modeled cost of one clean full-scan pass (no errors): readback of every
+  /// frame. Policy-planned passes report their own cost in
+  /// ScrubPassResult::clean_cost.
   SimTime clean_pass_cost() const;
 
   /// Artificial SEU insertion (paper §II-A): the microprocessor partially
@@ -107,6 +137,7 @@ class Scrubber {
   void insert_artificial_seu(const BitAddress& addr);
 
   const CrcCodebook& codebook() const { return codebook_; }
+  const ScrubPolicy& policy() const { return *policy_; }
   SimTime elapsed() const { return elapsed_; }
   u64 total_errors() const { return total_errors_; }
 
@@ -117,22 +148,32 @@ class Scrubber {
   /// Readback through the faulty link: transfer (retries/backoff), then the
   /// device read with sampled readback-path noise. `primary` distinguishes
   /// the once-per-frame scheduled read (whose ideal cost is part of
-  /// clean_pass_cost) from extra fault-path reads (charged to
-  /// fault_overhead). Returns false when retries were exhausted.
+  /// clean_cost) from extra fault-path reads (charged to fault_overhead).
+  /// Returns false when retries were exhausted.
   bool read_with_link(const FrameAddress& fa, bool primary,
                       DesignHarness* harness, ScrubPassResult& result,
                       BitVector* data);
+  /// One readback+CRC visit (the paper's loop body, shared plumbing and
+  /// all). Bit-identical to the API-v2 per-frame iteration.
+  void visit_readback(u32 gf, const FrameAddress& fa, DesignHarness* harness,
+                      ScrubPassResult& result);
+  /// One blind visit: fetch golden from flash, write it, no readback.
+  void visit_blind(u32 gf, const FrameAddress& fa, DesignHarness* harness,
+                   ScrubPassResult& result);
   void publish_metrics(const ScrubPassResult& result);
 
   const PlacedDesign* design_;
   FabricSim* sim_;
   FlashStore* flash_;
   ScrubberOptions options_;
+  ScrubPolicyPtr policy_;
   CrcCodebook codebook_;
   SelectMapPort port_;
   SimTime elapsed_;
   u64 total_errors_ = 0;
+  u64 pass_index_ = 0;
   double cycle_debt_ = 0.0;
+  std::vector<u32> plan_;
 };
 
 }  // namespace vscrub

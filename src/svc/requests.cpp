@@ -144,6 +144,8 @@ JsonReport run_mission_request(const FlatJson& params,
   const CampaignResult camp = mission_sensitivity_campaign(design, ctx);
   PayloadOptions options;
   apply_mission_params(params, options, design.space->total_bits());
+  const std::string policy = params.get_string("scrub_policy", "");
+  if (!policy.empty()) options.scrub.policy = make_scrub_policy(policy);
   options.seed = params.get_u64("seed", 4242);
   MetricsRegistry metrics;
   options.metrics = &metrics;
@@ -163,6 +165,21 @@ JsonReport run_fleet_request(const FlatJson& params,
   options.threads = static_cast<u32>(params.get_u64("threads", 0));
   options.duration = SimTime::hours(params.get_double("hours", 24));
   apply_mission_params(params, options.payload, design.space->total_bits());
+  // Same spec grammar as `vscrubctl fleet --scrub-policy`: one name sets the
+  // sweep's policy; a comma list or "all" races them and returns the
+  // policy_race report, bit-identical to the one-shot CLI run.
+  const std::vector<std::string> policies =
+      parse_scrub_policy_list(params.get_string("scrub_policy", ""));
+  if (policies.size() > 1) {
+    PolicyRaceOptions ro;
+    ro.policies = policies;
+    ro.fleet = options;
+    return policy_race_report_json(
+        run_policy_race(design, camp.sensitive_set(design), ro));
+  }
+  if (policies.size() == 1) {
+    options.payload.scrub.policy = make_scrub_policy(policies[0]);
+  }
   return fleet_report_json(run_fleet(design, camp.sensitive_set(design), options));
 }
 

@@ -40,6 +40,8 @@ FleetResult run_fleet(const PlacedDesign& design,
   Histogram latency;
   double avail_sum = 0.0;
   double avail_sq_sum = 0.0;
+  double corrupted_ms_sum = 0.0;
+  double bandwidth_sum = 0.0;
   for (const MissionReport& r : result.reports) {
     avail_sum += r.availability;
     avail_sq_sum += r.availability * r.availability;
@@ -48,11 +50,22 @@ FleetResult run_fleet(const PlacedDesign& design,
     result.detected += r.detected;
     result.repaired += r.repaired;
     result.resets += r.resets;
+    result.functional_upsets += r.functional_upsets;
+    corrupted_ms_sum += r.mttr_ms * static_cast<double>(r.functional_upsets);
+    bandwidth_sum += r.scrub_bandwidth_bytes_per_s;
     result.false_alarms += r.false_alarms;
     result.false_repairs += r.false_repairs;
     result.scrub_transfer_timeouts += r.scrub_transfer_timeouts;
     result.scrub_retries_exhausted += r.scrub_retries_exhausted;
     result.flash_escalations += r.flash_escalations;
+  }
+  if (result.functional_upsets > 0) {
+    result.mttr_ms =
+        corrupted_ms_sum / static_cast<double>(result.functional_upsets);
+  }
+  if (options.missions > 0) {
+    result.scrub_bandwidth_bytes_per_s =
+        bandwidth_sum / static_cast<double>(options.missions);
   }
   const double n = static_cast<double>(options.missions);
   if (options.missions > 0) result.availability_mean = avail_sum / n;
@@ -79,8 +92,12 @@ void fill_fleet_metrics(const FleetResult& result, MetricsRegistry& metrics) {
   metrics.counter("fleet_retries_exhausted")
       .add(result.scrub_retries_exhausted);
   metrics.counter("fleet_flash_escalations").add(result.flash_escalations);
+  metrics.counter("fleet_functional_upsets").add(result.functional_upsets);
   metrics.set_gauge("fleet_availability_mean", result.availability_mean);
   metrics.set_gauge("fleet_availability_ci95", result.availability_ci95);
+  metrics.set_gauge("fleet_mttr_ms", result.mttr_ms);
+  metrics.set_gauge("fleet_scrub_bandwidth_bytes_per_s",
+                    result.scrub_bandwidth_bytes_per_s);
   metrics.set_gauge("fleet_detection_latency_p50_ms",
                     result.detection_latency_p50_ms);
   metrics.set_gauge("fleet_detection_latency_p99_ms",
@@ -104,6 +121,58 @@ JsonReport fleet_report_json(const FleetResult& result) {
 JsonReport mission_report_json(const MetricsRegistry& metrics) {
   JsonReport report("mission");
   report.add_metrics(metrics);
+  return report;
+}
+
+PolicyRaceResult run_policy_race(const PlacedDesign& design,
+                                 const std::unordered_set<u64>& sensitive_bits,
+                                 const PolicyRaceOptions& options) {
+  const std::vector<std::string>& names =
+      options.policies.empty() ? scrub_policy_names() : options.policies;
+  // Resolve every name up front so a typo fails before any sweep runs.
+  std::vector<ScrubPolicyPtr> policies;
+  policies.reserve(names.size());
+  for (const std::string& name : names) policies.push_back(make_scrub_policy(name));
+
+  PolicyRaceResult result;
+  result.entries.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    FleetOptions fo = options.fleet;
+    fo.payload.scrub.policy = policies[i];
+    PolicyRaceEntry entry;
+    entry.policy = names[i];
+    entry.fleet = run_fleet(design, sensitive_bits, fo);
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+JsonReport policy_race_report_json(const PolicyRaceResult& result) {
+  JsonReport report("policy_race");
+  report.set_u64("policies", result.entries.size());
+  std::string names;
+  for (const PolicyRaceEntry& e : result.entries) {
+    names += names.empty() ? e.policy : "," + e.policy;
+  }
+  report.set_string("policy_names", names);
+  for (const PolicyRaceEntry& e : result.entries) {
+    const FleetResult& f = e.fleet;
+    report.set(e.policy + "_availability_mean", f.availability_mean);
+    report.set(e.policy + "_availability_ci95", f.availability_ci95);
+    report.set(e.policy + "_mttr_ms", f.mttr_ms);
+    report.set(e.policy + "_scrub_bandwidth_bytes_per_s",
+               f.scrub_bandwidth_bytes_per_s);
+    report.set(e.policy + "_detection_latency_p50_ms",
+               f.detection_latency_p50_ms);
+    report.set(e.policy + "_detection_latency_p99_ms",
+               f.detection_latency_p99_ms);
+    report.set_u64(e.policy + "_missions", f.reports.size());
+    report.set_u64(e.policy + "_upsets", f.upsets_total);
+    report.set_u64(e.policy + "_functional_upsets", f.functional_upsets);
+    report.set_u64(e.policy + "_detected", f.detected);
+    report.set_u64(e.policy + "_repaired", f.repaired);
+    report.set_u64(e.policy + "_resets", f.resets);
+  }
   return report;
 }
 

@@ -44,11 +44,17 @@ struct FleetResult {
   // Detection latency percentiles over every detection in the fleet.
   double detection_latency_p50_ms = 0.0;
   double detection_latency_p99_ms = 0.0;
+  /// Fleet MTTR: total functional-corruption time over total functional
+  /// upsets across every mission (0 when no functional upset occurred).
+  double mttr_ms = 0.0;
+  /// Mean scheduled+repair configuration-port traffic across missions.
+  double scrub_bandwidth_bytes_per_s = 0.0;
   // Summed counters over all missions.
   u64 upsets_total = 0;
   u64 detected = 0;
   u64 repaired = 0;
   u64 resets = 0;
+  u64 functional_upsets = 0;
   u64 false_alarms = 0;
   u64 false_repairs = 0;
   u64 scrub_transfer_timeouts = 0;
@@ -74,5 +80,35 @@ JsonReport fleet_report_json(const FleetResult& result);
 /// ("kind": "mission"). Pass the registry that PayloadOptions::metrics
 /// pointed at during the run.
 JsonReport mission_report_json(const MetricsRegistry& metrics);
+
+/// The scrub-policy laboratory: the same seed sweep raced once per policy.
+struct PolicyRaceOptions {
+  /// Registry names to race, in order. Empty = every built-in policy.
+  std::vector<std::string> policies;
+  /// Fleet template. Each entry runs this sweep with payload.scrub.policy
+  /// replaced by the raced policy; everything else (seeds, duration,
+  /// environment) is held identical so the curves are comparable.
+  FleetOptions fleet;
+};
+
+struct PolicyRaceEntry {
+  std::string policy;
+  FleetResult fleet;
+};
+
+struct PolicyRaceResult {
+  std::vector<PolicyRaceEntry> entries;  ///< in PolicyRaceOptions order
+};
+
+/// Races each policy over the identical seed sweep. Deterministic for any
+/// thread count, like run_fleet. Throws ScrubConfigError on unknown names.
+PolicyRaceResult run_policy_race(const PlacedDesign& design,
+                                 const std::unordered_set<u64>& sensitive_bits,
+                                 const PolicyRaceOptions& options);
+
+/// The race as a versioned JSON report ("kind": "policy_race"): per policy,
+/// flattened `<name>_availability_mean/_ci95/_mttr_ms/...` curves — the
+/// payload of BENCH_policies.json.
+JsonReport policy_race_report_json(const PolicyRaceResult& result);
 
 }  // namespace vscrub

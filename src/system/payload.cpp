@@ -14,6 +14,7 @@ Payload::Payload(const PlacedDesign& design, PayloadOptions options,
       flash_(design.bitstream, options_.flash_faults),
       codebook_(design.bitstream),
       rng_(options_.seed) {
+  validate_scrub_options(options_.scrub);
   // Mask dynamic frames in the codebook exactly as the scrubber does.
   if (options_.scrub.mask_dynamic_frames) {
     const ConfigSpace& space = *design_->space;
@@ -49,12 +50,83 @@ MissionReport Payload::run_mission(SimTime duration) {
   report.duration = duration;
   report.devices = static_cast<int>(devices_.size());
 
-  // Scrub rotation: the board's fault manager scans its three devices in
-  // sequence; device d's frame g is visited once per board cycle.
+  const ScrubPolicy& policy =
+      options_.scrub.policy ? *options_.scrub.policy : *default_scrub_policy();
+  const bool blind = policy.blind();
+  const bool interleaved = policy.intermodular();
+  const u32 period = std::max<u32>(1, policy.schedule_period());
+  const int fpb = options_.fpgas_per_board;
+  report.scrub_policy = policy.name();
+
+  // Frame sensitivity for ranking policies: explicit options win, otherwise
+  // mined from this payload's own sensitivity map (sum per frame, so the
+  // unordered-set iteration order cannot matter).
+  std::vector<u32> mined;
+  if (options_.scrub.frame_sensitivity.empty()) {
+    mined = mine_frame_sensitivity(space, sensitive_bits_);
+  }
+  const std::vector<u32>& sens = options_.scrub.frame_sensitivity.empty()
+                                     ? mined
+                                     : options_.scrub.frame_sensitivity;
+
+  // Compile the policy's pass plans into the board's visit timetable. The
+  // fault manager runs its modules' passes back to back (or interleaved,
+  // for intermodular policies); pass p of the schedule occupies one board
+  // cycle, and the whole schedule repeats every super-cycle. Visits within
+  // a pass occupy uniform slots, exactly like the fixed-rotation model this
+  // generalizes: for the default full-scan policy the super-cycle IS the
+  // legacy board cycle and every phase below reproduces it bit-for-bit.
   const SelectMapPort port(design_->space.get(), options_.scrub.timing);
-  const SimTime device_pass = port.full_readback_cost();
-  const SimTime board_cycle = device_pass * static_cast<i64>(options_.fpgas_per_board);
-  report.scrub_cycle_per_board = board_cycle;
+  struct VisitSlot {
+    double start_s = 0.0;  ///< start of this pass's board cycle in the super
+    double cycle_s = 0.0;  ///< duration of that board cycle
+    u32 pos = 0;           ///< slot within the pass
+    u32 len = 0;           ///< visits in the pass
+  };
+  std::vector<std::vector<VisitSlot>> visit_slots(space.frame_count());
+  SimTime super_cycle;
+  u64 scheduled_bytes_per_device = 0;
+  u64 visits_per_super = 0;
+  u64 unmasked_visits_per_super = 0;
+  {
+    std::vector<std::vector<u32>> pass_visits(period);
+    std::vector<SimTime> pass_cost(period);
+    std::vector<u32> plan;
+    for (u32 p = 0; p < period; ++p) {
+      ScrubPolicyContext ctx;
+      ctx.frame_count = space.frame_count();
+      ctx.module_count = static_cast<u32>(fpb);
+      ctx.pass_index = p;
+      ctx.frame_sensitivity = sens.empty() ? nullptr : &sens;
+      policy.plan_pass(ctx, plan);
+      for (const u32 gf : plan) {
+        const FrameOp op = policy.frame_op(ctx, gf);
+        if (op == FrameOp::kSkip) continue;
+        // Blind writes never touch masked (live-state) frames.
+        if (op == FrameOp::kBlindWrite && codebook_.is_masked(gf)) continue;
+        pass_visits[p].push_back(gf);
+        pass_cost[p] += port.frame_cost(space.frame_of_global(gf));
+      }
+    }
+    SimTime start;
+    for (u32 p = 0; p < period; ++p) {
+      const SimTime cycle = pass_cost[p] * static_cast<i64>(fpb);
+      const u32 len = static_cast<u32>(pass_visits[p].size());
+      for (u32 pos = 0; pos < len; ++pos) {
+        const u32 gf = pass_visits[p][pos];
+        visit_slots[gf].push_back({start.sec(), cycle.sec(), pos, len});
+        scheduled_bytes_per_device +=
+            (space.frame_bits(space.frame_of_global(gf).kind) + 7) / 8;
+        ++visits_per_super;
+        if (!codebook_.is_masked(gf)) ++unmasked_visits_per_super;
+      }
+      start += cycle;
+    }
+    super_cycle = start;
+  }
+  const double super_s = super_cycle.sec();
+  report.scrub_cycle_per_board =
+      period == 1 ? super_cycle : SimTime::seconds(super_s / period);
 
   const double per_device_rate_s =
       options_.environment.upset_rate_per_bit_s *
@@ -65,23 +137,35 @@ MissionReport Payload::run_mission(SimTime duration) {
                                                   report.devices) /
       (1.0 - options_.hidden_state_fraction);
 
-  // Visit time of (device, frame): within a board cycle, device slot
-  // d_in_board starts at d*device_pass; frame g lands proportionally within
-  // the device pass.
+  // Next visit time of (device, frame): the earliest of the frame's slots,
+  // phased by this device's module position within the board cycle.
   auto next_visit = [&](std::size_t dev, u32 gf, SimTime now) -> SimTime {
-    const int in_board = static_cast<int>(dev) % options_.fpgas_per_board;
-    const double frac =
-        (static_cast<double>(in_board) +
-         static_cast<double>(gf) / static_cast<double>(space.frame_count())) /
-        static_cast<double>(options_.fpgas_per_board);
-    const double cycle_s = board_cycle.sec();
+    const int in_board = static_cast<int>(dev) % fpb;
     const double now_s = now.sec();
-    const double phase = frac * cycle_s;
-    const double k = std::ceil((now_s - phase) / cycle_s);
-    return SimTime::seconds(phase + std::max(0.0, k) * cycle_s);
+    double best_s = -1.0;
+    for (const VisitSlot& s : visit_slots[gf]) {
+      double frac;
+      if (interleaved) {
+        // Intermodular staggering: the manager rotates across its modules
+        // after every frame instead of finishing a device first.
+        frac = (static_cast<double>(s.pos) * static_cast<double>(fpb) +
+                static_cast<double>(in_board)) /
+               (static_cast<double>(s.len) * static_cast<double>(fpb));
+      } else {
+        frac = (static_cast<double>(in_board) +
+                static_cast<double>(s.pos) / static_cast<double>(s.len)) /
+               static_cast<double>(fpb);
+      }
+      const double phase = s.start_s + frac * s.cycle_s;
+      const double k = std::ceil((now_s - phase) / super_s);
+      const double t = phase + std::max(0.0, k) * super_s;
+      if (best_s < 0.0 || t < best_s) best_s = t;
+    }
+    return SimTime::seconds(best_s);
   };
 
   double latency_sum_ms = 0.0;
+  u64 repair_write_bytes = 0;
 
   // Event queue built on the fly: march through upset arrivals; between
   // them, resolve pending detections.
@@ -90,14 +174,8 @@ MissionReport Payload::run_mission(SimTime duration) {
                                    ? options_.full_reconfig_interval
                                    : SimTime::hours(1e9);
 
-  struct Pending {
-    std::size_t dev;
-    std::size_t idx;  // into outstanding
-    SimTime when;
-  };
-
   auto resolve_until = [&](SimTime horizon) {
-    // Repeatedly find the earliest pending detection before `horizon`.
+    // Repeatedly find the earliest pending scrub visit before `horizon`.
     for (;;) {
       SimTime best = horizon;
       std::size_t best_dev = devices_.size();
@@ -117,22 +195,26 @@ MissionReport Payload::run_mission(SimTime duration) {
         }
       }
       if (best_dev == devices_.size()) break;
-      // Execute the detection: real readback + CRC check + repair.
+      // Execute the visit.
       Device& dev = devices_[best_dev];
       auto o = dev.outstanding[best_idx];
       const BitAddress addr = space.address_of_linear(o.linear_bit);
       const u32 gf = space.global_frame_index(addr.frame);
-      const BitVector data = dev.sim->read_frame(addr.frame, true);
-      VSCRUB_CHECK(!codebook_.check(gf, data),
-                   "mission: CRC failed to flag a detectable upset");
-      ++dev.report.detected;
-      ++report.detected;
-      const double latency_ms = (best - o.at).ms() +
-                                options_.scrub.error_handling_overhead.ms();
-      latency_sum_ms += latency_ms;
-      report.detection_latency_ms.push_back(latency_ms);
-      report.max_detection_latency_ms =
-          std::max(report.max_detection_latency_ms, latency_ms);
+      double latency_ms = 0.0;
+      if (!blind) {
+        // Detection: real readback + CRC check.
+        const BitVector data = dev.sim->read_frame(addr.frame, true);
+        VSCRUB_CHECK(!codebook_.check(gf, data),
+                     "mission: CRC failed to flag a detectable upset");
+        ++dev.report.detected;
+        ++report.detected;
+        latency_ms = (best - o.at).ms() +
+                     options_.scrub.error_handling_overhead.ms();
+        latency_sum_ms += latency_ms;
+        report.detection_latency_ms.push_back(latency_ms);
+        report.max_detection_latency_ms =
+            std::max(report.max_detection_latency_ms, latency_ms);
+      }
       FlashStore::FetchStatus fetch;
       const BitVector golden = flash_.fetch_frame(gf, &fetch);
       if (fetch.uncorrectable > 0) {
@@ -158,16 +240,27 @@ MissionReport Payload::run_mission(SimTime duration) {
       dev.sim->write_frame(addr.frame, golden);
       ++dev.report.repaired;
       ++report.repaired;
-      if (options_.scrub.reset_after_repair) {
-        dev.sim->reset();
-        ++dev.report.resets;
-        ++report.resets;
-      }
-      if (options_.trace) {
-        options_.trace->event("mission_repair", best)
+      if (!blind) {
+        // Interrupt-driven repairs are extra port traffic; blind rewrites
+        // are already counted in the scheduled bandwidth.
+        repair_write_bytes += (space.frame_bits(addr.frame.kind) + 7) / 8;
+        if (options_.scrub.reset_after_repair) {
+          dev.sim->reset();
+          ++dev.report.resets;
+          ++report.resets;
+        }
+        if (options_.trace) {
+          options_.trace->event("mission_repair", best)
+              .f("dev", static_cast<u64>(best_dev))
+              .f("frame", gf)
+              .f("latency_ms", latency_ms);
+        }
+      } else if (options_.trace) {
+        // A blind rewrite silently absorbs the upset: no interrupt, no
+        // detection record, no reset.
+        options_.trace->event("mission_blind_scrub", best)
             .f("dev", static_cast<u64>(best_dev))
-            .f("frame", gf)
-            .f("latency_ms", latency_ms);
+            .f("frame", gf);
       }
       if (o.functional) {
         dev.report.corrupted_time += best - o.at;
@@ -230,9 +323,12 @@ MissionReport Payload::run_mission(SimTime duration) {
       const BitAddress addr = space.address_of_linear(o.linear_bit);
       dev.sim->flip_config_bit(addr);
       o.functional = sensitive_bits_.count(o.linear_bit) != 0;
-      o.detectable =
-          !codebook_.is_masked(space.global_frame_index(addr.frame));
+      const u32 gf = space.global_frame_index(addr.frame);
+      // Scrubbable = unmasked and actually on the policy's timetable (for
+      // every built-in policy those coincide).
+      o.detectable = !codebook_.is_masked(gf) && !visit_slots[gf].empty();
     }
+    if (o.functional) ++report.functional_upsets;
     if (options_.trace) {
       options_.trace->event("upset", now)
           .f("dev", static_cast<u64>(d))
@@ -250,19 +346,15 @@ MissionReport Payload::run_mission(SimTime duration) {
   // legacy rng stream — and everything simulated above — is untouched.
   if (options_.scrub.link_faults.enabled()) {
     const ScrubLinkFaults& lf = options_.scrub.link_faults;
-    u32 unmasked = 0;
-    for (u32 gf = 0; gf < space.frame_count(); ++gf) {
-      if (!codebook_.is_masked(gf)) ++unmasked;
-    }
-    const double cycle_s = board_cycle.sec();
     const double dev_count = static_cast<double>(devices_.size());
     const double visits_all =
-        dev_count * static_cast<double>(space.frame_count()) / cycle_s;
+        dev_count * static_cast<double>(visits_per_super) / super_s;
     const double visits_unmasked =
-        dev_count * static_cast<double>(unmasked) / cycle_s;
+        dev_count * static_cast<double>(unmasked_visits_per_super) / super_s;
     // A noise flip on an in-sync unmasked frame fails its CRC; a timeout can
-    // hit any frame's transfer.
-    const double rate_noise = visits_unmasked * lf.readback_flip_prob;
+    // hit any frame's transfer. A blind policy never reads back, so readback
+    // noise cannot raise alarms at all.
+    const double rate_noise = blind ? 0.0 : visits_unmasked * lf.readback_flip_prob;
     const double rate_timeout = visits_all * lf.transfer_timeout_prob;
     const double rate_total = rate_noise + rate_timeout;
     if (rate_total > 0.0) {
@@ -313,10 +405,18 @@ MissionReport Payload::run_mission(SimTime duration) {
   report.mean_detection_latency_ms =
       report.detected ? latency_sum_ms / static_cast<double>(report.detected)
                       : 0.0;
+  report.mttr_ms = report.functional_upsets
+                       ? corrupted_total.ms() /
+                             static_cast<double>(report.functional_upsets)
+                       : 0.0;
+  report.scrub_bandwidth_bytes_per_s =
+      static_cast<double>(devices_.size()) *
+          static_cast<double>(scheduled_bytes_per_device) / super_s +
+      static_cast<double>(repair_write_bytes) / duration.sec();
   report.observed_upsets_per_hour =
       static_cast<double>(report.upsets_total) / duration.sec() * 3600.0;
-  report.scrub_passes =
-      static_cast<u64>(duration.sec() / board_cycle.sec());
+  report.scrub_passes = static_cast<u64>(duration.sec() / super_s *
+                                         static_cast<double>(period));
   report.flash_stats = flash_.stats();
   for (const auto& dev : devices_) report.per_device.push_back(dev.report);
   if (options_.metrics != nullptr) {
@@ -332,6 +432,7 @@ void Payload::fill_mission_metrics(const MissionReport& report,
   metrics.counter("mission_repaired").add(report.repaired);
   metrics.counter("mission_resets").add(report.resets);
   metrics.counter("mission_hidden_upsets").add(report.hidden_upsets);
+  metrics.counter("mission_functional_upsets").add(report.functional_upsets);
   metrics.counter("mission_full_reconfigs").add(report.full_reconfigs);
   metrics.counter("mission_false_alarms").add(report.false_alarms);
   metrics.counter("mission_false_repairs").add(report.false_repairs);
@@ -342,6 +443,9 @@ void Payload::fill_mission_metrics(const MissionReport& report,
   metrics.counter("mission_flash_escalations").add(report.flash_escalations);
   metrics.counter("mission_flash_ecc_corrected").add(report.flash_stats.corrected);
   metrics.set_gauge("mission_availability", report.availability);
+  metrics.set_gauge("mission_mttr_ms", report.mttr_ms);
+  metrics.set_gauge("mission_scrub_bandwidth_bytes_per_s",
+                    report.scrub_bandwidth_bytes_per_s);
   metrics.set_gauge("mission_duration_hours", report.duration.sec() / 3600.0);
   Histogram& lat = metrics.histogram("mission_detection_latency_ms");
   for (const double ms : report.detection_latency_ms) lat.record(ms);

@@ -11,6 +11,7 @@
 // something are executed against the device model, with a real CRC check).
 #pragma once
 
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -76,6 +77,18 @@ struct MissionReport {
   double predicted_upsets_per_hour = 0.0;
   SimTime scrub_cycle_per_board;  ///< modeled full cycle over 3 devices
   u64 scrub_passes = 0;           ///< board scrub cycles elapsed
+  /// Upsets that corrupted design function (sensitive config bits or
+  /// critical half-latches) — the MTTR denominator.
+  u64 functional_upsets = 0;
+  /// Mean time-to-repair: average duration of functional corruption per
+  /// functional upset (scrub repair, escalation, full reconfig, or mission
+  /// end, whichever cleared it). The per-policy racing figure of merit.
+  double mttr_ms = 0.0;
+  /// Mean configuration-port traffic: the policy's scheduled transfer bytes
+  /// per super-cycle across all devices, plus executed repair writes.
+  double scrub_bandwidth_bytes_per_s = 0.0;
+  /// Name of the scrub policy this mission ran under.
+  std::string scrub_policy;
   FlashStore::Stats flash_stats;
   // Scrub-path fault accounting (all zero with an ideal link and pristine
   // flash):

@@ -127,7 +127,7 @@ TEST(ArchVariants, BitGranularRepairPreservesDynamicState) {
   harness.configure();
   FlashStore flash(design.bitstream);
   ScrubberOptions options;
-  options.bit_granular_repair = true;
+  options.repair_mode = RepairMode::kBitGranular;
   options.mask_dynamic_frames = false;  // force detection through LUT frames
   options.reset_after_repair = false;
   Scrubber scrubber(design, fabric, flash, options);

@@ -78,6 +78,14 @@ TEST(Cli, NormalizedFlagsPresentWhereTheyApply) {
     EXPECT_TRUE(has(cmd, "--scrub-faults")) << cmd->name;
     EXPECT_TRUE(has(cmd, "--json")) << cmd->name;
   }
+  // The v3 policy flag: same spelling on every command that runs missions,
+  // and the registry is browsable via a dedicated command.
+  const CliCommand* submit = cli_find("submit");
+  ASSERT_NE(submit, nullptr);
+  for (const CliCommand* cmd : {mission, fleet, submit}) {
+    EXPECT_TRUE(has(cmd, "--scrub-policy")) << cmd->name;
+  }
+  EXPECT_NE(cli_find("policies"), nullptr);
 }
 
 TEST(Cli, ParseAcceptsDeclaredFlagsOnly) {

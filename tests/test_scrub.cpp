@@ -130,7 +130,8 @@ TEST(Scrubber, RmwRepairPreservesDynamicState) {
   for (const bool rmw : {false, true}) {
     ScrubFixture fx(designs::fir_preproc(3, 4), device_tiny(12, 12));
     ScrubberOptions options;
-    options.rmw_repair = rmw;
+    options.repair_mode =
+        rmw ? RepairMode::kReadModifyWrite : RepairMode::kGoldenOverwrite;
     options.mask_dynamic_frames = false;  // force repair through LUT frames
     options.reset_after_repair = false;
     Scrubber scrubber(fx.design, fx.sim, fx.flash, options);

@@ -1,0 +1,425 @@
+// API v3 scrub-policy laboratory: registry contract, option validation, the
+// bit-identity guarantee (explicit readback_crc == no-policy legacy path, at
+// both the Scrubber-pass and whole-mission level), the per-pass timing
+// invariant, and fleet/race determinism across thread counts for every
+// registered policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/vscrub.h"
+
+namespace vscrub {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(PolicyRegistry, FourPoliciesInTableOrder) {
+  const std::vector<std::string>& names = scrub_policy_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "readback_crc");
+  EXPECT_EQ(names[1], "blind");
+  EXPECT_EQ(names[2], "priority");
+  EXPECT_EQ(names[3], "staggered");
+  for (const std::string& n : names) {
+    EXPECT_EQ(make_scrub_policy(n)->name(), n);
+  }
+}
+
+TEST(PolicyRegistry, DefaultIsTheReadbackCrcLoop) {
+  EXPECT_STREQ(default_scrub_policy()->name(), "readback_crc");
+  // Empty name = "keep the default", for options plumbing.
+  EXPECT_STREQ(make_scrub_policy("")->name(), "readback_crc");
+  EXPECT_FALSE(default_scrub_policy()->blind());
+  EXPECT_FALSE(default_scrub_policy()->intermodular());
+  EXPECT_EQ(default_scrub_policy()->schedule_period(), 1u);
+}
+
+TEST(PolicyRegistry, UnknownNameThrowsTypedErrorListingRegistry) {
+  try {
+    make_scrub_policy("scrub_harder");
+    FAIL() << "unknown policy accepted";
+  } catch (const ScrubConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scrub_harder"), std::string::npos);
+    EXPECT_NE(what.find("readback_crc"), std::string::npos);
+    EXPECT_NE(what.find("staggered"), std::string::npos);
+  }
+}
+
+TEST(PolicyRegistry, ParseListGrammar) {
+  EXPECT_TRUE(parse_scrub_policy_list("").empty());
+  EXPECT_EQ(parse_scrub_policy_list("all"), scrub_policy_names());
+  const std::vector<std::string> two = parse_scrub_policy_list("blind,priority");
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], "blind");
+  EXPECT_EQ(two[1], "priority");
+  EXPECT_THROW(parse_scrub_policy_list("blind,typo"), ScrubConfigError);
+  EXPECT_THROW(parse_scrub_policy_list(","), ScrubConfigError);
+}
+
+TEST(PolicyRegistry, RepairModeNames) {
+  EXPECT_STREQ(repair_mode_name(RepairMode::kGoldenOverwrite),
+               "golden_overwrite");
+  EXPECT_STREQ(repair_mode_name(RepairMode::kReadModifyWrite),
+               "read_modify_write");
+  EXPECT_STREQ(repair_mode_name(RepairMode::kBitGranular), "bit_granular");
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(PolicyValidation, BlindRejectsContradictoryOptions) {
+  ScrubberOptions o;
+  o.policy = make_scrub_policy("blind");
+  validate_scrub_options(o);  // golden overwrite + masked frames: fine
+
+  ScrubberOptions rmw = o;
+  rmw.repair_mode = RepairMode::kReadModifyWrite;
+  EXPECT_THROW(validate_scrub_options(rmw), ScrubConfigError);
+
+  ScrubberOptions granular = o;
+  granular.repair_mode = RepairMode::kBitGranular;
+  EXPECT_THROW(validate_scrub_options(granular), ScrubConfigError);
+
+  ScrubberOptions unmasked = o;
+  unmasked.mask_dynamic_frames = false;
+  EXPECT_THROW(validate_scrub_options(unmasked), ScrubConfigError);
+
+  ScrubberOptions zeroed = o;
+  zeroed.zeroed_dynamic_codebook = true;
+  EXPECT_THROW(validate_scrub_options(zeroed), ScrubConfigError);
+}
+
+TEST(PolicyValidation, ScrubberCtorEnforcesValidation) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  FabricSim sim(design.space);
+  FlashStore flash(design.bitstream);
+  ScrubberOptions o;
+  o.policy = make_scrub_policy("blind");
+  o.repair_mode = RepairMode::kBitGranular;
+  EXPECT_THROW(Scrubber(design, sim, flash, o), ScrubConfigError);
+}
+
+// ------------------------------------------------------------ plan shapes
+
+TEST(PolicyPlans, PriorityVisitsHotEveryPassColdEveryStride) {
+  std::vector<u32> sens(12, 0);
+  sens[3] = 9;
+  sens[7] = 2;
+  sens[11] = 5;
+  const ScrubPolicyPtr policy = make_scrub_policy("priority");
+  ScrubPolicyContext ctx;
+  ctx.frame_count = 12;
+  ctx.frame_sensitivity = &sens;
+  const u32 period = policy->schedule_period();
+  ASSERT_GE(period, 2u);
+  std::vector<u32> order;
+  std::vector<u32> visits(12, 0);
+  for (u64 p = 0; p < period; ++p) {
+    ctx.pass_index = p;
+    policy->plan_pass(ctx, order);
+    // Hottest first, every pass.
+    ASSERT_GE(order.size(), 3u);
+    EXPECT_EQ(order[0], 3u);
+    EXPECT_EQ(order[1], 11u);
+    EXPECT_EQ(order[2], 7u);
+    // Each pass is a strict subset of the device — that is the speedup.
+    EXPECT_LT(order.size(), 12u);
+    for (const u32 gf : order) ++visits[gf];
+  }
+  for (u32 gf = 0; gf < 12; ++gf) {
+    const bool hot = sens[gf] > 0;
+    EXPECT_EQ(visits[gf], hot ? period : 1u) << "frame " << gf;
+  }
+}
+
+TEST(PolicyPlans, PriorityDegradesToScanOrderWithoutSensitivity) {
+  const ScrubPolicyPtr policy = make_scrub_policy("priority");
+  ScrubPolicyContext ctx;
+  ctx.frame_count = 5;
+  std::vector<u32> order;
+  policy->plan_pass(ctx, order);
+  EXPECT_EQ(order, (std::vector<u32>{0, 1, 2, 3, 4}));
+}
+
+TEST(PolicyPlans, BlindAndStaggeredTraits) {
+  const ScrubPolicyPtr blind = make_scrub_policy("blind");
+  EXPECT_TRUE(blind->blind());
+  ScrubPolicyContext ctx;
+  ctx.frame_count = 3;
+  EXPECT_EQ(blind->frame_op(ctx, 0), FrameOp::kBlindWrite);
+  const ScrubPolicyPtr staggered = make_scrub_policy("staggered");
+  EXPECT_TRUE(staggered->intermodular());
+  EXPECT_FALSE(staggered->blind());
+}
+
+TEST(PolicyPlans, MineFrameSensitivityCountsPerGlobalFrame) {
+  const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
+  const ConfigSpace& space = *design.space;
+  std::unordered_set<u64> bits;
+  bits.insert(0);
+  bits.insert(1);
+  bits.insert(space.total_bits() / 2);
+  bits.insert(space.total_bits() + 17);  // out of range: ignored
+  const std::vector<u32> counts = mine_frame_sensitivity(space, bits);
+  ASSERT_EQ(counts.size(), space.frame_count());
+  u64 total = 0;
+  for (const u32 c : counts) total += c;
+  EXPECT_EQ(total, 3u);
+  // Adjacent linear bits land in the same frame; its count reflects both.
+  const u32 gf0 = space.global_frame_index(space.address_of_linear(0).frame);
+  const u32 gf1 = space.global_frame_index(space.address_of_linear(1).frame);
+  ASSERT_EQ(gf0, gf1);
+  EXPECT_EQ(counts[gf0], 2u);
+}
+
+// --------------------------------------------- scrubber-level equivalence
+
+struct ScrubFixture {
+  PlacedDesign design;
+  FabricSim sim;
+  DesignHarness harness;
+  FlashStore flash;
+
+  explicit ScrubFixture(const ScrubFixture&) = delete;
+  ScrubFixture()
+      : design(compile(designs::counter_adder(8), device_tiny(8, 8))),
+        sim(design.space),
+        harness(design, sim),
+        flash(design.bitstream) {
+    harness.configure();
+  }
+};
+
+void expect_pass_equal(const ScrubPassResult& a, const ScrubPassResult& b) {
+  EXPECT_EQ(a.frames_checked, b.frames_checked);
+  EXPECT_EQ(a.errors_found, b.errors_found);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.resets, b.resets);
+  EXPECT_EQ(a.blind_writes, b.blind_writes);
+  EXPECT_EQ(a.false_alarms, b.false_alarms);
+  EXPECT_EQ(a.pass_time.ps(), b.pass_time.ps());
+  EXPECT_EQ(a.clean_cost.ps(), b.clean_cost.ps());
+  EXPECT_EQ(a.fault_overhead.ps(), b.fault_overhead.ps());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].global_frame, b.events[i].global_frame);
+    EXPECT_EQ(a.events[i].time.ps(), b.events[i].time.ps());
+    EXPECT_EQ(a.events[i].repaired, b.events[i].repaired);
+    EXPECT_EQ(a.events[i].reset_issued, b.events[i].reset_issued);
+  }
+}
+
+TEST(PolicyEquivalence, ExplicitReadbackCrcMatchesLegacyPassBitForBit) {
+  ScrubFixture legacy;
+  ScrubFixture v3;
+  ScrubberOptions explicit_options;
+  explicit_options.policy = make_scrub_policy("readback_crc");
+  Scrubber legacy_scrubber(legacy.design, legacy.sim, legacy.flash, {});
+  Scrubber v3_scrubber(v3.design, v3.sim, v3.flash, explicit_options);
+  EXPECT_STREQ(legacy_scrubber.policy().name(), "readback_crc");
+
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    const u64 lin = rng.uniform(legacy.design.space->total_bits());
+    const BitAddress addr = legacy.design.space->address_of_linear(lin);
+    legacy_scrubber.insert_artificial_seu(addr);
+    v3_scrubber.insert_artificial_seu(addr);
+    const ScrubPassResult a = legacy_scrubber.scrub_pass(&legacy.harness);
+    const ScrubPassResult b = v3_scrubber.scrub_pass(&v3.harness);
+    expect_pass_equal(a, b);
+    // A pass with repairs also spends error-handling + repair-write + reset
+    // time, on top of the scheduled scan and the link-fault overhead.
+    EXPECT_GE(a.pass_time.ps(), (a.clean_cost + a.fault_overhead).ps());
+    EXPECT_EQ(a.clean_cost.ps(), legacy_scrubber.clean_pass_cost().ps());
+  }
+  // The documented timing invariant is exact for an error-free pass.
+  const ScrubPassResult clean_a = legacy_scrubber.scrub_pass(&legacy.harness);
+  const ScrubPassResult clean_b = v3_scrubber.scrub_pass(&v3.harness);
+  expect_pass_equal(clean_a, clean_b);
+  EXPECT_EQ(clean_a.errors_found, 0u);
+  EXPECT_EQ(clean_a.pass_time.ps(),
+            (clean_a.clean_cost + clean_a.fault_overhead).ps());
+  EXPECT_EQ(legacy_scrubber.elapsed().ps(), v3_scrubber.elapsed().ps());
+  EXPECT_EQ(legacy_scrubber.total_errors(), v3_scrubber.total_errors());
+}
+
+TEST(PolicyEquivalence, BlindPassRepairsWithoutDetecting) {
+  ScrubFixture fx;
+  ScrubberOptions o;
+  o.policy = make_scrub_policy("blind");
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, o);
+  const BitAddress addr = fx.design.space->address_of_linear(4321);
+  scrubber.insert_artificial_seu(addr);
+  EXPECT_NE(fx.sim.config_bit(addr), fx.design.bitstream.get_bit(addr));
+
+  const ScrubPassResult pass = scrubber.scrub_pass(&fx.harness);
+  EXPECT_EQ(pass.errors_found, 0u);
+  EXPECT_EQ(pass.repairs, 0u);
+  EXPECT_EQ(pass.resets, 0u);
+  EXPECT_GT(pass.blind_writes, 0u);
+  EXPECT_EQ(pass.pass_time.ps(),
+            (pass.clean_cost + pass.fault_overhead).ps());
+  // The upset is gone all the same.
+  EXPECT_EQ(fx.sim.config_bit(addr), fx.design.bitstream.get_bit(addr));
+  // A follow-up CRC scan confirms the fabric is clean.
+  ScrubberOptions check;
+  Scrubber checker(fx.design, fx.sim, fx.flash, check);
+  EXPECT_EQ(checker.scrub_pass(&fx.harness).errors_found, 0u);
+}
+
+TEST(PolicyEquivalence, PriorityPassTimingInvariantHolds) {
+  ScrubFixture fx;
+  ScrubberOptions o;
+  o.policy = make_scrub_policy("priority");
+  CampaignOptions copts;
+  copts.sample_bits = 2000;
+  const CampaignResult camp = run_campaign(fx.design, copts);
+  o.frame_sensitivity =
+      mine_frame_sensitivity(*fx.design.space, camp.sensitive_set(fx.design));
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, o);
+  for (int pass = 0; pass < 4; ++pass) {
+    const ScrubPassResult r = scrubber.scrub_pass(&fx.harness);
+    EXPECT_EQ(r.pass_time.ps(), (r.clean_cost + r.fault_overhead).ps());
+    EXPECT_LE(r.frames_checked, fx.design.space->frame_count());
+    EXPECT_LT(r.clean_cost.ps(), scrubber.clean_pass_cost().ps())
+        << "priority pass should be shorter than a full scan";
+  }
+}
+
+// ------------------------------------------------- mission / fleet / race
+
+class PolicyFleetFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new PlacedDesign(
+        compile(designs::counter_adder(8), device_tiny(8, 8)));
+    CampaignOptions copts;
+    copts.sample_bits = 4000;
+    const CampaignResult camp = run_campaign(*design_, copts);
+    sensitive_ = new std::unordered_set<u64>(camp.sensitive_set(*design_));
+  }
+  static void TearDownTestSuite() {
+    delete design_;
+    delete sensitive_;
+    design_ = nullptr;
+    sensitive_ = nullptr;
+  }
+
+  static PayloadOptions mission_options() {
+    PayloadOptions o;
+    o.environment.upset_rate_per_bit_s = 2e-7;
+    return o;
+  }
+
+  static PlacedDesign* design_;
+  static std::unordered_set<u64>* sensitive_;
+};
+
+PlacedDesign* PolicyFleetFixture::design_ = nullptr;
+std::unordered_set<u64>* PolicyFleetFixture::sensitive_ = nullptr;
+
+TEST_F(PolicyFleetFixture, ExplicitReadbackCrcMissionMatchesLegacyReport) {
+  PayloadOptions legacy = mission_options();
+  legacy.seed = 7;
+  EventTrace legacy_trace;
+  legacy.trace = &legacy_trace;
+  Payload legacy_payload(*design_, legacy, *sensitive_);
+  const MissionReport a = legacy_payload.run_mission(SimTime::hours(2));
+
+  PayloadOptions v3 = mission_options();
+  v3.seed = 7;
+  EventTrace v3_trace;
+  v3.trace = &v3_trace;
+  v3.scrub.policy = make_scrub_policy("readback_crc");
+  Payload v3_payload(*design_, v3, *sensitive_);
+  const MissionReport b = v3_payload.run_mission(SimTime::hours(2));
+
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(legacy_trace.joined(), v3_trace.joined());
+  EXPECT_EQ(a.scrub_policy, "readback_crc");
+  ASSERT_GT(a.upsets_total, 0u);
+}
+
+TEST_F(PolicyFleetFixture, EveryPolicyFleetIsThreadCountInvariant) {
+  for (const std::string& name : scrub_policy_names()) {
+    FleetOptions options;
+    options.missions = 3;
+    options.base_seed = 50;
+    options.duration = SimTime::hours(1);
+    options.payload = mission_options();
+    options.payload.scrub.policy = make_scrub_policy(name);
+    options.threads = 1;
+    const FleetResult seq = run_fleet(*design_, *sensitive_, options);
+    options.threads = 4;
+    const FleetResult par = run_fleet(*design_, *sensitive_, options);
+    ASSERT_EQ(seq.reports.size(), 3u) << name;
+    for (std::size_t i = 0; i < seq.reports.size(); ++i) {
+      EXPECT_TRUE(seq.reports[i] == par.reports[i])
+          << name << " mission " << i;
+      EXPECT_EQ(seq.reports[i].scrub_policy, name);
+    }
+    EXPECT_EQ(seq.availability_mean, par.availability_mean) << name;
+    EXPECT_EQ(seq.mttr_ms, par.mttr_ms) << name;
+    EXPECT_EQ(seq.scrub_bandwidth_bytes_per_s, par.scrub_bandwidth_bytes_per_s)
+        << name;
+  }
+}
+
+TEST_F(PolicyFleetFixture, BlindMissionRepairsWithoutDetections) {
+  PayloadOptions o = mission_options();
+  o.seed = 9;
+  o.hidden_state_fraction = 0.0;
+  o.scrub.policy = make_scrub_policy("blind");
+  Payload payload(*design_, o, *sensitive_);
+  const MissionReport r = payload.run_mission(SimTime::hours(4));
+  ASSERT_GT(r.upsets_total, 0u);
+  EXPECT_EQ(r.detected, 0u);
+  EXPECT_EQ(r.resets, 0u);
+  EXPECT_GT(r.repaired, 0u);
+  EXPECT_TRUE(r.detection_latency_ms.empty());
+  EXPECT_GT(r.scrub_bandwidth_bytes_per_s, 0.0);
+}
+
+TEST_F(PolicyFleetFixture, RaceHoldsSeedsFixedAcrossPolicies) {
+  PolicyRaceOptions ro;
+  ro.policies = {"readback_crc", "blind"};
+  ro.fleet.missions = 2;
+  ro.fleet.base_seed = 30;
+  ro.fleet.duration = SimTime::hours(1);
+  ro.fleet.payload = mission_options();
+  const PolicyRaceResult race = run_policy_race(*design_, *sensitive_, ro);
+  ASSERT_EQ(race.entries.size(), 2u);
+  EXPECT_EQ(race.entries[0].policy, "readback_crc");
+  EXPECT_EQ(race.entries[1].policy, "blind");
+  // Same upset histories: the sweep differs only in scheduling.
+  EXPECT_EQ(race.entries[0].fleet.upsets_total,
+            race.entries[1].fleet.upsets_total);
+
+  // The readback_crc lane is bit-identical to a plain default-policy fleet.
+  FleetOptions fo = ro.fleet;
+  const FleetResult plain = run_fleet(*design_, *sensitive_, fo);
+  ASSERT_EQ(plain.reports.size(), race.entries[0].fleet.reports.size());
+  for (std::size_t i = 0; i < plain.reports.size(); ++i) {
+    EXPECT_TRUE(plain.reports[i] == race.entries[0].fleet.reports[i]);
+  }
+
+  const std::string json = policy_race_report_json(race).to_json();
+  EXPECT_NE(json.find("\"kind\": \"policy_race\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy_names\": \"readback_crc,blind\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"readback_crc_availability_mean\":"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"blind_mttr_ms\":"), std::string::npos);
+}
+
+TEST_F(PolicyFleetFixture, RaceRejectsUnknownPolicyBeforeRunning) {
+  PolicyRaceOptions ro;
+  ro.policies = {"readback_crc", "typo"};
+  ro.fleet.missions = 1;
+  ro.fleet.duration = SimTime::hours(1);
+  EXPECT_THROW(run_policy_race(*design_, *sensitive_, ro), ScrubConfigError);
+}
+
+}  // namespace
+}  // namespace vscrub

@@ -32,7 +32,7 @@ TEST(ScrubSafety, BaselineMaskedRmwPassIsFunctionalNoop) {
   harness.configure();
   FlashStore flash(design.bitstream);
   ScrubberOptions options;
-  options.rmw_repair = true;
+  options.repair_mode = RepairMode::kReadModifyWrite;
   options.reset_after_repair = false;
   Scrubber scrubber(design, fabric, flash, options);
   ASSERT_GT(design.dynamic_lut_sites.size(), 0u);
@@ -53,7 +53,7 @@ TEST(ScrubSafety, ShadowReadbackRmwRepairPreservesLiveState) {
   harness.configure();
   FlashStore flash(design.bitstream);
   ScrubberOptions options;
-  options.rmw_repair = true;
+  options.repair_mode = RepairMode::kReadModifyWrite;
   options.mask_dynamic_frames = false;  // force repairs through live frames
   options.reset_after_repair = false;
   Scrubber scrubber(design, fabric, flash, options);
@@ -98,7 +98,7 @@ TEST(ScrubSafety, BitGranularRepairPreservesLiveState) {
   harness.configure();
   FlashStore flash(design.bitstream);
   ScrubberOptions options;
-  options.bit_granular_repair = true;
+  options.repair_mode = RepairMode::kBitGranular;
   options.mask_dynamic_frames = false;
   options.reset_after_repair = false;
   Scrubber scrubber(design, fabric, flash, options);
@@ -122,7 +122,7 @@ TEST(ScrubSafety, MaskedRmwPassSafeAcrossAllVariants) {
     harness.configure();
     FlashStore flash(design.bitstream);
     ScrubberOptions options;
-    options.rmw_repair = true;
+    options.repair_mode = RepairMode::kReadModifyWrite;
     options.reset_after_repair = false;
     Scrubber scrubber(design, fabric, flash, options);
     harness.run(24);

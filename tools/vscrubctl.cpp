@@ -213,6 +213,14 @@ void apply_mission_flags(const CliArgs& args, PayloadOptions& options,
   }
 }
 
+void print_fleet_line(const std::string& label, const FleetResult& r) {
+  std::printf("%-14s availability %.6f +/- %.6f  mttr %8.1f ms  "
+              "bw %8.0f B/s  repaired %llu\n",
+              label.c_str(), r.availability_mean, r.availability_ci95,
+              r.mttr_ms, r.scrub_bandwidth_bytes_per_s,
+              static_cast<unsigned long long>(r.repaired));
+}
+
 int cmd_mission(const CliArgs& args) {
   Workbench bench(make_device(args.option("--device", "campaign")));
   const auto design = bench.compile(designs::lfsr_multiplier(10));
@@ -222,6 +230,8 @@ int cmd_mission(const CliArgs& args) {
   PayloadOptions options;
   apply_mission_flags(args, options, design.space->total_bits());
   options.seed = args.option_u64("--seed", 4242);
+  const std::string policy = args.option("--scrub-policy", "");
+  if (!policy.empty()) options.scrub.policy = make_scrub_policy(policy);
   MetricsRegistry metrics;
   EventTrace trace;
   const std::string trace_path = args.option("--trace", "");
@@ -237,8 +247,10 @@ int cmd_mission(const CliArgs& args) {
               static_cast<unsigned long long>(r.upsets_total),
               static_cast<unsigned long long>(r.detected),
               static_cast<unsigned long long>(r.repaired), r.availability);
-  std::printf("scrub cycle %.1f ms/board, detection latency mean %.1f ms\n",
-              r.scrub_cycle_per_board.ms(), r.mean_detection_latency_ms);
+  std::printf("policy %s: scrub cycle %.1f ms/board, detection latency mean "
+              "%.1f ms, mttr %.1f ms\n",
+              r.scrub_policy.c_str(), r.scrub_cycle_per_board.ms(),
+              r.mean_detection_latency_ms, r.mttr_ms);
   if (options.scrub.link_faults.enabled() || options.flash_faults.enabled()) {
     std::printf("scrub faults: %llu false alarms, %llu false repairs, %llu "
                 "timeouts, %llu flash escalations\n",
@@ -269,6 +281,31 @@ int cmd_fleet(const CliArgs& args) {
   options.threads = static_cast<u32>(args.option_u64("--threads", 0));
   options.duration = SimTime::hours(args.option_double("--hours", 24));
   apply_mission_flags(args, options.payload, design.space->total_bits());
+  const std::vector<std::string> policies =
+      parse_scrub_policy_list(args.option("--scrub-policy", ""));
+  if (policies.size() > 1) {
+    // Race mode: the same seed sweep once per policy.
+    PolicyRaceOptions ro;
+    ro.policies = policies;
+    ro.fleet = options;
+    const auto race = bench.policy_race(design, camp.sensitive_set(design), ro);
+    std::printf("%u missions x %.0f h (%s), %zu policies:\n", options.missions,
+                options.duration.sec() / 3600.0,
+                options.payload.environment.name.c_str(),
+                race.entries.size());
+    for (const PolicyRaceEntry& e : race.entries) {
+      print_fleet_line(e.policy, e.fleet);
+    }
+    const std::string json_path = args.option("--json", "");
+    if (!json_path.empty() &&
+        policy_race_report_json(race).write(json_path)) {
+      std::printf("wrote policy race report to %s\n", json_path.c_str());
+    }
+    return 0;
+  }
+  if (policies.size() == 1) {
+    options.payload.scrub.policy = make_scrub_policy(policies[0]);
+  }
   const auto r = bench.fleet(design, camp.sensitive_set(design), options);
   std::printf("%u missions x %.0f h (%s): %llu upsets, %llu detected, %llu "
               "repaired\n",
@@ -355,6 +392,9 @@ std::string submit_payload(const CliArgs& args, const std::string& op) {
   }
   if (args.flag("--flare")) req.set_bool("flare", true);
   if (args.flag("--scrub-faults")) req.set_bool("scrub_faults", true);
+  if (args.flag("--scrub-policy")) {
+    req.set_string("scrub_policy", args.option("--scrub-policy", ""));
+  }
   if (args.flag("--progress")) req.set_bool("progress", true);
   return req.to_json();
 }
@@ -466,6 +506,17 @@ int main(int argc, char** argv) {
     }
     if (name == "devices") {
       std::printf("campaign xcv50 xcv100 xcv300 xcv1000 tiny:RxC\n");
+      return 0;
+    }
+    if (name == "policies") {
+      for (const std::string& p : scrub_policy_names()) {
+        const auto policy = make_scrub_policy(p);
+        std::printf("%-14s %s%s\n", p.c_str(),
+                    policy->blind() ? "blind golden rewrite" : "readback+CRC",
+                    policy->intermodular() ? ", intermodular stagger"
+                    : policy->schedule_period() > 1 ? ", rotating subset"
+                                                    : "");
+      }
       return 0;
     }
     std::fputs(cli_usage().c_str(), stderr);
