@@ -9,6 +9,7 @@
 //     here inverted: we report how much slower our software fabric model is
 //     than the modeled SLAAC-1V hardware, which is exactly the speed-up a
 //     hardware testbed buys.
+#include <algorithm>
 #include <cstdlib>
 
 #include "bench_util.h"
@@ -35,19 +36,34 @@ void run_report() {
   std::printf("exhaustive campaign, modeled: %.1f minutes  (paper: ~20 min)\n",
               bits * iter_us / 60e6);
 
-  // Software wall-clock on the campaign device: the scalar loop against the
-  // 64-lane bit-sliced gang engine, same sampled workload.
+  // Software wall-clock on the campaign device: the scalar loop, the seed
+  // u64 gang engine, and the wide-word engines (256/512 lanes + compiled
+  // eval plan), all over the identical sampled workload. Sensitive-bit
+  // recording stays on so every engine's digest can be compared: the width
+  // sweep is only a valid speedup claim if the verdicts are bit-identical.
   Workbench bench(campaign_device());
   const PlacedDesign design = bench.compile(designs::mult_tree(8));
-  auto sampled = [&](u32 gang_width) {
+  auto sampled = [&](u32 gang_width, const char* gang_isa, bool gang_plan) {
     CampaignOptions copts;
-    copts.sample_bits = 3000;
-    copts.record_sensitive_bits = false;
+    copts.sample_bits = 6000;
+    // Auto-chunking splits a sample this small into 64-bit chunks, which
+    // starves the wide engines (a 512-lane dispatch would never see more
+    // than ~20 candidates). Fixed 2048-bit chunks keep several hundred
+    // eligible bits per batch so lane occupancy reflects the engine, not
+    // the scheduler. Chunking never changes results, only wall clock.
+    copts.chunk_size = 2048;
     copts.injection.gang_width = gang_width;
+    copts.injection.gang_isa = gang_isa;
+    copts.injection.gang_plan = gang_plan;
     return run_campaign(design, copts);
   };
-  const CampaignResult scalar_camp = sampled(1);
-  const CampaignResult camp = sampled(64);
+  const CampaignResult scalar_camp = sampled(1, "auto", true);
+  // The pre-wide baseline: u64 words, interpreted settles (what the seed
+  // engine shipped). The >=4x CI gate measures the wide engines against it.
+  const CampaignResult u64_camp = sampled(64, "scalar", false);
+  const CampaignResult camp = sampled(64, "auto", true);
+  const CampaignResult w256_camp = sampled(256, "auto", true);
+  const CampaignResult w512_camp = sampled(512, "auto", true);
   const double scalar_us_per_bit = scalar_camp.wall_seconds * 1e6 /
                                    static_cast<double>(scalar_camp.injections);
   const double sw_us_per_bit =
@@ -62,6 +78,25 @@ void run_report() {
           ? static_cast<double>(camp.phases.gang_lanes) /
                 static_cast<double>(camp.phases.gang_runs)
           : 0.0;
+  const auto rate = [](const CampaignResult& r) {
+    return static_cast<double>(r.injections) / r.wall_seconds;
+  };
+  // Gang-phase throughput: candidate lanes retired per second of wall clock
+  // spent inside gang dispatches. The campaign-level bits/s above mixes in
+  // the scalar-path bits (pruned short-circuits, BRAM columns) and the
+  // corrupt/repair bookkeeping, which the engine width cannot touch — this
+  // is the number the width sweep actually accelerates, so the CI speedup
+  // gate reads it.
+  const auto gang_rate = [](const CampaignResult& r) {
+    return r.phases.gang_s > 0.0
+               ? static_cast<double>(r.phases.gang_lanes) / r.phases.gang_s
+               : 0.0;
+  };
+  const u64 want_digest = scalar_camp.sensitive_digest(design);
+  const bool digests_match = want_digest == u64_camp.sensitive_digest(design) &&
+                             want_digest == camp.sensitive_digest(design) &&
+                             want_digest == w256_camp.sensitive_digest(design) &&
+                             want_digest == w512_camp.sensitive_digest(design);
   rule();
   std::printf("software fabric model, scalar loop: %.0f us per injected bit\n",
               scalar_us_per_bit);
@@ -69,13 +104,38 @@ void run_report() {
               "(%.1fx; %.1f lanes/run, %.0f%% early exit)\n",
               sw_us_per_bit, scalar_us_per_bit / sw_us_per_bit, lanes_per_run,
               early_exit_rate * 100);
-  std::printf("hardware-testbed speed-up implied: %.0fx per bit — and the\n"
-              "paper's comparison point, gate-level software simulation of\n"
-              "a V1000-scale design, is orders of magnitude slower still.\n",
-              sw_us_per_bit / iter_us);
-  std::printf("exhaustive XCV1000 campaign at software speed: %.1f hours vs "
-              "%.1f minutes in hardware\n\n",
-              bits * sw_us_per_bit / 3600e6, bits * iter_us / 60e6);
+  std::printf("width sweep (same workload, digests %s; gang-phase rate = "
+              "lanes retired per second inside gang dispatches):\n",
+              digests_match ? "identical" : "DIVERGED");
+  std::printf("  u64 interpreted (seed engine): %7.0f bits/s  gang %7.0f "
+              "lanes/s\n",
+              rate(u64_camp), gang_rate(u64_camp));
+  std::printf("  64-lane + eval plan:           %7.0f bits/s  gang %7.0f "
+              "lanes/s (%.1fx)\n",
+              rate(camp), gang_rate(camp),
+              gang_rate(camp) / gang_rate(u64_camp));
+  std::printf("  256-lane + eval plan:          %7.0f bits/s  gang %7.0f "
+              "lanes/s (%.1fx)\n",
+              rate(w256_camp), gang_rate(w256_camp),
+              gang_rate(w256_camp) / gang_rate(u64_camp));
+  std::printf("  512-lane + eval plan:          %7.0f bits/s  gang %7.0f "
+              "lanes/s (%.1fx)\n",
+              rate(w512_camp), gang_rate(w512_camp),
+              gang_rate(w512_camp) / gang_rate(u64_camp));
+  if (sw_us_per_bit >= iter_us) {
+    std::printf("hardware-testbed speed-up implied: %.0fx per bit — and the\n"
+                "paper's comparison point, gate-level software simulation of\n"
+                "a V1000-scale design, is orders of magnitude slower still.\n",
+                sw_us_per_bit / iter_us);
+  } else {
+    std::printf("the ganged software model now retires a bit every %.0f us —\n"
+                "%.1fx faster than the modeled %.0f us hardware iteration,\n"
+                "whose loop is SelectMAP-transfer-bound, not compute-bound.\n",
+                sw_us_per_bit, iter_us / sw_us_per_bit, iter_us);
+  }
+  std::printf("exhaustive XCV1000 campaign at software speed: %.1f minutes vs "
+              "%.1f minutes in modeled hardware\n\n",
+              bits * sw_us_per_bit / 60e6, bits * iter_us / 60e6);
 
   BenchJson json;
   json.set("injections", static_cast<double>(camp.injections));
@@ -90,6 +150,24 @@ void run_report() {
   json.set("gang_lanes_per_run", lanes_per_run);
   json.set("gang_early_exit_rate", early_exit_rate);
   json.set("gang_fallbacks", static_cast<double>(camp.phases.gang_fallbacks));
+  // Width-sweep keys the CI gate reads: the best wide engine's gang-phase
+  // throughput must be >= 4x the seed u64 engine's, with every engine's
+  // sensitive digest identical (a speedup that changes verdicts is a bug,
+  // not a speedup).
+  json.set("u64_bits_per_s", rate(u64_camp));
+  json.set("w64_plan_bits_per_s", rate(camp));
+  json.set("w256_bits_per_s", rate(w256_camp));
+  json.set("w512_bits_per_s", rate(w512_camp));
+  json.set("wide_bits_per_s", std::max(rate(w256_camp), rate(w512_camp)));
+  json.set("u64_gang_lanes_per_s", gang_rate(u64_camp));
+  json.set("w64_plan_gang_lanes_per_s", gang_rate(camp));
+  json.set("w256_gang_lanes_per_s", gang_rate(w256_camp));
+  json.set("w512_gang_lanes_per_s", gang_rate(w512_camp));
+  const double wide_gang =
+      std::max(gang_rate(w256_camp), gang_rate(w512_camp));
+  json.set("wide_gang_lanes_per_s", wide_gang);
+  json.set("wide_speedup_vs_u64", wide_gang / gang_rate(u64_camp));
+  json.set("digest_match", digests_match ? 1.0 : 0.0);
   json.write(bench_json_path("BENCH_injection.json"));
 
   // Full exhaustive sweep of an XCV50-class part — the acceptance workload

@@ -33,8 +33,13 @@ std::vector<CliFlag> campaign_flags() {
       value_flag("--checkpoint", "FILE", "checkpoint/resume file"),
       bool_flag("--progress", "live progress line on stderr"),
       bool_flag("--no-prune", "disable influence-set pruning"),
-      value_flag("--gang-width", "N", "bit-sliced gang lanes (default 64)"),
+      value_flag("--gang-width", "N",
+                 "bit-sliced gang lanes: 1..64, 256, 512 (default 64)"),
       bool_flag("--no-gang", "scalar injections only (gang width 1)"),
+      value_flag("--gang-isa", "T",
+                 "gang SIMD tier: auto|scalar|avx2|avx512 (default auto)"),
+      bool_flag("--no-gang-plan",
+                "interpret gang settles (skip the compiled eval plan)"),
       value_flag("--cache-dir", "DIR", "content-addressed verdict store"),
       value_flag("--json", "FILE", "write a versioned campaign report"),
   };
@@ -126,8 +131,13 @@ std::vector<CliCommand> build_commands() {
            bool_flag("--exhaustive", "inject every configuration bit"),
            bool_flag("--persistence",
                      "classify persistent vs transient failures"),
-           value_flag("--gang-width", "N", "bit-sliced gang lanes (default 64)"),
+           value_flag("--gang-width", "N",
+                      "bit-sliced gang lanes: 1..64, 256, 512 (default 64)"),
            bool_flag("--no-gang", "scalar injections only (gang width 1)"),
+           value_flag("--gang-isa", "T",
+                      "gang SIMD tier: auto|scalar|avx2|avx512 (default auto)"),
+           bool_flag("--no-gang-plan",
+                     "interpret gang settles (skip the compiled eval plan)"),
            value_flag("--seed", "S", "sample / mission seed"),
            value_flag("--hours", "H", "mission duration (default 24)"),
            value_flag("--missions", "N", "fleet missions (default 8)"),

@@ -10,8 +10,9 @@ namespace vscrub {
 namespace {
 
 // VSCK2 added the gang-engine counters to the phase block; VSCK3 added the
-// verdict-store counters and per-sensitive-bit cache provenance.
-const std::string kMagic = "VSCK3";
+// verdict-store counters and per-sensitive-bit cache provenance; VSCK4 added
+// the gang wall-clock to the phase block.
+const std::string kMagic = "VSCK4";
 
 u64 fnv1a(u64 h, u64 v) {
   for (int i = 0; i < 8; ++i) {
@@ -34,6 +35,7 @@ void put_phases(RecordWriter& w, const InjectionPhases& p) {
   w.put_u64(std::bit_cast<u64>(p.run_s));
   w.put_u64(std::bit_cast<u64>(p.repair_s));
   w.put_u64(std::bit_cast<u64>(p.persist_s));
+  w.put_u64(std::bit_cast<u64>(p.gang_s));
   w.put_u64(p.pruned);
   w.put_u64(p.gang_runs);
   w.put_u64(p.gang_lanes);
@@ -47,6 +49,7 @@ InjectionPhases get_phases(RecordReader& r) {
   p.run_s = std::bit_cast<double>(r.get_u64());
   p.repair_s = std::bit_cast<double>(r.get_u64());
   p.persist_s = std::bit_cast<double>(r.get_u64());
+  p.gang_s = std::bit_cast<double>(r.get_u64());
   p.pruned = r.get_u64();
   p.gang_runs = r.get_u64();
   p.gang_lanes = r.get_u64();
@@ -84,9 +87,11 @@ u64 campaign_fingerprint(const PlacedDesign& design,
   h = fnv1a(h, inj.persistence_check);
   h = fnv1a(h, std::bit_cast<u64>(inj.clock_hz));
   h = fnv1a(h, static_cast<u64>(inj.prune_unobservable));
-  // gang_width is deliberately NOT hashed: gang evaluation is result-
-  // invariant (bit-for-bit identical to scalar at any width), so checkpoints
-  // written at one width resume correctly at any other. cache_dir is not
+  // gang_width/gang_isa/gang_plan are deliberately NOT hashed: gang
+  // evaluation is result-invariant (bit-for-bit identical to scalar at any
+  // width, on any SIMD tier, plan compiled or interpreted), so checkpoints
+  // written with one engine configuration resume correctly under any other.
+  // cache_dir is not
   // hashed for the same reason — verdict-store hits replay exactly what a
   // fresh injection would produce, so a checkpoint taken with one cache
   // configuration resumes correctly under any other.

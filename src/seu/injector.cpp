@@ -30,6 +30,13 @@ SeuInjector::SeuInjector(const PlacedDesign& design,
       options_(options),
       sim_(design.space),
       harness_(design, sim_, options.stim_seed) {
+  // Fail fast on unsupported gang options: a campaign should reject a bad
+  // width/ISA at submission, not after hours of scalar injections when the
+  // first gang batch finally dispatches. Width 0/1 means "gang off" and
+  // needs no validation.
+  if (options_.gang_width >= 2) validate_gang_width(options_.gang_width);
+  const SimdIsa requested_isa = parse_simd_isa(options_.gang_isa);
+  if (requested_isa != SimdIsa::kAuto) (void)resolve_simd_isa(requested_isa);
   if (design.dynamic_lut_sites.empty()) {
     options_.warmup_cycles =
         std::min(options_.warmup_cycles, options_.warmup_cycles_no_dynamic);
@@ -74,7 +81,13 @@ std::vector<InjectionResult> SeuInjector::run_gang(
     for (const BitAddress& addr : addrs) out.push_back(inject(addr));
     return out;
   }
-  if (!gang_) gang_ = std::make_unique<GangSim>(*design_);
+  if (!gang_) {
+    gang_ = std::make_unique<GangSim>(*design_,
+                                      GangOptions{}
+                                          .with_width(options_.gang_width)
+                                          .with_isa(parse_simd_isa(options_.gang_isa))
+                                          .with_plan(options_.gang_plan));
+  }
 
   GangSim::RunParams params;
   params.warmup_cycles = options_.warmup_cycles;
@@ -86,7 +99,7 @@ std::vector<InjectionResult> SeuInjector::run_gang(
   params.golden = &golden_;
 
   const std::size_t lanes_per_run =
-      std::min<std::size_t>(options_.gang_width - 1, GangSim::kMaxVariants);
+      static_cast<std::size_t>(gang_->max_variants());
   std::vector<GangSim::LaneResult> lanes(lanes_per_run);
   const SimTime per_bit = modeled_iteration_time();
 
@@ -95,6 +108,7 @@ std::vector<InjectionResult> SeuInjector::run_gang(
     GangSim::RunStats stats;
     {
       PhaseTimer timer(phases_.run_s);
+      PhaseTimer gang_timer(phases_.gang_s);
       gang_->run(addrs.data() + base, n, params, lanes.data(), &stats);
     }
     ++phases_.gang_runs;

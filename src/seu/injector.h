@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bitstream/selectmap.h"
@@ -45,8 +46,20 @@ struct InjectionOptions {
   /// Results are bit-for-bit identical to the scalar loop regardless of
   /// width; <= 1 disables ganging. Only designs without BRAM bindings or
   /// legitimate dynamic LUT state are gang-capable; everything else falls
-  /// back to the scalar path automatically.
+  /// back to the scalar path automatically. Supported widths: 0/1 (gang
+  /// off), 2..64 (u64 engine) and the wide-word engines' 256/512; anything
+  /// else throws GangWidthError at injector construction.
   u32 gang_width = 64;
+  /// SIMD tier for the wide gang engines, by name: "auto" (or empty),
+  /// "scalar", "avx2", "avx512". Performance-only — verdicts are identical
+  /// on every tier. Unknown names throw SimdIsaError at injector
+  /// construction; explicitly requesting a tier this binary/CPU cannot run
+  /// throws there too. Widths <= 64 always execute scalar u64 loops.
+  std::string gang_isa = "auto";
+  /// Run gang golden settles from the ahead-of-time compiled eval plan when
+  /// the design's active cone is acyclic (see sim/eval_plan.h). Scheduling
+  /// only: verdicts and verdict-cache keys are identical with it off.
+  bool gang_plan = true;
 
   // Fluent construction, so call sites can assemble options in one
   // expression instead of mutating an aggregate field-by-field.
@@ -67,6 +80,11 @@ struct InjectionOptions {
   InjectionOptions& with_timing(const SelectMapTiming& t) { timing = t; return *this; }
   InjectionOptions& with_pruning(bool on) { prune_unobservable = on; return *this; }
   InjectionOptions& with_gang_width(u32 w) { gang_width = w; return *this; }
+  InjectionOptions& with_gang_isa(std::string name) {
+    gang_isa = std::move(name);
+    return *this;
+  }
+  InjectionOptions& with_gang_plan(bool on) { gang_plan = on; return *this; }
 };
 
 /// Wall-clock telemetry accumulated across inject() calls; feeds the
@@ -76,6 +94,7 @@ struct InjectionPhases {
   double run_s = 0.0;      ///< clocked run + golden comparison
   double repair_s = 0.0;   ///< incremental scrub restore
   double persist_s = 0.0;  ///< persistence classification window
+  double gang_s = 0.0;     ///< wall clock inside gang dispatches (within run_s)
   u64 pruned = 0;  ///< injections short-circuited by observability pruning
   u64 gang_runs = 0;           ///< gang evaluations dispatched
   u64 gang_lanes = 0;          ///< candidate lanes across all gang runs
@@ -87,6 +106,7 @@ struct InjectionPhases {
     run_s += o.run_s;
     repair_s += o.repair_s;
     persist_s += o.persist_s;
+    gang_s += o.gang_s;
     pruned += o.pruned;
     gang_runs += o.gang_runs;
     gang_lanes += o.gang_lanes;

@@ -567,7 +567,8 @@ void FabricSim::process_tile(u32 t) {
       if (wire_val_[wi] != v) {
         wire_val_[wi] = v;
         // Our out-wires feed the neighbor in the wire's direction.
-        const u32 nb = neighbor_[static_cast<std::size_t>(t) * kDirs + wire / kWiresPerDir];
+        const u32 nb = neighbor_[static_cast<std::size_t>(t) * kDirs +
+                                 static_cast<std::size_t>(wire / kWiresPerDir)];
         if (nb != kNoTile) mark_dirty(nb);
       }
     }

@@ -1,0 +1,35 @@
+// AVX2 instantiation of the gang engine. The target pragma covers ONLY the
+// code lexically inside this namespace region: the prelude has already
+// pulled every std/vscrub dependency in at baseline ISA, so nothing an
+// AVX2-less host could call gets vector codegen, and the namespace keeps
+// these symbols distinct from the other tiers' (no ODR merging of
+// differently-compiled bodies). The facade only calls these factories after
+// __builtin_cpu_supports("avx2") says the host can run them.
+#include "sim/gang_engine_prelude.h"
+
+#if VSCRUB_HAVE_ISA_AVX2
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+
+namespace vscrub {
+namespace gang_avx2 {
+
+#include "sim/wide_word.inc"
+#include "sim/gang_engine.inc"
+
+std::unique_ptr<GangEngineBase> make_engine_256(
+    const PlacedDesign& design, const GangEngineConfig& config) {
+  return std::make_unique<GangEngine<4>>(design, config);
+}
+std::unique_ptr<GangEngineBase> make_engine_512(
+    const PlacedDesign& design, const GangEngineConfig& config) {
+  return std::make_unique<GangEngine<8>>(design, config);
+}
+
+}  // namespace gang_avx2
+}  // namespace vscrub
+
+#pragma GCC pop_options
+
+#endif  // VSCRUB_HAVE_ISA_AVX2

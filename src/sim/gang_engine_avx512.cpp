@@ -1,0 +1,33 @@
+// AVX-512 instantiation of the gang engine. Same isolation scheme as the
+// AVX2 tier (see gang_engine_avx2.cpp): prelude first at baseline ISA, then
+// the pragma scopes 512-bit codegen to this namespace only. f+bw+vl+dq is
+// the feature set the facade's runtime check requires before dispatching
+// here.
+#include "sim/gang_engine_prelude.h"
+
+#if VSCRUB_HAVE_ISA_AVX512
+
+#pragma GCC push_options
+#pragma GCC target("avx512f,avx512bw,avx512vl,avx512dq")
+
+namespace vscrub {
+namespace gang_avx512 {
+
+#include "sim/wide_word.inc"
+#include "sim/gang_engine.inc"
+
+std::unique_ptr<GangEngineBase> make_engine_256(
+    const PlacedDesign& design, const GangEngineConfig& config) {
+  return std::make_unique<GangEngine<4>>(design, config);
+}
+std::unique_ptr<GangEngineBase> make_engine_512(
+    const PlacedDesign& design, const GangEngineConfig& config) {
+  return std::make_unique<GangEngine<8>>(design, config);
+}
+
+}  // namespace gang_avx512
+}  // namespace vscrub
+
+#pragma GCC pop_options
+
+#endif  // VSCRUB_HAVE_ISA_AVX512

@@ -1,0 +1,27 @@
+// Scalar (baseline-ISA) instantiation of the gang engine: every width, no
+// target pragma. This tier must run on any x86-64 (or non-x86) host — it is
+// both the portable fallback and the reference the differential tests pin
+// the AVX tiers against.
+#include "sim/gang_engine_prelude.h"
+
+namespace vscrub {
+namespace gang_scalar {
+
+#include "sim/wide_word.inc"
+#include "sim/gang_engine.inc"
+
+std::unique_ptr<GangEngineBase> make_engine_64(const PlacedDesign& design,
+                                               const GangEngineConfig& config) {
+  return std::make_unique<GangEngine<1>>(design, config);
+}
+std::unique_ptr<GangEngineBase> make_engine_256(
+    const PlacedDesign& design, const GangEngineConfig& config) {
+  return std::make_unique<GangEngine<4>>(design, config);
+}
+std::unique_ptr<GangEngineBase> make_engine_512(
+    const PlacedDesign& design, const GangEngineConfig& config) {
+  return std::make_unique<GangEngine<8>>(design, config);
+}
+
+}  // namespace gang_scalar
+}  // namespace vscrub

@@ -1,0 +1,15 @@
+// Which gang-engine ISA tiers this build can carry. The AVX tiers are built
+// by target-annotating only the engine's own functions (#pragma GCC target
+// inside the per-ISA translation units) — shared inline code stays at the
+// baseline ISA, so nothing outside the runtime-dispatched engine can emit an
+// instruction the host might lack. That mechanism needs x86-64 plus a
+// GCC-compatible compiler; everywhere else only the scalar tier exists.
+#pragma once
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VSCRUB_HAVE_ISA_AVX2 1
+#define VSCRUB_HAVE_ISA_AVX512 1
+#else
+#define VSCRUB_HAVE_ISA_AVX2 0
+#define VSCRUB_HAVE_ISA_AVX512 0
+#endif

@@ -1,893 +1,64 @@
+// GangSim facade: validates the width/ISA options, runs CPU feature
+// detection, and dispatches to the per-tier engine factory. The engine
+// bodies live in gang_engine_{scalar,avx2,avx512}.cpp.
 #include "sim/gang_sim.h"
 
 #include <algorithm>
-#include <bit>
-#include <cstring>
+
+#include "sim/gang_engine.h"
 
 namespace vscrub {
-namespace {
 
-constexpr u32 kSrcPayload = FabricSim::kSrcPayload;
-constexpr u32 kSrcHalfLatch = FabricSim::kSrcHalfLatch;
-constexpr u32 kSrcWire = FabricSim::kSrcWire;
-constexpr u32 kSrcOutput = FabricSim::kSrcOutput;
-constexpr u32 kSrcZero = FabricSim::kSrcZero;
-constexpr u32 kNoTile = FabricSim::kNoTile;
+GangSim::GangSim(const PlacedDesign& design, const GangOptions& options) {
+  validate_gang_width(options.width);
+  width_ = options.width;
 
-constexpr std::size_t zu(int v) { return static_cast<std::size_t>(v); }
-
-/// Lane-parallel 4-input LUT read: Shannon-folds the 16 truth bits down the
-/// four input words. mux_w(s,a,b) selects a where s=1, b where s=0, per lane.
-u64 mux_w(u64 s, u64 a, u64 b) { return b ^ (s & (a ^ b)); }
-
-u64 lut_eval_word(u16 cells, const u64 in[kLutInputs]) {
-  u64 lvl[8];
-  for (int k = 0; k < 8; ++k) {
-    const u64 b0 = (cells >> (2 * k)) & 1 ? ~u64{0} : u64{0};
-    const u64 b1 = (cells >> (2 * k + 1)) & 1 ? ~u64{0} : u64{0};
-    lvl[k] = mux_w(in[0], b1, b0);
-  }
-  for (int k = 0; k < 4; ++k) lvl[k] = mux_w(in[1], lvl[2 * k + 1], lvl[2 * k]);
-  for (int k = 0; k < 2; ++k) lvl[k] = mux_w(in[2], lvl[2 * k + 1], lvl[2 * k]);
-  return mux_w(in[3], lvl[1], lvl[0]);
-}
-
-/// Spreads a word into "which lanes differ from lane 0" form.
-u64 div_spread(u64 w) { return w ^ (u64{0} - (w & 1)); }
-
-bool tile_config_equal(const TileConfig& a, const TileConfig& b) {
-  for (int l = 0; l < kLutsPerClb; ++l) {
-    if (a.lut_cells[l] != b.lut_cells[l] || a.lut_mode[l] != b.lut_mode[l]) {
-      return false;
-    }
-  }
-  for (int p = 0; p < kImuxPins; ++p) {
-    if (a.imux[p] != b.imux[p]) return false;
-  }
-  for (int w = 0; w < kWiresPerClb; ++w) {
-    if (a.omux[w] != b.omux[w]) return false;
-  }
-  for (int f = 0; f < kFfsPerClb; ++f) {
-    if (a.ff_init[f] != b.ff_init[f] || a.ff_used[f] != b.ff_used[f] ||
-        a.ff_byp[f] != b.ff_byp[f]) {
-      return false;
-    }
-  }
-  for (int s = 0; s < kSlicesPerClb; ++s) {
-    if (a.clk_en[s] != b.clk_en[s]) return false;
-  }
-  return true;
-}
-
-}  // namespace
-
-GangSim::GangSim(const PlacedDesign& design)
-    : design_(&design), golden_(design.space), harness_(design, golden_) {
-  VSCRUB_CHECK(design.brams.empty() && design.dynamic_lut_sites.empty(),
-               "gang evaluation requires a BRAM-free design with no dynamic "
-               "LUT state");
-  harness_.configure();
-  // restart() marks the external-const drives dirty without settling them;
-  // settle now so the captured baseline is the true pre-stimulus fixpoint.
-  golden_.eval();
-
-  ntiles_ = golden_.geometry().tile_count();
-  hl_ = &golden_.halflatch_values();
-
-  const std::size_t no = static_cast<std::size_t>(ntiles_) * kClbOutputs;
-  const std::size_t nw = static_cast<std::size_t>(ntiles_) * kWiresPerClb;
-  const std::size_t nf = static_cast<std::size_t>(ntiles_) * kFfsPerClb;
-  base_out_w_.resize(no);
-  base_wire_w_.resize(nw);
-  base_ff_w_.resize(nf);
-  for (std::size_t i = 0; i < no; ++i) {
-    base_out_w_[i] = splat(golden_.out_values()[i]);
-  }
-  for (std::size_t i = 0; i < nw; ++i) {
-    base_wire_w_[i] = splat(golden_.wire_values()[i]);
-  }
-  for (std::size_t i = 0; i < nf; ++i) {
-    base_ff_w_[i] = splat(golden_.ff_state_snapshot()[i]);
-  }
-  out_w_.resize(no);
-  wire_w_.resize(nw);
-  ff_w_.resize(nf);
-
-  base_ovr_mask_.assign(ntiles_, 0);
-  base_ovr_w_.assign(no, 0);
-  drive_mask_.assign(ntiles_, 0);
-  for (const auto& ec : design.external_consts) {
-    const u32 t = golden_.geometry().tile_index(ec.drive.tile);
-    base_ovr_mask_[t] |= static_cast<u8>(1u << ec.drive.out_index);
-    base_ovr_w_[static_cast<std::size_t>(t) * kClbOutputs +
-                ec.drive.out_index] = splat(ec.value ? 1 : 0);
-  }
-  for (const DrivePoint& dp : design.input_drives) {
-    const u32 t = golden_.geometry().tile_index(dp.tile);
-    drives_.push_back({t, dp.out_index});
-    drive_mask_[t] |= static_cast<u8>(1u << dp.out_index);
-  }
-  for (const TapPoint& tp : design.output_taps) {
-    taps_.push_back({golden_.geometry().tile_index(tp.tile), tp.pin});
-  }
-  tap_w_.resize(taps_.size());
-  ovr_mask_.resize(ntiles_);
-  ovr_w_.resize(no);
-
-  base_active_.assign(ntiles_, 0);
-  golden_seq_flag_.assign(ntiles_, 0);
-  for (u32 t = 0; t < ntiles_; ++t) {
-    const FabricSim::Tile& tl = golden_.tile_state(t);
-    // Tiles the harness drives stay processable even when their decode says
-    // inactive (set_drive force-activates them in the scalar path).
-    base_active_[t] = (tl.active || drive_mask_[t] != 0) ? 1 : 0;
-    if (tile_is_sequential(tl)) {
-      golden_seq_flag_[t] = 1;
-      golden_seq_.push_back(t);
-    }
-  }
-  gang_active_.resize(ntiles_);
-
-  dirty_flag_.assign(ntiles_, 0);
-  tile_vhead_.assign(ntiles_, -1);
-  tile_has_var_.assign(ntiles_, 0);
-  tile_div_.assign(ntiles_, 0);
-  div_flag_.assign(ntiles_, 0);
-  pend_slot_.assign(nf, 0);
-  pend_epoch_.assign(nf, 0);
-}
-
-u64 GangSim::resolve_word(u32 enc) const {
-  switch (enc & ~kSrcPayload) {
-    case kSrcHalfLatch: return (*hl_)[enc & kSrcPayload] ? ~u64{0} : u64{0};
-    case kSrcWire: return wire_w_[enc & kSrcPayload];
-    case kSrcOutput: return out_w_[enc & kSrcPayload];
-    default: return 0;
-  }
-}
-
-void GangSim::mark_dirty(u32 t) {
-  if (dirty_flag_[t] || !gang_active_[t]) return;
-  dirty_flag_[t] = 1;
-  dirty_queue_.push_back(t);
-}
-
-void GangSim::mark_neighbors_dirty(u32 t) {
-  for (int d = 0; d < kDirs; ++d) {
-    const u32 nb = golden_.neighbor_index(t, d);
-    if (nb != kNoTile) mark_dirty(nb);
-  }
-}
-
-// Mirrors refresh_tile_activity()'s settle semantics for one lane: zero the
-// values the decode proves quiescent and re-sync registered outputs with the
-// lane's FF bits, then let the event sweep recompute everything live.
-void GangSim::settle_lane_decode(u32 t, int lane, const FabricSim::Tile& cfg,
-                                 const u32* wire_src) {
-  const u64 lm = u64{1} << lane;
-  const std::size_t ob = static_cast<std::size_t>(t) * kClbOutputs;
-  const std::size_t wb = static_cast<std::size_t>(t) * kWiresPerClb;
-  const std::size_t fb = static_cast<std::size_t>(t) * kFfsPerClb;
-  if (!cfg.active) {
-    for (int o = 0; o < kClbOutputs; ++o) out_w_[ob + zu(o)] &= ~lm;
-    for (int w = 0; w < kWiresPerClb; ++w) wire_w_[wb + zu(w)] &= ~lm;
+  const GangEngineConfig config{options.use_plan};
+  if (width_ <= 64) {
+    // One limb leaves nothing to vectorize: the u64 engine is the widest
+    // sensible codegen regardless of what the CPU offers. Still resolve the
+    // requested ISA so an explicit unusable tier errors identically at
+    // every width.
+    if (options.isa != SimdIsa::kAuto) (void)resolve_simd_isa(options.isa);
+    isa_ = SimdIsa::kScalar;
+    engine_ = gang_scalar::make_engine_64(design, config);
   } else {
-    for (int w = 0; w < kWiresPerClb; ++w) {
-      if (wire_src[zu(w)] == kSrcZero) wire_w_[wb + zu(w)] &= ~lm;
-    }
-    for (int l = 0; l < kLutsPerClb; ++l) {
-      if (cfg.active_lut_mask & (1u << l)) continue;
-      const int out = (l / 2) * 4 + (l % 2);
-      if (!(ovr_mask_[t] & (1u << out))) out_w_[ob + zu(out)] &= ~lm;
-    }
-    for (int f = 0; f < kFfsPerClb; ++f) {
-      const std::size_t oi = ob + zu((f / 2) * 4 + 2 + (f % 2));
-      out_w_[oi] = (out_w_[oi] & ~lm) | (ff_w_[fb + zu(f)] & lm);
+    isa_ = resolve_simd_isa(options.isa);
+    switch (isa_) {
+#if VSCRUB_HAVE_ISA_AVX2
+      case SimdIsa::kAvx2:
+        engine_ = width_ == 256 ? gang_avx2::make_engine_256(design, config)
+                                : gang_avx2::make_engine_512(design, config);
+        break;
+#endif
+#if VSCRUB_HAVE_ISA_AVX512
+      case SimdIsa::kAvx512:
+        engine_ = width_ == 256 ? gang_avx512::make_engine_256(design, config)
+                                : gang_avx512::make_engine_512(design, config);
+        break;
+#endif
+      default:
+        isa_ = SimdIsa::kScalar;
+        engine_ = width_ == 256 ? gang_scalar::make_engine_256(design, config)
+                                : gang_scalar::make_engine_512(design, config);
+        break;
     }
   }
-  mark_dirty(t);
-  mark_neighbors_dirty(t);
+  max_variants_ = std::min(static_cast<int>(width_) - 1,
+                           engine_->max_variants());
 }
 
-// Decodes the flipped bit through golden_ itself (write corrupted frame,
-// copy the refreshed structures, write the golden frame back) — the variant
-// is produced by the exact code path the scalar engine uses, so the two can
-// never disagree on what a flip means.
-bool GangSim::install_variant(const BitAddress& addr, int lane) {
-  const ConfigSpace& space = golden_.space();
-  const ConfigSpace::TileRef ref = space.tile_ref_of(addr);
-  if (!ref.valid) return false;  // padding slot: flip changes nothing
-  const u32 t = golden_.geometry().tile_index(ref.tile);
-
-  BitVector img = design_->bitstream.frame(addr.frame);
-  img.flip(addr.offset);
-  golden_.write_frame(addr.frame, img);
-
-  Variant v;
-  v.lane = lane;
-  v.tile = t;
-  v.cfg = golden_.tile_state(t);
-  for (int p = 0; p < kImuxPins; ++p) {
-    v.pin_src[static_cast<std::size_t>(p)] =
-        golden_.pin_source(t, static_cast<u8>(p));
-  }
-  for (int w = 0; w < kWiresPerClb; ++w) {
-    v.wire_src[static_cast<std::size_t>(w)] =
-        golden_.wire_source(t, static_cast<u8>(w));
-  }
-  golden_.write_frame(addr.frame, design_->bitstream.frame(addr.frame));
-
-  if (tile_config_equal(v.cfg, golden_.tile_state(t))) {
-    return false;  // non-behavioral flip (e.g. a mode-code alias)
-  }
-  // Harness drives force-activate their tiles in the scalar path; mirror
-  // that in the variant's structural view.
-  if (drive_mask_[t] != 0) {
-    v.cfg.override_mask |= drive_mask_[t];
-    v.cfg.active = true;
-  }
-  v.seq = tile_is_sequential(v.cfg);
-
-  variants_.push_back(v);
-  const i32 vi = static_cast<i32>(variants_.size()) - 1;
-  variants_[static_cast<std::size_t>(vi)].next = tile_vhead_[t];
-  tile_vhead_[t] = vi;
-  if (!tile_has_var_[t]) {
-    tile_has_var_[t] = 1;
-    variant_tiles_.push_back(t);
-  }
-  gang_active_[t] |= v.cfg.active ? 1 : 0;
-  settle_lane_decode(t, lane, variants_[static_cast<std::size_t>(vi)].cfg,
-                     variants_[static_cast<std::size_t>(vi)].wire_src.data());
-  return true;
-}
-
-// Drops the lane's configuration overlay (the scalar loop's scrub repair):
-// from here the lane evaluates with the golden structures, carrying only its
-// diverged state.
-void GangSim::repair_lane(int lane) {
-  for (std::size_t i = 0; i < variants_.size(); ++i) {
-    Variant& v = variants_[i];
-    if (v.lane != lane || v.repaired) continue;
-    v.repaired = true;
-    v.cells_pending = 0;
-    u32 gsrc[kWiresPerClb];
-    for (int w = 0; w < kWiresPerClb; ++w) {
-      gsrc[w] = golden_.wire_source(v.tile, static_cast<u8>(w));
-    }
-    settle_lane_decode(v.tile, lane, golden_.tile_state(v.tile), gsrc);
-    return;
-  }
-}
-
-// ---- Evaluation -----------------------------------------------------------
-
-// Word-parallel mirror of FabricSim::process_tile() using the golden tile's
-// structures: all lanes that share the golden decode for this tile advance
-// together.
-void GangSim::golden_pass(u32 t) {
-  const FabricSim::Tile& tl = golden_.tile_state(t);
-  const std::size_t ob = static_cast<std::size_t>(t) * kClbOutputs;
-  const int max_pass = tl.has_local_feedback ? 8 : 1;
-  for (int pass = 0; pass < max_pass; ++pass) {
-    bool local_change = false;
-
-    for (int l = 0; l < kLutsPerClb; ++l) {
-      const int out = (l / 2) * 4 + (l % 2);
-      const u8 mask = static_cast<u8>(1u << out);
-      if (!(tl.active_lut_mask & (1u << l)) && !(ovr_mask_[t] & mask)) {
-        continue;
-      }
-      u64 v;
-      if (ovr_mask_[t] & mask) {
-        v = ovr_w_[ob + zu(out)];
-      } else {
-        u64 in[kLutInputs];
-        u8 dyn = tl.lut_dyn_mask[l];
-        for (int i = 0; i < kLutInputs; ++i) {
-          if (dyn & (1u << i)) {
-            in[i] = resolve_word(
-                golden_.pin_source(t, static_cast<u8>(lut_input_pin(l, i))));
-          } else {
-            in[i] = (tl.lut_base_idx[l] >> i) & 1 ? ~u64{0} : u64{0};
-          }
-        }
-        v = lut_eval_word(tl.lut_cells[l], in);
-      }
-      if (out_w_[ob + zu(out)] != v) {
-        out_w_[ob + zu(out)] = v;
-        local_change = true;
-      }
-    }
-
-    for (u8 wire : tl.driven_wires) {
-      const std::size_t wi = static_cast<std::size_t>(t) * kWiresPerClb + wire;
-      const u32 enc = golden_.wire_source(t, wire);
-      u64 v = 0;
-      switch (enc & ~kSrcPayload) {
-        case kSrcWire: v = wire_w_[enc & kSrcPayload]; break;
-        case kSrcOutput: v = out_w_[enc & kSrcPayload]; break;
-        default: break;
-      }
-      if (wire_w_[wi] != v) {
-        wire_w_[wi] = v;
-        const u32 nb = golden_.neighbor_index(t, wire / kWiresPerDir);
-        if (nb != kNoTile) mark_dirty(nb);
-      }
-    }
-
-    if (!local_change) return;
-  }
-}
-
-// Per-lane scalar mirror of process_tile() with the variant's structures.
-// `louts` carries the lane's own-output bits saved before the golden pass
-// clobbered them (local feedback must read the lane's values, not golden's).
-void GangSim::variant_pass(Variant& v, u8* louts) {
-  const u32 t = v.tile;
-  const int lane = v.lane;
-  const u64 lm = u64{1} << lane;
-  const FabricSim::Tile& tl = v.cfg;
-  const std::size_t ob = static_cast<std::size_t>(t) * kClbOutputs;
-  const std::size_t wb = static_cast<std::size_t>(t) * kWiresPerClb;
-
-  if (!tl.active) {
-    // Scalar inactive tiles are quiescent-zero everywhere (enforced at
-    // decode time); keep this lane's bits pinned there.
-    for (int o = 0; o < kClbOutputs; ++o) out_w_[ob + zu(o)] &= ~lm;
-    bool wchanged[kDirs] = {};
-    for (int w = 0; w < kWiresPerClb; ++w) {
-      if (wire_w_[wb + zu(w)] & lm) {
-        wire_w_[wb + zu(w)] &= ~lm;
-        wchanged[w / kWiresPerDir] = true;
-      }
-    }
-    for (int d = 0; d < kDirs; ++d) {
-      if (!wchanged[d]) continue;
-      const u32 nb = golden_.neighbor_index(t, d);
-      if (nb != kNoTile) mark_dirty(nb);
-    }
-    return;
-  }
-
-  const auto resolve_lane = [&](u32 enc) -> u8 {
-    switch (enc & ~kSrcPayload) {
-      case kSrcHalfLatch: return (*hl_)[enc & kSrcPayload] ? 1 : 0;
-      case kSrcWire: return (wire_w_[enc & kSrcPayload] >> lane) & 1;
-      case kSrcOutput: {
-        const u32 payload = enc & kSrcPayload;
-        // Own outputs come from the lane-local array; the shared words hold
-        // them only after this pass writes back.
-        if (payload >= ob && payload < ob + kClbOutputs) {
-          return louts[payload - ob];
-        }
-        return (out_w_[payload] >> lane) & 1;
-      }
-      default: return 0;
-    }
-  };
-
-  const int max_pass = tl.has_local_feedback ? 8 : 1;
-  for (int pass = 0; pass < max_pass; ++pass) {
-    bool local_change = false;
-
-    for (int l = 0; l < kLutsPerClb; ++l) {
-      const int out = (l / 2) * 4 + (l % 2);
-      const u8 mask = static_cast<u8>(1u << out);
-      if (!(tl.active_lut_mask & (1u << l)) && !(ovr_mask_[t] & mask)) {
-        continue;
-      }
-      u8 val;
-      if (ovr_mask_[t] & mask) {
-        val = (ovr_w_[ob + zu(out)] >> lane) & 1;
-      } else {
-        unsigned idx = tl.lut_base_idx[l];
-        u8 dyn = tl.lut_dyn_mask[l];
-        while (dyn != 0) {
-          const int i = std::countr_zero(dyn);
-          dyn = static_cast<u8>(dyn & (dyn - 1));
-          idx |= static_cast<unsigned>(
-                     resolve_lane(
-                         v.pin_src[static_cast<std::size_t>(lut_input_pin(l, i))]) &
-                     1)
-                 << i;
-        }
-        val = (tl.lut_cells[l] >> idx) & 1;
-      }
-      if (louts[out] != val) {
-        louts[out] = val;
-        local_change = true;
-      }
-    }
-
-    for (u8 wire : tl.driven_wires) {
-      const std::size_t wi = wb + wire;
-      const u32 enc = v.wire_src[wire];
-      u8 val = 0;
-      switch (enc & ~kSrcPayload) {
-        case kSrcWire: val = (wire_w_[enc & kSrcPayload] >> lane) & 1; break;
-        case kSrcOutput: {
-          const u32 payload = enc & kSrcPayload;
-          val = (payload >= ob && payload < ob + kClbOutputs)
-                    ? louts[payload - ob]
-                    : static_cast<u8>((out_w_[payload] >> lane) & 1);
-          break;
-        }
-        default: break;
-      }
-      const u64 cur = wire_w_[wi];
-      const u64 nxt = (cur & ~lm) | (val ? lm : 0);
-      if (nxt != cur) {
-        wire_w_[wi] = nxt;
-        const u32 nb = golden_.neighbor_index(t, wire / kWiresPerDir);
-        if (nb != kNoTile) mark_dirty(nb);
-      }
-    }
-
-    if (!local_change) break;
-  }
-
-  // A variant whose decode stops driving a wire the golden tile drives must
-  // not inherit the golden value there: scalar would idle that wire at 0.
-  for (int w = 0; w < kWiresPerClb; ++w) {
-    if (v.wire_src[zu(w)] != kSrcZero) continue;
-    if (wire_w_[wb + zu(w)] & lm) {
-      wire_w_[wb + zu(w)] &= ~lm;
-      const u32 nb = golden_.neighbor_index(t, w / kWiresPerDir);
-      if (nb != kNoTile) mark_dirty(nb);
-    }
-  }
-
-  // Write the lane's output bits back into the shared words. Comb outputs of
-  // LUTs the variant decode proves constant-zero stay pinned at 0 (scalar
-  // zeroes them at decode time and skips them in eval).
-  for (int l = 0; l < kLutsPerClb; ++l) {
-    const int out = (l / 2) * 4 + (l % 2);
-    if (!(tl.active_lut_mask & (1u << l)) &&
-        !(ovr_mask_[t] & (1u << out))) {
-      louts[out] = 0;
-    }
-  }
-  for (int o = 0; o < kClbOutputs; ++o) {
-    out_w_[ob + zu(o)] = (out_w_[ob + zu(o)] & ~lm) | (louts[o] ? lm : 0);
-  }
-}
-
-void GangSim::process_tile(u32 t) {
-  // Save each unrepaired variant lane's own-output bits before the golden
-  // pass overwrites the words.
-  u8 louts[kMaxLanes][kClbOutputs];
-  int vidx[kMaxLanes];
-  int nvars = 0;
-  if (tile_has_var_[t]) {
-    const std::size_t ob = static_cast<std::size_t>(t) * kClbOutputs;
-    for (i32 vi = tile_vhead_[t]; vi >= 0;
-         vi = variants_[static_cast<std::size_t>(vi)].next) {
-      const Variant& v = variants_[static_cast<std::size_t>(vi)];
-      if (v.repaired) continue;
-      for (int o = 0; o < kClbOutputs; ++o) {
-        louts[nvars][o] = (out_w_[ob + zu(o)] >> v.lane) & 1;
-      }
-      vidx[nvars++] = vi;
-    }
-  }
-
-  if (golden_.tile_state(t).active || drive_mask_[t] != 0 ||
-      base_ovr_mask_[t] != 0) {
-    golden_pass(t);
-  }
-  for (int i = 0; i < nvars; ++i) {
-    variant_pass(variants_[static_cast<std::size_t>(vidx[i])], louts[i]);
-  }
-  update_div(t);
-}
-
-void GangSim::update_div(u32 t) {
-  u64 div = 0;
-  const std::size_t ob = static_cast<std::size_t>(t) * kClbOutputs;
-  const std::size_t wb = static_cast<std::size_t>(t) * kWiresPerClb;
-  const std::size_t fb = static_cast<std::size_t>(t) * kFfsPerClb;
-  for (int o = 0; o < kClbOutputs; ++o) div |= div_spread(out_w_[ob + zu(o)]);
-  for (int f = 0; f < kFfsPerClb; ++f) div |= div_spread(ff_w_[fb + zu(f)]);
-  if (tile_has_var_[t]) {
-    for (int w = 0; w < kWiresPerClb; ++w) div |= div_spread(wire_w_[wb + zu(w)]);
-  } else {
-    for (u8 w : golden_.tile_state(t).driven_wires) {
-      div |= div_spread(wire_w_[wb + zu(w)]);
-    }
-  }
-  if (div != tile_div_[t]) {
-    tile_div_[t] = div;
-    if (div != 0 && !div_flag_[t]) {
-      div_flag_[t] = 1;
-      div_tiles_.push_back(t);
-    }
-  }
-}
-
-u64 GangSim::global_div() {
-  u64 d = 0;
-  std::size_t keep = 0;
-  for (std::size_t i = 0; i < div_tiles_.size(); ++i) {
-    const u32 t = div_tiles_[i];
-    if (tile_div_[t] == 0) {
-      div_flag_[t] = 0;
-      continue;
-    }
-    div_tiles_[keep++] = t;
-    d |= tile_div_[t];
-  }
-  div_tiles_.resize(keep);
-  return d;
-}
-
-void GangSim::eval() {
-  std::size_t processed = 0;
-  std::size_t head = 0;
-  const std::size_t bound =
-      static_cast<std::size_t>(ntiles_) * 64 + 4096;
-  while (head < dirty_queue_.size()) {
-    const u32 t = dirty_queue_[head++];
-    dirty_flag_[t] = 0;
-    process_tile(t);
-    if (++processed > bound) {
-      // A corrupted decode formed an oscillator the event sweep cannot
-      // settle; the scalar engine's verdict for such lanes depends on the
-      // exact drain order, so every undecided lane falls back.
-      eval_bound_hit_ = true;
-      for (std::size_t i = head; i < dirty_queue_.size(); ++i) {
-        dirty_flag_[dirty_queue_[i]] = 0;
-      }
-      break;
-    }
-  }
-  dirty_queue_.clear();
-}
-
-// ---- Clocking -------------------------------------------------------------
-
-void GangSim::clock_words() {
-  pending_.clear();
-  ++clock_epoch_;
-
-  // Sample golden next-state word-parallel (two-phase, like FabricSim).
-  for (u32 t : golden_seq_) {
-    const FabricSim::Tile& tl = golden_.tile_state(t);
-    const bool record = tile_has_var_[t] != 0;
-    for (int s = 0; s < kSlicesPerClb; ++s) {
-      if (!tl.clk_en[s]) continue;
-      const u64 ce = resolve_word(golden_.pin_source(t, static_cast<u8>(ce_pin(s))));
-      const u64 sr = resolve_word(golden_.pin_source(t, static_cast<u8>(sr_pin(s))));
-      for (int i = 0; i < kLutsPerSlice; ++i) {
-        const int site = s * kLutsPerSlice + i;
-        if (!tl.ff_used[site]) continue;
-        const std::size_t fi =
-            static_cast<std::size_t>(t) * kFfsPerClb + static_cast<std::size_t>(site);
-        const u64 q = ff_w_[fi];
-        const u64 d =
-            tl.ff_byp[site]
-                ? resolve_word(golden_.pin_source(t, static_cast<u8>(byp_pin(site))))
-                : out_w_[static_cast<std::size_t>(t) * kClbOutputs +
-                         zu((site / 2) * 4 + (site % 2))];
-        const u64 next = ~sr & ((ce & d) | (~ce & q));
-        if (record) {
-          pend_slot_[fi] = static_cast<u32>(pending_.size()) + 1;
-          pend_epoch_[fi] = clock_epoch_;
-        }
-        pending_.push_back({t, static_cast<u8>(site), next, ~u64{0}});
-      }
-    }
-  }
-
-  // Patch each unrepaired variant's lane: its decode decides which FFs clock
-  // (and with what data), and which golden-clocked FFs it instead holds.
-  for (Variant& v : variants_) {
-    if (v.repaired) continue;
-    if (!v.seq && !golden_seq_flag_[v.tile]) continue;
-    const u32 t = v.tile;
-    const int lane = v.lane;
-    const u64 lm = u64{1} << lane;
-    for (int s = 0; s < kSlicesPerClb; ++s) {
-      const bool en = v.cfg.clk_en[s];
-      u8 ce = 0, sr = 0;
-      if (en) {
-        ce = lane_of(v.pin_src[static_cast<std::size_t>(ce_pin(s))], lane);
-        sr = lane_of(v.pin_src[static_cast<std::size_t>(sr_pin(s))], lane);
-      }
-      for (int i = 0; i < kLutsPerSlice; ++i) {
-        const int site = s * kLutsPerSlice + i;
-        const std::size_t fi =
-            static_cast<std::size_t>(t) * kFfsPerClb + static_cast<std::size_t>(site);
-        Pending* e = (pend_epoch_[fi] == clock_epoch_)
-                         ? &pending_[pend_slot_[fi] - 1]
-                         : nullptr;
-        if (en && v.cfg.ff_used[site]) {
-          u8 nxt;
-          if (sr) {
-            nxt = 0;
-          } else if (ce) {
-            nxt = v.cfg.ff_byp[site]
-                      ? lane_of(v.pin_src[static_cast<std::size_t>(byp_pin(site))], lane)
-                      : static_cast<u8>(
-                            (out_w_[static_cast<std::size_t>(t) * kClbOutputs +
-                                    zu((site / 2) * 4 + (site % 2))] >>
-                             lane) &
-                            1);
-          } else {
-            nxt = (ff_w_[fi] >> lane) & 1;
-          }
-          if (!e) {
-            pend_slot_[fi] = static_cast<u32>(pending_.size()) + 1;
-            pend_epoch_[fi] = clock_epoch_;
-            pending_.push_back({t, static_cast<u8>(site), ff_w_[fi], 0});
-            e = &pending_.back();
-          }
-          e->word = (e->word & ~lm) | (nxt ? lm : 0);
-          e->wmask |= lm;
-        } else if (e) {
-          e->wmask &= ~lm;  // this lane's decode does not clock the FF
-        }
-        // Dynamic LUT sites a flip created: per-lane SRL16 shift / RAM16
-        // write into the variant's live cells.
-        if (en && ce && v.cfg.lut_mode[site] == LutMode::kSrl16) {
-          const u8 d =
-              lane_of(v.pin_src[static_cast<std::size_t>(byp_pin(site))], lane);
-          v.pending_cells[site] =
-              static_cast<u16>((v.cfg.lut_cells[site] << 1) | d);
-          v.cells_pending |= static_cast<u8>(1u << site);
-        } else if (en && ce && v.cfg.lut_mode[site] == LutMode::kRam16) {
-          unsigned addr = 0;
-          for (int b = 0; b < kLutInputs; ++b) {
-            addr |= static_cast<unsigned>(lane_of(
-                        v.pin_src[static_cast<std::size_t>(lut_input_pin(site, b))],
-                        lane))
-                    << b;
-          }
-          const u8 d =
-              lane_of(v.pin_src[static_cast<std::size_t>(byp_pin(site))], lane);
-          u16 nxt = v.cfg.lut_cells[site];
-          nxt = static_cast<u16>(d ? (nxt | (1u << addr)) : (nxt & ~(1u << addr)));
-          v.pending_cells[site] = nxt;
-          v.cells_pending |= static_cast<u8>(1u << site);
-        }
-      }
-    }
-  }
-
-  // Commit.
-  for (const Pending& p : pending_) {
-    const std::size_t fi =
-        static_cast<std::size_t>(p.tile) * kFfsPerClb + p.ff;
-    const u64 cur = ff_w_[fi];
-    const u64 next = (p.word & p.wmask) | (cur & ~p.wmask);
-    const std::size_t oi = static_cast<std::size_t>(p.tile) * kClbOutputs +
-                           (p.ff / 2) * 4 + 2 + (p.ff % 2);
-    const u64 ocur = out_w_[oi];
-    const u64 onext = (next & p.wmask) | (ocur & ~p.wmask);
-    if (next != cur || onext != ocur) {
-      ff_w_[fi] = next;
-      out_w_[oi] = onext;
-      mark_dirty(p.tile);
-    }
-  }
-  for (Variant& v : variants_) {
-    if (v.cells_pending == 0) continue;
-    u8 m = v.cells_pending;
-    v.cells_pending = 0;
-    while (m != 0) {
-      const int site = std::countr_zero(m);
-      m = static_cast<u8>(m & (m - 1));
-      if (v.cfg.lut_cells[site] != v.pending_cells[site]) {
-        v.cfg.lut_cells[site] = v.pending_cells[site];
-        mark_dirty(v.tile);
-      }
-    }
-  }
-  eval();
-}
-
-// ---- Harness --------------------------------------------------------------
-
-void GangSim::apply_inputs(Stimulus& stim) {
-  stim.next(input_bits_);
-  for (std::size_t i = 0; i < drives_.size(); ++i) {
-    const Drive& d = drives_[i];
-    const u64 w = input_bits_[i] ? ~u64{0} : u64{0};
-    const u8 m = static_cast<u8>(1u << d.out);
-    const std::size_t oi =
-        static_cast<std::size_t>(d.tile) * kClbOutputs + d.out;
-    if ((ovr_mask_[d.tile] & m) && ovr_w_[oi] == w) continue;
-    ovr_mask_[d.tile] |= m;
-    ovr_w_[oi] = w;
-    mark_dirty(d.tile);
-  }
-}
-
-void GangSim::capture_taps() {
-  for (std::size_t i = 0; i < taps_.size(); ++i) {
-    const Tap& tap = taps_[i];
-    u64 w = resolve_word(golden_.pin_source(tap.tile, tap.pin));
-    if (tile_has_var_[tap.tile]) {
-      for (i32 vi = tile_vhead_[tap.tile]; vi >= 0;
-           vi = variants_[static_cast<std::size_t>(vi)].next) {
-        const Variant& v = variants_[static_cast<std::size_t>(vi)];
-        if (v.repaired) continue;
-        const u64 lm = u64{1} << v.lane;
-        const u8 b = lane_of(v.pin_src[tap.pin], v.lane);
-        w = (w & ~lm) | (b ? lm : 0);
-      }
-    }
-    tap_w_[i] = w;
-  }
-}
-
-// ---- Run loop ---------------------------------------------------------------
+GangSim::~GangSim() = default;
 
 void GangSim::run(const BitAddress* addrs, std::size_t count,
                   const RunParams& p, LaneResult* results, RunStats* stats) {
-  VSCRUB_CHECK(count >= 1 && count <= static_cast<std::size_t>(kMaxVariants),
-               "gang lane count out of range");
-
-  // Reset per-run state to the configured baseline.
-  std::memcpy(out_w_.data(), base_out_w_.data(),
-              base_out_w_.size() * sizeof(u64));
-  std::memcpy(wire_w_.data(), base_wire_w_.data(),
-              base_wire_w_.size() * sizeof(u64));
-  std::memcpy(ff_w_.data(), base_ff_w_.data(), base_ff_w_.size() * sizeof(u64));
-  std::memcpy(ovr_mask_.data(), base_ovr_mask_.data(), base_ovr_mask_.size());
-  std::memcpy(ovr_w_.data(), base_ovr_w_.data(),
-              base_ovr_w_.size() * sizeof(u64));
-  std::memcpy(gang_active_.data(), base_active_.data(), base_active_.size());
-  for (u32 t : variant_tiles_) {
-    tile_vhead_[t] = -1;
-    tile_has_var_[t] = 0;
-  }
-  variant_tiles_.clear();
-  variants_.clear();
-  for (u32 t : div_tiles_) {
-    tile_div_[t] = 0;
-    div_flag_[t] = 0;
-  }
-  div_tiles_.clear();
-  eval_bound_hit_ = false;
-
-  for (std::size_t i = 0; i < count; ++i) {
-    results[i] = LaneResult{};
-    install_variant(addrs[i], static_cast<int>(i) + 1);
-  }
-  // The decode-oracle round trips marked frames dirty in golden_; its
-  // configuration is back at baseline, so drop the marks.
-  golden_.clear_dirty_frames();
-
-  const u64 cand = ((count + 1 < 64) ? ((u64{1} << (count + 1)) - 1) : ~u64{0}) &
-                   ~u64{1};
-  u64 sealed = 0, error = 0, fallback = 0, persistent = 0;
-  u32 first_cycle[kMaxLanes] = {};
-  u64 mask_lo[kMaxLanes] = {};
-
-  Stimulus stim(design_->netlist->num_inputs(), p.stim_seed);
-  const u32 run_until = p.warmup_cycles + p.observe_cycles;
-  const u32 settle_until = run_until + p.persistence_settle;
-  const u32 check_until = settle_until + p.persistence_check;
-
-  const auto live = [&] { return cand & ~sealed & ~fallback; };
-  const auto self_check = [&](u32 t) -> bool {
-    if (p.golden == nullptr || t >= p.golden->size()) return true;
-    OutputWord got;
-    for (std::size_t i = 0; i < taps_.size() && i < 128; ++i) {
-      if (tap_w_[i] & 1) {
-        if (i < 64) {
-          got.lo |= u64{1} << i;
-        } else {
-          got.hi |= u64{1} << (i - 64);
-        }
-      }
-    }
-    return got == (*p.golden)[t];
-  };
-  const auto tap_diff = [&]() -> u64 {
-    u64 d = 0;
-    for (std::size_t i = 0; i < taps_.size(); ++i) {
-      d |= div_spread(tap_w_[i]);
-    }
-    return d;
-  };
-
-  u32 t = 0;
-  // Observation window: compare every lane against the golden lane from
-  // warmup onward; errors are logged and (when persistence classification is
-  // on) the lane is repaired in place, exactly like the scalar loop.
-  for (; t < run_until && live() != 0; ++t) {
-    apply_inputs(stim);
-    eval();
-    const bool want_capture = t >= p.warmup_cycles;
-    if (want_capture) capture_taps();
-    clock_words();
-    if (eval_bound_hit_) {
-      fallback |= live();
-      break;
-    }
-    if (!want_capture) continue;
-    if (!self_check(t)) {
-      fallback |= live();
-      break;
-    }
-    u64 ne = tap_diff() & live() & ~error;
-    error |= ne;
-    while (ne != 0) {
-      const int lane = std::countr_zero(ne);
-      ne &= ne - 1;
-      first_cycle[lane] = t;
-      u64 ml = 0;
-      for (std::size_t i = 0; i < taps_.size() && i < 64; ++i) {
-        if (((tap_w_[i] >> lane) ^ tap_w_[i]) & 1) ml |= u64{1} << i;
-      }
-      mask_lo[lane] = ml;
-      // Scrub repair at the same cycle boundary as the scalar loop. Without
-      // persistence classification the verdict is already final.
-      repair_lane(lane);
-      if (!p.classify_persistence) sealed |= u64{1} << lane;
-    }
-    if (p.classify_persistence && (error & live()) != 0) {
-      // Early retirement: a repaired lane whose divergence mask is clean at
-      // a settled cycle boundary holds exactly the golden lane's state and
-      // can never diverge again — it is non-persistent by construction.
-      const u64 reconverged = error & live() & ~global_div();
-      sealed |= reconverged;
-    }
-  }
-
-  // Lanes that never erred in a full window are clean.
-  if (t >= run_until) sealed |= live() & ~error;
-
-  // Persistence: settle unchecked, then compare; reconvergence keeps
-  // retiring lanes the whole time.
-  if (p.classify_persistence) {
-    for (; t < check_until && (error & live()) != 0; ++t) {
-      apply_inputs(stim);
-      eval();
-      const bool checking = t >= settle_until;
-      if (checking) capture_taps();
-      clock_words();
-      if (eval_bound_hit_) {
-        fallback |= live();
-        break;
-      }
-      if (checking) {
-        if (!self_check(t)) {
-          fallback |= live();
-          break;
-        }
-        const u64 pe = tap_diff() & error & live();
-        persistent |= pe;
-        sealed |= pe;
-      }
-      sealed |= error & live() & ~global_div();
-    }
-    // Open error lanes that survived the whole check window clean.
-    sealed |= error & ~fallback;
-  }
-
-  for (std::size_t i = 0; i < count; ++i) {
-    const int lane = static_cast<int>(i) + 1;
-    const u64 lm = u64{1} << lane;
-    LaneResult& r = results[i];
-    if (fallback & lm) {
-      r.fallback = true;
-      continue;
-    }
-    r.output_error = (error & lm) != 0;
-    r.persistent = (persistent & lm) != 0;
-    r.first_error_cycle = first_cycle[lane];
-    r.error_output_mask_lo = mask_lo[lane];
-  }
-
-  if (stats != nullptr) {
-    stats->cycles_run = t;
-    stats->cycles_full =
-        (p.classify_persistence && error != 0) ? check_until : run_until;
-    stats->early_exit = stats->cycles_run < stats->cycles_full;
-  }
+  VSCRUB_CHECK(count >= 1 && count <= static_cast<std::size_t>(max_variants_),
+               "gang lane count exceeds max_variants()");
+  engine_->run(addrs, count, p, results, stats);
 }
+
+bool GangSim::plan_active() const { return engine_->plan_active(); }
+
+const std::string& GangSim::plan_note() const { return engine_->plan_note(); }
 
 }  // namespace vscrub

@@ -1,7 +1,7 @@
-// GangSim: the bit-sliced gang evaluator. Packs up to 63 injection
-// candidates plus one golden reference into a single simulation by widening
-// every wire/output/FF value to a u64 word whose bit *i* carries lane *i*'s
-// logic value (lane 0 is reserved for the uncorrupted golden design).
+// GangSim: the bit-sliced gang evaluator. Packs injection candidates plus
+// one golden reference into a single simulation by widening every
+// wire/output/FF value to a lane word whose bit *i* carries lane *i*'s logic
+// value (lane 0 is reserved for the uncorrupted golden design).
 //
 // The engine reuses FabricSim's decoded tile structures, resolved-source
 // encodings, dirty-queue event sweep and settle semantics — the word-level
@@ -10,7 +10,18 @@
 // Each lane's configuration delta is confined to one tile (a configuration
 // bit decodes into exactly one tile's field); that tile is re-evaluated
 // per-lane with the variant decode and its bits spliced back into the words,
-// while every other tile is evaluated once for all 64 lanes.
+// while every other tile is evaluated once for all lanes.
+//
+// This class is a thin dispatching facade. The actual engine is a template
+// over the lane word — 64 lanes in one u64 limb, 256 in four, 512 in eight —
+// instantiated once per SIMD tier (scalar / AVX2 / AVX-512, see sim/simd.h)
+// in separate translation units so each tier's word loops compile to its
+// native vector width. Width and tier are pure performance knobs: every
+// combination produces identical verdicts, which tests/test_gang_wide
+// asserts differentially. On top of the word widening, the engine executes
+// golden combinational settles from an ahead-of-time compiled eval plan
+// (sim/eval_plan.h) when the design's active cone is acyclic, falling back
+// to the interpreted dirty-queue sweep otherwise.
 //
 // Early exit: once a lane's configuration is repaired (the persistence
 // phase), its state is a pure function of state the golden lane also holds —
@@ -21,19 +32,44 @@
 // must be re-run through the scalar path.
 #pragma once
 
-#include <array>
 #include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "pnr/placed_design.h"
-#include "sim/fabric_sim.h"
 #include "sim/harness.h"
+#include "sim/simd.h"
 
 namespace vscrub {
 
+class GangEngineBase;
+
+/// Engine selection. Every combination is verdict-identical; see
+/// validate_gang_width() / resolve_simd_isa() for the legal values and the
+/// typed errors unsupported ones raise.
+struct GangOptions {
+  /// Lane-word width: 1..64 runs the u64 engine (lane-capped below 64),
+  /// 256/512 run the wide engines. Unsupported widths throw GangWidthError.
+  u32 width = 64;
+  /// SIMD tier for the wide engines (widths <= 64 always execute the scalar
+  /// u64 loops — one limb leaves nothing to vectorize). kAuto resolves to
+  /// the widest usable tier, honouring the VSCRUB_FORCE_ISA override.
+  SimdIsa isa = SimdIsa::kAuto;
+  /// Execute golden settles from the compiled eval plan when the design
+  /// admits one. Purely a scheduling choice — verdicts (and verdict-cache
+  /// keys) are identical either way.
+  bool use_plan = true;
+
+  GangOptions& with_width(u32 w) { width = w; return *this; }
+  GangOptions& with_isa(SimdIsa i) { isa = i; return *this; }
+  GangOptions& with_plan(bool on) { use_plan = on; return *this; }
+};
+
 class GangSim {
  public:
-  /// Word width: 63 candidate lanes + the golden lane in bit 0.
+  /// Word width of the baseline u64 engine (back-compat constants; the live
+  /// limits are width()/max_variants()).
   static constexpr int kMaxLanes = 64;
   static constexpr int kMaxVariants = kMaxLanes - 1;
 
@@ -68,109 +104,32 @@ class GangSim {
 
   /// Requires a gang-capable design: no BRAM bindings and no legitimate
   /// dynamic LUT state (flips may still *create* SRL16/RAM16 sites — those
-  /// are modeled per-lane).
-  explicit GangSim(const PlacedDesign& design);
+  /// are modeled per-lane). Throws GangWidthError / SimdIsaError on
+  /// unsupported options.width / options.isa.
+  explicit GangSim(const PlacedDesign& design, const GangOptions& options = {});
+  ~GangSim();
 
-  /// Evaluates `count` (<= kMaxVariants) candidate bit flips against one
+  /// Evaluates `count` (<= max_variants()) candidate bit flips against one
   /// shared stimulus stream; results[i] is the verdict for addrs[i].
   void run(const BitAddress* addrs, std::size_t count, const RunParams& p,
            LaneResult* results, RunStats* stats);
 
+  /// Candidate lanes per run: width - 1 (one lane is the golden reference).
+  int max_variants() const { return max_variants_; }
+  u32 width() const { return width_; }
+  /// The SIMD tier actually executing (kScalar for widths <= 64).
+  SimdIsa isa() const { return isa_; }
+  /// Whether golden settles run from the compiled plan (false when the
+  /// design's cone is cyclic, or when GangOptions::use_plan was off).
+  bool plan_active() const;
+  /// Why the plan is off ("" while it is on).
+  const std::string& plan_note() const;
+
  private:
-  struct Variant {
-    int lane = 0;
-    u32 tile = 0;
-    FabricSim::Tile cfg;  ///< corrupted decode, incl. derived caches
-    std::array<u32, kImuxPins> pin_src;
-    std::array<u32, kWiresPerClb> wire_src;
-    bool seq = false;      ///< variant decode participates in clocking
-    bool repaired = false; ///< overlay dropped: lane follows golden structure
-    u16 pending_cells[kLutsPerClb] = {};  ///< sampled SRL16/RAM16 next state
-    u8 cells_pending = 0;
-    i32 next = -1;  ///< chain of variants sharing a tile
-  };
-
-  struct Pending {
-    u32 tile;
-    u8 ff;
-    u64 word;   ///< sampled next-state, one bit per lane
-    u64 wmask;  ///< lanes whose structure actually clocks this FF
-  };
-
-  u64 splat(u8 v) const { return v ? ~u64{0} : u64{0}; }
-  u64 resolve_word(u32 enc) const;
-  u8 lane_of(u32 enc, int lane) const {
-    return static_cast<u8>((resolve_word(enc) >> lane) & 1);
-  }
-  void mark_dirty(u32 t);
-  void mark_neighbors_dirty(u32 t);
-  bool install_variant(const BitAddress& addr, int lane);
-  void settle_lane_decode(u32 t, int lane, const FabricSim::Tile& cfg,
-                          const u32* wire_src);
-  void repair_lane(int lane);
-  void process_tile(u32 t);
-  void golden_pass(u32 t);
-  void variant_pass(Variant& v, u8* outs);
-  void update_div(u32 t);
-  u64 global_div();
-  void eval();
-  void clock_words();
-  void apply_inputs(Stimulus& stim);
-  void capture_taps();
-
-  const PlacedDesign* design_;
-  FabricSim golden_;       ///< pristine configured fabric: decode oracle and
-                           ///< word-baseline source (never clocked)
-  DesignHarness harness_;  ///< used once, to configure golden_
-  u32 ntiles_ = 0;
-  const std::vector<u8>* hl_ = nullptr;  ///< golden half-latch values
-
-  // Splatted baseline state, memcpy'd into the live words at run start.
-  std::vector<u64> base_out_w_, base_wire_w_, base_ff_w_;
-  std::vector<u64> out_w_, wire_w_, ff_w_;
-
-  // Harness overrides (identical across lanes, stored as splat words).
-  std::vector<u8> base_ovr_mask_, ovr_mask_;
-  std::vector<u64> base_ovr_w_, ovr_w_;
-  std::vector<u8> drive_mask_;  ///< static per-tile input-drive out mask
-
-  std::vector<u8> base_active_, gang_active_;
-  std::vector<u8> golden_seq_flag_;
-  std::vector<u32> golden_seq_;
-
-  std::vector<u8> dirty_flag_;
-  std::vector<u32> dirty_queue_;
-
-  std::vector<Variant> variants_;
-  std::vector<i32> tile_vhead_;
-  std::vector<u8> tile_has_var_;
-  std::vector<u32> variant_tiles_;
-
-  // Per-tile lane-divergence masks (lane bit set => that lane's state in
-  // this tile differs from the golden lane's).
-  std::vector<u64> tile_div_;
-  std::vector<u8> div_flag_;
-  std::vector<u32> div_tiles_;
-
-  std::vector<Pending> pending_;
-  std::vector<u32> pend_slot_;   // [tile*4+ff] -> pending index + 1
-  std::vector<u32> pend_epoch_;  // slot valid iff epoch matches
-  u32 clock_epoch_ = 0;
-
-  struct Drive {
-    u32 tile;
-    u8 out;
-  };
-  struct Tap {
-    u32 tile;
-    u8 pin;
-  };
-  std::vector<Drive> drives_;
-  std::vector<Tap> taps_;
-  std::vector<u8> input_bits_;
-  std::vector<u64> tap_w_;
-
-  bool eval_bound_hit_ = false;
+  std::unique_ptr<GangEngineBase> engine_;
+  u32 width_ = 64;
+  SimdIsa isa_ = SimdIsa::kScalar;
+  int max_variants_ = kMaxVariants;
 };
 
 }  // namespace vscrub

@@ -38,7 +38,7 @@ bool apply_tile_bit(TileConfig& tl, u16 tile_bit, bool v) {
     case FieldKind::kLutMode: {
       u8 code = static_cast<u8>(tl.lut_mode[m.unit]);
       code = static_cast<u8>((code & ~(1u << m.bit)) |
-                             (static_cast<u8>(v) << m.bit));
+                             (static_cast<u32>(v) << m.bit));
       const LutMode mode = code == 3 ? LutMode::kLut : static_cast<LutMode>(code);
       if (mode == tl.lut_mode[m.unit]) return false;
       tl.lut_mode[m.unit] = mode;
@@ -67,7 +67,7 @@ bool apply_tile_bit(TileConfig& tl, u16 tile_bit, bool v) {
     case FieldKind::kImux: {
       u8 code = tl.imux[m.unit];
       code = static_cast<u8>((code & ~(1u << m.bit)) |
-                             (static_cast<u8>(v) << m.bit));
+                             (static_cast<u32>(v) << m.bit));
       const bool changed = code != tl.imux[m.unit];
       tl.imux[m.unit] = code;
       return changed;
@@ -75,7 +75,7 @@ bool apply_tile_bit(TileConfig& tl, u16 tile_bit, bool v) {
     case FieldKind::kOmux: {
       u8 code = tl.omux[m.unit];
       code = static_cast<u8>((code & ~(1u << m.bit)) |
-                             (static_cast<u8>(v) << m.bit));
+                             (static_cast<u32>(v) << m.bit));
       const bool changed = code != tl.omux[m.unit];
       tl.omux[m.unit] = code;
       return changed;

@@ -7,6 +7,7 @@
 #include "pnr/pnr.h"
 #include "radiation/environment.h"
 #include "seu/report.h"
+#include "sim/simd.h"
 #include "store/verdict_store.h"
 #include "system/fleet.h"
 
@@ -58,12 +59,21 @@ CampaignOptions campaign_options_from(const FlatJson& params,
       params.get_bool("no_gang")
           ? 1u
           : static_cast<u32>(params.get_u64("gang_width", 64));
+  // Validate the engine selection at submission: GangWidthError / SimdIsaError
+  // (listing the widths/tiers this binary supports) surface as typed VSRP1
+  // error frames here instead of aborting the campaign mid-run.
+  if (gang_width >= 2) validate_gang_width(gang_width);
+  const std::string gang_isa = params.get_string("gang_isa", "auto");
+  const SimdIsa requested_isa = parse_simd_isa(gang_isa);
+  if (requested_isa != SimdIsa::kAuto) (void)resolve_simd_isa(requested_isa);
   CampaignOptions options =
       CampaignOptions{}
           .with_injection(InjectionOptions{}
                               .with_persistence(params.get_bool("persistence"))
                               .with_pruning(!params.get_bool("no_prune"))
-                              .with_gang_width(gang_width))
+                              .with_gang_width(gang_width)
+                              .with_gang_isa(gang_isa)
+                              .with_gang_plan(!params.get_bool("no_gang_plan")))
           .with_chunk_size(params.get_u64("chunk", 0));
   if (params.get_bool("exhaustive")) {
     options.with_exhaustive();

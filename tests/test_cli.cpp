@@ -7,6 +7,7 @@
 #include <cctype>
 
 #include "core/cli.h"
+#include "sim/simd.h"
 
 namespace vscrub {
 namespace {
@@ -106,6 +107,64 @@ TEST(Cli, ParseAcceptsDeclaredFlagsOnly) {
       << "beam-only flag must not leak into campaign";
   EXPECT_THROW(cli_parse(*cmd, {"--sample"}), Error)
       << "value flag without a value";
+}
+
+TEST(Cli, GangEngineFlagsPresentWhereGangRuns) {
+  // The wide-engine knobs ride every command that can dispatch gang runs,
+  // with one spelling: --gang-width N, --gang-isa T, --no-gang-plan.
+  const auto has = [](const CliCommand* cmd, const char* name) {
+    for (const CliFlag& f : cmd->flags) {
+      if (f.name == name) return true;
+    }
+    return false;
+  };
+  for (const char* name : {"campaign", "recampaign", "submit"}) {
+    const CliCommand* cmd = cli_find(name);
+    ASSERT_NE(cmd, nullptr) << name;
+    EXPECT_TRUE(has(cmd, "--gang-width")) << name;
+    EXPECT_TRUE(has(cmd, "--gang-isa")) << name;
+    EXPECT_TRUE(has(cmd, "--no-gang-plan")) << name;
+  }
+  const CliCommand* campaign = cli_find("campaign");
+  const CliArgs args = cli_parse(
+      *campaign, {"lfsrmult", "--gang-width", "256", "--gang-isa", "avx2",
+                  "--no-gang-plan"});
+  EXPECT_EQ(args.option_u64("--gang-width", 64), 256u);
+  EXPECT_EQ(args.option("--gang-isa", "auto"), "avx2");
+  EXPECT_TRUE(args.flag("--no-gang-plan"));
+  // The --gang-width help names the supported widths so an error message and
+  // the help screen never disagree.
+  for (const CliFlag& f : campaign->flags) {
+    if (f.name == "--gang-width") {
+      EXPECT_NE(f.help.find("256"), std::string::npos) << f.help;
+      EXPECT_NE(f.help.find("512"), std::string::npos) << f.help;
+    }
+    if (f.name == "--gang-isa") {
+      EXPECT_NE(f.help.find("avx512"), std::string::npos) << f.help;
+    }
+  }
+}
+
+TEST(Cli, GangWidthAndIsaValuesRejectWithTypedErrors) {
+  // The errors vscrubctl surfaces for bad --gang-width / --gang-isa values:
+  // typed, and self-describing enough to fix the command line from.
+  try {
+    validate_gang_width(100);
+    FAIL() << "width 100 accepted";
+  } catch (const GangWidthError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("100"), std::string::npos) << what;
+    EXPECT_NE(what.find(supported_gang_widths_list()), std::string::npos)
+        << what;
+  }
+  try {
+    parse_simd_isa("sse9");
+    FAIL() << "bad ISA accepted";
+  } catch (const SimdIsaError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sse9"), std::string::npos) << what;
+    EXPECT_NE(what.find("scalar"), std::string::npos) << what;
+  }
 }
 
 TEST(Cli, UnknownCommandIsNull) {

@@ -13,6 +13,7 @@
 
 #include "core/cli.h"
 #include "core/vscrub.h"
+#include "sim/simd.h"
 #include "serve_common.h"
 #include "svc/client.h"
 #include "svc/requests.h"
@@ -61,17 +62,26 @@ int cmd_compile(const CliArgs& args) {
 
 CampaignOptions campaign_options_from(const CliArgs& args) {
   // --no-gang forces every injection down the scalar path (gang width 1);
-  // --gang-width caps the lanes packed per bit-sliced run (default 64).
+  // --gang-width picks the lanes packed per bit-sliced run (default 64);
+  // --gang-isa pins the SIMD tier; --no-gang-plan interprets settles.
   const u32 gang_width =
       args.flag("--no-gang")
           ? 1u
           : static_cast<u32>(args.option_u64("--gang-width", 64));
+  // Reject unsupported widths/tiers before any work starts: GangWidthError /
+  // SimdIsaError carry the full supported list in their message.
+  if (gang_width >= 2) validate_gang_width(gang_width);
+  const std::string gang_isa = args.option("--gang-isa", "auto");
+  const SimdIsa requested_isa = parse_simd_isa(gang_isa);
+  if (requested_isa != SimdIsa::kAuto) (void)resolve_simd_isa(requested_isa);
   CampaignOptions options =
       CampaignOptions{}
           .with_injection(InjectionOptions{}
                               .with_persistence(args.flag("--persistence"))
                               .with_pruning(!args.flag("--no-prune"))
-                              .with_gang_width(gang_width))
+                              .with_gang_width(gang_width)
+                              .with_gang_isa(gang_isa)
+                              .with_gang_plan(!args.flag("--no-gang-plan")))
           .with_threads(static_cast<unsigned>(args.option_u64("--threads", 0)))
           .with_chunk_size(args.option_u64("--chunk", 0));
   if (args.flag("--exhaustive")) {
@@ -385,6 +395,10 @@ std::string submit_payload(const CliArgs& args, const std::string& op) {
   if (args.flag("--gang-width")) {
     req.set_u64("gang_width", args.option_u64("--gang-width", 64));
   }
+  if (args.flag("--gang-isa")) {
+    req.set_string("gang_isa", args.option("--gang-isa", "auto"));
+  }
+  if (args.flag("--no-gang-plan")) req.set_bool("no_gang_plan", true);
   if (args.flag("--seed")) req.set_u64("seed", args.option_u64("--seed", 0));
   if (args.flag("--hours")) req.set("hours", args.option_double("--hours", 24));
   if (args.flag("--missions")) {
