@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/types.h"
+#include "svc/config.h"
 
 namespace vscrub {
 
@@ -98,28 +99,17 @@ std::vector<CliCommand> build_commands() {
        }});
   commands.push_back({"bist", "", "built-in self-test of the fabric model",
                       {device_flag()}});
-  commands.push_back(
-      {"serve", "", "run the vscrubd campaign service (VSRP1 socket)",
-       {
-           value_flag("--socket", "PATH",
-                      "unix socket path (default /tmp/vscrubd.sock)"),
-           value_flag("--tcp-port", "P", "also listen on TCP loopback port P"),
-           value_flag("--queue", "N", "admission queue capacity (default 16)"),
-           value_flag("--executors", "N", "concurrent requests (default 2)"),
-           value_flag("--threads", "N",
-                      "shared injection pool workers (0 = hardware)"),
-           value_flag("--cache-dir", "DIR",
-                      "process-wide verdict store shared by every client"),
-           value_flag("--retry-after", "MS",
-                      "busy-reply retry hint (default 250)"),
-           value_flag("--checkpoint-every", "N",
-                      "checkpoint served campaigns every N chunks (0 = off)"),
-           value_flag("--send-timeout", "MS",
-                      "per-frame reply write deadline before a client that "
-                      "stops reading is dropped (default 10000)"),
-           value_flag("--stats-json", "FILE",
-                      "write service stats JSON after the drain"),
-       }});
+  {
+    // The serve surface is declared once, in svc/config.h — the CLI table
+    // here is derived from it so a knob cannot exist without its flag.
+    CliCommand serve{"serve", "",
+                     "run the vscrubd campaign service (VSRP1 socket)", {}};
+    for (const ServiceConfigFlag& f : service_config_flags()) {
+      serve.flags.push_back(CliFlag{f.name, f.takes_value, f.value_name,
+                                    f.help});
+    }
+    commands.push_back(std::move(serve));
+  }
   commands.push_back(
       {"submit", "<op> [design]",
        "submit ping|stats|campaign|recampaign|mission|fleet to a vscrubd",
@@ -145,6 +135,9 @@ std::vector<CliCommand> build_commands() {
            bool_flag("--scrub-faults", "enable scrub-datapath fault models"),
            value_flag("--scrub-policy", "NAME",
                       "scrub policy for mission/fleet (fleet: list or 'all')"),
+           value_flag("--tenant", "NAME",
+                      "fair-share tenant identity for this submission "
+                      "(default: per-connection)"),
            bool_flag("--progress", "stream progress frames to stderr"),
            value_flag("--json", "FILE", "write the returned report JSON"),
        }});

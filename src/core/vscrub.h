@@ -43,14 +43,18 @@ namespace vscrub {
 /// Library version.
 const char* version();
 
-/// Workbench API version. Bumped to 3 with the ScrubPolicy redesign: the
-/// scrub layer is scheduled by pluggable policy objects (scrub/policy.h),
-/// ScrubberOptions lost the `rmw_repair`/`bit_granular_repair` bool pair in
-/// favour of the RepairMode enum, and the fleet runner grew the policy race
-/// (run_policy_race / Workbench::policy_race). Defaults are behaviour- and
-/// bit-identical to v2: an unset policy is the paper's readback_crc loop,
-/// and RepairMode::kGoldenOverwrite matches both bools false.
-inline constexpr int kWorkbenchApiVersion = 3;
+/// Workbench API version. Bumped to 4 with the session-oriented service
+/// API: ServiceSession::submit() returns a JobHandle (poll/wait/cancel,
+/// streaming events) and ServiceClient is a thin wrapper over it;
+/// ServerOptions/ServiceOptions merged into one validated ServiceConfig
+/// (svc/config.h) with fair-share scheduling (--sched-weight) and campaign
+/// preemption (--preempt) knobs; the served gang-width default follows the
+/// widest compiled SIMD tier. Served results stay bit-identical to v3 — the
+/// wire protocol, report schemas and campaign semantics are unchanged.
+///
+/// v3 (ScrubPolicy redesign): pluggable scrub policy objects, the
+/// RepairMode enum replacing the repair bool pair, the fleet policy race.
+inline constexpr int kWorkbenchApiVersion = 4;
 
 class Workbench {
  public:

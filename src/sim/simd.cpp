@@ -150,4 +150,13 @@ void validate_gang_width(u32 width) {
                        supported_gang_widths_list() + ")");
 }
 
+u32 preferred_gang_width() {
+  const SimdIsa isa = resolve_simd_isa(SimdIsa::kAuto);
+  u32 native = supported_gang_widths().max_narrow;
+  if (isa == SimdIsa::kAvx2) native = 256;
+  if (isa == SimdIsa::kAvx512) native = 512;
+  return gang_width_supported(native) ? native
+                                      : supported_gang_widths().max_narrow;
+}
+
 }  // namespace vscrub

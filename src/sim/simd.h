@@ -74,4 +74,11 @@ class GangWidthError : public Error {
 /// Throws GangWidthError unless gang_width_supported(width).
 void validate_gang_width(u32 width);
 
+/// The widest gang width the auto-resolved SIMD tier runs natively: 512 when
+/// resolve_simd_isa(kAuto) picks AVX-512, 256 for AVX2, max_narrow (64) for
+/// scalar. Honors VSCRUB_FORCE_ISA through the resolver, so a forced-scalar
+/// leg prefers 64. This is a throughput default only — every width computes
+/// identical verdicts.
+u32 preferred_gang_width();
+
 }  // namespace vscrub

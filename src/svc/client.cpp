@@ -1,146 +1,38 @@
 #include "svc/client.h"
 
-#include <arpa/inet.h>
-#include <cstring>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include <utility>
 
-#include "report/json.h"
-
 namespace vscrub {
-namespace {
-
-bool terminal(FrameKind kind) {
-  return kind == FrameKind::kResult || kind == FrameKind::kError ||
-         kind == FrameKind::kBusy;
-}
-
-}  // namespace
 
 ServiceClient ServiceClient::connect_unix(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  VSCRUB_CHECK(socket_path.size() < sizeof addr.sun_path,
-               "client: socket path too long: " + socket_path);
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  VSCRUB_CHECK(fd >= 0, "client: cannot create unix socket");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    ::close(fd);
-    throw Error("client: cannot connect to " + socket_path);
-  }
-  return ServiceClient(fd);
+  return ServiceClient(ServiceSession::connect_unix(socket_path));
 }
 
 ServiceClient ServiceClient::connect_tcp(u16 port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  VSCRUB_CHECK(fd >= 0, "client: cannot create tcp socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    ::close(fd);
-    throw Error("client: cannot connect to loopback port " +
-                std::to_string(port));
-  }
-  return ServiceClient(fd);
-}
-
-ServiceClient::ServiceClient(ServiceClient&& other) noexcept
-    : fd_(other.fd_),
-      next_id_(other.next_id_),
-      decoder_(std::move(other.decoder_)),
-      pending_(std::move(other.pending_)) {
-  other.fd_ = -1;
-}
-
-ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
-  if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = other.fd_;
-    next_id_ = other.next_id_;
-    decoder_ = std::move(other.decoder_);
-    pending_ = std::move(other.pending_);
-    other.fd_ = -1;
-  }
-  return *this;
-}
-
-ServiceClient::~ServiceClient() {
-  if (fd_ >= 0) ::close(fd_);
+  return ServiceClient(ServiceSession::connect_tcp(port));
 }
 
 u64 ServiceClient::send_request(FrameKind kind, const std::string& payload) {
-  const u64 id = next_id_++;
-  const std::vector<u8> bytes = encode_frame(Frame{kind, id, payload});
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const auto n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                          MSG_NOSIGNAL);
-    VSCRUB_CHECK(n > 0, "client: connection lost while sending");
-    sent += static_cast<std::size_t>(n);
-  }
+  JobHandle handle = session_.submit(kind, payload);
+  const u64 id = handle.id();
+  pending_.emplace(id, std::move(handle));
   return id;
-}
-
-Frame ServiceClient::read_frame() {
-  while (true) {
-    Frame frame;
-    const FrameDecoder::Status status = decoder_.next(&frame);
-    if (status == FrameDecoder::Status::kFrame) return frame;
-    if (status != FrameDecoder::Status::kNeedMore) {
-      throw Error(std::string("client: frame decode failed: ") +
-                  decode_status_name(status));
-    }
-    u8 buf[4096];
-    const auto n = ::recv(fd_, buf, sizeof buf, 0);
-    VSCRUB_CHECK(n > 0, "client: connection closed by server");
-    decoder_.feed(std::span<const u8>(buf, static_cast<std::size_t>(n)));
-  }
 }
 
 Frame ServiceClient::wait(u64 id,
                           const std::function<void(const Frame&)>& event) {
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    if (pending_[i].first == id) {
-      Frame frame = std::move(pending_[i].second);
-      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
-      return frame;
-    }
-  }
-  while (true) {
-    Frame frame = read_frame();
-    if (frame.request_id == id) {
-      if (terminal(frame.kind)) return frame;
-      if (event) event(frame);
-      continue;
-    }
-    // Another in-flight request's terminal reply: keep it for its wait().
-    // Its non-terminal frames are dropped — progress belongs to whoever is
-    // actively waiting.
-    if (terminal(frame.kind)) pending_.emplace_back(frame.request_id, frame);
-  }
+  const auto it = pending_.find(id);
+  VSCRUB_CHECK(it != pending_.end(),
+               "client: wait() for an unknown request id " +
+                   std::to_string(id));
+  JobHandle handle = it->second;
+  pending_.erase(it);
+  return handle.wait(event);
 }
 
 Frame ServiceClient::call(FrameKind kind, const std::string& payload,
                           const std::function<void(const Frame&)>& event) {
   return wait(send_request(kind, payload), event);
-}
-
-bool ServiceClient::cancel_request(u64 target_id) {
-  const Frame reply =
-      call(FrameKind::kCancel,
-           JsonReport("cancel_request").set_u64("target_id", target_id)
-               .to_json());
-  return reply.kind == FrameKind::kResult &&
-         FlatJson::parse(reply.payload).get_bool("cancelled", false);
 }
 
 }  // namespace vscrub

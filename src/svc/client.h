@@ -1,16 +1,22 @@
-// Blocking VSRP1 client: one socket, sequential request ids, replies
+// Blocking VSRP1 client — a thin wrapper over the session API
+// (svc/session.h). One socket, sequential request ids, replies
 // demultiplexed by id so several requests can be in flight on one
 // connection (submit a campaign, then cancel it, then wait). This is what
-// `vscrubctl submit` and the loopback tests use; it is intentionally
-// synchronous — the concurrency story lives on the server.
+// `vscrubctl submit` uses; it is intentionally synchronous — callers that
+// want overlapping jobs, polling or streaming callbacks should hold the
+// underlying ServiceSession (session()) and its JobHandles directly.
+//
+// Not thread-safe: one thread drives a ServiceClient (the session beneath
+// it runs its own reader thread, but this wrapper's bookkeeping is
+// single-threaded by design).
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "svc/protocol.h"
+#include "svc/session.h"
 
 namespace vscrub {
 
@@ -21,19 +27,19 @@ class ServiceClient {
   /// Connects to a vscrubd TCP loopback port. Throws Error on failure.
   static ServiceClient connect_tcp(u16 port);
 
-  ServiceClient(ServiceClient&& other) noexcept;
-  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(ServiceClient&&) noexcept = default;
+  ServiceClient& operator=(ServiceClient&&) noexcept = default;
   ServiceClient(const ServiceClient&) = delete;
   ServiceClient& operator=(const ServiceClient&) = delete;
-  ~ServiceClient();
+  ~ServiceClient() = default;
 
   /// Sends a request frame and returns its id without waiting for a reply.
   u64 send_request(FrameKind kind, const std::string& payload);
 
   /// Blocks until the terminal reply (kResult / kError / kBusy) for `id`.
   /// Non-terminal frames for `id` (kAccepted, kProgress) invoke `event` when
-  /// set; terminal replies for OTHER in-flight ids are buffered for their
-  /// own wait() call. Throws Error if the connection dies first.
+  /// set — including ones that arrived before this call. Throws Error if the
+  /// connection dies first, or when `id` is not an in-flight request.
   Frame wait(u64 id, const std::function<void(const Frame&)>& event = {});
 
   /// send_request + wait in one call.
@@ -41,22 +47,25 @@ class ServiceClient {
              const std::function<void(const Frame&)>& event = {});
 
   /// Liveness probe; returns the kResult pong frame.
-  Frame ping() { return call(FrameKind::kPing, ""); }
+  Frame ping() { return session_.ping(); }
   /// Server metrics snapshot (kResult, service_stats payload).
-  Frame stats() { return call(FrameKind::kStats, ""); }
+  Frame stats() { return session_.stats(); }
   /// Asks the server to cancel request `target_id`; true when the server
   /// still knew the request (queued or running).
-  bool cancel_request(u64 target_id);
+  bool cancel_request(u64 target_id) {
+    return session_.cancel_request(target_id);
+  }
+
+  /// The session underneath, for callers graduating to the v4 API.
+  ServiceSession& session() { return session_; }
 
  private:
-  explicit ServiceClient(int fd) : fd_(fd) {}
-  Frame read_frame();
+  explicit ServiceClient(ServiceSession session)
+      : session_(std::move(session)) {}
 
-  int fd_ = -1;
-  u64 next_id_ = 1;
-  FrameDecoder decoder_;
-  /// Terminal replies read while waiting for a different id.
-  std::vector<std::pair<u64, Frame>> pending_;
+  ServiceSession session_;
+  /// In-flight handles by request id, for the send_request/wait split.
+  std::map<u64, JobHandle> pending_;
 };
 
 }  // namespace vscrub

@@ -1,6 +1,8 @@
 #include "svc/requests.h"
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "designs/test_designs.h"
@@ -43,11 +45,34 @@ DeviceGeometry device_by_name(const std::string& name) {
 
 namespace {
 
-PlacedDesign compile_request_design(const std::string& design,
-                                    const std::string& device) {
-  return compile(std::make_shared<const Netlist>(design_by_name(design)),
-                 std::make_shared<const ConfigSpace>(device_by_name(device)),
-                 {});
+/// Compiled designs are pure functions of (design, device), and campaigns
+/// only ever read them (fault injection works on copies of the golden
+/// bitstream), so the daemon memoizes place-and-route process-wide: a warm
+/// served request pays a map lookup, not a compile. The cache is capped —
+/// parameterized `tiny:RxC` device names are unbounded — and overflow simply
+/// compiles without inserting.
+std::shared_ptr<const PlacedDesign> compile_request_design(
+    const std::string& design, const std::string& device) {
+  static std::mutex cache_mutex;
+  static std::map<std::pair<std::string, std::string>,
+                  std::shared_ptr<const PlacedDesign>>
+      cache;
+  constexpr std::size_t kMaxCachedDesigns = 16;
+  const std::pair<std::string, std::string> key{design, device};
+  {
+    std::lock_guard lock(cache_mutex);
+    if (const auto it = cache.find(key); it != cache.end()) return it->second;
+  }
+  auto compiled = std::make_shared<const PlacedDesign>(
+      compile(std::make_shared<const Netlist>(design_by_name(design)),
+              std::make_shared<const ConfigSpace>(device_by_name(device)),
+              {}));
+  std::lock_guard lock(cache_mutex);
+  if (cache.size() < kMaxCachedDesigns) {
+    const auto [it, inserted] = cache.emplace(key, compiled);
+    return it->second;  // a racing compile may have beaten us; share theirs
+  }
+  return compiled;
 }
 
 /// Mirrors vscrubctl's campaign_options_from: same parameter names (with the
@@ -58,7 +83,8 @@ CampaignOptions campaign_options_from(const FlatJson& params,
   const u32 gang_width =
       params.get_bool("no_gang")
           ? 1u
-          : static_cast<u32>(params.get_u64("gang_width", 64));
+          : static_cast<u32>(
+                params.get_u64("gang_width", served_gang_width_default()));
   // Validate the engine selection at submission: GangWidthError / SimdIsaError
   // (listing the widths/tiers this binary supports) surface as typed VSRP1
   // error frames here instead of aborting the campaign mid-run.
@@ -83,38 +109,56 @@ CampaignOptions campaign_options_from(const FlatJson& params,
   }
   if (ctx.store != nullptr) options.with_shared_store(ctx.store);
   if (ctx.pool != nullptr) options.with_shared_pool(ctx.pool);
-  if (!ctx.checkpoint_path.empty()) options.with_checkpoint(ctx.checkpoint_path);
+  if (!ctx.checkpoint_path.empty()) {
+    if (ctx.checkpoint_every_chunks > 0) {
+      options.with_checkpoint(ctx.checkpoint_path, ctx.checkpoint_every_chunks);
+    } else {
+      options.with_checkpoint(ctx.checkpoint_path);
+    }
+  }
+  // Cancel beats preemption: both stop the campaign at the chunk boundary
+  // (writing the checkpoint), but a cancelled job must deliver its
+  // interrupted report, so the service checks the cancel flag before
+  // deciding a stop was a preemption.
   const std::atomic<bool>* cancelled = ctx.cancelled;
   options.with_progress(
-      [cancelled, forward = ctx.on_progress](const CampaignProgress& p) {
+      [cancelled, forward = ctx.on_progress,
+       preempt = ctx.preempt_poll](const CampaignProgress& p) {
         if (forward) forward(p);
-        return cancelled == nullptr ||
-               !cancelled->load(std::memory_order_relaxed);
+        if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed))
+          return false;
+        return !(preempt && preempt(p.chunks_done));
       },
       params.get_u64("progress_every_chunks", 8));
   return options;
 }
 
+}  // namespace
+
+u32 served_gang_width_default() { return preferred_gang_width(); }
+
+namespace {
+
 JsonReport run_campaign_request(const FlatJson& params,
                                 const RequestContext& ctx) {
-  const PlacedDesign design =
+  const std::shared_ptr<const PlacedDesign> design =
       compile_request_design(params.get_string("design", "lfsrmult"),
                              params.get_string("device", "campaign"));
   const CampaignResult r =
-      run_campaign(design, campaign_options_from(params, ctx));
-  return campaign_report_json(design, r);
+      run_campaign(*design, campaign_options_from(params, ctx));
+  return campaign_report_json(*design, r);
 }
 
 JsonReport run_recampaign_request(const FlatJson& params,
                                   const RequestContext& ctx) {
   VSCRUB_CHECK(ctx.store != nullptr,
                "recampaign requests need a server started with --cache-dir");
-  const PlacedDesign design =
+  const std::shared_ptr<const PlacedDesign> design =
       compile_request_design(params.get_string("design", "lfsrmult"),
                              params.get_string("device", "campaign"));
   const RecampaignResult rr =
-      run_recampaign(design, campaign_options_from(params, ctx));
-  return recampaign_report_json(design, rr);
+      run_recampaign(*design, campaign_options_from(params, ctx));
+  return recampaign_report_json(*design, rr);
 }
 
 /// Mirrors vscrubctl's apply_mission_flags (same environment scaling).
@@ -149,32 +193,32 @@ CampaignResult mission_sensitivity_campaign(const PlacedDesign& design,
 
 JsonReport run_mission_request(const FlatJson& params,
                                const RequestContext& ctx) {
-  const PlacedDesign design = compile_request_design(
+  const std::shared_ptr<const PlacedDesign> design = compile_request_design(
       "lfsrmult", params.get_string("device", "campaign"));
-  const CampaignResult camp = mission_sensitivity_campaign(design, ctx);
+  const CampaignResult camp = mission_sensitivity_campaign(*design, ctx);
   PayloadOptions options;
-  apply_mission_params(params, options, design.space->total_bits());
+  apply_mission_params(params, options, design->space->total_bits());
   const std::string policy = params.get_string("scrub_policy", "");
   if (!policy.empty()) options.scrub.policy = make_scrub_policy(policy);
   options.seed = params.get_u64("seed", 4242);
   MetricsRegistry metrics;
   options.metrics = &metrics;
-  Payload payload(design, options, camp.sensitive_set(design));
+  Payload payload(*design, options, camp.sensitive_set(*design));
   payload.run_mission(SimTime::hours(params.get_double("hours", 24)));
   return mission_report_json(metrics);
 }
 
 JsonReport run_fleet_request(const FlatJson& params,
                              const RequestContext& ctx) {
-  const PlacedDesign design = compile_request_design(
+  const std::shared_ptr<const PlacedDesign> design = compile_request_design(
       "lfsrmult", params.get_string("device", "campaign"));
-  const CampaignResult camp = mission_sensitivity_campaign(design, ctx);
+  const CampaignResult camp = mission_sensitivity_campaign(*design, ctx);
   FleetOptions options;
   options.missions = static_cast<u32>(params.get_u64("missions", 8));
   options.base_seed = params.get_u64("seed", 1);
   options.threads = static_cast<u32>(params.get_u64("threads", 0));
   options.duration = SimTime::hours(params.get_double("hours", 24));
-  apply_mission_params(params, options.payload, design.space->total_bits());
+  apply_mission_params(params, options.payload, design->space->total_bits());
   // Same spec grammar as `vscrubctl fleet --scrub-policy`: one name sets the
   // sweep's policy; a comma list or "all" races them and returns the
   // policy_race report, bit-identical to the one-shot CLI run.
@@ -185,12 +229,13 @@ JsonReport run_fleet_request(const FlatJson& params,
     ro.policies = policies;
     ro.fleet = options;
     return policy_race_report_json(
-        run_policy_race(design, camp.sensitive_set(design), ro));
+        run_policy_race(*design, camp.sensitive_set(*design), ro));
   }
   if (policies.size() == 1) {
     options.payload.scrub.policy = make_scrub_policy(policies[0]);
   }
-  return fleet_report_json(run_fleet(design, camp.sensitive_set(design), options));
+  return fleet_report_json(
+      run_fleet(*design, camp.sensitive_set(*design), options));
 }
 
 }  // namespace

@@ -39,10 +39,25 @@ struct RequestContext {
   /// Chunk-complete telemetry hook (campaign/recampaign only); the service
   /// forwards these as kProgress frames. May be empty.
   std::function<void(const CampaignProgress&)> on_progress;
-  /// When set, campaigns checkpoint here (VSCK3) so a cancelled or
+  /// Preemption hook, polled with chunks_done at every chunk boundary the
+  /// progress callback sees. Returning true stops the campaign exactly like
+  /// a cancel — at the boundary, writing its checkpoint — but the service
+  /// requeues the job instead of delivering the interrupted report, and the
+  /// next dispatch resumes from the checkpoint bit-identically. May be empty.
+  std::function<bool(u64)> preempt_poll;
+  /// When set, campaigns checkpoint here (VSCK) so a cancelled, preempted or
   /// hard-stopped request leaves a resumable trail. Empty = no checkpoints.
   std::string checkpoint_path;
+  /// Checkpoint cadence in chunks (0 = the campaign default).
+  u64 checkpoint_every_chunks = 0;
 };
+
+/// The gang width served work defaults to when a request does not pick one:
+/// the widest lane width the auto-resolved SIMD tier runs natively (512 on
+/// AVX-512, 256 on AVX2, 64 on scalar). Width never changes verdicts or
+/// digests — the differential suite proves that — so the service defaults to
+/// the fastest engine while `vscrubctl campaign` keeps its historical 64.
+u32 served_gang_width_default();
 
 /// Executes one work request and returns its report (the same JSON the
 /// corresponding `vscrubctl <op> --json` writes). `kind` must be one of

@@ -6,13 +6,18 @@
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <deque>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 #include "common/log.h"
 
@@ -30,123 +35,135 @@ extern "C" void vscrubd_signal_handler(int) {
   }
 }
 
-/// One live connection, shared between its reader thread and every executor
-/// holding an emit closure for one of its requests. The fd is closed only
-/// when the LAST holder lets go — an executor finishing a campaign after the
-/// client hung up must never write into a recycled fd number.
-struct ConnState {
-  ConnState(int fd_in, int send_timeout_ms_in)
-      : fd(fd_in), send_timeout_ms(send_timeout_ms_in) {}
-  ~ConnState() { ::close(fd); }
-
-  /// Writes one whole frame under the connection's write mutex, so frames
-  /// from concurrent executors interleave at frame — not byte — granularity.
-  /// The write is deadline-bounded: a peer that stops draining its socket
-  /// buffer for send_timeout_ms is declared dead — the connection is shut
-  /// down (unwedging its reader thread too) and all further replies are
-  /// dropped, same as the peer-gone policy. Executor threads therefore can
-  /// never block indefinitely inside a reply, and cancel_all()/wait_drained()
-  /// always make progress.
-  void send_frame(const Frame& frame) {
-    if (dead.load(std::memory_order_relaxed)) return;
-    const std::vector<u8> bytes = encode_frame(frame);
-    std::lock_guard lock(write_mutex);
-    if (dead.load(std::memory_order_relaxed)) return;
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(send_timeout_ms);
-    std::size_t sent = 0;
-    while (sent < bytes.size()) {
-      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-          deadline - std::chrono::steady_clock::now()).count();
-      pollfd pfd{fd, POLLOUT, 0};
-      const int ready = ::poll(&pfd, 1, left > 0 ? static_cast<int>(left) : 0);
-      if (ready < 0 && errno == EINTR) continue;
-      if (ready <= 0) {  // timeout (peer not draining) or poll failure
-        mark_dead();
-        return;
-      }
-      const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                            MSG_NOSIGNAL | MSG_DONTWAIT);
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
-        continue;
-      if (n <= 0) {  // peer gone; replies for it are dropped
-        mark_dead();
-        return;
-      }
-      sent += static_cast<std::size_t>(n);
-    }
-  }
-
-  void mark_dead() {
-    dead.store(true, std::memory_order_relaxed);
-    ::shutdown(fd, SHUT_RDWR);
-  }
-
-  const int fd;
-  const int send_timeout_ms;
-  std::atomic<bool> dead{false};
-  std::mutex write_mutex;
-};
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
 
 }  // namespace
 
-SocketServer::SocketServer(ServerOptions options)
-    : options_(std::move(options)),
-      service_(std::make_unique<CampaignService>(options_.service)) {}
+/// One live connection. The event loop owns the socket: it is the only
+/// thread that ever recv()s or send()s on fd. Executor emit closures hold a
+/// shared_ptr and only append encoded frames to the write queue — the fd is
+/// closed when the LAST holder lets go, so an executor finishing a campaign
+/// after the client hung up can never write into a recycled fd number.
+struct SocketServer::Conn {
+  Conn(int fd_in, u64 client_id_in) : fd(fd_in), client_id(client_id_in) {}
+  ~Conn() { ::close(fd); }
+
+  const int fd;
+  const u64 client_id;
+
+  // Event-loop-thread state (never touched by executors).
+  FrameDecoder decoder;
+  bool reading = true;            ///< false after a poisoned stream
+  bool close_after_flush = false; ///< close once the error reply is out
+
+  /// Set by the loop on close and by emit on backlog overflow; emit drops
+  /// frames for a dead connection instead of queuing into the void.
+  std::atomic<bool> dead{false};
+
+  /// Write queue: whole encoded frames, drained front-first. Guarded by
+  /// `mutex` because executors append concurrently with the loop draining.
+  std::mutex mutex;
+  std::deque<std::vector<u8>> out;
+  std::size_t front_off = 0;   ///< bytes of out.front() already sent
+  std::size_t out_bytes = 0;   ///< total queued bytes (backlog accounting)
+  bool blocked = false;        ///< send hit EAGAIN with data still queued
+  std::chrono::steady_clock::time_point blocked_since{};
+};
+
+/// Executor -> event-loop nudge: an eventfd plus the list of connections
+/// with fresh output. Emit closures touch ONLY this and the conn's queue.
+struct SocketServer::WakeSignal {
+  WakeSignal() : fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {}
+  ~WakeSignal() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void mark_dirty(std::shared_ptr<Conn> conn) {
+    {
+      std::lock_guard lock(mutex);
+      dirty.push_back(std::move(conn));
+    }
+    const u64 one = 1;
+    [[maybe_unused]] const auto n = ::write(fd, &one, sizeof one);
+  }
+
+  std::vector<std::shared_ptr<Conn>> take_dirty() {
+    std::lock_guard lock(mutex);
+    return std::exchange(dirty, {});
+  }
+
+  const int fd;
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Conn>> dirty;
+};
+
+SocketServer::SocketServer(ServiceConfig config)
+    : config_(std::move(config)),
+      service_(std::make_unique<CampaignService>(config_)),
+      wake_(std::make_shared<WakeSignal>()) {
+  VSCRUB_CHECK(wake_->fd >= 0, "vscrubd: cannot create wakeup eventfd");
+}
 
 SocketServer::~SocketServer() {
   close_listeners();
-  {
-    std::lock_guard lock(conn_mutex_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& [fd, conn] : conns_) {
+    conn->dead.store(true, std::memory_order_release);
+    ::shutdown(fd, SHUT_RDWR);
   }
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
-  }
+  conns_.clear();
+  // Drain and join the executors while wake_ and the surviving Conn objects
+  // (held by emit closures) are still valid.
+  service_.reset();
   if (g_signal_fd.load(std::memory_order_relaxed) == stop_pipe_[1]) {
     g_signal_fd.store(-1, std::memory_order_relaxed);
   }
   if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
   if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
-  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (!config_.socket_path.empty()) ::unlink(config_.socket_path.c_str());
 }
 
 void SocketServer::start() {
   ::signal(SIGPIPE, SIG_IGN);
   VSCRUB_CHECK(::pipe(stop_pipe_) == 0, "vscrubd: cannot create stop pipe");
-  ::fcntl(stop_pipe_[0], F_SETFL, O_NONBLOCK);
+  set_nonblocking(stop_pipe_[0]);
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  VSCRUB_CHECK(options_.socket_path.size() < sizeof addr.sun_path,
-               "vscrubd: socket path too long: " + options_.socket_path);
-  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
-              options_.socket_path.size() + 1);
-  ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
+  VSCRUB_CHECK(config_.socket_path.size() < sizeof addr.sun_path,
+               "vscrubd: socket path too long: " + config_.socket_path);
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  ::unlink(config_.socket_path.c_str());  // stale socket from a dead daemon
   unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   VSCRUB_CHECK(unix_fd_ >= 0, "vscrubd: cannot create unix socket");
   VSCRUB_CHECK(::bind(unix_fd_, reinterpret_cast<const sockaddr*>(&addr),
                       sizeof addr) == 0,
-               "vscrubd: cannot bind " + options_.socket_path);
-  VSCRUB_CHECK(::listen(unix_fd_, 64) == 0,
-               "vscrubd: cannot listen on " + options_.socket_path);
+               "vscrubd: cannot bind " + config_.socket_path);
+  VSCRUB_CHECK(::listen(unix_fd_, 256) == 0,
+               "vscrubd: cannot listen on " + config_.socket_path);
+  set_nonblocking(unix_fd_);
 
-  if (options_.tcp_port != 0) {
+  if (config_.tcp_port != 0) {
     tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     VSCRUB_CHECK(tcp_fd_ >= 0, "vscrubd: cannot create tcp socket");
     const int one = 1;
     ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
     sockaddr_in tcp{};
     tcp.sin_family = AF_INET;
-    tcp.sin_port = htons(options_.tcp_port);
+    tcp.sin_port = htons(config_.tcp_port);
     // Loopback only: the frame protocol carries no authentication, so the
     // TCP listener must never be reachable off-host.
     tcp.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     VSCRUB_CHECK(::bind(tcp_fd_, reinterpret_cast<const sockaddr*>(&tcp),
                         sizeof tcp) == 0,
                  "vscrubd: cannot bind loopback tcp port");
-    VSCRUB_CHECK(::listen(tcp_fd_, 64) == 0,
+    VSCRUB_CHECK(::listen(tcp_fd_, 256) == 0,
                  "vscrubd: cannot listen on tcp port");
+    set_nonblocking(tcp_fd_);
   }
 }
 
@@ -163,7 +180,7 @@ void SocketServer::request_stop() {
 
 void SocketServer::close_listeners() {
   if (unix_fd_ >= 0) {
-    ::close(unix_fd_);
+    ::close(unix_fd_);  // a closed fd leaves its epoll set automatically
     unix_fd_ = -1;
   }
   if (tcp_fd_ >= 0) {
@@ -172,102 +189,99 @@ void SocketServer::close_listeners() {
   }
 }
 
-void SocketServer::run() {
-  int stops = 0;
-  while (stops == 0) {
-    pollfd fds[3];
-    nfds_t nfds = 0;
-    fds[nfds++] = {stop_pipe_[0], POLLIN, 0};
-    fds[nfds++] = {unix_fd_, POLLIN, 0};
-    if (tcp_fd_ >= 0) fds[nfds++] = {tcp_fd_, POLLIN, 0};
-    const int ready = ::poll(fds, nfds, -1);
-    if (ready < 0) {
+void SocketServer::accept_ready(int listen_fd) {
+  while (true) {
+    const int cfd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
       if (errno == EINTR) continue;
-      VSCRUB_WARN("vscrubd: poll failed; shutting down");
-      break;
+      return;  // EAGAIN: drained the accept backlog (or listener closed)
     }
-    if ((fds[0].revents & POLLIN) != 0) {
-      char byte;
-      while (::read(stop_pipe_[0], &byte, 1) == 1) ++stops;
-      break;
+    const u64 client_id =
+        next_client_id_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Conn>(cfd, client_id);
+    epoll_event ev{};
+    // Edge-triggered both ways: read_ready recvs until EAGAIN, flush_writes
+    // sends until EAGAIN, so no edge is ever absorbed without draining.
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.fd = cfd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev) != 0) {
+      continue;  // conn drops here, closing cfd
     }
-    for (nfds_t i = 1; i < nfds; ++i) {
-      if ((fds[i].revents & POLLIN) == 0) continue;
-      const int conn = ::accept(fds[i].fd, nullptr, nullptr);
-      if (conn < 0) continue;
-      const u64 client_id =
-          next_client_id_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard lock(conn_mutex_);
-      conn_fds_.push_back(conn);
-      conn_threads_.emplace_back(
-          [this, conn, client_id] { connection_loop(conn, client_id); });
-    }
+    conns_.emplace(cfd, std::move(conn));
   }
-
-  // Drain: stop admitting, let queued + running work finish and deliver.
-  stopping_.store(true, std::memory_order_release);
-  close_listeners();
-  service_->begin_drain();
-  if (stops > 1) service_->cancel_all();
-  // A further stop request arriving *during* the drain escalates to cancel.
-  std::thread escalation([this] {
-    while (true) {
-      pollfd pfd{stop_pipe_[0], POLLIN, 0};
-      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) return;
-      char byte;
-      const auto n = ::read(stop_pipe_[0], &byte, 1);
-      if (n == 1) {
-        service_->cancel_all();
-        continue;
-      }
-      if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR)) return;
-      if ((pfd.revents & (POLLHUP | POLLERR)) != 0) return;
-    }
-  });
-  service_->wait_drained();
-  // Closing the write end EOFs the pipe and unblocks the escalation watcher.
-  if (g_signal_fd.load(std::memory_order_relaxed) == stop_pipe_[1]) {
-    g_signal_fd.store(-1, std::memory_order_relaxed);
-  }
-  ::close(stop_pipe_[1]);
-  stop_pipe_[1] = -1;
-  escalation.join();
-  {
-    std::lock_guard lock(conn_mutex_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard lock(conn_mutex_);
-    conn_threads_.clear();
-    conn_fds_.clear();
-  }
-  ::unlink(options_.socket_path.c_str());
 }
 
-void SocketServer::connection_loop(int fd, u64 client_id) {
-  const auto state = std::make_shared<ConnState>(fd, options_.send_timeout_ms);
-  const auto emit = [state](const Frame& frame) { state->send_frame(frame); };
+void SocketServer::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const std::shared_ptr<Conn> conn = it->second;
+  conn->dead.store(true, std::memory_order_release);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  // Break the peer now; the fd itself is closed when the last emit closure
+  // (possibly held by an executor still finishing this client's campaign)
+  // releases the shared state.
+  ::shutdown(fd, SHUT_RDWR);
+  conns_.erase(it);
+  // Replies for this client can no longer be delivered, so any campaign it
+  // still has queued or running is pure waste: cancel it at the next chunk
+  // boundary (it checkpoints, and its undeliverable report is dropped by
+  // the dead-connection emit).
+  service_->cancel_client(conn->client_id);
+}
 
-  FrameDecoder decoder;
-  u8 buf[4096];
-  bool open = true;
-  while (open) {
-    const auto n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) break;
-    decoder.feed(std::span<const u8>(buf, static_cast<std::size_t>(n)));
+void SocketServer::read_ready(const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.load(std::memory_order_acquire)) {
+    close_conn(conn->fd);
+    return;
+  }
+  u8 buf[16384];
+  while (true) {
+    const auto n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n == 0) {  // orderly EOF from the peer
+      close_conn(conn->fd);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_conn(conn->fd);
+      return;
+    }
+    if (!conn->reading) continue;  // poisoned: discard input until close
+    conn->decoder.feed(std::span<const u8>(buf, static_cast<std::size_t>(n)));
+
+    // The emit closure is what executors hold: encode, enqueue, nudge the
+    // loop. It never touches the socket, so a stalled peer can only ever
+    // stall its own queue — never the executor running its campaign.
+    const auto wake = wake_;
+    const auto cap = config_.max_conn_backlog_bytes;
+    const CampaignService::Emit emit = [conn, wake, cap](const Frame& frame) {
+      if (conn->dead.load(std::memory_order_acquire)) return;
+      std::vector<u8> bytes = encode_frame(frame);
+      bool overflow = false;
+      {
+        std::lock_guard lock(conn->mutex);
+        conn->out_bytes += bytes.size();
+        conn->out.push_back(std::move(bytes));
+        overflow = conn->out_bytes > cap;
+      }
+      // A client that submits work and never drains its replies is declared
+      // dead at the backlog bound — reject-don't-buffer, transport edition.
+      if (overflow) conn->dead.store(true, std::memory_order_release);
+      wake->mark_dirty(conn);
+    };
+
     bool more = true;
-    while (more && open) {
+    while (more && conn->reading) {
       Frame frame;
-      const FrameDecoder::Status status = decoder.next(&frame);
+      const FrameDecoder::Status status = conn->decoder.next(&frame);
       switch (status) {
         case FrameDecoder::Status::kNeedMore:
           more = false;
           break;
         case FrameDecoder::Status::kFrame:
-          service_->handle(frame, emit, client_id);
+          service_->handle(frame, emit, conn->client_id);
           break;
         case FrameDecoder::Status::kBadKind:
           // Framing is intact: answer and keep the connection.
@@ -279,29 +293,188 @@ void SocketServer::connection_loop(int fd, u64 client_id) {
           break;
         default:
           // Stream-level corruption: the connection has lost sync. Answer
-          // with a typed error so the peer learns why, then close.
+          // with a typed error so the peer learns why, then close once the
+          // reply has flushed (the send deadline bounds how long that can
+          // take against a non-reading peer).
           emit(Frame{FrameKind::kError, 0,
                      JsonReport("error")
                          .set_string("code", decode_status_name(status))
                          .set_string("error",
                                      "unrecoverable frame decode error")
                          .to_json()});
-          open = false;
+          conn->reading = false;
+          conn->close_after_flush = true;
           break;
       }
     }
   }
-  // Break the peer now; the fd itself is closed when the last emit closure
-  // (possibly held by an executor still finishing this client's campaign)
-  // releases the shared state.
-  ::shutdown(fd, SHUT_RDWR);
-  std::lock_guard lock(conn_mutex_);
-  for (std::size_t i = 0; i < conn_fds_.size(); ++i) {
-    if (conn_fds_[i] == fd) {
-      conn_fds_.erase(conn_fds_.begin() + static_cast<std::ptrdiff_t>(i));
-      break;
+}
+
+void SocketServer::flush_writes(const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.load(std::memory_order_acquire)) {
+    close_conn(conn->fd);
+    return;
+  }
+  bool close_now = false;
+  {
+    std::unique_lock lock(conn->mutex);
+    while (!conn->out.empty()) {
+      const std::vector<u8>& front = conn->out.front();
+      const auto n = ::send(conn->fd, front.data() + conn->front_off,
+                            front.size() - conn->front_off,
+                            MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        conn->front_off += static_cast<std::size_t>(n);
+        conn->out_bytes -= static_cast<std::size_t>(n);
+        if (conn->front_off == front.size()) {
+          conn->out.pop_front();
+          conn->front_off = 0;
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Peer's socket buffer is full: arm the write-progress deadline and
+        // wait for EPOLLOUT. Any byte of progress re-arms it.
+        if (!conn->blocked) {
+          conn->blocked = true;
+          conn->blocked_since = std::chrono::steady_clock::now();
+        }
+        return;
+      }
+      // Hard send error: peer is gone; its remaining replies are dropped.
+      lock.unlock();
+      close_conn(conn->fd);
+      return;
+    }
+    conn->blocked = false;
+    close_now = conn->close_after_flush;
+  }
+  if (close_now) close_conn(conn->fd);
+}
+
+int SocketServer::enforce_deadlines() {
+  const auto now = std::chrono::steady_clock::now();
+  int next_ms = -1;
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : conns_) {
+    std::lock_guard lock(conn->mutex);
+    if (!conn->blocked) continue;
+    const auto waited_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - conn->blocked_since).count();
+    if (waited_ms >= config_.send_timeout_ms) {
+      expired.push_back(fd);
+    } else {
+      const int left = config_.send_timeout_ms - static_cast<int>(waited_ms);
+      if (next_ms < 0 || left < next_ms) next_ms = left;
     }
   }
+  for (const int fd : expired) close_conn(fd);
+  return next_ms;
+}
+
+bool SocketServer::all_flushed() {
+  for (const auto& [fd, conn] : conns_) {
+    std::lock_guard lock(conn->mutex);
+    if (!conn->out.empty()) return false;
+  }
+  return true;
+}
+
+void SocketServer::run() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  VSCRUB_CHECK(epoll_fd_ >= 0, "vscrubd: cannot create epoll instance");
+  const auto add_level = [this](int fd) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    VSCRUB_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                 "vscrubd: epoll_ctl failed");
+  };
+  add_level(stop_pipe_[0]);
+  add_level(wake_->fd);
+  add_level(unix_fd_);
+  if (tcp_fd_ >= 0) add_level(tcp_fd_);
+
+  int stops = 0;
+  bool draining = false;
+  epoll_event events[128];
+  while (true) {
+    // Timeout: the nearest write deadline, and while draining a short poll
+    // so the loop notices service_->idle() without a dedicated waiter.
+    int timeout_ms = enforce_deadlines();
+    if (draining && (timeout_ms < 0 || timeout_ms > 20)) timeout_ms = 20;
+    const int n = ::epoll_wait(epoll_fd_, events,
+                               static_cast<int>(std::size(events)),
+                               timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      VSCRUB_WARN("vscrubd: epoll_wait failed; shutting down");
+      break;
+    }
+    int new_stops = 0;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const u32 ev = events[i].events;
+      if (fd == stop_pipe_[0]) {
+        char byte;
+        while (::read(stop_pipe_[0], &byte, 1) == 1) ++new_stops;
+      } else if (fd == wake_->fd) {
+        u64 value;
+        while (::read(wake_->fd, &value, sizeof value) > 0) {
+        }
+      } else if (fd == unix_fd_ || fd == tcp_fd_) {
+        accept_ready(fd);
+      } else {
+        const auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // closed earlier this batch
+        const std::shared_ptr<Conn> conn = it->second;
+        if ((ev & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0) {
+          read_ready(conn);
+        }
+        if ((ev & EPOLLOUT) != 0) {
+          const auto still = conns_.find(fd);
+          if (still != conns_.end() && still->second == conn) {
+            flush_writes(conn);
+          }
+        }
+      }
+    }
+    // Drain connections executors (or inline replies) marked dirty. The fd
+    // may have been closed and the number recycled, so match the object,
+    // not the number.
+    for (const auto& conn : wake_->take_dirty()) {
+      const auto it = conns_.find(conn->fd);
+      if (it != conns_.end() && it->second == conn) flush_writes(conn);
+    }
+    if (new_stops > 0) {
+      stops += new_stops;
+      if (!draining) {
+        draining = true;
+        close_listeners();
+        service_->begin_drain();
+        if (stops > 1) service_->cancel_all();
+      } else {
+        // A further stop request arriving DURING the drain escalates to
+        // cancel: live campaigns stop at the next chunk boundary,
+        // checkpoint, and deliver their interrupted results.
+        service_->cancel_all();
+      }
+    }
+    if (draining && service_->idle() && all_flushed()) break;
+  }
+
+  service_->wait_drained();  // idle already; this flushes the verdict store
+  std::vector<int> open_fds;
+  open_fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) open_fds.push_back(fd);
+  for (const int fd : open_fds) close_conn(fd);
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  ::unlink(config_.socket_path.c_str());
 }
 
 }  // namespace vscrub

@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <optional>
 #include <utility>
 
 #include "common/log.h"
@@ -9,22 +11,31 @@
 
 namespace vscrub {
 
-CampaignService::CampaignService(const ServiceOptions& options)
-    : options_(options),
-      pool_(options.pool_threads) {
-  if (!options_.cache_dir.empty()) {
-    store_ = std::make_unique<VerdictStore>(options_.cache_dir);
+CampaignService::CampaignService(const ServiceConfig& config)
+    : config_(config),
+      pool_(config.pool_threads) {
+  config_.validate();
+  if (!config_.cache_dir.empty()) {
+    store_ = std::make_unique<VerdictStore>(config_.cache_dir);
+  }
+  // Preemption and periodic checkpointing both write VSCK files under the
+  // checkpoint directory; make sure it exists before the first campaign
+  // tries to stop there.
+  if ((config_.preempt_chunks > 0 || config_.checkpoint_every_chunks > 0) &&
+      !config_.checkpoint_dir().empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.checkpoint_dir(), ec);
   }
   {
     std::lock_guard lock(metrics_mutex_);
-    metrics_.histogram("request_latency_ms", options_.latency_reservoir);
+    metrics_.histogram("request_latency_ms", config_.latency_reservoir);
+    metrics_.counter("preemptions");
     metrics_.set_gauge("queue_depth", 0.0);
     metrics_.set_gauge("queue_capacity",
-                       static_cast<double>(options_.queue_capacity));
+                       static_cast<double>(config_.queue_capacity));
   }
-  const unsigned executors = options_.executors == 0 ? 1 : options_.executors;
-  executors_.reserve(executors);
-  for (unsigned i = 0; i < executors; ++i) {
+  executors_.reserve(config_.executors);
+  for (unsigned i = 0; i < config_.executors; ++i) {
     executors_.emplace_back([this] { executor_loop(); });
   }
 }
@@ -51,7 +62,7 @@ JsonReport CampaignService::error_report(const std::string& code,
 JsonReport CampaignService::busy_report(const std::string& reason) const {
   return JsonReport("busy")
       .set_string("reason", reason)
-      .set_u64("retry_after_ms", options_.retry_after_ms);
+      .set_u64("retry_after_ms", config_.retry_after_ms);
 }
 
 void CampaignService::reply(const Emit& emit, FrameKind kind, u64 request_id,
@@ -100,6 +111,24 @@ void CampaignService::handle(const Frame& request, Emit emit, u64 client_id) {
       return;
   }
 
+  // The payload must parse before admission: the tenant lane comes from it,
+  // and a malformed request should cost one typed reply, not a queue slot
+  // and an executor dispatch.
+  std::string tenant;
+  try {
+    const FlatJson params = FlatJson::parse(
+        request.payload.empty() ? "{}" : request.payload);
+    tenant = params.get_string("tenant", "");
+  } catch (const Error& e) {
+    {
+      std::lock_guard mlock(metrics_mutex_);
+      metrics_.counter("bad_requests").add();
+    }
+    reply(emit, FrameKind::kError, request.request_id,
+          error_report("bad_request", e.what()));
+    return;
+  }
+
   // Reject-don't-buffer admission: the queue bound is the whole backpressure
   // story, so the admit-or-reject decision is made under the lock that
   // checked the bound (no admit/reject race can oversubscribe the queue).
@@ -109,6 +138,8 @@ void CampaignService::handle(const Frame& request, Emit emit, u64 client_id) {
   job.cancelled = std::make_shared<std::atomic<bool>>(false);
   job.enqueued = std::chrono::steady_clock::now();
   job.client_id = client_id;
+  job.tenant = tenant.empty() ? "client#" + std::to_string(client_id)
+                              : std::move(tenant);
   std::size_t depth = 0;
   // Rejects reply only after BOTH locks are released: emit can block on a
   // stalled client socket, and neither admission (mutex_) nor metrics
@@ -118,14 +149,18 @@ void CampaignService::handle(const Frame& request, Emit emit, u64 client_id) {
     std::unique_lock lock(mutex_);
     if (draining()) {
       reject = "draining";
-    } else if (queue_.size() >= options_.queue_capacity) {
+    } else if (sched_.size() >= config_.queue_capacity) {
       reject = "queue_full";
     } else {
       job.job_id = next_job_id_++;
       live_.push_back({client_id, request.request_id, job.job_id,
                        job.cancelled});
-      queue_.push_back(job);
-      depth = queue_.size();
+      const Emit accepted_emit = job.emit;
+      const std::string lane = job.tenant;  // job is moved below
+      sched_.set_weight(lane, config_.weight_for(lane));
+      sched_.push(lane, std::move(job));
+      job.emit = accepted_emit;  // for the kAccepted reply below
+      depth = sched_.size();
     }
   }
   if (reject != nullptr) {
@@ -163,6 +198,15 @@ bool CampaignService::cancel(u64 request_id, u64 client_id) {
   return false;
 }
 
+void CampaignService::cancel_client(u64 client_id) {
+  std::lock_guard lock(mutex_);
+  for (LiveEntry& e : live_) {
+    if (e.client_id == client_id) {
+      e.flag->store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
 void CampaignService::cancel_all() {
   std::lock_guard lock(mutex_);
   for (LiveEntry& e : live_) e.flag->store(true, std::memory_order_relaxed);
@@ -177,10 +221,15 @@ void CampaignService::wait_drained() {
   {
     std::unique_lock lock(mutex_);
     drained_cv_.wait(lock, [this] {
-      return queue_.empty() && running_ == 0;
+      return sched_.empty() && running_ == 0;
     });
   }
   if (store_) store_->flush();
+}
+
+bool CampaignService::idle() const {
+  std::lock_guard lock(mutex_);
+  return sched_.empty() && running_ == 0;
 }
 
 void CampaignService::executor_loop() {
@@ -189,14 +238,12 @@ void CampaignService::executor_loop() {
     std::size_t depth = 0;
     {
       std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      work_cv_.wait(lock, [this] { return stop_ || !sched_.empty(); });
+      if (!sched_.pop(&job)) {
         if (stop_) return;
         continue;
       }
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      depth = queue_.size();
+      depth = sched_.size();
       ++running_;
     }
     {
@@ -204,48 +251,81 @@ void CampaignService::executor_loop() {
       metrics_.set_gauge("queue_depth", static_cast<double>(depth));
     }
 
-    run_job(job);
+    const u64 finished_job_id = job.job_id;
+    const bool finished = run_job(job);  // false: preempted, job requeued
 
     {
       std::lock_guard lock(mutex_);
       --running_;
-      for (std::size_t i = 0; i < live_.size(); ++i) {
-        if (live_[i].job_id == job.job_id) {
-          live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
-          break;
+      if (finished) {
+        for (std::size_t i = 0; i < live_.size(); ++i) {
+          if (live_[i].job_id == finished_job_id) {
+            live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
         }
       }
-      if (queue_.empty() && running_ == 0) drained_cv_.notify_all();
+      if (sched_.empty() && running_ == 0) drained_cv_.notify_all();
     }
   }
 }
 
-void CampaignService::run_job(Job& job) {
+std::string CampaignService::checkpoint_path_for(const Job& job) const {
+  // Named by the server-assigned job id: client-chosen request ids collide
+  // across connections, and two concurrent campaigns must never share a
+  // checkpoint file. Stable across preemption quanta — the resume path IS
+  // this same file.
+  char name[48];
+  std::snprintf(name, sizeof name, "/ckpt_%llu.vsck",
+                static_cast<unsigned long long>(job.job_id));
+  return config_.checkpoint_dir() + name;
+}
+
+bool CampaignService::should_preempt(const Job& job, u64 chunks_done) {
+  (void)chunks_done;
+  if (draining()) return false;  // the drain wants jobs DONE, not parked
+  std::lock_guard lock(mutex_);
+  return sched_.other_tenant_waiting(job.tenant);
+}
+
+bool CampaignService::run_job(Job& job) {
   const u64 id = job.request.request_id;
-  if (job.cancelled->load(std::memory_order_relaxed)) {
+  if (!job.started && job.cancelled->load(std::memory_order_relaxed)) {
     {
       std::lock_guard mlock(metrics_mutex_);
       metrics_.counter("cancelled_before_start").add();
     }
     reply(job.emit, FrameKind::kError, id,
           error_report("cancelled", "request cancelled before it started"));
-    return;
+    return true;
   }
+  job.started = true;
 
   RequestContext ctx;
   ctx.store = store_.get();
   ctx.pool = &pool_;
   ctx.cancelled = job.cancelled.get();
-  if (store_ && options_.checkpoint_every_chunks > 0 &&
-      (job.request.kind == FrameKind::kCampaign ||
-       job.request.kind == FrameKind::kRecampaign)) {
-    // Named by the server-assigned job id: client-chosen request ids collide
-    // across connections, and two concurrent campaigns must never share a
-    // checkpoint file.
-    char name[48];
-    std::snprintf(name, sizeof name, "/ckpt_%llu.vsck",
-                  static_cast<unsigned long long>(job.job_id));
-    ctx.checkpoint_path = store_->dir() + name;
+  const bool campaign_kind = job.request.kind == FrameKind::kCampaign ||
+                             job.request.kind == FrameKind::kRecampaign;
+  if (campaign_kind && !config_.checkpoint_dir().empty() &&
+      (config_.checkpoint_every_chunks > 0 || config_.preempt_chunks > 0)) {
+    ctx.checkpoint_path = checkpoint_path_for(job);
+    ctx.checkpoint_every_chunks = config_.checkpoint_every_chunks;
+  }
+  // Preemption hook, polled at chunk boundaries from the campaign's
+  // progress callback. The quantum is measured from the first boundary seen
+  // in THIS dispatch, so a resumed campaign gets a full quantum after every
+  // preemption instead of being instantly re-preempted.
+  bool preempted = false;
+  if (campaign_kind && config_.preempt_chunks > 0) {
+    ctx.preempt_poll = [this, &job, &preempted,
+                        base = std::optional<u64>()](u64 chunks_done) mutable {
+      if (preempted) return true;
+      if (!base.has_value()) base = chunks_done;
+      if (chunks_done - *base < config_.preempt_chunks) return false;
+      if (should_preempt(job, chunks_done)) preempted = true;
+      return preempted;
+    };
   }
   const Emit emit = job.emit;
   ctx.on_progress = [this, emit, id](const CampaignProgress& p) {
@@ -269,12 +349,14 @@ void CampaignService::run_job(Job& job) {
                                                          : job.request.payload);
     want_progress = params.get_bool("progress", false);
   } catch (const Error& e) {
+    // Unreachable in practice — admission already parsed the payload — but
+    // a defect here must degrade to a typed reply, not a crash.
     {
       std::lock_guard mlock(metrics_mutex_);
       metrics_.counter("bad_requests").add();
     }
     reply(job.emit, FrameKind::kError, id, error_report("bad_request", e.what()));
-    return;
+    return true;
   }
   if (!want_progress) ctx.on_progress = nullptr;
 
@@ -283,13 +365,38 @@ void CampaignService::run_job(Job& job) {
   // every other executor and admission.
   try {
     const JsonReport report = execute_request(job.request.kind, params, ctx);
+    if (preempted && !job.cancelled->load(std::memory_order_relaxed)) {
+      // The campaign stopped at a chunk boundary and wrote its VSCK
+      // checkpoint; the interrupted report is discarded and the job parks
+      // at its lane's head. The next dispatch resumes from the checkpoint
+      // and the eventual report is bit-identical to an uninterrupted run.
+      {
+        std::lock_guard mlock(metrics_mutex_);
+        metrics_.counter("preemptions").add();
+      }
+      {
+        const std::string tenant = job.tenant;  // job is moved below
+        std::lock_guard lock(mutex_);
+        sched_.push_front(tenant, std::move(job));
+      }
+      work_cv_.notify_one();
+      return false;
+    }
     reply(job.emit, FrameKind::kResult, id, report);
+    // A finished (non-cancelled) campaign's checkpoint is scratch state:
+    // remove it. Cancelled campaigns keep theirs — the resumable trail is
+    // the documented point of cancel-at-chunk-boundary.
+    if (!ctx.checkpoint_path.empty() &&
+        !job.cancelled->load(std::memory_order_relaxed)) {
+      std::error_code ec;
+      std::filesystem::remove(ctx.checkpoint_path, ec);
+    }
     const double latency_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - job.enqueued).count();
     std::lock_guard mlock(metrics_mutex_);
     metrics_.counter("results").add();
-    metrics_.histogram("request_latency_ms", options_.latency_reservoir)
+    metrics_.histogram("request_latency_ms", config_.latency_reservoir)
         .record(latency_ms);
   } catch (const std::exception& e) {
     {
@@ -298,15 +405,18 @@ void CampaignService::run_job(Job& job) {
     }
     reply(job.emit, FrameKind::kError, id, error_report("failed", e.what()));
   }
+  return true;
 }
 
 JsonReport CampaignService::stats_report() const {
   std::size_t depth;
   std::size_t live;
+  std::size_t tenants;
   {
     std::lock_guard lock(mutex_);
-    depth = queue_.size();
+    depth = sched_.size();
     live = live_.size();
+    tenants = sched_.tenants_waiting();
   }
   JsonReport report("service_stats");
   report.set_u64("protocol_version", 1)
@@ -314,6 +424,8 @@ JsonReport CampaignService::stats_report() const {
       .set_u64("pool_threads", pool_.thread_count())
       .set_u64("queue_depth_now", depth)
       .set_u64("live_requests", live)
+      .set_u64("sched_tenants_waiting", tenants)
+      .set_u64("preempt_chunks", config_.preempt_chunks)
       .set_bool("draining", draining())
       .set_bool("store_enabled", store_ != nullptr)
       .set_u64("store_entries", store_ ? store_->size() : 0);

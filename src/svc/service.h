@@ -4,6 +4,20 @@
 // injection thread pool. The socket server (svc/server.h) is a thin shell
 // around this; the loopback tests drive it directly.
 //
+// Admission is weighted fair-share, not FIFO: every job lands in its
+// tenant's lane (an explicit "tenant" request parameter, else the issuing
+// connection) and executors dispatch lanes by stride scheduling
+// (svc/scheduler.h), so one client flooding the queue cannot starve
+// everyone else — it can only fill its own share.
+//
+// Long campaigns preempt at chunk boundaries: when a running campaign has
+// consumed its quantum (ServiceConfig::preempt_chunks) while a DIFFERENT
+// tenant has work queued, it checkpoints (VSCK4), is requeued at its
+// tenant's head, and the executor picks the next lane. On redispatch the
+// campaign resumes from its checkpoint, so the final report — including the
+// order-independent sensitive-set digest — is bit-identical to an
+// uninterrupted run. Restart-from-checkpoint is the scheduler primitive.
+//
 // Concurrency shape: executor threads are dedicated — they block on the
 // queue and on campaign completion, and only the campaign's *chunks* run on
 // the shared compute pool. Request handlers never run on the compute pool
@@ -20,7 +34,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -32,39 +45,24 @@
 #include "common/thread_pool.h"
 #include "report/json.h"
 #include "store/verdict_store.h"
+#include "svc/config.h"
 #include "svc/protocol.h"
+#include "svc/scheduler.h"
 
 namespace vscrub {
-
-struct ServiceOptions {
-  /// Admission-queue capacity; a work request arriving when this many are
-  /// already queued gets a kBusy reply instead of a slot.
-  std::size_t queue_capacity = 16;
-  /// Executor threads — the number of requests making progress at once.
-  unsigned executors = 2;
-  /// Workers in the shared injection pool (0 = hardware concurrency).
-  unsigned pool_threads = 0;
-  /// Directory of the process-wide verdict store; empty = no store (campaign
-  /// requests run uncached, recampaign requests are rejected).
-  std::string cache_dir;
-  /// Retry hint carried in kBusy replies.
-  u64 retry_after_ms = 250;
-  /// Bound on the request-latency histogram (deterministic reservoir).
-  u64 latency_reservoir = 1024;
-  /// Campaigns checkpoint under cache_dir (VSCK3) every this many chunks so
-  /// a cancelled or hard-stopped request leaves a resumable trail; 0
-  /// disables server-side checkpointing.
-  u64 checkpoint_every_chunks = 0;
-};
 
 class CampaignService {
  public:
   /// Reply sink for one request. Called from executor threads (and inline
   /// from handle() for immediate replies), possibly concurrently across
-  /// requests — implementations must be thread-safe.
+  /// requests — implementations must be thread-safe and non-blocking (the
+  /// event-loop transport only enqueues bytes here).
   using Emit = std::function<void(const Frame&)>;
 
-  explicit CampaignService(const ServiceOptions& options);
+  /// Validates `config` (throws ServiceConfigError) and starts the
+  /// executors. The checkpoint directory is created when preemption or
+  /// periodic checkpointing needs one.
+  explicit CampaignService(const ServiceConfig& config);
   /// Drains (queued and running requests finish) and joins the executors.
   ~CampaignService();
 
@@ -90,23 +88,31 @@ class CampaignService {
   /// verdict store is flushed before returning.
   void wait_drained();
   bool draining() const { return draining_.load(std::memory_order_acquire); }
+  /// Non-blocking wait_drained() predicate — the event loop polls this
+  /// between readiness waits instead of parking a thread.
+  bool idle() const;
 
   /// Flips the cancel flag of the queued or running request that `client_id`
   /// submitted as `request_id`; false when no such job is live. Campaigns
   /// stop at their next chunk boundary, checkpoint, and still deliver their
   /// (interrupted) result.
   bool cancel(u64 request_id, u64 client_id = 0);
+  /// Cancels every live request `client_id` owns — the transport calls this
+  /// when a connection dies, so work whose replies can no longer be
+  /// delivered stops at the next chunk boundary instead of burning the
+  /// compute pool to the end.
+  void cancel_client(u64 client_id);
   /// Flips every live request's cancel flag regardless of owner (the hard
   /// phase of a two-step shutdown: drain first, cancel on the second signal).
   void cancel_all();
 
   /// Snapshot of the server-side metrics as a versioned JSON report
   /// ("kind": "service_stats"): queue depth, admission rejects, request
-  /// latency p50/p99, per-kind counters, store size.
+  /// latency p50/p99, per-kind counters, preemptions, store size.
   JsonReport stats_report() const;
 
   VerdictStore* store() { return store_.get(); }
-  const ServiceOptions& options() const { return options_; }
+  const ServiceConfig& config() const { return config_; }
 
  private:
   struct Job {
@@ -119,6 +125,14 @@ class CampaignService {
     /// bookkeeping and checkpoint filenames, immune to request-id collisions
     /// between connections.
     u64 job_id = 0;
+    /// Scheduler lane: the request's "tenant" parameter when given, else
+    /// the issuing connection's identity.
+    std::string tenant;
+    /// False until the first dispatch. A cancel that lands on a never-run
+    /// job is answered with a typed error; a cancel on a preempted (parked
+    /// but partially-run) job redispatches it so it can deliver its
+    /// interrupted result, same as a running cancel.
+    bool started = false;
   };
 
   /// One queued-or-running job's cancel handle.
@@ -130,21 +144,28 @@ class CampaignService {
   };
 
   void executor_loop();
-  void run_job(Job& job);
+  /// Runs one dispatched job. Returns true when the job reached a terminal
+  /// reply (its live entry must be released); false when it was preempted
+  /// and requeued for a later quantum.
+  bool run_job(Job& job);
+  /// Preemption predicate, polled at chunk boundaries from the campaign's
+  /// progress callback.
+  bool should_preempt(const Job& job, u64 chunks_done);
+  std::string checkpoint_path_for(const Job& job) const;
   void reply(const Emit& emit, FrameKind kind, u64 request_id,
              const JsonReport& report) const;
   JsonReport error_report(const std::string& code,
                           const std::string& message) const;
   JsonReport busy_report(const std::string& reason) const;
 
-  ServiceOptions options_;
+  ServiceConfig config_;
   std::unique_ptr<VerdictStore> store_;  ///< null when cache_dir is empty
   ThreadPool pool_;                      ///< shared injection compute pool
 
-  mutable std::mutex mutex_;             ///< guards queue_/live_/counters
+  mutable std::mutex mutex_;             ///< guards sched_/live_/counters
   std::condition_variable work_cv_;      ///< executors wait here
   std::condition_variable drained_cv_;   ///< wait_drained() waits here
-  std::deque<Job> queue_;
+  FairScheduler<Job> sched_;
   /// Cancel flags of queued + running jobs.
   std::vector<LiveEntry> live_;
   u64 next_job_id_ = 1;

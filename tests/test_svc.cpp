@@ -15,11 +15,15 @@
 #include <vector>
 
 #include "core/vscrub.h"
+#include "sim/simd.h"
 #include "svc/client.h"
+#include "svc/config.h"
 #include "svc/protocol.h"
 #include "svc/requests.h"
+#include "svc/scheduler.h"
 #include "svc/server.h"
 #include "svc/service.h"
+#include "svc/session.h"
 
 namespace vscrub {
 namespace {
@@ -155,6 +159,130 @@ TEST(Protocol, FlatJsonRejectsMalformedInput) {
 }
 
 // ---------------------------------------------------------------------------
+// ServiceConfig: the one validated flag surface
+// ---------------------------------------------------------------------------
+
+TEST(ServiceConfigTest, FlagTableDrivesSetAndRejectsJunk) {
+  ServiceConfig config;
+  config.set("--queue", "8");
+  config.set("--executors", "3");
+  config.set("--sched-weight", "alice=3,bob=2");
+  config.set("--sched-weight", "carol=5");  // repeats merge
+  config.set("--preempt", "4");
+  config.set("--spool-dir", "/tmp/spool");
+  EXPECT_EQ(config.queue_capacity, 8u);
+  EXPECT_EQ(config.executors, 3u);
+  EXPECT_EQ(config.weight_for("alice"), 3u);
+  EXPECT_EQ(config.weight_for("bob"), 2u);
+  EXPECT_EQ(config.weight_for("carol"), 5u);
+  EXPECT_EQ(config.weight_for("unlisted"), 1u);
+  EXPECT_EQ(config.preempt_chunks, 4u);
+  EXPECT_EQ(config.checkpoint_dir(), "/tmp/spool");
+  EXPECT_NO_THROW(config.validate());
+
+  EXPECT_THROW(config.set("--queue", "abc"), ServiceConfigError);
+  EXPECT_THROW(config.set("--queue", "-3"), ServiceConfigError);
+  EXPECT_THROW(config.set("--no-such-flag", "1"), ServiceConfigError);
+  EXPECT_THROW(config.set("--sched-weight", "=3"), ServiceConfigError);
+  EXPECT_THROW(config.set("--sched-weight", "alice=0"), ServiceConfigError);
+  EXPECT_THROW(config.set("--sched-weight", "alice"), ServiceConfigError);
+  EXPECT_THROW(parse_sched_weights("a=1,,b=2"), ServiceConfigError);
+
+  // Every row of the serve flag table round-trips through set() — the CLI
+  // cannot offer a flag the config rejects.
+  for (const ServiceConfigFlag& flag : service_config_flags()) {
+    ServiceConfig fresh;
+    const std::string value =
+        std::string(flag.name) == "--sched-weight" ? "t=1" : "1";
+    EXPECT_NO_THROW(fresh.set(flag.name, flag.takes_value ? value : ""))
+        << flag.name;
+  }
+}
+
+TEST(ServiceConfigTest, ValidateNamesTheInconsistentCombo) {
+  ServiceConfig config;
+  config.preempt_chunks = 2;  // preemption checkpoints need a directory
+  EXPECT_THROW(config.validate(), ServiceConfigError);
+  config.spool_dir = "/tmp/spool";
+  EXPECT_NO_THROW(config.validate());
+  config.queue_capacity = 0;
+  EXPECT_THROW(config.validate(), ServiceConfigError);
+  config.queue_capacity = 16;
+  config.executors = 0;
+  EXPECT_THROW(config.validate(), ServiceConfigError);
+  config.executors = 2;
+  config.socket_path.clear();
+  EXPECT_THROW(config.validate(), ServiceConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// FairScheduler: stride scheduling over tenant lanes
+// ---------------------------------------------------------------------------
+
+TEST(FairSchedulerTest, WeightedShareUnderContention) {
+  FairScheduler<int> sched;
+  sched.set_weight("a", 2);
+  sched.set_weight("b", 1);
+  for (int i = 0; i < 6; ++i) sched.push("a", i);
+  for (int i = 0; i < 3; ++i) sched.push("b", 100 + i);
+  // Weight 2 vs weight 1: while both lanes have work, "a" is dispatched
+  // twice as often.
+  int a_in_first_six = 0;
+  for (int i = 0; i < 6; ++i) {
+    int v = -1;
+    ASSERT_TRUE(sched.pop(&v));
+    if (v < 100) ++a_in_first_six;
+  }
+  EXPECT_EQ(a_in_first_six, 4);
+  EXPECT_EQ(sched.size(), 3u);
+}
+
+TEST(FairSchedulerTest, PushFrontResumesBeforeOwnBacklog) {
+  FairScheduler<int> sched;
+  sched.push("a", 1);
+  sched.push("a", 2);
+  int v = -1;
+  ASSERT_TRUE(sched.pop(&v));
+  EXPECT_EQ(v, 1);
+  sched.push_front("a", 99);  // a preempted job parks at its lane's head
+  ASSERT_TRUE(sched.pop(&v));
+  EXPECT_EQ(v, 99);
+  ASSERT_TRUE(sched.pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(sched.pop(&v));
+}
+
+TEST(FairSchedulerTest, ReturningTenantCannotClaimCreditForAbsence) {
+  FairScheduler<int> sched;
+  for (int i = 0; i < 5; ++i) sched.push("a", i);
+  int v = -1;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(sched.pop(&v));
+  // "a" consumed 5 quanta alone. A newcomer re-enters at the global virtual
+  // time: next in line, but without 5 make-up dispatches.
+  for (int i = 0; i < 3; ++i) sched.push("b", 100 + i);
+  for (int i = 0; i < 3; ++i) sched.push("a", i);
+  ASSERT_TRUE(sched.pop(&v));
+  EXPECT_GE(v, 100);  // the newcomer goes first...
+  int b_in_next_four = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(sched.pop(&v));
+    if (v >= 100) ++b_in_next_four;
+  }
+  EXPECT_EQ(b_in_next_four, 2);  // ...then strict alternation, no starvation
+}
+
+TEST(FairSchedulerTest, OtherTenantWaitingIsThePreemptionPredicate) {
+  FairScheduler<int> sched;
+  EXPECT_FALSE(sched.other_tenant_waiting("a"));
+  sched.push("a", 1);
+  EXPECT_FALSE(sched.other_tenant_waiting("a"));  // own backlog never preempts
+  EXPECT_TRUE(sched.other_tenant_waiting("b"));
+  sched.push("b", 2);
+  EXPECT_TRUE(sched.other_tenant_waiting("a"));
+  EXPECT_EQ(sched.tenants_waiting(), 2u);
+}
+
+// ---------------------------------------------------------------------------
 // CampaignService (no sockets: handle() driven directly)
 // ---------------------------------------------------------------------------
 
@@ -163,7 +291,7 @@ const char* small_campaign_payload() {
 }
 
 TEST(CampaignService, PingStatsAndCancelAnswerInline) {
-  CampaignService svc(ServiceOptions{});
+  CampaignService svc(ServiceConfig{});
   FrameLog ping;
   svc.handle({FrameKind::kPing, 5, ""}, ping.emit());
   // Inline kinds reply synchronously — no waiting needed.
@@ -188,7 +316,7 @@ TEST(CampaignService, PingStatsAndCancelAnswerInline) {
 }
 
 TEST(CampaignService, ReplyKindGetsTypedError) {
-  CampaignService svc(ServiceOptions{});
+  CampaignService svc(ServiceConfig{});
   FrameLog log;
   svc.handle({FrameKind::kResult, 9, ""}, log.emit());
   ASSERT_EQ(log.frames.size(), 1u);
@@ -198,10 +326,10 @@ TEST(CampaignService, ReplyKindGetsTypedError) {
 }
 
 TEST(CampaignService, BadRequestJsonGetsTypedErrorNotCrash) {
-  ServiceOptions options;
-  options.executors = 1;
-  options.pool_threads = 2;
-  CampaignService svc(options);
+  ServiceConfig config;
+  config.executors = 1;
+  config.pool_threads = 2;
+  CampaignService svc(config);
   FrameLog log;
   svc.handle({FrameKind::kCampaign, 11, "{{{ not json"}, log.emit());
   const Frame reply = log.wait_terminal();
@@ -248,12 +376,12 @@ class WedgedExecutor {
 };
 
 TEST(CampaignService, FullQueueGetsTypedBusyWithRetryHint) {
-  ServiceOptions options;
-  options.queue_capacity = 1;
-  options.executors = 1;
-  options.pool_threads = 2;
-  options.retry_after_ms = 7;
-  CampaignService svc(options);
+  ServiceConfig config;
+  config.queue_capacity = 1;
+  config.executors = 1;
+  config.pool_threads = 2;
+  config.retry_after_ms = 7;
+  CampaignService svc(config);
   WedgedExecutor wedge(svc);
 
   // The executor is wedged on request 1; request 2 takes the only slot.
@@ -285,10 +413,10 @@ TEST(CampaignService, FullQueueGetsTypedBusyWithRetryHint) {
 }
 
 TEST(CampaignService, DrainingRejectsNewWorkButFinishesQueued) {
-  ServiceOptions options;
-  options.executors = 1;
-  options.pool_threads = 2;
-  CampaignService svc(options);
+  ServiceConfig config;
+  config.executors = 1;
+  config.pool_threads = 2;
+  CampaignService svc(config);
 
   FrameLog queued;
   svc.handle({FrameKind::kCampaign, 1, small_campaign_payload()},
@@ -315,11 +443,11 @@ TEST(CampaignService, DrainingRejectsNewWorkButFinishesQueued) {
 }
 
 TEST(CampaignService, CancelBeforeStartYieldsTypedError) {
-  ServiceOptions options;
-  options.queue_capacity = 4;
-  options.executors = 1;
-  options.pool_threads = 2;
-  CampaignService svc(options);
+  ServiceConfig config;
+  config.queue_capacity = 4;
+  config.executors = 1;
+  config.pool_threads = 2;
+  CampaignService svc(config);
   WedgedExecutor wedge(svc);
 
   FrameLog queued;
@@ -336,11 +464,11 @@ TEST(CampaignService, CancelBeforeStartYieldsTypedError) {
 }
 
 TEST(CampaignService, CancelIsScopedToTheIssuingClient) {
-  ServiceOptions options;
-  options.queue_capacity = 4;
-  options.executors = 1;
-  options.pool_threads = 2;
-  CampaignService svc(options);
+  ServiceConfig config;
+  config.queue_capacity = 4;
+  config.executors = 1;
+  config.pool_threads = 2;
+  CampaignService svc(config);
   WedgedExecutor wedge(svc);
 
   // Two connections each submit request id 2 — ids are client-chosen and
@@ -370,10 +498,10 @@ TEST(CampaignService, CancelIsScopedToTheIssuingClient) {
 }
 
 TEST(CampaignService, CancelMidFlightDeliversInterruptedResult) {
-  ServiceOptions options;
-  options.executors = 1;
-  options.pool_threads = 2;
-  CampaignService svc(options);
+  ServiceConfig config;
+  config.executors = 1;
+  config.pool_threads = 2;
+  CampaignService svc(config);
 
   // Many small chunks with per-chunk telemetry: the first kProgress frame
   // proves the campaign is mid-flight, and the cancel lands at the next
@@ -398,11 +526,88 @@ TEST(CampaignService, CancelMidFlightDeliversInterruptedResult) {
   EXPECT_TRUE(cancelled_once.load());
 }
 
+TEST(CampaignService, PreemptedCampaignResumesFromCheckpointBitIdentical) {
+  const std::string spool = fresh_dir("svc_preempt_spool");
+  ServiceConfig config;
+  config.executors = 1;  // one executor: preemption is the ONLY way B runs
+  config.pool_threads = 2;
+  config.queue_capacity = 8;
+  config.preempt_chunks = 1;
+  config.spool_dir = spool;
+  CampaignService svc(config);
+
+  // Tenant "alice" starts a long campaign with per-chunk telemetry.
+  FrameLog a;
+  svc.handle({FrameKind::kCampaign, 1,
+              R"({"design": "lfsr", "device": "campaign", "sample": 4000,)"
+              R"( "chunk": 64, "tenant": "alice", "progress": true,)"
+              R"( "progress_every_chunks": 1})"},
+             a.emit(), /*client_id=*/1);
+  {
+    // Wait until alice is demonstrably mid-flight before bob arrives.
+    std::unique_lock lock(a.mutex);
+    a.cv.wait(lock, [&] {
+      for (const Frame& f : a.frames) {
+        if (f.kind == FrameKind::kProgress) return true;
+      }
+      return false;
+    });
+  }
+
+  // Tenant "bob" submits a short campaign. The single executor is occupied
+  // by alice — only preemption at a chunk boundary can dispatch bob.
+  FrameLog b;
+  svc.handle({FrameKind::kCampaign, 2,
+              R"({"design": "lfsr", "device": "campaign", "sample": 300,)"
+              R"( "tenant": "bob"})"},
+             b.emit(), /*client_id=*/2);
+  EXPECT_EQ(b.wait_terminal().kind, FrameKind::kResult);
+
+  // Alice's campaign parked at a checkpoint, resumed, and finished as if
+  // never interrupted.
+  const Frame a_reply = a.wait_terminal();
+  ASSERT_EQ(a_reply.kind, FrameKind::kResult) << a_reply.payload;
+  const FlatJson report = FlatJson::parse(a_reply.payload);
+  EXPECT_FALSE(report.get_bool("interrupted"));
+  EXPECT_GT(report.get_u64("resumed_injections"), 0u);  // proof of resume
+  EXPECT_EQ(report.get_u64("injections"), 4000u);
+
+  FrameLog stats;
+  svc.handle({FrameKind::kStats, 50, ""}, stats.emit());
+  const FlatJson s = FlatJson::parse(stats.frames[0].payload);
+  EXPECT_GE(s.get_u64("preemptions"), 1u);
+
+  // The preempt-resume seam is invisible in the result: bit-identical to the
+  // same campaign run directly through the library in one sitting.
+  const PlacedDesign design =
+      compile(design_by_name("lfsr"), device_by_name("campaign"));
+  const CampaignResult direct = run_campaign(
+      design,
+      CampaignOptions{}
+          .with_injection(InjectionOptions{}
+                              .with_persistence(false)
+                              .with_pruning(true)
+                              .with_gang_width(served_gang_width_default()))
+          .with_chunk_size(64)
+          .with_sample(4000, 99));
+  EXPECT_EQ(report.get_u64("sensitive_digest"), direct.sensitive_digest(design));
+  EXPECT_EQ(report.get_u64("failures"), direct.failures);
+  std::filesystem::remove_all(spool);
+}
+
+TEST(CampaignService, ServedGangWidthDefaultIsTheWidestCompiledTier) {
+  // Satellite contract: an unspecified gang_width serves the widest SIMD
+  // tier this binary can actually run (verdicts and digests are width-
+  // invariant, so this is purely a throughput default).
+  EXPECT_EQ(served_gang_width_default(), preferred_gang_width());
+  EXPECT_TRUE(gang_width_supported(preferred_gang_width()));
+}
+
 TEST(CampaignService, RecampaignWithoutStoreIsTypedFailure) {
-  ServiceOptions options;
-  options.executors = 1;
-  options.pool_threads = 2;
-  CampaignService svc(options);
+  ServiceConfig config;
+  config.executors = 1;
+  config.pool_threads = 2;
+  CampaignService svc(config);
   FrameLog log;
   svc.handle({FrameKind::kRecampaign, 31, small_campaign_payload()},
              log.emit());
@@ -416,7 +621,7 @@ TEST(CampaignService, RecampaignWithoutStoreIsTypedFailure) {
 // ---------------------------------------------------------------------------
 
 struct LoopbackServer {
-  explicit LoopbackServer(ServerOptions options) : server(std::move(options)) {
+  explicit LoopbackServer(ServiceConfig config) : server(std::move(config)) {
     server.start();
     runner = std::thread([this] { server.run(); });
   }
@@ -434,20 +639,20 @@ struct LoopbackServer {
   std::thread runner;
 };
 
-ServerOptions loopback_options(const char* socket_name) {
-  ServerOptions options;
-  options.socket_path = ::testing::TempDir() + socket_name;
-  std::filesystem::remove(options.socket_path);
-  options.service.queue_capacity = 32;
-  options.service.executors = 3;
-  options.service.pool_threads = 3;
-  return options;
+ServiceConfig loopback_config(const char* socket_name) {
+  ServiceConfig config;
+  config.socket_path = ::testing::TempDir() + socket_name;
+  std::filesystem::remove(config.socket_path);
+  config.queue_capacity = 32;
+  config.executors = 3;
+  config.pool_threads = 3;
+  return config;
 }
 
 TEST(ServiceLoopback, ConcurrentClientsMatchDirectRunAndShareVerdicts) {
   const std::string dir = fresh_dir("svc_loopback_store");
-  ServerOptions options = loopback_options("svc_loop.sock");
-  options.service.cache_dir = dir;
+  ServiceConfig options = loopback_config("svc_loop.sock");
+  options.cache_dir = dir;
   LoopbackServer loop(options);
 
   const std::string payload = JsonReport("campaign_request")
@@ -512,7 +717,7 @@ TEST(ServiceLoopback, ConcurrentClientsMatchDirectRunAndShareVerdicts) {
 }
 
 TEST(ServiceLoopback, AcceptedAndProgressStreamBeforeResult) {
-  ServerOptions options = loopback_options("svc_progress.sock");
+  ServiceConfig options = loopback_config("svc_progress.sock");
   LoopbackServer loop(options);
 
   ServiceClient client = ServiceClient::connect_unix(options.socket_path);
@@ -538,7 +743,7 @@ TEST(ServiceLoopback, AcceptedAndProgressStreamBeforeResult) {
 }
 
 TEST(ServiceLoopback, DrainDeliversInFlightResultThenExits) {
-  ServerOptions options = loopback_options("svc_drain.sock");
+  ServiceConfig options = loopback_config("svc_drain.sock");
   LoopbackServer loop(options);
 
   ServiceClient client = ServiceClient::connect_unix(options.socket_path);
@@ -559,6 +764,114 @@ TEST(ServiceLoopback, DrainDeliversInFlightResultThenExits) {
   loop.runner.join();
   // A clean drain removes the socket.
   EXPECT_FALSE(std::filesystem::exists(options.socket_path));
+}
+
+// ---------------------------------------------------------------------------
+// Session API (v4): ServiceSession + JobHandle over the event loop
+// ---------------------------------------------------------------------------
+
+TEST(ServiceSessionApi, ConcurrentJobsWaitOutOfOrderOnOneConnection) {
+  ServiceConfig options = loopback_config("svc_session.sock");
+  LoopbackServer loop(options);
+
+  ServiceSession session = ServiceSession::connect_unix(options.socket_path);
+  JobHandle big = session.submit(
+      FrameKind::kCampaign,
+      R"({"design": "lfsrmult", "device": "campaign", "sample": 1500})");
+  JobHandle small = session.submit(
+      FrameKind::kCampaign,
+      R"({"design": "lfsr", "device": "campaign", "sample": 300})");
+  ASSERT_TRUE(big.valid());
+  ASSERT_TRUE(small.valid());
+  EXPECT_NE(big.id(), small.id());
+
+  // Waits land in any order; the reader demultiplexes by request id.
+  const Frame small_reply = small.wait();
+  EXPECT_EQ(small_reply.kind, FrameKind::kResult) << small_reply.payload;
+  const Frame big_reply = big.wait();
+  EXPECT_EQ(big_reply.kind, FrameKind::kResult) << big_reply.payload;
+  EXPECT_TRUE(big.poll());  // terminal already delivered: poll is immediate
+  EXPECT_TRUE(session.connected());
+  EXPECT_EQ(session.ping().kind, FrameKind::kResult);
+}
+
+TEST(ServiceSessionApi, SubmitCallbackStreamsProgressFromReaderThread) {
+  ServiceConfig options = loopback_config("svc_session_events.sock");
+  LoopbackServer loop(options);
+
+  ServiceSession session = ServiceSession::connect_unix(options.socket_path);
+  std::atomic<u64> progress{0};
+  std::atomic<bool> accepted{false};
+  JobHandle job = session.submit(
+      FrameKind::kCampaign,
+      R"({"design": "lfsr", "device": "campaign", "sample": 2000,)"
+      R"( "chunk": 64, "progress": true, "progress_every_chunks": 1})",
+      [&](const Frame& f) {
+        if (f.kind == FrameKind::kAccepted) accepted = true;
+        if (f.kind == FrameKind::kProgress) ++progress;
+      });
+  const Frame reply = job.wait();
+  ASSERT_EQ(reply.kind, FrameKind::kResult) << reply.payload;
+  EXPECT_TRUE(accepted.load());
+  EXPECT_GT(progress.load(), 0u);
+}
+
+TEST(ServiceSessionApi, JobHandleOutlivesItsSession) {
+  ServiceConfig options = loopback_config("svc_session_lifetime.sock");
+  LoopbackServer loop(options);
+
+  JobHandle job;
+  {
+    ServiceSession session =
+        ServiceSession::connect_unix(options.socket_path);
+    job = session.submit(
+        FrameKind::kCampaign,
+        R"({"design": "lfsr", "device": "campaign", "sample": 600})");
+  }  // session destroyed — the handle keeps the connection + reader alive
+  const Frame reply = job.wait();
+  EXPECT_EQ(reply.kind, FrameKind::kResult) << reply.payload;
+}
+
+TEST(ServiceSessionApi, CancelThroughTheHandleDeliversInterruptedResult) {
+  ServiceConfig options = loopback_config("svc_session_cancel.sock");
+  LoopbackServer loop(options);
+
+  ServiceSession session = ServiceSession::connect_unix(options.socket_path);
+  std::atomic<bool> mid_flight{false};
+  JobHandle job = session.submit(
+      FrameKind::kCampaign,
+      R"({"design": "lfsr", "device": "campaign", "sample": 8000,)"
+      R"( "chunk": 64, "progress": true, "progress_every_chunks": 1})",
+      [&](const Frame& f) {
+        if (f.kind == FrameKind::kProgress) mid_flight = true;
+      });
+  while (!mid_flight.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(job.cancel());  // cancel() must run OFF the reader thread
+  const Frame reply = job.wait();
+  ASSERT_EQ(reply.kind, FrameKind::kResult) << reply.payload;
+  const FlatJson report = FlatJson::parse(reply.payload);
+  EXPECT_TRUE(report.get_bool("interrupted"));
+  EXPECT_LT(report.get_u64("injections"), 8000u);
+  // The session survives a cancel: submit again on the same connection.
+  EXPECT_EQ(session.ping().kind, FrameKind::kResult);
+}
+
+TEST(ServiceSessionApi, WaitForTimesOutWithoutConsumingTheJob) {
+  ServiceConfig options = loopback_config("svc_session_timeout.sock");
+  LoopbackServer loop(options);
+
+  ServiceSession session = ServiceSession::connect_unix(options.socket_path);
+  JobHandle job = session.submit(
+      FrameKind::kCampaign,
+      R"({"design": "lfsrmult", "device": "campaign", "sample": 2000})");
+  // An impatient poll may time out; the job stays live and a later wait
+  // still returns the terminal frame.
+  (void)job.wait_for(std::chrono::milliseconds(1));
+  const auto reply = job.wait_for(std::chrono::milliseconds(60000));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, FrameKind::kResult) << reply->payload;
 }
 
 }  // namespace

@@ -10,9 +10,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/crc.h"
@@ -208,8 +211,8 @@ class ServerFuzz : public ::testing::Test {
   void SetUp() override {
     options_.socket_path = ::testing::TempDir() + "svc_fuzz.sock";
     std::filesystem::remove(options_.socket_path);
-    options_.service.executors = 1;
-    options_.service.pool_threads = 2;
+    options_.executors = 1;
+    options_.pool_threads = 2;
     server_ = std::make_unique<SocketServer>(options_);
     server_->start();
     runner_ = std::thread([this] { server_->run(); });
@@ -224,7 +227,7 @@ class ServerFuzz : public ::testing::Test {
     runner_.join();
   }
 
-  ServerOptions options_;
+  ServiceConfig options_;
   std::unique_ptr<SocketServer> server_;
   std::thread runner_;
 };
@@ -321,6 +324,192 @@ TEST_F(ServerFuzz, RandomGarbageFloodNeverKillsTheServer) {
     drain_replies(fd);  // server answers (or just closes); never crashes
     ::close(fd);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile clients against the event loop: slow-loris writers, deadbeat
+// readers and mid-stream disconnects must cost the server one connection
+// each — never an executor, never another client's latency.
+// ---------------------------------------------------------------------------
+
+void sendall(int fd, const u8* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const auto n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+struct HostileServer {
+  explicit HostileServer(ServiceConfig config_in, bool check_health_in = true)
+      : config(std::move(config_in)), check_health(check_health_in),
+        server(config) {
+    server.start();
+    runner = std::thread([this] { server.run(); });
+  }
+  ~HostileServer() {
+    // After every hostile episode, a fresh client still gets a pong. (Skipped
+    // when the config itself dooms every reply, e.g. a 1-byte backlog bound.)
+    if (check_health) {
+      ServiceClient client = ServiceClient::connect_unix(config.socket_path);
+      EXPECT_EQ(client.ping().kind, FrameKind::kResult);
+    }
+    server.request_stop();
+    runner.join();
+  }
+  ServiceConfig config;
+  bool check_health;
+  SocketServer server;
+  std::thread runner;
+};
+
+ServiceConfig hostile_config(const char* socket_name) {
+  ServiceConfig config;
+  config.socket_path = ::testing::TempDir() + socket_name;
+  std::filesystem::remove(config.socket_path);
+  config.executors = 1;
+  config.pool_threads = 2;
+  return config;
+}
+
+TEST(ServerHostile, SlowLorisDribblerNeverStallsOtherClients) {
+  HostileServer host(hostile_config("svc_loris.sock"));
+
+  // The loris holds a connection mid-frame forever, one byte at a time.
+  const int loris = raw_connect(host.config.socket_path);
+  const std::vector<u8> wire = encode_frame(
+      {FrameKind::kCampaign, 1,
+       R"({"design": "lfsr", "device": "campaign", "sample": 300})"});
+  std::atomic<bool> stop_dribble{false};
+  std::thread dribbler([&] {
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+      if (stop_dribble.load(std::memory_order_relaxed)) break;
+      if (::send(loris, wire.data() + i, 1, MSG_NOSIGNAL) <= 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Meanwhile every other client is served at full speed: a partial frame
+  // parks in that connection's decoder, not in the event loop.
+  ServiceClient client = ServiceClient::connect_unix(host.config.socket_path);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(client.ping().kind, FrameKind::kResult);
+  }
+  const Frame reply = client.call(
+      FrameKind::kCampaign,
+      R"({"design": "lfsr", "device": "campaign", "sample": 300})");
+  EXPECT_EQ(reply.kind, FrameKind::kResult) << reply.payload;
+
+  stop_dribble.store(true, std::memory_order_relaxed);
+  dribbler.join();
+  ::close(loris);
+}
+
+TEST(ServerHostile, MidStreamDisconnectCancelsOrphanedWork) {
+  HostileServer host(hostile_config("svc_orphan.sock"));
+
+  // Submit a long campaign, then vanish with it still running.
+  {
+    ServiceClient client = ServiceClient::connect_unix(host.config.socket_path);
+    (void)client.send_request(
+        FrameKind::kCampaign,
+        R"({"design": "lfsrmult", "device": "campaign", "sample": 20000,)"
+        R"( "chunk": 64})");
+  }  // destructor closes the socket
+
+  // The disconnect cancels the orphan at its next chunk boundary: live work
+  // drains to zero far sooner than 20k injections could complete.
+  ServiceClient probe = ServiceClient::connect_unix(host.config.socket_path);
+  u64 live = ~0ull;
+  for (int i = 0; i < 1000 && live != 0; ++i) {
+    live = FlatJson::parse(probe.stats().payload).get_u64("live_requests");
+    if (live != 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(live, 0u);
+}
+
+TEST(ServerHostile, BacklogBoundDeclaresANonReadingClientDead) {
+  ServiceConfig config = hostile_config("svc_deadbeat.sock");
+  config.max_conn_backlog_bytes = 1;  // every queued reply overflows
+  HostileServer host(config, /*check_health_in=*/false);
+
+  const int fd = raw_connect(host.config.socket_path);
+  const std::vector<u8> ping = encode_frame({FrameKind::kPing, 1, ""});
+  sendall(fd, ping.data(), ping.size());
+  // The pong overflows the 1-byte backlog bound: the connection is declared
+  // dead and shut down instead of buffering toward a client that may never
+  // read. The client observes EOF, not a reply — and observing EOF at all
+  // (rather than hanging) proves the event loop is still turning.
+  const std::vector<Frame> replies = drain_replies(fd);
+  EXPECT_TRUE(replies.empty());
+  ::close(fd);
+
+  // A second victim gets the same deterministic treatment: accepted, then
+  // dropped at first reply. The loop survives its own backlog kills.
+  const int fd2 = raw_connect(host.config.socket_path);
+  sendall(fd2, ping.data(), ping.size());
+  EXPECT_TRUE(drain_replies(fd2).empty());
+  ::close(fd2);
+}
+
+TEST(ServerHostile, SendDeadlineDropsAClientThatStopsReading) {
+  ServiceConfig config = hostile_config("svc_slowread.sock");
+  config.send_timeout_ms = 200;
+  HostileServer host(config);
+
+  // Enough pings that the replies overrun the kernel socket buffer while we
+  // read nothing: the server's write queue blocks, the 200ms write-progress
+  // deadline expires, and the connection is closed server-side.
+  const int fd = raw_connect(host.config.socket_path);
+  std::vector<u8> burst;
+  for (u64 id = 1; id <= 4000; ++id) {
+    const std::vector<u8> one = encode_frame({FrameKind::kPing, id, ""});
+    burst.insert(burst.end(), one.begin(), one.end());
+  }
+  sendall(fd, burst.data(), burst.size());
+  // Refuse to read for longer than the deadline: the pong backlog exceeds the
+  // kernel buffer, so the server's writes stay blocked until it gives up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  // Drain whatever was in flight until the server hangs up. If the deadline
+  // failed to fire this would block forever on the 4000th pong; instead the
+  // stream ends early.
+  const std::vector<Frame> replies = drain_replies(fd);
+  EXPECT_LT(replies.size(), 4000u);
+  ::close(fd);
+}
+
+TEST(ServerHostile, ManyFramesInOneWriteAllAnswered) {
+  HostileServer host(hostile_config("svc_batch.sock"));
+
+  // Edge-triggered readiness: 50 frames arriving as ONE readable event must
+  // all be decoded and answered from that single edge.
+  const int fd = raw_connect(host.config.socket_path);
+  std::vector<u8> burst;
+  for (u64 id = 1; id <= 50; ++id) {
+    const std::vector<u8> one = encode_frame({FrameKind::kPing, id, ""});
+    burst.insert(burst.end(), one.begin(), one.end());
+  }
+  sendall(fd, burst.data(), burst.size());
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  u8 buf[8192];
+  while (frames.size() < 50) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0);
+    decoder.feed(std::span<const u8>(buf, static_cast<std::size_t>(n)));
+    Frame out;
+    while (decoder.next(&out) == FrameDecoder::Status::kFrame) {
+      frames.push_back(out);
+    }
+  }
+  for (u64 id = 1; id <= 50; ++id) {
+    EXPECT_EQ(frames[static_cast<std::size_t>(id - 1)].request_id, id);
+    EXPECT_EQ(frames[static_cast<std::size_t>(id - 1)].kind,
+              FrameKind::kResult);
+  }
+  ::close(fd);
 }
 
 }  // namespace

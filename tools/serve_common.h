@@ -1,57 +1,52 @@
 // Shared `serve` implementation for the two daemon entry points: the
 // dedicated `vscrubd` binary and `vscrubctl serve`. Both parse the same
-// declarative `serve` command table from core/cli, so flags, help text and
-// behavior cannot drift apart.
+// declarative `serve` command table (derived from service_config_flags() in
+// svc/config.h), and both apply the parsed flags through ServiceConfig::set,
+// so flags, help text and behavior cannot drift apart.
 #pragma once
 
 #include <cstdio>
 
 #include "core/cli.h"
+#include "svc/config.h"
 #include "svc/server.h"
 
 namespace vscrub {
 
-inline ServerOptions server_options_from(const CliArgs& args) {
-  ServerOptions options;
-  options.socket_path = args.option("--socket", "/tmp/vscrubd.sock");
-  options.tcp_port = static_cast<u16>(args.option_u64("--tcp-port", 0));
-  options.service.queue_capacity = args.option_u64("--queue", 16);
-  options.service.executors =
-      static_cast<unsigned>(args.option_u64("--executors", 2));
-  options.service.pool_threads =
-      static_cast<unsigned>(args.option_u64("--threads", 0));
-  options.service.cache_dir = args.option("--cache-dir", "");
-  options.service.retry_after_ms = args.option_u64("--retry-after", 250);
-  options.service.checkpoint_every_chunks =
-      args.option_u64("--checkpoint-every", 0);
-  options.send_timeout_ms =
-      static_cast<int>(args.option_u64("--send-timeout", 10000));
-  return options;
+inline ServiceConfig service_config_from(const CliArgs& args) {
+  ServiceConfig config;
+  for (const auto& [flag, value] : args.options) config.set(flag, value);
+  config.validate();
+  return config;
 }
 
 /// Runs the daemon until SIGTERM/SIGINT: first signal drains gracefully
 /// (in-flight requests finish and deliver), a second cancels live work at
 /// the next chunk boundary. Returns 0 after a clean drain.
 inline int run_serve(const CliArgs& args) {
-  const ServerOptions options = server_options_from(args);
-  SocketServer server(options);
+  const ServiceConfig config = service_config_from(args);
+  SocketServer server(config);
   server.start();
   server.bind_signals();
-  std::printf("vscrubd: listening on %s", options.socket_path.c_str());
-  if (options.tcp_port != 0) {
-    std::printf(" and 127.0.0.1:%u", options.tcp_port);
+  std::printf("vscrubd: listening on %s", config.socket_path.c_str());
+  if (config.tcp_port != 0) {
+    std::printf(" and 127.0.0.1:%u", config.tcp_port);
   }
-  std::printf(" (queue %zu, %u executors, store %s)\n",
-              options.service.queue_capacity, options.service.executors,
-              options.service.cache_dir.empty()
-                  ? "disabled"
-                  : options.service.cache_dir.c_str());
+  std::printf(" (queue %zu, %u executors, store %s",
+              config.queue_capacity, config.executors,
+              config.cache_dir.empty() ? "disabled"
+                                       : config.cache_dir.c_str());
+  if (config.preempt_chunks > 0) {
+    std::printf(", preempt every %llu chunks",
+                static_cast<unsigned long long>(config.preempt_chunks));
+  }
+  std::printf(")\n");
   std::fflush(stdout);
   server.run();
-  const std::string stats_path = args.option("--stats-json", "");
-  if (!stats_path.empty() &&
-      server.service().stats_report().write(stats_path)) {
-    std::printf("vscrubd: wrote service stats to %s\n", stats_path.c_str());
+  if (!config.stats_json.empty() &&
+      server.service().stats_report().write(config.stats_json)) {
+    std::printf("vscrubd: wrote service stats to %s\n",
+                config.stats_json.c_str());
   }
   std::printf("vscrubd: drained, exiting\n");
   return 0;

@@ -410,6 +410,9 @@ std::string submit_payload(const CliArgs& args, const std::string& op) {
     req.set_string("scrub_policy", args.option("--scrub-policy", ""));
   }
   if (args.flag("--progress")) req.set_bool("progress", true);
+  if (args.flag("--tenant")) {
+    req.set_string("tenant", args.option("--tenant", ""));
+  }
   return req.to_json();
 }
 
