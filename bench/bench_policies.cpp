@@ -96,6 +96,8 @@ void run_report() {
     json.set(e.policy + "_functional_upsets",
              static_cast<double>(r.functional_upsets));
     json.set(e.policy + "_repaired", static_cast<double>(r.repaired));
+    json.set(e.policy + "_ecc_fallback_repairs",
+             static_cast<double>(r.ecc_fallback_repairs));
   }
   json.write(bench_json_path("BENCH_policies.json"));
   std::printf("\n");
@@ -130,6 +132,8 @@ BENCHMARK_CAPTURE(BM_PolicyPlanPass, blind, "blind")
 BENCHMARK_CAPTURE(BM_PolicyPlanPass, priority, "priority")
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_PolicyPlanPass, staggered, "staggered")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_PolicyPlanPass, golden_ecc, "golden_ecc")
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -1,0 +1,289 @@
+#include "coord/coordinator.h"
+
+#include <utility>
+
+#include "common/log.h"
+#include "coord/fabric.h"
+#include "svc/config.h"
+#include "svc/store_wire.h"
+
+namespace vscrub {
+
+void CoordinatorConfig::validate() const {
+  if (socket_path.empty()) {
+    throw ServiceConfigError("coordinator: socket_path must be set");
+  }
+  if (workers.empty()) {
+    throw ServiceConfigError(
+        "coordinator: at least one --worker socket is required");
+  }
+  if (shards_per_worker == 0) {
+    throw ServiceConfigError(
+        "coordinator: shards_per_worker must be positive");
+  }
+  if (lease_ms == 0) {
+    throw ServiceConfigError("coordinator: lease_ms must be positive");
+  }
+  if (max_concurrent == 0) {
+    throw ServiceConfigError("coordinator: max_concurrent must be positive");
+  }
+}
+
+CoordinatorService::CoordinatorService(CoordinatorConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  if (!config_.cache_dir.empty()) {
+    store_ = std::make_unique<VerdictStore>(config_.cache_dir);
+  }
+}
+
+CoordinatorService::~CoordinatorService() {
+  begin_drain();
+  wait_drained();
+}
+
+JsonReport CoordinatorService::error_report(const std::string& code,
+                                            const std::string& message) const {
+  return JsonReport("error")
+      .set_string("code", code)
+      .set_string("error", message);
+}
+
+void CoordinatorService::reply(const Emit& emit, FrameKind kind,
+                               u64 request_id,
+                               const JsonReport& report) const {
+  emit(Frame{kind, request_id, report.to_json()});
+}
+
+void CoordinatorService::handle(const Frame& request, Emit emit,
+                                u64 client_id) {
+  switch (request.kind) {
+    case FrameKind::kPing:
+      reply(emit, FrameKind::kResult, request.request_id,
+            JsonReport("pong")
+                .set_u64("protocol_version", 1)
+                .set_string("role", "coordinator")
+                .set_u64("workers", config_.workers.size()));
+      return;
+    case FrameKind::kStats:
+      reply(emit, FrameKind::kResult, request.request_id, stats_report());
+      return;
+    case FrameKind::kStoreLookup:
+    case FrameKind::kStorePublish: {
+      if (store_ == nullptr) {
+        reply(emit, FrameKind::kError, request.request_id,
+              error_report("no_store",
+                           "this coordinator runs without a verdict store "
+                           "(start it with --cache-dir)"));
+        return;
+      }
+      try {
+        const FlatJson params = FlatJson::parse(
+            request.payload.empty() ? "{}" : request.payload);
+        if (request.kind == FrameKind::kStoreLookup) {
+          u64 keys = 0, hits = 0;
+          const JsonReport report =
+              answer_store_lookup(*store_, params, &keys, &hits);
+          {
+            std::lock_guard lock(mutex_);
+            store_lookups_ += keys;
+            store_hits_ += hits;
+          }
+          reply(emit, FrameKind::kResult, request.request_id, report);
+        } else {
+          u64 entries = 0;
+          const JsonReport report =
+              answer_store_publish(*store_, params, &entries);
+          {
+            std::lock_guard lock(mutex_);
+            store_publishes_ += entries;
+          }
+          reply(emit, FrameKind::kResult, request.request_id, report);
+        }
+      } catch (const Error& e) {
+        reply(emit, FrameKind::kError, request.request_id,
+              error_report("bad_request", e.what()));
+      }
+      return;
+    }
+    case FrameKind::kCancel: {
+      u64 target = 0;
+      try {
+        target = FlatJson::parse(request.payload).get_u64("target_id", 0);
+      } catch (const Error& e) {
+        reply(emit, FrameKind::kError, request.request_id,
+              error_report("bad_request", e.what()));
+        return;
+      }
+      bool cancelled = false;
+      {
+        std::lock_guard lock(mutex_);
+        for (LiveCampaign& c : live_) {
+          if (c.client_id == client_id && c.request_id == target) {
+            c.cancelled->store(true, std::memory_order_relaxed);
+            cancelled = true;
+          }
+        }
+      }
+      reply(emit, FrameKind::kResult, request.request_id,
+            JsonReport("cancel")
+                .set_u64("target_id", target)
+                .set_bool("cancelled", cancelled));
+      return;
+    }
+    case FrameKind::kCampaign:
+      break;  // the sharded fleet campaign, admitted below
+    default:
+      reply(emit, FrameKind::kError, request.request_id,
+            error_report("bad_request",
+                         std::string("not a coordinator request kind: ") +
+                             frame_kind_name(request.kind)));
+      return;
+  }
+
+  // Parse before admission: a malformed request costs a typed reply, not a
+  // runner thread.
+  try {
+    (void)FlatJson::parse(request.payload.empty() ? "{}" : request.payload);
+  } catch (const Error& e) {
+    reply(emit, FrameKind::kError, request.request_id,
+          error_report("bad_request", e.what()));
+    return;
+  }
+
+  auto cancelled = std::make_shared<std::atomic<bool>>(false);
+  {
+    std::lock_guard lock(mutex_);
+    const char* busy = nullptr;
+    if (draining_.load(std::memory_order_acquire)) {
+      busy = "draining";
+    } else if (running_ >= config_.max_concurrent) {
+      busy = "at_capacity";
+    }
+    if (busy != nullptr) {
+      // Replying under mutex_ is fine here: emit only enqueues bytes.
+      reply(emit, FrameKind::kBusy, request.request_id,
+            JsonReport("busy")
+                .set_string("reason", busy)
+                .set_u64("retry_after_ms", 250));
+      return;
+    }
+    running_ += 1;
+    campaigns_total_ += 1;
+    live_.push_back({client_id, request.request_id, cancelled});
+    runners_.emplace_back(
+        [this, request, emit, cancelled, client_id]() mutable {
+          run_fleet_campaign(request, std::move(emit), cancelled);
+          finish_campaign(client_id, request.request_id);
+        });
+  }
+  reply(emit, FrameKind::kAccepted, request.request_id,
+        JsonReport("accepted")
+            .set_u64("workers", config_.workers.size())
+            .set_u64("shards_per_worker", config_.shards_per_worker));
+}
+
+void CoordinatorService::run_fleet_campaign(
+    const Frame& request, Emit emit,
+    std::shared_ptr<std::atomic<bool>> cancelled) {
+  const u64 id = request.request_id;
+  try {
+    FabricOptions options;
+    options.workers = config_.workers;
+    options.params = FlatJson::parse(
+        request.payload.empty() ? "{}" : request.payload);
+    options.shards_per_worker = config_.shards_per_worker;
+    options.lease_ms = config_.lease_ms;
+    options.checkpoint_every_chunks = config_.checkpoint_every_chunks;
+    if (store_ != nullptr) options.remote_store_socket = config_.socket_path;
+    options.cancelled = cancelled.get();
+    if (options.params.get_bool("progress", false)) {
+      options.on_progress = [this, emit, id](const JsonReport& p) {
+        reply(emit, FrameKind::kProgress, id, p);
+      };
+    }
+    FabricResult result = run_fabric_campaign(options);
+    {
+      std::lock_guard lock(mutex_);
+      reassignments_total_ += result.reassignments;
+      resumed_injections_total_ += result.resumed_injections;
+    }
+    reply(emit, FrameKind::kResult, id, result.merged);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard lock(mutex_);
+      campaigns_failed_ += 1;
+    }
+    reply(emit, FrameKind::kError, id, error_report("failed", e.what()));
+  }
+}
+
+void CoordinatorService::finish_campaign(u64 client_id, u64 request_id) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i].client_id == client_id &&
+        live_[i].request_id == request_id) {
+      live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  running_ -= 1;
+  drained_cv_.notify_all();
+}
+
+void CoordinatorService::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void CoordinatorService::wait_drained() {
+  std::vector<std::thread> runners;
+  {
+    std::unique_lock lock(mutex_);
+    drained_cv_.wait(lock, [this] { return running_ == 0; });
+    runners.swap(runners_);
+  }
+  // Joined outside the lock: a runner's last act (finish_campaign) takes it.
+  for (std::thread& t : runners) {
+    if (t.joinable()) t.join();
+  }
+  if (store_) store_->flush();
+}
+
+bool CoordinatorService::idle() const {
+  std::lock_guard lock(mutex_);
+  return running_ == 0;
+}
+
+void CoordinatorService::cancel_client(u64 client_id) {
+  std::lock_guard lock(mutex_);
+  for (LiveCampaign& c : live_) {
+    if (c.client_id == client_id) {
+      c.cancelled->store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void CoordinatorService::cancel_all() {
+  std::lock_guard lock(mutex_);
+  for (LiveCampaign& c : live_) {
+    c.cancelled->store(true, std::memory_order_relaxed);
+  }
+}
+
+JsonReport CoordinatorService::stats_report() const {
+  std::lock_guard lock(mutex_);
+  JsonReport report("coordinator_stats");
+  report.set_u64("workers", config_.workers.size());
+  report.set_u64("campaigns_active", running_);
+  report.set_u64("campaigns_total", campaigns_total_);
+  report.set_u64("campaigns_failed", campaigns_failed_);
+  report.set_u64("reassignments_total", reassignments_total_);
+  report.set_u64("resumed_injections_total", resumed_injections_total_);
+  report.set_u64("store_lookups", store_lookups_);
+  report.set_u64("store_hits", store_hits_);
+  report.set_u64("store_publishes", store_publishes_);
+  report.set_u64("store_size", store_ ? store_->size() : 0);
+  return report;
+}
+
+}  // namespace vscrub

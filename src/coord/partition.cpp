@@ -1,0 +1,40 @@
+#include "coord/partition.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "fabric/config_space.h"
+#include "svc/requests.h"
+
+namespace vscrub {
+
+u64 campaign_universe_size(const FlatJson& params) {
+  const ConfigSpace space(device_by_name(params.get_string("device",
+                                                           "campaign")));
+  const u64 total = space.total_bits();
+  if (params.get_bool("exhaustive")) return total;
+  // Same default and clamp as the served campaign_options_from /
+  // build_universe pair: sample 0 (or >= total) means every bit.
+  const u64 sample = params.get_u64("sample", 20000);
+  if (sample == 0 || sample >= total) return total;
+  return sample;
+}
+
+std::vector<BitRange> partition_universe(u64 universe, u64 shards) {
+  VSCRUB_CHECK(shards > 0, "partition: shard count must be positive");
+  std::vector<BitRange> ranges;
+  const u64 n = std::min(shards, universe);
+  if (n == 0) return ranges;
+  ranges.reserve(n);
+  const u64 base = universe / n;
+  const u64 extra = universe % n;
+  u64 begin = 0;
+  for (u64 i = 0; i < n; ++i) {
+    const u64 size = base + (i < extra ? 1 : 0);
+    ranges.push_back(BitRange{begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
+}  // namespace vscrub

@@ -142,6 +142,52 @@ std::vector<CliCommand> build_commands() {
            value_flag("--json", "FILE", "write the returned report JSON"),
        }});
   commands.push_back(
+      {"fleet-serve", "",
+       "run the campaign-fabric coordinator (VSRP1 socket)",
+       {
+           value_flag("--socket", "PATH",
+                      "coordinator unix socket (default /tmp/vscrub-coord.sock)"),
+           value_flag("--worker", "PATH",
+                      "register a vscrubd worker socket (repeatable)"),
+           value_flag("--cache-dir", "DIR",
+                      "verdict hub store — the fleet-wide reuse tier"),
+           value_flag("--shards-per-worker", "N",
+                      "contiguous bit ranges per worker (default 2)"),
+           value_flag("--lease-ms", "MS",
+                      "reassign a range after this long without a worker "
+                      "frame (default 10000)"),
+           value_flag("--checkpoint-every-chunks", "N",
+                      "worker checkpoint-shipping cadence (default 2)"),
+           value_flag("--max-concurrent", "N",
+                      "concurrent sharded campaigns (default 2)"),
+           value_flag("--stats-json", "FILE",
+                      "write coordinator stats after the drain"),
+       }});
+  commands.push_back(
+      {"fleet-submit", "<design>",
+       "submit a sharded campaign to a fleet coordinator",
+       {
+           value_flag("--socket", "PATH",
+                      "coordinator socket (default /tmp/vscrub-coord.sock)"),
+           device_flag(),
+           value_flag("--sample", "N", "sample N random bits (default 20000)"),
+           bool_flag("--exhaustive", "inject every configuration bit"),
+           bool_flag("--persistence",
+                     "classify persistent vs transient failures"),
+           value_flag("--seed", "S", "sample seed"),
+           value_flag("--chunk", "N", "bits per scheduler chunk (0 = auto)"),
+           value_flag("--gang-width", "N",
+                      "bit-sliced gang lanes: 1..64, 256, 512 (default 64)"),
+           bool_flag("--no-gang", "scalar injections only (gang width 1)"),
+           value_flag("--gang-isa", "T",
+                      "gang SIMD tier: auto|scalar|avx2|avx512 (default auto)"),
+           bool_flag("--no-gang-plan",
+                     "interpret gang settles (skip the compiled eval plan)"),
+           bool_flag("--no-prune", "disable influence-set pruning"),
+           bool_flag("--progress", "stream merged fabric progress to stderr"),
+           value_flag("--json", "FILE", "write the merged campaign report"),
+       }});
+  commands.push_back(
       {"info", "<image.vsb>", "describe a saved configuration image", {}});
   commands.push_back({"designs", "", "list built-in design generators", {}});
   commands.push_back({"devices", "", "list device geometries", {}});
@@ -193,6 +239,14 @@ double CliArgs::option_double(const std::string& name, double dflt) const {
     if (k == name) return std::atof(v.c_str());
   }
   return dflt;
+}
+
+std::vector<std::string> CliArgs::option_all(const std::string& name) const {
+  std::vector<std::string> values;
+  for (const auto& [k, v] : options) {
+    if (k == name) values.push_back(v);
+  }
+  return values;
 }
 
 CliArgs cli_parse(const CliCommand& cmd,

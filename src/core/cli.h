@@ -45,6 +45,9 @@ struct CliArgs {
   std::string option(const std::string& name, const std::string& dflt) const;
   u64 option_u64(const std::string& name, u64 dflt) const;
   double option_double(const std::string& name, double dflt) const;
+  /// Every value of a repeatable flag, in command-line order (repeated
+  /// flags accumulate in `options` — e.g. fleet-serve's --worker).
+  std::vector<std::string> option_all(const std::string& name) const;
 };
 
 /// Parses everything after the command word against the command's declared

@@ -100,6 +100,24 @@ class StaggeredPolicy final : public ScrubPolicy {
   bool intermodular() const override { return true; }
 };
 
+/// The readback+CRC loop with a second golden tier: the scrubber keeps a
+/// SECDED-protected shadow of the golden image (common/ecc) and repairs
+/// from it when a flash fetch reports a corrected or uncorrectable word —
+/// closing the single-point-of-failure the flash store otherwise is. The
+/// schedule is identical to readback_crc; only the escalation branch at a
+/// corrupt golden fetch differs.
+class GoldenEccPolicy final : public ScrubPolicy {
+ public:
+  const char* name() const override { return "golden_ecc"; }
+  void plan_pass(const ScrubPolicyContext& ctx,
+                 std::vector<u32>& order) const override {
+    order.clear();
+    order.reserve(ctx.frame_count);
+    for (u32 gf = 0; gf < ctx.frame_count; ++gf) order.push_back(gf);
+  }
+  bool golden_ecc() const override { return true; }
+};
+
 }  // namespace
 
 const char* repair_mode_name(RepairMode mode) {
@@ -124,6 +142,7 @@ const std::vector<std::string>& scrub_policy_names() {
       "blind",
       "priority",
       "staggered",
+      "golden_ecc",
   };
   return names;
 }
@@ -138,6 +157,7 @@ ScrubPolicyPtr make_scrub_policy(const std::string& name,
     return std::make_shared<PriorityPolicy>(params.priority_cold_stride);
   }
   if (name == "staggered") return std::make_shared<StaggeredPolicy>();
+  if (name == "golden_ecc") return std::make_shared<GoldenEccPolicy>();
   std::string known;
   for (const std::string& n : scrub_policy_names()) {
     known += known.empty() ? n : ", " + n;

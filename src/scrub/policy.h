@@ -118,6 +118,13 @@ class ScrubPolicy {
   /// across modules (Belle II intermodular staggering) instead of scanning
   /// the group's devices one after another.
   virtual bool intermodular() const { return false; }
+
+  /// True when the scrubber keeps a second, SECDED-protected golden copy
+  /// (common/ecc Hamming(72,64)) beside the flash store and repairs from it
+  /// whenever a flash fetch reports an ECC event. A corrupted flash frame
+  /// then costs one shadow decode instead of a reset + full reconfiguration
+  /// escalation.
+  virtual bool golden_ecc() const { return false; }
 };
 
 using ScrubPolicyPtr = std::shared_ptr<const ScrubPolicy>;

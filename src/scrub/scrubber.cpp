@@ -52,6 +52,23 @@ Scrubber::Scrubber(const PlacedDesign& design, FabricSim& sim,
       }()),
       port_(design.space.get(), options.timing, options.link_faults) {
   validate_scrub_options(options_);
+  if (policy_->golden_ecc()) {
+    // Second golden tier: a SECDED shadow of every frame, encoded once at
+    // construction (the mission's one-time golden upload). Decoded only on
+    // a flash ECC event, so the common path costs nothing.
+    const ConfigSpace& space = *design_->space;
+    ecc_shadow_.resize(space.frame_count());
+    for (u32 gf = 0; gf < space.frame_count(); ++gf) {
+      const BitVector& frame = design_->bitstream.frame(gf);
+      std::vector<EccWord>& words = ecc_shadow_[gf];
+      words.reserve((frame.size() + 63) / 64);
+      for (std::size_t bit = 0; bit < frame.size(); bit += 64) {
+        const unsigned nbits =
+            static_cast<unsigned>(std::min<std::size_t>(64, frame.size() - bit));
+        words.push_back(ecc_encode(frame.word_at(bit, nbits)));
+      }
+    }
+  }
   if (options_.zeroed_dynamic_codebook) {
     // Only BRAM columns stay unreadable; every CLB frame is checkable.
     const ConfigSpace& space = *design_->space;
@@ -129,6 +146,27 @@ bool Scrubber::read_with_link(const FrameAddress& fa, bool primary,
   if (data != nullptr) {
     *data = sim_->read_frame(fa, /*clock_running=*/true);
     port_.corrupt_readback(*data);
+  }
+  return true;
+}
+
+bool Scrubber::golden_from_shadow(u32 gf, BitVector& golden,
+                                  ScrubPassResult& result) {
+  if (ecc_shadow_.empty()) return false;
+  BitVector shadow(golden.size());
+  std::size_t bit = 0;
+  for (const EccWord& word : ecc_shadow_[gf]) {
+    const EccDecodeResult decoded = ecc_decode(word);
+    if (decoded.status == EccStatus::kUncorrectable) return false;
+    const unsigned nbits =
+        static_cast<unsigned>(std::min<std::size_t>(64, shadow.size() - bit));
+    shadow.set_word_at(bit, nbits, decoded.data);
+    bit += nbits;
+  }
+  golden = std::move(shadow);
+  ++result.ecc_fallback_repairs;
+  if (options_.trace) {
+    options_.trace->event("scrub_ecc_fallback", elapsed_).f("frame", gf);
   }
   return true;
 }
@@ -212,7 +250,14 @@ void Scrubber::visit_readback(u32 gf, const FrameAddress& fa,
 
   FlashStore::FetchStatus fetch;
   BitVector golden = flash_->fetch_frame(gf, &fetch);
-  if (fetch.uncorrectable > 0) {
+  // golden_ecc tier: any flash ECC event makes the repair prefer the SECDED
+  // shadow copy, so a double-bit flash word costs one shadow decode instead
+  // of a reset escalation.
+  const bool shadowed =
+      (fetch.uncorrectable > 0 || fetch.corrected > 0) &&
+      golden_from_shadow(gf, golden, result);
+  if (shadowed && fetch.uncorrectable > 0) ++result.flash_uncorrectable;
+  if (fetch.uncorrectable > 0 && !shadowed) {
     // §II flash ECC: a double-bit word means the golden copy is not
     // trustworthy — never partially reconfigure with corrupt data.
     // Escalate to a reset and leave the frame for a higher-level recovery
@@ -353,11 +398,15 @@ void Scrubber::visit_blind(u32 gf, const FrameAddress& fa,
   ++result.frames_checked;
   result.clean_cost += port_.frame_cost(fa);
   FlashStore::FetchStatus fetch;
-  const BitVector golden = flash_->fetch_frame(gf, &fetch);
+  BitVector golden = flash_->fetch_frame(gf, &fetch);
   ScrubEvent event;
   event.global_frame = gf;
   event.time = elapsed_;
-  if (fetch.uncorrectable > 0) {
+  const bool shadowed =
+      (fetch.uncorrectable > 0 || fetch.corrected > 0) &&
+      golden_from_shadow(gf, golden, result);
+  if (shadowed && fetch.uncorrectable > 0) ++result.flash_uncorrectable;
+  if (fetch.uncorrectable > 0 && !shadowed) {
     // Same flash-ECC rule as the readback path: never write corrupt golden
     // data into the fabric.
     ++result.flash_uncorrectable;
@@ -435,6 +484,7 @@ void Scrubber::publish_metrics(const ScrubPassResult& r) {
   m.counter("scrub_retries_exhausted").add(r.retries_exhausted);
   m.counter("scrub_repair_verify_failures").add(r.repair_verify_failures);
   m.counter("scrub_flash_uncorrectable").add(r.flash_uncorrectable);
+  m.counter("scrub_ecc_fallback_repairs").add(r.ecc_fallback_repairs);
   m.counter("scrub_escalations").add(r.escalations);
   m.histogram("scrub_pass_ms").record(r.pass_time.ms());
 }

@@ -101,6 +101,9 @@ struct ScrubPassResult {
   u32 retries_exhausted = 0;   ///< transfers abandoned after max retries
   u32 repair_verify_failures = 0;  ///< post-repair readbacks that failed CRC
   u32 flash_uncorrectable = 0;     ///< golden fetches with double-bit words
+  /// Repairs served from the SECDED golden shadow after a flash ECC event
+  /// (golden_ecc policies only); each one replaces a reset escalation.
+  u32 ecc_fallback_repairs = 0;
   u32 escalations = 0;  ///< resets issued because repair could not proceed
   SimTime pass_time;    ///< modeled duration of this pass
   /// Ideal (fault-free) transfer cost of the frames this pass visited. For
@@ -160,6 +163,11 @@ class Scrubber {
   /// One blind visit: fetch golden from flash, write it, no readback.
   void visit_blind(u32 gf, const FrameAddress& fa, DesignHarness* harness,
                    ScrubPassResult& result);
+  /// Replaces `golden` with the SECDED shadow copy of frame `gf` after a
+  /// flash ECC event. Returns false (leaving `golden` alone) when the policy
+  /// keeps no shadow or the shadow itself decodes uncorrectable.
+  bool golden_from_shadow(u32 gf, BitVector& golden,
+                          ScrubPassResult& result);
   void publish_metrics(const ScrubPassResult& result);
 
   const PlacedDesign* design_;
@@ -174,6 +182,9 @@ class Scrubber {
   u64 pass_index_ = 0;
   double cycle_debt_ = 0.0;
   std::vector<u32> plan_;
+  /// SECDED-protected golden shadow, one EccWord vector per global frame;
+  /// built only for golden_ecc policies, empty otherwise.
+  std::vector<std::vector<EccWord>> ecc_shadow_;
 };
 
 }  // namespace vscrub

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "seu/cache_key.h"
 #include "seu/checkpoint.h"
+#include "store/remote_store.h"
 #include "store/verdict_store.h"
 
 namespace vscrub {
@@ -64,6 +65,10 @@ struct Aggregates {
   u64 pruned = 0;
   u64 cache_hits = 0;
   u64 cache_misses = 0;
+  // Remote-tier counters are telemetry only: they are not checkpointed, so
+  // a resumed range restarts them at zero.
+  u64 remote_hits = 0;
+  u64 remote_publishes = 0;
   i64 modeled_ps = 0;
   InjectionPhases phases;
   std::vector<CampaignResult::SensitiveBit> sensitive;
@@ -131,7 +136,19 @@ CampaignResult run_campaign(const PlacedDesign& design,
   const auto start = std::chrono::steady_clock::now();
   const ConfigSpace& space = *design.space;
 
-  const std::vector<u64> bits = build_universe(space, options);
+  std::vector<u64> bits = build_universe(space, options);
+  // Fabric range restriction: slice the deterministic universe *after* it is
+  // built, so every range of a sharded campaign sees the identical universe
+  // order and disjoint ranges partition the one-shot run exactly.
+  const bool range_active = options.range_end > 0;
+  if (range_active) {
+    VSCRUB_CHECK(options.range_end > options.range_begin,
+                 "campaign: range_end must exceed range_begin");
+    const u64 b = std::min<u64>(options.range_begin, bits.size());
+    const u64 e = std::min<u64>(options.range_end, bits.size());
+    bits.erase(bits.begin() + static_cast<std::ptrdiff_t>(e), bits.end());
+    bits.erase(bits.begin(), bits.begin() + static_cast<std::ptrdiff_t>(b));
+  }
   const u64 n = bits.size();
   const u64 chunk_size = resolve_chunk_size(options.chunk_size, n);
   const u64 nchunks = (n + chunk_size - 1) / chunk_size;
@@ -154,8 +171,9 @@ CampaignResult run_campaign(const PlacedDesign& design,
     owned_store = std::make_unique<VerdictStore>(options.cache_dir);
     store = owned_store.get();
   }
-  if (store != nullptr) {
-    result.cache_enabled = true;
+  RemoteVerdictClient* remote = options.remote_store;
+  if (store != nullptr || remote != nullptr) {
+    result.cache_enabled = store != nullptr;
     plan = build_cache_key_plan(design, options.injection);
     // Every iteration — fresh or replayed — bills the same modeled hardware
     // cost: the real testbed cannot cache.
@@ -243,6 +261,7 @@ CampaignResult run_campaign(const PlacedDesign& design,
     save_campaign_checkpoint(
         options.checkpoint_path,
         to_checkpoint(agg, done, fingerprint, n, chunk_size));
+    if (options.on_checkpoint) options.on_checkpoint();
   };
 
   // Scheduling: an external shared pool when the caller provides one (the
@@ -318,7 +337,51 @@ CampaignResult run_campaign(const PlacedDesign& design,
                        bits.begin() + static_cast<std::ptrdiff_t>(end));
     }
 
+    // Remote tier: one batched round trip for the chunk's local misses
+    // (exact keys first, then the conservative fallback keys for whatever is
+    // still missing). Hits replay exactly like local store hits and are fed
+    // into the local store so later chunks stop asking the wire.
+    u64 local_remote_hits = 0;
+    if (remote != nullptr && !miss_bits.empty()) {
+      const auto probe_remote = [&](bool fallback) {
+        std::vector<VerdictKey> keys;
+        keys.reserve(miss_bits.size());
+        for (const u64 linear : miss_bits) {
+          const BitAddress addr = space.address_of_linear(linear);
+          keys.push_back(fallback ? plan.fallback_key_of(space, addr, linear)
+                                  : plan.key_of(space, addr, linear));
+        }
+        std::vector<std::optional<StoredVerdict>> found;
+        remote->lookup_batch(keys, &found);
+        std::vector<u64> still;
+        still.reserve(miss_bits.size());
+        for (std::size_t i = 0; i < miss_bits.size(); ++i) {
+          const std::optional<StoredVerdict> v =
+              i < found.size() ? found[i] : std::nullopt;
+          if (!v) {
+            still.push_back(miss_bits[i]);
+            continue;
+          }
+          ++local_remote_hits;
+          const u64 linear = miss_bits[i];
+          if (store) store->put(keys[i], *v);
+          InjectionResult r;
+          r.addr = space.address_of_linear(linear);
+          r.output_error = v->output_error;
+          r.persistent = v->persistent;
+          r.first_error_cycle = v->first_error_cycle;
+          r.error_output_mask_lo = v->error_output_mask_lo;
+          r.modeled_time = cached_iter_time;
+          consume(r, /*from_cache=*/true);
+        }
+        miss_bits = std::move(still);
+      };
+      probe_remote(/*fallback=*/false);
+      if (!miss_bits.empty()) probe_remote(/*fallback=*/true);
+    }
+
     InjectionPhases phase_delta;
+    std::vector<std::pair<VerdictKey, StoredVerdict>> publish;
     if (!miss_bits.empty()) {
       // One injector per worker, built on first miss (the constructor
       // computes the golden trace and configures a fabric — not free, and a
@@ -330,7 +393,7 @@ CampaignResult run_campaign(const PlacedDesign& design,
       SeuInjector& injector = *injectors[worker];
       const auto record = [&](const InjectionResult& r) {
         consume(r, /*from_cache=*/false);
-        if (store) {
+        if (store || remote) {
           const u64 linear = space.linear_of(r.addr);
           // Oscillation-bounded runs are not provably a function of the
           // bit's closure alone: store them under the whole-design fallback
@@ -338,9 +401,10 @@ CampaignResult run_campaign(const PlacedDesign& design,
           const VerdictKey key =
               r.fabric_oscillated ? plan.fallback_key_of(space, r.addr, linear)
                                   : plan.key_of(space, r.addr, linear);
-          store->put(key, StoredVerdict{r.output_error, r.persistent,
-                                        r.first_error_cycle,
-                                        r.error_output_mask_lo});
+          const StoredVerdict v{r.output_error, r.persistent,
+                                r.first_error_cycle, r.error_output_mask_lo};
+          if (store) store->put(key, v);
+          if (remote) publish.emplace_back(key, v);
         }
       };
       // Gang batching: collect this chunk's gang-eligible bits for one
@@ -366,6 +430,9 @@ CampaignResult run_campaign(const PlacedDesign& design,
       phase_delta = injector.phases();
       injector.reset_phases();
     }
+    // Publish the chunk's fresh verdicts in one round trip, outside the
+    // merge lock: a slow coordinator stalls this worker, not the campaign.
+    if (remote != nullptr && !publish.empty()) remote->publish_batch(publish);
 
     std::lock_guard lock(merge_mutex);
     agg.injections += end - begin;
@@ -374,6 +441,8 @@ CampaignResult run_campaign(const PlacedDesign& design,
     agg.pruned += phase_delta.pruned;
     agg.cache_hits += local_hits;
     agg.cache_misses += local_misses;
+    agg.remote_hits += local_remote_hits;
+    agg.remote_publishes += publish.size();
     agg.modeled_ps += local_time.ps();
     agg.phases += phase_delta;
     agg.sensitive.insert(agg.sensitive.end(), local_sensitive.begin(),
@@ -411,6 +480,8 @@ CampaignResult run_campaign(const PlacedDesign& design,
   result.pruned = agg.pruned;
   result.cache_hits = agg.cache_hits;
   result.cache_misses = agg.cache_misses;
+  result.remote_hits = agg.remote_hits;
+  result.remote_publishes = agg.remote_publishes;
   result.modeled_hardware_time = SimTime::picoseconds(agg.modeled_ps);
   result.phases = agg.phases;
   result.sensitive_bits = std::move(agg.sensitive);
@@ -424,7 +495,9 @@ CampaignResult run_campaign(const PlacedDesign& design,
   // recampaign diffs against.
   if (store) {
     result.cache_stores = store->flush();
-    if (!result.interrupted) {
+    // A range run never writes the manifest: its counters cover one slice of
+    // the universe, not the whole run a recampaign would diff against.
+    if (!result.interrupted && !range_active) {
       CampaignManifest m;
       m.arch_fingerprint = plan.arch_fingerprint;
       m.stimulus_hash = plan.stimulus_hash;

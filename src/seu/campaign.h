@@ -15,6 +15,7 @@
 
 namespace vscrub {
 
+class RemoteVerdictClient;
 class VerdictStore;
 
 /// Live telemetry handed to CampaignOptions::on_progress as chunks complete.
@@ -48,6 +49,18 @@ struct CampaignOptions {
   /// beam session can be restricted to the same universe.
   bool record_sampled_bits = false;
 
+  /// Fabric range restriction: when range_end > range_begin the campaign
+  /// covers only universe positions [range_begin, min(range_end, n)) of the
+  /// deterministic bit universe (exhaustive order or the seeded sample).
+  /// Because the universe itself is identical for every range of the same
+  /// campaign, disjoint ranges partition the one-shot run exactly and their
+  /// order-independent sensitive digests XOR back to the one-shot digest —
+  /// the distributed fabric's bit-identity invariant. A range run never
+  /// writes the campaign manifest (its counters cover a slice, not the
+  /// universe a recampaign would diff against).
+  u64 range_begin = 0;
+  u64 range_end = 0;  ///< 0 = whole universe
+
   /// Scheduler chunk size in bits; 0 => auto (total/256 clamped to
   /// [64, 4096]). Never derived from the thread count, so results and
   /// checkpoints are comparable across machines.
@@ -66,6 +79,10 @@ struct CampaignOptions {
   /// options, or chunking) is ignored and overwritten.
   std::string checkpoint_path;
   u64 checkpoint_every_chunks = 32;
+  /// Called (serialized, from worker threads) right after each periodic or
+  /// final checkpoint save. The fabric worker uses this to ship the freshly
+  /// written VSCK record to its coordinator as a range heartbeat.
+  std::function<void()> on_checkpoint;
 
   /// When set, opens a content-addressed verdict store in this directory:
   /// bits whose key (arch fingerprint, stimulus, frame content, influence
@@ -82,6 +99,16 @@ struct CampaignOptions {
   /// clients hit each other's cached verdicts (VerdictStore is thread-safe
   /// for shared find/put/flush). When set, cache_dir is ignored.
   VerdictStore* store = nullptr;
+
+  /// A remote verdict tier (typically the coordinator's process-wide store
+  /// reached over VSRP1): bits the local store misses are probed in one
+  /// batched lookup per chunk, and fresh verdicts are published back in one
+  /// batched call, so fabric workers reuse each other's work. Not owned;
+  /// must outlive the campaign and be safe for concurrent batched calls.
+  /// Remote hits replay the exact verdict an injection would produce, so
+  /// results stay bit-identical with or without the tier; a dead remote
+  /// degrades to misses, never to a failed campaign.
+  RemoteVerdictClient* remote_store = nullptr;
 
   /// An external thread pool to schedule the campaign's chunks on instead of
   /// creating a pool per run. Not owned; must outlive the campaign. Several
@@ -117,6 +144,11 @@ struct CampaignOptions {
     record_sampled_bits = v;
     return *this;
   }
+  CampaignOptions& with_range(u64 begin, u64 end) {
+    range_begin = begin;
+    range_end = end;
+    return *this;
+  }
   CampaignOptions& with_chunk_size(u64 v) {
     chunk_size = v;
     return *this;
@@ -138,6 +170,10 @@ struct CampaignOptions {
   }
   CampaignOptions& with_shared_store(VerdictStore* s) {
     store = s;
+    return *this;
+  }
+  CampaignOptions& with_remote_store(RemoteVerdictClient* r) {
+    remote_store = r;
     return *this;
   }
   CampaignOptions& with_shared_pool(ThreadPool* p) {
@@ -194,6 +230,9 @@ struct CampaignResult {
   u64 cache_hits = 0;    ///< injections answered from the store
   u64 cache_misses = 0;  ///< injections that had to run (includes pruned)
   u64 cache_stores = 0;  ///< fresh verdicts persisted by the final flush
+  /// Remote-tier telemetry (all zero unless options.remote_store was set).
+  u64 remote_hits = 0;       ///< verdicts answered by the remote tier
+  u64 remote_publishes = 0;  ///< fresh verdicts published to the remote tier
 
   struct SensitiveBit {
     BitAddress addr;

@@ -75,6 +75,11 @@ u64 campaign_fingerprint(const PlacedDesign& design,
   h = fnv1a(h, options.sample_bits);
   h = fnv1a(h, options.sample_seed);
   h = fnv1a(h, chunk_size);
+  // The fabric's range restriction changes which universe positions a
+  // checkpoint's chunk bitmap indexes, so two ranges of the same campaign
+  // must never resume from each other's checkpoints.
+  h = fnv1a(h, options.range_begin);
+  h = fnv1a(h, options.range_end);
   h = fnv1a(h, static_cast<u64>(options.record_sensitive_bits));
   h = fnv1a(h, static_cast<u64>(options.record_sampled_bits));
   const InjectionOptions& inj = options.injection;

@@ -64,6 +64,8 @@ JsonReport campaign_report_json(const PlacedDesign& design,
   report.set_u64("cache_hits", result.cache_hits);
   report.set_u64("cache_misses", result.cache_misses);
   report.set_u64("cache_stores", result.cache_stores);
+  report.set_u64("remote_hits", result.remote_hits);
+  report.set_u64("remote_publishes", result.remote_publishes);
   report.set("cache_hit_rate",
              result.injections ? static_cast<double>(result.cache_hits) /
                                      static_cast<double>(result.injections)

@@ -43,11 +43,14 @@ bool frame_kind_valid(u8 kind) {
     case FrameKind::kFleet:
     case FrameKind::kCancel:
     case FrameKind::kStats:
+    case FrameKind::kStoreLookup:
+    case FrameKind::kStorePublish:
     case FrameKind::kAccepted:
     case FrameKind::kProgress:
     case FrameKind::kResult:
     case FrameKind::kError:
     case FrameKind::kBusy:
+    case FrameKind::kCheckpoint:
       return true;
   }
   return false;
@@ -62,11 +65,14 @@ const char* frame_kind_name(FrameKind kind) {
     case FrameKind::kFleet: return "fleet";
     case FrameKind::kCancel: return "cancel";
     case FrameKind::kStats: return "stats";
+    case FrameKind::kStoreLookup: return "store_lookup";
+    case FrameKind::kStorePublish: return "store_publish";
     case FrameKind::kAccepted: return "accepted";
     case FrameKind::kProgress: return "progress";
     case FrameKind::kResult: return "result";
     case FrameKind::kError: return "error";
     case FrameKind::kBusy: return "busy";
+    case FrameKind::kCheckpoint: return "checkpoint";
   }
   return "unknown";
 }

@@ -38,6 +38,9 @@ enum class FrameKind : u8 {
   kFleet = 5,       ///< Monte-Carlo fleet sweep (queued)
   kCancel = 6,      ///< cancel a queued/running request, answered inline
   kStats = 7,       ///< server metrics snapshot, answered inline
+  // Fabric (coordinator) requests, answered inline.
+  kStoreLookup = 8,   ///< batched verdict-store probe against the coordinator
+  kStorePublish = 9,  ///< batched verdict publish into the coordinator's store
 
   // Server -> client.
   kAccepted = 16,  ///< request admitted to the work queue
@@ -45,6 +48,7 @@ enum class FrameKind : u8 {
   kResult = 18,    ///< terminal success; payload is the report JSON
   kError = 19,     ///< terminal failure; payload carries code + message
   kBusy = 20,      ///< admission rejected; payload carries retry_after_ms
+  kCheckpoint = 21,  ///< streamed VSCK range checkpoint (fabric heartbeat)
 };
 
 bool frame_kind_valid(u8 kind);

@@ -109,12 +109,20 @@ CampaignOptions campaign_options_from(const FlatJson& params,
   }
   if (ctx.store != nullptr) options.with_shared_store(ctx.store);
   if (ctx.pool != nullptr) options.with_shared_pool(ctx.pool);
+  if (ctx.remote_store != nullptr) options.with_remote_store(ctx.remote_store);
+  // Fabric range restriction: [range_begin, range_end) over the campaign's
+  // deterministic universe order. range_end == 0 means the whole universe.
+  const u64 range_end = params.get_u64("range_end", 0);
+  if (range_end > 0) {
+    options.with_range(params.get_u64("range_begin", 0), range_end);
+  }
   if (!ctx.checkpoint_path.empty()) {
     if (ctx.checkpoint_every_chunks > 0) {
       options.with_checkpoint(ctx.checkpoint_path, ctx.checkpoint_every_chunks);
     } else {
       options.with_checkpoint(ctx.checkpoint_path);
     }
+    options.on_checkpoint = ctx.on_checkpoint;
   }
   // Cancel beats preemption: both stop the campaign at the chunk boundary
   // (writing the checkpoint), but a cancelled job must deliver its

@@ -50,6 +50,14 @@ struct RequestContext {
   std::string checkpoint_path;
   /// Checkpoint cadence in chunks (0 = the campaign default).
   u64 checkpoint_every_chunks = 0;
+  /// Fires after every checkpoint save (periodic and final); the fabric
+  /// worker ships the fresh VSCK bytes to its coordinator from here. May be
+  /// empty.
+  std::function<void()> on_checkpoint;
+  /// Second-tier verdict source behind the local store (borrowed, may be
+  /// null): the fabric wires the coordinator's store in here so workers
+  /// reuse each other's verdicts.
+  RemoteVerdictClient* remote_store = nullptr;
 };
 
 /// The gang width served work defaults to when a request does not pick one:

@@ -107,6 +107,15 @@ SocketServer::SocketServer(ServiceConfig config)
   VSCRUB_CHECK(wake_->fd >= 0, "vscrubd: cannot create wakeup eventfd");
 }
 
+SocketServer::SocketServer(ServiceConfig config,
+                           std::unique_ptr<FrameService> service)
+    : config_(std::move(config)),
+      service_(std::move(service)),
+      wake_(std::make_shared<WakeSignal>()) {
+  VSCRUB_CHECK(service_ != nullptr, "vscrubd: null service engine");
+  VSCRUB_CHECK(wake_->fd >= 0, "vscrubd: cannot create wakeup eventfd");
+}
+
 SocketServer::~SocketServer() {
   close_listeners();
   for (auto& [fd, conn] : conns_) {

@@ -39,8 +39,12 @@ namespace vscrub {
 class SocketServer {
  public:
   /// Validates the config (throws ServiceConfigError) and builds the
-  /// service engine; no sockets exist until start().
+  /// default CampaignService engine; no sockets exist until start().
   explicit SocketServer(ServiceConfig config);
+  /// Same transport, caller-supplied engine: the coordinator daemon runs
+  /// its CoordinatorService over this exact event loop. Only the transport
+  /// fields of `config` (socket path, port, backlog, timeouts) apply.
+  SocketServer(ServiceConfig config, std::unique_ptr<FrameService> service);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -60,7 +64,7 @@ class SocketServer {
   /// server (one server per process).
   void bind_signals();
 
-  CampaignService& service() { return *service_; }
+  FrameService& service() { return *service_; }
   const std::string& socket_path() const { return config_.socket_path; }
 
  private:
@@ -81,7 +85,7 @@ class SocketServer {
   bool all_flushed();
 
   ServiceConfig config_;
-  std::unique_ptr<CampaignService> service_;
+  std::unique_ptr<FrameService> service_;
   int epoll_fd_ = -1;
   int unix_fd_ = -1;
   int tcp_fd_ = -1;

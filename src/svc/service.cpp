@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "svc/requests.h"
+#include "svc/store_wire.h"
 
 namespace vscrub {
 
@@ -98,6 +99,14 @@ void CampaignService::handle(const Frame& request, Emit emit, u64 client_id) {
                 .set_bool("cancelled", cancel(target, client_id)));
       return;
     }
+    case FrameKind::kStoreLookup:
+    case FrameKind::kStorePublish:
+      // Remote verdict tier, answered inline against the process-wide store:
+      // a lookup/publish is a few map probes, never worth a queue slot. The
+      // coordinator daemon is the usual target, but any cache-enabled
+      // vscrubd can serve as a fleet's verdict hub.
+      handle_store_request(request, emit);
+      return;
     case FrameKind::kCampaign:
     case FrameKind::kRecampaign:
     case FrameKind::kMission:
@@ -185,6 +194,49 @@ void CampaignService::handle(const Frame& request, Emit emit, u64 client_id) {
     metrics_.set_gauge("queue_depth", static_cast<double>(depth));
   }
   work_cv_.notify_one();
+}
+
+void CampaignService::handle_store_request(const Frame& request,
+                                           const Emit& emit) {
+  if (store_ == nullptr) {
+    reply(emit, FrameKind::kError, request.request_id,
+          error_report("no_store",
+                       "this daemon runs without a verdict store "
+                       "(start it with --cache-dir to serve the fabric's "
+                       "remote tier)"));
+    return;
+  }
+  try {
+    const FlatJson params = FlatJson::parse(
+        request.payload.empty() ? "{}" : request.payload);
+    if (request.kind == FrameKind::kStoreLookup) {
+      u64 keys = 0, hits = 0;
+      const JsonReport report =
+          answer_store_lookup(*store_, params, &keys, &hits);
+      {
+        std::lock_guard mlock(metrics_mutex_);
+        metrics_.counter("store_lookups").add(keys);
+        metrics_.counter("store_lookup_hits").add(hits);
+      }
+      reply(emit, FrameKind::kResult, request.request_id, report);
+    } else {
+      u64 entries = 0;
+      const JsonReport report =
+          answer_store_publish(*store_, params, &entries);
+      {
+        std::lock_guard mlock(metrics_mutex_);
+        metrics_.counter("store_publishes").add(entries);
+      }
+      reply(emit, FrameKind::kResult, request.request_id, report);
+    }
+  } catch (const Error& e) {
+    {
+      std::lock_guard mlock(metrics_mutex_);
+      metrics_.counter("bad_requests").add();
+    }
+    reply(emit, FrameKind::kError, request.request_id,
+          error_report("bad_request", e.what()));
+  }
 }
 
 bool CampaignService::cancel(u64 request_id, u64 client_id) {
@@ -359,6 +411,68 @@ bool CampaignService::run_job(Job& job) {
     return true;
   }
   if (!want_progress) ctx.on_progress = nullptr;
+
+  // Fabric wiring (campaign kinds only): a worker job may ship each VSCK
+  // checkpoint to its coordinator as a kCheckpoint frame, resume from a
+  // blob the coordinator sent along with the range, and probe the
+  // coordinator's verdict store behind the local one.
+  std::unique_ptr<VsrpRemoteStore> remote;
+  if (campaign_kind) {
+    const bool ship = params.get_bool("ship_checkpoints", false);
+    const bool needs_dir = ship || params.has("resume_checkpoint");
+    if (needs_dir && ctx.checkpoint_path.empty()) {
+      if (config_.checkpoint_dir().empty()) {
+        reply(job.emit, FrameKind::kError, id,
+              error_report("no_checkpoint_dir",
+                           "checkpoint shipping needs a daemon started "
+                           "with a spool directory"));
+        return true;
+      }
+      // The constructor only creates the directory when the daemon's own
+      // preemption/periodic cadence needs it; a fabric request may be the
+      // first thing that writes there.
+      std::error_code ec;
+      std::filesystem::create_directories(config_.checkpoint_dir(), ec);
+      ctx.checkpoint_path = checkpoint_path_for(job);
+      ctx.checkpoint_every_chunks = config_.checkpoint_every_chunks;
+    }
+    if (params.has("resume_checkpoint")) {
+      try {
+        write_file_bytes(ctx.checkpoint_path,
+                         hex_decode(params.get_string("resume_checkpoint")));
+      } catch (const Error& e) {
+        reply(job.emit, FrameKind::kError, id,
+              error_report("bad_request", e.what()));
+        return true;
+      }
+    }
+    if (ship) {
+      // The coordinator picks the shipping cadence per range; the daemon's
+      // own --checkpoint-every-chunks is only the fallback, so a plain
+      // worker (started without it) still checkpoints when the fabric asks.
+      const u64 range_cadence = params.get_u64("checkpoint_every_chunks", 0);
+      if (range_cadence > 0) ctx.checkpoint_every_chunks = range_cadence;
+      if (ctx.checkpoint_every_chunks == 0) ctx.checkpoint_every_chunks = 16;
+      ctx.on_checkpoint = [this, emit, id, path = ctx.checkpoint_path] {
+        std::vector<u8> bytes;
+        if (!read_file_bytes(path, &bytes)) return;
+        reply(emit, FrameKind::kCheckpoint, id,
+              JsonReport("checkpoint").set_string("blob", hex_encode(bytes)));
+      };
+    }
+    const std::string remote_socket =
+        params.get_string("remote_store_socket", "");
+    if (!remote_socket.empty()) {
+      try {
+        remote = std::make_unique<VsrpRemoteStore>(remote_socket);
+        ctx.remote_store = remote.get();
+      } catch (const Error& e) {
+        // Degrade: the remote tier only buys reuse, never correctness.
+        VSCRUB_WARN("remote store unreachable, running without it: ",
+                    e.what());
+      }
+    }
+  }
 
   // Every reply happens outside metrics_mutex_: emit can block on a slow
   // client socket, and one stalled connection must not stall the metrics of

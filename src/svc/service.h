@@ -51,7 +51,12 @@
 
 namespace vscrub {
 
-class CampaignService {
+/// What the socket transport (svc/server.h) needs from a request engine —
+/// nothing more. CampaignService (the worker daemon's engine) and the
+/// fabric's CoordinatorService (coord/coordinator.h) both implement this,
+/// so one epoll event loop serves either role; which engine a daemon runs
+/// is a construction-time choice, not a transport fork.
+class FrameService {
  public:
   /// Reply sink for one request. Called from executor threads (and inline
   /// from handle() for immediate replies), possibly concurrently across
@@ -59,12 +64,35 @@ class CampaignService {
   /// event-loop transport only enqueues bytes here).
   using Emit = std::function<void(const Frame&)>;
 
+  virtual ~FrameService() = default;
+
+  /// Routes one decoded request frame; replies flow through `emit`.
+  /// `client_id` is the transport's identity for the issuing connection.
+  virtual void handle(const Frame& request, Emit emit, u64 client_id) = 0;
+  /// Stops admitting work; in-flight work finishes and replies.
+  virtual void begin_drain() = 0;
+  /// Blocks until every admitted request has reached its terminal reply.
+  virtual void wait_drained() = 0;
+  /// Non-blocking wait_drained() predicate for the event loop.
+  virtual bool idle() const = 0;
+  /// A connection died: stop work whose replies can no longer be delivered.
+  virtual void cancel_client(u64 client_id) = 0;
+  /// Hard shutdown phase: flip every live request's cancel flag.
+  virtual void cancel_all() = 0;
+  /// Server-side metrics snapshot as a versioned JSON report.
+  virtual JsonReport stats_report() const = 0;
+};
+
+class CampaignService : public FrameService {
+ public:
+  using Emit = FrameService::Emit;
+
   /// Validates `config` (throws ServiceConfigError) and starts the
   /// executors. The checkpoint directory is created when preemption or
   /// periodic checkpointing needs one.
   explicit CampaignService(const ServiceConfig& config);
   /// Drains (queued and running requests finish) and joins the executors.
-  ~CampaignService();
+  ~CampaignService() override;
 
   CampaignService(const CampaignService&) = delete;
   CampaignService& operator=(const CampaignService&) = delete;
@@ -79,18 +107,18 @@ class CampaignService {
   /// job is tracked by {client_id, request_id}: a kCancel frame can only ever
   /// cancel work submitted over the same connection, never another client's
   /// request that happens to share the id.
-  void handle(const Frame& request, Emit emit, u64 client_id = 0);
+  void handle(const Frame& request, Emit emit, u64 client_id = 0) override;
 
   /// Stops admitting work. Already-queued and running requests finish and
   /// their replies are delivered; new work requests get kBusy("draining").
-  void begin_drain();
+  void begin_drain() override;
   /// Blocks until the queue is empty and every executor is idle. The
   /// verdict store is flushed before returning.
-  void wait_drained();
+  void wait_drained() override;
   bool draining() const { return draining_.load(std::memory_order_acquire); }
   /// Non-blocking wait_drained() predicate — the event loop polls this
   /// between readiness waits instead of parking a thread.
-  bool idle() const;
+  bool idle() const override;
 
   /// Flips the cancel flag of the queued or running request that `client_id`
   /// submitted as `request_id`; false when no such job is live. Campaigns
@@ -101,15 +129,15 @@ class CampaignService {
   /// when a connection dies, so work whose replies can no longer be
   /// delivered stops at the next chunk boundary instead of burning the
   /// compute pool to the end.
-  void cancel_client(u64 client_id);
+  void cancel_client(u64 client_id) override;
   /// Flips every live request's cancel flag regardless of owner (the hard
   /// phase of a two-step shutdown: drain first, cancel on the second signal).
-  void cancel_all();
+  void cancel_all() override;
 
   /// Snapshot of the server-side metrics as a versioned JSON report
   /// ("kind": "service_stats"): queue depth, admission rejects, request
   /// latency p50/p99, per-kind counters, preemptions, store size.
-  JsonReport stats_report() const;
+  JsonReport stats_report() const override;
 
   VerdictStore* store() { return store_.get(); }
   const ServiceConfig& config() const { return config_; }
@@ -144,6 +172,9 @@ class CampaignService {
   };
 
   void executor_loop();
+  /// Answers a kStoreLookup / kStorePublish frame inline against store_
+  /// (typed kError "no_store" when the service runs without a cache dir).
+  void handle_store_request(const Frame& request, const Emit& emit);
   /// Runs one dispatched job. Returns true when the job reached a terminal
   /// reply (its live entry must be released); false when it was preempted
   /// and requeued for a later quantum.

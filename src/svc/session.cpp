@@ -25,12 +25,59 @@ bool terminal(FrameKind kind) {
          kind == FrameKind::kBusy;
 }
 
+/// Where this session dials (and redials): one of the two connect flavors.
+struct Endpoint {
+  bool tcp = false;
+  std::string socket_path;
+  u16 port = 0;
+};
+
+/// One connection attempt; -1 on failure (reconnect loops treat a failed
+/// dial as one consumed attempt, the first connect throws instead).
+int try_dial(const Endpoint& ep) {
+  if (ep.tcp) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (ep.socket_path.size() >= sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, ep.socket_path.c_str(),
+              ep.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
 /// Events buffered per job before a wait()/submit callback exists. Progress
 /// is advisory telemetry: past this bound the oldest buffered frame is
 /// dropped rather than growing without bound for a client that never waits.
 constexpr std::size_t kMaxEventBacklog = 256;
 
 }  // namespace
+
+const char* session_error_name(SessionErrorCode code) {
+  switch (code) {
+    case SessionErrorCode::kConnectionLost: return "connection_lost";
+    case SessionErrorCode::kReconnectFailed: return "reconnect_failed";
+  }
+  return "unknown";
+}
 
 struct JobHandle::State {
   u64 id = 0;
@@ -43,24 +90,43 @@ struct JobHandle::State {
   std::optional<Frame> terminal_frame;
   bool lost = false;
   std::string lost_reason;
+  SessionErrorCode lost_code = SessionErrorCode::kConnectionLost;
 };
 
 struct SessionCore {
-  explicit SessionCore(int fd_in) : fd(fd_in) {}
+  SessionCore(int fd_in, Endpoint ep, ReconnectPolicy rp)
+      : fd(fd_in), endpoint(std::move(ep)), reconnect(rp) {}
   ~SessionCore() {
-    ::shutdown(fd, SHUT_RDWR);
+    {
+      std::lock_guard lock(mutex);
+      shutting_down = true;
+    }
+    cv.notify_all();
+    {
+      // The reader swaps fd under both locks, so shutting down under
+      // send_mutex always hits the live socket and wakes a blocked recv.
+      std::lock_guard slock(send_mutex);
+      ::shutdown(fd, SHUT_RDWR);
+    }
     if (reader.joinable()) reader.join();
     ::close(fd);
   }
 
-  const int fd;
-  std::mutex mutex;  ///< guards jobs / states / closed
+  /// Guarded by send_mutex for writers; only the reader thread replaces it
+  /// (holding mutex + send_mutex), so the reader may read it lock-free.
+  int fd;
+  const Endpoint endpoint;
+  const ReconnectPolicy reconnect;
+  std::mutex mutex;  ///< guards jobs / states / closed / shutting_down
   std::condition_variable cv;
   u64 next_id = 1;
   std::map<u64, std::shared_ptr<JobHandle::State>> jobs;
   bool closed = false;
+  bool shutting_down = false;
   std::string close_reason;
-  std::mutex send_mutex;  ///< one whole frame on the wire at a time
+  SessionErrorCode close_code = SessionErrorCode::kConnectionLost;
+  u64 reconnect_count = 0;  ///< guarded by mutex
+  std::mutex send_mutex;    ///< one whole frame on the wire at a time
   std::thread reader;
 
   std::shared_ptr<JobHandle::State> send_request(FrameKind kind,
@@ -69,7 +135,7 @@ struct SessionCore {
     auto state = std::make_shared<JobHandle::State>();
     {
       std::lock_guard lock(mutex);
-      if (closed) throw Error("client: " + close_reason);
+      if (closed) throw SessionError(close_code, "client: " + close_reason);
       state->id = next_id++;
       state->sink = std::move(on_event);
       jobs.emplace(state->id, state);
@@ -85,7 +151,8 @@ struct SessionCore {
           std::lock_guard lock(mutex);
           jobs.erase(state->id);
         }
-        throw Error("client: connection lost while sending");
+        throw SessionError(SessionErrorCode::kConnectionLost,
+                           "client: connection lost while sending");
       }
       sent += static_cast<std::size_t>(n);
     }
@@ -100,11 +167,21 @@ struct SessionCore {
     cv.wait(lock, [&] {
       return state->terminal_frame.has_value() || state->lost;
     });
-    if (state->lost) throw Error("client: " + state->lost_reason);
+    if (state->lost) {
+      throw SessionError(state->lost_code, "client: " + state->lost_reason);
+    }
     return *state->terminal_frame;
   }
 
   void reader_loop() {
+    while (true) {
+      const std::string reason = read_connection();
+      if (!try_reconnect(reason)) return;
+    }
+  }
+
+  /// Demultiplexes the current connection until it dies; returns why.
+  std::string read_connection() {
     FrameDecoder decoder;
     u8 buf[16384];
     while (true) {
@@ -115,17 +192,69 @@ struct SessionCore {
         continue;
       }
       if (status != FrameDecoder::Status::kNeedMore) {
-        fail(std::string("frame decode failed: ") +
-             decode_status_name(status));
-        return;
+        return std::string("frame decode failed: ") +
+               decode_status_name(status);
       }
       const auto n = ::recv(fd, buf, sizeof buf, 0);
-      if (n <= 0) {
-        fail("connection closed by server");
-        return;
-      }
+      if (n <= 0) return "connection closed by server";
       decoder.feed(std::span<const u8>(buf, static_cast<std::size_t>(n)));
     }
+  }
+
+  /// Runs the reconnect policy after a drop. In-flight jobs are lost either
+  /// way (the server scopes request identity to the connection); the session
+  /// itself survives when a redial lands. Returns true when the reader
+  /// should keep demultiplexing on a fresh socket.
+  bool try_reconnect(const std::string& reason) {
+    {
+      std::lock_guard lock(mutex);
+      if (shutting_down || reconnect.max_attempts == 0) {
+        fail_locked(reason, SessionErrorCode::kConnectionLost);
+        cv.notify_all();
+        return false;
+      }
+      // Jobs die now, the session stays open for post-reconnect submits.
+      lose_jobs_locked(reason + " (session reconnecting)",
+                       SessionErrorCode::kConnectionLost);
+    }
+    cv.notify_all();
+    u32 backoff_ms = std::max<u32>(1, reconnect.backoff_initial_ms);
+    for (u32 attempt = 1; attempt <= reconnect.max_attempts; ++attempt) {
+      {
+        std::unique_lock lock(mutex);
+        if (cv.wait_for(lock, std::chrono::milliseconds(backoff_ms),
+                        [&] { return shutting_down; })) {
+          fail_locked("session closed", SessionErrorCode::kConnectionLost);
+          cv.notify_all();
+          return false;
+        }
+      }
+      const int nfd = try_dial(endpoint);
+      if (nfd >= 0) {
+        std::scoped_lock lock(mutex, send_mutex);
+        if (shutting_down) {
+          ::close(nfd);
+          fail_locked("session closed", SessionErrorCode::kConnectionLost);
+          cv.notify_all();
+          return false;
+        }
+        ::close(fd);
+        fd = nfd;
+        ++reconnect_count;
+        return true;
+      }
+      backoff_ms = std::min(backoff_ms * 2,
+                            std::max<u32>(1, reconnect.backoff_max_ms));
+    }
+    {
+      std::lock_guard lock(mutex);
+      fail_locked("reconnect failed after " +
+                      std::to_string(reconnect.max_attempts) + " attempts (" +
+                      reason + ")",
+                  SessionErrorCode::kReconnectFailed);
+    }
+    cv.notify_all();
+    return false;
   }
 
   void dispatch(const Frame& frame) {
@@ -173,19 +302,24 @@ struct SessionCore {
     }
   }
 
-  /// Connection death: every pending job's wait() throws from here on.
-  void fail(const std::string& reason) {
-    {
-      std::lock_guard lock(mutex);
-      closed = true;
-      close_reason = reason;
-      for (auto& [id, state] : jobs) {
-        state->lost = true;
-        state->lost_reason = reason;
-      }
-      jobs.clear();
+  /// Marks every pending job lost without closing the session (the
+  /// reconnect window). Caller holds `mutex` and notifies the cv after.
+  void lose_jobs_locked(const std::string& reason, SessionErrorCode code) {
+    for (auto& [id, state] : jobs) {
+      state->lost = true;
+      state->lost_reason = reason;
+      state->lost_code = code;
     }
-    cv.notify_all();
+    jobs.clear();
+  }
+
+  /// Permanent death: every pending job and every later submit throws the
+  /// typed error from here on. Caller holds `mutex` and notifies the cv.
+  void fail_locked(const std::string& reason, SessionErrorCode code) {
+    closed = true;
+    close_reason = reason;
+    close_code = code;
+    lose_jobs_locked(reason, code);
   }
 };
 
@@ -228,7 +362,9 @@ std::optional<Frame> JobHandle::wait_for(std::chrono::milliseconds timeout,
       }
     }
     if (state_->terminal_frame.has_value()) return *state_->terminal_frame;
-    if (state_->lost) throw Error("client: " + state_->lost_reason);
+    if (state_->lost) {
+      throw SessionError(state_->lost_code, "client: " + state_->lost_reason);
+    }
     if (forever) {
       core_->cv.wait(lock);
     } else if (core_->cv.wait_until(lock, deadline) ==
@@ -247,38 +383,30 @@ bool JobHandle::cancel() {
          FlatJson::parse(reply.payload).get_bool("cancelled", false);
 }
 
-ServiceSession ServiceSession::connect_unix(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  VSCRUB_CHECK(socket_path.size() < sizeof addr.sun_path,
+ServiceSession ServiceSession::connect_unix(const std::string& socket_path,
+                                            ReconnectPolicy reconnect) {
+  VSCRUB_CHECK(socket_path.size() < sizeof sockaddr_un{}.sun_path,
                "client: socket path too long: " + socket_path);
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  VSCRUB_CHECK(fd >= 0, "client: cannot create unix socket");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    ::close(fd);
-    throw Error("client: cannot connect to " + socket_path);
-  }
-  auto core = std::make_shared<SessionCore>(fd);
+  Endpoint ep;
+  ep.socket_path = socket_path;
+  const int fd = try_dial(ep);
+  if (fd < 0) throw Error("client: cannot connect to " + socket_path);
+  auto core = std::make_shared<SessionCore>(fd, std::move(ep), reconnect);
   core->reader = std::thread([raw = core.get()] { raw->reader_loop(); });
   return ServiceSession(std::move(core));
 }
 
-ServiceSession ServiceSession::connect_tcp(u16 port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  VSCRUB_CHECK(fd >= 0, "client: cannot create tcp socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    ::close(fd);
+ServiceSession ServiceSession::connect_tcp(u16 port,
+                                           ReconnectPolicy reconnect) {
+  Endpoint ep;
+  ep.tcp = true;
+  ep.port = port;
+  const int fd = try_dial(ep);
+  if (fd < 0) {
     throw Error("client: cannot connect to loopback port " +
                 std::to_string(port));
   }
-  auto core = std::make_shared<SessionCore>(fd);
+  auto core = std::make_shared<SessionCore>(fd, std::move(ep), reconnect);
   core->reader = std::thread([raw = core.get()] { raw->reader_loop(); });
   return ServiceSession(std::move(core));
 }
@@ -308,6 +436,12 @@ bool ServiceSession::connected() const {
   if (core_ == nullptr) return false;
   std::lock_guard lock(core_->mutex);
   return !core_->closed;
+}
+
+u64 ServiceSession::reconnects() const {
+  if (core_ == nullptr) return 0;
+  std::lock_guard lock(core_->mutex);
+  return core_->reconnect_count;
 }
 
 }  // namespace vscrub

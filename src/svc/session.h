@@ -28,6 +28,37 @@
 
 namespace vscrub {
 
+/// Automatic reconnection for a session whose connection drops mid-life.
+/// Jobs in flight at the drop are lost either way (request identity is
+/// scoped to the server connection), but with a policy set the session
+/// itself survives: the reader redials with capped exponential backoff and
+/// later submits ride the new connection. The coordinator's worker links
+/// run with this on, so a worker daemon restart costs one range
+/// reassignment, not the whole fabric link.
+struct ReconnectPolicy {
+  u32 max_attempts = 0;       ///< 0 disables reconnection (a drop is final)
+  u32 backoff_initial_ms = 50;
+  u32 backoff_max_ms = 2000;  ///< exponential backoff is capped here
+};
+
+enum class SessionErrorCode : u8 {
+  kConnectionLost,   ///< the connection died (no reconnect, or mid-redial)
+  kReconnectFailed,  ///< every reconnect attempt was exhausted
+};
+const char* session_error_name(SessionErrorCode code);
+
+/// The typed session failure: what() keeps the human-readable reason, code()
+/// says whether this was a plain drop or an exhausted reconnect loop.
+class SessionError : public Error {
+ public:
+  SessionError(SessionErrorCode code, const std::string& what)
+      : Error(what), code_(code) {}
+  SessionErrorCode code() const { return code_; }
+
+ private:
+  SessionErrorCode code_;
+};
+
 struct SessionCore;
 
 /// One submitted request's lifecycle. Default-constructed handles are empty
@@ -82,9 +113,11 @@ class ServiceSession {
   using EventFn = JobHandle::EventFn;
 
   /// Connects to a vscrubd Unix-domain socket. Throws Error on failure.
-  static ServiceSession connect_unix(const std::string& socket_path);
+  /// `reconnect` (default: disabled) makes the session redial after a drop.
+  static ServiceSession connect_unix(const std::string& socket_path,
+                                     ReconnectPolicy reconnect = {});
   /// Connects to a vscrubd TCP loopback port. Throws Error on failure.
-  static ServiceSession connect_tcp(u16 port);
+  static ServiceSession connect_tcp(u16 port, ReconnectPolicy reconnect = {});
 
   ServiceSession(ServiceSession&&) noexcept = default;
   ServiceSession& operator=(ServiceSession&&) noexcept = default;
@@ -112,6 +145,8 @@ class ServiceSession {
 
   /// False once the reader thread has observed the connection close.
   bool connected() const;
+  /// Successful redials so far (0 without a ReconnectPolicy).
+  u64 reconnects() const;
 
  private:
   explicit ServiceSession(std::shared_ptr<SessionCore> core)

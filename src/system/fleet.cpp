@@ -58,6 +58,7 @@ FleetResult run_fleet(const PlacedDesign& design,
     result.scrub_transfer_timeouts += r.scrub_transfer_timeouts;
     result.scrub_retries_exhausted += r.scrub_retries_exhausted;
     result.flash_escalations += r.flash_escalations;
+    result.ecc_fallback_repairs += r.ecc_fallback_repairs;
   }
   if (result.functional_upsets > 0) {
     result.mttr_ms =
@@ -92,6 +93,8 @@ void fill_fleet_metrics(const FleetResult& result, MetricsRegistry& metrics) {
   metrics.counter("fleet_retries_exhausted")
       .add(result.scrub_retries_exhausted);
   metrics.counter("fleet_flash_escalations").add(result.flash_escalations);
+  metrics.counter("fleet_ecc_fallback_repairs")
+      .add(result.ecc_fallback_repairs);
   metrics.counter("fleet_functional_upsets").add(result.functional_upsets);
   metrics.set_gauge("fleet_availability_mean", result.availability_mean);
   metrics.set_gauge("fleet_availability_ci95", result.availability_ci95);
@@ -172,6 +175,9 @@ JsonReport policy_race_report_json(const PolicyRaceResult& result) {
     report.set_u64(e.policy + "_detected", f.detected);
     report.set_u64(e.policy + "_repaired", f.repaired);
     report.set_u64(e.policy + "_resets", f.resets);
+    report.set_u64(e.policy + "_flash_escalations", f.flash_escalations);
+    report.set_u64(e.policy + "_ecc_fallback_repairs",
+                   f.ecc_fallback_repairs);
   }
   return report;
 }

@@ -60,6 +60,7 @@ struct FleetResult {
   u64 scrub_transfer_timeouts = 0;
   u64 scrub_retries_exhausted = 0;
   u64 flash_escalations = 0;
+  u64 ecc_fallback_repairs = 0;
 };
 
 /// Runs the seed sweep across the pool and aggregates. The aggregation is

@@ -53,6 +53,7 @@ MissionReport Payload::run_mission(SimTime duration) {
   const ScrubPolicy& policy =
       options_.scrub.policy ? *options_.scrub.policy : *default_scrub_policy();
   const bool blind = policy.blind();
+  const bool golden_ecc = policy.golden_ecc();
   const bool interleaved = policy.intermodular();
   const u32 period = std::max<u32>(1, policy.schedule_period());
   const int fpb = options_.fpgas_per_board;
@@ -216,8 +217,19 @@ MissionReport Payload::run_mission(SimTime duration) {
             std::max(report.max_detection_latency_ms, latency_ms);
       }
       FlashStore::FetchStatus fetch;
-      const BitVector golden = flash_.fetch_frame(gf, &fetch);
-      if (fetch.uncorrectable > 0) {
+      BitVector golden = flash_.fetch_frame(gf, &fetch);
+      if (golden_ecc && (fetch.uncorrectable > 0 || fetch.corrected > 0)) {
+        // golden_ecc tier: repair from the SECDED-protected second golden
+        // copy on any flash ECC event; a double-bit flash word no longer
+        // forces the full-reconfiguration escalation below.
+        golden = design_->bitstream.frame(gf);
+        ++report.ecc_fallback_repairs;
+        if (options_.trace) {
+          options_.trace->event("ecc_fallback_repair", best)
+              .f("dev", static_cast<u64>(best_dev))
+              .f("frame", gf);
+        }
+      } else if (fetch.uncorrectable > 0) {
         // The golden frame came back with a double-bit ECC word: never
         // partially reconfigure with corrupt data. Escalate to a full
         // reconfiguration of this device from the ground image, which also
@@ -441,6 +453,8 @@ void Payload::fill_mission_metrics(const MissionReport& report,
   metrics.counter("mission_retries_exhausted")
       .add(report.scrub_retries_exhausted);
   metrics.counter("mission_flash_escalations").add(report.flash_escalations);
+  metrics.counter("mission_ecc_fallback_repairs")
+      .add(report.ecc_fallback_repairs);
   metrics.counter("mission_flash_ecc_corrected").add(report.flash_stats.corrected);
   metrics.set_gauge("mission_availability", report.availability);
   metrics.set_gauge("mission_mttr_ms", report.mttr_ms);

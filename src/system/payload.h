@@ -98,6 +98,9 @@ struct MissionReport {
   u64 scrub_retries_exhausted = 0;   ///< transfers abandoned after max retries
   u64 scrub_fault_resets = 0;        ///< resets escalated from link faults
   u64 flash_escalations = 0;  ///< repairs aborted on uncorrectable golden
+  /// Repairs served from the SECDED golden shadow after a flash ECC event
+  /// (golden_ecc policies only); each double-bit one avoided an escalation.
+  u64 ecc_fallback_repairs = 0;
   /// Per-detection latency samples (ms), in detection order; feeds the fleet
   /// percentiles.
   std::vector<double> detection_latency_ms;

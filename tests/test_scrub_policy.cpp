@@ -14,13 +14,14 @@ namespace {
 
 // ---------------------------------------------------------------- registry
 
-TEST(PolicyRegistry, FourPoliciesInTableOrder) {
+TEST(PolicyRegistry, FivePoliciesInTableOrder) {
   const std::vector<std::string>& names = scrub_policy_names();
-  ASSERT_EQ(names.size(), 4u);
+  ASSERT_EQ(names.size(), 5u);
   EXPECT_EQ(names[0], "readback_crc");
   EXPECT_EQ(names[1], "blind");
   EXPECT_EQ(names[2], "priority");
   EXPECT_EQ(names[3], "staggered");
+  EXPECT_EQ(names[4], "golden_ecc");
   for (const std::string& n : names) {
     EXPECT_EQ(make_scrub_policy(n)->name(), n);
   }
@@ -153,6 +154,23 @@ TEST(PolicyPlans, BlindAndStaggeredTraits) {
   EXPECT_FALSE(staggered->blind());
 }
 
+TEST(PolicyPlans, GoldenEccTraits) {
+  const ScrubPolicyPtr policy = make_scrub_policy("golden_ecc");
+  EXPECT_TRUE(policy->golden_ecc());
+  EXPECT_FALSE(policy->blind());
+  EXPECT_FALSE(policy->intermodular());
+  EXPECT_EQ(policy->schedule_period(), 1u);
+  // Scheduling is the full scan — only the flash-escalation branch differs.
+  ScrubPolicyContext ctx;
+  ctx.frame_count = 4;
+  std::vector<u32> order;
+  policy->plan_pass(ctx, order);
+  EXPECT_EQ(order, (std::vector<u32>{0, 1, 2, 3}));
+  // Every other registered policy keeps no shadow.
+  EXPECT_FALSE(make_scrub_policy("readback_crc")->golden_ecc());
+  EXPECT_FALSE(make_scrub_policy("blind")->golden_ecc());
+}
+
 TEST(PolicyPlans, MineFrameSensitivityCountsPerGlobalFrame) {
   const auto design = compile(designs::counter_adder(8), device_tiny(8, 8));
   const ConfigSpace& space = *design.space;
@@ -266,6 +284,52 @@ TEST(PolicyEquivalence, BlindPassRepairsWithoutDetecting) {
   ScrubberOptions check;
   Scrubber checker(fx.design, fx.sim, fx.flash, check);
   EXPECT_EQ(checker.scrub_pass(&fx.harness).errors_found, 0u);
+}
+
+TEST(PolicyEquivalence, GoldenEccMatchesReadbackCrcOnPristineFlash) {
+  // With a clean flash store the shadow tier is never consulted: the pass
+  // must be bit-identical to the paper's readback_crc loop.
+  ScrubFixture crc;
+  ScrubFixture ecc;
+  ScrubberOptions crc_options;
+  crc_options.policy = make_scrub_policy("readback_crc");
+  ScrubberOptions ecc_options;
+  ecc_options.policy = make_scrub_policy("golden_ecc");
+  Scrubber crc_scrubber(crc.design, crc.sim, crc.flash, crc_options);
+  Scrubber ecc_scrubber(ecc.design, ecc.sim, ecc.flash, ecc_options);
+  const BitAddress addr = crc.design.space->address_of_linear(4321);
+  crc_scrubber.insert_artificial_seu(addr);
+  ecc_scrubber.insert_artificial_seu(addr);
+  const ScrubPassResult a = crc_scrubber.scrub_pass(&crc.harness);
+  const ScrubPassResult b = ecc_scrubber.scrub_pass(&ecc.harness);
+  expect_pass_equal(a, b);
+  EXPECT_EQ(b.ecc_fallback_repairs, 0u);
+}
+
+TEST(PolicyEquivalence, GoldenEccRepairsFromShadowOnFlashDoubleBit) {
+  ScrubFixture fx;
+  ScrubberOptions o;
+  o.policy = make_scrub_policy("golden_ecc");
+  MetricsRegistry metrics;
+  o.metrics = &metrics;
+  Scrubber scrubber(fx.design, fx.sim, fx.flash, o);
+  const BitAddress addr = fx.design.space->address_of_linear(4321);
+  const u32 gf = fx.design.space->global_frame_index(addr.frame);
+  scrubber.insert_artificial_seu(addr);
+  // The golden copy rots in flash: a double-bit word SECDED can only flag.
+  // readback_crc would escalate to a reset here (see test_scrub_faults);
+  // golden_ecc repairs from its SECDED shadow instead.
+  fx.flash.inject_upset(gf, 0, 5);
+  fx.flash.inject_upset(gf, 0, 41);
+  const ScrubPassResult pass = scrubber.scrub_pass(&fx.harness);
+  EXPECT_EQ(pass.errors_found, 1u);
+  EXPECT_EQ(pass.flash_uncorrectable, 1u);
+  EXPECT_EQ(pass.ecc_fallback_repairs, 1u);
+  EXPECT_EQ(pass.repairs, 1u);
+  EXPECT_EQ(pass.escalations, 0u);
+  EXPECT_EQ(metrics.counter("scrub_ecc_fallback_repairs").value(), 1u);
+  // The upset is actually gone, repaired with trustworthy shadow data.
+  EXPECT_EQ(fx.sim.config_bit(addr), fx.design.bitstream.get_bit(addr));
 }
 
 TEST(PolicyEquivalence, PriorityPassTimingInvariantHolds) {

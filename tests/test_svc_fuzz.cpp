@@ -118,7 +118,7 @@ TEST(ProtocolFuzz, MagicMismatchDetectedOnPartialPrefix) {
 
 TEST(ProtocolFuzz, UnknownKindIsConsumedNotPoisoning) {
   std::vector<u8> wire = sample_wire();
-  wire[5] = 9;  // not a FrameKind
+  wire[5] = 11;  // not a FrameKind (9 became kStorePublish)
   resign(&wire);
   FrameDecoder decoder;
   decoder.feed(wire);

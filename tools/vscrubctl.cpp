@@ -14,6 +14,7 @@
 #include "core/cli.h"
 #include "core/vscrub.h"
 #include "sim/simd.h"
+#include "fleet_common.h"
 #include "serve_common.h"
 #include "svc/client.h"
 #include "svc/requests.h"
@@ -458,6 +459,72 @@ int cmd_submit(const CliArgs& args) {
   return 0;
 }
 
+int cmd_fleet_submit(const CliArgs& args) {
+  VSCRUB_CHECK(!args.positional.empty(), "fleet-submit needs a design name");
+  // Same underscored parameter convention as cmd_submit: only flags given
+  // on the command line are set, so the coordinator's (= worker's) defaults
+  // are the CLI's defaults.
+  JsonReport req("fleet_campaign_request");
+  req.set_string("design", args.positional[0]);
+  req.set_string("device", args.option("--device", "campaign"));
+  if (args.flag("--exhaustive")) {
+    req.set_bool("exhaustive", true);
+  } else if (args.flag("--sample")) {
+    req.set_u64("sample", args.option_u64("--sample", 20000));
+  }
+  if (args.flag("--persistence")) req.set_bool("persistence", true);
+  if (args.flag("--seed")) req.set_u64("seed", args.option_u64("--seed", 0));
+  if (args.flag("--chunk")) {
+    req.set_u64("chunk", args.option_u64("--chunk", 0));
+  }
+  if (args.flag("--no-gang")) req.set_bool("no_gang", true);
+  if (args.flag("--gang-width")) {
+    req.set_u64("gang_width", args.option_u64("--gang-width", 64));
+  }
+  if (args.flag("--gang-isa")) {
+    req.set_string("gang_isa", args.option("--gang-isa", "auto"));
+  }
+  if (args.flag("--no-gang-plan")) req.set_bool("no_gang_plan", true);
+  if (args.flag("--no-prune")) req.set_bool("no_prune", true);
+  const bool progress = args.flag("--progress");
+  if (progress) req.set_bool("progress", true);
+  ServiceClient client = ServiceClient::connect_unix(
+      args.option("--socket", "/tmp/vscrub-coord.sock"));
+  const auto event = [progress](const Frame& f) {
+    if (!progress || f.kind != FrameKind::kProgress) return;
+    const FlatJson p = FlatJson::parse(f.payload);
+    std::fprintf(stderr,
+                 "\r%llu/%llu bits  ranges %llu/%llu  %llu reassigned   ",
+                 static_cast<unsigned long long>(p.get_u64("injections_done")),
+                 static_cast<unsigned long long>(p.get_u64("injections_total")),
+                 static_cast<unsigned long long>(p.get_u64("ranges_done")),
+                 static_cast<unsigned long long>(p.get_u64("ranges_total")),
+                 static_cast<unsigned long long>(p.get_u64("reassignments")));
+  };
+  const Frame reply =
+      client.call(FrameKind::kCampaign, req.to_json(), event);
+  if (progress) std::fprintf(stderr, "\n");
+  if (reply.kind == FrameKind::kBusy) {
+    const FlatJson busy = FlatJson::parse(reply.payload);
+    std::fprintf(stderr,
+                 "vscrubctl: coordinator busy (%s); retry in %llu ms\n",
+                 busy.get_string("reason", "busy").c_str(),
+                 static_cast<unsigned long long>(
+                     busy.get_u64("retry_after_ms", 0)));
+    return 3;
+  }
+  if (reply.kind == FrameKind::kError) {
+    std::fprintf(stderr, "vscrubctl: coordinator error: %s\n",
+                 FlatJson::parse(reply.payload)
+                     .get_string("error", "unknown").c_str());
+    return 1;
+  }
+  std::fputs(reply.payload.c_str(), stdout);
+  const std::string json_path = args.option("--json", "");
+  if (!json_path.empty()) write_text_file(reply.payload, json_path);
+  return 0;
+}
+
 int cmd_info(const CliArgs& args) {
   VSCRUB_CHECK(!args.positional.empty(), "info needs an image path");
   const LoadedImage image = load_bitstream(args.positional[0]);
@@ -515,6 +582,8 @@ int main(int argc, char** argv) {
     if (name == "bist") return cmd_bist(args);
     if (name == "serve") return run_serve(args);
     if (name == "submit") return cmd_submit(args);
+    if (name == "fleet-serve") return run_fleet_serve(args);
+    if (name == "fleet-submit") return cmd_fleet_submit(args);
     if (name == "version") return cmd_version(args);
     if (name == "info") return cmd_info(args);
     if (name == "designs") {
@@ -528,11 +597,12 @@ int main(int argc, char** argv) {
     if (name == "policies") {
       for (const std::string& p : scrub_policy_names()) {
         const auto policy = make_scrub_policy(p);
-        std::printf("%-14s %s%s\n", p.c_str(),
+        std::printf("%-14s %s%s%s\n", p.c_str(),
                     policy->blind() ? "blind golden rewrite" : "readback+CRC",
                     policy->intermodular() ? ", intermodular stagger"
                     : policy->schedule_period() > 1 ? ", rotating subset"
-                                                    : "");
+                                                    : "",
+                    policy->golden_ecc() ? ", SECDED golden shadow" : "");
       }
       return 0;
     }
